@@ -1,0 +1,38 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/ecl"
+	"repro/internal/trace"
+)
+
+// sanitize turns a circuit name into a benchmark-path-friendly token.
+func sanitize(name string) string {
+	name = strings.ReplaceAll(name, " ", "_")
+	name = strings.ReplaceAll(name, "(", "")
+	name = strings.ReplaceAll(name, ")", "")
+	name = strings.ReplaceAll(name, ".", "")
+	return name
+}
+
+// newNaiveDictRep wraps the dictionary specification as an unbounded
+// one-point-per-invocation representation (the direct approach).
+func newNaiveDictRep(spec *ecl.Spec) ap.Rep {
+	return ap.NewNaiveRep(func(a, b trace.Action) bool {
+		ok, err := spec.Commutes(a, b)
+		return err == nil && ok
+	})
+}
+
+// mustSpec parses a spec source or fails the benchmark.
+func mustSpec(tb testing.TB, src string) *ecl.Spec {
+	tb.Helper()
+	s, err := ecl.ParseSpec(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,345 @@
+package repro
+
+// The benchmarks in this file regenerate the paper's evaluation artifacts
+// as Go benchmarks (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable2/...       — one benchmark per Table 2 row and mode;
+//	                            qps is reported as the "qps" metric and
+//	                            race totals as "races" / "distinct".
+//	BenchmarkFig4/...         — conflict checks for size() after n puts,
+//	                            access points vs direct invocations.
+//	BenchmarkComplexity/...   — Section 5.4: bounded (Θ(1)/action) vs
+//	                            enumerating (Θ(|A|)/action) engines.
+//	BenchmarkAblation*        — design-choice ablations called out in
+//	                            DESIGN.md §6.
+//
+// cmd/rd2bench prints the same data in the paper's tabular format.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/h2sim"
+	"repro/internal/harness"
+	"repro/internal/monitor"
+	"repro/internal/snitch"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/translate"
+	"repro/internal/vclock"
+)
+
+// benchCircuit runs one H2 circuit per iteration in the given mode.
+func benchCircuit(b *testing.B, c h2sim.Circuit, mode harness.Mode) {
+	b.Helper()
+	c = c.Scaled(100)
+	var ops, races, distinct int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := monitor.NewRuntime()
+		switch mode {
+		case harness.FastTrack:
+			d := monitor.AttachFastTrack(rt)
+			res := c.Run(rt, int64(i))
+			ops += res.Ops
+			races = d.Stats().Races
+			distinct = d.DistinctVars()
+		case harness.RD2:
+			rd2 := monitor.AttachRD2(rt, core.Config{MaxRaces: 1000})
+			res := c.Run(rt, int64(i))
+			ops += res.Ops
+			races = rd2.Detector.Stats().Races
+			distinct = rd2.Detector.DistinctObjects()
+		default:
+			res := c.Run(rt, int64(i))
+			ops += res.Ops
+		}
+		if err := rt.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "qps")
+	if mode != harness.Uninstrumented {
+		b.ReportMetric(float64(races), "races")
+		b.ReportMetric(float64(distinct), "distinct")
+	}
+}
+
+// BenchmarkTable2 regenerates every H2 row of Table 2 (experiment E1).
+func BenchmarkTable2(b *testing.B) {
+	for _, c := range h2sim.Circuits() {
+		for _, mode := range []harness.Mode{harness.Uninstrumented, harness.FastTrack, harness.RD2} {
+			c, mode := c, mode
+			b.Run(fmt.Sprintf("%s/%s", sanitize(c.Name), mode), func(b *testing.B) {
+				benchCircuit(b, c, mode)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Snitch regenerates the Cassandra row of Table 2.
+func BenchmarkTable2Snitch(b *testing.B) {
+	cfg := snitch.DefaultTestConfig()
+	cfg.TimingsPerHost, cfg.ScoreRounds = 10, 15
+	for _, mode := range []harness.Mode{harness.Uninstrumented, harness.FastTrack, harness.RD2} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var races, distinct int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt := monitor.NewRuntime()
+				switch mode {
+				case harness.FastTrack:
+					d := monitor.AttachFastTrack(rt)
+					snitch.RunTest(rt, cfg, int64(i))
+					races, distinct = d.Stats().Races, d.DistinctVars()
+				case harness.RD2:
+					rd2 := monitor.AttachRD2(rt, core.Config{MaxRaces: 1000})
+					snitch.RunTest(rt, cfg, int64(i))
+					races, distinct = rd2.Detector.Stats().Races, rd2.Detector.DistinctObjects()
+				default:
+					snitch.RunTest(rt, cfg, int64(i))
+				}
+				if err := rt.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mode != harness.Uninstrumented {
+				b.ReportMetric(float64(races), "races")
+				b.ReportMetric(float64(distinct), "distinct")
+			}
+		})
+	}
+}
+
+// fig4Trace builds n concurrent resizing puts followed by one size().
+func fig4Trace(n int) *trace.Trace {
+	bld := trace.NewBuilder()
+	for i := 1; i <= n; i++ {
+		bld.Fork(0, vclock.Tid(i))
+	}
+	for i := 1; i <= n; i++ {
+		bld.Put(vclock.Tid(i), 0,
+			trace.StrValue(fmt.Sprintf("host%d.com", i)),
+			trace.IntValue(int64(i)), trace.NilValue)
+	}
+	bld.Size(0, 0, int64(n))
+	return bld.Trace()
+}
+
+// BenchmarkFig4 regenerates the Fig 4 comparison (experiment E3): checking
+// size() against n puts needs one conflict check with access points and n
+// with whole invocations.
+func BenchmarkFig4(b *testing.B) {
+	dictSpec := specs.MustSpec("dict")
+	dictRep := specs.MustRep("dict")
+	for _, n := range []int{3, 10, 100} {
+		n := n
+		b.Run(fmt.Sprintf("AccessPoints/puts=%d", n), func(b *testing.B) {
+			tr := fig4Trace(n)
+			b.ReportAllocs()
+			var checks int
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{Engine: core.EngineBounded, MaxRaces: 1})
+				d.Register(0, dictRep)
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+				checks = d.Stats().Checks
+			}
+			b.ReportMetric(float64(checks), "checks")
+		})
+		b.Run(fmt.Sprintf("Invocations/puts=%d", n), func(b *testing.B) {
+			tr := fig4Trace(n)
+			b.ReportAllocs()
+			var checks int
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{Engine: core.EngineEnumerating, MaxRaces: 1})
+				d.Register(0, newNaiveDictRep(dictSpec))
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+				checks = d.Stats().Checks
+			}
+			b.ReportMetric(float64(checks), "checks")
+		})
+	}
+}
+
+// complexityTrace builds n distinct-key puts from two unsynchronized
+// threads.
+func complexityTrace(n int) *trace.Trace {
+	bld := trace.NewBuilder().Fork(0, 1).Fork(0, 2)
+	for i := 0; i < n; i++ {
+		bld.Put(vclock.Tid(1+i%2), 0, trace.IntValue(int64(i)), trace.IntValue(1), trace.NilValue)
+	}
+	return bld.Trace()
+}
+
+// BenchmarkComplexity regenerates the Section 5.4 scaling claim
+// (experiment E4): time per action is constant for the bounded engine and
+// linear in |A| for the enumerating engine.
+func BenchmarkComplexity(b *testing.B) {
+	rep := specs.MustRep("dict")
+	for _, n := range []int{1000, 4000, 16000} {
+		n := n
+		tr := complexityTrace(n)
+		b.Run(fmt.Sprintf("Bounded/actions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{Engine: core.EngineBounded, MaxRaces: 1})
+				d.Register(0, rep)
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/action")
+		})
+		b.Run(fmt.Sprintf("Enumerating/actions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{Engine: core.EngineEnumerating, MaxRaces: 1})
+				d.Register(0, rep)
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/action")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizedRep compares detection over the optimized
+// (Fig 7, four classes) and raw (Section 6.2, unoptimized) translations of
+// the dictionary specification.
+func BenchmarkAblationOptimizedRep(b *testing.B) {
+	spec := specs.MustSpec("dict")
+	optimized, err := translate.Translate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := translate.TranslateOpts(spec, translate.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := complexityTrace(4000)
+	for _, cfg := range []struct {
+		name string
+		rep  *translate.Rep
+	}{{"Optimized", optimized}, {"Raw", raw}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var active int
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{Engine: core.EngineBounded, MaxRaces: 1})
+				d.Register(0, cfg.rep)
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+				active = d.Stats().PeakActive
+			}
+			b.ReportMetric(float64(cfg.rep.NumClasses()), "classes")
+			b.ReportMetric(float64(active), "active-points")
+		})
+	}
+}
+
+// BenchmarkAblationReclaim measures the Section 5.3 object-death
+// optimization: many short-lived dictionaries with and without death
+// events.
+func BenchmarkAblationReclaim(b *testing.B) {
+	rep := specs.MustRep("dict")
+	const objects, opsPerObject = 64, 32
+	build := func(kill bool) *trace.Trace {
+		bld := trace.NewBuilder()
+		for o := 0; o < objects; o++ {
+			for i := 0; i < opsPerObject; i++ {
+				bld.Put(0, trace.ObjID(o), trace.IntValue(int64(i)), trace.IntValue(1), trace.NilValue)
+			}
+			if kill {
+				bld.Die(0, trace.ObjID(o))
+			}
+		}
+		return bld.Trace()
+	}
+	for _, cfg := range []struct {
+		name string
+		kill bool
+	}{{"WithReclaim", true}, {"NoReclaim", false}} {
+		cfg := cfg
+		tr := build(cfg.kill)
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var peak int
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{MaxRaces: 1})
+				for o := 0; o < objects; o++ {
+					d.Register(trace.ObjID(o), rep)
+				}
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+				peak = d.Stats().ActivePoints
+			}
+			b.ReportMetric(float64(peak), "live-points")
+		})
+	}
+}
+
+// BenchmarkAblationCoarseSpec compares the precise Fig 6 dictionary
+// specification against a coarse "nothing commutes" specification: the
+// coarse spec floods the detector with false races.
+func BenchmarkAblationCoarseSpec(b *testing.B) {
+	precise := specs.MustRep("dict")
+	coarse := newCoarseDictRep(b)
+	r := trace.NewBuilder().Fork(0, 1).Fork(0, 2)
+	for i := 0; i < 2000; i++ {
+		r.Get(vclock.Tid(1+i%2), 0, trace.IntValue(int64(i%64)), trace.NilValue)
+	}
+	tr := r.Trace()
+	for _, cfg := range []struct {
+		name string
+		rep  *translate.Rep
+	}{{"Precise", precise}, {"Coarse", coarse}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var races int
+			for i := 0; i < b.N; i++ {
+				d := core.New(core.Config{MaxRaces: 10})
+				d.Register(0, cfg.rep)
+				if err := d.RunTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+				races = d.Stats().Races
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
+}
+
+// newCoarseDictRep builds a dictionary spec where no pair commutes.
+func newCoarseDictRep(b *testing.B) *translate.Rep {
+	b.Helper()
+	src := `
+object dict
+method put(k, v) / (p)
+method get(k) / (v)
+method size() / (r)
+commute put(k1, v1)/(p1), put(k2, v2)/(p2) when false
+commute put(k1, v1)/(p1), get(k2)/(v2) when false
+commute put(k1, v1)/(p1), size()/(r) when false
+commute get(k1)/(v1), get(k2)/(v2) when false
+commute get(k1)/(v1), size()/(r) when false
+commute size()/(r1), size()/(r2) when false
+`
+	rep, err := translate.Translate(mustSpec(b, src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}

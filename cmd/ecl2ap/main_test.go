@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuiltinSpec(t *testing.T) {
+	for _, args := range [][]string{
+		{"dict"},
+		{"-raw", "dict"},
+		{"-echo", "set"},
+		{"counter"},
+	} {
+		if code := run(args); code != 0 {
+			t.Errorf("args %v: exit = %d", args, code)
+		}
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "acct.spec")
+	src := `
+object account
+method deposit(a) / (b)
+commute deposit(a1)/(b1), deposit(a2)/(b2) when a1 == 0 && a2 == 0
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{path}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},         // missing arg
+		{"a", "b"}, // too many args
+		{"nope"},   // neither builtin nor file
+		{"-bogus"}, // flag error
+	}
+	for _, args := range cases {
+		if code := run(args); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestBadSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(path, []byte("object x\nmethod m(a)\ncommute m(v), m(w) when v == w"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{path}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

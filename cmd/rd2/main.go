@@ -1,0 +1,218 @@
+// Command rd2 is the offline commutativity race detector: it replays a
+// recorded trace against commutativity specifications and reports every
+// commutativity race (Algorithm 1 of the paper).
+//
+// Usage:
+//
+//	rd2 -trace run.trace [-spec dict] [-bind 0=dict,1=set] [-engine bounded]
+//
+// The trace file uses the text format of internal/trace:
+//
+//	t0 fork t1
+//	t1 act o0.put("a.com", 1)/nil
+//	t0 join t1
+//	t0 act o0.size()/1
+//
+// -spec names the default specification for every object: either a built-in
+// name (dict, set, counter, queue, register, multiset) or a path to an ECL
+// specification file. -bind overrides the specification per object id.
+//
+// The exit status is 1 when races were found, 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/ecl"
+	"repro/internal/replay"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/translate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rd2", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace file to analyze (required)")
+	specName := fs.String("spec", "dict", "default specification: built-in name or file path")
+	bind := fs.String("bind", "", "per-object specs, e.g. 0=dict,3=set")
+	engine := fs.String("engine", "bounded", "conflict engine: bounded or enumerating")
+	maxRaces := fs.Int("max-races", 100, "maximum races to print")
+	quiet := fs.Bool("q", false, "print only the summary line")
+	grouped := fs.Bool("summary", false, "group redundant races by object and method pair")
+	jsonOut := fs.Bool("json", false, "emit races as JSON (one object per line)")
+	validate := fs.Bool("validate", true, "check trace well-formedness before analysis")
+	determinism := fs.Int("determinism", 0,
+		"additionally replay N random linearizations (Theorem 5.2 check; built-in specs only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "rd2: -trace is required")
+		fs.Usage()
+		return 2
+	}
+
+	var eng core.Engine
+	switch *engine {
+	case "bounded":
+		eng = core.EngineBounded
+	case "enumerating":
+		eng = core.EngineEnumerating
+	default:
+		fmt.Fprintf(os.Stderr, "rd2: unknown engine %q\n", *engine)
+		return 2
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	tr, err := trace.Parse(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+		return 2
+	}
+
+	if *validate {
+		if err := trace.Validate(tr); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+	}
+
+	defaultRep, err := loadRep(*specName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+		return 2
+	}
+
+	det := core.New(core.Config{Engine: eng, MaxRaces: *maxRaces})
+	objs := map[trace.ObjID]bool{}
+	for _, e := range tr.Events {
+		if e.Kind == trace.ActionEvent {
+			objs[e.Act.Obj] = true
+		}
+	}
+	kinds := map[trace.ObjID]string{}
+	for o := range objs {
+		det.Register(o, defaultRep)
+		kinds[o] = *specName
+	}
+	if *bind != "" {
+		for _, pair := range strings.Split(*bind, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				fmt.Fprintf(os.Stderr, "rd2: bad -bind entry %q\n", pair)
+				return 2
+			}
+			id, err := strconv.Atoi(kv[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rd2: bad object id %q\n", kv[0])
+				return 2
+			}
+			rep, err := loadRep(kv[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+				return 2
+			}
+			det.Register(trace.ObjID(id), rep)
+			kinds[trace.ObjID(id)] = kv[1]
+		}
+	}
+
+	if err := det.RunTrace(tr); err != nil {
+		fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+		return 2
+	}
+
+	races := det.Races()
+	switch {
+	case *quiet:
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range races {
+			if err := enc.Encode(raceJSON{
+				Object:       int(r.Obj),
+				First:        r.First.String(),
+				FirstThread:  int(r.FirstThread),
+				FirstPoint:   r.FirstPoint,
+				Second:       r.Second.String(),
+				SecondThread: int(r.SecondThread),
+				SecondSeq:    r.SecondSeq,
+				SecondPoint:  r.SecondPoint,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+				return 2
+			}
+		}
+	case *grouped:
+		fmt.Print(core.RenderSummary(core.Summarize(races)))
+	default:
+		for _, r := range races {
+			fmt.Println(r)
+		}
+	}
+	st := det.Stats()
+	fmt.Printf("rd2: %d events, %d actions, %d checks, %d commutativity races on %d objects\n",
+		tr.Len(), st.Actions, st.Checks, st.Races, det.DistinctObjects())
+
+	if *determinism > 0 {
+		res, err := replay.Check(tr, kinds, replay.Config{Samples: *determinism})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: determinism check: %v (only built-in specs have executable semantics)\n", err)
+			return 2
+		}
+		if res.Deterministic {
+			fmt.Printf("rd2: %d linearizations replayed: deterministic\n", res.Samples)
+		} else {
+			fmt.Printf("rd2: non-deterministic: %s\n", res.Witness)
+		}
+	}
+	if st.Races > 0 {
+		return 1
+	}
+	return 0
+}
+
+// raceJSON is the machine-readable form of one race report.
+type raceJSON struct {
+	Object       int    `json:"object"`
+	First        string `json:"first"`
+	FirstThread  int    `json:"firstThread"`
+	FirstPoint   string `json:"firstPoint"`
+	Second       string `json:"second"`
+	SecondThread int    `json:"secondThread"`
+	SecondSeq    int    `json:"secondSeq"`
+	SecondPoint  string `json:"secondPoint"`
+}
+
+// loadRep resolves a built-in spec name or parses a spec file and
+// translates it.
+func loadRep(name string) (ap.Rep, error) {
+	if rep, err := specs.Rep(name); err == nil {
+		return rep, nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q is neither built-in (%v) nor readable: %v",
+			name, specs.Names(), err)
+	}
+	spec, err := ecl.ParseSpec(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return translate.Translate(spec)
+}

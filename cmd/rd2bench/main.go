@@ -1,0 +1,104 @@
+// Command rd2bench regenerates the paper's evaluation artifacts:
+//
+//	rd2bench -table2       Table 2 — qps / seconds and race counts for
+//	                       every benchmark under uninstrumented,
+//	                       FASTTRACK and RD2 instrumentation
+//	rd2bench -fig4         Fig 4 — conflict checks for a size() after n
+//	                       concurrent puts: access points vs invocations
+//	rd2bench -complexity   Section 5.4 — Θ(1) bounded engine vs Θ(|A|)
+//	                       enumerating engine as the trace grows
+//	rd2bench -races        Section 7 — rediscover the three harmful races
+//	                       (freedPageSpace, chunks, samples-size hint)
+//
+// With no selection flags, everything runs. -scale multiplies workload
+// sizes (higher = more stable timings).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rd2bench", flag.ContinueOnError)
+	table2 := fs.Bool("table2", false, "run the Table 2 benchmark suite")
+	fig4 := fs.Bool("fig4", false, "run the Fig 4 check-count experiment")
+	complexity := fs.Bool("complexity", false, "run the Section 5.4 scaling experiment")
+	races := fs.Bool("races", false, "run the Section 7 race rediscovery")
+	overhead := fs.Bool("overhead", false, "run the per-event analysis cost comparison")
+	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
+	scale := fs.Int("scale", 2, "workload scale multiplier")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation
+
+	if *table2 || all {
+		fmt.Println("== Table 2: performance and races ==")
+		rows := harness.RunTable2(harness.Config{Scale: *scale, Seed: *seed})
+		fmt.Print(harness.RenderTable2(rows))
+		fmt.Println()
+	}
+	if *fig4 || all {
+		fmt.Println("== Fig 4: conflict checks for size() after n resizing puts ==")
+		rows, err := harness.RunFig4(8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(harness.RenderFig4(rows))
+		fmt.Println()
+	}
+	if *complexity || all {
+		fmt.Println("== Section 5.4: bounded vs enumerating engine scaling ==")
+		sizes := []int{1000, 2000, 4000, 8000}
+		if *scale > 4 {
+			sizes = append(sizes, 16000)
+		}
+		rows, err := harness.RunComplexity(sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(harness.RenderComplexity(rows))
+		fmt.Println()
+	}
+	if *overhead || all {
+		fmt.Println("== Per-event analysis cost ==")
+		rows, err := harness.RunOverhead(20000**scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(harness.RenderOverhead(rows))
+		fmt.Println()
+	}
+	if *ablation || all {
+		fmt.Println("== Design-choice ablations ==")
+		rows, err := harness.RunAblations(500**scale, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(harness.RenderAblations(rows))
+		fmt.Println()
+	}
+	if *races || all {
+		fmt.Println("== Section 7: harmful race rediscovery ==")
+		reports, err := harness.RunRaceDiscovery(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(harness.RenderRaceReports(reports))
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestSelectedExperiments(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig4"},
+		{"-races", "-seed", "3"},
+	} {
+		if code := run(args); code != 0 {
+			t.Errorf("args %v: exit = %d", args, code)
+		}
+	}
+}
+
+func TestComplexitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("complexity sweep is slow")
+	}
+	if code := run([]string{"-complexity", "-scale", "1"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 is slow")
+	}
+	if code := run([]string{"-table2", "-scale", "1"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

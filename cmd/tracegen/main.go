@@ -1,0 +1,47 @@
+// Command tracegen produces random well-formed dictionary traces in the
+// text format consumed by cmd/rd2 — fork/join structure, optional locking,
+// and action return values consistent with the dictionary semantics.
+//
+//	tracegen -seed 7 -threads 4 -ops 20 > run.trace
+//	rd2 -trace run.trace -spec dict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	threads := fs.Int("threads", 3, "worker threads")
+	objects := fs.Int("objects", 2, "dictionary objects")
+	keys := fs.Int("keys", 4, "key universe size")
+	opsMin := fs.Int("ops-min", 4, "minimum operations per thread")
+	opsMax := fs.Int("ops-max", 10, "maximum operations per thread")
+	locks := fs.Int("locks", 2, "lock universe size (0 disables locking)")
+	plocked := fs.Int("p-locked", 30, "percent of operations under a lock")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := trace.GenConfig{
+		Threads: *threads, Objects: *objects, Keys: *keys, Vals: 3,
+		Locks: *locks, OpsMin: *opsMin, OpsMax: *opsMax,
+		PSize: 15, PGet: 35, PLocked: *plocked, PRemove: 25,
+	}
+	tr := trace.Generate(rand.New(rand.NewSource(*seed)), cfg)
+	if err := trace.Encode(out, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Commutativity Race
+// Detection" (Dimitrov, Raychev, Vechev, Koskinen; PLDI 2014).
+//
+// The library lives under internal/: vclock (vector clocks), trace (the
+// execution model), hb (happens-before), ecl (the specification logic and
+// the ECL fragment), translate (the ECL → access point translation), ap
+// (access point representations), core (the race detector, Algorithm 1),
+// fasttrack (the low-level baseline), monitor (the instrumented runtime),
+// specs (ready-made specifications), h2sim and snitch (the evaluation
+// substrates), and harness (the Table 2 / figure experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure; cmd/rd2bench prints them
+// in the paper's format.
+package repro

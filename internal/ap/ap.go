@@ -1,0 +1,210 @@
+// Package ap defines access point representations ⟨Xo, ηo, Co⟩ (Section 4.2
+// of the paper): the structural form of a commutativity specification
+// consumed by the race detector.
+//
+// An access point witnesses a "micro action" relevant to commutativity
+// checking — e.g. a successful o.put(k,v)/nil touches o:w:k ("the value at k
+// changed") and o:resize ("the size changed"). Conflict checking happens on
+// points instead of whole invocations, which lets many invocations share
+// state and, for representations derived from ECL specifications, bounds the
+// number of checks per action by a constant (Theorem 6.6).
+//
+// A representation is shared by all objects of one specification; the
+// detector keeps per-object state, so points do not embed the object id.
+package ap
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Point is one access point of a representation, without the object
+// component (the detector tracks objects separately). Class identifies the
+// point class — for translated representations a (method, β, position)
+// triple, for hand-written representations whatever the author chose — and
+// Val is the witnessed operand value for positional points (the zero Value
+// for ds-style points). Point is comparable and used as a map key.
+type Point struct {
+	Class int
+	Val   trace.Value
+}
+
+// Rep is an access point representation. Implementations must be safe for
+// concurrent readers (they are immutable after construction).
+type Rep interface {
+	// Touch appends to dst the access points η(a) touched by the action
+	// and returns the extended slice. It fails on actions of unknown
+	// methods or malformed arity.
+	Touch(dst []Point, a trace.Action) ([]Point, error)
+
+	// Bounded reports whether Conflicts enumerates a complete finite
+	// candidate set for every point. Representations translated from ECL
+	// are bounded (Theorem 6.6); naive representations are not.
+	Bounded() bool
+
+	// Conflicts appends to dst every point that conflicts with pt. Only
+	// meaningful when Bounded returns true.
+	Conflicts(dst []Point, pt Point) []Point
+
+	// ConflictsWith reports (p, q) ∈ C. Always available; the detector's
+	// enumerating engine uses it to scan active sets.
+	ConflictsWith(p, q Point) bool
+
+	// Describe renders a point for race reports, e.g. "o:w:\"a.com\"".
+	Describe(pt Point) string
+}
+
+// The point classes of the hand-written dictionary representation (Fig 7).
+const (
+	DictRead   = iota // o:r:k — the value at key k was read
+	DictWrite         // o:w:k — the value at key k changed
+	DictSize          // o:size — the size was observed
+	DictResize        // o:resize — the size changed
+)
+
+// DictRep is the optimized dictionary representation of Fig 7, written by
+// hand. The translator-produced representation for the Fig 6 specification
+// is equivalent (tested in internal/translate); this one exists as ground
+// truth and as the fast path used by the benchmarks.
+type DictRep struct{}
+
+var _ Rep = DictRep{}
+
+// Touch implements ηo of Fig 7(b).
+func (DictRep) Touch(dst []Point, a trace.Action) ([]Point, error) {
+	switch a.Method {
+	case "put":
+		if len(a.Args) != 2 || len(a.Rets) != 1 {
+			return nil, fmt.Errorf("ap: put arity %d/%d", len(a.Args), len(a.Rets))
+		}
+		k, v, p := a.Args[0], a.Args[1], a.Rets[0]
+		if v == p {
+			// No-op put: observationally a read of the key.
+			return append(dst, Point{Class: DictRead, Val: k}), nil
+		}
+		dst = append(dst, Point{Class: DictWrite, Val: k})
+		if v.IsNil() != p.IsNil() {
+			dst = append(dst, Point{Class: DictResize})
+		}
+		return dst, nil
+	case "get":
+		if len(a.Args) != 1 || len(a.Rets) != 1 {
+			return nil, fmt.Errorf("ap: get arity %d/%d", len(a.Args), len(a.Rets))
+		}
+		return append(dst, Point{Class: DictRead, Val: a.Args[0]}), nil
+	case "size":
+		if len(a.Args) != 0 || len(a.Rets) != 1 {
+			return nil, fmt.Errorf("ap: size arity %d/%d", len(a.Args), len(a.Rets))
+		}
+		return append(dst, Point{Class: DictSize}), nil
+	default:
+		return nil, fmt.Errorf("ap: dictionary has no method %q", a.Method)
+	}
+}
+
+// Bounded reports true: every dictionary point conflicts with at most two
+// others (Fig 7(c)).
+func (DictRep) Bounded() bool { return true }
+
+// Conflicts implements Co of Fig 7(c).
+func (DictRep) Conflicts(dst []Point, pt Point) []Point {
+	switch pt.Class {
+	case DictRead:
+		return append(dst, Point{Class: DictWrite, Val: pt.Val})
+	case DictWrite:
+		return append(dst,
+			Point{Class: DictRead, Val: pt.Val},
+			Point{Class: DictWrite, Val: pt.Val})
+	case DictSize:
+		return append(dst, Point{Class: DictResize})
+	case DictResize:
+		return append(dst, Point{Class: DictSize})
+	default:
+		return dst
+	}
+}
+
+// ConflictsWith implements the symmetric relation of Fig 7(c).
+func (DictRep) ConflictsWith(p, q Point) bool {
+	switch {
+	case p.Class == DictWrite && q.Class == DictWrite:
+		return p.Val == q.Val
+	case p.Class == DictWrite && q.Class == DictRead,
+		p.Class == DictRead && q.Class == DictWrite:
+		return p.Val == q.Val
+	case p.Class == DictSize && q.Class == DictResize,
+		p.Class == DictResize && q.Class == DictSize:
+		return true
+	default:
+		return false
+	}
+}
+
+// Describe renders points in the paper's o:w:k notation.
+func (DictRep) Describe(pt Point) string {
+	switch pt.Class {
+	case DictRead:
+		return "o:r:" + pt.Val.String()
+	case DictWrite:
+		return "o:w:" + pt.Val.String()
+	case DictSize:
+		return "o:size"
+	case DictResize:
+		return "o:resize"
+	default:
+		return fmt.Sprintf("o:?%d:%s", pt.Class, pt.Val)
+	}
+}
+
+// NaiveRep is the unbounded baseline of Section 5.4: one access point per
+// whole action, with conflicts decided by evaluating a commutativity
+// predicate on the two recorded actions. It demonstrates the Θ(|A|) direct
+// approach: Conflicts cannot enumerate, so the detector must scan active(o).
+type NaiveRep struct {
+	// Commute reports whether two actions are specified to commute.
+	Commute func(a, b trace.Action) bool
+	// actions interns recorded actions; point Class indexes into it.
+	actions []trace.Action
+	index   map[string]int
+}
+
+// NewNaiveRep returns a NaiveRep over the given commutativity predicate.
+func NewNaiveRep(commute func(a, b trace.Action) bool) *NaiveRep {
+	return &NaiveRep{Commute: commute, index: map[string]int{}}
+}
+
+// Touch interns the action and returns its singleton point.
+func (n *NaiveRep) Touch(dst []Point, a trace.Action) ([]Point, error) {
+	key := a.String()
+	id, ok := n.index[key]
+	if !ok {
+		id = len(n.actions)
+		n.actions = append(n.actions, a)
+		n.index[key] = id
+	}
+	return append(dst, Point{Class: id}), nil
+}
+
+// Bounded reports false: the conflict set of a naive point is unbounded.
+func (n *NaiveRep) Bounded() bool { return false }
+
+// Conflicts is unsupported for the naive representation.
+func (n *NaiveRep) Conflicts(dst []Point, pt Point) []Point { return dst }
+
+// ConflictsWith evaluates the commutativity predicate on the interned
+// actions.
+func (n *NaiveRep) ConflictsWith(p, q Point) bool {
+	if p.Class < 0 || p.Class >= len(n.actions) || q.Class < 0 || q.Class >= len(n.actions) {
+		return false
+	}
+	return !n.Commute(n.actions[p.Class], n.actions[q.Class])
+}
+
+// Describe renders the interned action.
+func (n *NaiveRep) Describe(pt Point) string {
+	if pt.Class >= 0 && pt.Class < len(n.actions) {
+		return n.actions[pt.Class].String()
+	}
+	return fmt.Sprintf("action#%d", pt.Class)
+}

@@ -1,0 +1,319 @@
+package ap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func act(method string, args, rets []trace.Value) trace.Action {
+	return trace.Action{Obj: 0, Method: method, Args: args, Rets: rets}
+}
+
+func put(k, v, p trace.Value) trace.Action {
+	return act("put", []trace.Value{k, v}, []trace.Value{p})
+}
+
+func get(k, v trace.Value) trace.Action {
+	return act("get", []trace.Value{k}, []trace.Value{v})
+}
+
+func size(r int64) trace.Action {
+	return act("size", nil, []trace.Value{trace.IntValue(r)})
+}
+
+var (
+	kA = trace.StrValue("a.com")
+	kB = trace.StrValue("b.com")
+	v1 = trace.IntValue(1)
+	v2 = trace.IntValue(2)
+)
+
+func touch(t *testing.T, r Rep, a trace.Action) []Point {
+	t.Helper()
+	pts, err := r.Touch(nil, a)
+	if err != nil {
+		t.Fatalf("Touch(%s): %v", a, err)
+	}
+	return pts
+}
+
+func TestDictTouchResizingPut(t *testing.T) {
+	// o.put(k, v)/nil with v ≠ nil changes the value and the size: Fig 7(b)
+	// says it touches o:w:k and o:resize.
+	pts := touch(t, DictRep{}, put(kA, v1, trace.NilValue))
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0] != (Point{Class: DictWrite, Val: kA}) {
+		t.Errorf("first point = %v", pts[0])
+	}
+	if pts[1] != (Point{Class: DictResize}) {
+		t.Errorf("second point = %v", pts[1])
+	}
+}
+
+func TestDictTouchOverwritePut(t *testing.T) {
+	// Overwriting a present key with a different present value: only o:w:k.
+	pts := touch(t, DictRep{}, put(kA, v2, v1))
+	if len(pts) != 1 || pts[0] != (Point{Class: DictWrite, Val: kA}) {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestDictTouchRemovalPut(t *testing.T) {
+	// put(k, nil)/v removes the key: o:w:k and o:resize.
+	pts := touch(t, DictRep{}, put(kA, trace.NilValue, v1))
+	if len(pts) != 2 || pts[1] != (Point{Class: DictResize}) {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestDictTouchNoopPut(t *testing.T) {
+	// put(k, v)/v leaves the state unchanged: behaves as a read (v = p row
+	// of Fig 7(b)).
+	pts := touch(t, DictRep{}, put(kA, v1, v1))
+	if len(pts) != 1 || pts[0] != (Point{Class: DictRead, Val: kA}) {
+		t.Fatalf("points = %v", pts)
+	}
+	// Also for the nil/nil no-op.
+	pts = touch(t, DictRep{}, put(kA, trace.NilValue, trace.NilValue))
+	if len(pts) != 1 || pts[0] != (Point{Class: DictRead, Val: kA}) {
+		t.Fatalf("nil-noop points = %v", pts)
+	}
+}
+
+func TestDictTouchGetAndSize(t *testing.T) {
+	pts := touch(t, DictRep{}, get(kA, v1))
+	if len(pts) != 1 || pts[0] != (Point{Class: DictRead, Val: kA}) {
+		t.Fatalf("get points = %v", pts)
+	}
+	pts = touch(t, DictRep{}, size(3))
+	if len(pts) != 1 || pts[0] != (Point{Class: DictSize}) {
+		t.Fatalf("size points = %v", pts)
+	}
+}
+
+func TestDictTouchErrors(t *testing.T) {
+	bad := []trace.Action{
+		act("frob", nil, nil),
+		act("put", []trace.Value{kA}, []trace.Value{v1}),
+		act("get", nil, []trace.Value{v1}),
+		act("size", []trace.Value{v1}, []trace.Value{v1}),
+	}
+	for _, a := range bad {
+		if _, err := (DictRep{}).Touch(nil, a); err == nil {
+			t.Errorf("Touch(%s) should fail", a)
+		}
+	}
+}
+
+func TestDictConflictMatrix(t *testing.T) {
+	r := DictRep{}
+	wA := Point{Class: DictWrite, Val: kA}
+	wB := Point{Class: DictWrite, Val: kB}
+	rA := Point{Class: DictRead, Val: kA}
+	sz := Point{Class: DictSize}
+	rs := Point{Class: DictResize}
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{wA, wA, true},  // w:k vs w:k, k = l
+		{wA, wB, false}, // different keys
+		{wA, rA, true},  // w:k vs r:k
+		{rA, rA, false}, // reads never conflict
+		{sz, rs, true},  // size vs resize
+		{sz, sz, false}, // Fig 7(c): size does not conflict with size
+		{rs, rs, false}, // nor resize with resize
+		{wA, sz, false}, // across groups: no conflicts
+		{rA, rs, false},
+	}
+	for _, c := range cases {
+		if got := r.ConflictsWith(c.p, c.q); got != c.want {
+			t.Errorf("ConflictsWith(%s, %s) = %v, want %v", r.Describe(c.p), r.Describe(c.q), got, c.want)
+		}
+		if got := r.ConflictsWith(c.q, c.p); got != c.want {
+			t.Errorf("symmetric ConflictsWith(%s, %s) = %v, want %v", r.Describe(c.q), r.Describe(c.p), got, c.want)
+		}
+	}
+}
+
+func TestDictConflictsEnumerationAgreesWithMatrix(t *testing.T) {
+	// For every touched point, Conflicts must enumerate exactly the points
+	// q with ConflictsWith(p, q) among a representative universe.
+	r := DictRep{}
+	universe := []Point{
+		{Class: DictRead, Val: kA}, {Class: DictRead, Val: kB},
+		{Class: DictWrite, Val: kA}, {Class: DictWrite, Val: kB},
+		{Class: DictSize}, {Class: DictResize},
+	}
+	for _, p := range universe {
+		enum := map[Point]bool{}
+		for _, q := range r.Conflicts(nil, p) {
+			enum[q] = true
+		}
+		if !r.Bounded() {
+			t.Fatal("DictRep must be bounded")
+		}
+		if len(enum) > 2 {
+			t.Errorf("point %s conflicts with %d > 2 points", r.Describe(p), len(enum))
+		}
+		for _, q := range universe {
+			if got := enum[q]; got != r.ConflictsWith(p, q) {
+				t.Errorf("point %s vs %s: enum %v, matrix %v", r.Describe(p), r.Describe(q), got, r.ConflictsWith(p, q))
+			}
+		}
+	}
+}
+
+func TestDictDescribe(t *testing.T) {
+	r := DictRep{}
+	cases := map[Point]string{
+		{Class: DictWrite, Val: kA}: `o:w:"a.com"`,
+		{Class: DictRead, Val: v1}:  "o:r:1",
+		{Class: DictSize}:           "o:size",
+		{Class: DictResize}:         "o:resize",
+	}
+	for p, want := range cases {
+		if got := r.Describe(p); got != want {
+			t.Errorf("Describe(%v) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+// dictCommutes is the Fig 6 logical specification, evaluated directly.
+func dictCommutes(a, b trace.Action) bool {
+	if a.Method > b.Method {
+		a, b = b, a
+	}
+	switch {
+	case a.Method == "put" && b.Method == "put":
+		return a.Args[0] != b.Args[0] || (a.Args[1] == a.Rets[0] && b.Args[1] == b.Rets[0])
+	case a.Method == "get" && b.Method == "put":
+		return b.Args[0] != a.Args[0] || b.Args[1] == b.Rets[0]
+	case a.Method == "put" && b.Method == "size":
+		return a.Args[1].IsNil() == a.Rets[0].IsNil()
+	default:
+		return true
+	}
+}
+
+// randDictAction draws a random dictionary action (returns unconstrained —
+// representation equivalence is a per-action-pair property and does not
+// require a realizable trace).
+func randDictAction(r *rand.Rand) trace.Action {
+	keys := []trace.Value{kA, kB, trace.StrValue("c.com")}
+	vals := []trace.Value{trace.NilValue, v1, v2}
+	switch r.Intn(3) {
+	case 0:
+		return put(keys[r.Intn(len(keys))], vals[r.Intn(len(vals))], vals[r.Intn(len(vals))])
+	case 1:
+		return get(keys[r.Intn(len(keys))], vals[r.Intn(len(vals))])
+	default:
+		return size(int64(r.Intn(3)))
+	}
+}
+
+func TestPropDictRepRepresentsFig6Spec(t *testing.T) {
+	// Definition 4.5: (η(a) × η(b)) ∩ C = ∅ iff ϕ(a, b). The hand-written
+	// representation must agree with the direct evaluation of the Fig 6
+	// formulas on all action pairs.
+	r := DictRep{}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randDictAction(rng), randDictAction(rng)
+		pa, err := r.Touch(nil, a)
+		if err != nil {
+			return false
+		}
+		pb, err := r.Touch(nil, b)
+		if err != nil {
+			return false
+		}
+		conflict := false
+		for _, p := range pa {
+			for _, q := range pb {
+				if r.ConflictsWith(p, q) {
+					conflict = true
+				}
+			}
+		}
+		want := !dictCommutes(a, b)
+		if conflict != want {
+			t.Logf("a=%s b=%s rep=%v spec=%v", a, b, conflict, want)
+		}
+		return conflict == want
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveRepInternsAndConflicts(t *testing.T) {
+	n := NewNaiveRep(dictCommutes)
+	a := put(kA, v1, trace.NilValue)
+	b := size(0)
+	pa, err := n.Touch(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := n.Touch(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Bounded() {
+		t.Fatal("naive representation must be unbounded")
+	}
+	if !n.ConflictsWith(pa[0], pb[0]) {
+		t.Error("resizing put must conflict with size")
+	}
+	// Re-touching the same action yields the same interned point.
+	pa2, err := n.Touch(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa2[0] != pa[0] {
+		t.Error("interning broken")
+	}
+	if got := n.Describe(pa[0]); got != a.String() {
+		t.Errorf("Describe = %q", got)
+	}
+	if n.ConflictsWith(Point{Class: 99}, pa[0]) {
+		t.Error("out-of-range class must not conflict")
+	}
+	if len(n.Conflicts(nil, pa[0])) != 0 {
+		t.Error("naive Conflicts must be empty")
+	}
+	if n.Describe(Point{Class: 42}) == "" {
+		t.Error("Describe of unknown point should still render")
+	}
+}
+
+func TestPropNaiveAgreesWithDictRep(t *testing.T) {
+	n := NewNaiveRep(dictCommutes)
+	d := DictRep{}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randDictAction(rng), randDictAction(rng)
+		pa, _ := n.Touch(nil, a)
+		pb, _ := n.Touch(nil, b)
+		naive := n.ConflictsWith(pa[0], pb[0])
+		da, _ := d.Touch(nil, a)
+		db, _ := d.Touch(nil, b)
+		dict := false
+		for _, p := range da {
+			for _, q := range db {
+				if d.ConflictsWith(p, q) {
+					dict = true
+				}
+			}
+		}
+		return naive == dict
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package atomicity generalizes dynamic atomicity checking (Velodrome,
+// PLDI'08) from read/write conflicts to commutativity conflicts, as the
+// paper's Section 8 proposes: "this low-level definition of conflict can be
+// extended to handle much richer commutativity specifications (with the
+// appropriate modifications of the atomicity algorithms to deal with access
+// points)".
+//
+// The checker builds the transactional happens-before graph: one node per
+// transaction (a Begin…End span of a thread; actions outside any span are
+// unary transactions), with an edge A → B whenever an action of B touches
+// an access point that conflicts with a point touched earlier by A. A
+// transaction is serializable iff it is never part of a cycle; a cycle
+// means the transactions' conflicting operations interleaved in both
+// directions, so no serial order of the transactions explains the observed
+// trace.
+package atomicity
+
+import (
+	"fmt"
+
+	"repro/internal/ap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// txnID identifies a transaction node.
+type txnID int
+
+// Violation reports one atomicity violation: two transactions with
+// conflict edges in both directions.
+type Violation struct {
+	// First and Second are representative actions of the two transactions
+	// on the cyclic path (the conflicting pair that closed the cycle).
+	First        trace.Action
+	FirstThread  vclock.Tid
+	Second       trace.Action
+	SecondThread vclock.Tid
+	// Points are the conflicting access point descriptions.
+	FirstPoint  string
+	SecondPoint string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf(
+		"atomicity violation: t%d's transaction (%s touching %s) and t%d's transaction (%s touching %s) conflict in both directions",
+		v.FirstThread, v.First, v.FirstPoint, v.SecondThread, v.Second, v.SecondPoint)
+}
+
+// txn is one transaction node.
+type txn struct {
+	id     txnID
+	thread vclock.Tid
+	open   bool
+	// succs are outgoing conflict edges.
+	succs map[txnID]struct{}
+	// repAct is a representative action for reports.
+	repAct trace.Action
+}
+
+// Checker is the commutativity-atomicity analysis. Like core.Detector it is
+// single-threaded and driven by a serialized event stream.
+type Checker struct {
+	reps          map[trace.ObjID]ap.Rep
+	objects       map[trace.ObjID]map[ap.Point][]txnID // touchers per point
+	txns          []*txn
+	current       map[vclock.Tid]txnID // open transaction per thread
+	last          map[vclock.Tid]txnID // most recent transaction per thread
+	violations    []Violation
+	maxViolations int
+	ptBuf         []ap.Point
+	cfBuf         []ap.Point
+}
+
+// New returns an atomicity checker.
+func New() *Checker {
+	return &Checker{
+		reps:          map[trace.ObjID]ap.Rep{},
+		objects:       map[trace.ObjID]map[ap.Point][]txnID{},
+		current:       map[vclock.Tid]txnID{},
+		last:          map[vclock.Tid]txnID{},
+		maxViolations: 1000,
+	}
+}
+
+// Register associates an object with its access point representation.
+func (c *Checker) Register(obj trace.ObjID, rep ap.Rep) {
+	c.reps[obj] = rep
+}
+
+// Process consumes one event. Begin/End delimit transactions; actions feed
+// the conflict graph; other events are ignored (atomicity is about
+// serializability of the spans, not the synchronization order).
+func (c *Checker) Process(e *trace.Event) error {
+	switch e.Kind {
+	case trace.BeginEvent:
+		if _, open := c.current[e.Thread]; open {
+			return fmt.Errorf("atomicity: t%d begins a transaction inside a transaction", e.Thread)
+		}
+		c.current[e.Thread] = c.newTxn(e.Thread, true)
+		return nil
+	case trace.EndEvent:
+		id, open := c.current[e.Thread]
+		if !open {
+			return fmt.Errorf("atomicity: t%d ends a transaction it never began", e.Thread)
+		}
+		c.txns[id].open = false
+		delete(c.current, e.Thread)
+		return nil
+	case trace.ActionEvent:
+		return c.action(e)
+	default:
+		return nil
+	}
+}
+
+// newTxn creates a transaction node, adding the program-order edge from the
+// thread's previous transaction (a thread's own transactions are serial).
+func (c *Checker) newTxn(t vclock.Tid, open bool) txnID {
+	id := txnID(len(c.txns))
+	c.txns = append(c.txns, &txn{id: id, thread: t, open: open, succs: map[txnID]struct{}{}})
+	if prev, ok := c.last[t]; ok {
+		c.txns[prev].succs[id] = struct{}{}
+	}
+	c.last[t] = id
+	return id
+}
+
+// action attributes the event to its transaction and adds conflict edges.
+func (c *Checker) action(e *trace.Event) error {
+	rep, ok := c.reps[e.Act.Obj]
+	if !ok {
+		return fmt.Errorf("atomicity: object o%d has no registered representation", e.Act.Obj)
+	}
+	cur, open := c.current[e.Thread]
+	if !open {
+		cur = c.newTxn(e.Thread, false) // unary transaction
+	}
+	node := c.txns[cur]
+	node.repAct = e.Act
+
+	pts, err := rep.Touch(c.ptBuf[:0], e.Act)
+	if err != nil {
+		return err
+	}
+	c.ptBuf = pts[:0]
+	touched := c.objects[e.Act.Obj]
+	if touched == nil {
+		touched = map[ap.Point][]txnID{}
+		c.objects[e.Act.Obj] = touched
+	}
+
+	if !rep.Bounded() {
+		return fmt.Errorf("atomicity: object o%d needs a bounded representation", e.Act.Obj)
+	}
+	for _, pt := range pts {
+		cands := rep.Conflicts(c.cfBuf[:0], pt)
+		c.cfBuf = cands[:0]
+		for _, cand := range cands {
+			for _, prev := range touched[cand] {
+				if prev == cur {
+					continue
+				}
+				// Edge prev → cur: an earlier op of prev conflicts with
+				// this op of cur.
+				if _, dup := c.txns[prev].succs[cur]; !dup {
+					c.txns[prev].succs[cur] = struct{}{}
+					if c.reaches(cur, prev) {
+						c.report(e, rep, pt, cand, prev)
+					}
+				}
+			}
+		}
+	}
+	for _, pt := range pts {
+		list := touched[pt]
+		if len(list) == 0 || list[len(list)-1] != cur {
+			touched[pt] = append(list, cur)
+		}
+	}
+	return nil
+}
+
+// reaches reports whether from reaches to in the conflict graph (DFS).
+func (c *Checker) reaches(from, to txnID) bool {
+	if from == to {
+		return true
+	}
+	seen := map[txnID]bool{from: true}
+	stack := []txnID{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range c.txns[n].succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func (c *Checker) report(e *trace.Event, rep ap.Rep, pt, cand ap.Point, prev txnID) {
+	if len(c.violations) >= c.maxViolations {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		First:        c.txns[prev].repAct,
+		FirstThread:  c.txns[prev].thread,
+		FirstPoint:   rep.Describe(cand),
+		Second:       e.Act,
+		SecondThread: e.Thread,
+		SecondPoint:  rep.Describe(pt),
+	})
+}
+
+// Violations returns the reported violations.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Transactions returns the number of transaction nodes created.
+func (c *Checker) Transactions() int { return len(c.txns) }
+
+// RunTrace feeds every event of the trace through the checker.
+func (c *Checker) RunTrace(tr *trace.Trace) error {
+	for i := range tr.Events {
+		if err := c.Process(&tr.Events[i]); err != nil {
+			return fmt.Errorf("atomicity: event %d (%s): %w", i, tr.Events[i].String(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package atomicity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+func newDictChecker() *Checker {
+	c := New()
+	c.Register(0, specs.MustRep("dict"))
+	return c
+}
+
+var (
+	kA = trace.StrValue("a")
+	v1 = trace.IntValue(1)
+	v2 = trace.IntValue(2)
+)
+
+func run(t *testing.T, events []trace.Event) *Checker {
+	t.Helper()
+	c := newDictChecker()
+	tr := &trace.Trace{}
+	for _, e := range events {
+		tr.Append(e)
+	}
+	if err := c.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCheckThenActViolation(t *testing.T) {
+	// Thread 1's transaction: get(k)/nil … put(k,1)/nil (check-then-act).
+	// Thread 2's put interleaves between the check and the act: t1's txn
+	// conflicts into and out of t2's put — a cycle, not serializable.
+	tr := trace.NewBuilder().
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{trace.NilValue}).
+		Put(2, 0, kA, v2, trace.NilValue).
+		Put(1, 0, kA, v1, v2).
+		Trace()
+	// Wrap t1's two actions in a transaction.
+	events := []trace.Event{
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr.Events[0],
+		tr.Events[1],
+		tr.Events[2],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c := run(t, events)
+	if len(c.Violations()) == 0 {
+		t.Fatal("check-then-act interleaving must violate atomicity")
+	}
+	v := c.Violations()[0]
+	if !strings.Contains(v.String(), "atomicity violation") {
+		t.Errorf("violation string: %s", v)
+	}
+}
+
+func TestSerialTransactionsClean(t *testing.T) {
+	// The same check-then-act with the interfering put before the
+	// transaction: serializable.
+	tr := trace.NewBuilder().
+		Put(2, 0, kA, v2, trace.NilValue).
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{v2}).
+		Put(1, 0, kA, v1, v2).
+		Trace()
+	events := []trace.Event{
+		tr.Events[0],
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr.Events[1],
+		tr.Events[2],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c := run(t, events)
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("serial interleaving flagged: %v", c.Violations())
+	}
+}
+
+func TestCommutingInterleavingClean(t *testing.T) {
+	// An interleaved operation that COMMUTES with the transaction's
+	// operations is no violation — the commutativity generalization at
+	// work. Thread 2 touches a different key inside t1's transaction.
+	kB := trace.StrValue("b")
+	tr := trace.NewBuilder().
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{trace.NilValue}).
+		Put(2, 0, kB, v2, v1). // different key, non-resizing overwrite
+		Put(1, 0, kA, v1, trace.NilValue).
+		Trace()
+	events := []trace.Event{
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr.Events[0],
+		tr.Events[1],
+		tr.Events[2],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c := run(t, events)
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("commuting interleaving flagged: %v", c.Violations())
+	}
+}
+
+func TestReadOnlyInterleavingClean(t *testing.T) {
+	// A concurrent read of the same key between two reads of a transaction
+	// commutes (reads don't conflict): serializable.
+	tr := trace.NewBuilder().
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{v1}).
+		Act(2, 0, "get", []trace.Value{kA}, []trace.Value{v1}).
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{v1}).
+		Trace()
+	events := []trace.Event{
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr.Events[0],
+		tr.Events[1],
+		tr.Events[2],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c := run(t, events)
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("read-only interleaving flagged: %v", c.Violations())
+	}
+	// With a WRITE interleaved instead, it violates.
+	tr2 := trace.NewBuilder().
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{v1}).
+		Put(2, 0, kA, v2, v1).
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{v2}).
+		Trace()
+	events2 := []trace.Event{
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr2.Events[0],
+		tr2.Events[1],
+		tr2.Events[2],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c2 := run(t, events2)
+	if len(c2.Violations()) == 0 {
+		t.Fatal("non-repeatable read must violate atomicity")
+	}
+}
+
+func TestUnaryTransactionsNeverCycle(t *testing.T) {
+	// Without Begin/End every action is unary; conflicts give one-way
+	// edges only.
+	tr := trace.NewBuilder().
+		Put(1, 0, kA, v1, trace.NilValue).
+		Put(2, 0, kA, v2, v1).
+		Put(1, 0, kA, v1, v2).
+		Trace()
+	c := newDictChecker()
+	if err := c.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("unary actions flagged: %v", c.Violations())
+	}
+	if c.Transactions() != 3 {
+		t.Errorf("transactions = %d", c.Transactions())
+	}
+}
+
+func TestProgramOrderEdgesCatchSplitInterference(t *testing.T) {
+	// t2 performs two separate unary writes bracketing t1's transaction's
+	// two accesses: A(get) … u1(put) … A(put) is covered by the direct
+	// cycle; the subtler case is u1 before A's first op and u2 after it,
+	// where the cycle runs through t2's program order.
+	tr := trace.NewBuilder().
+		Act(1, 0, "get", []trace.Value{kA}, []trace.Value{trace.NilValue}). // A reads
+		Put(2, 0, kA, v2, trace.NilValue).                                  // u1 writes (A → u1? no: u1 after A's read ⇒ A→u1)
+		Put(2, 0, kA, v1, v2).                                              // u2 writes
+		Put(1, 0, kA, v2, v1).                                              // A writes: u2 → A and A → u1 with u1 →po u2 ⇒ cycle
+		Trace()
+	events := []trace.Event{
+		{Kind: trace.BeginEvent, Thread: 1},
+		tr.Events[0],
+		tr.Events[1],
+		tr.Events[2],
+		tr.Events[3],
+		{Kind: trace.EndEvent, Thread: 1},
+	}
+	c := run(t, events)
+	if len(c.Violations()) == 0 {
+		t.Fatal("split interference must violate atomicity via program-order edges")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newDictChecker()
+	e1 := trace.Event{Kind: trace.BeginEvent, Thread: 1}
+	if err := c.Process(&e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := trace.Event{Kind: trace.BeginEvent, Thread: 1}
+	if err := c.Process(&e2); err == nil {
+		t.Error("nested begin must fail")
+	}
+	e3 := trace.Event{Kind: trace.EndEvent, Thread: 2}
+	if err := c.Process(&e3); err == nil {
+		t.Error("end without begin must fail")
+	}
+	e4 := trace.Act(1, trace.Action{Obj: 9, Method: "get"})
+	if err := c.Process(&e4); err == nil {
+		t.Error("unregistered object must fail")
+	}
+	// Sync events are ignored.
+	e5 := trace.Fork(0, 3)
+	if err := c.Process(&e5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	c := newDictChecker()
+	c.maxViolations = 1
+	var events []trace.Event
+	events = append(events, trace.Event{Kind: trace.BeginEvent, Thread: 1})
+	events = append(events, trace.Act(1, trace.Action{Obj: 0, Method: "get",
+		Args: []trace.Value{kA}, Rets: []trace.Value{trace.NilValue}}))
+	for i := 0; i < 5; i++ {
+		events = append(events, trace.Act(2, trace.Action{Obj: 0, Method: "put",
+			Args: []trace.Value{kA, v2}, Rets: []trace.Value{v1}}))
+		events = append(events, trace.Act(1, trace.Action{Obj: 0, Method: "put",
+			Args: []trace.Value{kA, v1}, Rets: []trace.Value{v2}}))
+	}
+	events = append(events, trace.Event{Kind: trace.EndEvent, Thread: 1})
+	tr := &trace.Trace{}
+	for _, e := range events {
+		tr.Append(e)
+	}
+	if err := c.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %d, want capped 1", len(c.Violations()))
+	}
+}

@@ -1,0 +1,345 @@
+// Package core implements the paper's commutativity race detector
+// (Algorithm 1, Section 5). The detector consumes an event stream whose
+// events carry vector clocks (stamped by internal/hb or by the monitored
+// runtime) and maintains, per shared object:
+//
+//	active(o)  — the set of access points touched so far
+//	pt.vc      — for each active point, the join of the clocks of all
+//	             events that touched it
+//
+// For an action event e with points η(a), phase 1 looks for an active
+// conflicting point whose accumulated clock is not ⊑ vc(e) — exactly when
+// some earlier event that touched the point may happen in parallel with e
+// (Theorem 5.1) — and reports a commutativity race. Phase 2 folds vc(e)
+// into the touched points' clocks.
+//
+// Two engines are provided, matching Section 5.4:
+//
+//	EngineBounded     — iterate Conflicts(pt) and look each candidate up in
+//	                    active(o): Θ(1) work per action for representations
+//	                    translated from ECL (Theorem 6.6).
+//	EngineEnumerating — iterate active(o) and test ConflictsWith: Θ(|A|)
+//	                    work per action; the paper's "direct approach".
+//
+// EngineAuto picks Bounded when the object's representation supports it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ap"
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Engine selects the conflict-lookup strategy.
+type Engine int
+
+// The engines of Section 5.4.
+const (
+	EngineAuto Engine = iota
+	EngineBounded
+	EngineEnumerating
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineBounded:
+		return "bounded"
+	case EngineEnumerating:
+		return "enumerating"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Race is one reported commutativity race: the current event races with an
+// earlier event that touched a conflicting access point.
+type Race struct {
+	Obj trace.ObjID
+
+	// The current (second) event.
+	Second       trace.Action
+	SecondThread vclock.Tid
+	SecondSeq    int
+	SecondClock  vclock.VC
+	SecondPoint  string
+
+	// The conflicting active point and the last event that touched it.
+	// FirstClock is the point's accumulated clock (the join over all
+	// touching events), so the event actually concurrent with Second may
+	// be an earlier toucher of the same point than First — the algorithm
+	// retains only the join (see the proof of Theorem 5.1).
+	First       trace.Action
+	FirstThread vclock.Tid
+	FirstSeq    int
+	FirstClock  vclock.VC
+	FirstPoint  string
+}
+
+// String renders the race report.
+func (r Race) String() string {
+	return fmt.Sprintf(
+		"commutativity race on o%d: t%d %s (event %d, %s, point %s) conflicts with t%d %s (event %d, clock %s, point %s)",
+		int(r.Obj),
+		r.SecondThread, r.Second, r.SecondSeq, r.SecondClock, r.SecondPoint,
+		r.FirstThread, r.First, r.FirstSeq, r.FirstClock, r.FirstPoint)
+}
+
+// Stats aggregates detector counters. Checks is the number of conflict
+// lookups in phase 1 — the quantity Section 5.4 and Fig 4 reason about.
+type Stats struct {
+	Actions      int // action events processed
+	Checks       int // phase-1 conflict checks (candidate lookups or active scans)
+	Races        int // race reports (point pairs)
+	RacyEvents   int // events that participated in at least one race
+	ActivePoints int // currently active points across live objects
+	PeakActive   int // maximum of ActivePoints over time
+	Reclaimed    int // points reclaimed by object death
+}
+
+// Config configures a Detector.
+type Config struct {
+	Engine Engine
+	// OnRace, when set, is invoked for every race found.
+	OnRace func(Race)
+	// MaxRaces caps the retained Races slice (counters keep counting).
+	// Zero means DefaultMaxRaces.
+	MaxRaces int
+}
+
+// DefaultMaxRaces is the default cap on retained race reports.
+const DefaultMaxRaces = 10000
+
+// Detector is the commutativity race detector. It is not safe for
+// concurrent use; the monitored runtime serializes events into it.
+type Detector struct {
+	cfg      Config
+	reps     map[trace.ObjID]ap.Rep
+	objects  map[trace.ObjID]*objState
+	races    []Race
+	racyObjs map[trace.ObjID]struct{}
+	stats    Stats
+	ptBuf    []ap.Point
+	cfBuf    []ap.Point
+}
+
+type objState struct {
+	rep    ap.Rep
+	active map[ap.Point]*ptState
+}
+
+type ptState struct {
+	vc         vclock.VC
+	lastAct    trace.Action
+	lastThread vclock.Tid
+	lastSeq    int
+}
+
+// New returns a detector with the given configuration.
+func New(cfg Config) *Detector {
+	if cfg.MaxRaces == 0 {
+		cfg.MaxRaces = DefaultMaxRaces
+	}
+	return &Detector{
+		cfg:      cfg,
+		reps:     map[trace.ObjID]ap.Rep{},
+		objects:  map[trace.ObjID]*objState{},
+		racyObjs: map[trace.ObjID]struct{}{},
+	}
+}
+
+// Register associates an object with its access point representation.
+// Objects must be registered before their first action.
+func (d *Detector) Register(obj trace.ObjID, rep ap.Rep) {
+	d.reps[obj] = rep
+}
+
+// Process consumes one stamped event. Only action and die events are
+// examined; synchronization events are handled upstream by the
+// happens-before engine.
+func (d *Detector) Process(e *trace.Event) error {
+	switch e.Kind {
+	case trace.ActionEvent:
+		return d.action(e)
+	case trace.DieEvent:
+		d.reclaim(e.Act.Obj)
+		return nil
+	default:
+		return nil
+	}
+}
+
+// action runs Algorithm 1 on one action event.
+func (d *Detector) action(e *trace.Event) error {
+	if e.Clock == nil {
+		return fmt.Errorf("core: event %d (%s) has no vector clock; stamp events before detection", e.Seq, e)
+	}
+	obj := e.Act.Obj
+	st := d.objects[obj]
+	if st == nil {
+		rep, ok := d.reps[obj]
+		if !ok {
+			return fmt.Errorf("core: object o%d has no registered representation", obj)
+		}
+		st = &objState{rep: rep, active: map[ap.Point]*ptState{}}
+		d.objects[obj] = st
+	}
+	d.stats.Actions++
+
+	pts, err := st.rep.Touch(d.ptBuf[:0], e.Act)
+	if err != nil {
+		return err
+	}
+	d.ptBuf = pts[:0]
+
+	// Phase 1: check for commutativity races.
+	raced := false
+	useBounded := st.rep.Bounded() && d.cfg.Engine != EngineEnumerating
+	for _, pt := range pts {
+		if useBounded {
+			cands := st.rep.Conflicts(d.cfBuf[:0], pt)
+			d.cfBuf = cands[:0]
+			for _, cand := range cands {
+				d.stats.Checks++
+				if ps, ok := st.active[cand]; ok && !ps.vc.LEQ(e.Clock) {
+					d.report(e, st, pt, cand, ps)
+					raced = true
+				}
+			}
+		} else {
+			for cand, ps := range st.active {
+				d.stats.Checks++
+				if st.rep.ConflictsWith(pt, cand) && !ps.vc.LEQ(e.Clock) {
+					d.report(e, st, pt, cand, ps)
+					raced = true
+				}
+			}
+		}
+	}
+	if raced {
+		d.stats.RacyEvents++
+	}
+
+	// Phase 2: fold the event's clock into the touched points.
+	for _, pt := range pts {
+		if ps, ok := st.active[pt]; ok {
+			ps.vc = ps.vc.Join(e.Clock)
+			ps.lastAct = e.Act
+			ps.lastThread = e.Thread
+			ps.lastSeq = e.Seq
+		} else {
+			st.active[pt] = &ptState{
+				vc:         e.Clock.Clone(),
+				lastAct:    e.Act,
+				lastThread: e.Thread,
+				lastSeq:    e.Seq,
+			}
+			d.stats.ActivePoints++
+			if d.stats.ActivePoints > d.stats.PeakActive {
+				d.stats.PeakActive = d.stats.ActivePoints
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Detector) report(e *trace.Event, st *objState, pt, cand ap.Point, ps *ptState) {
+	d.stats.Races++
+	d.racyObjs[e.Act.Obj] = struct{}{}
+	if len(d.races) >= d.cfg.MaxRaces && d.cfg.OnRace == nil {
+		// Beyond the retention cap with nobody listening: count only and
+		// skip the (comparatively expensive) report construction.
+		return
+	}
+	r := Race{
+		Obj:          e.Act.Obj,
+		Second:       e.Act,
+		SecondThread: e.Thread,
+		SecondSeq:    e.Seq,
+		SecondClock:  e.Clock.Clone(),
+		SecondPoint:  st.rep.Describe(pt),
+		First:        ps.lastAct,
+		FirstThread:  ps.lastThread,
+		FirstSeq:     ps.lastSeq,
+		FirstClock:   ps.vc.Clone(),
+		FirstPoint:   st.rep.Describe(cand),
+	}
+	if len(d.races) < d.cfg.MaxRaces {
+		d.races = append(d.races, r)
+	}
+	if d.cfg.OnRace != nil {
+		d.cfg.OnRace(r)
+	}
+}
+
+// Compact removes every active point whose accumulated clock is ⊑
+// threshold — the Section 5.3 "remove unnecessary active access points"
+// optimization the paper leaves as future work. Pass the meet of all live
+// threads' clocks (hb.Engine.MeetLive): a point dominated by that meet is
+// ordered before every possible future event, so it can never participate
+// in a race again and dropping it cannot change any verdict. Soundness
+// assumes future threads are forked by currently live threads (true for
+// fork–join programs; a root thread appearing from nowhere would not
+// dominate the threshold).
+func (d *Detector) Compact(threshold vclock.VC) int {
+	if threshold.Bottom() {
+		return 0
+	}
+	removed := 0
+	for _, st := range d.objects {
+		for pt, ps := range st.active {
+			if ps.vc.LEQ(threshold) {
+				delete(st.active, pt)
+				removed++
+			}
+		}
+	}
+	d.stats.ActivePoints -= removed
+	d.stats.Reclaimed += removed
+	return removed
+}
+
+// reclaim implements the Section 5.3 optimization: when an object dies, all
+// of its access points and clocks are released.
+func (d *Detector) reclaim(obj trace.ObjID) {
+	st := d.objects[obj]
+	if st == nil {
+		return
+	}
+	d.stats.Reclaimed += len(st.active)
+	d.stats.ActivePoints -= len(st.active)
+	delete(d.objects, obj)
+}
+
+// Races returns the retained race reports (capped at Config.MaxRaces).
+func (d *Detector) Races() []Race { return d.races }
+
+// Stats returns a snapshot of the counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// DistinctObjects returns the number of distinct objects with at least one
+// race — the "(distinct)" column of Table 2 for RD2. Unlike Races, this
+// count is exact even when the retained reports are capped.
+func (d *Detector) DistinctObjects() int {
+	return len(d.racyObjs)
+}
+
+// RunTrace stamps the trace with a fresh happens-before engine and runs the
+// detector over every event. Objects must already be registered.
+func (d *Detector) RunTrace(tr *trace.Trace) error {
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			return fmt.Errorf("core: event %d (%s): %w", i, e, err)
+		}
+		if err := d.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

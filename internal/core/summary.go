@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// The paper observes that "most races are highly redundant (meaning that
+// they occur on the same memory locations or on the same concurrent hash
+// map objects)". Summarize groups raw race reports into equivalence groups
+// so tools can present the distinct phenomena instead of thousands of
+// repeats — the "(distinct)" numbers of Table 2 are per-object; the groups
+// here are finer: per object and conflicting method pair.
+
+// Group is one equivalence class of races: same object, same unordered
+// method pair.
+type Group struct {
+	Obj     trace.ObjID
+	MethodA string // lexicographically ≤ MethodB
+	MethodB string
+	Count   int
+	Example Race
+}
+
+// String renders the group headline.
+func (g Group) String() string {
+	return fmt.Sprintf("o%d: %s vs %s — %d race(s), e.g. %s",
+		int(g.Obj), g.MethodA, g.MethodB, g.Count, g.Example)
+}
+
+// Summarize groups races by (object, method pair), most frequent first.
+func Summarize(races []Race) []Group {
+	type key struct {
+		obj  trace.ObjID
+		a, b string
+	}
+	groups := map[key]*Group{}
+	for _, r := range races {
+		a, b := r.First.Method, r.Second.Method
+		if a > b {
+			a, b = b, a
+		}
+		k := key{r.Obj, a, b}
+		g, ok := groups[k]
+		if !ok {
+			g = &Group{Obj: r.Obj, MethodA: a, MethodB: b, Example: r}
+			groups[k] = g
+		}
+		g.Count++
+	}
+	out := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		if out[i].MethodA != out[j].MethodA {
+			return out[i].MethodA < out[j].MethodA
+		}
+		return out[i].MethodB < out[j].MethodB
+	})
+	return out
+}
+
+// RenderSummary formats groups one per line.
+func RenderSummary(groups []Group) string {
+	var b strings.Builder
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g)
+	}
+	return b.String()
+}

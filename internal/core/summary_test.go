@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func TestSummarizeGroupsAndOrders(t *testing.T) {
+	mk := func(obj trace.ObjID, m1, m2 string) Race {
+		return Race{Obj: obj,
+			First:  trace.Action{Obj: obj, Method: m1},
+			Second: trace.Action{Obj: obj, Method: m2}}
+	}
+	races := []Race{
+		mk(0, "put", "put"),
+		mk(0, "put", "put"),
+		mk(0, "put", "put"),
+		mk(0, "size", "put"), // same group as put/size
+		mk(0, "put", "size"),
+		mk(1, "get", "put"),
+	}
+	groups := Summarize(races)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d: %v", len(groups), groups)
+	}
+	if groups[0].Count != 3 || groups[0].MethodA != "put" || groups[0].MethodB != "put" {
+		t.Errorf("top group = %+v", groups[0])
+	}
+	if groups[1].Count != 2 || groups[1].MethodA != "put" || groups[1].MethodB != "size" {
+		t.Errorf("second group = %+v (method pair must be order-normalized)", groups[1])
+	}
+	if groups[2].Obj != 1 {
+		t.Errorf("third group = %+v", groups[2])
+	}
+	out := RenderSummary(groups)
+	if !strings.Contains(out, "3 race(s)") || !strings.Contains(out, "put vs size") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Fatalf("Summarize(nil) = %v", got)
+	}
+	if RenderSummary(nil) != "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSummarizeEndToEnd(t *testing.T) {
+	// Many redundant same-key put races collapse into one group.
+	b := trace.NewBuilder()
+	for i := 1; i <= 6; i++ {
+		b.Fork(0, vclock.Tid(i))
+	}
+	for i := 1; i <= 6; i++ {
+		b.Put(vclock.Tid(i), 0, aCom, trace.IntValue(int64(i)), trace.NilValue)
+	}
+	d := newDictDetector(Config{})
+	if err := d.RunTrace(b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	groups := Summarize(d.Races())
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0].Count != d.Stats().Races {
+		t.Errorf("group count %d != races %d", groups[0].Count, d.Stats().Races)
+	}
+}

@@ -1,0 +1,412 @@
+package ecl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// AtomKey is a normalized single-invocation atom: the side distinction is
+// dropped (Section 6.2, "let each formula in B(Φ) be normalized by dropping
+// the distinction between the two types of variables") and the comparison is
+// put in a canonical orientation so syntactically different but identical
+// atoms (e.g. v1 = p1 in one clause and p2 = v2 in another) coincide.
+// AtomKey is comparable and belongs to a specific method's operand space.
+type AtomKey struct {
+	Method string
+	Op     CmpOp
+	LVar   bool
+	LIdx   int
+	LVal   trace.Value
+	RVar   bool
+	RIdx   int
+	RVal   trace.Value
+}
+
+// NormalizeAtom converts a single-side atom of the given method into its
+// canonical AtomKey plus a negation flag: the original atom holds iff the
+// key's base comparison XOR negated. Negative and inverted comparisons
+// reduce to a base form (== and < / <=) so that, as in the paper, v ≠ nil
+// and v = nil share the single normalized atom v = nil.
+func NormalizeAtom(a Atom, method string) (AtomKey, bool) {
+	l := normTerm(a.L)
+	r := normTerm(a.R)
+	op := a.Op
+	negated := false
+	// Reduce != to negated ==.
+	if op == OpNe {
+		op, negated = OpEq, true
+	}
+	// Put ordered comparisons into < / <= orientation.
+	switch op {
+	case OpGt:
+		op, l, r = OpLt, r, l
+	case OpGe:
+		op, l, r = OpLe, r, l
+	}
+	// x <= y ≡ ¬(y < x): reduce to a single ordered base op.
+	if op == OpLe {
+		op, l, r = OpLt, r, l
+		negated = !negated
+	}
+	// Order the operands of the symmetric ==.
+	if op == OpEq && termLess(r, l) {
+		l, r = r, l
+	}
+	return AtomKey{
+		Method: method,
+		Op:     op,
+		LVar:   l.IsVar, LIdx: l.Index, LVal: l.Val,
+		RVar: r.IsVar, RIdx: r.Index, RVal: r.Val,
+	}, negated
+}
+
+func normTerm(t Term) Term {
+	t.Side = 0
+	return t
+}
+
+// termLess orders terms: variables before constants, variables by index,
+// constants by the Value total order.
+func termLess(a, b Term) bool {
+	if a.IsVar != b.IsVar {
+		return a.IsVar
+	}
+	if a.IsVar {
+		return a.Index < b.Index
+	}
+	return a.Val.Less(b.Val)
+}
+
+// Eval evaluates the atom on an invocation's operand tuple.
+func (k AtomKey) Eval(ops []trace.Value) (bool, error) {
+	l, err := k.side(k.LVar, k.LIdx, k.LVal, ops)
+	if err != nil {
+		return false, err
+	}
+	r, err := k.side(k.RVar, k.RIdx, k.RVal, ops)
+	if err != nil {
+		return false, err
+	}
+	return k.Op.apply(l, r), nil
+}
+
+func (k AtomKey) side(isVar bool, idx int, val trace.Value, ops []trace.Value) (trace.Value, error) {
+	if !isVar {
+		return val, nil
+	}
+	if idx < 0 || idx >= len(ops) {
+		return trace.Value{}, fmt.Errorf("ecl: atom %s: operand %d out of range (%d operands)", k, idx, len(ops))
+	}
+	return ops[idx], nil
+}
+
+// String renders the atom with positional operand names.
+func (k AtomKey) String() string {
+	return k.Describe(nil)
+}
+
+// Describe renders the atom using the method's operand names when given.
+func (k AtomKey) Describe(m *Method) string {
+	name := func(isVar bool, idx int, val trace.Value) string {
+		if !isVar {
+			return val.String()
+		}
+		if m != nil {
+			if names := m.OpNames(); idx < len(names) {
+				return names[idx]
+			}
+		}
+		return fmt.Sprintf("w%d", idx+1)
+	}
+	return name(k.LVar, k.LIdx, k.LVal) + " " + k.Op.String() + " " + name(k.RVar, k.RIdx, k.RVal)
+}
+
+// AtomsFor computes B(Φ, m): the normalized LB atoms relevant to method m —
+// the atoms over m's operands occurring in any pair formula involving m
+// (Section 6.2). The result is deterministically ordered.
+func (s *Spec) AtomsFor(method string) []AtomKey {
+	seen := map[AtomKey]bool{}
+	var collect func(f Formula, m1, m2 string)
+	collect = func(f Formula, m1, m2 string) {
+		switch f := f.(type) {
+		case Atom:
+			m := m1
+			if f.Side == 2 {
+				m = m2
+			}
+			if m == method {
+				key, _ := NormalizeAtom(f, m)
+				seen[key] = true
+			}
+		case Not:
+			collect(f.F, m1, m2)
+		case And:
+			collect(f.L, m1, m2)
+			collect(f.R, m1, m2)
+		case Or:
+			collect(f.L, m1, m2)
+			collect(f.R, m1, m2)
+		}
+	}
+	for _, key := range s.pairKeys() {
+		if key.A != method && key.B != method {
+			continue
+		}
+		collect(s.Pairs[key].Formula, key.A, key.B)
+	}
+	out := make([]AtomKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return atomKeyLess(out[i], out[j]) })
+	return out
+}
+
+func atomKeyLess(a, b AtomKey) bool {
+	// Any deterministic order will do; compare the rendered form first and
+	// break ties on the raw fields.
+	sa, sb := a.String(), b.String()
+	if sa != sb {
+		return sa < sb
+	}
+	return fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
+}
+
+// Beta is the β vector of one action: the truth values of the method's
+// B(Φ, m) atoms, packed as a bitmask aligned with the AtomsFor order
+// (bit i set ⇔ atom i true).
+type Beta uint64
+
+// MaxAtoms bounds the number of LB atoms per method (the β vector is packed
+// in a uint64).
+const MaxAtoms = 64
+
+// BetaOf evaluates the atoms on the action's operands.
+func BetaOf(atoms []AtomKey, a trace.Action) (Beta, error) {
+	if len(atoms) > MaxAtoms {
+		return 0, fmt.Errorf("ecl: method %q has %d LB atoms; max %d", a.Method, len(atoms), MaxAtoms)
+	}
+	var beta Beta
+	for i, at := range atoms {
+		v, err := at.EvalAction(a)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			beta |= 1 << uint(i)
+		}
+	}
+	return beta, nil
+}
+
+// EvalAction evaluates the atom directly on an action's operands without
+// materializing the operand slice.
+func (k AtomKey) EvalAction(a trace.Action) (bool, error) {
+	l := k.LVal
+	if k.LVar {
+		var ok bool
+		if l, ok = a.Operand(k.LIdx); !ok {
+			return false, fmt.Errorf("ecl: atom %s: operand %d out of range for %s", k, k.LIdx, a)
+		}
+	}
+	r := k.RVal
+	if k.RVar {
+		var ok bool
+		if r, ok = a.Operand(k.RIdx); !ok {
+			return false, fmt.Errorf("ecl: atom %s: operand %d out of range for %s", k, k.RIdx, a)
+		}
+	}
+	return k.Op.apply(l, r), nil
+}
+
+// DescribeBeta renders a β vector against its atom list, e.g.
+// "{v == p ↦ false, p == nil ↦ true}".
+func DescribeBeta(atoms []AtomKey, m *Method, beta Beta) string {
+	if len(atoms) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(atoms))
+	for i, at := range atoms {
+		v := "false"
+		if beta&(1<<uint(i)) != 0 {
+			v = "true"
+		}
+		parts[i] = at.Describe(m) + " ↦ " + v
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Residual is a formula of the SIMPLE fragment LS in canonical form: either
+// false, or a (possibly empty, meaning true) conjunction of cross-side
+// inequalities x1.I ≠ x2.J. By Lemma 6.4, fixing the truth values of all LB
+// atoms reduces any ECL formula to such a residual.
+type Residual struct {
+	False bool
+	Neqs  [][2]int
+}
+
+// True reports whether the residual is the constant true.
+func (r Residual) True() bool { return !r.False && len(r.Neqs) == 0 }
+
+// String renders the residual.
+func (r Residual) String() string {
+	if r.False {
+		return "false"
+	}
+	if len(r.Neqs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(r.Neqs))
+	for i, nq := range r.Neqs {
+		parts[i] = fmt.Sprintf("x1.%d != x2.%d", nq[0], nq[1])
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Eval evaluates the residual on concrete operand tuples.
+func (r Residual) Eval(ops1, ops2 []trace.Value) (bool, error) {
+	if r.False {
+		return false, nil
+	}
+	for _, nq := range r.Neqs {
+		l, err := operand(ops1, nq[0], 1)
+		if err != nil {
+			return false, err
+		}
+		rv, err := operand(ops2, nq[1], 2)
+		if err != nil {
+			return false, err
+		}
+		if l == rv {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ResidualOf computes ϕ[β1; β2] (Section 6.2): it substitutes the LB atoms
+// of the ECL formula by their truth values under the per-side environments
+// and simplifies the result to canonical LS form. m1 and m2 name the
+// methods of the two sides (needed to normalize atoms into their method's
+// atom space).
+func ResidualOf(f Formula, m1, m2 string, env1, env2 func(AtomKey) bool) (Residual, error) {
+	if Classify(f).LB {
+		v, err := evalLB(f, m1, m2, env1, env2)
+		if err != nil {
+			return Residual{}, err
+		}
+		return Residual{False: !v}, nil
+	}
+	switch f := f.(type) {
+	case Neq:
+		return Residual{Neqs: [][2]int{{f.I, f.J}}}, nil
+	case And:
+		l, err := ResidualOf(f.L, m1, m2, env1, env2)
+		if err != nil {
+			return Residual{}, err
+		}
+		r, err := ResidualOf(f.R, m1, m2, env1, env2)
+		if err != nil {
+			return Residual{}, err
+		}
+		return conjoin(l, r), nil
+	case Or:
+		// ECL guarantees at least one disjunct is LB; substitute it.
+		if Classify(f.R).LB {
+			v, err := evalLB(f.R, m1, m2, env1, env2)
+			if err != nil {
+				return Residual{}, err
+			}
+			if v {
+				return Residual{}, nil
+			}
+			return ResidualOf(f.L, m1, m2, env1, env2)
+		}
+		if Classify(f.L).LB {
+			v, err := evalLB(f.L, m1, m2, env1, env2)
+			if err != nil {
+				return Residual{}, err
+			}
+			if v {
+				return Residual{}, nil
+			}
+			return ResidualOf(f.R, m1, m2, env1, env2)
+		}
+		return Residual{}, fmt.Errorf("ecl: disjunction %q is outside ECL", f)
+	default:
+		return Residual{}, fmt.Errorf("ecl: formula %q is outside ECL", f)
+	}
+}
+
+func conjoin(l, r Residual) Residual {
+	if l.False || r.False {
+		return Residual{False: true}
+	}
+	out := Residual{Neqs: append([][2]int{}, l.Neqs...)}
+	for _, nq := range r.Neqs {
+		dup := false
+		for _, have := range out.Neqs {
+			if have == nq {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Neqs = append(out.Neqs, nq)
+		}
+	}
+	return out
+}
+
+// evalLB evaluates a pure-LB formula under the atom environments.
+func evalLB(f Formula, m1, m2 string, env1, env2 func(AtomKey) bool) (bool, error) {
+	switch f := f.(type) {
+	case Bool:
+		return bool(f), nil
+	case Atom:
+		m, env := m1, env1
+		if f.Side == 2 {
+			m, env = m2, env2
+		}
+		key, negated := NormalizeAtom(f, m)
+		return env(key) != negated, nil
+	case Not:
+		v, err := evalLB(f.F, m1, m2, env1, env2)
+		return !v, err
+	case And:
+		l, err := evalLB(f.L, m1, m2, env1, env2)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalLB(f.R, m1, m2, env1, env2)
+	case Or:
+		l, err := evalLB(f.L, m1, m2, env1, env2)
+		if err != nil || l {
+			return l, err
+		}
+		return evalLB(f.R, m1, m2, env1, env2)
+	default:
+		return false, fmt.Errorf("ecl: %q is not an LB formula", f)
+	}
+}
+
+// EnvFromBeta builds an atom environment from a packed β vector and its atom
+// ordering.
+func EnvFromBeta(atoms []AtomKey, beta Beta) func(AtomKey) bool {
+	idx := make(map[AtomKey]int, len(atoms))
+	for i, a := range atoms {
+		idx[a] = i
+	}
+	return func(k AtomKey) bool {
+		i, ok := idx[k]
+		if !ok {
+			// Unknown atoms cannot arise for environments built from
+			// AtomsFor of the same spec; fail closed.
+			return false
+		}
+		return beta&(1<<uint(i)) != 0
+	}
+}

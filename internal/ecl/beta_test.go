@@ -1,0 +1,358 @@
+package ecl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func norm(t *testing.T, a Atom, m string) AtomKey {
+	t.Helper()
+	k, _ := NormalizeAtom(a, m)
+	return k
+}
+
+func TestNormalizeAtomCanonicalizes(t *testing.T) {
+	// v == p and p == v normalize identically.
+	a := Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}
+	b := Atom{Side: 2, Op: OpEq, L: Var(2, 2), R: Var(2, 1)}
+	if norm(t, a, "put") != norm(t, b, "put") {
+		t.Error("symmetric == operands must normalize identically")
+	}
+	// x != y reduces to negated x == y.
+	ne := Atom{Side: 1, Op: OpNe, L: Var(1, 1), R: Var(1, 2)}
+	kNe, negNe := NormalizeAtom(ne, "put")
+	kEq, negEq := NormalizeAtom(a, "put")
+	if kNe != kEq || !negNe || negEq {
+		t.Error("!= must normalize to negated ==")
+	}
+	// x > 5 normalizes to 5 < x.
+	g := Atom{Side: 1, Op: OpGt, L: Var(1, 0), R: Const(trace.IntValue(5))}
+	l := Atom{Side: 1, Op: OpLt, L: Const(trace.IntValue(5)), R: Var(1, 0)}
+	if norm(t, g, "m") != norm(t, l, "m") {
+		t.Error("> must normalize to flipped <")
+	}
+	// x >= y and y <= x both reduce to ¬(x < y).
+	ge := Atom{Side: 1, Op: OpGe, L: Var(1, 0), R: Var(1, 1)}
+	le := Atom{Side: 1, Op: OpLe, L: Var(1, 1), R: Var(1, 0)}
+	lt := Atom{Side: 1, Op: OpLt, L: Var(1, 0), R: Var(1, 1)}
+	kGe, negGe := NormalizeAtom(ge, "m")
+	kLe, negLe := NormalizeAtom(le, "m")
+	kLt, negLt := NormalizeAtom(lt, "m")
+	if kGe != kLe || negGe != negLe {
+		t.Error(">= and flipped <= must coincide")
+	}
+	if kGe != kLt || !negGe || negLt {
+		t.Error("x >= y must be the negation of the x < y atom")
+	}
+	// Ordered comparisons are not symmetric: x < y stays distinct from y < x.
+	lt2 := Atom{Side: 1, Op: OpLt, L: Var(1, 1), R: Var(1, 0)}
+	if norm(t, lt, "m") == norm(t, lt2, "m") {
+		t.Error("x < y must differ from y < x")
+	}
+	// Sides are dropped: the same atom from side 1 or side 2 coincides.
+	s1 := Atom{Side: 1, Op: OpEq, L: Var(1, 0), R: Const(trace.NilValue)}
+	s2 := Atom{Side: 2, Op: OpEq, L: Var(2, 0), R: Const(trace.NilValue)}
+	if norm(t, s1, "put") != norm(t, s2, "put") {
+		t.Error("normalization must drop the side distinction")
+	}
+	// Different methods never collide.
+	if norm(t, s1, "put") == norm(t, s1, "get") {
+		t.Error("atoms of different methods must differ")
+	}
+}
+
+func TestAtomKeyEvalAndDescribe(t *testing.T) {
+	k := norm(t, Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}, "put")
+	got, err := k.Eval([]trace.Value{trace.StrValue("a"), v1, v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("v == p should hold")
+	}
+	got, err = k.Eval([]trace.Value{trace.StrValue("a"), v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("v == p should fail")
+	}
+	if _, err := k.Eval([]trace.Value{v1}); err == nil {
+		t.Error("short operand tuple must error")
+	}
+	m := &Method{Name: "put", Args: []string{"k", "v"}, Rets: []string{"p"}}
+	if d := k.Describe(m); d != "v == p" {
+		t.Errorf("Describe = %q", d)
+	}
+	if d := k.String(); d != "w2 == w3" {
+		t.Errorf("String = %q", d)
+	}
+}
+
+func TestAtomsForDictionary(t *testing.T) {
+	s := parseDict(t)
+	// B(Φ, put) = {v = p, v = nil, p = nil} (the paper's example in §6.2).
+	atoms := s.AtomsFor("put")
+	if len(atoms) != 3 {
+		t.Fatalf("B(Φ, put) has %d atoms: %v", len(atoms), atoms)
+	}
+	putM, _ := s.Method("put")
+	rendered := make([]string, len(atoms))
+	for i, a := range atoms {
+		rendered[i] = a.Describe(putM)
+	}
+	joined := strings.Join(rendered, "; ")
+	for _, want := range []string{"v == p", "v == nil", "p == nil"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("B(Φ, put) = %q missing %q", joined, want)
+		}
+	}
+	// get and size have no LB atoms.
+	if got := s.AtomsFor("get"); len(got) != 0 {
+		t.Errorf("B(Φ, get) = %v, want empty", got)
+	}
+	if got := s.AtomsFor("size"); len(got) != 0 {
+		t.Errorf("B(Φ, size) = %v, want empty", got)
+	}
+}
+
+func TestBetaOfPaperExample(t *testing.T) {
+	// §6.2 example: a = o.put(5, 6)/nil gives
+	// β = {v = p ↦ false, v = nil ↦ false, p = nil ↦ true}.
+	s := parseDict(t)
+	atoms := s.AtomsFor("put")
+	a := put(trace.IntValue(5), trace.IntValue(6), trace.NilValue)
+	beta, err := BetaOf(atoms, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := EnvFromBeta(atoms, beta)
+	vEqP := norm(t, Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}, "put")
+	vNilA := norm(t, Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Const(trace.NilValue)}, "put")
+	pNilA := norm(t, Atom{Side: 1, Op: OpEq, L: Var(1, 2), R: Const(trace.NilValue)}, "put")
+	if env(vEqP) {
+		t.Error("v = p must be false")
+	}
+	if env(vNilA) {
+		t.Error("v = nil must be false")
+	}
+	if !env(pNilA) {
+		t.Error("p = nil must be true")
+	}
+	putM, _ := s.Method("put")
+	desc := DescribeBeta(atoms, putM, beta)
+	if !strings.Contains(desc, "↦") {
+		t.Errorf("DescribeBeta = %q", desc)
+	}
+}
+
+func TestDescribeBetaEmpty(t *testing.T) {
+	if got := DescribeBeta(nil, nil, 0); got != "∅" {
+		t.Errorf("empty β = %q", got)
+	}
+}
+
+func TestBetaOfErrors(t *testing.T) {
+	s := parseDict(t)
+	atoms := s.AtomsFor("put")
+	short := trace.Action{Method: "put", Args: []trace.Value{v1}}
+	if _, err := BetaOf(atoms, short); err == nil {
+		t.Error("short action must error")
+	}
+	many := make([]AtomKey, MaxAtoms+1)
+	if _, err := BetaOf(many, put(v1, v1, v1)); err == nil {
+		t.Error("too many atoms must error")
+	}
+}
+
+func TestResidualOfFig6PutPut(t *testing.T) {
+	// ϕ_put_put[β1; β2] = k1 ≠ k2 ∨ (β1(v=p) ∧ β2(v=p)).
+	s := parseDict(t)
+	f, _ := s.FormulaFor("put", "put")
+	atoms := s.AtomsFor("put")
+	noop := put(trace.StrValue("a"), v1, v1)    // v = p true
+	write := put(trace.StrValue("a"), v1, vNil) // v = p false
+	betaOf := func(a trace.Action) func(AtomKey) bool {
+		b, err := BetaOf(atoms, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EnvFromBeta(atoms, b)
+	}
+	// Both no-ops: residual ≡ true.
+	r, err := ResidualOf(f, "put", "put", betaOf(noop), betaOf(noop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.True() {
+		t.Errorf("noop/noop residual = %v, want true", r)
+	}
+	// One write: residual = k1 ≠ k2.
+	r, err = ResidualOf(f, "put", "put", betaOf(write), betaOf(noop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.False || len(r.Neqs) != 1 || r.Neqs[0] != [2]int{0, 0} {
+		t.Errorf("write/noop residual = %v, want k1 != k2", r)
+	}
+}
+
+func TestResidualOfFig6PutSize(t *testing.T) {
+	s := parseDict(t)
+	f, _ := s.FormulaFor("put", "size")
+	atoms := s.AtomsFor("put")
+	noEnv := func(AtomKey) bool { return false }
+	resize := put(trace.StrValue("a"), v1, vNil) // v ≠ nil, p = nil: resizes
+	same := put(trace.StrValue("a"), v2, v1)     // both non-nil: size unchanged
+	betaOf := func(a trace.Action) func(AtomKey) bool {
+		b, err := BetaOf(atoms, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EnvFromBeta(atoms, b)
+	}
+	r, err := ResidualOf(f, "put", "size", betaOf(resize), noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.False {
+		t.Errorf("resizing put vs size residual = %v, want false", r)
+	}
+	r, err = ResidualOf(f, "put", "size", betaOf(same), noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.True() {
+		t.Errorf("non-resizing put vs size residual = %v, want true", r)
+	}
+}
+
+func TestResidualStringAndEval(t *testing.T) {
+	r := Residual{Neqs: [][2]int{{0, 0}, {1, 2}}}
+	if s := r.String(); !strings.Contains(s, "x1.0 != x2.0") || !strings.Contains(s, "&&") {
+		t.Errorf("String = %q", s)
+	}
+	if (Residual{False: true}).String() != "false" {
+		t.Error("false residual string")
+	}
+	if (Residual{}).String() != "true" {
+		t.Error("true residual string")
+	}
+	ok, err := r.Eval([]trace.Value{v1, v2, v1}, []trace.Value{v2, v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("second conjunct 2 != 2 fails: want false")
+	}
+	ok, err = r.Eval([]trace.Value{v1, v2, v1}, []trace.Value{v2, v1, trace.IntValue(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("all conjuncts hold: want true")
+	}
+	if ok, _ := (Residual{False: true}).Eval(nil, nil); ok {
+		t.Error("false residual must evaluate false")
+	}
+	if _, err := r.Eval([]trace.Value{v2}, []trace.Value{v1, v1, v1}); err == nil {
+		t.Error("short tuple must error")
+	}
+}
+
+func TestConjoinDedupes(t *testing.T) {
+	l := Residual{Neqs: [][2]int{{0, 0}}}
+	r := Residual{Neqs: [][2]int{{0, 0}, {1, 1}}}
+	got := conjoin(l, r)
+	if len(got.Neqs) != 2 {
+		t.Errorf("conjoin = %v", got)
+	}
+	if got = conjoin(l, Residual{False: true}); !got.False {
+		t.Error("conjoin with false must be false")
+	}
+}
+
+func TestPropLemma64ResidualAgreesWithEval(t *testing.T) {
+	// Lemma 6.4: fixing the LB atom values reduces an ECL formula to LS.
+	// Concretely: for any pair of dictionary actions, evaluating the full
+	// formula must equal evaluating the residual computed from the two β
+	// vectors.
+	s := parseDict(t)
+	methods := []string{"put", "get", "size"}
+	atomsOf := map[string][]AtomKey{}
+	for _, m := range methods {
+		atomsOf[m] = s.AtomsFor(m)
+	}
+	keys := []trace.Value{trace.StrValue("a"), trace.StrValue("b"), trace.StrValue("c")}
+	vals := []trace.Value{vNil, v1, v2}
+	randAct := func(r *rand.Rand) trace.Action {
+		switch r.Intn(3) {
+		case 0:
+			return put(keys[r.Intn(3)], vals[r.Intn(3)], vals[r.Intn(3)])
+		case 1:
+			return get(keys[r.Intn(3)], vals[r.Intn(3)])
+		default:
+			return sizeAct(int64(r.Intn(3)))
+		}
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randAct(r), randAct(r)
+		f, _ := s.FormulaFor(a.Method, b.Method)
+		want, err := Eval(f, a.Operands(), b.Operands())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ba, err := BetaOf(atomsOf[a.Method], a)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		bb, err := BetaOf(atomsOf[b.Method], b)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		res, err := ResidualOf(f, a.Method, b.Method,
+			EnvFromBeta(atomsOf[a.Method], ba), EnvFromBeta(atomsOf[b.Method], bb))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		got, err := res.Eval(a.Operands(), b.Operands())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if got != want {
+			t.Logf("a=%s b=%s full=%v residual(%s)=%v", a, b, want, res, got)
+		}
+		return got == want
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualOfRejectsNonECL(t *testing.T) {
+	bad := Or{Neq{0, 0}, Neq{1, 1}}
+	env := func(AtomKey) bool { return false }
+	if _, err := ResidualOf(bad, "m", "m", env, env); err == nil {
+		t.Error("X ∨ X must be rejected")
+	}
+	if _, err := ResidualOf(Not{Neq{0, 0}}, "m", "m", env, env); err == nil {
+		t.Error("¬S must be rejected")
+	}
+}
+
+func TestEnvFromBetaUnknownAtomFailsClosed(t *testing.T) {
+	env := EnvFromBeta(nil, 0)
+	if env(AtomKey{Method: "x"}) {
+		t.Error("unknown atom must read false")
+	}
+}

@@ -1,0 +1,49 @@
+package ecl_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecl"
+	"repro/internal/trace"
+)
+
+// Example_parseAndEvaluate parses a small specification and evaluates a
+// commutativity condition on two concrete actions.
+func Example_parseAndEvaluate() {
+	spec, err := ecl.ParseSpec(`
+object set
+method add(x) / (ok)
+commute add(x1)/(k1), add(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	success := trace.Action{Method: "add",
+		Args: []trace.Value{trace.IntValue(7)},
+		Rets: []trace.Value{trace.BoolValue(true)}}
+	failed := trace.Action{Method: "add",
+		Args: []trace.Value{trace.IntValue(7)},
+		Rets: []trace.Value{trace.BoolValue(false)}}
+	c1, _ := spec.Commutes(success, failed)
+	c2, _ := spec.Commutes(failed, failed)
+	fmt.Println(c1, c2)
+	// Output: false true
+}
+
+// ExampleCheckECL shows the fragment boundary: disjunctions of
+// cross-invocation inequalities are outside ECL.
+func ExampleCheckECL() {
+	inside := ecl.Or{L: ecl.Neq{I: 0, J: 0},
+		R: ecl.Atom{Side: 1, Op: ecl.OpEq, L: ecl.Var(1, 1), R: ecl.Var(1, 2)}}
+	outside := ecl.Or{L: ecl.Neq{I: 0, J: 0}, R: ecl.Neq{I: 1, J: 1}}
+	fmt.Println(ecl.CheckECL(inside) == nil, ecl.CheckECL(outside) == nil)
+	// Output: true false
+}
+
+// ExampleSimplify folds constants out of a formula.
+func ExampleSimplify() {
+	f := ecl.And{L: ecl.Bool(true), R: ecl.Or{L: ecl.Neq{I: 0, J: 0}, R: ecl.Bool(false)}}
+	fmt.Println(ecl.Simplify(f))
+	// Output: x1.0 != x2.0
+}

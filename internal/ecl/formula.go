@@ -1,0 +1,416 @@
+// Package ecl implements the paper's commutativity specification logic
+// (Section 4.1) and the ECL fragment (Section 6.1).
+//
+// A commutativity specification Φ gives, for every pair of methods m1, m2 of
+// an object, a formula ϕ_m1_m2(x̄1; x̄2) over the arguments and returns of
+// the two invocations; ϕ(a, b) true means a and b commute. ECL restricts
+// formulas to
+//
+//	S ::= V1 ≠ V2 | S ∧ S | true | false          (the SIMPLE fragment LS)
+//	B ::= P_V1 | P_V2 | ¬B | B ∧ B | B ∨ B | true | false   (LB)
+//	X ::= S | B | X ∧ X | X ∨ B                   (ECL)
+//
+// where every LB atom constrains the operands of one invocation only. The
+// payoff (Theorem 6.6) is that translated representations have bounded
+// conflict sets, so the detector does a constant number of checks per
+// action.
+//
+// The package provides the formula AST, a textual specification language
+// with lexer and parser, ECL classification with precise diagnostics,
+// direct evaluation ϕ(a, b), β-vector machinery (the truth values of the
+// LB atoms on one action), and residual simplification to LS (Lemma 6.4).
+package ecl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// CmpOp is a comparison operator usable in atoms.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// apply evaluates the operator on two runtime values using the total order
+// trace.Value.Less for the ordered comparisons.
+func (op CmpOp) apply(l, r trace.Value) bool {
+	switch op {
+	case OpEq:
+		return l == r
+	case OpNe:
+		return l != r
+	case OpLt:
+		return l.Less(r)
+	case OpLe:
+		return l.Less(r) || l == r
+	case OpGt:
+		return r.Less(l)
+	case OpGe:
+		return r.Less(l) || l == r
+	default:
+		return false
+	}
+}
+
+// Term is an operand of an atom: either a variable, identified by the side
+// (1 or 2) of the invocation it comes from and a 0-based index into that
+// invocation's operand tuple (arguments followed by returns), or a constant.
+type Term struct {
+	IsVar bool
+	Side  int
+	Index int
+	Val   trace.Value
+}
+
+// Var returns a variable term.
+func Var(side, index int) Term { return Term{IsVar: true, Side: side, Index: index} }
+
+// Const returns a constant term.
+func Const(v trace.Value) Term { return Term{Val: v} }
+
+func (t Term) String() string {
+	if t.IsVar {
+		return fmt.Sprintf("x%d.%d", t.Side, t.Index)
+	}
+	return t.Val.String()
+}
+
+// Formula is a node of the specification logic AST.
+type Formula interface {
+	formula()
+	String() string
+}
+
+// Bool is the constant true or false.
+type Bool bool
+
+// Neq is the cross-side LS atom x1.I ≠ x2.J.
+type Neq struct{ I, J int }
+
+// Atom is a single-side LB atom: a comparison whose variables all belong to
+// the invocation on Side.
+type Atom struct {
+	Side int
+	Op   CmpOp
+	L, R Term
+}
+
+// Not is logical negation (LB only).
+type Not struct{ F Formula }
+
+// And is conjunction.
+type And struct{ L, R Formula }
+
+// Or is disjunction.
+type Or struct{ L, R Formula }
+
+func (Bool) formula() {}
+func (Neq) formula()  {}
+func (Atom) formula() {}
+func (Not) formula()  {}
+func (And) formula()  {}
+func (Or) formula()   {}
+
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+func (n Neq) String() string  { return fmt.Sprintf("x1.%d != x2.%d", n.I, n.J) }
+func (a Atom) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+func (n Not) String() string  { return "!(" + n.F.String() + ")" }
+func (a And) String() string  { return "(" + a.L.String() + " && " + a.R.String() + ")" }
+func (o Or) String() string   { return "(" + o.L.String() + " || " + o.R.String() + ")" }
+
+// Conj folds a conjunction over fs (true for the empty list).
+func Conj(fs ...Formula) Formula {
+	var out Formula = Bool(true)
+	for i, f := range fs {
+		if i == 0 {
+			out = f
+		} else {
+			out = And{out, f}
+		}
+	}
+	return out
+}
+
+// Disj folds a disjunction over fs (false for the empty list).
+func Disj(fs ...Formula) Formula {
+	var out Formula = Bool(false)
+	for i, f := range fs {
+		if i == 0 {
+			out = f
+		} else {
+			out = Or{out, f}
+		}
+	}
+	return out
+}
+
+// Class is the fragment classification of a formula.
+type Class struct {
+	LS  bool // in the SIMPLE fragment
+	LB  bool // in the LB fragment
+	ECL bool // in ECL
+}
+
+// Classify determines which fragments the formula belongs to, per the
+// grammars above.
+func Classify(f Formula) Class {
+	switch f := f.(type) {
+	case Bool:
+		return Class{LS: true, LB: true, ECL: true}
+	case Neq:
+		return Class{LS: true, ECL: true}
+	case Atom:
+		return Class{LB: true, ECL: true}
+	case Not:
+		c := Classify(f.F)
+		return Class{LB: c.LB, ECL: c.LB}
+	case And:
+		l, r := Classify(f.L), Classify(f.R)
+		return Class{LS: l.LS && r.LS, LB: l.LB && r.LB, ECL: l.ECL && r.ECL}
+	case Or:
+		l, r := Classify(f.L), Classify(f.R)
+		lb := l.LB && r.LB
+		return Class{LB: lb, ECL: lb || (l.ECL && r.LB) || (l.LB && r.ECL)}
+	default:
+		return Class{}
+	}
+}
+
+// CheckECL returns a descriptive error when f is outside ECL, naming the
+// offending subformula.
+func CheckECL(f Formula) error {
+	if Classify(f).ECL {
+		return nil
+	}
+	// Locate a minimal offending node for the diagnostic.
+	switch f := f.(type) {
+	case Not:
+		if !Classify(f.F).LB {
+			if err := CheckECL(f.F); err != nil {
+				return err
+			}
+			return fmt.Errorf("ecl: negation may only wrap single-invocation (LB) subformulas, but %q mixes invocations", f.F)
+		}
+	case And:
+		if err := CheckECL(f.L); err != nil {
+			return err
+		}
+		if err := CheckECL(f.R); err != nil {
+			return err
+		}
+	case Or:
+		if err := CheckECL(f.L); err != nil {
+			return err
+		}
+		if err := CheckECL(f.R); err != nil {
+			return err
+		}
+		return fmt.Errorf("ecl: disjunction %q needs at least one side fully over a single invocation (LB); X ∨ X is outside ECL", f)
+	}
+	return fmt.Errorf("ecl: formula %q is outside ECL", f)
+}
+
+// Eval evaluates the formula on concrete operand tuples for the two
+// invocations (arguments followed by returns). It works for arbitrary
+// formulas, not only ECL.
+func Eval(f Formula, ops1, ops2 []trace.Value) (bool, error) {
+	switch f := f.(type) {
+	case Bool:
+		return bool(f), nil
+	case Neq:
+		l, err := operand(ops1, f.I, 1)
+		if err != nil {
+			return false, err
+		}
+		r, err := operand(ops2, f.J, 2)
+		if err != nil {
+			return false, err
+		}
+		return l != r, nil
+	case Atom:
+		l, err := termValue(f.L, ops1, ops2)
+		if err != nil {
+			return false, err
+		}
+		r, err := termValue(f.R, ops1, ops2)
+		if err != nil {
+			return false, err
+		}
+		return f.Op.apply(l, r), nil
+	case Not:
+		v, err := Eval(f.F, ops1, ops2)
+		return !v, err
+	case And:
+		l, err := Eval(f.L, ops1, ops2)
+		if err != nil || !l {
+			return false, err
+		}
+		return Eval(f.R, ops1, ops2)
+	case Or:
+		l, err := Eval(f.L, ops1, ops2)
+		if err != nil || l {
+			return l, err
+		}
+		return Eval(f.R, ops1, ops2)
+	default:
+		return false, fmt.Errorf("ecl: unknown formula node %T", f)
+	}
+}
+
+func termValue(t Term, ops1, ops2 []trace.Value) (trace.Value, error) {
+	if !t.IsVar {
+		return t.Val, nil
+	}
+	if t.Side == 1 {
+		return operand(ops1, t.Index, 1)
+	}
+	return operand(ops2, t.Index, 2)
+}
+
+func operand(ops []trace.Value, i, side int) (trace.Value, error) {
+	if i < 0 || i >= len(ops) {
+		return trace.Value{}, fmt.Errorf("ecl: operand index %d out of range for invocation %d (have %d operands)", i, side, len(ops))
+	}
+	return ops[i], nil
+}
+
+// Vars returns the set of (side, index) variables occurring in f, sorted.
+func Vars(f Formula) [][2]int {
+	seen := map[[2]int]bool{}
+	var walk func(Formula)
+	addTerm := func(t Term) {
+		if t.IsVar {
+			seen[[2]int{t.Side, t.Index}] = true
+		}
+	}
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case Neq:
+			seen[[2]int{1, f.I}] = true
+			seen[[2]int{2, f.J}] = true
+		case Atom:
+			addTerm(f.L)
+			addTerm(f.R)
+		case Not:
+			walk(f.F)
+		case And:
+			walk(f.L)
+			walk(f.R)
+		case Or:
+			walk(f.L)
+			walk(f.R)
+		}
+	}
+	walk(f)
+	out := make([][2]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Swap exchanges the two invocation sides of the formula: variables flip
+// side, and Neq(i, j) becomes Neq(j, i). Swap(Swap(f)) == f structurally.
+func Swap(f Formula) Formula {
+	swapTerm := func(t Term) Term {
+		if t.IsVar {
+			t.Side = 3 - t.Side
+		}
+		return t
+	}
+	switch f := f.(type) {
+	case Bool:
+		return f
+	case Neq:
+		return Neq{I: f.J, J: f.I}
+	case Atom:
+		return Atom{Side: 3 - f.Side, Op: f.Op, L: swapTerm(f.L), R: swapTerm(f.R)}
+	case Not:
+		return Not{Swap(f.F)}
+	case And:
+		return And{Swap(f.L), Swap(f.R)}
+	case Or:
+		return Or{Swap(f.L), Swap(f.R)}
+	default:
+		return f
+	}
+}
+
+// Format renders a formula with method variable names when available.
+func Format(f Formula, names1, names2 []string) string {
+	name := func(t Term) string {
+		if !t.IsVar {
+			return t.Val.String()
+		}
+		names := names1
+		suffix := "₁"
+		if t.Side == 2 {
+			names = names2
+			suffix = "₂"
+		}
+		if t.Index < len(names) {
+			return names[t.Index] + suffix
+		}
+		return t.String()
+	}
+	var render func(Formula) string
+	render = func(f Formula) string {
+		switch f := f.(type) {
+		case Bool:
+			return f.String()
+		case Neq:
+			return name(Term{IsVar: true, Side: 1, Index: f.I}) + " != " + name(Term{IsVar: true, Side: 2, Index: f.J})
+		case Atom:
+			return name(f.L) + " " + f.Op.String() + " " + name(f.R)
+		case Not:
+			return "!(" + render(f.F) + ")"
+		case And:
+			return "(" + render(f.L) + " && " + render(f.R) + ")"
+		case Or:
+			return "(" + render(f.L) + " || " + render(f.R) + ")"
+		default:
+			return "?"
+		}
+	}
+	return render(f)
+}

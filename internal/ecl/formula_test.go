@@ -1,0 +1,260 @@
+package ecl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var (
+	vNil = trace.NilValue
+	v1   = trace.IntValue(1)
+	v2   = trace.IntValue(2)
+)
+
+func TestCmpOpApply(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r trace.Value
+		want bool
+	}{
+		{OpEq, v1, v1, true},
+		{OpEq, v1, v2, false},
+		{OpNe, v1, v2, true},
+		{OpNe, vNil, vNil, false},
+		{OpLt, v1, v2, true},
+		{OpLt, v2, v1, false},
+		{OpLe, v1, v1, true},
+		{OpGt, v2, v1, true},
+		{OpGe, v1, v1, true},
+		{OpGe, v1, v2, false},
+		{OpLt, vNil, v1, true}, // nil sorts first in the total order
+	}
+	for _, c := range cases {
+		if got := c.op.apply(c.l, c.r); got != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", CmpOp(9): "CmpOp(9)"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("CmpOp(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	// Atoms for building cases: a1 side-1 LB atom, a2 side-2 LB atom.
+	a1 := Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}
+	a2 := Atom{Side: 2, Op: OpEq, L: Var(2, 0), R: Const(vNil)}
+	nq := Neq{I: 0, J: 0}
+	cases := []struct {
+		name string
+		f    Formula
+		want Class
+	}{
+		{"true", Bool(true), Class{LS: true, LB: true, ECL: true}},
+		{"false", Bool(false), Class{LS: true, LB: true, ECL: true}},
+		{"neq", nq, Class{LS: true, ECL: true}},
+		{"atom1", a1, Class{LB: true, ECL: true}},
+		{"atom2", a2, Class{LB: true, ECL: true}},
+		{"neq-and-neq", And{nq, nq}, Class{LS: true, ECL: true}},
+		{"not-atom", Not{a1}, Class{LB: true, ECL: true}},
+		{"not-neq", Not{nq}, Class{}},
+		{"atom-or-atom", Or{a1, a2}, Class{LB: true, ECL: true}},
+		{"neq-or-atom", Or{nq, a1}, Class{ECL: true}},
+		{"atom-or-neq", Or{a1, nq}, Class{ECL: true}},
+		{"neq-or-neq", Or{nq, nq}, Class{}},
+		{"and-mixed", And{nq, a1}, Class{ECL: true}},
+		{"fig6-putput", Or{nq, And{a1, a2}}, Class{ECL: true}},
+		{"nested-bad-or", And{Or{nq, Or{nq, nq}}, a1}, Class{}},
+		{"not-around-mixed", Not{And{nq, a1}}, Class{}},
+	}
+	for _, c := range cases {
+		if got := Classify(c.f); got != c.want {
+			t.Errorf("%s: Classify(%s) = %+v, want %+v", c.name, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCheckECLDiagnostics(t *testing.T) {
+	nq := Neq{I: 0, J: 0}
+	a1 := Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}
+	if err := CheckECL(Or{nq, And{a1, a1}}); err != nil {
+		t.Errorf("ECL formula rejected: %v", err)
+	}
+	err := CheckECL(Or{nq, nq})
+	if err == nil || !strings.Contains(err.Error(), "disjunction") {
+		t.Errorf("want disjunction diagnostic, got %v", err)
+	}
+	err = CheckECL(Not{nq})
+	if err == nil || !strings.Contains(err.Error(), "negation") {
+		t.Errorf("want negation diagnostic, got %v", err)
+	}
+	// The error should name the innermost offending node.
+	err = CheckECL(And{a1, Or{nq, nq}})
+	if err == nil || !strings.Contains(err.Error(), "disjunction") {
+		t.Errorf("nested diagnostic: %v", err)
+	}
+}
+
+func TestEval(t *testing.T) {
+	// ϕ_put_put of Fig 6: k1 != k2 || (v1 == p1 && v2 == p2) with operand
+	// layout put(k, v)/p → indices 0, 1, 2.
+	f := Or{
+		Neq{I: 0, J: 0},
+		And{
+			Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)},
+			Atom{Side: 2, Op: OpEq, L: Var(2, 1), R: Var(2, 2)},
+		},
+	}
+	kA, kB := trace.StrValue("a"), trace.StrValue("b")
+	cases := []struct {
+		ops1, ops2 []trace.Value
+		want       bool
+	}{
+		{[]trace.Value{kA, v1, vNil}, []trace.Value{kB, v2, vNil}, true},  // different keys
+		{[]trace.Value{kA, v1, vNil}, []trace.Value{kA, v2, vNil}, false}, // same key, both writes
+		{[]trace.Value{kA, v1, v1}, []trace.Value{kA, v2, v2}, true},      // both no-ops
+		{[]trace.Value{kA, v1, v1}, []trace.Value{kA, v2, vNil}, false},   // one real write
+	}
+	for _, c := range cases {
+		got, err := Eval(f, c.ops1, c.ops2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%v; %v) = %v, want %v", c.ops1, c.ops2, got, c.want)
+		}
+	}
+}
+
+func TestEvalOperandRangeError(t *testing.T) {
+	if _, err := Eval(Neq{I: 5, J: 0}, []trace.Value{v1}, []trace.Value{v1}); err == nil {
+		t.Error("out-of-range operand must error")
+	}
+	bad := Atom{Side: 1, Op: OpEq, L: Var(1, 9), R: Const(v1)}
+	if _, err := Eval(bad, []trace.Value{v1}, nil); err == nil {
+		t.Error("out-of-range atom var must error")
+	}
+}
+
+func TestEvalNotAndShortCircuit(t *testing.T) {
+	tt := Bool(true)
+	ff := Bool(false)
+	got, err := Eval(Not{ff}, nil, nil)
+	if err != nil || !got {
+		t.Errorf("!false = %v, %v", got, err)
+	}
+	got, err = Eval(And{ff, Neq{I: 9, J: 9}}, nil, nil)
+	if err != nil || got {
+		t.Errorf("false && <bad> should short-circuit: %v, %v", got, err)
+	}
+	got, err = Eval(Or{tt, Neq{I: 9, J: 9}}, nil, nil)
+	if err != nil || !got {
+		t.Errorf("true || <bad> should short-circuit: %v, %v", got, err)
+	}
+}
+
+func TestSwap(t *testing.T) {
+	f := Or{
+		Neq{I: 0, J: 1},
+		And{
+			Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)},
+			Not{Atom{Side: 2, Op: OpLt, L: Var(2, 0), R: Const(v1)}},
+		},
+	}
+	sw := Swap(f)
+	or, ok := sw.(Or)
+	if !ok {
+		t.Fatalf("Swap changed shape: %T", sw)
+	}
+	if nq := or.L.(Neq); nq.I != 1 || nq.J != 0 {
+		t.Errorf("swapped Neq = %v", nq)
+	}
+	and := or.R.(And)
+	if a := and.L.(Atom); a.Side != 2 || a.L.Side != 2 {
+		t.Errorf("swapped atom side = %v", a)
+	}
+	// Involution.
+	back := Swap(sw)
+	if back.String() != f.String() {
+		t.Errorf("Swap not involutive: %s vs %s", back, f)
+	}
+	// Eval symmetry: Eval(f, a, b) == Eval(Swap(f), b, a).
+	ops1 := []trace.Value{v1, v2, v2}
+	ops2 := []trace.Value{v2, v1, vNil}
+	x, err := Eval(f, ops1, ops2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Eval(sw, ops2, ops1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != y {
+		t.Errorf("Eval(f,a,b)=%v but Eval(Swap(f),b,a)=%v", x, y)
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := Or{
+		Neq{I: 0, J: 1},
+		And{
+			Atom{Side: 1, Op: OpEq, L: Var(1, 2), R: Const(v1)},
+			Atom{Side: 2, Op: OpEq, L: Var(2, 0), R: Var(2, 1)},
+		},
+	}
+	got := Vars(f)
+	want := [][2]int{{1, 0}, {1, 2}, {2, 0}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConjDisj(t *testing.T) {
+	if got, _ := Eval(Conj(), nil, nil); !got {
+		t.Error("empty Conj must be true")
+	}
+	if got, _ := Eval(Disj(), nil, nil); got {
+		t.Error("empty Disj must be false")
+	}
+	f := Conj(Bool(true), Bool(true), Bool(false))
+	if got, _ := Eval(f, nil, nil); got {
+		t.Error("Conj with a false must be false")
+	}
+	g := Disj(Bool(false), Bool(true))
+	if got, _ := Eval(g, nil, nil); !got {
+		t.Error("Disj with a true must be true")
+	}
+	if Conj(Neq{0, 0}).String() != (Neq{0, 0}).String() {
+		t.Error("singleton Conj should be the formula itself")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Or{Neq{I: 0, J: 0}, Not{And{Bool(true), Atom{Side: 1, Op: OpLe, L: Var(1, 0), R: Const(v1)}}}}
+	s := f.String()
+	for _, frag := range []string{"x1.0 != x2.0", "!(", "&&", "||", "<="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	f := Or{Neq{I: 0, J: 0}, Atom{Side: 1, Op: OpEq, L: Var(1, 1), R: Var(1, 2)}}
+	got := Format(f, []string{"k", "v", "p"}, []string{"k", "v", "p"})
+	if !strings.Contains(got, "k₁ != k₂") || !strings.Contains(got, "v₁ == p₁") {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package ecl
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// RandECL draws a random formula from the ECL grammar X ::= S | B | X∧X |
+// X∨B over two invocations with ops1 and ops2 operands. It is used by the
+// property tests of this package and of the translator to validate the
+// theorems on arbitrary specifications, not just the built-in ones.
+func RandECL(r *rand.Rand, depth, ops1, ops2 int) Formula {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Neq{I: r.Intn(ops1), J: r.Intn(ops2)}
+		case 1:
+			return randLB(r, 0, ops1, ops2)
+		case 2:
+			return Bool(true)
+		default:
+			return Bool(false)
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return randS(r, depth-1, ops1, ops2)
+	case 1:
+		return randLB(r, depth-1, ops1, ops2)
+	case 2:
+		return And{RandECL(r, depth-1, ops1, ops2), RandECL(r, depth-1, ops1, ops2)}
+	default:
+		return Or{RandECL(r, depth-1, ops1, ops2), randLB(r, depth-1, ops1, ops2)}
+	}
+}
+
+// randS draws from S ::= V1 ≠ V2 | S ∧ S | true | false.
+func randS(r *rand.Rand, depth, ops1, ops2 int) Formula {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Bool(true)
+		case 1:
+			return Bool(false)
+		default:
+			return Neq{I: r.Intn(ops1), J: r.Intn(ops2)}
+		}
+	}
+	return And{randS(r, depth-1, ops1, ops2), randS(r, depth-1, ops1, ops2)}
+}
+
+// randLB draws from B ::= P_V1 | P_V2 | ¬B | B∧B | B∨B | true | false.
+func randLB(r *rand.Rand, depth, ops1, ops2 int) Formula {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(5) == 0 {
+			return Bool(r.Intn(2) == 0)
+		}
+		side := 1 + r.Intn(2)
+		n := ops1
+		if side == 2 {
+			n = ops2
+		}
+		ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		l := Var(side, r.Intn(n))
+		var rt Term
+		if r.Intn(2) == 0 {
+			rt = Var(side, r.Intn(n))
+		} else {
+			rt = Const(trace.IntValue(int64(r.Intn(3))))
+		}
+		return Atom{Side: side, Op: ops[r.Intn(len(ops))], L: l, R: rt}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not{randLB(r, depth-1, ops1, ops2)}
+	case 1:
+		return And{randLB(r, depth-1, ops1, ops2), randLB(r, depth-1, ops1, ops2)}
+	default:
+		return Or{randLB(r, depth-1, ops1, ops2), randLB(r, depth-1, ops1, ops2)}
+	}
+}

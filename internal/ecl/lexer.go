@@ -1,0 +1,154 @@
+package ecl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The specification language is line-oriented only in its comments; tokens
+// otherwise flow freely:
+//
+//	# Dictionary commutativity (Fig 6 of the paper).
+//	object dict
+//
+//	method put(k, v) / (p)
+//	method get(k) / (v)
+//	method size() / (r)
+//
+//	commute put(k1, v1)/(p1), put(k2, v2)/(p2)
+//	    when k1 != k2 || (v1 == p1 && v2 == p2)
+//	commute put(k, v)/(p), get(k2)/(v2)   when k != k2 || v == p
+//	commute put(k, v)/(p), size()/(r)
+//	    when (v == nil && p == nil) || (v != nil && p != nil)
+//	commute get(k1)/(v1), get(k2)/(v2)    when true
+//	commute get(k)/(v), size()/(r)        when true
+//	commute size()/(r1), size()/(r2)      when true
+//
+// Keywords: object, method, commute, when, true, false, nil, and, or, not.
+// Operators: == != < <= > >= && || ! and the punctuation ( ) , /.
+// Comments run from '#' or '//' to end of line.
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokStr
+	tokPunct // ( ) , /
+	tokOp    // == != < <= > >= && || !
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return strconv.Quote(t.text)
+}
+
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("spec:%d:%d: %s", e.line, e.col, e.msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '(' || c == ')' || c == ',' || c == '/':
+			toks = append(toks, token{tokPunct, string(c), line, col})
+			advance(1)
+		case c == '"':
+			start, sl, sc := i, line, col
+			advance(1)
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' && i+1 < len(src) {
+					advance(1)
+				}
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, &lexError{sl, sc, "unterminated string literal"}
+			}
+			advance(1)
+			text := src[start:i]
+			if _, err := strconv.Unquote(text); err != nil {
+				return nil, &lexError{sl, sc, "bad string literal " + text}
+			}
+			toks = append(toks, token{tokStr, text, sl, sc})
+		case strings.IndexByte("=!<>&|", c) >= 0:
+			sl, sc := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{tokOp, two, sl, sc})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '<', '>', '!':
+				toks = append(toks, token{tokOp, string(c), sl, sc})
+				advance(1)
+			default:
+				return nil, &lexError{sl, sc, fmt.Sprintf("unexpected character %q", c)}
+			}
+		case c == '-' || unicode.IsDigit(rune(c)):
+			start, sl, sc := i, line, col
+			advance(1)
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			text := src[start:i]
+			if text == "-" {
+				return nil, &lexError{sl, sc, "expected digits after '-'"}
+			}
+			toks = append(toks, token{tokInt, text, sl, sc})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, sl, sc := i, line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], sl, sc})
+		default:
+			return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

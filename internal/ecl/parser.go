@@ -1,0 +1,429 @@
+package ecl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// ParseSpec parses a specification source file into a Spec and verifies
+// that every commute formula lies in the ECL fragment and that same-method
+// formulas are symmetric (probabilistically; Definition 4.1). Use
+// ParseSpecAny to accept arbitrary (non-ECL) specifications for the direct
+// detector.
+func ParseSpec(src string) (*Spec, error) {
+	s, err := ParseSpecAny(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.CheckECL(); err != nil {
+		return nil, err
+	}
+	if err := s.CheckSymmetry(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSpecAny parses a specification without requiring ECL membership.
+func ParseSpecAny(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.spec()
+}
+
+// MustParseSpec is ParseSpec, panicking on error; intended for compiled-in
+// specifications.
+func MustParseSpec(src string) *Spec {
+	s, err := ParseSpec(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("spec:%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+// spec := { "object" IDENT | "method" sig | "commute" clause }
+func (p *parser) spec() (*Spec, error) {
+	spec := NewSpec("")
+	sawObject := false
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected declaration keyword, got %s", t)
+		}
+		switch t.text {
+		case "object":
+			p.next()
+			name := p.next()
+			if name.kind != tokIdent {
+				return nil, p.errf(name, "expected object name, got %s", name)
+			}
+			if sawObject {
+				return nil, p.errf(t, "duplicate object declaration")
+			}
+			sawObject = true
+			spec.Object = name.text
+		case "method":
+			p.next()
+			if err := p.methodDecl(spec); err != nil {
+				return nil, err
+			}
+		case "commute":
+			p.next()
+			if err := p.commuteClause(spec); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t, "expected 'object', 'method' or 'commute', got %s", t)
+		}
+	}
+	if !sawObject {
+		return nil, fmt.Errorf("spec: missing 'object' declaration")
+	}
+	if len(spec.Methods) == 0 {
+		return nil, fmt.Errorf("spec: object %q declares no methods", spec.Object)
+	}
+	return spec, nil
+}
+
+// methodDecl := IDENT "(" [names] ")" [ "/" retNames ]
+func (p *parser) methodDecl(spec *Spec) error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return p.errf(name, "expected method name, got %s", name)
+	}
+	args, err := p.nameTuple()
+	if err != nil {
+		return err
+	}
+	var rets []string
+	if p.atPunct("/") {
+		p.next()
+		rets, err = p.retNames()
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := spec.AddMethod(name.text, args, rets); err != nil {
+		return p.errf(name, "%v", err)
+	}
+	return nil
+}
+
+// nameTuple := "(" [ IDENT { "," IDENT } ] ")"
+func (p *parser) nameTuple() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var names []string
+	if p.atPunct(")") {
+		p.next()
+		return nil, nil
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected name, got %s", t)
+		}
+		names = append(names, t.text)
+		t = p.next()
+		if t.kind == tokPunct && t.text == ")" {
+			return names, nil
+		}
+		if t.kind != tokPunct || t.text != "," {
+			return nil, p.errf(t, "expected ',' or ')', got %s", t)
+		}
+	}
+}
+
+// retNames := IDENT | nameTuple
+func (p *parser) retNames() ([]string, error) {
+	if p.atPunct("(") {
+		return p.nameTuple()
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected return name or '(', got %s", t)
+	}
+	return []string{t.text}, nil
+}
+
+// binding maps a variable name to its invocation side and operand index.
+type binding struct {
+	side  int
+	index int
+}
+
+// commuteClause := inv "," inv "when" formula
+func (p *parser) commuteClause(spec *Spec) error {
+	bindings := map[string]binding{}
+	m1, err := p.invocation(spec, 1, bindings)
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	m2, err := p.invocation(spec, 2, bindings)
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind != tokIdent || t.text != "when" {
+		return p.errf(t, "expected 'when', got %s", t)
+	}
+	f, err := p.formula(bindings)
+	if err != nil {
+		return err
+	}
+	if err := spec.SetPair(m1, m2, f); err != nil {
+		return p.errf(t, "%v", err)
+	}
+	return nil
+}
+
+// invocation := IDENT "(" [names] ")" [ "/" retNames ] with arity checked
+// against the declared method; binds each name to (side, operand index).
+func (p *parser) invocation(spec *Spec, side int, bindings map[string]binding) (string, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return "", p.errf(name, "expected method name, got %s", name)
+	}
+	m, ok := spec.Method(name.text)
+	if !ok {
+		return "", p.errf(name, "method %q not declared", name.text)
+	}
+	args, err := p.nameTuple()
+	if err != nil {
+		return "", err
+	}
+	var rets []string
+	if p.atPunct("/") {
+		p.next()
+		rets, err = p.retNames()
+		if err != nil {
+			return "", err
+		}
+	}
+	if len(args) != len(m.Args) || len(rets) != len(m.Rets) {
+		return "", p.errf(name, "invocation of %s has arity (%d)/(%d); declared %s", m.Name, len(args), len(rets), m)
+	}
+	all := append(append([]string{}, args...), rets...)
+	for i, n := range all {
+		if _, dup := bindings[n]; dup {
+			return "", p.errf(name, "variable %q bound twice in commute clause", n)
+		}
+		bindings[n] = binding{side: side, index: i}
+	}
+	return m.Name, nil
+}
+
+// formula  := disj
+// disj     := conj { ("||" | "or") conj }
+// conj     := unary { ("&&" | "and") unary }
+// unary    := ("!" | "not") unary | "(" formula ")" | "true" | "false" | atom
+// atom     := term cmp term
+// term     := IDENT | literal
+func (p *parser) formula(b map[string]binding) (Formula, error) {
+	return p.disj(b)
+}
+
+func (p *parser) disj(b map[string]binding) (Formula, error) {
+	l, err := p.conj(b)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if (t.kind == tokOp && t.text == "||") || (t.kind == tokIdent && t.text == "or") {
+			p.next()
+			r, err := p.conj(b)
+			if err != nil {
+				return nil, err
+			}
+			l = Or{l, r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) conj(b map[string]binding) (Formula, error) {
+	l, err := p.unary(b)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if (t.kind == tokOp && t.text == "&&") || (t.kind == tokIdent && t.text == "and") {
+			p.next()
+			r, err := p.unary(b)
+			if err != nil {
+				return nil, err
+			}
+			l = And{l, r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unary(b map[string]binding) (Formula, error) {
+	t := p.cur()
+	if (t.kind == tokOp && t.text == "!") || (t.kind == tokIdent && t.text == "not") {
+		p.next()
+		f, err := p.unary(b)
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	}
+	if p.atPunct("(") {
+		p.next()
+		f, err := p.formula(b)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.atIdent("true") {
+		p.next()
+		return Bool(true), nil
+	}
+	if p.atIdent("false") {
+		p.next()
+		return Bool(false), nil
+	}
+	return p.atom(b)
+}
+
+func (p *parser) atom(b map[string]binding) (Formula, error) {
+	l, err := p.term(b)
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, p.errf(opTok, "expected comparison operator, got %s", opTok)
+	}
+	var op CmpOp
+	switch opTok.text {
+	case "==":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, p.errf(opTok, "expected comparison operator, got %s", opTok)
+	}
+	r, err := p.term(b)
+	if err != nil {
+		return nil, err
+	}
+	return p.buildAtom(opTok, op, l, r)
+}
+
+// buildAtom classifies an atom: constant folding, single-side LB atom, or
+// the cross-side LS inequality.
+func (p *parser) buildAtom(opTok token, op CmpOp, l, r Term) (Formula, error) {
+	switch {
+	case !l.IsVar && !r.IsVar:
+		return Bool(op.apply(l.Val, r.Val)), nil
+	case l.IsVar && r.IsVar && l.Side != r.Side:
+		if op != OpNe {
+			return nil, p.errf(opTok,
+				"comparison %q relates variables of both invocations; ECL only permits '!=' across invocations", opTok.text)
+		}
+		if l.Side == 1 {
+			return Neq{I: l.Index, J: r.Index}, nil
+		}
+		return Neq{I: r.Index, J: l.Index}, nil
+	default:
+		side := l.Side
+		if !l.IsVar {
+			side = r.Side
+		}
+		return Atom{Side: side, Op: op, L: l, R: r}, nil
+	}
+}
+
+func (p *parser) term(b map[string]binding) (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		switch t.text {
+		case "nil":
+			return Const(trace.NilValue), nil
+		case "true":
+			return Const(trace.BoolValue(true)), nil
+		case "false":
+			return Const(trace.BoolValue(false)), nil
+		}
+		bind, ok := b[t.text]
+		if !ok {
+			return Term{}, p.errf(t, "unbound variable %q", t.text)
+		}
+		return Var(bind.side, bind.index), nil
+	case tokInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Term{}, p.errf(t, "bad integer %s", t)
+		}
+		return Const(trace.IntValue(n)), nil
+	case tokStr:
+		s, err := strconv.Unquote(t.text)
+		if err != nil {
+			return Term{}, p.errf(t, "bad string %s", t)
+		}
+		return Const(trace.StrValue(s)), nil
+	default:
+		return Term{}, p.errf(t, "expected variable or literal, got %s", t)
+	}
+}

@@ -1,0 +1,387 @@
+package ecl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// dictSrc is the Fig 6 dictionary specification in the spec language.
+const dictSrc = `
+# Dictionary commutativity specification (Fig 6 of the paper).
+object dict
+
+method put(k, v) / (p)
+method get(k) / (v)
+method size() / (r)
+
+commute put(k1, v1)/(p1), put(k2, v2)/(p2)
+    when k1 != k2 || (v1 == p1 && v2 == p2)
+commute put(k1, v1)/(p1), get(k2)/(v2) when k1 != k2 || v1 == p1
+commute put(k1, v1)/(p1), size()/(r)
+    when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil)
+commute get(k1)/(v1), get(k2)/(v2) when true
+commute get(k1)/(v1), size()/(r) when true
+commute size()/(r1), size()/(r2) when true
+`
+
+func parseDict(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseSpec(dictSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseDictionarySpec(t *testing.T) {
+	s := parseDict(t)
+	if s.Object != "dict" {
+		t.Errorf("object = %q", s.Object)
+	}
+	if len(s.Methods) != 3 {
+		t.Fatalf("methods = %d", len(s.Methods))
+	}
+	put, ok := s.Method("put")
+	if !ok || len(put.Args) != 2 || len(put.Rets) != 1 || put.NumOps() != 3 {
+		t.Fatalf("put signature wrong: %+v", put)
+	}
+	if len(s.Pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(s.Pairs))
+	}
+	if err := s.CheckECL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func put(k, v, p trace.Value) trace.Action {
+	return trace.Action{Method: "put", Args: []trace.Value{k, v}, Rets: []trace.Value{p}}
+}
+
+func get(k, v trace.Value) trace.Action {
+	return trace.Action{Method: "get", Args: []trace.Value{k}, Rets: []trace.Value{v}}
+}
+
+func sizeAct(r int64) trace.Action {
+	return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(r)}}
+}
+
+func TestDictSpecCommutes(t *testing.T) {
+	s := parseDict(t)
+	kA, kB := trace.StrValue("a"), trace.StrValue("b")
+	cases := []struct {
+		a, b trace.Action
+		want bool
+	}{
+		{put(kA, v1, vNil), put(kB, v2, vNil), true}, // different keys
+		{put(kA, v1, vNil), put(kA, v2, v1), false},  // same key writes
+		{put(kA, v1, v1), put(kA, v1, v1), true},     // both no-ops
+		{put(kA, v1, vNil), get(kA, v1), false},      // write vs read same key
+		{put(kA, v1, vNil), get(kB, vNil), true},     // different keys
+		{put(kA, v1, v1), get(kA, v1), true},         // no-op put vs get
+		{put(kA, v1, vNil), sizeAct(1), false},       // resize vs size
+		{put(kA, v2, v1), sizeAct(1), true},          // non-resizing put vs size
+		{put(kA, vNil, v1), sizeAct(1), false},       // removal vs size
+		{get(kA, v1), get(kA, v1), true},             // reads commute
+		{get(kA, v1), sizeAct(0), true},
+		{sizeAct(0), sizeAct(0), true},
+	}
+	for _, c := range cases {
+		got, err := s.Commutes(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Commutes(%s, %s): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Commutes(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Symmetry of the evaluation.
+		rev, err := s.Commutes(c.b, c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rev != got {
+			t.Errorf("Commutes(%s, %s) asymmetric", c.a, c.b)
+		}
+	}
+}
+
+func TestCommutesErrors(t *testing.T) {
+	s := parseDict(t)
+	if _, err := s.Commutes(trace.Action{Method: "frob"}, sizeAct(0)); err == nil {
+		t.Error("unknown method must error")
+	}
+	badArity := trace.Action{Method: "put", Args: []trace.Value{v1}}
+	if _, err := s.Commutes(badArity, sizeAct(0)); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if _, err := s.Commutes(sizeAct(0), badArity); err == nil {
+		t.Error("arity mismatch on second action must error")
+	}
+}
+
+func TestMissingPairDefaultsToFalse(t *testing.T) {
+	src := `
+object counter
+method inc() / (r)
+method dec() / (r)
+commute inc()/(r1), inc()/(r2) when false
+`
+	s, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, defaulted := s.FormulaFor("inc", "dec")
+	if !defaulted {
+		t.Error("missing pair must be defaulted")
+	}
+	if b, ok := f.(Bool); !ok || bool(b) {
+		t.Errorf("defaulted formula = %v, want false", f)
+	}
+	f2, d2 := s.FormulaFor("inc", "inc")
+	if d2 {
+		t.Error("specified pair reported defaulted")
+	}
+	if b, ok := f2.(Bool); !ok || bool(b) {
+		t.Errorf("inc/inc formula = %v", f2)
+	}
+}
+
+func TestFormulaForOrientation(t *testing.T) {
+	// An asymmetric-looking pair: a's arg must differ from b's ret.
+	src := `
+object thing
+method a(x)
+method b() / (y)
+commute a(x), b()/(y) when x != y
+`
+	s, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, _ := s.FormulaFor("a", "b")
+	if nq, ok := fab.(Neq); !ok || nq.I != 0 || nq.J != 0 {
+		t.Fatalf("a-b formula = %v", fab)
+	}
+	fba, _ := s.FormulaFor("b", "a")
+	if nq, ok := fba.(Neq); !ok || nq.I != 0 || nq.J != 0 {
+		t.Fatalf("b-a formula = %v", fba)
+	}
+	// Evaluate both orientations on concrete actions.
+	aAct := trace.Action{Method: "a", Args: []trace.Value{v1}}
+	bAct := trace.Action{Method: "b", Rets: []trace.Value{v1}}
+	c1, err := s.Commutes(aAct, bAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Commutes(bAct, aAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 || c2 {
+		t.Errorf("equal values must not commute: %v %v", c1, c2)
+	}
+}
+
+func TestParseWordOperators(t *testing.T) {
+	src := `
+object s
+method add(x) / (ok)
+commute add(x1)/(o1), add(x2)/(o2) when x1 != x2 or not (o1 == true) and not (o2 == true)
+`
+	s, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := trace.Action{Method: "add", Args: []trace.Value{v1}, Rets: []trace.Value{trace.BoolValue(false)}}
+	a2 := trace.Action{Method: "add", Args: []trace.Value{v1}, Rets: []trace.Value{trace.BoolValue(false)}}
+	got, err := s.Commutes(a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("two failed adds of the same element commute")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "missing 'object'"},
+		{"object x", "declares no methods"},
+		{"object x object y\nmethod m()", "duplicate object"},
+		{"method m()", ""}, // missing object decl
+		{"object x\nmethod m()\nmethod m()", "declared twice"},
+		{"object x\nmethod m(a, a)", "duplicate operand"},
+		{"object x\nmethod m()\ncommute q(), m() when true", "not declared"},
+		{"object x\nmethod m(a)\ncommute m(), m(b) when true", "arity"},
+		{"object x\nmethod m(a)\ncommute m(v), m(v) when true", "bound twice"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when z == 1", "unbound variable"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when v == w", "ECL only permits '!='"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when v < w", "ECL only permits '!='"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when v !=", "expected variable or literal"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when (v != w", "expected \")\""},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) if true", "expected 'when'"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when true\ncommute m(v), m(w) when true", "specified twice"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when v w", "expected comparison"},
+		{"object x\n$", "unexpected character"},
+		{"object x\nmethod m(a)\ncommute m(v), m(w) when v != \"unterminated", "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpecAny(c.src)
+		if err == nil {
+			t.Errorf("ParseSpecAny(%q) should fail", c.src)
+			continue
+		}
+		if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSpecAny(%q) error %q should mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseSpecRejectsNonECL(t *testing.T) {
+	// x1 != y2 || x1' != y2' is an X ∨ X disjunction: fine for the direct
+	// detector (ParseSpecAny) but outside ECL (ParseSpec).
+	src := `
+object p
+method m(a, b)
+commute m(a1, b1), m(a2, b2) when a1 != a2 || b1 != b2
+`
+	if _, err := ParseSpecAny(src); err != nil {
+		t.Fatalf("ParseSpecAny: %v", err)
+	}
+	_, err := ParseSpec(src)
+	if err == nil || !strings.Contains(err.Error(), "disjunction") {
+		t.Fatalf("ParseSpec should reject with a disjunction diagnostic, got %v", err)
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	src := "object x\nmethod m(a)\ncommute m(v), m(w) when v == w"
+	_, err := ParseSpecAny(src)
+	if err == nil || !strings.Contains(err.Error(), "spec:3:") {
+		t.Fatalf("want spec:3: position, got %v", err)
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	s := parseDict(t)
+	rendered := s.String()
+	back, err := ParseSpec(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered spec failed: %v\nrendered:\n%s", err, rendered)
+	}
+	// The re-parsed spec must agree with the original on a spread of action
+	// pairs.
+	kA, kB := trace.StrValue("a"), trace.StrValue("b")
+	actions := []trace.Action{
+		put(kA, v1, vNil), put(kA, v2, v1), put(kB, v1, v1), put(kA, vNil, v1),
+		get(kA, v1), get(kB, vNil), sizeAct(0), sizeAct(2),
+	}
+	for _, a := range actions {
+		for _, b := range actions {
+			x, err := s.Commutes(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := back.Commutes(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x != y {
+				t.Errorf("round-trip disagreement on (%s, %s): %v vs %v", a, b, x, y)
+			}
+		}
+	}
+}
+
+func TestMustParseSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseSpec should panic on bad input")
+		}
+	}()
+	MustParseSpec("object x")
+}
+
+func TestParseLiteralKinds(t *testing.T) {
+	src := `
+object lits
+method m(a) / (r)
+commute m(a1)/(r1), m(a2)/(r2)
+    when a1 == -5 && r1 == "str" && a2 == true && r2 == nil || a1 != a2
+`
+	s, err := ParseSpecAny(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Action{Method: "m", Args: []trace.Value{trace.IntValue(-5)}, Rets: []trace.Value{trace.StrValue("str")}}
+	b := trace.Action{Method: "m", Args: []trace.Value{trace.BoolValue(true)}, Rets: []trace.Value{trace.NilValue}}
+	got, err := s.Commutes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("literal atoms should all hold")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	m := &Method{Name: "put", Args: []string{"k", "v"}, Rets: []string{"p"}}
+	if got := m.String(); got != "put(k, v) / (p)" {
+		t.Errorf("Method.String() = %q", got)
+	}
+	n := &Method{Name: "clear"}
+	if got := n.String(); got != "clear()" {
+		t.Errorf("Method.String() = %q", got)
+	}
+}
+
+func TestVoidMethodAndEmptyReturns(t *testing.T) {
+	src := `
+object q
+method clear()
+method push(x)
+commute clear(), clear() when false
+commute clear(), push(x) when false
+commute push(x1), push(x2) when x1 != x2
+`
+	s, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Action{Method: "clear"}
+	p := trace.Action{Method: "push", Args: []trace.Value{v1}}
+	got, err := s.Commutes(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("clear/push specified false")
+	}
+}
+
+func TestParseSpecRejectsAsymmetricSameMethod(t *testing.T) {
+	// ϕ_mm depends only on side 1: not symmetric (Definition 4.1).
+	src := `
+object x
+method m(a)
+commute m(a1), m(a2) when a1 == 0
+`
+	if _, err := ParseSpecAny(src); err != nil {
+		t.Fatalf("ParseSpecAny must accept it: %v", err)
+	}
+	_, err := ParseSpec(src)
+	if err == nil || !strings.Contains(err.Error(), "not symmetric") {
+		t.Fatalf("want symmetry rejection, got %v", err)
+	}
+}
+
+func TestCheckSymmetryAcceptsSymmetricSpecs(t *testing.T) {
+	s := parseDict(t)
+	if err := s.CheckSymmetry(500); err != nil {
+		t.Fatalf("dictionary spec is symmetric: %v", err)
+	}
+}

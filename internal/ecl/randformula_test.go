@@ -1,0 +1,124 @@
+package ecl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// genECL is a local alias for the exported generator in gen.go.
+func genECL(r *rand.Rand, depth, ops1, ops2 int) Formula {
+	return RandECL(r, depth, ops1, ops2)
+}
+
+func randOps(r *rand.Rand, n int) []trace.Value {
+	out := make([]trace.Value, n)
+	for i := range out {
+		out[i] = trace.IntValue(int64(r.Intn(3)))
+	}
+	return out
+}
+
+// TestPropGeneratedFormulasAreECL: the generator must stay inside the
+// fragment (it follows the grammar, so Classify must agree).
+func TestPropGeneratedFormulasAreECL(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := genECL(r, 1+r.Intn(4), 3, 2)
+		if !Classify(f).ECL {
+			t.Logf("seed %d: generated non-ECL formula %s", seed, f)
+			return false
+		}
+		return CheckECL(f) == nil
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropLemma64OnRandomFormulas generalizes the Lemma 6.4 test: for any
+// random ECL formula and any concrete operand tuples, evaluating the full
+// formula equals evaluating its residual under the β environments induced
+// by the operands.
+func TestPropLemma64OnRandomFormulas(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops1N, ops2N := 1+r.Intn(3), 1+r.Intn(3)
+		f := genECL(r, 1+r.Intn(4), ops1N, ops2N)
+		ops1, ops2 := randOps(r, ops1N), randOps(r, ops2N)
+
+		want, err := Eval(f, ops1, ops2)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		env := func(ops []trace.Value) func(AtomKey) bool {
+			return func(k AtomKey) bool {
+				v, err := k.Eval(ops)
+				if err != nil {
+					return false
+				}
+				return v
+			}
+		}
+		res, err := ResidualOf(f, "m1", "m2", env(ops1), env(ops2))
+		if err != nil {
+			t.Logf("seed %d: residual of %s: %v", seed, f, err)
+			return false
+		}
+		got, err := res.Eval(ops1, ops2)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if got != want {
+			t.Logf("seed %d: %s on %v;%v → full %v, residual(%s) %v",
+				seed, f, ops1, ops2, want, res, got)
+		}
+		return got == want
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSwapOnRandomFormulas: Eval(f, a, b) == Eval(Swap(f), b, a) and
+// Swap is an involution, for random ECL formulas.
+func TestPropSwapOnRandomFormulas(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops1N, ops2N := 1+r.Intn(3), 1+r.Intn(3)
+		f := genECL(r, 1+r.Intn(4), ops1N, ops2N)
+		ops1, ops2 := randOps(r, ops1N), randOps(r, ops2N)
+		x, err := Eval(f, ops1, ops2)
+		if err != nil {
+			return false
+		}
+		y, err := Eval(Swap(f), ops2, ops1)
+		if err != nil {
+			return false
+		}
+		if x != y {
+			return false
+		}
+		return Swap(Swap(f)).String() == f.String()
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropClassifyClosedUnderSwap: swapping sides preserves fragment
+// membership.
+func TestPropClassifyClosedUnderSwap(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := genECL(r, 1+r.Intn(4), 3, 3)
+		return Classify(f) == Classify(Swap(f))
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

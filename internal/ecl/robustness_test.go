@@ -1,0 +1,54 @@
+package ecl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropParserNeverPanics feeds the spec parser random byte soup and
+// random mutations of a valid specification: it must return cleanly (spec
+// or error), never panic.
+func TestPropParserNeverPanics(t *testing.T) {
+	alphabet := []byte("obj mthd cmue whn()/,=!<>&|\"0123456789\n\t#abcxyz_")
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var src string
+		if r.Intn(2) == 0 {
+			// Pure soup.
+			n := r.Intn(200)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			src = string(b)
+		} else {
+			// Mutated valid spec: delete, duplicate, or flip a chunk.
+			src = dictSrc
+			if len(src) > 10 {
+				i := r.Intn(len(src) - 8)
+				j := i + 1 + r.Intn(7)
+				switch r.Intn(3) {
+				case 0:
+					src = src[:i] + src[j:]
+				case 1:
+					src = src[:j] + src[i:j] + src[j:]
+				default:
+					src = src[:i] + strings.ToUpper(src[i:j]) + src[j:]
+				}
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("seed %d: parser panicked on %q: %v", seed, src, p)
+			}
+		}()
+		_, _ = ParseSpecAny(src)
+		_, _ = ParseSpec(src)
+		return true
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package ecl
+
+// Simplify performs semantics-preserving structural simplification:
+// constant folding (true ∧ X = X, false ∨ X = X, ¬¬X = X, …), folding of
+// atoms whose operands are both constants, and pruning of short-circuited
+// branches. The result is logically equivalent to the input and never
+// leaves a fragment (simplifying an LS/LB/ECL formula yields a formula in
+// the same fragment, or a smaller one).
+func Simplify(f Formula) Formula {
+	switch f := f.(type) {
+	case Bool, Neq:
+		return f
+	case Atom:
+		if !f.L.IsVar && !f.R.IsVar {
+			return Bool(f.Op.apply(f.L.Val, f.R.Val))
+		}
+		// A variable compared to itself folds for reflexive operators.
+		if f.L.IsVar && f.R.IsVar && f.L.Side == f.R.Side && f.L.Index == f.R.Index {
+			switch f.Op {
+			case OpEq, OpLe, OpGe:
+				return Bool(true)
+			case OpNe, OpLt, OpGt:
+				return Bool(false)
+			}
+		}
+		return f
+	case Not:
+		inner := Simplify(f.F)
+		if b, ok := inner.(Bool); ok {
+			return Bool(!bool(b))
+		}
+		if n, ok := inner.(Not); ok {
+			return n.F
+		}
+		return Not{inner}
+	case And:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if lb, ok := l.(Bool); ok {
+			if !bool(lb) {
+				return Bool(false)
+			}
+			return r
+		}
+		if rb, ok := r.(Bool); ok {
+			if !bool(rb) {
+				return Bool(false)
+			}
+			return l
+		}
+		return And{l, r}
+	case Or:
+		l, r := Simplify(f.L), Simplify(f.R)
+		if lb, ok := l.(Bool); ok {
+			if bool(lb) {
+				return Bool(true)
+			}
+			return r
+		}
+		if rb, ok := r.(Bool); ok {
+			if bool(rb) {
+				return Bool(true)
+			}
+			return l
+		}
+		return Or{l, r}
+	default:
+		return f
+	}
+}
+
+// Size counts the AST nodes of a formula.
+func Size(f Formula) int {
+	switch f := f.(type) {
+	case Not:
+		return 1 + Size(f.F)
+	case And:
+		return 1 + Size(f.L) + Size(f.R)
+	case Or:
+		return 1 + Size(f.L) + Size(f.R)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,102 @@
+package ecl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyCases(t *testing.T) {
+	x := Neq{I: 0, J: 0}
+	a := Atom{Side: 1, Op: OpEq, L: Var(1, 0), R: Const(v1)}
+	cases := []struct {
+		in   Formula
+		want string
+	}{
+		{And{Bool(true), x}, x.String()},
+		{And{x, Bool(true)}, x.String()},
+		{And{Bool(false), x}, "false"},
+		{And{x, Bool(false)}, "false"},
+		{Or{Bool(false), a}, a.String()},
+		{Or{a, Bool(false)}, a.String()},
+		{Or{Bool(true), a}, "true"},
+		{Or{a, Bool(true)}, "true"},
+		{Not{Bool(true)}, "false"},
+		{Not{Not{a}}, a.String()},
+		{Atom{Side: 1, Op: OpLt, L: Const(v1), R: Const(v2)}, "true"},
+		{Atom{Side: 1, Op: OpEq, L: Const(v1), R: Const(v2)}, "false"},
+		{Atom{Side: 1, Op: OpEq, L: Var(1, 2), R: Var(1, 2)}, "true"},
+		{Atom{Side: 1, Op: OpLt, L: Var(1, 2), R: Var(1, 2)}, "false"},
+		{And{Or{Bool(false), Bool(false)}, x}, "false"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSizeCounts(t *testing.T) {
+	f := And{Or{Neq{0, 0}, Bool(true)}, Not{Bool(false)}}
+	if got := Size(f); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+}
+
+func TestPropSimplifyPreservesSemantics(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops1N, ops2N := 1+r.Intn(3), 1+r.Intn(3)
+		f := RandECL(r, 1+r.Intn(4), ops1N, ops2N)
+		s := Simplify(f)
+		if Size(s) > Size(f) {
+			t.Logf("seed %d: simplification grew %s", seed, f)
+			return false
+		}
+		ops1, ops2 := randOps(r, ops1N), randOps(r, ops2N)
+		x, err := Eval(f, ops1, ops2)
+		if err != nil {
+			return false
+		}
+		y, err := Eval(s, ops1, ops2)
+		if err != nil {
+			t.Logf("seed %d: simplified %s of %s fails: %v", seed, s, f, err)
+			return false
+		}
+		if x != y {
+			t.Logf("seed %d: %s vs %s disagree on %v;%v", seed, f, s, ops1, ops2)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSimplifyPreservesFragment(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := RandECL(r, 1+r.Intn(4), 3, 3)
+		if !Classify(f).ECL {
+			return true
+		}
+		return Classify(Simplify(f)).ECL
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSimplifyIdempotent(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := RandECL(r, 1+r.Intn(4), 3, 3)
+		once := Simplify(f)
+		twice := Simplify(once)
+		return once.String() == twice.String()
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

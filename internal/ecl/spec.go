@@ -1,0 +1,321 @@
+package ecl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Method describes one method signature of the specified object. Operand
+// indices used by formulas address Args followed by Rets, 0-based.
+type Method struct {
+	Name string
+	Args []string
+	Rets []string
+}
+
+// NumOps returns the number of operands (arguments plus returns).
+func (m *Method) NumOps() int { return len(m.Args) + len(m.Rets) }
+
+// OpNames returns the operand names, arguments first.
+func (m *Method) OpNames() []string {
+	out := make([]string, 0, m.NumOps())
+	out = append(out, m.Args...)
+	return append(out, m.Rets...)
+}
+
+// String renders the signature in the spec language syntax.
+func (m *Method) String() string {
+	s := m.Name + "(" + strings.Join(m.Args, ", ") + ")"
+	if len(m.Rets) > 0 {
+		s += " / (" + strings.Join(m.Rets, ", ") + ")"
+	}
+	return s
+}
+
+// PairKey identifies an unordered method pair, stored with A ≤ B.
+type PairKey struct{ A, B string }
+
+// MakePairKey orders the two method names canonically.
+func MakePairKey(m1, m2 string) PairKey {
+	if m1 <= m2 {
+		return PairKey{m1, m2}
+	}
+	return PairKey{m2, m1}
+}
+
+// PairSpec is the commutativity condition of one method pair, oriented so
+// that side 1 of the formula refers to Key.A and side 2 to Key.B.
+type PairSpec struct {
+	Key       PairKey
+	Formula   Formula
+	Defaulted bool // no clause in the source; conservatively false
+}
+
+// Spec is a logical commutativity specification Φ for one object type
+// (Definition 4.1). Method pairs without a clause conservatively do not
+// commute (ϕ = false), which keeps the specification sound.
+type Spec struct {
+	Object  string
+	Methods []*Method
+	byName  map[string]*Method
+	Pairs   map[PairKey]*PairSpec
+}
+
+// NewSpec returns an empty specification for the named object type.
+func NewSpec(object string) *Spec {
+	return &Spec{
+		Object: object,
+		byName: map[string]*Method{},
+		Pairs:  map[PairKey]*PairSpec{},
+	}
+}
+
+// AddMethod declares a method. It fails on duplicate names or duplicate
+// operand names within the method.
+func (s *Spec) AddMethod(name string, args, rets []string) (*Method, error) {
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("ecl: method %q declared twice", name)
+	}
+	seen := map[string]bool{}
+	for _, n := range append(append([]string{}, args...), rets...) {
+		if seen[n] {
+			return nil, fmt.Errorf("ecl: method %q has duplicate operand name %q", name, n)
+		}
+		seen[n] = true
+	}
+	m := &Method{Name: name, Args: append([]string{}, args...), Rets: append([]string{}, rets...)}
+	s.Methods = append(s.Methods, m)
+	s.byName[name] = m
+	return m, nil
+}
+
+// Method looks up a declared method.
+func (s *Spec) Method(name string) (*Method, bool) {
+	m, ok := s.byName[name]
+	return m, ok
+}
+
+// SetPair installs the commutativity formula for the pair (m1, m2), given
+// oriented so that side 1 refers to m1. It validates that the variables fit
+// the signatures and stores the formula canonically.
+func (s *Spec) SetPair(m1, m2 string, f Formula) error {
+	mm1, ok := s.byName[m1]
+	if !ok {
+		return fmt.Errorf("ecl: unknown method %q in commute clause", m1)
+	}
+	mm2, ok := s.byName[m2]
+	if !ok {
+		return fmt.Errorf("ecl: unknown method %q in commute clause", m2)
+	}
+	for _, v := range Vars(f) {
+		n := mm1.NumOps()
+		if v[0] == 2 {
+			n = mm2.NumOps()
+		}
+		if v[1] < 0 || v[1] >= n {
+			return fmt.Errorf("ecl: commute(%s, %s): variable index %d out of range for side %d", m1, m2, v[1], v[0])
+		}
+	}
+	key := MakePairKey(m1, m2)
+	if _, dup := s.Pairs[key]; dup {
+		return fmt.Errorf("ecl: pair (%s, %s) specified twice", key.A, key.B)
+	}
+	if key.A != m1 {
+		f = Swap(f)
+	}
+	s.Pairs[key] = &PairSpec{Key: key, Formula: f}
+	return nil
+}
+
+// FormulaFor returns the formula for the pair oriented so side 1 refers to
+// m1 and side 2 to m2. Missing pairs yield false (never commute) and are
+// marked defaulted.
+func (s *Spec) FormulaFor(m1, m2 string) (f Formula, defaulted bool) {
+	key := MakePairKey(m1, m2)
+	p, ok := s.Pairs[key]
+	if !ok {
+		return Bool(false), true
+	}
+	if key.A == m1 {
+		return p.Formula, false
+	}
+	return Swap(p.Formula), false
+}
+
+// CheckAction verifies that the action matches a declared method signature.
+func (s *Spec) CheckAction(a trace.Action) error {
+	m, ok := s.byName[a.Method]
+	if !ok {
+		return fmt.Errorf("ecl: object %q has no method %q", s.Object, a.Method)
+	}
+	if len(a.Args) != len(m.Args) || len(a.Rets) != len(m.Rets) {
+		return fmt.Errorf("ecl: %s: arity mismatch: declared %s", a, m)
+	}
+	return nil
+}
+
+// Commutes evaluates ϕ_m1_m2(a, b): whether the two actions are specified
+// to commute.
+func (s *Spec) Commutes(a, b trace.Action) (bool, error) {
+	if err := s.CheckAction(a); err != nil {
+		return false, err
+	}
+	if err := s.CheckAction(b); err != nil {
+		return false, err
+	}
+	f, _ := s.FormulaFor(a.Method, b.Method)
+	return Eval(f, a.Operands(), b.Operands())
+}
+
+// CheckSymmetry probabilistically verifies the Definition 4.1 requirement
+// that same-method formulas are symmetric: ϕ_mm(x̄1; x̄2) must be logically
+// equivalent to ϕ_mm(x̄2; x̄1). It samples random operand tuples and reports
+// a witness on the first asymmetry found; it never rejects a symmetric
+// specification.
+func (s *Spec) CheckSymmetry(samples int) error {
+	if samples <= 0 {
+		samples = 200
+	}
+	universe := []trace.Value{
+		trace.NilValue, trace.IntValue(0), trace.IntValue(1), trace.IntValue(2),
+		trace.BoolValue(true), trace.BoolValue(false),
+		trace.StrValue("a"), trace.StrValue("b"),
+	}
+	r := rand.New(rand.NewSource(1))
+	for _, key := range s.pairKeys() {
+		if key.A != key.B {
+			continue
+		}
+		m := s.byName[key.A]
+		f := s.Pairs[key].Formula
+		for i := 0; i < samples; i++ {
+			o1 := make([]trace.Value, m.NumOps())
+			o2 := make([]trace.Value, m.NumOps())
+			for k := range o1 {
+				o1[k] = universe[r.Intn(len(universe))]
+				o2[k] = universe[r.Intn(len(universe))]
+			}
+			x, err := Eval(f, o1, o2)
+			if err != nil {
+				return fmt.Errorf("ecl: pair (%s, %s): %w", key.A, key.B, err)
+			}
+			y, err := Eval(f, o2, o1)
+			if err != nil {
+				return fmt.Errorf("ecl: pair (%s, %s): %w", key.A, key.B, err)
+			}
+			if x != y {
+				return fmt.Errorf(
+					"ecl: ϕ_%s_%s is not symmetric: ϕ(%s; %s) = %v but ϕ(%s; %s) = %v (Definition 4.1 requires equivalence)",
+					key.A, key.B, trace.Values(o1), trace.Values(o2), x,
+					trace.Values(o2), trace.Values(o1), y)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckECL verifies that every pair formula of the specification lies in the
+// ECL fragment.
+func (s *Spec) CheckECL() error {
+	for _, key := range s.pairKeys() {
+		if err := CheckECL(s.Pairs[key].Formula); err != nil {
+			return fmt.Errorf("pair (%s, %s): %w", key.A, key.B, err)
+		}
+	}
+	return nil
+}
+
+// pairKeys returns the specified pairs in deterministic order.
+func (s *Spec) pairKeys() []PairKey {
+	keys := make([]PairKey, 0, len(s.Pairs))
+	for k := range s.Pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	return keys
+}
+
+// String renders the specification in the spec language syntax.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "object %s\n\n", s.Object)
+	for _, m := range s.Methods {
+		fmt.Fprintf(&b, "method %s\n", m)
+	}
+	b.WriteByte('\n')
+	for _, key := range s.pairKeys() {
+		p := s.Pairs[key]
+		ma, mb := s.byName[key.A], s.byName[key.B]
+		na := suffixed(ma.OpNames(), "1")
+		nb := suffixed(mb.OpNames(), "2")
+		fmt.Fprintf(&b, "commute %s, %s when %s\n",
+			invHeader(ma, na), invHeader(mb, nb), renderWith(p.Formula, na, nb))
+	}
+	return b.String()
+}
+
+func suffixed(names []string, suffix string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n + suffix
+	}
+	return out
+}
+
+func invHeader(m *Method, names []string) string {
+	args := strings.Join(names[:len(m.Args)], ", ")
+	s := m.Name + "(" + args + ")"
+	if len(m.Rets) > 0 {
+		s += " / (" + strings.Join(names[len(m.Args):], ", ") + ")"
+	}
+	return s
+}
+
+func renderWith(f Formula, names1, names2 []string) string {
+	name := func(side, idx int) string {
+		names := names1
+		if side == 2 {
+			names = names2
+		}
+		if idx < len(names) {
+			return names[idx]
+		}
+		return fmt.Sprintf("x%d.%d", side, idx)
+	}
+	var render func(Formula) string
+	render = func(f Formula) string {
+		switch f := f.(type) {
+		case Bool:
+			return f.String()
+		case Neq:
+			return name(1, f.I) + " != " + name(2, f.J)
+		case Atom:
+			l, r := f.L.Val.String(), f.R.Val.String()
+			if f.L.IsVar {
+				l = name(f.L.Side, f.L.Index)
+			}
+			if f.R.IsVar {
+				r = name(f.R.Side, f.R.Index)
+			}
+			return l + " " + f.Op.String() + " " + r
+		case Not:
+			return "!(" + render(f.F) + ")"
+		case And:
+			return "(" + render(f.L) + " && " + render(f.R) + ")"
+		case Or:
+			return "(" + render(f.L) + " || " + render(f.R) + ")"
+		default:
+			return "?"
+		}
+	}
+	return render(f)
+}

@@ -1,0 +1,195 @@
+// Package explore enumerates the interleavings of a small multi-threaded
+// program over monitored objects, executing each interleaving against the
+// reference semantics and running the commutativity race detector on the
+// induced trace.
+//
+// It serves two purposes. As a library feature it tests the atomicity of
+// composed operations the way Shacham et al. (OOPSLA'11, discussed in the
+// paper's Section 8) do: drive a composed operation from several threads,
+// enumerate schedules, and compare outcomes. As a validation harness it
+// checks the schedule-generalization corollary of Theorem 5.2: all
+// interleavings of a fork–join program share the same happens-before
+// relation, so either every interleaving is commutativity-race-free and
+// they all end in the same state, or every interleaving contains a race.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Op is one operation of a program thread: a method call whose return
+// values are computed per interleaving by the reference semantics.
+type Op struct {
+	Obj    trace.ObjID
+	Method string
+	Args   []trace.Value
+}
+
+// Program is a fork–join program: the main thread forks one thread per
+// entry of Threads, each runs its operation list, and main joins them all.
+type Program struct {
+	// Kinds maps each object to its semantics kind (and spec name).
+	Kinds map[trace.ObjID]string
+	// Threads lists each worker thread's operations in program order.
+	Threads [][]Op
+}
+
+// Outcome summarizes the exploration.
+type Outcome struct {
+	// Interleavings is the number of schedules explored.
+	Interleavings int
+	// Truncated reports whether the limit stopped the enumeration.
+	Truncated bool
+	// FinalStates counts interleavings per final combined state.
+	FinalStates map[string]int
+	// Racy counts interleavings whose trace contains a commutativity race.
+	Racy int
+	// Deterministic is true when every explored interleaving reached the
+	// same final state.
+	Deterministic bool
+}
+
+// Run explores up to limit interleavings of the program, using reps to
+// resolve each object kind's access point representation.
+func Run(p Program, reps func(kind string) (ap.Rep, error), limit int) (Outcome, error) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	repOf := map[trace.ObjID]ap.Rep{}
+	for obj, kind := range p.Kinds {
+		rep, err := reps(kind)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("explore: object o%d: %w", obj, err)
+		}
+		repOf[obj] = rep
+	}
+
+	out := Outcome{FinalStates: map[string]int{}}
+	machines := map[trace.ObjID]semantics.Machine{}
+	for obj, kind := range p.Kinds {
+		m, err := semantics.New(kind)
+		if err != nil {
+			return Outcome{}, err
+		}
+		machines[obj] = m
+	}
+	pcs := make([]int, len(p.Threads))
+	var events []trace.Event
+	var dfsErr error
+
+	var dfs func()
+	dfs = func() {
+		if dfsErr != nil || out.Interleavings >= limit {
+			out.Truncated = out.Truncated || out.Interleavings >= limit && !done(p, pcs)
+			return
+		}
+		if done(p, pcs) {
+			if err := out.record(p, events, machines, repOf); err != nil {
+				dfsErr = err
+			}
+			return
+		}
+		for t := range p.Threads {
+			if pcs[t] >= len(p.Threads[t]) {
+				continue
+			}
+			op := p.Threads[t][pcs[t]]
+			m := machines[op.Obj]
+			act, err := completeAction(m, op)
+			if err != nil {
+				dfsErr = fmt.Errorf("explore: thread %d op %d: %w", t+1, pcs[t], err)
+				return
+			}
+			// Apply.
+			saved := m.Clone()
+			if err := m.Apply(act); err != nil {
+				dfsErr = err
+				return
+			}
+			pcs[t]++
+			events = append(events, trace.Act(vclock.Tid(t+1), act))
+			dfs()
+			// Undo.
+			events = events[:len(events)-1]
+			pcs[t]--
+			machines[op.Obj] = saved
+			if dfsErr != nil {
+				return
+			}
+		}
+	}
+	dfs()
+	if dfsErr != nil {
+		return Outcome{}, dfsErr
+	}
+	out.Deterministic = len(out.FinalStates) <= 1
+	return out, nil
+}
+
+func done(p Program, pcs []int) bool {
+	for t := range p.Threads {
+		if pcs[t] < len(p.Threads[t]) {
+			return false
+		}
+	}
+	return true
+}
+
+// record runs the detector over the interleaving's trace and accounts the
+// final state.
+func (out *Outcome) record(p Program, events []trace.Event,
+	machines map[trace.ObjID]semantics.Machine, repOf map[trace.ObjID]ap.Rep) error {
+
+	out.Interleavings++
+	// Final state fingerprint over all objects in id order.
+	ids := make([]int, 0, len(machines))
+	for obj := range machines {
+		ids = append(ids, int(obj))
+	}
+	sort.Ints(ids)
+	fp := ""
+	for _, id := range ids {
+		fp += fmt.Sprintf("o%d=%s;", id, machines[trace.ObjID(id)].Fingerprint())
+	}
+	out.FinalStates[fp]++
+
+	// Build the fork–join trace and detect.
+	tr := &trace.Trace{}
+	for t := range p.Threads {
+		tr.Append(trace.Fork(0, vclock.Tid(t+1)))
+	}
+	for _, e := range events {
+		tr.Append(e)
+	}
+	for t := range p.Threads {
+		tr.Append(trace.Join(0, vclock.Tid(t+1)))
+	}
+	det := core.New(core.Config{MaxRaces: 1})
+	for obj, rep := range repOf {
+		det.Register(obj, rep)
+	}
+	if err := det.RunTrace(tr); err != nil {
+		return err
+	}
+	if det.Stats().Races > 0 {
+		out.Racy++
+	}
+	return nil
+}
+
+// completeAction computes the return values the operation produces at the
+// machine's current state.
+func completeAction(m semantics.Machine, op Op) (trace.Action, error) {
+	rets, err := semantics.Returns(m, op.Method, op.Args)
+	if err != nil {
+		return trace.Action{}, err
+	}
+	return trace.Action{Obj: op.Obj, Method: op.Method, Args: op.Args, Rets: rets}, nil
+}

@@ -1,0 +1,208 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ap"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+func specReps(kind string) (ap.Rep, error) { return specs.Rep(kind) }
+
+var (
+	kA = trace.StrValue("a")
+	kB = trace.StrValue("b")
+	v1 = trace.IntValue(1)
+	v2 = trace.IntValue(2)
+)
+
+func putOp(o trace.ObjID, k, v trace.Value) Op {
+	return Op{Obj: o, Method: "put", Args: []trace.Value{k, v}}
+}
+
+func getOp(o trace.ObjID, k trace.Value) Op {
+	return Op{Obj: o, Method: "get", Args: []trace.Value{k}}
+}
+
+func TestDuplicatePutsAllInterleavingsRacy(t *testing.T) {
+	// Fig 1 with duplicate hosts: both interleavings racy, states agree on
+	// the key set but the traces race.
+	p := Program{
+		Kinds: map[trace.ObjID]string{0: "dict"},
+		Threads: [][]Op{
+			{putOp(0, kA, v1)},
+			{putOp(0, kA, v2)},
+		},
+	}
+	out, err := Run(p, specReps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interleavings != 2 {
+		t.Fatalf("interleavings = %d", out.Interleavings)
+	}
+	if out.Racy != out.Interleavings {
+		t.Fatalf("racy = %d of %d; Theorem 5.2 says all or none", out.Racy, out.Interleavings)
+	}
+	if out.Deterministic {
+		t.Error("final value of the key depends on the order; must be non-deterministic")
+	}
+}
+
+func TestDistinctKeysRaceFreeAndDeterministic(t *testing.T) {
+	p := Program{
+		Kinds: map[trace.ObjID]string{0: "dict"},
+		Threads: [][]Op{
+			{putOp(0, kA, v1), getOp(0, kA)},
+			{putOp(0, kB, v2), getOp(0, kB)},
+		},
+	}
+	out, err := Run(p, specReps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interleavings != 6 { // C(4,2)
+		t.Fatalf("interleavings = %d, want 6", out.Interleavings)
+	}
+	if out.Racy != 0 {
+		t.Fatalf("racy = %d, want 0", out.Racy)
+	}
+	if !out.Deterministic || len(out.FinalStates) != 1 {
+		t.Fatalf("final states: %v", out.FinalStates)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	// The Section 1 program: put(5,7) ∥ get(5).
+	p := Program{
+		Kinds: map[trace.ObjID]string{0: "dict"},
+		Threads: [][]Op{
+			{putOp(0, trace.IntValue(5), trace.IntValue(7))},
+			{getOp(0, trace.IntValue(5))},
+		},
+	}
+	out, err := Run(p, specReps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both interleavings racy; final dictionary state identical (the get
+	// does not mutate) — the non-determinism is in the get's return.
+	if out.Racy != 2 {
+		t.Fatalf("racy = %d", out.Racy)
+	}
+	if !out.Deterministic {
+		t.Fatal("state is deterministic (only the observed return differs)")
+	}
+}
+
+func TestMultipleObjects(t *testing.T) {
+	p := Program{
+		Kinds: map[trace.ObjID]string{0: "dict", 1: "counter"},
+		Threads: [][]Op{
+			{putOp(0, kA, v1), {Obj: 1, Method: "add", Args: []trace.Value{v1}}},
+			{{Obj: 1, Method: "add", Args: []trace.Value{v1}}},
+		},
+	}
+	out, err := Run(p, specReps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two counter adds expose order via returns: racy everywhere.
+	if out.Racy != out.Interleavings {
+		t.Fatalf("racy = %d of %d", out.Racy, out.Interleavings)
+	}
+	// But the final state is the same (both adds applied).
+	if !out.Deterministic {
+		t.Fatal("counter sum is order-independent")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	ops := func(n int, key trace.Value) []Op {
+		out := make([]Op, n)
+		for i := range out {
+			out[i] = getOp(0, key)
+		}
+		return out
+	}
+	p := Program{
+		Kinds:   map[trace.ObjID]string{0: "dict"},
+		Threads: [][]Op{ops(6, kA), ops(6, kB)},
+	}
+	out, err := Run(p, specReps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Truncated || out.Interleavings != 10 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := Program{
+		Kinds:   map[trace.ObjID]string{0: "martian"},
+		Threads: [][]Op{{getOp(0, kA)}},
+	}
+	if _, err := Run(p, specReps, 0); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	p2 := Program{
+		Kinds:   map[trace.ObjID]string{0: "dict"},
+		Threads: [][]Op{{{Obj: 0, Method: "frob"}}},
+	}
+	if _, err := Run(p2, specReps, 0); err == nil {
+		t.Error("unknown method must fail")
+	}
+}
+
+// TestPropAllOrNoneRacy is the schedule-generalization corollary of
+// Theorem 5.2 on random small programs: the interleavings of a fork–join
+// program are either all racy or all race-free, and race-free programs are
+// state-deterministic.
+func TestPropAllOrNoneRacy(t *testing.T) {
+	keys := []trace.Value{kA, kB}
+	vals := []trace.Value{trace.NilValue, v1, v2}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nThreads := 2 + r.Intn(2)
+		threads := make([][]Op, nThreads)
+		for i := range threads {
+			n := 1 + r.Intn(2)
+			for j := 0; j < n; j++ {
+				k := keys[r.Intn(len(keys))]
+				switch r.Intn(3) {
+				case 0:
+					threads[i] = append(threads[i], putOp(0, k, vals[r.Intn(len(vals))]))
+				case 1:
+					threads[i] = append(threads[i], getOp(0, k))
+				default:
+					threads[i] = append(threads[i], Op{Obj: 0, Method: "size"})
+				}
+			}
+		}
+		p := Program{Kinds: map[trace.ObjID]string{0: "dict"}, Threads: threads}
+		out, err := Run(p, specReps, 5000)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if out.Truncated {
+			return true
+		}
+		if out.Racy != 0 && out.Racy != out.Interleavings {
+			t.Logf("seed %d: %d racy of %d interleavings — violates all-or-none", seed, out.Racy, out.Interleavings)
+			return false
+		}
+		if out.Racy == 0 && !out.Deterministic {
+			t.Logf("seed %d: race-free but non-deterministic: %v", seed, out.FinalStates)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

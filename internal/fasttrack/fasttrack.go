@@ -1,0 +1,238 @@
+// Package fasttrack implements the FASTTRACK low-level data race detector
+// (Flanagan & Freund, PLDI 2009) — the comparison baseline of the paper's
+// evaluation (Table 2).
+//
+// FASTTRACK detects read/write races on individual memory locations using
+// the same happens-before relation as the commutativity detector but with an
+// adaptive shadow representation: most locations carry lightweight epochs
+// (a single thread/clock pair) and are promoted to full vector clocks only
+// while reads are genuinely concurrent.
+package fasttrack
+
+import (
+	"fmt"
+
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// epoch is the c@t of the FASTTRACK paper: thread t at clock value c. The
+// zero epoch (clock 0) happens before everything.
+type epoch struct {
+	t vclock.Tid
+	c uint64
+}
+
+func (e epoch) String() string { return fmt.Sprintf("%d@t%d", e.c, e.t) }
+
+// leq reports e ⊑ C.
+func (e epoch) leq(c vclock.VC) bool { return e.c <= c.Get(e.t) }
+
+// RaceKind discriminates the flavor of a data race.
+type RaceKind uint8
+
+// The race kinds.
+const (
+	WriteWrite RaceKind = iota
+	WriteRead           // earlier write races with current read
+	ReadWrite           // earlier read races with current write
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("RaceKind(%d)", int(k))
+	}
+}
+
+// Race is one reported data race on a memory location.
+type Race struct {
+	Var    trace.VarID
+	Kind   RaceKind
+	Thread vclock.Tid // current accessor
+	Prev   vclock.Tid // conflicting earlier accessor
+	Seq    int        // current event sequence number
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("data race on v%d: %s, t%d vs t%d (event %d)",
+		int(r.Var), r.Kind, r.Thread, r.Prev, r.Seq)
+}
+
+// varState is the shadow word of one location: a write epoch plus either a
+// read epoch or, when reads are shared, a read vector clock.
+type varState struct {
+	w   epoch
+	r   epoch
+	rvc vclock.VC // non-nil ⇒ shared reads
+}
+
+// Stats aggregates the detector's counters.
+type Stats struct {
+	Reads      int
+	Writes     int
+	Races      int
+	SharedVars int // locations promoted to vector-clock reads
+}
+
+// Detector is a FASTTRACK analysis instance. Like core.Detector it is
+// single-threaded; the monitored runtime serializes events into it.
+type Detector struct {
+	vars   map[trace.VarID]*varState
+	races  []Race
+	stats  Stats
+	onRace func(Race)
+	max    int
+}
+
+// DefaultMaxRaces caps retained race reports.
+const DefaultMaxRaces = 10000
+
+// New returns a FASTTRACK detector. onRace may be nil.
+func New(onRace func(Race)) *Detector {
+	return &Detector{vars: map[trace.VarID]*varState{}, onRace: onRace, max: DefaultMaxRaces}
+}
+
+// Process consumes one stamped event; only read and write events are
+// examined.
+func (d *Detector) Process(e *trace.Event) error {
+	switch e.Kind {
+	case trace.ReadEvent:
+		return d.read(e)
+	case trace.WriteEvent:
+		return d.write(e)
+	default:
+		return nil
+	}
+}
+
+func (d *Detector) state(v trace.VarID) *varState {
+	st, ok := d.vars[v]
+	if !ok {
+		st = &varState{}
+		d.vars[v] = st
+	}
+	return st
+}
+
+func (d *Detector) report(e *trace.Event, kind RaceKind, prev vclock.Tid) {
+	d.stats.Races++
+	r := Race{Var: e.Var, Kind: kind, Thread: e.Thread, Prev: prev, Seq: e.Seq}
+	if len(d.races) < d.max {
+		d.races = append(d.races, r)
+	}
+	if d.onRace != nil {
+		d.onRace(r)
+	}
+}
+
+// read implements FASTTRACK's read rules.
+func (d *Detector) read(e *trace.Event) error {
+	if e.Clock == nil {
+		return fmt.Errorf("fasttrack: event %d has no clock", e.Seq)
+	}
+	d.stats.Reads++
+	st := d.state(e.Var)
+	cur := epoch{t: e.Thread, c: e.Clock.Get(e.Thread)}
+
+	// Same epoch: redundant read.
+	if st.rvc == nil && st.r == cur {
+		return nil
+	}
+	// Write-read check.
+	if !st.w.leq(e.Clock) {
+		d.report(e, WriteRead, st.w.t)
+	}
+	if st.rvc != nil {
+		// Shared: record in the read vector clock.
+		st.rvc = st.rvc.Set(e.Thread, cur.c)
+		return nil
+	}
+	if st.r.leq(e.Clock) {
+		// Exclusive: the previous read happens before us.
+		st.r = cur
+		return nil
+	}
+	// Concurrent reads: promote to a shared read vector clock.
+	st.rvc = vclock.VC(nil).Set(st.r.t, st.r.c).Set(e.Thread, cur.c)
+	d.stats.SharedVars++
+	return nil
+}
+
+// write implements FASTTRACK's write rules.
+func (d *Detector) write(e *trace.Event) error {
+	if e.Clock == nil {
+		return fmt.Errorf("fasttrack: event %d has no clock", e.Seq)
+	}
+	d.stats.Writes++
+	st := d.state(e.Var)
+	cur := epoch{t: e.Thread, c: e.Clock.Get(e.Thread)}
+
+	// Same epoch: redundant write.
+	if st.w == cur {
+		return nil
+	}
+	// Write-write check.
+	if !st.w.leq(e.Clock) {
+		d.report(e, WriteWrite, st.w.t)
+	}
+	// Read-write checks.
+	if st.rvc != nil {
+		if !st.rvc.LEQ(e.Clock) {
+			prev := e.Thread
+			for _, t := range st.rvc.Support() {
+				if st.rvc.Get(t) > e.Clock.Get(t) {
+					prev = t
+					break
+				}
+			}
+			d.report(e, ReadWrite, prev)
+		}
+		// Demote back to exclusive tracking.
+		st.rvc = nil
+		st.r = epoch{}
+	} else if !st.r.leq(e.Clock) {
+		d.report(e, ReadWrite, st.r.t)
+	}
+	st.w = cur
+	return nil
+}
+
+// Races returns the retained race reports.
+func (d *Detector) Races() []Race { return d.races }
+
+// Stats returns a snapshot of the counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// DistinctVars returns the number of distinct locations with at least one
+// race — the "(distinct)" column of Table 2 for FASTTRACK.
+func (d *Detector) DistinctVars() int {
+	seen := map[trace.VarID]bool{}
+	for _, r := range d.races {
+		seen[r.Var] = true
+	}
+	return len(seen)
+}
+
+// RunTrace stamps the trace with a fresh happens-before engine and feeds
+// every event through the detector.
+func (d *Detector) RunTrace(tr *trace.Trace) error {
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			return fmt.Errorf("fasttrack: event %d (%s): %w", i, e, err)
+		}
+		if err := d.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

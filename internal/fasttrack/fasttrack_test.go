@@ -1,0 +1,349 @@
+package fasttrack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func run(t *testing.T, tr *trace.Trace) *Detector {
+	t.Helper()
+	d := New(nil)
+	if err := d.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Write(1, 0).
+		Write(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != WriteWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Write(1, 0).
+		Read(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != WriteRead {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Read(1, 0).
+		Write(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != ReadWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestSharedReadsThenWriteRace(t *testing.T) {
+	// Three concurrent readers promote to a read VC; a later concurrent
+	// write races with them.
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).Fork(0, 3).
+		Read(1, 0).
+		Read(2, 0).
+		Read(3, 0).
+		Write(0, 0). // t0 has not joined anyone: concurrent with all reads
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != ReadWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+	if d.Stats().SharedVars != 1 {
+		t.Errorf("shared vars = %d, want 1", d.Stats().SharedVars)
+	}
+}
+
+func TestJoinedReadsDoNotRace(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Read(1, 0).
+		Read(2, 0).
+		Join(0, 1).Join(0, 2).
+		Write(0, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 0 {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestLockProtectedAccessesDoNotRace(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Acquire(1, 0).Write(1, 0).Release(1, 0).
+		Acquire(2, 0).Write(2, 0).Read(2, 0).Release(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 0 {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestSameThreadNeverRaces(t *testing.T) {
+	tr := trace.NewBuilder().
+		Write(0, 0).Read(0, 0).Write(0, 0).Read(0, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Races()) != 0 {
+		t.Fatalf("races = %v", d.Races())
+	}
+	st := d.Stats()
+	if st.Reads != 2 || st.Writes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDistinctVars(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Write(1, 0).Write(2, 0). // race on v0
+		Write(1, 1).Write(2, 1). // race on v1
+		Write(1, 0).Write(2, 0). // more races on v0
+		Trace()
+	d := run(t, tr)
+	if got := d.DistinctVars(); got != 2 {
+		t.Errorf("distinct vars = %d, want 2", got)
+	}
+	if d.Stats().Races < 3 {
+		t.Errorf("races = %d", d.Stats().Races)
+	}
+}
+
+func TestUnstampedEventFails(t *testing.T) {
+	d := New(nil)
+	r := trace.Read(0, 0)
+	if err := d.Process(&r); err == nil {
+		t.Error("unstamped read must fail")
+	}
+	w := trace.Write(0, 0)
+	if err := d.Process(&w); err == nil {
+		t.Error("unstamped write must fail")
+	}
+}
+
+func TestNonMemoryEventsIgnored(t *testing.T) {
+	d := New(nil)
+	a := trace.Act(0, trace.Action{Obj: 0, Method: "m"})
+	if err := d.Process(&a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnRaceCallback(t *testing.T) {
+	var got []Race
+	d := New(func(r Race) { got = append(got, r) })
+	tr := trace.NewBuilder().Fork(0, 1).Fork(0, 2).Write(1, 0).Write(2, 0).Trace()
+	if err := d.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("callback fired %d times", len(got))
+	}
+}
+
+func TestRaceAndKindStrings(t *testing.T) {
+	r := Race{Var: 3, Kind: WriteWrite, Thread: 1, Prev: 2, Seq: 9}
+	s := r.String()
+	for _, frag := range []string{"v3", "write-write", "t1", "t2"} {
+		if !contains(s, frag) {
+			t.Errorf("race string %q missing %q", s, frag)
+		}
+	}
+	if RaceKind(9).String() == "" || WriteRead.String() != "write-read" || ReadWrite.String() != "read-write" {
+		t.Error("kind strings broken")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// oracle computes read/write races pairwise from the stamped trace: two
+// accesses to the same location race iff at least one is a write and their
+// clocks are concurrent.
+func oracle(tr *trace.Trace) map[int]bool {
+	racy := map[int]bool{}
+	var accesses []*trace.Event
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Kind != trace.ReadEvent && e.Kind != trace.WriteEvent {
+			continue
+		}
+		for _, prev := range accesses {
+			if prev.Var != e.Var {
+				continue
+			}
+			if prev.Kind == trace.ReadEvent && e.Kind == trace.ReadEvent {
+				continue
+			}
+			if prev.Clock.Concurrent(e.Clock) {
+				racy[e.Seq] = true
+			}
+		}
+		accesses = append(accesses, e)
+	}
+	return racy
+}
+
+// genMemTrace builds a random well-formed trace of reads and writes.
+func genMemTrace(r *rand.Rand) *trace.Trace {
+	b := trace.NewBuilder()
+	threads := 2 + r.Intn(3)
+	vars := 1 + r.Intn(3)
+	locks := 2
+	for i := 1; i <= threads; i++ {
+		b.Fork(0, vclock.Tid(i))
+	}
+	ops := 3 + r.Intn(15)
+	for i := 0; i < ops; i++ {
+		t := vclock.Tid(1 + r.Intn(threads))
+		v := trace.VarID(r.Intn(vars))
+		locked := r.Intn(100) < 30
+		var l trace.LockID
+		if locked {
+			l = trace.LockID(r.Intn(locks))
+			b.Acquire(t, l)
+		}
+		if r.Intn(2) == 0 {
+			b.Read(t, v)
+		} else {
+			b.Write(t, v)
+		}
+		if locked {
+			b.Release(t, l)
+		}
+	}
+	return b.Trace()
+}
+
+// TestPropFastTrackFindsFirstRacePrecisely: FASTTRACK is precise for the
+// first race on each variable; at minimum, it must report at least one race
+// iff the oracle finds any, and never report on a race-free trace.
+func TestPropFastTrackSoundOnRaceFreeAndCompleteOnFirst(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := genMemTrace(r)
+		d := New(nil)
+		if err := d.RunTrace(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := oracle(tr)
+		if len(want) == 0 {
+			if len(d.Races()) != 0 {
+				t.Logf("seed %d: false positive %v", seed, d.Races())
+				return false
+			}
+			return true
+		}
+		if len(d.Races()) == 0 {
+			t.Logf("seed %d: missed races %v\n%s", seed, want, trace.Format(tr))
+			return false
+		}
+		// Every reported race must be confirmed by the oracle at that event.
+		for _, rc := range d.Races() {
+			if !want[rc.Seq] {
+				t.Logf("seed %d: spurious race %v", seed, rc)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPerVarFirstRaceDetected: for each variable, the first racy access
+// (per the oracle) must be flagged by FASTTRACK (its precision guarantee).
+func TestPropPerVarFirstRaceDetected(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := genMemTrace(r)
+		if err := hb.StampAll(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := oracle(tr)
+		firstBad := map[trace.VarID]int{}
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if want[e.Seq] {
+				if _, ok := firstBad[e.Var]; !ok {
+					firstBad[e.Var] = e.Seq
+				}
+			}
+		}
+		d := New(nil)
+		flagged := map[int]bool{}
+		d.onRace = func(rc Race) { flagged[rc.Seq] = true }
+		for i := range tr.Events {
+			if err := d.Process(&tr.Events[i]); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		for v, seq := range firstBad {
+			if !flagged[seq] {
+				t.Logf("seed %d: first race on v%d at event %d missed\n%s", seed, v, seq, trace.Format(tr))
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFastTrackReadSameEpoch(b *testing.B) {
+	d := New(nil)
+	en := hb.New()
+	w := trace.Write(0, 0)
+	if _, err := en.Process(&w); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Process(&w); err != nil {
+		b.Fatal(err)
+	}
+	rd := trace.Read(0, 0)
+	if _, err := en.Process(&rd); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.Process(&rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package h2sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// Circuit is one Pole Position benchmark scenario. Ops counts queries per
+// worker thread; single-threaded circuits use Threads == 0 and run on the
+// main thread.
+type Circuit struct {
+	Name    string
+	Threads int
+	Ops     int
+	run     func(c Circuit, rt *monitor.Runtime, seed int64) int
+}
+
+// Result is the outcome of one circuit run.
+type Result struct {
+	Name     string
+	Ops      int
+	Duration time.Duration
+}
+
+// QPS returns queries (operations) per second.
+func (r Result) QPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Run executes the circuit on the runtime and measures it.
+func (c Circuit) Run(rt *monitor.Runtime, seed int64) Result {
+	start := time.Now()
+	ops := c.run(c, rt, seed)
+	return Result{Name: c.Name, Ops: ops, Duration: time.Since(start)}
+}
+
+// Scaled returns a copy with the per-thread operation count replaced.
+func (c Circuit) Scaled(ops int) Circuit {
+	c.Ops = ops
+	return c
+}
+
+// Circuits returns the benchmark suite of Table 2: three concurrency
+// circuits (plus the alternate query distribution), and the two
+// single-threaded circuits.
+func Circuits() []Circuit {
+	return []Circuit{
+		{Name: "ComplexConcurrency", Threads: 8, Ops: 400, run: runComplexConcurrency(false)},
+		{Name: "ComplexConcurrency (alternate query distrib.)", Threads: 8, Ops: 400, run: runComplexConcurrency(true)},
+		{Name: "QueryCentricConcurrency", Threads: 8, Ops: 400, run: runQueryCentric},
+		{Name: "InsertCentricConcurrency", Threads: 8, Ops: 400, run: runInsertCentric},
+		{Name: "Complex", Threads: 0, Ops: 3000, run: runComplex},
+		{Name: "NestedLists", Threads: 0, Ops: 3000, run: runNestedLists},
+	}
+}
+
+// CircuitByName finds a circuit by name.
+func CircuitByName(name string) (Circuit, bool) {
+	for _, c := range Circuits() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Circuit{}, false
+}
+
+// runComplexConcurrency: worker threads issue a mixed query stream against
+// a handful of shared tables. The standard distribution is read-heavy with
+// a write tail; the alternate distribution shifts weight toward updates and
+// deletes (the paper's "alternate query distrib." row).
+func runComplexConcurrency(alternate bool) func(Circuit, *monitor.Runtime, int64) int {
+	return func(c Circuit, rt *monitor.Runtime, seed int64) int {
+		db := NewDB(rt)
+		main := rt.Main()
+		tables := []*Table{db.Table("orders"), db.Table("items"), db.Table("users")}
+		// Pole Position gives each client its own rows: preload one 64-row
+		// band per worker, and keep each worker inside its band. Row maps
+		// then never race across workers (as with H2's MVCC row access);
+		// the store-global chunks and freedPageSpace bookkeeping still
+		// does.
+		const band = 64
+		for _, tb := range tables {
+			for id := int64(0); id < int64(c.Threads*band); id++ {
+				tb.Insert(main, id, payload(tb.name, id, 0))
+			}
+		}
+		// Query mix: select, update, insert, delete (percent thresholds).
+		sel, upd, ins := 55, 80, 92
+		if alternate {
+			sel, upd, ins = 30, 70, 85
+		}
+		var workers []*monitor.Thread
+		for w := 0; w < c.Threads; w++ {
+			w := w
+			workers = append(workers, main.Go(func(t *monitor.Thread) {
+				r := rand.New(rand.NewSource(seed + int64(w)))
+				base := int64(w * band)
+				nextID := int64(1_000_000 + w*100_000)
+				for i := 0; i < c.Ops; i++ {
+					tb := tables[r.Intn(len(tables))]
+					switch p := r.Intn(100); {
+					case p < sel:
+						tb.Select(t, base+int64(r.Intn(band)))
+					case p < upd:
+						id := base + int64(r.Intn(band))
+						if !tb.Update(t, id, payload(tb.name, id, i)) {
+							tb.Insert(t, id, payload(tb.name, id, i))
+						}
+					case p < ins:
+						tb.Insert(t, nextID, payload(tb.name, nextID, i))
+						nextID++
+					default:
+						tb.Delete(t, base+int64(r.Intn(band)))
+					}
+				}
+			}))
+		}
+		main.JoinAll(workers...)
+		db.store.Commit(main)
+		return c.Threads * c.Ops
+	}
+}
+
+// runQueryCentric: workers only read pre-populated tables. At the table
+// interface everything commutes — the commutativity race detector must
+// report nothing — while the unsynchronized cache-hit counter still gives
+// the low-level detector plenty to flag.
+func runQueryCentric(c Circuit, rt *monitor.Runtime, seed int64) int {
+	db := NewDB(rt)
+	main := rt.Main()
+	tb := db.Table("catalog")
+	const rows = 256
+	for id := int64(0); id < rows; id++ {
+		tb.Insert(main, id, payload("catalog", id, 0))
+	}
+	var workers []*monitor.Thread
+	for w := 0; w < c.Threads; w++ {
+		w := w
+		workers = append(workers, main.Go(func(t *monitor.Thread) {
+			r := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < c.Ops; i++ {
+				if r.Intn(100) < 85 {
+					tb.Select(t, int64(r.Intn(rows)))
+				} else {
+					tb.Scan(t, int64(r.Intn(rows-8)), 8)
+				}
+			}
+		}))
+	}
+	main.JoinAll(workers...)
+	return c.Threads * c.Ops
+}
+
+// runInsertCentric: workers bulk-insert into their own tables. Row maps
+// never conflict across workers, but every insert exercises the shared
+// chunks map and periodic page splits hit freedPageSpace — the two store
+// bookkeeping races.
+func runInsertCentric(c Circuit, rt *monitor.Runtime, seed int64) int {
+	db := NewDB(rt)
+	main := rt.Main()
+	tables := make([]*Table, c.Threads)
+	for w := range tables {
+		tables[w] = db.Table("bulk" + string(rune('A'+w%26)))
+	}
+	var workers []*monitor.Thread
+	for w := 0; w < c.Threads; w++ {
+		w := w
+		workers = append(workers, main.Go(func(t *monitor.Thread) {
+			tb := tables[w]
+			for i := 0; i < c.Ops; i++ {
+				id := int64(w*1_000_000 + i)
+				tb.Insert(t, id, payload(tb.name, id, 0))
+			}
+		}))
+	}
+	main.JoinAll(workers...)
+	db.store.Commit(main)
+	return c.Threads * c.Ops
+}
+
+// runComplex: the single-threaded Complex circuit — a mixed workload over
+// several tables with secondary-index lookups and counts. No concurrency,
+// hence no races of either kind.
+func runComplex(c Circuit, rt *monitor.Runtime, seed int64) int {
+	db := NewDB(rt)
+	main := rt.Main()
+	tables := []*Table{db.Table("a"), db.Table("b"), db.Table("c")}
+	r := rand.New(rand.NewSource(seed))
+	live := int64(0)
+	for i := 0; i < c.Ops; i++ {
+		tb := tables[r.Intn(len(tables))]
+		switch p := r.Intn(100); {
+		case p < 40:
+			tb.Select(main, int64(r.Intn(200)))
+		case p < 60:
+			id := live
+			live++
+			tb.Insert(main, id, payload(tb.name, id, i))
+		case p < 75:
+			tb.Update(main, int64(r.Intn(200)), payload(tb.name, int64(i), i))
+		case p < 85:
+			if id, ok := tb.LookupByPayload(main, payload(tb.name, int64(r.Intn(200)), 0)); ok {
+				tb.Select(main, id)
+			}
+		case p < 95:
+			tb.Delete(main, int64(r.Intn(200)))
+		default:
+			tb.Count(main)
+		}
+	}
+	db.store.Commit(main)
+	return c.Ops
+}
+
+// runNestedLists: the single-threaded NestedLists circuit — builds and
+// traverses nested list structures stored as (listID, index) cells in a
+// single map.
+func runNestedLists(c Circuit, rt *monitor.Runtime, seed int64) int {
+	db := NewDB(rt)
+	main := rt.Main()
+	tb := db.Table("lists")
+	r := rand.New(rand.NewSource(seed))
+	lengths := map[int64]int64{}
+	for i := 0; i < c.Ops; i++ {
+		list := int64(r.Intn(32))
+		switch p := r.Intn(100); {
+		case p < 50: // append
+			idx := lengths[list]
+			lengths[list]++
+			tb.Insert(main, list*10_000+idx, payload("lists", list, int(idx)))
+		case p < 90: // walk
+			n := lengths[list]
+			for j := int64(0); j < n && j < 16; j++ {
+				tb.Select(main, list*10_000+j)
+			}
+		default: // clear
+			for j := int64(0); j < lengths[list]; j++ {
+				tb.Delete(main, list*10_000+j)
+			}
+			lengths[list] = 0
+		}
+	}
+	return c.Ops
+}

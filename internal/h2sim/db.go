@@ -1,0 +1,168 @@
+package h2sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// SplitEvery makes every n-th write to a map rewrite an earlier page (a
+// B-tree page split), freeing its space — so pure-insert workloads also
+// exercise the freedPageSpace accounting, as they do in H2.
+const SplitEvery = 8
+
+// DB is the SQL-ish layer over the simulated MVStore: named tables with a
+// primary-key map and a secondary index. Like H2's MVStore, the backing
+// maps are lock-free concurrent maps: callers isolate rows by key ownership
+// (the circuits give each client its own row band, as Pole Position does),
+// while the store-global bookkeeping — where the paper's races live — is
+// shared by every table and accessed without synchronization.
+type DB struct {
+	rt    *monitor.Runtime
+	store *Store
+
+	// cacheHits approximates an unsynchronized page-cache hit counter
+	// bumped on every read — a low-level data race with no commutativity
+	// counterpart (reads still commute at the table interface).
+	cacheHits *monitor.Cell
+
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewDB opens a simulated database on the runtime.
+func NewDB(rt *monitor.Runtime) *DB {
+	return &DB{rt: rt, store: NewStore(rt), cacheHits: rt.NewCell(), tables: map[string]*Table{}}
+}
+
+// Store exposes the underlying MVStore.
+func (db *DB) Store() *Store { return db.store }
+
+// Table opens (or creates) a table.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[name]; ok {
+		return t
+	}
+	t := &Table{
+		db:       db,
+		name:     name,
+		rows:     db.store.OpenMap(name + ".rows"),
+		index:    db.store.OpenMap(name + ".idx"),
+		rowCount: db.rt.NewCell(),
+		puts:     map[*MVMap]int{},
+	}
+	db.tables[name] = t
+	return t
+}
+
+// Table is one simulated SQL table.
+type Table struct {
+	db    *DB
+	name  string
+	rows  *MVMap
+	index *MVMap
+	// rowCount is a plain counter updated without synchronization — a
+	// low-level race for the FASTTRACK baseline.
+	rowCount *monitor.Cell
+
+	pmu  sync.Mutex
+	puts map[*MVMap]int
+}
+
+// Name returns the table name.
+func (tb *Table) Name() string { return tb.name }
+
+// RowsID returns the object id of the primary-key map.
+func (tb *Table) RowsID() trace.ObjID { return tb.rows.ID() }
+
+// maybeSplit triggers the page-split rewrite every SplitEvery writes.
+func (tb *Table) maybeSplit(t *monitor.Thread, m *MVMap) {
+	tb.pmu.Lock()
+	tb.puts[m]++
+	split := tb.puts[m]%SplitEvery == 0
+	tb.pmu.Unlock()
+	if split {
+		// Rewriting an interior page frees its old space.
+		_, chunk := tb.db.store.allocPage()
+		tb.db.store.freePage(t, chunk)
+	}
+}
+
+// Insert adds a row (id → payload) and indexes the payload.
+func (tb *Table) Insert(t *monitor.Thread, id int64, payload string) {
+	tb.rows.Put(t, trace.IntValue(id), trace.StrValue(payload))
+	tb.index.Put(t, trace.StrValue(payload), trace.IntValue(id))
+	tb.maybeSplit(t, tb.rows)
+	tb.rowCount.Add(t, 1)
+}
+
+// Select reads a row by primary key; it returns the payload and whether the
+// row exists.
+func (tb *Table) Select(t *monitor.Thread, id int64) (string, bool) {
+	tb.db.cacheHits.Add(t, 1)
+	v := tb.rows.Get(t, trace.IntValue(id))
+	if v.IsNil() {
+		return "", false
+	}
+	return v.Str(), true
+}
+
+// Update rewrites a row's payload; it reports whether the row existed and
+// leaves absent rows untouched.
+func (tb *Table) Update(t *monitor.Thread, id int64, payload string) bool {
+	cur := tb.rows.Get(t, trace.IntValue(id))
+	if cur.IsNil() {
+		return false
+	}
+	tb.rows.Put(t, trace.IntValue(id), trace.StrValue(payload))
+	tb.index.Remove(t, cur)
+	tb.index.Put(t, trace.StrValue(payload), trace.IntValue(id))
+	return true
+}
+
+// Delete removes a row; it reports whether the row existed.
+func (tb *Table) Delete(t *monitor.Thread, id int64) bool {
+	prev := tb.rows.Remove(t, trace.IntValue(id))
+	if prev.IsNil() {
+		return false
+	}
+	tb.index.Remove(t, prev)
+	tb.rowCount.Add(t, -1)
+	return true
+}
+
+// Scan reads n consecutive rows starting at from, returning how many exist.
+func (tb *Table) Scan(t *monitor.Thread, from int64, n int) int {
+	tb.db.cacheHits.Add(t, 1)
+	hits := 0
+	for i := int64(0); i < int64(n); i++ {
+		if v := tb.rows.Get(t, trace.IntValue(from+i)); !v.IsNil() {
+			hits++
+		}
+	}
+	return hits
+}
+
+// LookupByPayload resolves a row id through the secondary index.
+func (tb *Table) LookupByPayload(t *monitor.Thread, payload string) (int64, bool) {
+	v := tb.index.Get(t, trace.StrValue(payload))
+	if v.IsNil() {
+		return 0, false
+	}
+	return v.Int(), true
+}
+
+// Count returns the row count via the map's size — the high-level size
+// observation that conflicts with concurrent resizes.
+func (tb *Table) Count(t *monitor.Thread) int64 {
+	return tb.rows.Size(t)
+}
+
+// payload renders a deterministic row payload.
+func payload(table string, id int64, rev int) string {
+	return fmt.Sprintf("%s-row%%%d@%d", table, id, rev)
+}

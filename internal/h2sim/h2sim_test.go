@@ -1,0 +1,270 @@
+package h2sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+func TestStoreChunkAndFreeSpaceBookkeeping(t *testing.T) {
+	rt := monitor.NewRuntime()
+	main := rt.Main()
+	s := NewStore(rt)
+	m := s.OpenMap("m")
+	// First write allocates a page in chunk 0.
+	if prev := m.Put(main, trace.IntValue(1), trace.StrValue("x")); !prev.IsNil() {
+		t.Fatalf("prev = %v", prev)
+	}
+	// Overwrite frees the old page's space.
+	if prev := m.Put(main, trace.IntValue(1), trace.StrValue("y")); prev != trace.StrValue("x") {
+		t.Fatalf("prev = %v", prev)
+	}
+	if got := m.Get(main, trace.IntValue(1)); got != trace.StrValue("y") {
+		t.Fatalf("get = %v", got)
+	}
+	if got := m.Remove(main, trace.IntValue(1)); got != trace.StrValue("y") {
+		t.Fatalf("remove = %v", got)
+	}
+	if got := m.Get(main, trace.IntValue(1)); !got.IsNil() {
+		t.Fatalf("after remove = %v", got)
+	}
+	if m.Size(main) != 0 {
+		t.Fatal("size should be 0")
+	}
+	if v := s.Commit(main); v != 1 || s.Version() != 1 {
+		t.Fatalf("commit version = %d", v)
+	}
+	if s.OpenMap("m") != m {
+		t.Fatal("OpenMap must return the same map")
+	}
+	if m.Name() != "m" || m.String() == "" {
+		t.Fatal("map identity accessors broken")
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	rt := monitor.NewRuntime()
+	main := rt.Main()
+	db := NewDB(rt)
+	tb := db.Table("t")
+	if db.Table("t") != tb {
+		t.Fatal("Table must memoize")
+	}
+	tb.Insert(main, 1, "one")
+	tb.Insert(main, 2, "two")
+	if got, ok := tb.Select(main, 1); !ok || got != "one" {
+		t.Fatalf("select = %q, %v", got, ok)
+	}
+	if _, ok := tb.Select(main, 99); ok {
+		t.Fatal("missing row should not select")
+	}
+	if !tb.Update(main, 1, "ONE") {
+		t.Fatal("update of present row must succeed")
+	}
+	if tb.Update(main, 99, "nope") {
+		t.Fatal("update of absent row must fail")
+	}
+	if id, ok := tb.LookupByPayload(main, "ONE"); !ok || id != 1 {
+		t.Fatalf("index lookup = %d, %v", id, ok)
+	}
+	if _, ok := tb.LookupByPayload(main, "one"); ok {
+		t.Fatal("stale index entry survived update")
+	}
+	if got := tb.Scan(main, 1, 4); got != 2 {
+		t.Fatalf("scan hits = %d, want 2", got)
+	}
+	if n := tb.Count(main); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if !tb.Delete(main, 2) || tb.Delete(main, 2) {
+		t.Fatal("delete semantics broken")
+	}
+	if n := tb.Count(main); n != 1 {
+		t.Fatalf("count after delete = %d", n)
+	}
+}
+
+// runUnderRD2 runs a circuit with an attached commutativity detector and
+// returns the analysis.
+func runUnderRD2(t *testing.T, c Circuit) *monitor.RD2 {
+	t.Helper()
+	rt := monitor.NewRuntime()
+	rd2 := monitor.AttachRD2(rt, core.Config{})
+	res := c.Run(rt, 42)
+	if err := rt.Err(); err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	if res.Ops != maxInt(c.Threads, 1)*c.Ops {
+		t.Fatalf("%s: ops = %d", c.Name, res.Ops)
+	}
+	return rd2
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSingleThreadedCircuitsRaceFree(t *testing.T) {
+	for _, name := range []string{"Complex", "NestedLists"} {
+		c, ok := CircuitByName(name)
+		if !ok {
+			t.Fatalf("circuit %s missing", name)
+		}
+		rd2 := runUnderRD2(t, c.Scaled(400))
+		if n := rd2.Detector.Stats().Races; n != 0 {
+			t.Errorf("%s: %d commutativity races in a single-threaded circuit", name, n)
+		}
+	}
+}
+
+func TestQueryCentricRaceFree(t *testing.T) {
+	c, _ := CircuitByName("QueryCentricConcurrency")
+	rd2 := runUnderRD2(t, c.Scaled(100))
+	if n := rd2.Detector.Stats().Races; n != 0 {
+		t.Errorf("QueryCentric: %d commutativity races, want 0 (Table 2)", n)
+	}
+}
+
+// TestConcurrencyCircuitsFindTheTwoStoreRaces is experiment E6 for H2: the
+// racing objects must be exactly the chunks map and the freedPageSpace map
+// — the two harmful races of Section 7.
+func TestConcurrencyCircuitsFindTheTwoStoreRaces(t *testing.T) {
+	for _, name := range []string{
+		"ComplexConcurrency",
+		"ComplexConcurrency (alternate query distrib.)",
+		"InsertCentricConcurrency",
+	} {
+		c, ok := CircuitByName(name)
+		if !ok {
+			t.Fatalf("circuit %s missing", name)
+		}
+		// Rebuild the scenario manually so we can capture the store ids.
+		rt := monitor.NewRuntime()
+		rd2 := monitor.AttachRD2(rt, core.Config{})
+		res := c.Scaled(100).Run(rt, 7)
+		if err := rt.Err(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ops == 0 || res.Duration <= 0 || res.QPS() <= 0 {
+			t.Fatalf("%s: bad result %+v", name, res)
+		}
+		stats := rd2.Detector.Stats()
+		if stats.Races == 0 {
+			t.Errorf("%s: no commutativity races found", name)
+			continue
+		}
+		distinct := rd2.Detector.DistinctObjects()
+		if distinct != 2 {
+			objs := map[trace.ObjID]int{}
+			for _, r := range rd2.Detector.Races() {
+				objs[r.Obj]++
+			}
+			t.Errorf("%s: %d distinct racing objects, want 2 (chunks + freedPageSpace); breakdown %v",
+				name, distinct, objs)
+		}
+	}
+}
+
+func TestChunksAndFreedPageSpaceAreTheRacingObjects(t *testing.T) {
+	// Run a minimal two-writer scenario with direct store access and check
+	// the racing object ids against the store's maps.
+	rt := monitor.NewRuntime()
+	rd2 := monitor.AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	db := NewDB(rt)
+	ta, tbl := db.Table("wa"), db.Table("wb")
+	w1 := main.Go(func(t *monitor.Thread) {
+		for i := int64(0); i < 200; i++ {
+			ta.Insert(t, i, payload("wa", i, 0))
+			ta.Update(t, i, payload("wa", i, 1))
+		}
+	})
+	w2 := main.Go(func(t *monitor.Thread) {
+		for i := int64(0); i < 200; i++ {
+			tbl.Insert(t, i, payload("wb", i, 0))
+			tbl.Update(t, i, payload("wb", i, 1))
+		}
+	})
+	main.JoinAll(w1, w2)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	racing := map[trace.ObjID]bool{}
+	for _, r := range rd2.Detector.Races() {
+		racing[r.Obj] = true
+	}
+	if !racing[db.Store().FreedPageSpaceID()] {
+		t.Error("freedPageSpace race (paper race #1) not found")
+	}
+	if !racing[db.Store().ChunksID()] {
+		t.Error("chunks race (paper race #2) not found")
+	}
+	for obj := range racing {
+		if obj != db.Store().FreedPageSpaceID() && obj != db.Store().ChunksID() {
+			t.Errorf("unexpected racing object o%d", obj)
+		}
+	}
+}
+
+func TestFastTrackFindsLowLevelRaces(t *testing.T) {
+	rt := monitor.NewRuntime()
+	ft := monitor.AttachFastTrack(rt)
+	c, _ := CircuitByName("QueryCentricConcurrency")
+	c.Scaled(50).Run(rt, 3)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Stats().Races == 0 {
+		t.Error("FASTTRACK should flag the unsynchronized cache-hit counter")
+	}
+}
+
+func TestCircuitsSuiteComplete(t *testing.T) {
+	cs := Circuits()
+	if len(cs) != 6 {
+		t.Fatalf("suite has %d circuits, want 6 (Table 2 H2 rows)", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[c.Name] = true
+		if c.Ops <= 0 {
+			t.Errorf("%s: no ops", c.Name)
+		}
+	}
+	for _, want := range []string{
+		"ComplexConcurrency", "QueryCentricConcurrency",
+		"InsertCentricConcurrency", "Complex", "NestedLists",
+	} {
+		if !names[want] {
+			t.Errorf("missing circuit %s", want)
+		}
+	}
+	if _, ok := CircuitByName("nope"); ok {
+		t.Error("CircuitByName should miss")
+	}
+}
+
+func TestResultQPS(t *testing.T) {
+	r := Result{Ops: 1000, Duration: 2e9}
+	if got := r.QPS(); got != 500 {
+		t.Errorf("QPS = %v", got)
+	}
+	if (Result{Ops: 5}).QPS() != 0 {
+		t.Error("zero duration guards division")
+	}
+}
+
+func TestUninstrumentedCircuitsRun(t *testing.T) {
+	for _, c := range Circuits() {
+		rt := monitor.NewRuntime()
+		res := c.Scaled(30).Run(rt, 1)
+		if res.Ops == 0 {
+			t.Errorf("%s: no ops", c.Name)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package h2sim is the reproduction's substitute for the H2 database server
+// used in the paper's evaluation (Section 7). H2 1.3.174's Multi-Version
+// Store (MVStore) keeps its bookkeeping in ConcurrentHashMaps; the paper's
+// RD2 found two harmful commutativity races there:
+//
+//  1. freedPageSpace — commit paths account freed page space with an
+//     unsynchronized get-then-put (check-then-act), so concurrent commits
+//     can lose updates ("could lead to incorrect state of the server").
+//  2. chunks — readers populate chunk metadata with get-miss-then-put, so
+//     concurrent readers recompute and overwrite the same entry ("the same
+//     result being computed multiple times").
+//
+// The simulator reproduces those usage patterns structurally on monitored
+// dictionaries, along with a minimal versioned map and SQL-ish table layer
+// sufficient to drive the Pole Position benchmark circuits of Table 2.
+package h2sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Layout constants of the simulated store.
+const (
+	// PageSize is the simulated byte size of one page.
+	PageSize = 4096
+	// PagesPerChunk groups pages into chunks; chunk metadata lives in the
+	// chunks map.
+	PagesPerChunk = 64
+	// MaxChunks bounds the live chunk id space: H2 compacts and reuses
+	// chunk slots, so ids wrap. (This also makes the bookkeeping races
+	// schedule-independent: threads revisit the same chunk keys no matter
+	// how their page allocations interleave in real time.)
+	MaxChunks = 16
+)
+
+// chunkOf maps a page id to its (reused) chunk id.
+func chunkOf(page int64) int64 {
+	return (page / PagesPerChunk) % MaxChunks
+}
+
+// Store is the MVStore substitute: a versioned page store whose
+// bookkeeping maps are monitored dictionaries.
+type Store struct {
+	rt *monitor.Runtime
+
+	// chunks maps chunk id → metadata token. Populated lazily by readers
+	// and writers with get-miss-then-put: the paper's race #2.
+	chunks *monitor.Dict
+	// freedPageSpace maps chunk id → freed bytes. Updated by commit paths
+	// with get-then-put: the paper's race #1.
+	freedPageSpace *monitor.Dict
+
+	// unsavedMemory approximates H2's unsavedMemory field: a plain field
+	// updated without synchronization on the write path (grist for the
+	// FASTTRACK baseline).
+	unsavedMemory *monitor.Cell
+	// lastCommit approximates lastCommitTime, read unsynchronized by
+	// queries and written by commits.
+	lastCommit *monitor.Cell
+
+	nextPage atomic.Int64
+	version  atomic.Int64
+
+	mu   sync.Mutex
+	maps map[string]*MVMap
+}
+
+// NewStore opens a simulated MVStore on the runtime.
+func NewStore(rt *monitor.Runtime) *Store {
+	return &Store{
+		rt:             rt,
+		chunks:         rt.NewDict(),
+		freedPageSpace: rt.NewDict(),
+		unsavedMemory:  rt.NewCell(),
+		lastCommit:     rt.NewCell(),
+		maps:           map[string]*MVMap{},
+	}
+}
+
+// ChunksID returns the object id of the chunks map (for race attribution).
+func (s *Store) ChunksID() trace.ObjID { return s.chunks.ID() }
+
+// FreedPageSpaceID returns the object id of the freedPageSpace map.
+func (s *Store) FreedPageSpaceID() trace.ObjID { return s.freedPageSpace.ID() }
+
+// OpenMap opens (or creates) a named versioned map.
+func (s *Store) OpenMap(name string) *MVMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.maps[name]; ok {
+		return m
+	}
+	m := &MVMap{store: s, name: name, data: s.rt.NewDict()}
+	s.maps[name] = m
+	return m
+}
+
+// allocPage allocates a fresh page id and returns it with its chunk id.
+func (s *Store) allocPage() (page, chunk int64) {
+	p := s.nextPage.Add(1) - 1
+	return p, chunkOf(p)
+}
+
+// ensureChunk simulates loading chunk metadata on demand: a get that, on
+// miss, "reads the chunk header from disk" and publishes it with put. Two
+// concurrent missers both compute and both publish — the paper's chunks
+// race (#2 in Section 7).
+func (s *Store) ensureChunk(t *monitor.Thread, chunk int64) trace.Value {
+	key := trace.IntValue(chunk)
+	if meta := s.chunks.Get(t, key); !meta.IsNil() {
+		return meta
+	}
+	meta := trace.IntValue(chunk*1000 + 1) // simulated header decode
+	s.chunks.Put(t, key, meta)
+	return meta
+}
+
+// chunkRetireThreshold is the freed-byte count at which a chunk is retired
+// (compacted): its metadata is dropped from the chunks map and its space
+// accounting resets. Readers that hit a retired chunk re-load its metadata,
+// which keeps the chunks race live on the lock-free read path, as in H2.
+const chunkRetireThreshold = PageSize * PagesPerChunk / 2
+
+// freePage accounts freed space for a page's chunk using the H2 1.3.174
+// pattern: read the accumulated count, add, write it back — unsynchronized
+// check-then-act on the freedPageSpace map (#1 in Section 7). Concurrent
+// frees of pages in the same chunk lose updates. Crossing the retirement
+// threshold compacts the chunk.
+func (s *Store) freePage(t *monitor.Thread, chunk int64) {
+	key := trace.IntValue(chunk)
+	freed := s.freedPageSpace.Get(t, key)
+	total := int64(PageSize)
+	if !freed.IsNil() {
+		total += freed.Int()
+	}
+	if total >= chunkRetireThreshold {
+		// Retire the chunk: drop its metadata and reset its accounting —
+		// more unsynchronized writes on both maps.
+		s.chunks.Put(t, key, trace.NilValue)
+		s.freedPageSpace.Put(t, key, trace.IntValue(0))
+		return
+	}
+	s.freedPageSpace.Put(t, key, trace.IntValue(total))
+}
+
+// Commit advances the store version and updates the unsynchronized
+// bookkeeping fields.
+func (s *Store) Commit(t *monitor.Thread) int64 {
+	v := s.version.Add(1)
+	s.lastCommit.Store(t, v)
+	s.unsavedMemory.Store(t, 0)
+	return v
+}
+
+// Version returns the current store version.
+func (s *Store) Version() int64 { return s.version.Load() }
+
+// MVMap is a named versioned key-value map backed by the store. Every write
+// allocates a page, loads the page's chunk metadata, and — when replacing an
+// existing row — frees the old page's space, exercising the two buggy
+// bookkeeping paths.
+type MVMap struct {
+	store *Store
+	name  string
+	data  *monitor.Dict
+
+	// pageOf tracks which page currently holds each key so replacements
+	// free the right chunk; history keeps each key's version chain for
+	// snapshot reads. Both are guarded by pmu: simulator-internal
+	// bookkeeping, not part of the modeled application state.
+	pmu     sync.Mutex
+	pageOf  map[trace.Value]int64
+	history map[trace.Value][]versioned
+}
+
+// Name returns the map name.
+func (m *MVMap) Name() string { return m.name }
+
+// ID returns the object id of the backing dictionary.
+func (m *MVMap) ID() trace.ObjID { return m.data.ID() }
+
+// Put writes k → v at the current version and returns the previous value.
+func (m *MVMap) Put(t *monitor.Thread, k, v trace.Value) trace.Value {
+	page, chunk := m.store.allocPage()
+	m.store.ensureChunk(t, chunk)
+	prev := m.data.Put(t, k, v)
+	m.store.unsavedMemory.Add(t, PageSize)
+	m.pmu.Lock()
+	m.recordVersion(k, v)
+	if m.pageOf == nil {
+		m.pageOf = map[trace.Value]int64{}
+	}
+	oldPage, had := m.pageOf[k]
+	if v.IsNil() {
+		delete(m.pageOf, k)
+	} else {
+		m.pageOf[k] = page
+	}
+	m.pmu.Unlock()
+	if had {
+		m.store.freePage(t, chunkOf(oldPage))
+	}
+	return prev
+}
+
+// Get reads the value for k, touching the chunk metadata of the page that
+// holds it.
+func (m *MVMap) Get(t *monitor.Thread, k trace.Value) trace.Value {
+	m.pmu.Lock()
+	page, had := m.pageOf[k]
+	m.pmu.Unlock()
+	if had {
+		m.store.ensureChunk(t, chunkOf(page))
+	}
+	_ = m.store.lastCommit.Load(t)
+	return m.data.Get(t, k)
+}
+
+// Remove deletes k, freeing its page space, and returns the old value.
+func (m *MVMap) Remove(t *monitor.Thread, k trace.Value) trace.Value {
+	return m.Put(t, k, trace.NilValue)
+}
+
+// Size returns the number of live keys.
+func (m *MVMap) Size(t *monitor.Thread) int64 {
+	return m.data.Size(t)
+}
+
+// String identifies the map.
+func (m *MVMap) String() string {
+	return fmt.Sprintf("mvmap(%s, o%d)", m.name, int(m.data.ID()))
+}

@@ -1,0 +1,82 @@
+package h2sim
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// H2's MVStore "permits read operations to examine older versions (i.e.
+// Snapshot Isolation)" (Section 7 of the paper). This file adds that layer:
+// writes are tagged with the store's open version, Commit publishes them,
+// and a Snapshot reads the state as of a committed version.
+//
+// The instrumentation boundary mirrors H2's: the monitored operation of a
+// versioned read is the backing concurrent-map get (which returns the
+// latest entry — the version chain's head); walking the chain to the
+// snapshot's version is thread-local and invisible to the detectors, just
+// as it is in H2 where RoadRunner instruments the ConcurrentHashMaps, not
+// the undo log walk.
+
+// versioned is one entry of a key's version chain.
+type versioned struct {
+	version int64 // the commit version that published this value
+	val     trace.Value
+}
+
+// Snapshot is a read view of the store at a committed version.
+type Snapshot struct {
+	store   *Store
+	version int64
+}
+
+// Snapshot captures the current committed version.
+func (s *Store) Snapshot() Snapshot {
+	return Snapshot{store: s, version: s.version.Load()}
+}
+
+// Version returns the snapshot's committed version.
+func (sn Snapshot) Version() int64 { return sn.version }
+
+// recordVersion appends the value to the key's chain at the store's open
+// (uncommitted) version. Called by MVMap.Put under the simulator-internal
+// page mutex.
+func (m *MVMap) recordVersion(k, v trace.Value) {
+	if m.history == nil {
+		m.history = map[trace.Value][]versioned{}
+	}
+	open := m.store.version.Load() + 1
+	chain := m.history[k]
+	if n := len(chain); n > 0 && chain[n-1].version == open {
+		chain[n-1].val = v // overwrite within the open version
+	} else {
+		chain = append(chain, versioned{version: open, val: v})
+	}
+	m.history[k] = chain
+}
+
+// GetAt reads k as of the snapshot. The monitored access is the backing
+// map's get (chain head); the version walk is local. Values written after
+// the snapshot's version — including uncommitted ones — are invisible; a
+// key with no committed value at the snapshot reads nil.
+func (m *MVMap) GetAt(t *monitor.Thread, sn Snapshot, k trace.Value) trace.Value {
+	m.Get(t, k) // the instrumented concurrent-map access
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	chain := m.history[k]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].version <= sn.version {
+			return chain[i].val
+		}
+	}
+	return trace.NilValue
+}
+
+// SelectAt reads a row at the snapshot through the table layer.
+func (tb *Table) SelectAt(t *monitor.Thread, sn Snapshot, id int64) (string, bool) {
+	tb.db.cacheHits.Add(t, 1)
+	v := tb.rows.GetAt(t, sn, trace.IntValue(id))
+	if v.IsNil() {
+		return "", false
+	}
+	return v.Str(), true
+}

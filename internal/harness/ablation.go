@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/translate"
+	"repro/internal/vclock"
+)
+
+// AblationRow is one design-choice ablation measurement.
+type AblationRow struct {
+	Name        string
+	Description string
+	Classes     int // representation size (where applicable)
+	Checks      int // phase-1 conflict checks
+	LivePoints  int // active points at the end of the run
+	PeakPoints  int // peak active points
+	Races       int
+	Time        time.Duration
+}
+
+// RunAblations measures the design choices DESIGN.md calls out on a common
+// dictionary workload: the translated representation with and without the
+// appendix optimizations, and the detector with and without §5.3 point
+// compaction. The workload is a fork–join phase structure (wavefronts of
+// workers that are joined before the next wave) so compaction has join
+// points to exploit.
+func RunAblations(actionsPerWave, waves int) ([]AblationRow, error) {
+	if actionsPerWave <= 0 {
+		actionsPerWave = 500
+	}
+	if waves <= 0 {
+		waves = 8
+	}
+	// Build the waved workload.
+	tr := &trace.Trace{}
+	nextTid := vclock.Tid(1)
+	key := 0
+	for w := 0; w < waves; w++ {
+		t1, t2 := nextTid, nextTid+1
+		nextTid += 2
+		tr.Append(trace.Fork(0, t1))
+		tr.Append(trace.Fork(0, t2))
+		for i := 0; i < actionsPerWave; i++ {
+			tid := t1
+			if i%2 == 1 {
+				tid = t2
+			}
+			tr.Append(trace.Act(tid, trace.Action{Obj: 0, Method: "put",
+				Args: []trace.Value{trace.IntValue(int64(key)), trace.IntValue(1)},
+				Rets: []trace.Value{trace.NilValue}}))
+			key++
+		}
+		tr.Append(trace.Join(0, t1))
+		tr.Append(trace.Join(0, t2))
+	}
+
+	spec := specs.MustSpec("dict")
+	optimized, err := translate.Translate(spec)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := translate.TranslateOpts(spec, translate.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(name, desc string, rep *translate.Rep, compact bool) (AblationRow, error) {
+		d := core.New(core.Config{MaxRaces: 16})
+		d.Register(0, rep)
+		en := hb.New()
+		start := time.Now()
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if _, err := en.Process(e); err != nil {
+				return AblationRow{}, err
+			}
+			if err := d.Process(e); err != nil {
+				return AblationRow{}, err
+			}
+			if compact && e.Kind == trace.JoinEvent {
+				d.Compact(en.MeetLive())
+			}
+		}
+		st := d.Stats()
+		return AblationRow{
+			Name: name, Description: desc,
+			Classes: rep.NumClasses(), Checks: st.Checks,
+			LivePoints: st.ActivePoints, PeakPoints: st.PeakActive,
+			Races: st.Races, Time: time.Since(start),
+		}, nil
+	}
+
+	var rows []AblationRow
+	for _, cfg := range []struct {
+		name, desc string
+		rep        *translate.Rep
+		compact    bool
+	}{
+		{"optimized", "Fig 7 representation (cleanup + congruence)", optimized, false},
+		{"raw", "unoptimized §6.2 representation", raw, false},
+		{"optimized+compaction", "Fig 7 representation with §5.3 point compaction at joins", optimized, true},
+	} {
+		row, err := run(cfg.name, cfg.desc, cfg.rep, cfg.compact)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblations formats the ablation table.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %10s %10s %10s %7s %12s\n",
+		"variant", "classes", "checks", "live pts", "peak pts", "races", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %8d %10d %10d %10d %7d %12s\n",
+			r.Name, r.Classes, r.Checks, r.LivePoints, r.PeakPoints, r.Races,
+			r.Time.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunTable2SmokeAndShape(t *testing.T) {
+	rows := RunTable2(Config{Scale: 1, Seed: 42})
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (6 H2 circuits + Cassandra)", len(rows))
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		for m := Uninstrumented; m <= RD2; m++ {
+			if r.Time[m] <= 0 {
+				t.Errorf("%s: mode %s has no time", r.Benchmark, m)
+			}
+			if !r.TimeBased && r.QPS[m] <= 0 {
+				t.Errorf("%s: mode %s has no qps", r.Benchmark, m)
+			}
+		}
+	}
+
+	// Shape claims of Table 2.
+	cc := byName["ComplexConcurrency"]
+	if cc.RD2Races == 0 || cc.RD2Distinct != 2 {
+		t.Errorf("ComplexConcurrency RD2 = %d (%d), want races on exactly 2 objects",
+			cc.RD2Races, cc.RD2Distinct)
+	}
+	if cc.FTRaces == 0 {
+		t.Error("ComplexConcurrency FASTTRACK should find low-level races")
+	}
+	qc := byName["QueryCentricConcurrency"]
+	if qc.RD2Races != 0 {
+		t.Errorf("QueryCentric RD2 races = %d, want 0", qc.RD2Races)
+	}
+	if qc.FTRaces == 0 {
+		t.Error("QueryCentric FASTTRACK should still find low-level races")
+	}
+	ic := byName["InsertCentricConcurrency"]
+	if ic.RD2Races == 0 || ic.RD2Distinct != 2 {
+		t.Errorf("InsertCentric RD2 = %d (%d), want races on exactly 2 objects",
+			ic.RD2Races, ic.RD2Distinct)
+	}
+	for _, single := range []string{"Complex", "NestedLists"} {
+		r := byName[single]
+		if r.RD2Races != 0 || r.FTRaces != 0 {
+			t.Errorf("%s is single-threaded but raced: FT %d, RD2 %d", single, r.FTRaces, r.RD2Races)
+		}
+	}
+	cs := byName["DynamicEndpointSnitch test"]
+	if !cs.TimeBased {
+		t.Error("Cassandra row must be time-based")
+	}
+	if cs.RD2Races == 0 || cs.RD2Distinct != 2 {
+		t.Errorf("snitch RD2 = %d (%d), want races on exactly 2 objects", cs.RD2Races, cs.RD2Distinct)
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	rows := []Row{
+		{App: "H2 database", Benchmark: "X", QPS: [3]float64{2000, 600, 400},
+			FTRaces: 1784, FTDistinct: 26, RD2Races: 200, RD2Distinct: 2},
+		{App: "Cassandra", Benchmark: "Y", TimeBased: true,
+			Time: [3]time.Duration{2907 * time.Millisecond, 12226 * time.Millisecond, 13527 * time.Millisecond}},
+	}
+	out := RenderTable2(rows)
+	for _, frag := range []string{"H2 database", "2000 qps", "1784 (26)", "200 (2)", "2.907 s", "FASTTRACK"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Uninstrumented: "Uninstrumented", FastTrack: "FASTTRACK", RD2: "RD2", Mode(9): "Mode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d: %q != %q", int(m), got, want)
+		}
+	}
+}
+
+func TestRunFig4ShapeMatchesPaper(t *testing.T) {
+	rows, err := RunFig4(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Fig 4: access points need exactly one check for size; the direct
+		// approach needs one per recorded put.
+		if r.BoundedChecks != 1 {
+			t.Errorf("n=%d: bounded checks = %d, want 1", r.Puts, r.BoundedChecks)
+		}
+		if r.DirectChecks != r.Puts {
+			t.Errorf("n=%d: direct checks = %d, want %d", r.Puts, r.DirectChecks, r.Puts)
+		}
+	}
+	out := RenderFig4(rows)
+	if !strings.Contains(out, "access points") || !strings.Contains(out, "invocations") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRunComplexityScaling(t *testing.T) {
+	rows, err := RunComplexity([]int{200, 400, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bounded checks grow linearly with n (constant per action);
+	// enumerating checks grow quadratically (linear per action).
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		bRatio := float64(cur.BoundedChecks) / float64(prev.BoundedChecks)
+		eRatio := float64(cur.EnumeratingChecks) / float64(prev.EnumeratingChecks)
+		if bRatio > 2.5 {
+			t.Errorf("bounded checks ratio %f for 2x actions; want ~2 (constant per action)", bRatio)
+		}
+		if eRatio < 3 {
+			t.Errorf("enumerating checks ratio %f for 2x actions; want ~4 (linear per action)", eRatio)
+		}
+	}
+	// Per-action bounded checks must be a small constant.
+	for _, r := range rows {
+		perAction := float64(r.BoundedChecks) / float64(r.Actions)
+		if perAction > 4 {
+			t.Errorf("bounded checks per action = %f", perAction)
+		}
+	}
+	out := RenderComplexity(rows)
+	if !strings.Contains(out, "actions") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRunRaceDiscovery(t *testing.T) {
+	reports, err := RunRaceDiscovery(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	joined := RenderRaceReports(reports)
+	for _, frag := range []string{
+		"freedPageSpace", "paper finding 1",
+		"chunks", "paper finding 2",
+		"size hint", "paper finding 3",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("race discovery missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+func TestRenderRaceReportsEmpty(t *testing.T) {
+	out := RenderRaceReports([]RaceReport{{Scenario: "clean"}})
+	if !strings.Contains(out, "no races found") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRunOverhead(t *testing.T) {
+	rows, err := RunOverhead(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerEvent <= 0 {
+			t.Errorf("%s: per-event = %v", r.Analysis, r.PerEvent)
+		}
+	}
+	// The commutativity detector's per-event cost must stay within a small
+	// factor of FASTTRACK's — the paper's overhead-comparability claim at
+	// event granularity.
+	rd2, ft := rows[0].PerEvent, rows[1].PerEvent
+	if rd2 > 15*ft {
+		t.Errorf("RD2 %v per event vs FASTTRACK %v: not comparable", rd2, ft)
+	}
+	out := RenderOverhead(rows)
+	if !strings.Contains(out, "ns/event") || !strings.Contains(out, "RD2") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	rows, err := RunAblations(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Races != 0 {
+			t.Errorf("%s: distinct-key waved puts should not race (%d)", r.Name, r.Races)
+		}
+	}
+	opt, raw, comp := byName["optimized"], byName["raw"], byName["optimized+compaction"]
+	if opt.Classes >= raw.Classes {
+		t.Errorf("optimized classes %d !< raw %d", opt.Classes, raw.Classes)
+	}
+	if opt.PeakPoints >= raw.PeakPoints {
+		t.Errorf("optimized peak points %d !< raw %d", opt.PeakPoints, raw.PeakPoints)
+	}
+	if comp.LivePoints >= opt.LivePoints {
+		t.Errorf("compaction live points %d !< plain %d", comp.LivePoints, opt.LivePoints)
+	}
+	out := RenderAblations(rows)
+	if !strings.Contains(out, "optimized+compaction") {
+		t.Errorf("render: %s", out)
+	}
+}

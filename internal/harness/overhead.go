@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fasttrack"
+	"repro/internal/hb"
+	"repro/internal/lockset"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// The paper attributes RD2's overhead being "similar to FASTTRACK" to
+// RoadRunner instrumenting all memory accesses in both configurations. Our
+// simulators emit far fewer memory events than a JVM application, so the
+// per-row overheads of Table 2 are not directly comparable between the two
+// detectors — but the per-event analysis costs are. This experiment feeds
+// the three analyses equivalent pre-stamped event streams and reports
+// nanoseconds per event.
+
+// OverheadRow is one analysis's per-event cost.
+type OverheadRow struct {
+	Analysis string
+	Events   int
+	PerEvent time.Duration
+}
+
+// RunOverhead measures per-event cost for the commutativity detector (on an
+// action stream), FASTTRACK (on an equivalent read/write stream), and the
+// Eraser lockset baseline (same read/write stream).
+func RunOverhead(events int, seed int64) ([]OverheadRow, error) {
+	if events <= 0 {
+		events = 50000
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// Action stream: puts/gets over a bounded key space from 4 threads.
+	actions := &trace.Trace{}
+	for t := 1; t <= 4; t++ {
+		actions.Append(trace.Fork(0, vclock.Tid(t)))
+	}
+	state := map[trace.Value]trace.Value{}
+	for i := 0; i < events; i++ {
+		t := vclock.Tid(1 + r.Intn(4))
+		k := trace.IntValue(int64(r.Intn(256)))
+		if r.Intn(2) == 0 {
+			prev, ok := state[k]
+			if !ok {
+				prev = trace.NilValue
+			}
+			v := trace.IntValue(int64(r.Intn(64) + 1))
+			state[k] = v
+			actions.Append(trace.Act(t, trace.Action{Obj: 0, Method: "put",
+				Args: []trace.Value{k, v}, Rets: []trace.Value{prev}}))
+		} else {
+			cur, ok := state[k]
+			if !ok {
+				cur = trace.NilValue
+			}
+			actions.Append(trace.Act(t, trace.Action{Obj: 0, Method: "get",
+				Args: []trace.Value{k}, Rets: []trace.Value{cur}}))
+		}
+	}
+	if err := hb.StampAll(actions); err != nil {
+		return nil, err
+	}
+
+	// Memory stream: reads/writes over the same number of events.
+	memory := &trace.Trace{}
+	for t := 1; t <= 4; t++ {
+		memory.Append(trace.Fork(0, vclock.Tid(t)))
+	}
+	for i := 0; i < events; i++ {
+		t := vclock.Tid(1 + r.Intn(4))
+		v := trace.VarID(r.Intn(256))
+		if r.Intn(2) == 0 {
+			memory.Append(trace.Write(t, v))
+		} else {
+			memory.Append(trace.Read(t, v))
+		}
+	}
+	if err := hb.StampAll(memory); err != nil {
+		return nil, err
+	}
+
+	var rows []OverheadRow
+	// RD2 on the action stream.
+	det := core.New(core.Config{MaxRaces: 1})
+	det.Register(0, specs.MustRep("dict"))
+	start := time.Now()
+	for i := range actions.Events {
+		if err := det.Process(&actions.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, OverheadRow{"RD2 (actions)", events,
+		time.Since(start) / time.Duration(events)})
+
+	// FASTTRACK on the memory stream.
+	ft := fasttrack.New(nil)
+	start = time.Now()
+	for i := range memory.Events {
+		if err := ft.Process(&memory.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, OverheadRow{"FASTTRACK (reads/writes)", events,
+		time.Since(start) / time.Duration(events)})
+
+	// Eraser lockset on the memory stream.
+	ls := lockset.New()
+	start = time.Now()
+	for i := range memory.Events {
+		if err := ls.Process(&memory.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, OverheadRow{"Eraser lockset (reads/writes)", events,
+		time.Since(start) / time.Duration(events)})
+	return rows, nil
+}
+
+// RenderOverhead formats the per-event cost table.
+func RenderOverhead(rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %10s %14s\n", "analysis", "events", "ns/event")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %10d %14d\n", r.Analysis, r.Events, r.PerEvent.Nanoseconds())
+	}
+	return b.String()
+}

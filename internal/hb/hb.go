@@ -1,0 +1,155 @@
+// Package hb implements the happens-before engine of Table 1 in the paper:
+// it maintains the auxiliary maps T : Tid → VC and L : Lock → VC, updates
+// them at every synchronization event, and stamps action (and memory) events
+// with the vector clock of their thread.
+//
+// The update rules (Table 1):
+//
+//	τ fork υ:  T(υ) ← inc_υ(T(τ));  T(τ) ← inc_τ(T(τ))
+//	τ join υ:  T(τ) ← T(τ) ⊔ T(υ)
+//	τ acq l:   T(τ) ← T(τ) ⊔ L(l)
+//	τ rel l:   L(l) ← T(τ);  T(τ) ← inc_τ(T(τ))
+//	τ action:  vc(e) ← T(τ)
+//
+// A thread's very first appearance initializes T(τ) = inc_τ(⊥) so distinct
+// root threads start incomparable.
+package hb
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Engine tracks the happens-before relation of an event stream. It is not
+// safe for concurrent use; the monitored runtime serializes events into it.
+type Engine struct {
+	threads map[vclock.Tid]vclock.VC
+	locks   map[trace.LockID]vclock.VC
+	chans   map[trace.ChanID]*chanState
+	dead    map[vclock.Tid]bool // joined or ended threads
+}
+
+// chanState carries the in-flight message clocks of one FIFO channel: the
+// i-th receive joins the clock captured by the i-th send.
+type chanState struct {
+	queue []vclock.VC
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		threads: map[vclock.Tid]vclock.VC{},
+		locks:   map[trace.LockID]vclock.VC{},
+		chans:   map[trace.ChanID]*chanState{},
+		dead:    map[vclock.Tid]bool{},
+	}
+}
+
+// ThreadClock returns the current clock T(τ), initializing the thread on
+// first sight. The returned clock is owned by the engine; callers must Clone
+// before retaining it.
+func (en *Engine) ThreadClock(t vclock.Tid) vclock.VC {
+	c, ok := en.threads[t]
+	if !ok {
+		c = vclock.VC(nil).Inc(t)
+		en.threads[t] = c
+	}
+	return c
+}
+
+// LockClock returns L(l) (bottom if the lock has never been released).
+func (en *Engine) LockClock(l trace.LockID) vclock.VC { return en.locks[l] }
+
+// Process applies an event to the auxiliary state per Table 1 and, for all
+// event kinds, stamps e.Clock with a snapshot of the acting thread's clock
+// taken before any post-event increment. It returns the stamped clock.
+func (en *Engine) Process(e *trace.Event) (vclock.VC, error) {
+	t := e.Thread
+	ct := en.ThreadClock(t)
+	switch e.Kind {
+	case trace.ForkEvent:
+		if _, exists := en.threads[e.Other]; exists {
+			return nil, fmt.Errorf("hb: thread t%d forked twice", e.Other)
+		}
+		e.Clock = ct.Clone()
+		child := ct.Clone().Inc(e.Other)
+		en.threads[e.Other] = child
+		en.threads[t] = ct.Inc(t)
+	case trace.JoinEvent:
+		cu, ok := en.threads[e.Other]
+		if !ok {
+			return nil, fmt.Errorf("hb: join on unknown thread t%d", e.Other)
+		}
+		en.threads[t] = ct.Join(cu)
+		e.Clock = en.threads[t].Clone()
+		en.dead[e.Other] = true
+	case trace.AcquireEvent:
+		en.threads[t] = ct.Join(en.locks[e.Lock])
+		e.Clock = en.threads[t].Clone()
+	case trace.ReleaseEvent:
+		e.Clock = ct.Clone()
+		en.locks[e.Lock] = ct.Clone()
+		en.threads[t] = ct.Inc(t)
+	case trace.SendEvent:
+		// Like a release: the message carries the sender's clock, and the
+		// sender advances so later sends are distinguishable.
+		e.Clock = ct.Clone()
+		cs := en.chans[e.Chan]
+		if cs == nil {
+			cs = &chanState{}
+			en.chans[e.Chan] = cs
+		}
+		cs.queue = append(cs.queue, ct.Clone())
+		en.threads[t] = ct.Inc(t)
+	case trace.RecvEvent:
+		cs := en.chans[e.Chan]
+		if cs == nil || len(cs.queue) == 0 {
+			return nil, fmt.Errorf("hb: receive on channel c%d with no pending send", e.Chan)
+		}
+		msg := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		en.threads[t] = ct.Join(msg)
+		e.Clock = en.threads[t].Clone()
+	case trace.EndEvent:
+		e.Clock = ct.Clone()
+		en.dead[t] = true
+	case trace.ActionEvent, trace.ReadEvent, trace.WriteEvent,
+		trace.BeginEvent, trace.DieEvent:
+		e.Clock = ct.Clone()
+	default:
+		return nil, fmt.Errorf("hb: unknown event kind %v", e.Kind)
+	}
+	return e.Clock, nil
+}
+
+// MeetLive returns the pointwise minimum of all live (not joined, not
+// ended) threads' clocks. Every access point whose accumulated clock is ⊑
+// this meet is dominated by every possible future event and can never
+// participate in a race again (the Section 5.3 reclamation the paper leaves
+// as future work). It returns nil (bottom) when no thread is live.
+func (en *Engine) MeetLive() vclock.VC {
+	var live []vclock.VC
+	for t, c := range en.threads {
+		if !en.dead[t] {
+			live = append(live, c)
+		}
+	}
+	return vclock.Meet(live...)
+}
+
+// StampAll runs the whole trace through a fresh engine, stamping every
+// event's Clock in place.
+func StampAll(tr *trace.Trace) error {
+	en := New()
+	for i := range tr.Events {
+		if _, err := en.Process(&tr.Events[i]); err != nil {
+			return fmt.Errorf("event %d (%s): %w", i, tr.Events[i].String(), err)
+		}
+	}
+	return nil
+}
+
+// Threads returns the number of threads seen so far.
+func (en *Engine) Threads() int { return len(en.threads) }

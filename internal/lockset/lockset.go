@@ -1,0 +1,202 @@
+// Package lockset implements the classic Eraser lockset algorithm
+// (Savage et al., TOCS'97) as a second low-level baseline beside FASTTRACK.
+// It exists to contrast detection disciplines: lockset checking enforces a
+// locking *policy* (every shared variable is consistently protected by some
+// lock) and therefore reports false positives on fork/join- or
+// channel-ordered accesses, while the happens-before detectors (FASTTRACK
+// and the paper's RD2) are precise for the observed trace. The tests
+// demonstrate exactly that divergence.
+//
+// State machine per variable (the Eraser refinement):
+//
+//	Virgin → Exclusive(first thread) → Shared (reads by others)
+//	                                 → SharedModified (writes by others)
+//
+// The candidate set C(v) starts as "all locks" and is intersected with the
+// accessor's held locks on every access once the variable leaves the
+// Exclusive state; an empty C(v) in SharedModified reports a violation.
+package lockset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// state is the Eraser per-variable state.
+type state uint8
+
+const (
+	virgin state = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+func (s state) String() string {
+	switch s {
+	case virgin:
+		return "virgin"
+	case exclusive:
+		return "exclusive"
+	case shared:
+		return "shared"
+	case sharedModified:
+		return "shared-modified"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Violation is one lockset discipline violation: a variable in the
+// shared-modified state whose candidate lockset became empty.
+type Violation struct {
+	Var    trace.VarID
+	Thread vclock.Tid
+	Seq    int
+	Write  bool
+}
+
+func (v Violation) String() string {
+	kind := "read"
+	if v.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("lockset violation on v%d: unprotected %s by t%d (event %d)",
+		int(v.Var), kind, v.Thread, v.Seq)
+}
+
+// varState is the shadow word of one variable.
+type varState struct {
+	st       state
+	owner    vclock.Tid
+	cands    map[trace.LockID]struct{} // nil means "all locks" (⊤)
+	reported bool
+}
+
+// Detector is an Eraser lockset analysis. Single-threaded like the other
+// detectors; drive it from a serialized event stream.
+type Detector struct {
+	vars       map[trace.VarID]*varState
+	held       map[vclock.Tid]map[trace.LockID]struct{}
+	violations []Violation
+	max        int
+}
+
+// New returns a lockset detector.
+func New() *Detector {
+	return &Detector{
+		vars: map[trace.VarID]*varState{},
+		held: map[vclock.Tid]map[trace.LockID]struct{}{},
+		max:  10000,
+	}
+}
+
+// Process consumes one event; clocks are not needed.
+func (d *Detector) Process(e *trace.Event) error {
+	switch e.Kind {
+	case trace.AcquireEvent:
+		hs := d.held[e.Thread]
+		if hs == nil {
+			hs = map[trace.LockID]struct{}{}
+			d.held[e.Thread] = hs
+		}
+		hs[e.Lock] = struct{}{}
+	case trace.ReleaseEvent:
+		if hs := d.held[e.Thread]; hs != nil {
+			delete(hs, e.Lock)
+		}
+	case trace.ReadEvent:
+		d.access(e, false)
+	case trace.WriteEvent:
+		d.access(e, true)
+	}
+	return nil
+}
+
+// access applies the Eraser transition for one read or write.
+func (d *Detector) access(e *trace.Event, write bool) {
+	vs := d.vars[e.Var]
+	if vs == nil {
+		vs = &varState{st: virgin}
+		d.vars[e.Var] = vs
+	}
+	switch vs.st {
+	case virgin:
+		vs.st = exclusive
+		vs.owner = e.Thread
+		return
+	case exclusive:
+		if e.Thread == vs.owner {
+			return
+		}
+		if write {
+			vs.st = sharedModified
+		} else {
+			vs.st = shared
+		}
+		// Initialize candidates on first sharing, then refine below.
+		vs.cands = nil
+	case shared:
+		if write {
+			vs.st = sharedModified
+		}
+	case sharedModified:
+	}
+	d.refine(vs, e.Thread)
+	if vs.st == sharedModified && len(vs.cands) == 0 && vs.cands != nil && !vs.reported {
+		vs.reported = true
+		v := Violation{Var: e.Var, Thread: e.Thread, Seq: e.Seq, Write: write}
+		if len(d.violations) < d.max {
+			d.violations = append(d.violations, v)
+		}
+	}
+}
+
+// refine intersects the candidate set with the thread's held locks. A nil
+// candidate set means ⊤ (not yet initialized) and becomes the held set.
+func (d *Detector) refine(vs *varState, t vclock.Tid) {
+	heldSet := d.held[t]
+	if vs.cands == nil {
+		vs.cands = map[trace.LockID]struct{}{}
+		for l := range heldSet {
+			vs.cands[l] = struct{}{}
+		}
+		return
+	}
+	for l := range vs.cands {
+		if _, ok := heldSet[l]; !ok {
+			delete(vs.cands, l)
+		}
+	}
+}
+
+// Violations returns the reported violations.
+func (d *Detector) Violations() []Violation { return d.violations }
+
+// Candidates returns the surviving candidate locks for a variable, sorted
+// (nil when the variable never left the exclusive state).
+func (d *Detector) Candidates(v trace.VarID) []trace.LockID {
+	vs := d.vars[v]
+	if vs == nil || vs.cands == nil {
+		return nil
+	}
+	out := make([]trace.LockID, 0, len(vs.cands))
+	for l := range vs.cands {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RunTrace feeds the whole trace through the detector.
+func (d *Detector) RunTrace(tr *trace.Trace) error {
+	for i := range tr.Events {
+		if err := d.Process(&tr.Events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

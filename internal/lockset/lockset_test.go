@@ -1,0 +1,159 @@
+package lockset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fasttrack"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, tr *trace.Trace) *Detector {
+	t.Helper()
+	d := New()
+	if err := d.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConsistentLockingClean(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Acquire(1, 0).Write(1, 0).Release(1, 0).
+		Acquire(2, 0).Write(2, 0).Read(2, 0).Release(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 0 {
+		t.Fatalf("violations: %v", d.Violations())
+	}
+	if got := d.Candidates(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("candidates = %v, want [l0]", got)
+	}
+}
+
+func TestUnprotectedSharingViolates(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Write(1, 0).
+		Write(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 1 {
+		t.Fatalf("violations: %v", d.Violations())
+	}
+	v := d.Violations()[0]
+	if !v.Write || v.Var != 0 {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "unprotected write") {
+		t.Errorf("string = %q", v.String())
+	}
+}
+
+func TestInconsistentLocksViolate(t *testing.T) {
+	// Each thread holds a lock — but different ones. Note the Eraser
+	// initialization escape hatch: the exclusive owner's locks are
+	// forgotten at the sharing transition, so the candidate set becomes
+	// {l1} at t2's write and only empties at the next differently-locked
+	// access.
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Acquire(1, 0).Write(1, 0).Release(1, 0).
+		Acquire(2, 1).Write(2, 0).Release(2, 1).
+		Acquire(1, 0).Write(1, 0).Release(1, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 1 {
+		t.Fatalf("violations: %v", d.Violations())
+	}
+	if got := d.Candidates(0); len(got) != 0 {
+		t.Fatalf("candidates = %v, want empty", got)
+	}
+}
+
+func TestExclusivePhaseNeverViolates(t *testing.T) {
+	// One thread, no locks: initialization pattern, allowed by Eraser.
+	tr := trace.NewBuilder().
+		Write(0, 0).Write(0, 0).Read(0, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 0 {
+		t.Fatalf("violations: %v", d.Violations())
+	}
+	if d.Candidates(0) != nil {
+		t.Fatal("exclusive variable has no candidate set yet")
+	}
+}
+
+func TestReadSharingWithoutWritesClean(t *testing.T) {
+	tr := trace.NewBuilder().
+		Write(0, 0). // init by t0
+		Fork(0, 1).Fork(0, 2).
+		Read(1, 0).
+		Read(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 0 {
+		t.Fatalf("read sharing flagged: %v", d.Violations())
+	}
+}
+
+func TestViolationReportedOnce(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Write(1, 0).
+		Write(2, 0).Write(2, 0).Write(2, 0).
+		Trace()
+	d := run(t, tr)
+	if len(d.Violations()) != 1 {
+		t.Fatalf("violations: %v", d.Violations())
+	}
+}
+
+// TestLocksetFalsePositiveVsHappensBefore shows why the paper builds on
+// happens-before: fork/join-ordered unlocked accesses satisfy no locking
+// discipline (lockset flags them) yet can never race (FASTTRACK and RD2
+// stay silent).
+func TestLocksetFalsePositiveVsHappensBefore(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).
+		Write(1, 0).
+		Join(0, 1). // join orders the two writes
+		Write(0, 0).
+		Trace()
+	ls := run(t, tr)
+	if len(ls.Violations()) == 0 {
+		t.Fatal("lockset should flag the discipline violation (its false positive)")
+	}
+	ft := fasttrack.New(nil)
+	if err := ft.RunTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Races()) != 0 {
+		t.Fatalf("happens-before detector must stay silent: %v", ft.Races())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[state]string{
+		virgin: "virgin", exclusive: "exclusive", shared: "shared",
+		sharedModified: "shared-modified", state(9): "state(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d: %q != %q", s, got, want)
+		}
+	}
+}
+
+func TestNonMemoryEventsIgnored(t *testing.T) {
+	d := New()
+	a := trace.Act(0, trace.Action{Obj: 0, Method: "m"})
+	if err := d.Process(&a); err != nil {
+		t.Fatal(err)
+	}
+	rel := trace.Release(0, 5) // release without acquire: harmless
+	if err := d.Process(&rel); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"repro/internal/ap"
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/fasttrack"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// RD2 glues a core.Detector to a monitored runtime: it forwards events and
+// registers each newly created object's access point representation by kind.
+// It is the tool of the paper's evaluation ("RD2").
+type RD2 struct {
+	Detector *core.Detector
+	reps     map[string]ap.Rep
+}
+
+// NewRD2 wraps a commutativity race detector with the standard spec library
+// (dict, set, counter, queue, register, multiset).
+func NewRD2(cfg core.Config) *RD2 {
+	r := &RD2{Detector: core.New(cfg), reps: map[string]ap.Rep{}}
+	for _, name := range specs.Names() {
+		r.reps[name] = specs.MustRep(name)
+	}
+	return r
+}
+
+// RegisterKind installs (or overrides) the representation used for objects
+// of the given kind.
+func (r *RD2) RegisterKind(kind string, rep ap.Rep) {
+	r.reps[kind] = rep
+}
+
+// Process implements Analysis.
+func (r *RD2) Process(e *trace.Event) error { return r.Detector.Process(e) }
+
+// ObjectCreated implements ObjectObserver.
+func (r *RD2) ObjectCreated(obj trace.ObjID, kind string) {
+	if rep, ok := r.reps[kind]; ok {
+		r.Detector.Register(obj, rep)
+	}
+}
+
+// Compact implements Compactor: the runtime triggers it after joins so the
+// detector sheds points that can never race again.
+func (r *RD2) Compact(threshold vclock.VC) int {
+	return r.Detector.Compact(threshold)
+}
+
+// AttachRD2 creates an RD2 analysis, attaches it to the runtime, and
+// returns it.
+func AttachRD2(rt *Runtime, cfg core.Config) *RD2 {
+	r := NewRD2(cfg)
+	rt.Attach(r)
+	return r
+}
+
+// AttachFastTrack creates a FASTTRACK detector, attaches it, and returns it.
+func AttachFastTrack(rt *Runtime) *fasttrack.Detector {
+	d := fasttrack.New(nil)
+	rt.Attach(d)
+	return d
+}
+
+// Atomicity glues the commutativity atomicity checker to a monitored
+// runtime, registering representations by object kind like RD2 does.
+type Atomicity struct {
+	Checker *atomicity.Checker
+	reps    map[string]ap.Rep
+}
+
+// NewAtomicity wraps an atomicity checker with the standard spec library.
+func NewAtomicity() *Atomicity {
+	a := &Atomicity{Checker: atomicity.New(), reps: map[string]ap.Rep{}}
+	for _, name := range specs.Names() {
+		a.reps[name] = specs.MustRep(name)
+	}
+	return a
+}
+
+// Process implements Analysis.
+func (a *Atomicity) Process(e *trace.Event) error { return a.Checker.Process(e) }
+
+// ObjectCreated implements ObjectObserver.
+func (a *Atomicity) ObjectCreated(obj trace.ObjID, kind string) {
+	if rep, ok := a.reps[kind]; ok {
+		a.Checker.Register(obj, rep)
+	}
+}
+
+// AttachAtomicity creates an atomicity analysis, attaches it, and returns
+// it.
+func AttachAtomicity(rt *Runtime) *Atomicity {
+	a := NewAtomicity()
+	rt.Attach(a)
+	return a
+}

@@ -1,0 +1,53 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Example_onlineDetection runs the paper's Fig 1 connection program under
+// the online detector: duplicate hosts race, and the race names the key.
+func Example_onlineDetection() {
+	rt := monitor.NewRuntime()
+	rd2 := monitor.AttachRD2(rt, core.Config{})
+
+	main := rt.Main()
+	dict := rt.NewDict()
+	hosts := []string{"a.com", "a.com"}
+	var workers []*monitor.Thread
+	for i, h := range hosts {
+		host, conn := trace.StrValue(h), trace.IntValue(int64(9000+i))
+		workers = append(workers, main.Go(func(t *monitor.Thread) {
+			dict.Put(t, host, conn)
+		}))
+	}
+	main.JoinAll(workers...)
+
+	if err := rt.Err(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("connections: %d, races: %d\n",
+		dict.Size(main), rd2.Detector.Stats().Races)
+	// Output: connections: 1, races: 1
+}
+
+// Example_atomicBlocks marks a composed operation as a transaction for the
+// atomicity analysis.
+func Example_atomicBlocks() {
+	rt := monitor.NewRuntime()
+	atom := monitor.AttachAtomicity(rt)
+	main := rt.Main()
+	dict := rt.NewDict()
+	main.Atomic(func() {
+		if dict.Get(main, trace.StrValue("k")).IsNil() {
+			dict.Put(main, trace.StrValue("k"), trace.IntValue(1))
+		}
+	})
+	fmt.Printf("transactions: %d, violations: %d\n",
+		atom.Checker.Transactions(), len(atom.Checker.Violations()))
+	// Output: transactions: 1, violations: 0
+}

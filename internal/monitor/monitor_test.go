@@ -1,0 +1,524 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// connections runs the Fig 1 program: one thread per host, each storing a
+// connection into a shared dictionary, then joinall and size.
+func connections(rt *Runtime, hosts []string) int64 {
+	main := rt.Main()
+	dict := rt.NewDict()
+	var threads []*Thread
+	for i, h := range hosts {
+		host := trace.StrValue(h)
+		conn := trace.IntValue(int64(1000 + i))
+		threads = append(threads, main.Go(func(t *Thread) {
+			dict.Put(t, host, conn)
+		}))
+	}
+	main.JoinAll(threads...)
+	return dict.Size(main)
+}
+
+func TestFig1DuplicateHostsRace(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	n := connections(rt, []string{"a.com", "a.com"})
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("size = %d, want 1", n)
+	}
+	races := rd2.Detector.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want exactly the duplicate-host put/put race", races)
+	}
+	if !strings.Contains(races[0].SecondPoint, "a.com") {
+		t.Errorf("racing point %q should mention the key", races[0].SecondPoint)
+	}
+}
+
+func TestFig1DistinctHostsNoRace(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	n := connections(rt, []string{"a.com", "b.com", "c.com"})
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("size = %d, want 3", n)
+	}
+	if races := rd2.Detector.Races(); len(races) != 0 {
+		t.Fatalf("unexpected races: %v", races)
+	}
+}
+
+func TestUninstrumentedEmitsNothing(t *testing.T) {
+	rt := NewRuntime()
+	if rt.Instrumented() {
+		t.Fatal("fresh runtime must be uninstrumented")
+	}
+	n := connections(rt, []string{"a.com", "a.com"})
+	if n != 1 {
+		t.Fatalf("size = %d", n)
+	}
+	if rt.Trace() != nil {
+		t.Fatal("no trace should be recorded")
+	}
+}
+
+func TestRecordingRoundTrips(t *testing.T) {
+	rt := NewRuntime()
+	rt.Record()
+	connections(rt, []string{"a.com", "b.com"})
+	tr := rt.Trace()
+	if tr == nil || tr.Len() == 0 {
+		t.Fatal("recording empty")
+	}
+	back, err := trace.ParseString(trace.Format(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip %d -> %d events", tr.Len(), back.Len())
+	}
+	// The recorded trace replays to the same verdict.
+	rd2 := NewRD2(core.Config{})
+	for i := 0; i < tr.Len(); i++ {
+		// Object kinds are notified at creation; replay registers manually.
+		rd2.ObjectCreated(0, "dict")
+	}
+	if err := rd2.Detector.RunTrace(back); err != nil {
+		t.Fatal(err)
+	}
+	if len(rd2.Detector.Races()) != 0 {
+		t.Fatal("distinct hosts should stay race-free on replay")
+	}
+}
+
+func TestLocksOrderCriticalSections(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	lock := rt.NewLock()
+	key := trace.StrValue("k")
+	var threads []*Thread
+	for i := 0; i < 4; i++ {
+		v := trace.IntValue(int64(i + 1))
+		threads = append(threads, main.Go(func(t *Thread) {
+			lock.Lock(t)
+			dict.Put(t, key, v)
+			lock.Unlock(t)
+		}))
+	}
+	main.JoinAll(threads...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if races := rd2.Detector.Races(); len(races) != 0 {
+		t.Fatalf("lock-protected puts raced: %v", races)
+	}
+}
+
+func TestCellFastTrack(t *testing.T) {
+	rt := NewRuntime()
+	ft := AttachFastTrack(rt)
+	main := rt.Main()
+	cell := rt.NewCell()
+	u := main.Go(func(t *Thread) { cell.Store(t, 1) })
+	v := main.Go(func(t *Thread) { cell.Store(t, 2) })
+	main.JoinAll(u, v)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Races()) == 0 {
+		t.Fatal("concurrent unsynchronized stores must race")
+	}
+	// Synchronized accesses are clean.
+	rt2 := NewRuntime()
+	ft2 := AttachFastTrack(rt2)
+	main2 := rt2.Main()
+	cell2 := rt2.NewCell()
+	lock := rt2.NewLock()
+	a := main2.Go(func(t *Thread) { lock.Lock(t); cell2.Add(t, 1); lock.Unlock(t) })
+	b := main2.Go(func(t *Thread) { lock.Lock(t); cell2.Add(t, 1); lock.Unlock(t) })
+	main2.JoinAll(a, b)
+	if err := rt2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft2.Races()) != 0 {
+		t.Fatalf("locked adds raced: %v", ft2.Races())
+	}
+	if got := cell2.Load(main2); got != 2 {
+		t.Fatalf("cell = %d, want 2", got)
+	}
+}
+
+func TestBothDetectorsSimultaneously(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	ft := AttachFastTrack(rt)
+	main := rt.Main()
+	dict := rt.NewDict()
+	cell := rt.NewCell()
+	key := trace.StrValue("k")
+	u := main.Go(func(t *Thread) {
+		dict.Put(t, key, trace.IntValue(1))
+		cell.Store(t, 1)
+	})
+	v := main.Go(func(t *Thread) {
+		dict.Put(t, key, trace.IntValue(2))
+		cell.Store(t, 2)
+	})
+	main.JoinAll(u, v)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rd2.Detector.Races()) == 0 {
+		t.Error("RD2 should flag the dictionary race")
+	}
+	if len(ft.Races()) == 0 {
+		t.Error("FASTTRACK should flag the cell race")
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	k := trace.StrValue("k")
+	got, added := dict.PutIfAbsent(main, k, trace.IntValue(1))
+	if !added || got != trace.IntValue(1) {
+		t.Fatalf("first PutIfAbsent = %v, %v", got, added)
+	}
+	got, added = dict.PutIfAbsent(main, k, trace.IntValue(2))
+	if added || got != trace.IntValue(1) {
+		t.Fatalf("second PutIfAbsent = %v, %v", got, added)
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_ = rd2
+}
+
+func TestDictRemovalAndGet(t *testing.T) {
+	rt := NewRuntime()
+	AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	k := trace.StrValue("k")
+	if prev := dict.Put(main, k, trace.IntValue(5)); !prev.IsNil() {
+		t.Fatalf("prev = %v", prev)
+	}
+	if got := dict.Get(main, k); got != trace.IntValue(5) {
+		t.Fatalf("get = %v", got)
+	}
+	if prev := dict.Put(main, k, trace.NilValue); prev != trace.IntValue(5) {
+		t.Fatalf("removal prev = %v", prev)
+	}
+	if got := dict.Get(main, k); !got.IsNil() {
+		t.Fatalf("after removal get = %v", got)
+	}
+	if n := dict.Size(main); n != 0 {
+		t.Fatalf("size = %d", n)
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitoredSetCounterQueueRegister(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+
+	s := rt.NewSet()
+	if !s.Add(main, trace.IntValue(1)) || s.Add(main, trace.IntValue(1)) {
+		t.Error("set add semantics broken")
+	}
+	if !s.Contains(main, trace.IntValue(1)) || s.Size(main) != 1 {
+		t.Error("set query semantics broken")
+	}
+	if !s.Remove(main, trace.IntValue(1)) || s.Remove(main, trace.IntValue(1)) {
+		t.Error("set remove semantics broken")
+	}
+
+	c := rt.NewCounter()
+	if c.Add(main, 5) != 0 || c.Read(main) != 5 || c.Add(main, 2) != 5 {
+		t.Error("counter semantics broken")
+	}
+
+	q := rt.NewQueue()
+	q.Enq(main, trace.IntValue(1))
+	q.Enq(main, trace.IntValue(2))
+	if q.Len(main) != 2 || q.Deq(main) != trace.IntValue(1) || q.Deq(main) != trace.IntValue(2) || !q.Deq(main).IsNil() {
+		t.Error("queue semantics broken")
+	}
+
+	r := rt.NewRegister()
+	if !r.Write(main, trace.IntValue(7)).IsNil() || r.Read(main) != trace.IntValue(7) {
+		t.Error("register semantics broken")
+	}
+
+	s.Kill(main)
+	c.Kill(main)
+	q.Kill(main)
+	r.Kill(main)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rd2.Detector.Races()); n != 0 {
+		t.Fatalf("sequential usage raced: %v", rd2.Detector.Races())
+	}
+}
+
+func TestConcurrentSetRace(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	s := rt.NewSet()
+	x := trace.IntValue(42)
+	u := main.Go(func(t *Thread) { s.Add(t, x) })
+	v := main.Go(func(t *Thread) { s.Add(t, x) })
+	main.JoinAll(u, v)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// One add succeeds, one fails: success does not commute with failure.
+	if len(rd2.Detector.Races()) == 0 {
+		t.Fatal("duplicate concurrent adds must race")
+	}
+}
+
+func TestKillReclaims(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	dict.Put(main, trace.StrValue("k"), trace.IntValue(1))
+	before := rd2.Detector.Stats().ActivePoints
+	dict.Kill(main)
+	after := rd2.Detector.Stats().ActivePoints
+	if before == 0 || after != 0 {
+		t.Fatalf("active %d -> %d; kill should reclaim", before, after)
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownKindSurfacesError(t *testing.T) {
+	// An analysis with no representation for a kind leaves the object
+	// unregistered; the first action on it surfaces a sticky runtime error.
+	rt := NewRuntime()
+	rd2 := &RD2{Detector: core.New(core.Config{}), reps: map[string]ap.Rep{}}
+	rt.Attach(rd2)
+	main := rt.Main()
+	dict := rt.NewDict()
+	dict.Put(main, trace.StrValue("k"), trace.IntValue(1))
+	if err := rt.Err(); err == nil || !strings.Contains(err.Error(), "no registered representation") {
+		t.Fatalf("want registration error, got %v", err)
+	}
+}
+
+func TestRegisterKindOverride(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := NewRD2(core.Config{})
+	rd2.RegisterKind("dict", ap.DictRep{})
+	rt.Attach(rd2)
+	main := rt.Main()
+	dict := rt.NewDict()
+	dict.Put(main, trace.StrValue("k"), trace.IntValue(1))
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighContentionStress(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{MaxRaces: 100})
+	main := rt.Main()
+	dict := rt.NewDict()
+	lock := rt.NewLock()
+	var threads []*Thread
+	for i := 0; i < 8; i++ {
+		i := i
+		threads = append(threads, main.Go(func(t *Thread) {
+			for j := 0; j < 50; j++ {
+				k := trace.IntValue(int64(j % 10))
+				if j%3 == 0 {
+					lock.Lock(t)
+					dict.Put(t, k, trace.IntValue(int64(i*100+j)))
+					lock.Unlock(t)
+				} else {
+					dict.Get(t, k)
+				}
+			}
+		}))
+	}
+	main.JoinAll(threads...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlocked gets race with locked puts; the detector must survive the
+	// load and report something.
+	if rd2.Detector.Stats().Races == 0 {
+		t.Error("expected races under contention")
+	}
+}
+
+func TestManyThreadsManyObjects(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	var dicts []*Dict
+	for i := 0; i < 4; i++ {
+		dicts = append(dicts, rt.NewDict())
+	}
+	var wgThreads []*Thread
+	for i := 0; i < 6; i++ {
+		i := i
+		wgThreads = append(wgThreads, main.Go(func(t *Thread) {
+			d := dicts[i%len(dicts)]
+			d.Put(t, trace.IntValue(int64(i)), trace.IntValue(1))
+		}))
+	}
+	main.JoinAll(wgThreads...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rd2.Detector.Races()); n != 0 {
+		t.Fatalf("distinct keys on separate objects raced: %v", n)
+	}
+}
+
+func TestEmitConcurrencySafety(t *testing.T) {
+	// Hammer the runtime from many goroutines to shake out ordering bugs
+	// (run with -race in CI).
+	rt := NewRuntime()
+	AttachRD2(rt, core.Config{MaxRaces: 10})
+	main := rt.Main()
+	dict := rt.NewDict()
+	var wg sync.WaitGroup
+	var threads []*Thread
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		threads = append(threads, main.Go(func(t *Thread) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				dict.Put(t, trace.IntValue(int64((i*7+j)%13)), trace.IntValue(int64(j)))
+			}
+		}))
+	}
+	wg.Wait()
+	main.JoinAll(threads...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeCompactsAfterJoins(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	var workers []*Thread
+	for i := 0; i < 4; i++ {
+		k := trace.IntValue(int64(i))
+		workers = append(workers, main.Go(func(th *Thread) {
+			dict.Put(th, k, trace.IntValue(1))
+		}))
+	}
+	main.JoinAll(workers...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := rd2.Detector.Stats()
+	if st.ActivePoints != 0 {
+		t.Errorf("active points = %d after joinall; runtime compaction should have dropped them (peak %d)",
+			st.ActivePoints, st.PeakActive)
+	}
+	if st.Reclaimed == 0 {
+		t.Error("no points reclaimed")
+	}
+}
+
+func TestChannelSynchronizesHandoff(t *testing.T) {
+	rt := NewRuntime()
+	rd2 := AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	dict := rt.NewDict()
+	ch := rt.NewChan(1)
+	k := trace.StrValue("k")
+	producer := main.Go(func(t *Thread) {
+		dict.Put(t, k, trace.IntValue(1))
+		ch.Send(t, trace.IntValue(0)) // publish
+	})
+	consumer := main.Go(func(t *Thread) {
+		ch.Recv(t) // acquire
+		dict.Put(t, k, trace.IntValue(2))
+	})
+	main.JoinAll(producer, consumer)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rd2.Detector.Stats().Races; n != 0 {
+		t.Fatalf("channel-ordered puts raced: %d", n)
+	}
+	// Without the channel, the same puts race.
+	rt2 := NewRuntime()
+	rd22 := AttachRD2(rt2, core.Config{})
+	main2 := rt2.Main()
+	dict2 := rt2.NewDict()
+	p2 := main2.Go(func(t *Thread) { dict2.Put(t, k, trace.IntValue(1)) })
+	c2 := main2.Go(func(t *Thread) { dict2.Put(t, k, trace.IntValue(2)) })
+	main2.JoinAll(p2, c2)
+	if err := rt2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rd22.Detector.Stats().Races; n == 0 {
+		t.Fatal("unordered puts must race")
+	}
+}
+
+func TestChannelBufferAndBlocking(t *testing.T) {
+	rt := NewRuntime()
+	main := rt.Main()
+	ch := rt.NewChan(2)
+	ch.Send(main, trace.IntValue(1))
+	ch.Send(main, trace.IntValue(2))
+	if got := ch.Recv(main); got != trace.IntValue(1) {
+		t.Fatalf("recv = %v", got)
+	}
+	if got := ch.Recv(main); got != trace.IntValue(2) {
+		t.Fatalf("recv = %v", got)
+	}
+	// Capacity clamp.
+	if c := rt.NewChan(0); c.cap != 1 {
+		t.Fatalf("cap = %d", c.cap)
+	}
+	// Blocking send/recv across threads.
+	ch2 := rt.NewChan(1)
+	w := main.Go(func(t *Thread) {
+		ch2.Send(t, trace.IntValue(10))
+		ch2.Send(t, trace.IntValue(11)) // blocks until main receives
+	})
+	if got := ch2.Recv(main); got != trace.IntValue(10) {
+		t.Fatalf("recv = %v", got)
+	}
+	if got := ch2.Recv(main); got != trace.IntValue(11) {
+		t.Fatalf("recv = %v", got)
+	}
+	main.Join(w)
+}

@@ -1,0 +1,382 @@
+package monitor
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// hashValue hashes a trace.Value for shard selection.
+func hashValue(v trace.Value) uint64 {
+	h := fnv.New64a()
+	switch v.Kind() {
+	case trace.Str:
+		_, _ = h.Write([]byte{1})
+		_, _ = h.Write([]byte(v.Str()))
+	default:
+		b := [9]byte{byte(v.Kind())}
+		x := uint64(v.Int())
+		for i := 0; i < 8; i++ {
+			b[i+1] = byte(x >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Dict is a monitored concurrent dictionary — the ConcurrentHashMap
+// equivalent of the paper's evaluation. Its abstract state is the total map
+// of Fig 5 (absent keys read nil); put(k, nil) removes the key. The
+// implementation is shard-locked for realistic concurrency; every operation
+// emits an action event matching the Fig 6 specification signatures.
+type Dict struct {
+	rt     *Runtime
+	id     trace.ObjID
+	shards []dictShard
+}
+
+type dictShard struct {
+	mu sync.Mutex
+	m  map[trace.Value]trace.Value
+}
+
+// DictShards is the shard count of monitored dictionaries.
+const DictShards = 16
+
+// NewDict creates a monitored dictionary.
+func (rt *Runtime) NewDict() *Dict {
+	d := &Dict{rt: rt, id: rt.newObjID("dict"), shards: make([]dictShard, DictShards)}
+	for i := range d.shards {
+		d.shards[i].m = map[trace.Value]trace.Value{}
+	}
+	return d
+}
+
+// ID returns the dictionary's object id.
+func (d *Dict) ID() trace.ObjID { return d.id }
+
+func (d *Dict) shard(k trace.Value) *dictShard {
+	return &d.shards[hashValue(k)%DictShards]
+}
+
+// Put associates k with v and returns the previous value (nil if absent).
+// Putting nil removes the key.
+func (d *Dict) Put(t *Thread, k, v trace.Value) trace.Value {
+	s := d.shard(k)
+	s.mu.Lock()
+	prev, ok := s.m[k]
+	if !ok {
+		prev = trace.NilValue
+	}
+	if v.IsNil() {
+		delete(s.m, k)
+	} else {
+		s.m[k] = v
+	}
+	d.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: d.id, Method: "put",
+		Args: []trace.Value{k, v},
+		Rets: []trace.Value{prev},
+	}))
+	s.mu.Unlock()
+	return prev
+}
+
+// Get returns the value associated with k (nil if absent).
+func (d *Dict) Get(t *Thread, k trace.Value) trace.Value {
+	s := d.shard(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		v = trace.NilValue
+	}
+	d.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: d.id, Method: "get",
+		Args: []trace.Value{k},
+		Rets: []trace.Value{v},
+	}))
+	s.mu.Unlock()
+	return v
+}
+
+// PutIfAbsent stores v under k only when k is absent; it returns the value
+// now associated with k and whether the store happened. At the event level
+// it is a put (when it stores) or a get (when it does not), matching its
+// observational behavior.
+func (d *Dict) PutIfAbsent(t *Thread, k, v trace.Value) (trace.Value, bool) {
+	s := d.shard(k)
+	s.mu.Lock()
+	cur, ok := s.m[k]
+	if ok {
+		d.rt.emit(trace.Act(t.ID, trace.Action{
+			Obj: d.id, Method: "get",
+			Args: []trace.Value{k},
+			Rets: []trace.Value{cur},
+		}))
+		s.mu.Unlock()
+		return cur, false
+	}
+	s.m[k] = v
+	d.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: d.id, Method: "put",
+		Args: []trace.Value{k, v},
+		Rets: []trace.Value{trace.NilValue},
+	}))
+	s.mu.Unlock()
+	return v, true
+}
+
+// Size returns the number of present (non-nil) keys.
+func (d *Dict) Size(t *Thread) int64 {
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+	}
+	var n int64
+	for i := range d.shards {
+		n += int64(len(d.shards[i].m))
+	}
+	d.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: d.id, Method: "size",
+		Rets: []trace.Value{trace.IntValue(n)},
+	}))
+	for i := len(d.shards) - 1; i >= 0; i-- {
+		d.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Kill reclaims the dictionary's analysis state (Section 5.3).
+func (d *Dict) Kill(t *Thread) {
+	d.rt.emit(trace.Die(t.ID, d.id))
+}
+
+// Set is a monitored concurrent set matching the specs.SetSrc signatures.
+type Set struct {
+	rt *Runtime
+	id trace.ObjID
+	mu sync.Mutex
+	m  map[trace.Value]struct{}
+}
+
+// NewSet creates a monitored set.
+func (rt *Runtime) NewSet() *Set {
+	return &Set{rt: rt, id: rt.newObjID("set"), m: map[trace.Value]struct{}{}}
+}
+
+// ID returns the set's object id.
+func (s *Set) ID() trace.ObjID { return s.id }
+
+// Add inserts x, reporting whether it was newly added.
+func (s *Set) Add(t *Thread, x trace.Value) bool {
+	s.mu.Lock()
+	_, present := s.m[x]
+	if !present {
+		s.m[x] = struct{}{}
+	}
+	s.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: s.id, Method: "add",
+		Args: []trace.Value{x},
+		Rets: []trace.Value{trace.BoolValue(!present)},
+	}))
+	s.mu.Unlock()
+	return !present
+}
+
+// Remove deletes x, reporting whether it was present.
+func (s *Set) Remove(t *Thread, x trace.Value) bool {
+	s.mu.Lock()
+	_, present := s.m[x]
+	delete(s.m, x)
+	s.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: s.id, Method: "remove",
+		Args: []trace.Value{x},
+		Rets: []trace.Value{trace.BoolValue(present)},
+	}))
+	s.mu.Unlock()
+	return present
+}
+
+// Contains reports membership of x.
+func (s *Set) Contains(t *Thread, x trace.Value) bool {
+	s.mu.Lock()
+	_, present := s.m[x]
+	s.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: s.id, Method: "contains",
+		Args: []trace.Value{x},
+		Rets: []trace.Value{trace.BoolValue(present)},
+	}))
+	s.mu.Unlock()
+	return present
+}
+
+// Size returns the cardinality.
+func (s *Set) Size(t *Thread) int64 {
+	s.mu.Lock()
+	n := int64(len(s.m))
+	s.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: s.id, Method: "size",
+		Rets: []trace.Value{trace.IntValue(n)},
+	}))
+	s.mu.Unlock()
+	return n
+}
+
+// Kill reclaims the set's analysis state.
+func (s *Set) Kill(t *Thread) {
+	s.rt.emit(trace.Die(t.ID, s.id))
+}
+
+// Counter is a monitored shared counter matching specs.CounterSrc.
+type Counter struct {
+	rt *Runtime
+	id trace.ObjID
+	mu sync.Mutex
+	v  int64
+}
+
+// NewCounter creates a monitored counter.
+func (rt *Runtime) NewCounter() *Counter {
+	return &Counter{rt: rt, id: rt.newObjID("counter")}
+}
+
+// ID returns the counter's object id.
+func (c *Counter) ID() trace.ObjID { return c.id }
+
+// Add adds delta and returns the previous value.
+func (c *Counter) Add(t *Thread, delta int64) int64 {
+	c.mu.Lock()
+	old := c.v
+	c.v += delta
+	c.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: c.id, Method: "add",
+		Args: []trace.Value{trace.IntValue(delta)},
+		Rets: []trace.Value{trace.IntValue(old)},
+	}))
+	c.mu.Unlock()
+	return old
+}
+
+// Read returns the current value.
+func (c *Counter) Read(t *Thread) int64 {
+	c.mu.Lock()
+	v := c.v
+	c.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: c.id, Method: "read",
+		Rets: []trace.Value{trace.IntValue(v)},
+	}))
+	c.mu.Unlock()
+	return v
+}
+
+// Kill reclaims the counter's analysis state.
+func (c *Counter) Kill(t *Thread) {
+	c.rt.emit(trace.Die(t.ID, c.id))
+}
+
+// Queue is a monitored FIFO queue matching specs.QueueSrc.
+type Queue struct {
+	rt *Runtime
+	id trace.ObjID
+	mu sync.Mutex
+	q  []trace.Value
+}
+
+// NewQueue creates a monitored queue.
+func (rt *Runtime) NewQueue() *Queue {
+	return &Queue{rt: rt, id: rt.newObjID("queue")}
+}
+
+// ID returns the queue's object id.
+func (q *Queue) ID() trace.ObjID { return q.id }
+
+// Enq appends x.
+func (q *Queue) Enq(t *Thread, x trace.Value) {
+	q.mu.Lock()
+	q.q = append(q.q, x)
+	q.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: q.id, Method: "enq",
+		Args: []trace.Value{x},
+	}))
+	q.mu.Unlock()
+}
+
+// Deq removes and returns the head (nil when empty).
+func (q *Queue) Deq(t *Thread) trace.Value {
+	q.mu.Lock()
+	x := trace.NilValue
+	if len(q.q) > 0 {
+		x = q.q[0]
+		q.q = q.q[1:]
+	}
+	q.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: q.id, Method: "deq",
+		Rets: []trace.Value{x},
+	}))
+	q.mu.Unlock()
+	return x
+}
+
+// Len returns the queue length.
+func (q *Queue) Len(t *Thread) int64 {
+	q.mu.Lock()
+	n := int64(len(q.q))
+	q.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: q.id, Method: "len",
+		Rets: []trace.Value{trace.IntValue(n)},
+	}))
+	q.mu.Unlock()
+	return n
+}
+
+// Kill reclaims the queue's analysis state.
+func (q *Queue) Kill(t *Thread) {
+	q.rt.emit(trace.Die(t.ID, q.id))
+}
+
+// Register is a monitored single-value register matching specs.RegisterSrc.
+type Register struct {
+	rt *Runtime
+	id trace.ObjID
+	mu sync.Mutex
+	v  trace.Value
+}
+
+// NewRegister creates a monitored register (initially nil).
+func (rt *Runtime) NewRegister() *Register {
+	return &Register{rt: rt, id: rt.newObjID("register")}
+}
+
+// ID returns the register's object id.
+func (r *Register) ID() trace.ObjID { return r.id }
+
+// Write stores v and returns the previous value.
+func (r *Register) Write(t *Thread, v trace.Value) trace.Value {
+	r.mu.Lock()
+	old := r.v
+	r.v = v
+	r.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: r.id, Method: "write",
+		Args: []trace.Value{v},
+		Rets: []trace.Value{old},
+	}))
+	r.mu.Unlock()
+	return old
+}
+
+// Read returns the current value.
+func (r *Register) Read(t *Thread) trace.Value {
+	r.mu.Lock()
+	v := r.v
+	r.rt.emit(trace.Act(t.ID, trace.Action{
+		Obj: r.id, Method: "read",
+		Rets: []trace.Value{v},
+	}))
+	r.mu.Unlock()
+	return v
+}
+
+// Kill reclaims the register's analysis state.
+func (r *Register) Kill(t *Thread) {
+	r.rt.emit(trace.Die(t.ID, r.id))
+}

@@ -1,0 +1,347 @@
+// Package monitor is the instrumentation layer of the reproduction — the
+// role RoadRunner plays for the paper's RD2 tool. It provides a monitored
+// runtime (threads, forks, joins, locks) and monitored shared objects
+// (dictionaries, sets, counters, queues, registers, and raw memory cells)
+// that are themselves thread-safe and emit a totally ordered, vector-clock
+// stamped event stream to attached analyses.
+//
+// Workloads written against this package can run in three modes, matching
+// the three columns of Table 2:
+//
+//	uninstrumented — no analyses attached: events are not even constructed
+//	FASTTRACK      — a fasttrack.Detector attached: consumes read/write
+//	RD2            — a core.Detector attached: consumes action events
+//
+// Both detectors can be attached simultaneously.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Analysis consumes stamped events. core.Detector and fasttrack.Detector
+// both satisfy it.
+type Analysis interface {
+	Process(e *trace.Event) error
+}
+
+// ObjectObserver is implemented by analyses that want to know when shared
+// objects are created, e.g. to register an access point representation for
+// the object's kind. See RD2Analysis.
+type ObjectObserver interface {
+	ObjectCreated(obj trace.ObjID, kind string)
+}
+
+// Compactor is implemented by analyses that can drop state dominated by
+// every live thread's clock (core.Detector.Compact). The runtime invokes it
+// after every join event with the meet of the live threads' clocks.
+type Compactor interface {
+	Compact(threshold vclock.VC) int
+}
+
+// Runtime is a monitored execution environment. All event emission is
+// serialized under an internal mutex, which both orders the trace and
+// stamps every event with the emitting thread's vector clock.
+type Runtime struct {
+	mu       sync.Mutex
+	hb       *hb.Engine
+	analyses []Analysis
+	record   *trace.Trace
+	seq      int
+	err      error
+
+	nextTid  int32
+	nextObj  int32
+	nextVar  int32
+	nextLock int32
+	nextChan int32
+
+	instrumented atomic.Bool
+	main         *Thread
+}
+
+// NewRuntime returns a monitored runtime with a main thread (t0).
+func NewRuntime() *Runtime {
+	rt := &Runtime{hb: hb.New(), nextTid: 1}
+	rt.main = &Thread{rt: rt, ID: 0, done: make(chan struct{})}
+	return rt
+}
+
+// Attach registers an analysis. Must be called before any monitored
+// activity; attaching an analysis turns instrumentation on.
+func (rt *Runtime) Attach(a Analysis) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.analyses = append(rt.analyses, a)
+	rt.instrumented.Store(true)
+}
+
+// Record turns on trace recording (implies instrumentation).
+func (rt *Runtime) Record() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.record = &trace.Trace{}
+	rt.instrumented.Store(true)
+}
+
+// Trace returns the recorded trace (nil unless Record was called).
+func (rt *Runtime) Trace() *trace.Trace {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.record
+}
+
+// Err returns the first error reported by any analysis (sticky).
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+// Main returns the main thread t0.
+func (rt *Runtime) Main() *Thread { return rt.main }
+
+// Instrumented reports whether events are being emitted.
+func (rt *Runtime) Instrumented() bool { return rt.instrumented.Load() }
+
+// emit stamps and dispatches one event. It is the single serialization
+// point of the runtime. No-op when uninstrumented.
+func (rt *Runtime) emit(e trace.Event) {
+	if !rt.instrumented.Load() {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e.Seq = rt.seq
+	rt.seq++
+	if _, err := rt.hb.Process(&e); err != nil {
+		if rt.err == nil {
+			rt.err = err
+		}
+		return
+	}
+	if rt.record != nil {
+		rt.record.Append(e)
+	}
+	for _, a := range rt.analyses {
+		if err := a.Process(&e); err != nil && rt.err == nil {
+			rt.err = err
+		}
+	}
+	if e.Kind == trace.JoinEvent {
+		var threshold vclock.VC
+		for _, a := range rt.analyses {
+			if c, ok := a.(Compactor); ok {
+				if threshold == nil {
+					threshold = rt.hb.MeetLive()
+				}
+				c.Compact(threshold)
+			}
+		}
+	}
+}
+
+// notifyObject tells object observers about a new object.
+func (rt *Runtime) notifyObject(obj trace.ObjID, kind string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, a := range rt.analyses {
+		if oo, ok := a.(ObjectObserver); ok {
+			oo.ObjectCreated(obj, kind)
+		}
+	}
+}
+
+// Thread is a monitored thread. Operations on monitored objects take the
+// acting thread so events carry the right thread id.
+type Thread struct {
+	rt   *Runtime
+	ID   vclock.Tid
+	done chan struct{}
+}
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Go forks a monitored thread running fn and returns its handle. The fork
+// event is emitted before fn can start, establishing the happens-before
+// edge of Table 1.
+func (t *Thread) Go(fn func(*Thread)) *Thread {
+	id := vclock.Tid(atomic.AddInt32(&t.rt.nextTid, 1) - 1)
+	child := &Thread{rt: t.rt, ID: id, done: make(chan struct{})}
+	t.rt.emit(trace.Fork(t.ID, id))
+	go func() {
+		defer close(child.done)
+		fn(child)
+	}()
+	return child
+}
+
+// Join blocks until u terminates, then emits the join event that orders
+// u's events before t's subsequent ones.
+func (t *Thread) Join(u *Thread) {
+	<-u.done
+	t.rt.emit(trace.Join(t.ID, u.ID))
+}
+
+// JoinAll joins every thread, modeling the paper's joinall.
+func (t *Thread) JoinAll(us ...*Thread) {
+	for _, u := range us {
+		t.Join(u)
+	}
+}
+
+// Begin opens a transaction on this thread (consumed by atomicity
+// analyses; ignored by the race detectors).
+func (t *Thread) Begin() {
+	t.rt.emit(trace.Event{Kind: trace.BeginEvent, Thread: t.ID})
+}
+
+// End closes the thread's open transaction.
+func (t *Thread) End() {
+	t.rt.emit(trace.Event{Kind: trace.EndEvent, Thread: t.ID})
+}
+
+// Atomic runs fn inside a Begin/End transaction span.
+func (t *Thread) Atomic(fn func()) {
+	t.Begin()
+	defer t.End()
+	fn()
+}
+
+// Lock is a monitored mutex.
+type Lock struct {
+	rt *Runtime
+	id trace.LockID
+	mu sync.Mutex
+}
+
+// NewLock creates a monitored lock.
+func (rt *Runtime) NewLock() *Lock {
+	return &Lock{rt: rt, id: trace.LockID(atomic.AddInt32(&rt.nextLock, 1) - 1)}
+}
+
+// Lock acquires the lock as thread t. The acquire event is emitted while
+// holding the real mutex, after the matching release's event, so the
+// happens-before edges mirror the real synchronization order.
+func (l *Lock) Lock(t *Thread) {
+	l.mu.Lock()
+	l.rt.emit(trace.Acquire(t.ID, l.id))
+}
+
+// Unlock releases the lock as thread t.
+func (l *Lock) Unlock(t *Thread) {
+	l.rt.emit(trace.Release(t.ID, l.id))
+	l.mu.Unlock()
+}
+
+// Chan is a monitored buffered FIFO channel of values. Sends and receives
+// emit synchronization events: the i-th receive happens after the i-th
+// send, giving channel-synchronized code the happens-before edges Go's
+// memory model promises. (The reverse capacity edge — the k-th receive
+// happening before the (k+cap)-th send returns — is not modeled; omitting
+// edges can only make the detectors report more potential concurrency,
+// never less, so the analyses stay sound.)
+type Chan struct {
+	rt   *Runtime
+	id   trace.ChanID
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []trace.Value
+	cap  int
+}
+
+// NewChan creates a monitored channel with the given capacity (minimum 1;
+// rendezvous channels are modeled as capacity 1, which has the same
+// happens-before edges).
+func (rt *Runtime) NewChan(capacity int) *Chan {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Chan{rt: rt, id: trace.ChanID(atomic.AddInt32(&rt.nextChan, 1) - 1), cap: capacity}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// ID returns the channel id.
+func (c *Chan) ID() trace.ChanID { return c.id }
+
+// Send enqueues v as thread t, blocking while the buffer is full. The send
+// event is emitted in enqueue order, so the happens-before engine matches
+// messages exactly.
+func (c *Chan) Send(t *Thread, v trace.Value) {
+	c.mu.Lock()
+	for len(c.buf) == c.cap {
+		c.cond.Wait()
+	}
+	c.rt.emit(trace.Send(t.ID, c.id))
+	c.buf = append(c.buf, v)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Recv dequeues the oldest value as thread t, blocking while empty.
+func (c *Chan) Recv(t *Thread) trace.Value {
+	c.mu.Lock()
+	for len(c.buf) == 0 {
+		c.cond.Wait()
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	c.rt.emit(trace.Recv(t.ID, c.id))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return v
+}
+
+// Cell is a monitored memory location holding a single value — the
+// granularity at which the FASTTRACK baseline checks for races. The backing
+// store is synchronized (so the simulator itself is well-defined Go), but
+// reads and writes emit unsynchronized-access events exactly like a plain
+// field would in the paper's Java setting.
+type Cell struct {
+	rt  *Runtime
+	id  trace.VarID
+	val atomic.Int64
+}
+
+// NewCell creates a monitored memory cell.
+func (rt *Runtime) NewCell() *Cell {
+	return &Cell{rt: rt, id: trace.VarID(atomic.AddInt32(&rt.nextVar, 1) - 1)}
+}
+
+// ID returns the cell's variable id.
+func (c *Cell) ID() trace.VarID { return c.id }
+
+// Load reads the cell as thread t.
+func (c *Cell) Load(t *Thread) int64 {
+	v := c.val.Load()
+	c.rt.emit(trace.Read(t.ID, c.id))
+	return v
+}
+
+// Store writes the cell as thread t.
+func (c *Cell) Store(t *Thread, v int64) {
+	c.val.Store(v)
+	c.rt.emit(trace.Write(t.ID, c.id))
+}
+
+// Add increments the cell (a read-modify-write: emits a read then a write).
+func (c *Cell) Add(t *Thread, delta int64) int64 {
+	c.rt.emit(trace.Read(t.ID, c.id))
+	v := c.val.Add(delta)
+	c.rt.emit(trace.Write(t.ID, c.id))
+	return v
+}
+
+// newObjID allocates an object id and notifies observers.
+func (rt *Runtime) newObjID(kind string) trace.ObjID {
+	id := trace.ObjID(atomic.AddInt32(&rt.nextObj, 1) - 1)
+	rt.notifyObject(id, kind)
+	return id
+}

@@ -1,0 +1,196 @@
+// Package replay implements a checker for Theorem 5.2 of the paper: if an
+// observed trace has no commutativity races with respect to its
+// happens-before relation and a sound specification, then every trace that
+// admits the same happens-before relation (every linearization of the
+// partial order) starts from the same state, stays well-defined, and ends
+// in the same final state.
+//
+// The checker samples random linear extensions of a stamped trace's
+// happens-before order and replays each against the reference semantics
+// (package semantics). A linearization "fails" when an action's recorded
+// return values are impossible in the replayed state — exactly the
+// observable symptom of non-determinism (e.g. the get(5) of Section 1
+// returning 7 in one schedule and nil in another) — or when two
+// linearizations reach different final states.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/hb"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// Config controls the determinism check.
+type Config struct {
+	// Samples is the number of random linearizations to replay (default 20).
+	Samples int
+	// Seed drives the linearization sampler.
+	Seed int64
+}
+
+// Result reports the outcome of a determinism check.
+type Result struct {
+	// Deterministic is true when every sampled linearization replayed
+	// without inconsistency and all reached the same final fingerprints.
+	Deterministic bool
+	// Witness describes the first divergence found (empty if none).
+	Witness string
+	// Samples is the number of linearizations actually replayed.
+	Samples int
+}
+
+// Check stamps the trace (if needed) and samples linearizations of its
+// happens-before order, replaying each. kinds maps every object appearing
+// in the trace to its semantics kind (see semantics.New).
+func Check(tr *trace.Trace, kinds map[trace.ObjID]string, cfg Config) (Result, error) {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 20
+	}
+	// Stamp if the trace has unstamped events.
+	needStamp := false
+	for i := range tr.Events {
+		if tr.Events[i].Clock == nil {
+			needStamp = true
+			break
+		}
+	}
+	if needStamp {
+		if err := hb.StampAll(tr); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Collect action events and their happens-before edges.
+	var acts []*trace.Event
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Kind != trace.ActionEvent {
+			continue
+		}
+		if _, ok := kinds[e.Act.Obj]; !ok {
+			return Result{}, fmt.Errorf("replay: object o%d has no semantics kind", e.Act.Obj)
+		}
+		acts = append(acts, e)
+	}
+	n := len(acts)
+	// preds[j] lists indices i with acts[i] ≺ acts[j].
+	preds := make([][]int, n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if happensBefore(acts[i], acts[j]) {
+				preds[j] = append(preds[j], i)
+			}
+		}
+	}
+
+	// Reference replay: trace order itself (a valid linearization).
+	baseline, err := replayOrder(acts, identity(n), kinds)
+	if err != nil {
+		return Result{Deterministic: false,
+			Witness: fmt.Sprintf("the observed order itself is inconsistent: %v", err)}, nil
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Deterministic: true, Samples: 1}
+	for s := 1; s < cfg.Samples; s++ {
+		order := randomLinearization(r, n, preds)
+		res.Samples++
+		fp, err := replayOrder(acts, order, kinds)
+		if err != nil {
+			res.Deterministic = false
+			res.Witness = fmt.Sprintf("linearization %d: %v", s, err)
+			return res, nil
+		}
+		if fp != baseline {
+			res.Deterministic = false
+			res.Witness = fmt.Sprintf("linearization %d ends in %s; observed order ends in %s",
+				s, fp, baseline)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// happensBefore uses the stamped clocks: ei ≺ ej (for i earlier in the
+// trace) iff vc(ei) ⊑ vc(ej).
+func happensBefore(ei, ej *trace.Event) bool {
+	return ei.Clock.LEQ(ej.Clock)
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// randomLinearization draws a uniform-ish random topological order of the
+// precedence DAG.
+func randomLinearization(r *rand.Rand, n int, preds [][]int) []int {
+	remaining := make([]int, n) // unsatisfied predecessor counts
+	succs := make([][]int, n)
+	for j, ps := range preds {
+		remaining[j] = len(ps)
+		for _, i := range ps {
+			succs[i] = append(succs[i], j)
+		}
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		k := r.Intn(len(ready))
+		next := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, next)
+		for _, s := range succs[next] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+// replayOrder replays the actions in the given order against fresh
+// machines and returns the combined final fingerprint.
+func replayOrder(acts []*trace.Event, order []int, kinds map[trace.ObjID]string) (string, error) {
+	machines := map[trace.ObjID]semantics.Machine{}
+	for _, idx := range order {
+		e := acts[idx]
+		m, ok := machines[e.Act.Obj]
+		if !ok {
+			var err error
+			m, err = semantics.New(kinds[e.Act.Obj])
+			if err != nil {
+				return "", err
+			}
+			machines[e.Act.Obj] = m
+		}
+		if err := m.Apply(e.Act); err != nil {
+			return "", fmt.Errorf("event %d (%s): %w", e.Seq, e.Act, err)
+		}
+	}
+	ids := make([]int, 0, len(machines))
+	for o := range machines {
+		ids = append(ids, int(o))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, o := range ids {
+		fmt.Fprintf(&b, "o%d=%s;", o, machines[trace.ObjID(o)].Fingerprint())
+	}
+	return b.String(), nil
+}

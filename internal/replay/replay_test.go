@@ -1,0 +1,213 @@
+package replay
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+func dictKinds(n int) map[trace.ObjID]string {
+	out := map[trace.ObjID]string{}
+	for i := 0; i < n; i++ {
+		out[trace.ObjID(i)] = "dict"
+	}
+	return out
+}
+
+func TestRaceFreeTraceIsDeterministic(t *testing.T) {
+	// Distinct hosts: no races, so all linearizations agree (Theorem 5.2).
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Put(1, 0, trace.StrValue("a.com"), trace.IntValue(1), trace.NilValue).
+		Put(2, 0, trace.StrValue("b.com"), trace.IntValue(2), trace.NilValue).
+		JoinAll(0, 1, 2).
+		Size(0, 0, 2).
+		Trace()
+	res, err := Check(tr, dictKinds(1), Config{Samples: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("race-free trace flagged non-deterministic: %s", res.Witness)
+	}
+	if res.Samples != 50 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+}
+
+func TestRacyTraceSection1IsNonDeterministic(t *testing.T) {
+	// The Section 1 example: put(5,7) and get(5)/7 are concurrent. In the
+	// linearization where the get runs first it must return nil, so the
+	// recorded return is inconsistent — the replay finds a witness.
+	tr := trace.NewBuilder().
+		Fork(0, 1).
+		Put(0, 0, trace.IntValue(5), trace.IntValue(7), trace.NilValue).
+		Get(1, 0, trace.IntValue(5), trace.IntValue(7)).
+		Trace()
+	res, err := Check(tr, dictKinds(1), Config{Samples: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("racy trace not caught")
+	}
+	if !strings.Contains(res.Witness, "get") && !strings.Contains(res.Witness, "ends in") {
+		t.Errorf("witness: %s", res.Witness)
+	}
+}
+
+func TestFig3RacyTraceNonDeterministic(t *testing.T) {
+	// Fig 3: the overwriting put's return depends on the order.
+	tr := trace.NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Put(2, 0, trace.StrValue("a.com"), trace.IntValue(1), trace.NilValue).
+		Put(1, 0, trace.StrValue("a.com"), trace.IntValue(2), trace.IntValue(1)).
+		JoinAll(0, 1, 2).
+		Size(0, 0, 1).
+		Trace()
+	res, err := Check(tr, dictKinds(1), Config{Samples: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("Fig 3 race not caught by replay")
+	}
+}
+
+func TestObservedOrderInconsistent(t *testing.T) {
+	// A trace whose own order is already impossible.
+	tr := trace.NewBuilder().
+		Get(0, 0, trace.StrValue("k"), trace.IntValue(9)).
+		Trace()
+	res, err := Check(tr, dictKinds(1), Config{Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic || !strings.Contains(res.Witness, "observed order") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMissingKindErrors(t *testing.T) {
+	tr := trace.NewBuilder().Size(0, 7, 0).Trace()
+	if _, err := Check(tr, dictKinds(1), Config{}); err == nil {
+		t.Fatal("missing kind must error")
+	}
+}
+
+func TestMultipleObjects(t *testing.T) {
+	tr := trace.NewBuilder().
+		Fork(0, 1).
+		Put(0, 0, trace.StrValue("x"), trace.IntValue(1), trace.NilValue).
+		Put(1, 1, trace.StrValue("y"), trace.IntValue(2), trace.NilValue).
+		Trace()
+	res, err := Check(tr, dictKinds(2), Config{Samples: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("independent objects must be deterministic: %s", res.Witness)
+	}
+}
+
+// TestPropTheorem52RaceFreeImpliesDeterministic is the Theorem 5.2 property
+// test: generate random realizable dictionary traces, keep the race-free
+// ones (per the detector), and check that replay finds them deterministic.
+func TestPropTheorem52RaceFreeImpliesDeterministic(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	rep := specs.MustRep("dict")
+	kinds := dictKinds(cfg.Objects)
+	raceFree := 0
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := trace.Generate(r, cfg)
+		d := core.New(core.Config{MaxRaces: 1})
+		for o := 0; o < cfg.Objects; o++ {
+			d.Register(trace.ObjID(o), rep)
+		}
+		if err := d.RunTrace(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		if d.Stats().Races > 0 {
+			return true // theorem only speaks about race-free traces
+		}
+		raceFree++
+		res, err := Check(tr, kinds, Config{Samples: 15, Seed: seed})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !res.Deterministic {
+			t.Logf("seed %d: race-free trace diverged: %s\n%s", seed, res.Witness, trace.Format(tr))
+		}
+		return res.Deterministic
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceFree == 0 {
+		t.Error("no race-free traces generated; property is vacuous")
+	}
+}
+
+// TestPropNonDeterminismImpliesRace is the contrapositive: whenever replay
+// finds a divergence, the detector must have reported a race on that trace.
+func TestPropNonDeterminismImpliesRace(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	rep := specs.MustRep("dict")
+	kinds := dictKinds(cfg.Objects)
+	divergences := 0
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := trace.Generate(r, cfg)
+		res, err := Check(tr, kinds, Config{Samples: 15, Seed: seed})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if res.Deterministic {
+			return true
+		}
+		divergences++
+		d := core.New(core.Config{MaxRaces: 1})
+		for o := 0; o < cfg.Objects; o++ {
+			d.Register(trace.ObjID(o), rep)
+		}
+		if err := d.RunTrace(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		if d.Stats().Races == 0 {
+			t.Logf("seed %d: divergence (%s) without any reported race\n%s",
+				seed, res.Witness, trace.Format(tr))
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divergences == 0 {
+		t.Log("note: no divergent traces sampled (racy traces may still replay equal)")
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	cfg := trace.DefaultGenConfig()
+	cfg.OpsMin, cfg.OpsMax = 30, 30
+	tr := trace.Generate(r, cfg)
+	kinds := dictKinds(cfg.Objects)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Check(tr, kinds, Config{Samples: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package semantics gives executable reference semantics — the partial maps
+// ⟦a⟧ ∈ H ⇀ H of Section 3.1 — for every object type in the built-in
+// specification library. Each Machine holds one object's abstract state and
+// applies actions to it, failing when the action's recorded return values
+// are inconsistent with the state (i.e. the action is not enabled, ⟦a⟧ is
+// undefined at the current state).
+//
+// Two things are built on top:
+//
+//   - Soundness testing (Definition 4.2): a specification is sound iff
+//     ϕ(a, b) implies a ⋈ b, i.e. ⟦a⟧∘⟦b⟧ = ⟦b⟧∘⟦a⟧. Commute checks this
+//     on a concrete state by running both orders.
+//   - The Theorem 5.2 determinism checker (package replay): replaying all
+//     linearizations of a race-free trace must reach the same final state.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Machine is the reference semantics of one shared object: a stateful
+// interpreter of its actions.
+type Machine interface {
+	// Apply transitions on the action. It fails when the action does not
+	// match the object's methods, or when the recorded return values are
+	// impossible in the current state (⟦a⟧ undefined here).
+	Apply(a trace.Action) error
+	// Clone returns an independent copy of the machine.
+	Clone() Machine
+	// Fingerprint renders the abstract state canonically; two machines are
+	// in the same abstract state iff their fingerprints are equal.
+	Fingerprint() string
+}
+
+// Returns computes, without modifying the machine, the return tuple the
+// method invocation produces at the current state — the unique r̄ such that
+// method(args)/r̄ is enabled.
+func Returns(m Machine, method string, args []trace.Value) ([]trace.Value, error) {
+	switch mm := m.(type) {
+	case *Dict:
+		switch method {
+		case "put", "get":
+			if len(args) == 0 {
+				return nil, fmt.Errorf("semantics: %s needs a key", method)
+			}
+			prev, ok := mm.m[args[0]]
+			if !ok {
+				prev = trace.NilValue
+			}
+			return []trace.Value{prev}, nil
+		case "size":
+			return []trace.Value{trace.IntValue(int64(len(mm.m)))}, nil
+		}
+	case *Set:
+		switch method {
+		case "add":
+			return []trace.Value{trace.BoolValue(!mm.m[args[0]])}, nil
+		case "remove", "contains":
+			return []trace.Value{trace.BoolValue(mm.m[args[0]])}, nil
+		case "size":
+			return []trace.Value{trace.IntValue(int64(len(mm.m)))}, nil
+		}
+	case *Counter:
+		switch method {
+		case "add", "read":
+			return []trace.Value{trace.IntValue(mm.v)}, nil
+		}
+	case *Queue:
+		switch method {
+		case "enq":
+			return nil, nil
+		case "deq":
+			if len(mm.q) == 0 {
+				return []trace.Value{trace.NilValue}, nil
+			}
+			return []trace.Value{mm.q[0]}, nil
+		case "len":
+			return []trace.Value{trace.IntValue(int64(len(mm.q)))}, nil
+		}
+	case *Register:
+		switch method {
+		case "write", "read":
+			return []trace.Value{mm.v}, nil
+		}
+	case *Multiset:
+		switch method {
+		case "add":
+			return nil, nil
+		case "count":
+			return []trace.Value{trace.IntValue(mm.m[args[0]])}, nil
+		case "size":
+			return []trace.Value{trace.IntValue(mm.total)}, nil
+		}
+	}
+	return nil, fmt.Errorf("semantics: no method %q on %T", method, m)
+}
+
+// New constructs a fresh machine for a built-in object kind (the names of
+// package specs): dict, set, counter, queue, register, multiset.
+func New(kind string) (Machine, error) {
+	switch kind {
+	case "dict":
+		return &Dict{m: map[trace.Value]trace.Value{}}, nil
+	case "set":
+		return &Set{m: map[trace.Value]bool{}}, nil
+	case "counter":
+		return &Counter{}, nil
+	case "queue":
+		return &Queue{}, nil
+	case "register":
+		return &Register{v: trace.NilValue}, nil
+	case "multiset":
+		return &Multiset{m: map[trace.Value]int64{}}, nil
+	default:
+		return nil, fmt.Errorf("semantics: unknown object kind %q", kind)
+	}
+}
+
+// MustNew is New, panicking on unknown kinds.
+func MustNew(kind string) Machine {
+	m, err := New(kind)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// mismatch builds the standard undefined-transition error.
+func mismatch(a trace.Action, got trace.Value) error {
+	return fmt.Errorf("semantics: %s: recorded return impossible here (state would return %s)", a, got)
+}
+
+func arity(a trace.Action, args, rets int) error {
+	if len(a.Args) != args || len(a.Rets) != rets {
+		return fmt.Errorf("semantics: %s: want %d args / %d rets", a, args, rets)
+	}
+	return nil
+}
+
+// Dict is the dictionary of Fig 5: a total map with nil as the no-value.
+type Dict struct {
+	m map[trace.Value]trace.Value
+}
+
+// Apply implements the Fig 5 transitions for put/get/size.
+func (d *Dict) Apply(a trace.Action) error {
+	switch a.Method {
+	case "put":
+		if err := arity(a, 2, 1); err != nil {
+			return err
+		}
+		prev, ok := d.m[a.Args[0]]
+		if !ok {
+			prev = trace.NilValue
+		}
+		if a.Rets[0] != prev {
+			return mismatch(a, prev)
+		}
+		if a.Args[1].IsNil() {
+			delete(d.m, a.Args[0])
+		} else {
+			d.m[a.Args[0]] = a.Args[1]
+		}
+		return nil
+	case "get":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		cur, ok := d.m[a.Args[0]]
+		if !ok {
+			cur = trace.NilValue
+		}
+		if a.Rets[0] != cur {
+			return mismatch(a, cur)
+		}
+		return nil
+	case "size":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(int64(len(d.m))) {
+			return mismatch(a, trace.IntValue(int64(len(d.m))))
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: dict has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (d *Dict) Clone() Machine {
+	out := &Dict{m: make(map[trace.Value]trace.Value, len(d.m))}
+	for k, v := range d.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Fingerprint implements Machine.
+func (d *Dict) Fingerprint() string {
+	pairs := make([]string, 0, len(d.m))
+	for k, v := range d.m {
+		pairs = append(pairs, k.String()+"→"+v.String())
+	}
+	sort.Strings(pairs)
+	return "dict{" + strings.Join(pairs, ",") + "}"
+}
+
+// Set is a mathematical set with add/remove/contains/size.
+type Set struct {
+	m map[trace.Value]bool
+}
+
+// Apply interprets set actions, checking the ok returns.
+func (s *Set) Apply(a trace.Action) error {
+	boolRet := func(want bool) error {
+		if a.Rets[0] != trace.BoolValue(want) {
+			return mismatch(a, trace.BoolValue(want))
+		}
+		return nil
+	}
+	switch a.Method {
+	case "add":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		added := !s.m[a.Args[0]]
+		if err := boolRet(added); err != nil {
+			return err
+		}
+		s.m[a.Args[0]] = true
+		return nil
+	case "remove":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		present := s.m[a.Args[0]]
+		if err := boolRet(present); err != nil {
+			return err
+		}
+		delete(s.m, a.Args[0])
+		return nil
+	case "contains":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		return boolRet(s.m[a.Args[0]])
+	case "size":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(int64(len(s.m))) {
+			return mismatch(a, trace.IntValue(int64(len(s.m))))
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: set has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (s *Set) Clone() Machine {
+	out := &Set{m: make(map[trace.Value]bool, len(s.m))}
+	for k := range s.m {
+		out.m[k] = true
+	}
+	return out
+}
+
+// Fingerprint implements Machine.
+func (s *Set) Fingerprint() string {
+	elems := make([]string, 0, len(s.m))
+	for k := range s.m {
+		elems = append(elems, k.String())
+	}
+	sort.Strings(elems)
+	return "set{" + strings.Join(elems, ",") + "}"
+}
+
+// Counter is a shared counter with add(delta)/old and read()/v.
+type Counter struct {
+	v int64
+}
+
+// Apply interprets counter actions.
+func (c *Counter) Apply(a trace.Action) error {
+	switch a.Method {
+	case "add":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(c.v) {
+			return mismatch(a, trace.IntValue(c.v))
+		}
+		c.v += a.Args[0].Int()
+		return nil
+	case "read":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(c.v) {
+			return mismatch(a, trace.IntValue(c.v))
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: counter has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (c *Counter) Clone() Machine { out := *c; return &out }
+
+// Fingerprint implements Machine.
+func (c *Counter) Fingerprint() string { return fmt.Sprintf("counter{%d}", c.v) }
+
+// Queue is a FIFO queue with enq/deq/len; deq returns nil when empty.
+type Queue struct {
+	q []trace.Value
+}
+
+// Apply interprets queue actions.
+func (q *Queue) Apply(a trace.Action) error {
+	switch a.Method {
+	case "enq":
+		if err := arity(a, 1, 0); err != nil {
+			return err
+		}
+		q.q = append(q.q, a.Args[0])
+		return nil
+	case "deq":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		head := trace.NilValue
+		if len(q.q) > 0 {
+			head = q.q[0]
+		}
+		if a.Rets[0] != head {
+			return mismatch(a, head)
+		}
+		if len(q.q) > 0 {
+			q.q = q.q[1:]
+		}
+		return nil
+	case "len":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(int64(len(q.q))) {
+			return mismatch(a, trace.IntValue(int64(len(q.q))))
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: queue has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (q *Queue) Clone() Machine {
+	return &Queue{q: append([]trace.Value{}, q.q...)}
+}
+
+// Fingerprint implements Machine.
+func (q *Queue) Fingerprint() string {
+	parts := make([]string, len(q.q))
+	for i, v := range q.q {
+		parts[i] = v.String()
+	}
+	return "queue[" + strings.Join(parts, ",") + "]"
+}
+
+// Register is a single cell with write(v)/old and read()/v.
+type Register struct {
+	v trace.Value
+}
+
+// Apply interprets register actions.
+func (r *Register) Apply(a trace.Action) error {
+	switch a.Method {
+	case "write":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != r.v {
+			return mismatch(a, r.v)
+		}
+		r.v = a.Args[0]
+		return nil
+	case "read":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != r.v {
+			return mismatch(a, r.v)
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: register has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (r *Register) Clone() Machine { out := *r; return &out }
+
+// Fingerprint implements Machine.
+func (r *Register) Fingerprint() string { return "register{" + r.v.String() + "}" }
+
+// Multiset is a bag with blind add, count(x)/n and size()/n.
+type Multiset struct {
+	m     map[trace.Value]int64
+	total int64
+}
+
+// Apply interprets multiset actions.
+func (m *Multiset) Apply(a trace.Action) error {
+	switch a.Method {
+	case "add":
+		if err := arity(a, 1, 0); err != nil {
+			return err
+		}
+		m.m[a.Args[0]]++
+		m.total++
+		return nil
+	case "count":
+		if err := arity(a, 1, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(m.m[a.Args[0]]) {
+			return mismatch(a, trace.IntValue(m.m[a.Args[0]]))
+		}
+		return nil
+	case "size":
+		if err := arity(a, 0, 1); err != nil {
+			return err
+		}
+		if a.Rets[0] != trace.IntValue(m.total) {
+			return mismatch(a, trace.IntValue(m.total))
+		}
+		return nil
+	default:
+		return fmt.Errorf("semantics: multiset has no method %q", a.Method)
+	}
+}
+
+// Clone implements Machine.
+func (m *Multiset) Clone() Machine {
+	out := &Multiset{m: make(map[trace.Value]int64, len(m.m)), total: m.total}
+	for k, v := range m.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Fingerprint implements Machine.
+func (m *Multiset) Fingerprint() string {
+	pairs := make([]string, 0, len(m.m))
+	for k, v := range m.m {
+		if v != 0 {
+			pairs = append(pairs, fmt.Sprintf("%s×%d", k, v))
+		}
+	}
+	sort.Strings(pairs)
+	return "multiset{" + strings.Join(pairs, ",") + "}"
+}
+
+// Commute checks whether two actions commute at a specific state
+// (Definition 3.1 restricted to one start state): both application orders
+// must be defined and reach the same abstract state. It does not modify m.
+func Commute(m Machine, a, b trace.Action) (bool, error) {
+	ab := m.Clone()
+	abDefined := ab.Apply(a) == nil && ab.Apply(b) == nil
+	ba := m.Clone()
+	baDefined := ba.Apply(b) == nil && ba.Apply(a) == nil
+	if !abDefined && !baDefined {
+		// Both compositions undefined at this state: equal here.
+		return true, nil
+	}
+	if abDefined != baDefined {
+		return false, nil
+	}
+	return ab.Fingerprint() == ba.Fingerprint(), nil
+}

@@ -1,0 +1,269 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var (
+	vNil = trace.NilValue
+	v1   = trace.IntValue(1)
+	v2   = trace.IntValue(2)
+	kA   = trace.StrValue("a")
+	kB   = trace.StrValue("b")
+)
+
+func act(method string, args, rets []trace.Value) trace.Action {
+	return trace.Action{Method: method, Args: args, Rets: rets}
+}
+
+func apply(t *testing.T, m Machine, a trace.Action) {
+	t.Helper()
+	if err := m.Apply(a); err != nil {
+		t.Fatalf("Apply(%s): %v", a, err)
+	}
+}
+
+func TestNewKinds(t *testing.T) {
+	for _, kind := range []string{"dict", "set", "counter", "queue", "register", "multiset"} {
+		m, err := New(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Fingerprint() == "" {
+			t.Errorf("%s: empty fingerprint", kind)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew("nope")
+}
+
+func TestDictSemantics(t *testing.T) {
+	m := MustNew("dict")
+	apply(t, m, act("put", []trace.Value{kA, v1}, []trace.Value{vNil}))
+	apply(t, m, act("get", []trace.Value{kA}, []trace.Value{v1}))
+	apply(t, m, act("size", nil, []trace.Value{trace.IntValue(1)}))
+	apply(t, m, act("put", []trace.Value{kA, v2}, []trace.Value{v1}))
+	apply(t, m, act("put", []trace.Value{kA, vNil}, []trace.Value{v2})) // removal
+	apply(t, m, act("size", nil, []trace.Value{trace.IntValue(0)}))
+	// Inconsistent returns are rejected.
+	if err := m.Apply(act("get", []trace.Value{kA}, []trace.Value{v1})); err == nil {
+		t.Error("stale get return must fail")
+	}
+	if err := m.Apply(act("size", nil, []trace.Value{trace.IntValue(9)})); err == nil {
+		t.Error("wrong size must fail")
+	}
+	if err := m.Apply(act("frob", nil, nil)); err == nil {
+		t.Error("unknown method must fail")
+	}
+	if err := m.Apply(act("put", []trace.Value{kA}, []trace.Value{vNil})); err == nil {
+		t.Error("bad arity must fail")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	m := MustNew("set")
+	tr := trace.BoolValue(true)
+	fa := trace.BoolValue(false)
+	apply(t, m, act("add", []trace.Value{v1}, []trace.Value{tr}))
+	apply(t, m, act("add", []trace.Value{v1}, []trace.Value{fa}))
+	apply(t, m, act("contains", []trace.Value{v1}, []trace.Value{tr}))
+	apply(t, m, act("size", nil, []trace.Value{trace.IntValue(1)}))
+	apply(t, m, act("remove", []trace.Value{v1}, []trace.Value{tr}))
+	apply(t, m, act("remove", []trace.Value{v1}, []trace.Value{fa}))
+	if err := m.Apply(act("contains", []trace.Value{v1}, []trace.Value{tr})); err == nil {
+		t.Error("contains of absent element returning true must fail")
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	m := MustNew("counter")
+	apply(t, m, act("add", []trace.Value{trace.IntValue(5)}, []trace.Value{trace.IntValue(0)}))
+	apply(t, m, act("read", nil, []trace.Value{trace.IntValue(5)}))
+	apply(t, m, act("add", []trace.Value{trace.IntValue(-2)}, []trace.Value{trace.IntValue(5)}))
+	apply(t, m, act("read", nil, []trace.Value{trace.IntValue(3)}))
+	if err := m.Apply(act("read", nil, []trace.Value{trace.IntValue(0)})); err == nil {
+		t.Error("wrong read must fail")
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	m := MustNew("queue")
+	apply(t, m, act("deq", nil, []trace.Value{vNil})) // empty dequeue
+	apply(t, m, act("enq", []trace.Value{v1}, nil))
+	apply(t, m, act("enq", []trace.Value{v2}, nil))
+	apply(t, m, act("len", nil, []trace.Value{trace.IntValue(2)}))
+	apply(t, m, act("deq", nil, []trace.Value{v1}))
+	apply(t, m, act("deq", nil, []trace.Value{v2}))
+	if err := m.Apply(act("deq", nil, []trace.Value{v1})); err == nil {
+		t.Error("dequeue of empty queue returning a value must fail")
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	m := MustNew("register")
+	apply(t, m, act("read", nil, []trace.Value{vNil}))
+	apply(t, m, act("write", []trace.Value{v1}, []trace.Value{vNil}))
+	apply(t, m, act("write", []trace.Value{v2}, []trace.Value{v1}))
+	apply(t, m, act("read", nil, []trace.Value{v2}))
+	if err := m.Apply(act("write", []trace.Value{v1}, []trace.Value{v1})); err == nil {
+		t.Error("write with wrong old value must fail")
+	}
+}
+
+func TestMultisetSemantics(t *testing.T) {
+	m := MustNew("multiset")
+	apply(t, m, act("add", []trace.Value{v1}, nil))
+	apply(t, m, act("add", []trace.Value{v1}, nil))
+	apply(t, m, act("count", []trace.Value{v1}, []trace.Value{trace.IntValue(2)}))
+	apply(t, m, act("count", []trace.Value{v2}, []trace.Value{trace.IntValue(0)}))
+	apply(t, m, act("size", nil, []trace.Value{trace.IntValue(2)}))
+	if err := m.Apply(act("count", []trace.Value{v1}, []trace.Value{trace.IntValue(3)})); err == nil {
+		t.Error("wrong count must fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, kind := range []string{"dict", "set", "counter", "queue", "register", "multiset"} {
+		m := MustNew(kind)
+		// Mutate the original after cloning; fingerprints must diverge.
+		c := m.Clone()
+		var mut trace.Action
+		switch kind {
+		case "dict":
+			mut = act("put", []trace.Value{kA, v1}, []trace.Value{vNil})
+		case "set":
+			mut = act("add", []trace.Value{v1}, []trace.Value{trace.BoolValue(true)})
+		case "counter":
+			mut = act("add", []trace.Value{v1}, []trace.Value{trace.IntValue(0)})
+		case "queue":
+			mut = act("enq", []trace.Value{v1}, nil)
+		case "register":
+			mut = act("write", []trace.Value{v1}, []trace.Value{vNil})
+		case "multiset":
+			mut = act("add", []trace.Value{v1}, nil)
+		}
+		apply(t, m, mut)
+		if m.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s: clone aliases original", kind)
+		}
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	// Same abstract state via different histories fingerprints equally.
+	a := MustNew("dict")
+	apply(t, a, act("put", []trace.Value{kA, v1}, []trace.Value{vNil}))
+	apply(t, a, act("put", []trace.Value{kB, v2}, []trace.Value{vNil}))
+	b := MustNew("dict")
+	apply(t, b, act("put", []trace.Value{kB, v2}, []trace.Value{vNil}))
+	apply(t, b, act("put", []trace.Value{kA, v1}, []trace.Value{vNil}))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("order-independent states differ: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if !strings.Contains(a.Fingerprint(), "dict{") {
+		t.Errorf("fingerprint format: %s", a.Fingerprint())
+	}
+}
+
+func TestCommute(t *testing.T) {
+	m := MustNew("dict")
+	apply(t, m, act("put", []trace.Value{kA, v1}, []trace.Value{vNil}))
+	// Different keys commute.
+	a := act("put", []trace.Value{kA, v2}, []trace.Value{v1})
+	b := act("put", []trace.Value{kB, v2}, []trace.Value{vNil})
+	ok, err := Commute(m, a, b)
+	if err != nil || !ok {
+		t.Errorf("different-key puts should commute: %v %v", ok, err)
+	}
+	// Same key real writes do not (returns differ across orders).
+	c := act("put", []trace.Value{kA, v2}, []trace.Value{v1})
+	d := act("put", []trace.Value{kA, v1}, []trace.Value{v2})
+	ok, err = Commute(m, c, d)
+	if err != nil || ok {
+		t.Errorf("same-key writes should not commute: %v %v", ok, err)
+	}
+	// Commute must not mutate the machine.
+	before := m.Fingerprint()
+	if _, err := Commute(m, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() != before {
+		t.Error("Commute mutated the machine")
+	}
+}
+
+func TestCommuteBothUndefined(t *testing.T) {
+	m := MustNew("register") // holds nil
+	// Both actions impossible at this state in either order.
+	a := act("write", []trace.Value{v1}, []trace.Value{v2})
+	b := act("write", []trace.Value{v2}, []trace.Value{v1})
+	ok, err := Commute(m, a, b)
+	if err != nil || !ok {
+		t.Errorf("everywhere-undefined compositions agree: %v %v", ok, err)
+	}
+}
+
+func TestReturnsMatchesApply(t *testing.T) {
+	// For every kind and method, Returns must produce exactly the tuple
+	// that makes the action enabled.
+	cases := []struct {
+		kind   string
+		method string
+		args   []trace.Value
+	}{
+		{"dict", "put", []trace.Value{kA, v1}},
+		{"dict", "get", []trace.Value{kA}},
+		{"dict", "size", nil},
+		{"set", "add", []trace.Value{v1}},
+		{"set", "remove", []trace.Value{v1}},
+		{"set", "contains", []trace.Value{v1}},
+		{"set", "size", nil},
+		{"counter", "add", []trace.Value{v2}},
+		{"counter", "read", nil},
+		{"queue", "enq", []trace.Value{v1}},
+		{"queue", "deq", nil},
+		{"queue", "len", nil},
+		{"register", "write", []trace.Value{v2}},
+		{"register", "read", nil},
+		{"multiset", "add", []trace.Value{v1}},
+		{"multiset", "count", []trace.Value{v1}},
+		{"multiset", "size", nil},
+	}
+	for _, c := range cases {
+		m := MustNew(c.kind)
+		rets, err := Returns(m, c.method, c.args)
+		if err != nil {
+			t.Fatalf("%s.%s: %v", c.kind, c.method, err)
+		}
+		a := trace.Action{Method: c.method, Args: c.args, Rets: rets}
+		if err := m.Apply(a); err != nil {
+			t.Errorf("%s: Returns-completed action %s not enabled: %v", c.kind, a, err)
+		}
+	}
+}
+
+func TestReturnsQueueNonEmptyAndErrors(t *testing.T) {
+	q := MustNew("queue")
+	apply(t, q, act("enq", []trace.Value{v2}, nil))
+	rets, err := Returns(q, "deq", nil)
+	if err != nil || len(rets) != 1 || rets[0] != v2 {
+		t.Fatalf("deq returns = %v, %v", rets, err)
+	}
+	if _, err := Returns(q, "frob", nil); err == nil {
+		t.Error("unknown method must fail")
+	}
+	d := MustNew("dict")
+	if _, err := Returns(d, "put", nil); err == nil {
+		t.Error("put without key must fail")
+	}
+}

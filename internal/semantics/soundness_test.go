@@ -1,0 +1,279 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecl"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+// genEnabled draws a random action that is enabled at the machine's current
+// state (its recorded returns are the ones the state produces). It uses
+// in-package access to the machines' state.
+func genEnabled(r *rand.Rand, m Machine, kind string) trace.Action {
+	keys := []trace.Value{trace.StrValue("a"), trace.StrValue("b"), trace.StrValue("c")}
+	vals := []trace.Value{trace.NilValue, trace.IntValue(1), trace.IntValue(2)}
+	elems := []trace.Value{trace.IntValue(1), trace.IntValue(2), trace.IntValue(3)}
+	switch kind {
+	case "dict":
+		d := m.(*Dict)
+		k := keys[r.Intn(len(keys))]
+		prev, ok := d.m[k]
+		if !ok {
+			prev = trace.NilValue
+		}
+		switch r.Intn(3) {
+		case 0:
+			return trace.Action{Method: "put", Args: []trace.Value{k, vals[r.Intn(len(vals))]},
+				Rets: []trace.Value{prev}}
+		case 1:
+			return trace.Action{Method: "get", Args: []trace.Value{k}, Rets: []trace.Value{prev}}
+		default:
+			return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(int64(len(d.m)))}}
+		}
+	case "set":
+		s := m.(*Set)
+		x := elems[r.Intn(len(elems))]
+		present := s.m[x]
+		switch r.Intn(4) {
+		case 0:
+			return trace.Action{Method: "add", Args: []trace.Value{x},
+				Rets: []trace.Value{trace.BoolValue(!present)}}
+		case 1:
+			return trace.Action{Method: "remove", Args: []trace.Value{x},
+				Rets: []trace.Value{trace.BoolValue(present)}}
+		case 2:
+			return trace.Action{Method: "contains", Args: []trace.Value{x},
+				Rets: []trace.Value{trace.BoolValue(present)}}
+		default:
+			return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(int64(len(s.m)))}}
+		}
+	case "counter":
+		c := m.(*Counter)
+		if r.Intn(2) == 0 {
+			delta := int64(r.Intn(3)) // includes 0
+			return trace.Action{Method: "add", Args: []trace.Value{trace.IntValue(delta)},
+				Rets: []trace.Value{trace.IntValue(c.v)}}
+		}
+		return trace.Action{Method: "read", Rets: []trace.Value{trace.IntValue(c.v)}}
+	case "queue":
+		q := m.(*Queue)
+		switch r.Intn(3) {
+		case 0:
+			return trace.Action{Method: "enq", Args: []trace.Value{elems[r.Intn(len(elems))]}}
+		case 1:
+			head := trace.NilValue
+			if len(q.q) > 0 {
+				head = q.q[0]
+			}
+			return trace.Action{Method: "deq", Rets: []trace.Value{head}}
+		default:
+			return trace.Action{Method: "len", Rets: []trace.Value{trace.IntValue(int64(len(q.q)))}}
+		}
+	case "register":
+		reg := m.(*Register)
+		if r.Intn(2) == 0 {
+			// Sometimes a no-op write (same value), sometimes a real one.
+			v := vals[r.Intn(len(vals))]
+			if r.Intn(3) == 0 {
+				v = reg.v
+			}
+			return trace.Action{Method: "write", Args: []trace.Value{v}, Rets: []trace.Value{reg.v}}
+		}
+		return trace.Action{Method: "read", Rets: []trace.Value{reg.v}}
+	case "multiset":
+		ms := m.(*Multiset)
+		x := elems[r.Intn(len(elems))]
+		switch r.Intn(3) {
+		case 0:
+			return trace.Action{Method: "add", Args: []trace.Value{x}}
+		case 1:
+			return trace.Action{Method: "count", Args: []trace.Value{x},
+				Rets: []trace.Value{trace.IntValue(ms.m[x])}}
+		default:
+			return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(ms.total)}}
+		}
+	default:
+		panic("unknown kind " + kind)
+	}
+}
+
+// TestPropBuiltinSpecsSound is the Definition 4.2 check for every built-in
+// specification: whenever ϕ(a, b) holds, executing a;b and b;a from the
+// same state must be equally defined and reach the same abstract state.
+// The pair (a, b) is drawn sequentially enabled (a at s, b after a), which
+// is how pairs arise in real traces.
+func TestPropBuiltinSpecsSound(t *testing.T) {
+	for _, kind := range specs.Names() {
+		kind := kind
+		spec := specs.MustSpec(kind)
+		t.Run(kind, func(t *testing.T) {
+			claimed, confirmedCommute := 0, 0
+			err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				m := MustNew(kind)
+				// Random reachable start state.
+				for i := r.Intn(6); i > 0; i-- {
+					warm := genEnabled(r, m, kind)
+					if err := m.Apply(warm); err != nil {
+						t.Logf("warmup failed: %v", err)
+						return false
+					}
+				}
+				a := genEnabled(r, m, kind)
+				after := m.Clone()
+				if err := after.Apply(a); err != nil {
+					t.Logf("a not enabled: %v", err)
+					return false
+				}
+				b := genEnabled(r, after, kind)
+				phi, err := spec.Commutes(a, b)
+				if err != nil {
+					t.Logf("Commutes(%s, %s): %v", a, b, err)
+					return false
+				}
+				if !phi {
+					return true // spec may be conservative
+				}
+				claimed++
+				ok, err := Commute(m, a, b)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				if ok {
+					confirmedCommute++
+				} else {
+					t.Logf("UNSOUND %s: ϕ(%s, %s) holds but actions do not commute at %s",
+						kind, a, b, m.Fingerprint())
+				}
+				return ok
+			}, &quick.Config{MaxCount: 4000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if claimed == 0 {
+				t.Errorf("%s: the generator never produced a commuting pair; test is vacuous", kind)
+			}
+		})
+	}
+}
+
+// TestPropSpecPrecisionReport measures (but does not require) precision:
+// how often the spec says "no" for pairs that do commute at the sampled
+// state. Precision is allowed to be imperfect (Definition 4.2 is an
+// implication), but a spec rejecting everything would make the detector
+// useless, so we bound gross imprecision for the dictionary.
+func TestPropSpecPrecisionReport(t *testing.T) {
+	spec := specs.MustSpec("dict")
+	r := rand.New(rand.NewSource(7))
+	total, conservative := 0, 0
+	for i := 0; i < 4000; i++ {
+		m := MustNew("dict")
+		for j := r.Intn(6); j > 0; j-- {
+			if err := m.Apply(genEnabled(r, m, "dict")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := genEnabled(r, m, "dict")
+		after := m.Clone()
+		if err := after.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+		b := genEnabled(r, after, "dict")
+		phi, err := spec.Commutes(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		really, err := Commute(m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if really {
+			total++
+			if !phi {
+				conservative++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no commuting pairs sampled")
+	}
+	ratio := float64(conservative) / float64(total)
+	t.Logf("dictionary spec conservatism: %d/%d (%.1f%%) truly-commuting pairs rejected",
+		conservative, total, 100*ratio)
+	if ratio > 0.5 {
+		t.Errorf("dictionary spec rejects %.0f%% of commuting pairs; suspiciously imprecise", 100*ratio)
+	}
+}
+
+func ExampleCommute() {
+	m := MustNew("dict")
+	a := trace.Action{Method: "put",
+		Args: []trace.Value{trace.StrValue("x"), trace.IntValue(1)},
+		Rets: []trace.Value{trace.NilValue}}
+	b := trace.Action{Method: "get",
+		Args: []trace.Value{trace.StrValue("y")},
+		Rets: []trace.Value{trace.NilValue}}
+	ok, _ := Commute(m, a, b)
+	fmt.Println(ok)
+	// Output: true
+}
+
+// TestUnsoundSpecIsDetected validates the soundness harness itself: a
+// deliberately wrong specification (claiming all dictionary puts commute)
+// must be caught by the same sampling the built-in specs pass.
+func TestUnsoundSpecIsDetected(t *testing.T) {
+	unsound, err := ecl.ParseSpec(`
+object dict
+method put(k, v) / (p)
+method get(k) / (v)
+method size() / (r)
+commute put(k1, v1)/(p1), put(k2, v2)/(p2) when true
+commute put(k1, v1)/(p1), get(k2)/(v2) when k1 != k2 || v1 == p1
+commute put(k1, v1)/(p1), size()/(r) when false
+commute get(k1)/(v1), get(k2)/(v2) when true
+commute get(k1)/(v1), size()/(r) when true
+commute size()/(r1), size()/(r2) when true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	caught := false
+	for i := 0; i < 2000 && !caught; i++ {
+		m := MustNew("dict")
+		for j := r.Intn(4); j > 0; j-- {
+			if err := m.Apply(genEnabled(r, m, "dict")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := genEnabled(r, m, "dict")
+		after := m.Clone()
+		if err := after.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+		b := genEnabled(r, after, "dict")
+		phi, err := unsound.Commutes(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !phi {
+			continue
+		}
+		ok, err := Commute(m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("the soundness harness failed to catch a deliberately unsound specification")
+	}
+}

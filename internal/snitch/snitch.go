@@ -1,0 +1,172 @@
+// Package snitch is the reproduction's substitute for Apache Cassandra 2.0's
+// DynamicEndpointSnitch, the second application of the paper's evaluation
+// (Table 2, last row).
+//
+// Cassandra ranks database nodes by observed latency. The
+// DynamicEndpointSnitch accumulates per-host latency samples in a
+// ConcurrentHashMap (`samples`) from many request threads via
+// receiveTiming, while a scheduled task (updateScores) periodically
+// recomputes per-host scores into a second map. The paper's RD2 found that
+// "new entries to the samples map ... could be added while its size is
+// concurrently used as a performance hint during node rank recalculation,
+// causing the performance hint to become obsolete" — a commutativity race
+// between samples.put (resizing) and samples.size.
+//
+// The simulator reproduces that structure: worker threads deliver latency
+// timings, a scorer thread recalculates ranks using size() as a capacity
+// hint, and the whole thing runs on monitored dictionaries so both
+// detectors see exactly the event stream the paper's tools saw.
+package snitch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Snitch is the simulated DynamicEndpointSnitch.
+type Snitch struct {
+	rt *monitor.Runtime
+	// samples maps host → accumulated latency info (encoded as an int
+	// token: count*1e6 + ewma).
+	samples *monitor.Dict
+	// scores maps host → last computed score.
+	scores *monitor.Dict
+	// registered approximates an unsynchronized registration counter
+	// (low-level race fodder for the FASTTRACK baseline).
+	registered *monitor.Cell
+	// lastUpdate approximates an unsynchronized "last recalculated"
+	// timestamp field read by request threads.
+	lastUpdate *monitor.Cell
+}
+
+// New creates a snitch on the runtime.
+func New(rt *monitor.Runtime) *Snitch {
+	return &Snitch{
+		rt:         rt,
+		samples:    rt.NewDict(),
+		scores:     rt.NewDict(),
+		registered: rt.NewCell(),
+		lastUpdate: rt.NewCell(),
+	}
+}
+
+// SamplesID returns the object id of the samples map.
+func (s *Snitch) SamplesID() trace.ObjID { return s.samples.ID() }
+
+// ScoresID returns the object id of the scores map.
+func (s *Snitch) ScoresID() trace.ObjID { return s.scores.ID() }
+
+// ReceiveTiming records a latency observation for a host — Cassandra's
+// receiveTiming, called from every request thread. New hosts insert into
+// the samples map (resizing it); known hosts update their accumulator with
+// an unsynchronized read-modify-write.
+func (s *Snitch) ReceiveTiming(t *monitor.Thread, host string, latencyMicros int64) {
+	key := trace.StrValue(host)
+	cur := s.samples.Get(t, key)
+	var count, ewma int64
+	if !cur.IsNil() {
+		count, ewma = cur.Int()/1_000_000, cur.Int()%1_000_000
+	}
+	count++
+	if ewma == 0 {
+		ewma = latencyMicros % 1_000_000
+	} else {
+		ewma = (ewma*3 + latencyMicros%1_000_000) / 4
+	}
+	s.samples.Put(t, key, trace.IntValue(count*1_000_000+ewma))
+	_ = s.lastUpdate.Load(t) // request threads consult the last-update stamp
+	s.registered.Add(t, 1)
+}
+
+// UpdateScores recalculates every host's score — Cassandra's scheduled
+// updateScores task. It reads the samples map's size as a capacity hint
+// (the racy performance hint of the paper's finding #3), then scores each
+// host.
+func (s *Snitch) UpdateScores(t *monitor.Thread, hosts []string) int64 {
+	hint := s.samples.Size(t) // the obsolete-able performance hint
+	for _, h := range hosts {
+		key := trace.StrValue(h)
+		sample := s.samples.Get(t, key)
+		if sample.IsNil() {
+			continue
+		}
+		score := sample.Int() % 1_000_000
+		s.scores.Put(t, key, trace.IntValue(score))
+	}
+	s.lastUpdate.Add(t, 1)
+	return hint
+}
+
+// Score reads a host's current score — Cassandra's getScore, called by
+// request routing.
+func (s *Snitch) Score(t *monitor.Thread, host string) (int64, bool) {
+	v := s.scores.Get(t, trace.StrValue(host))
+	if v.IsNil() {
+		return 0, false
+	}
+	return v.Int(), true
+}
+
+// TestConfig parameterizes the DynamicEndpointSnitch test workload.
+type TestConfig struct {
+	Hosts          int // simulated cluster size
+	Workers        int // request threads delivering timings
+	TimingsPerHost int // timings each worker delivers
+	ScoreRounds    int // score recalculation rounds by the scorer thread
+}
+
+// DefaultTestConfig mirrors the scale of Cassandra's
+// DynamicEndpointSnitch test.
+func DefaultTestConfig() TestConfig {
+	return TestConfig{Hosts: 32, Workers: 6, TimingsPerHost: 40, ScoreRounds: 50}
+}
+
+// RunTest executes the DynamicEndpointSnitch test: workers deliver
+// dynamically changing node latencies while a scorer thread concurrently
+// recalculates ranks. It returns the number of simulated operations.
+func RunTest(rt *monitor.Runtime, cfg TestConfig, seed int64) int {
+	main := rt.Main()
+	sn := New(rt)
+	hosts := make([]string, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("10.0.0.%d", i+1)
+	}
+	// Half the cluster is known at startup (gossip-seeded); the rest joins
+	// while the test runs, so the samples map keeps resizing under the
+	// scorer's size hint no matter how the threads interleave.
+	for _, h := range hosts[:cfg.Hosts/2] {
+		sn.ReceiveTiming(main, h, 250)
+	}
+
+	ops := 0
+	var workers []*monitor.Thread
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		workers = append(workers, main.Go(func(t *monitor.Thread) {
+			r := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < cfg.TimingsPerHost; i++ {
+				for _, h := range hosts {
+					// Request routing consults the current score, then the
+					// completed request reports its latency.
+					sn.Score(t, h)
+					lat := int64(100 + r.Intn(900))
+					sn.ReceiveTiming(t, h, lat)
+				}
+			}
+		}))
+	}
+	scorer := main.Go(func(t *monitor.Thread) {
+		for i := 0; i < cfg.ScoreRounds; i++ {
+			sn.UpdateScores(t, hosts)
+			for _, h := range hosts[:4] {
+				sn.Score(t, h)
+			}
+		}
+	})
+	main.JoinAll(append(workers, scorer)...)
+	ops = 2*cfg.Workers*cfg.TimingsPerHost*cfg.Hosts + cfg.ScoreRounds*(cfg.Hosts+4)
+	return ops
+}

@@ -1,0 +1,126 @@
+package snitch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+func TestSnitchSequentialSemantics(t *testing.T) {
+	rt := monitor.NewRuntime()
+	main := rt.Main()
+	sn := New(rt)
+	if _, ok := sn.Score(main, "h"); ok {
+		t.Fatal("score before any update")
+	}
+	sn.ReceiveTiming(main, "h", 500)
+	sn.ReceiveTiming(main, "h", 100)
+	hint := sn.UpdateScores(main, []string{"h", "missing"})
+	if hint != 1 {
+		t.Fatalf("size hint = %d, want 1", hint)
+	}
+	score, ok := sn.Score(main, "h")
+	if !ok || score <= 0 {
+		t.Fatalf("score = %d, %v", score, ok)
+	}
+	// EWMA moves toward the latest sample.
+	if score >= 500 {
+		t.Errorf("score %d should have decayed toward the faster sample", score)
+	}
+	if _, ok := sn.Score(main, "missing"); ok {
+		t.Error("missing host must have no score")
+	}
+}
+
+// TestSnitchRaceNumber3 is experiment E6 for Cassandra: the samples map's
+// size hint races with concurrent insertions, and the scores map races
+// between the scorer's writes and request threads' reads.
+func TestSnitchRaceNumber3(t *testing.T) {
+	rt := monitor.NewRuntime()
+	rd2 := monitor.AttachRD2(rt, core.Config{})
+	main := rt.Main()
+	sn := New(rt)
+	hosts := []string{"a", "b", "c", "d"}
+	workers := []*monitor.Thread{
+		main.Go(func(th *monitor.Thread) {
+			for i := 0; i < 50; i++ {
+				for _, h := range hosts {
+					sn.ReceiveTiming(th, h, int64(100+i))
+				}
+			}
+		}),
+		main.Go(func(th *monitor.Thread) {
+			for i := 0; i < 20; i++ {
+				sn.UpdateScores(th, hosts)
+			}
+		}),
+	}
+	main.JoinAll(workers...)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	racing := map[trace.ObjID]bool{}
+	sawSizeRace := false
+	for _, r := range rd2.Detector.Races() {
+		racing[r.Obj] = true
+		if r.Obj == sn.SamplesID() &&
+			(r.Second.Method == "size" || r.First.Method == "size") {
+			sawSizeRace = true
+		}
+	}
+	if !racing[sn.SamplesID()] {
+		t.Error("samples map race not found")
+	}
+	if !sawSizeRace {
+		t.Error("the size-hint commutativity race (paper race #3) not found")
+	}
+}
+
+func TestRunTestFindsTwoDistinctObjects(t *testing.T) {
+	rt := monitor.NewRuntime()
+	rd2 := monitor.AttachRD2(rt, core.Config{})
+	cfg := DefaultTestConfig()
+	cfg.Workers, cfg.TimingsPerHost, cfg.ScoreRounds = 4, 10, 20
+	ops := RunTest(rt, cfg, 11)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ops == 0 {
+		t.Fatal("no ops")
+	}
+	if rd2.Detector.Stats().Races == 0 {
+		t.Fatal("snitch test should race")
+	}
+	if got := rd2.Detector.DistinctObjects(); got != 2 {
+		objs := map[trace.ObjID]int{}
+		for _, r := range rd2.Detector.Races() {
+			objs[r.Obj]++
+		}
+		t.Errorf("distinct racing objects = %d, want 2 (samples + scores); breakdown %v", got, objs)
+	}
+}
+
+func TestRunTestFastTrack(t *testing.T) {
+	rt := monitor.NewRuntime()
+	ft := monitor.AttachFastTrack(rt)
+	cfg := DefaultTestConfig()
+	cfg.Workers, cfg.TimingsPerHost, cfg.ScoreRounds = 4, 5, 10
+	RunTest(rt, cfg, 13)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Stats().Races == 0 {
+		t.Error("FASTTRACK should flag the unsynchronized counter fields")
+	}
+}
+
+func TestRunTestUninstrumented(t *testing.T) {
+	rt := monitor.NewRuntime()
+	cfg := DefaultTestConfig()
+	cfg.Workers, cfg.TimingsPerHost, cfg.ScoreRounds = 2, 3, 3
+	if ops := RunTest(rt, cfg, 1); ops == 0 {
+		t.Fatal("no ops")
+	}
+}

@@ -1,0 +1,228 @@
+// Package specs provides a library of ready-made ECL commutativity
+// specifications and their translated access point representations for
+// common shared objects: the paper's dictionary (Fig 6), plus set, counter,
+// queue, register and multiset specifications built the same way.
+//
+// Each specification is available as its source text (for tooling and
+// documentation), as a parsed *ecl.Spec, and as a translated *translate.Rep
+// shared by all objects of that type.
+package specs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ecl"
+	"repro/internal/translate"
+)
+
+// DictionarySrc is the dictionary specification of Fig 6. The abstract
+// state is a total map key → value∪{nil} (Fig 5); put returns the previous
+// value, get the current one, size the number of non-nil entries.
+const DictionarySrc = `
+# Dictionary commutativity specification (Fig 6 of the paper).
+object dict
+
+method put(k, v) / (p)
+method get(k) / (v)
+method size() / (r)
+
+commute put(k1, v1)/(p1), put(k2, v2)/(p2)
+    when k1 != k2 || (v1 == p1 && v2 == p2)
+commute put(k1, v1)/(p1), get(k2)/(v2) when k1 != k2 || v1 == p1
+commute put(k1, v1)/(p1), size()/(r)
+    when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil)
+commute get(k1)/(v1), get(k2)/(v2) when true
+commute get(k1)/(v1), size()/(r) when true
+commute size()/(r1), size()/(r2) when true
+`
+
+// SetSrc is a mathematical-set specification. add/remove return whether the
+// element was inserted/deleted; failed mutations are observationally reads.
+// The paper highlights sets as expressible in ECL but not in SIMPLE.
+const SetSrc = `
+# Set commutativity: failed adds/removes behave as membership reads.
+object set
+
+method add(x) / (ok)
+method remove(x) / (ok)
+method contains(x) / (ok)
+method size() / (n)
+
+commute add(x1)/(k1), add(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute add(x1)/(k1), remove(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute add(x1)/(k1), contains(x2)/(k2) when x1 != x2 || k1 == false
+commute add(x1)/(k1), size()/(n) when k1 == false
+commute remove(x1)/(k1), remove(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute remove(x1)/(k1), contains(x2)/(k2) when x1 != x2 || k1 == false
+commute remove(x1)/(k1), size()/(n) when k1 == false
+commute contains(x1)/(k1), contains(x2)/(k2) when true
+commute contains(x1)/(k1), size()/(n) when true
+commute size()/(n1), size()/(n2) when true
+`
+
+// CounterSrc is a shared counter. Increments commute with each other (the
+// abstract effect is +delta regardless of order) but not with reads, because
+// an increment's return value exposes the prior count.
+const CounterSrc = `
+# Counter: adds commute with adds; reads commute with reads.
+object counter
+
+method add(delta) / (old)
+method read() / (v)
+
+commute add(d1)/(o1), add(d2)/(o2) when d1 == 0 && d2 == 0
+commute add(d1)/(o1), read()/(v) when d1 == 0
+commute read()/(v1), read()/(v2) when true
+`
+
+// RegisterSrc is a single-cell register with read/write. Writes of the same
+// value commute with each other; a write commutes with a read that already
+// observed the written value only if it did not change the cell.
+const RegisterSrc = `
+# Register: last-writer-wins cell.
+object register
+
+method write(v) / (old)
+method read() / (v)
+
+commute write(v1)/(o1), write(v2)/(o2) when v1 == o1 && v2 == o2
+commute write(v1)/(o1), read()/(v2) when v1 == o1
+commute read()/(v1), read()/(v2) when true
+`
+
+// QueueSrc is a FIFO queue: enqueues conflict with enqueues (order is
+// observable), dequeues with dequeues, and enqueue/dequeue conflict unless
+// the dequeue came up empty... which still does not commute with a
+// successful enqueue, so only trivially-empty operations commute.
+const QueueSrc = `
+# FIFO queue: element order makes almost nothing commute.
+object queue
+
+method enq(x)
+method deq() / (x)
+method len() / (n)
+
+commute enq(x1), enq(x2) when false
+commute enq(x1), deq()/(y) when false
+commute enq(x1), len()/(n) when false
+commute deq()/(x), deq()/(y) when x == nil && y == nil
+commute deq()/(x), len()/(n) when x == nil
+commute len()/(n1), len()/(n2) when true
+`
+
+// MultisetSrc is a bag with add/count: adds always commute (no return
+// exposes order), counts commute with counts, and add conflicts with count
+// of the same element.
+const MultisetSrc = `
+# Multiset (bag): blind adds commute.
+object multiset
+
+method add(x)
+method count(x) / (n)
+method size() / (n)
+
+commute add(x1), add(x2) when true
+commute add(x1), count(x2)/(n) when x1 != x2
+commute add(x1), size()/(n) when false
+commute count(x1)/(n1), count(x2)/(n2) when true
+commute count(x1)/(n1), size()/(n2) when true
+commute size()/(n1), size()/(n2) when true
+`
+
+// sources maps names to spec sources.
+var sources = map[string]string{
+	"dict":     DictionarySrc,
+	"set":      SetSrc,
+	"counter":  CounterSrc,
+	"register": RegisterSrc,
+	"queue":    QueueSrc,
+	"multiset": MultisetSrc,
+}
+
+var (
+	mu       sync.Mutex
+	specMemo = map[string]*ecl.Spec{}
+	repMemo  = map[string]*translate.Rep{}
+)
+
+// Names lists the available specification names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(sources))
+	for n := range sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the specification source text for the named object type.
+func Source(name string) (string, error) {
+	src, ok := sources[name]
+	if !ok {
+		return "", fmt.Errorf("specs: unknown specification %q (have %v)", name, Names())
+	}
+	return src, nil
+}
+
+// Spec returns the parsed specification, memoized.
+func Spec(name string) (*ecl.Spec, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := specMemo[name]; ok {
+		return s, nil
+	}
+	src, ok := sources[name]
+	if !ok {
+		return nil, fmt.Errorf("specs: unknown specification %q (have %v)", name, Names())
+	}
+	s, err := ecl.ParseSpec(src)
+	if err != nil {
+		return nil, fmt.Errorf("specs: %s: %w", name, err)
+	}
+	specMemo[name] = s
+	return s, nil
+}
+
+// Rep returns the translated access point representation, memoized; the
+// representation is immutable and may be shared across objects and
+// detectors.
+func Rep(name string) (*translate.Rep, error) {
+	mu.Lock()
+	if r, ok := repMemo[name]; ok {
+		mu.Unlock()
+		return r, nil
+	}
+	mu.Unlock()
+	s, err := Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := translate.Translate(s)
+	if err != nil {
+		return nil, fmt.Errorf("specs: %s: %w", name, err)
+	}
+	mu.Lock()
+	repMemo[name] = r
+	mu.Unlock()
+	return r, nil
+}
+
+// MustSpec returns the parsed spec or panics; for initialization paths.
+func MustSpec(name string) *ecl.Spec {
+	s, err := Spec(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustRep returns the translated representation or panics.
+func MustRep(name string) *translate.Rep {
+	r, err := Rep(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

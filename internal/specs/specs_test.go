@@ -1,0 +1,171 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAllSpecsParseAndTranslate(t *testing.T) {
+	for _, name := range Names() {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src == "" {
+			t.Errorf("%s: empty source", name)
+		}
+		spec, err := Spec(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.CheckECL(); err != nil {
+			t.Errorf("%s: not ECL: %v", name, err)
+		}
+		rep, err := Rep(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Bounded() {
+			t.Errorf("%s: representation must be bounded", name)
+		}
+		if rep.MaxConflicts() > 8 {
+			t.Errorf("%s: max conflicts %d is suspiciously large\n%s", name, rep.MaxConflicts(), rep.Dump())
+		}
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	a, err := Rep("dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rep("dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Rep must memoize")
+	}
+	s1, _ := Spec("set")
+	s2, _ := Spec("set")
+	if s1 != s2 {
+		t.Error("Spec must memoize")
+	}
+}
+
+func TestUnknownSpec(t *testing.T) {
+	if _, err := Source("nope"); err == nil {
+		t.Error("unknown Source must fail")
+	}
+	if _, err := Spec("nope"); err == nil {
+		t.Error("unknown Spec must fail")
+	}
+	if _, err := Rep("nope"); err == nil {
+		t.Error("unknown Rep must fail")
+	}
+}
+
+func TestMustHelpers(t *testing.T) {
+	if MustSpec("dict") == nil || MustRep("dict") == nil {
+		t.Fatal("Must helpers broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSpec should panic on unknown name")
+		}
+	}()
+	MustSpec("nope")
+}
+
+func TestDictRepIsFig7(t *testing.T) {
+	rep := MustRep("dict")
+	if rep.NumClasses() != 4 {
+		t.Errorf("dictionary classes = %d, want 4 (Fig 7)", rep.NumClasses())
+	}
+	if rep.MaxConflicts() != 2 {
+		t.Errorf("dictionary max conflicts = %d, want 2", rep.MaxConflicts())
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	spec := MustSpec("counter")
+	add := func(d, old int64) trace.Action {
+		return trace.Action{Method: "add", Args: []trace.Value{trace.IntValue(d)},
+			Rets: []trace.Value{trace.IntValue(old)}}
+	}
+	read := func(v int64) trace.Action {
+		return trace.Action{Method: "read", Rets: []trace.Value{trace.IntValue(v)}}
+	}
+	if ok, _ := spec.Commutes(add(1, 5), add(1, 6)); ok {
+		t.Error("real adds expose prior count; must not commute")
+	}
+	if ok, _ := spec.Commutes(add(0, 5), add(0, 5)); !ok {
+		t.Error("zero adds commute")
+	}
+	if ok, _ := spec.Commutes(add(1, 5), read(6)); ok {
+		t.Error("add vs read must not commute")
+	}
+	if ok, _ := spec.Commutes(read(5), read(5)); !ok {
+		t.Error("reads commute")
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	spec := MustSpec("queue")
+	enq := trace.Action{Method: "enq", Args: []trace.Value{trace.IntValue(1)}}
+	deqEmpty := trace.Action{Method: "deq", Rets: []trace.Value{trace.NilValue}}
+	deqHit := trace.Action{Method: "deq", Rets: []trace.Value{trace.IntValue(1)}}
+	if ok, _ := spec.Commutes(enq, enq); ok {
+		t.Error("enqueues must not commute")
+	}
+	if ok, _ := spec.Commutes(deqEmpty, deqEmpty); !ok {
+		t.Error("empty dequeues commute")
+	}
+	if ok, _ := spec.Commutes(deqHit, deqEmpty); ok {
+		t.Error("successful dequeue must not commute with empty dequeue")
+	}
+}
+
+func TestMultisetSemantics(t *testing.T) {
+	spec := MustSpec("multiset")
+	add := func(x int64) trace.Action {
+		return trace.Action{Method: "add", Args: []trace.Value{trace.IntValue(x)}}
+	}
+	count := func(x, n int64) trace.Action {
+		return trace.Action{Method: "count", Args: []trace.Value{trace.IntValue(x)},
+			Rets: []trace.Value{trace.IntValue(n)}}
+	}
+	if ok, _ := spec.Commutes(add(1), add(1)); !ok {
+		t.Error("blind adds commute")
+	}
+	if ok, _ := spec.Commutes(add(1), count(1, 2)); ok {
+		t.Error("add vs count of same element must not commute")
+	}
+	if ok, _ := spec.Commutes(add(1), count(2, 0)); !ok {
+		t.Error("add vs count of different element commutes")
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	spec := MustSpec("register")
+	w := func(v, old int64) trace.Action {
+		return trace.Action{Method: "write", Args: []trace.Value{trace.IntValue(v)},
+			Rets: []trace.Value{trace.IntValue(old)}}
+	}
+	r := func(v int64) trace.Action {
+		return trace.Action{Method: "read", Rets: []trace.Value{trace.IntValue(v)}}
+	}
+	if ok, _ := spec.Commutes(w(5, 3), w(6, 5)); ok {
+		t.Error("real writes must not commute")
+	}
+	if ok, _ := spec.Commutes(w(5, 5), w(5, 5)); !ok {
+		t.Error("no-op writes commute")
+	}
+	if ok, _ := spec.Commutes(w(5, 3), r(5)); ok {
+		t.Error("real write vs read must not commute")
+	}
+	if ok, _ := spec.Commutes(w(5, 5), r(5)); !ok {
+		t.Error("no-op write vs read commutes")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import "repro/internal/vclock"
+
+// Builder offers a fluent way to construct traces in tests and examples.
+//
+//	tr := trace.NewBuilder().
+//		Fork(0, 1).Fork(0, 2).
+//		Put(2, dict, trace.StrValue("a.com"), c1, trace.NilValue).
+//		Join(0, 1).
+//		Trace()
+type Builder struct {
+	tr Trace
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Fork appends t fork u.
+func (b *Builder) Fork(t, u vclock.Tid) *Builder {
+	b.tr.Append(Fork(t, u))
+	return b
+}
+
+// Join appends t join u.
+func (b *Builder) Join(t, u vclock.Tid) *Builder {
+	b.tr.Append(Join(t, u))
+	return b
+}
+
+// JoinAll appends a join of t on each thread in us, modeling the paper's
+// joinall statement.
+func (b *Builder) JoinAll(t vclock.Tid, us ...vclock.Tid) *Builder {
+	for _, u := range us {
+		b.tr.Append(Join(t, u))
+	}
+	return b
+}
+
+// Acquire appends t acq l.
+func (b *Builder) Acquire(t vclock.Tid, l LockID) *Builder {
+	b.tr.Append(Acquire(t, l))
+	return b
+}
+
+// Release appends t rel l.
+func (b *Builder) Release(t vclock.Tid, l LockID) *Builder {
+	b.tr.Append(Release(t, l))
+	return b
+}
+
+// Act appends an action event by thread t.
+func (b *Builder) Act(t vclock.Tid, o ObjID, method string, args []Value, rets []Value) *Builder {
+	b.tr.Append(Act(t, Action{Obj: o, Method: method, Args: args, Rets: rets}))
+	return b
+}
+
+// Read appends a memory read.
+func (b *Builder) Read(t vclock.Tid, v VarID) *Builder {
+	b.tr.Append(Read(t, v))
+	return b
+}
+
+// Write appends a memory write.
+func (b *Builder) Write(t vclock.Tid, v VarID) *Builder {
+	b.tr.Append(Write(t, v))
+	return b
+}
+
+// Die appends an object-death event.
+func (b *Builder) Die(t vclock.Tid, o ObjID) *Builder {
+	b.tr.Append(Die(t, o))
+	return b
+}
+
+// Put appends the dictionary action o.put(k, v)/p.
+func (b *Builder) Put(t vclock.Tid, o ObjID, k, v, p Value) *Builder {
+	return b.Act(t, o, "put", []Value{k, v}, []Value{p})
+}
+
+// Get appends the dictionary action o.get(k)/v.
+func (b *Builder) Get(t vclock.Tid, o ObjID, k, v Value) *Builder {
+	return b.Act(t, o, "get", []Value{k}, []Value{v})
+}
+
+// Size appends the dictionary action o.size()/r.
+func (b *Builder) Size(t vclock.Tid, o ObjID, r int64) *Builder {
+	return b.Act(t, o, "size", nil, []Value{IntValue(r)})
+}
+
+// Trace returns the built trace.
+func (b *Builder) Trace() *Trace { return &b.tr }

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// The text trace format is one event per line:
+//
+//	t0 fork t1
+//	t1 act o0.put("a.com", 1)/nil
+//	t0 join t1
+//	t0 acq l2
+//	t0 rel l2
+//	t0 read v7
+//	t0 write v7
+//	t0 die o0
+//
+// Blank lines and lines starting with '#' are ignored. Write and Parse
+// round-trip.
+
+// Encode writes the trace in the text format.
+func Encode(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range tr.Events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format returns the text encoding of the trace as a string.
+func Format(tr *Trace) string {
+	var b strings.Builder
+	// Encoding into a strings.Builder never fails.
+	_ = Encode(&b, tr)
+	return b.String()
+}
+
+// Parse decodes a trace from the text format.
+func Parse(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		tr.Append(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ParseString decodes a trace from a string.
+func ParseString(s string) (*Trace, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseEvent decodes one event line.
+func ParseEvent(line string) (Event, error) {
+	rest, tid, err := parseID(line, 't')
+	if err != nil {
+		return Event{}, err
+	}
+	t := vclock.Tid(tid)
+	rest = strings.TrimSpace(rest)
+	verb := rest
+	arg := ""
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		verb, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	switch verb {
+	case "fork", "join":
+		_, u, err := parseID(arg, 't')
+		if err != nil {
+			return Event{}, fmt.Errorf("%s: %v", verb, err)
+		}
+		if verb == "fork" {
+			return Fork(t, vclock.Tid(u)), nil
+		}
+		return Join(t, vclock.Tid(u)), nil
+	case "acq", "rel":
+		_, l, err := parseID(arg, 'l')
+		if err != nil {
+			return Event{}, fmt.Errorf("%s: %v", verb, err)
+		}
+		if verb == "acq" {
+			return Acquire(t, LockID(l)), nil
+		}
+		return Release(t, LockID(l)), nil
+	case "read", "write":
+		_, v, err := parseID(arg, 'v')
+		if err != nil {
+			return Event{}, fmt.Errorf("%s: %v", verb, err)
+		}
+		if verb == "read" {
+			return Read(t, VarID(v)), nil
+		}
+		return Write(t, VarID(v)), nil
+	case "send", "recv":
+		_, c, err := parseID(arg, 'c')
+		if err != nil {
+			return Event{}, fmt.Errorf("%s: %v", verb, err)
+		}
+		if verb == "send" {
+			return Send(t, ChanID(c)), nil
+		}
+		return Recv(t, ChanID(c)), nil
+	case "begin":
+		return Event{Kind: BeginEvent, Thread: t}, nil
+	case "end":
+		return Event{Kind: EndEvent, Thread: t}, nil
+	case "die":
+		_, o, err := parseID(arg, 'o')
+		if err != nil {
+			return Event{}, fmt.Errorf("die: %v", err)
+		}
+		return Die(t, ObjID(o)), nil
+	case "act":
+		a, err := ParseAction(arg)
+		if err != nil {
+			return Event{}, err
+		}
+		return Act(t, a), nil
+	default:
+		return Event{}, fmt.Errorf("unknown event verb %q", verb)
+	}
+}
+
+// parseID consumes a prefixed id like t3, o12, l0, v7 from the start of s,
+// returning the remainder.
+func parseID(s string, prefix byte) (rest string, id int, err error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != prefix {
+		return "", 0, fmt.Errorf("expected %c-id, got %q", prefix, s)
+	}
+	i := 1
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 1 {
+		return "", 0, fmt.Errorf("expected digits after %c in %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[1:i])
+	if err != nil {
+		return "", 0, err
+	}
+	return s[i:], n, nil
+}
+
+// ParseAction decodes an action of the form o0.put("a.com", 1)/nil. The
+// return tuple after '/' is optional; multiple returns are comma-separated.
+func ParseAction(s string) (Action, error) {
+	s = strings.TrimSpace(s)
+	rest, obj, err := parseID(s, 'o')
+	if err != nil {
+		return Action{}, fmt.Errorf("action: %v", err)
+	}
+	if len(rest) == 0 || rest[0] != '.' {
+		return Action{}, fmt.Errorf("action: expected '.' after object in %q", s)
+	}
+	rest = rest[1:]
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return Action{}, fmt.Errorf("action: expected '(' in %q", s)
+	}
+	method := strings.TrimSpace(rest[:open])
+	if method == "" {
+		return Action{}, fmt.Errorf("action: empty method name in %q", s)
+	}
+	close, err := matchParen(rest, open)
+	if err != nil {
+		return Action{}, fmt.Errorf("action: %v in %q", err, s)
+	}
+	args, err := splitValues(rest[open+1 : close])
+	if err != nil {
+		return Action{}, err
+	}
+	var rets []Value
+	tail := strings.TrimSpace(rest[close+1:])
+	if tail != "" {
+		if tail[0] != '/' {
+			return Action{}, fmt.Errorf("action: expected '/' before returns in %q", s)
+		}
+		retsStr := strings.TrimSpace(tail[1:])
+		if retsStr == "" {
+			return Action{}, fmt.Errorf("action: empty return tuple after '/' in %q", s)
+		}
+		rets, err = splitValues(retsStr)
+		if err != nil {
+			return Action{}, err
+		}
+	}
+	return Action{Obj: ObjID(obj), Method: method, Args: args, Rets: rets}, nil
+}
+
+// matchParen finds the index of the ')' matching the '(' at open, skipping
+// over quoted strings.
+func matchParen(s string, open int) (int, error) {
+	inStr := false
+	for i := open + 1; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == ')':
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unbalanced parentheses")
+}
+
+// splitValues parses a comma-separated value tuple, honoring quoted strings.
+func splitValues(s string) ([]Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Value
+	start := 0
+	inStr := false
+	flush := func(end int) error {
+		v, err := ParseValue(s[start:end])
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		start = end + 1
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == ',':
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("trace: unterminated string in %q", s)
+	}
+	if err := flush(len(s)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

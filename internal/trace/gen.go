@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/vclock"
+)
+
+// GenConfig controls the random well-formed trace generator used by property
+// tests. The generator produces traces that a real execution could have
+// produced: threads exist between their fork and join, lock acquire/release
+// pairs are balanced per thread, and dictionary action return values are
+// consistent with the dictionary's abstract state (Fig 5) under the chosen
+// interleaving.
+type GenConfig struct {
+	Threads int // worker threads in addition to the main thread 0
+	Objects int // number of dictionary objects
+	Keys    int // key universe size (string keys k0..k{Keys-1})
+	Vals    int // value universe size (int values 1..Vals; puts may also write nil)
+	Locks   int // lock universe size (0 disables locking)
+	OpsMin  int // minimum ops per worker thread
+	OpsMax  int // maximum ops per worker thread
+	PSize   int // percentage of size() ops
+	PGet    int // percentage of get() ops (remainder are puts)
+	PLocked int // percentage of ops wrapped in a random lock
+	PRemove int // percentage of puts that write nil (a removal)
+}
+
+// DefaultGenConfig returns a configuration that exercises the interesting
+// cases: shared keys, resizes, sizes, and partial locking.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Threads: 3, Objects: 2, Keys: 4, Vals: 3, Locks: 2,
+		OpsMin: 2, OpsMax: 6, PSize: 15, PGet: 35, PLocked: 30, PRemove: 25,
+	}
+}
+
+// genOp is one pending operation of a worker thread.
+type genOp struct {
+	kind   int // 0 put, 1 get, 2 size
+	obj    ObjID
+	key    Value
+	val    Value
+	lock   LockID
+	locked bool
+}
+
+// Generate produces a random well-formed trace. Thread 0 is the main thread:
+// it forks every worker, then joins every worker, then performs one final
+// size() per object, mimicking the Fig 1 program shape. The interleaving of
+// worker operations is random, and dictionary returns are computed from the
+// evolving abstract state so the trace is realizable.
+func Generate(r *rand.Rand, cfg GenConfig) *Trace {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Objects < 1 {
+		cfg.Objects = 1
+	}
+	if cfg.Keys < 1 {
+		cfg.Keys = 1
+	}
+	if cfg.OpsMax < cfg.OpsMin {
+		cfg.OpsMax = cfg.OpsMin
+	}
+
+	// Draft each worker's program.
+	progs := make([][]genOp, cfg.Threads)
+	for t := range progs {
+		n := cfg.OpsMin
+		if cfg.OpsMax > cfg.OpsMin {
+			n += r.Intn(cfg.OpsMax - cfg.OpsMin + 1)
+		}
+		ops := make([]genOp, n)
+		for i := range ops {
+			op := genOp{obj: ObjID(r.Intn(cfg.Objects))}
+			p := r.Intn(100)
+			switch {
+			case p < cfg.PSize:
+				op.kind = 2
+			case p < cfg.PSize+cfg.PGet:
+				op.kind = 1
+				op.key = genKey(r, cfg)
+			default:
+				op.kind = 0
+				op.key = genKey(r, cfg)
+				if r.Intn(100) < cfg.PRemove {
+					op.val = NilValue
+				} else {
+					op.val = IntValue(int64(1 + r.Intn(maxInt(cfg.Vals, 1))))
+				}
+			}
+			if cfg.Locks > 0 && r.Intn(100) < cfg.PLocked {
+				op.locked = true
+				op.lock = LockID(r.Intn(cfg.Locks))
+			}
+			ops[i] = op
+		}
+		progs[t] = ops
+	}
+
+	// Interleave while tracking abstract dictionary states.
+	b := NewBuilder()
+	dicts := make([]map[Value]Value, cfg.Objects)
+	for i := range dicts {
+		dicts[i] = map[Value]Value{}
+	}
+	size := func(o ObjID) int64 {
+		var n int64
+		for _, v := range dicts[o] {
+			if !v.IsNil() {
+				n++
+			}
+		}
+		return n
+	}
+	lookup := func(o ObjID, k Value) Value {
+		if v, ok := dicts[o][k]; ok {
+			return v
+		}
+		return NilValue
+	}
+
+	live := make([]int, cfg.Threads) // next op index per worker
+	for t := 1; t <= cfg.Threads; t++ {
+		b.Fork(0, vclock.Tid(t))
+	}
+	remaining := 0
+	for _, p := range progs {
+		remaining += len(p)
+	}
+	for remaining > 0 {
+		// Pick a random worker that still has work.
+		w := r.Intn(cfg.Threads)
+		for live[w] >= len(progs[w]) {
+			w = (w + 1) % cfg.Threads
+		}
+		op := progs[w][live[w]]
+		live[w]++
+		remaining--
+		tid := vclock.Tid(w + 1)
+		if op.locked {
+			b.Acquire(tid, op.lock)
+		}
+		switch op.kind {
+		case 0:
+			prev := lookup(op.obj, op.key)
+			dicts[op.obj][op.key] = op.val
+			b.Put(tid, op.obj, op.key, op.val, prev)
+		case 1:
+			b.Get(tid, op.obj, op.key, lookup(op.obj, op.key))
+		case 2:
+			b.Size(tid, op.obj, size(op.obj))
+		}
+		if op.locked {
+			b.Release(tid, op.lock)
+		}
+	}
+	for t := 1; t <= cfg.Threads; t++ {
+		b.Join(0, vclock.Tid(t))
+	}
+	for o := 0; o < cfg.Objects; o++ {
+		b.Size(0, ObjID(o), size(ObjID(o)))
+	}
+	return b.Trace()
+}
+
+func genKey(r *rand.Rand, cfg GenConfig) Value {
+	return StrValue("k" + string(rune('0'+r.Intn(minInt(cfg.Keys, 10)))))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

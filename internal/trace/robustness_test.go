@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropTraceParserNeverPanics feeds the trace parser random byte soup
+// and mutations of valid traces: clean return or error, never a panic.
+func TestPropTraceParserNeverPanics(t *testing.T) {
+	valid := `t0 fork t1
+t1 act o0.put("a.com", 1)/nil
+t0 join t1
+t0 act o0.size()/1
+`
+	alphabet := []byte("t0123456789 forkjinacrelwd.vo()/,\"\\nil#\n")
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var src string
+		if r.Intn(2) == 0 {
+			n := r.Intn(200)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			src = string(b)
+		} else {
+			src = valid
+			i := r.Intn(len(src) - 5)
+			j := i + 1 + r.Intn(4)
+			switch r.Intn(3) {
+			case 0:
+				src = src[:i] + src[j:]
+			case 1:
+				src = src[:j] + src[i:j] + src[j:]
+			default:
+				src = src[:i] + "\"" + src[j:]
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("seed %d: parser panicked on %q: %v", seed, src, p)
+			}
+		}()
+		if tr, err := ParseString(src); err == nil {
+			// Whatever parsed must re-render and re-parse.
+			if _, err := ParseString(Format(tr)); err != nil {
+				t.Logf("seed %d: round trip broke: %v", seed, err)
+				return false
+			}
+			_ = Validate(tr)
+		}
+		return true
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Validate checks structural well-formedness of a trace:
+//
+//   - a thread is forked at most once and never by itself;
+//   - no thread acts before an implicit root start or after being joined;
+//   - a join names a thread that exists (forked or a root) and a thread is
+//     not joined twice by the same thread before... (multiple joiners are
+//     permitted — joining an already-terminated thread is fine);
+//   - lock acquire/release alternate per lock: a release must come from the
+//     current holder, an acquire requires the lock to be free;
+//   - transaction Begin/End alternate per thread.
+//
+// Threads that appear without a fork are treated as roots (allowed; they
+// start concurrent with everything). Validate returns the first problem
+// found, or nil.
+func Validate(tr *Trace) error {
+	forked := map[vclock.Tid]int{}  // thread → fork event seq
+	joined := map[vclock.Tid]bool{} // thread → has been joined
+	seen := map[vclock.Tid]bool{}   // thread has produced events
+	holder := map[LockID]vclock.Tid{}
+	held := map[LockID]bool{}
+	inTxn := map[vclock.Tid]bool{}
+	pending := map[ChanID]int{} // sends not yet received
+
+	for i, e := range tr.Events {
+		t := e.Thread
+		if joined[t] {
+			return fmt.Errorf("trace: event %d (%s): thread t%d acts after being joined", i, e.String(), t)
+		}
+		seen[t] = true
+		switch e.Kind {
+		case ForkEvent:
+			if e.Other == t {
+				return fmt.Errorf("trace: event %d: thread t%d forks itself", i, t)
+			}
+			if _, dup := forked[e.Other]; dup {
+				return fmt.Errorf("trace: event %d: thread t%d forked twice", i, e.Other)
+			}
+			if seen[e.Other] {
+				return fmt.Errorf("trace: event %d: thread t%d forked after it already acted", i, e.Other)
+			}
+			forked[e.Other] = i
+		case JoinEvent:
+			if e.Other == t {
+				return fmt.Errorf("trace: event %d: thread t%d joins itself", i, t)
+			}
+			if _, wasForked := forked[e.Other]; !wasForked && !seen[e.Other] {
+				return fmt.Errorf("trace: event %d: join of unknown thread t%d", i, e.Other)
+			}
+			joined[e.Other] = true
+		case AcquireEvent:
+			if held[e.Lock] {
+				return fmt.Errorf("trace: event %d: lock l%d acquired by t%d while held by t%d",
+					i, e.Lock, t, holder[e.Lock])
+			}
+			held[e.Lock] = true
+			holder[e.Lock] = t
+		case ReleaseEvent:
+			if !held[e.Lock] {
+				return fmt.Errorf("trace: event %d: lock l%d released while free", i, e.Lock)
+			}
+			if holder[e.Lock] != t {
+				return fmt.Errorf("trace: event %d: lock l%d released by t%d but held by t%d",
+					i, e.Lock, t, holder[e.Lock])
+			}
+			held[e.Lock] = false
+		case SendEvent:
+			pending[e.Chan]++
+		case RecvEvent:
+			if pending[e.Chan] == 0 {
+				return fmt.Errorf("trace: event %d: receive on channel c%d with no pending send", i, e.Chan)
+			}
+			pending[e.Chan]--
+		case BeginEvent:
+			if inTxn[t] {
+				return fmt.Errorf("trace: event %d: nested transaction begin by t%d", i, t)
+			}
+			inTxn[t] = true
+		case EndEvent:
+			if !inTxn[t] {
+				return fmt.Errorf("trace: event %d: transaction end without begin by t%d", i, t)
+			}
+			inTxn[t] = false
+		}
+	}
+	for l, h := range held {
+		if h {
+			return fmt.Errorf("trace: lock l%d still held by t%d at end of trace", l, holder[l])
+		}
+	}
+	for t, open := range inTxn {
+		if open {
+			return fmt.Errorf("trace: transaction of t%d still open at end of trace", t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	tr := NewBuilder().
+		Fork(0, 1).Fork(0, 2).
+		Acquire(1, 0).
+		Put(1, 0, StrValue("k"), IntValue(1), NilValue).
+		Release(1, 0).
+		Acquire(2, 0).
+		Get(2, 0, StrValue("k"), IntValue(1)).
+		Release(2, 0).
+		JoinAll(0, 1, 2).
+		Size(0, 0, 1).
+		Trace()
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRootThreadsAllowed(t *testing.T) {
+	tr := NewBuilder().
+		Get(3, 0, StrValue("k"), NilValue). // root thread, never forked
+		Get(7, 0, StrValue("k"), NilValue).
+		Join(3, 7). // joining a root that has acted is fine
+		Trace()
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+		frag string
+	}{
+		{"self-fork", NewBuilder().Fork(1, 1).Trace(), "forks itself"},
+		{"double-fork", NewBuilder().Fork(0, 1).Fork(2, 1).Trace(), "forked twice"},
+		{"fork-after-act", NewBuilder().Size(1, 0, 0).Fork(0, 1).Trace(), "already acted"},
+		{"self-join", NewBuilder().Join(1, 1).Trace(), "joins itself"},
+		{"join-unknown", NewBuilder().Join(0, 9).Trace(), "unknown thread"},
+		{"act-after-join", NewBuilder().Fork(0, 1).Join(0, 1).Size(1, 0, 0).Trace(), "after being joined"},
+		{"double-acquire", NewBuilder().Fork(0, 1).Acquire(0, 0).Acquire(1, 0).Trace(), "while held"},
+		{"free-release", NewBuilder().Release(0, 0).Trace(), "released while free"},
+		{"wrong-releaser", NewBuilder().Fork(0, 1).Acquire(0, 0).Release(1, 0).Trace(), "held by"},
+		{"held-at-end", NewBuilder().Acquire(0, 0).Trace(), "still held"},
+	}
+	for _, c := range cases {
+		err := Validate(c.tr)
+		if err == nil {
+			t.Errorf("%s: should be rejected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestValidateTransactions(t *testing.T) {
+	good := &Trace{}
+	good.Append(Event{Kind: BeginEvent, Thread: 0})
+	good.Append(Act(0, Action{Obj: 0, Method: "size", Rets: []Value{IntValue(0)}}))
+	good.Append(Event{Kind: EndEvent, Thread: 0})
+	if err := Validate(good); err != nil {
+		t.Fatal(err)
+	}
+
+	nested := &Trace{}
+	nested.Append(Event{Kind: BeginEvent, Thread: 0})
+	nested.Append(Event{Kind: BeginEvent, Thread: 0})
+	if err := Validate(nested); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("nested begin: %v", err)
+	}
+
+	stray := &Trace{}
+	stray.Append(Event{Kind: EndEvent, Thread: 0})
+	if err := Validate(stray); err == nil || !strings.Contains(err.Error(), "without begin") {
+		t.Errorf("stray end: %v", err)
+	}
+
+	open := &Trace{}
+	open.Append(Event{Kind: BeginEvent, Thread: 0})
+	if err := Validate(open); err == nil || !strings.Contains(err.Error(), "still open") {
+		t.Errorf("open txn: %v", err)
+	}
+}
+
+func TestPropGeneratedTracesValidate(t *testing.T) {
+	cfg := DefaultGenConfig()
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := Generate(r, cfg)
+		if err := Validate(tr); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package translate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecl"
+	"repro/internal/trace"
+)
+
+// randSpec builds a random specification: 2–3 methods with random arities
+// and a random ECL formula per pair (some pairs deliberately omitted to
+// exercise the conservative default).
+func randSpec(r *rand.Rand) (*ecl.Spec, error) {
+	spec := ecl.NewSpec("rand")
+	nMethods := 2 + r.Intn(2)
+	for m := 0; m < nMethods; m++ {
+		nArgs := 1 + r.Intn(2)
+		nRets := r.Intn(2)
+		args := make([]string, nArgs)
+		for i := range args {
+			args[i] = fmt.Sprintf("a%d", i)
+		}
+		rets := make([]string, nRets)
+		for i := range rets {
+			rets[i] = fmt.Sprintf("r%d", i)
+		}
+		if _, err := spec.AddMethod(fmt.Sprintf("m%d", m), args, rets); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nMethods; i++ {
+		for j := i; j < nMethods; j++ {
+			if r.Intn(5) == 0 {
+				continue // leave unspecified: defaults to false
+			}
+			mi, _ := spec.Method(fmt.Sprintf("m%d", i))
+			mj, _ := spec.Method(fmt.Sprintf("m%d", j))
+			f := ecl.RandECL(r, 1+r.Intn(3), mi.NumOps(), mj.NumOps())
+			if i == j {
+				// Definition 4.1 requires same-method formulas to be
+				// symmetric; conjoining with the swap enforces it without
+				// leaving ECL.
+				f = ecl.And{L: f, R: ecl.Swap(f)}
+			}
+			if err := spec.SetPair(mi.Name, mj.Name, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return spec, nil
+}
+
+// randAction draws a random action of a random method with small integer
+// operands.
+func randAction(r *rand.Rand, spec *ecl.Spec) trace.Action {
+	m := spec.Methods[r.Intn(len(spec.Methods))]
+	mk := func(n int) []trace.Value {
+		out := make([]trace.Value, n)
+		for i := range out {
+			out[i] = trace.IntValue(int64(r.Intn(3)))
+		}
+		return out
+	}
+	return trace.Action{Method: m.Name, Args: mk(len(m.Args)), Rets: mk(len(m.Rets))}
+}
+
+// TestPropRandomSpecsTranslateEquivalently is Theorem 6.5 over arbitrary
+// random ECL specifications and all optimization settings: the translated
+// representation conflicts exactly when the specification denies
+// commutativity.
+func TestPropRandomSpecsTranslateEquivalently(t *testing.T) {
+	optSettings := []Options{
+		{},
+		{Cleanup: true},
+		{Cleanup: true, Congruence: true},
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec, err := randSpec(r)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, opts := range optSettings {
+			rep, err := TranslateOpts(spec, opts)
+			if err != nil {
+				t.Logf("seed %d: translate: %v", seed, err)
+				return false
+			}
+			if !rep.Bounded() {
+				return false
+			}
+			for k := 0; k < 30; k++ {
+				a, b := randAction(r, spec), randAction(r, spec)
+				commutes, err := spec.Commutes(a, b)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				if conflictBetween(t, rep, a, b) == commutes {
+					t.Logf("seed %d opts %+v: a=%s b=%s commutes=%v but conflict=%v\nspec:\n%s",
+						seed, opts, a, b, commutes, commutes, spec)
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTheorem66Boundedness: for random specs, every point class has a
+// bounded conflict list, and optimization never increases the bound.
+func TestPropTheorem66Boundedness(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec, err := randSpec(r)
+		if err != nil {
+			return false
+		}
+		raw, err := TranslateOpts(spec, Options{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		opt, err := Translate(spec)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if opt.NumClasses() > raw.NumClasses() {
+			t.Logf("seed %d: optimization grew classes %d → %d", seed, raw.NumClasses(), opt.NumClasses())
+			return false
+		}
+		// The bound must be a function of the spec, far below the number
+		// of distinct values an execution could touch.
+		return opt.MaxConflicts() <= raw.NumClasses()
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSymmetricConflicts: the conflict relation is symmetric for random
+// specs (Co is a symmetric closure by construction).
+func TestPropSymmetricConflicts(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec, err := randSpec(r)
+		if err != nil {
+			return false
+		}
+		rep, err := Translate(spec)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			a, b := randAction(r, spec), randAction(r, spec)
+			pa, err := rep.Touch(nil, a)
+			if err != nil {
+				return false
+			}
+			pb, err := rep.Touch(nil, b)
+			if err != nil {
+				return false
+			}
+			for _, p := range pa {
+				for _, q := range pb {
+					if rep.ConflictsWith(p, q) != rep.ConflictsWith(q, p) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

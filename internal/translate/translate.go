@@ -1,0 +1,527 @@
+// Package translate implements the paper's Section 6.2: the automatic
+// translation of an ECL commutativity specification Φ into an access point
+// representation ⟨Xo, ηo, Co⟩, together with the simplification steps of
+// Appendix A.3.
+//
+// The translation enumerates, for every method m, the β vectors over
+// B(Φ, m) (the truth assignments of the method's LB atoms) and builds two
+// kinds of point classes:
+//
+//	o.m:β:ds   — witnesses that m was invoked with LB-atom valuation β
+//	o.m:β:i    — witnesses operand i's value w_i under valuation β
+//
+// For every method pair and every β pair the residual ϕ[β1; β2] (an LS
+// formula, Lemma 6.4) decides the conflict relation:
+//
+//	ds–ds conflict    iff ϕ[β1; β2] ≡ false
+//	(i, u)–(j, u)     iff ϕ[β1; β2] ≢ false and contains conjunct x_i ≠ y_j
+//
+// Two of the appendix's optimizations are applied directly:
+//
+//	cleanup    — classes that appear in no conflict are never generated
+//	congruence — classes with identical conflict neighborhoods are merged
+//	             (iterated to a fixpoint)
+//
+// The appendix's consolidation and dropping steps fall out of congruence:
+// β vectors that differ only in atoms irrelevant to a point kind induce
+// identical conflict rows and therefore merge. On the Fig 6 dictionary
+// specification the result is exactly the four-class representation of
+// Fig 7 (o:r:k, o:w:k, o:size, o:resize); see the tests.
+//
+// Every class keeps a bounded neighbor list, so the produced representation
+// satisfies Theorem 6.6 and the detector performs Θ(1) conflict checks per
+// action.
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ap"
+	"repro/internal/ecl"
+	"repro/internal/trace"
+)
+
+// MaxAtomsPerMethod bounds |B(Φ, m)|; the β space is enumerated exhaustively
+// (2^n valuations), so specifications beyond this are rejected.
+const MaxAtomsPerMethod = 16
+
+// Options selects which appendix optimizations to apply. The zero value
+// disables both (the raw Section 6.2 translation); Translate uses both.
+type Options struct {
+	Cleanup    bool // remove classes that occur in no conflict
+	Congruence bool // merge classes with identical conflict neighborhoods
+}
+
+// Rep is a translated access point representation. It implements ap.Rep and
+// is immutable after construction.
+type Rep struct {
+	spec    *ecl.Spec
+	methods map[string]*methodRep
+	classes []classRep
+}
+
+var _ ap.Rep = (*Rep)(nil)
+
+type methodRep struct {
+	m         *ecl.Method
+	atoms     []ecl.AtomKey
+	templates []template // indexed by β mask
+}
+
+// template maps one (method, β) to final class ids; -1 means the point was
+// cleaned away.
+type template struct {
+	ds  int
+	ops []int
+}
+
+type classRep struct {
+	name      string // full name: all merged members joined with ≡
+	short     string // first member, for compact race reports
+	isValue   bool   // positional class (carries a witnessed value)
+	neighbors []int  // conflicting class ids, sorted
+}
+
+// Translate converts the specification with all optimizations enabled.
+func Translate(spec *ecl.Spec) (*Rep, error) {
+	return TranslateOpts(spec, Options{Cleanup: true, Congruence: true})
+}
+
+// TranslateOpts converts the specification with explicit optimization
+// choices.
+func TranslateOpts(spec *ecl.Spec, opts Options) (*Rep, error) {
+	if err := spec.CheckECL(); err != nil {
+		return nil, fmt.Errorf("translate: %w", err)
+	}
+	b := &builder{spec: spec, opts: opts}
+	return b.build()
+}
+
+// MustTranslate is Translate, panicking on error; for compiled-in specs.
+func MustTranslate(spec *ecl.Spec) *Rep {
+	r, err := Translate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// builder carries the intermediate state of a translation.
+type builder struct {
+	spec *ecl.Spec
+	opts Options
+
+	methodAtoms map[string][]ecl.AtomKey
+	rawBase     map[string]int // first raw id of each method's block
+	rawCount    int
+	rawNames    []string
+	rawIsValue  []bool
+	edges       []map[int]struct{} // raw conflict adjacency
+}
+
+// rawID computes the dense raw class id of (method, β, kind) where kind -1
+// is ds and 0..n-1 are operand positions.
+func (b *builder) rawID(method string, beta ecl.Beta, kind int) int {
+	m, _ := b.spec.Method(method)
+	perBeta := 1 + m.NumOps()
+	return b.rawBase[method] + int(beta)*perBeta + 1 + kind
+}
+
+func (b *builder) build() (*Rep, error) {
+	// Raw class universe.
+	b.methodAtoms = map[string][]ecl.AtomKey{}
+	b.rawBase = map[string]int{}
+	for _, m := range b.spec.Methods {
+		atoms := b.spec.AtomsFor(m.Name)
+		if len(atoms) > MaxAtomsPerMethod {
+			return nil, fmt.Errorf("translate: method %q has %d LB atoms; max %d", m.Name, len(atoms), MaxAtomsPerMethod)
+		}
+		b.methodAtoms[m.Name] = atoms
+		b.rawBase[m.Name] = b.rawCount
+		betas := 1 << uint(len(atoms))
+		perBeta := 1 + m.NumOps()
+		for beta := 0; beta < betas; beta++ {
+			b.rawNames = append(b.rawNames, b.rawName(m, ecl.Beta(beta), -1))
+			b.rawIsValue = append(b.rawIsValue, false)
+			for i := 0; i < m.NumOps(); i++ {
+				b.rawNames = append(b.rawNames, b.rawName(m, ecl.Beta(beta), i))
+				b.rawIsValue = append(b.rawIsValue, true)
+			}
+		}
+		b.rawCount += betas * perBeta
+	}
+	b.edges = make([]map[int]struct{}, b.rawCount)
+
+	// Conflict edges from residuals, over every unordered method pair
+	// (missing pairs default to ϕ = false, conservatively).
+	for i1, m1 := range b.spec.Methods {
+		for i2 := i1; i2 < len(b.spec.Methods); i2++ {
+			m2 := b.spec.Methods[i2]
+			if err := b.pairEdges(m1, m2); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Optimization passes over the raw relation.
+	alive := make([]bool, b.rawCount)
+	for i := range alive {
+		alive[i] = !b.opts.Cleanup || len(b.edges[i]) > 0
+	}
+	rep := b.mergeAndAssemble(alive)
+	return rep, nil
+}
+
+// pairEdges adds the conflict edges contributed by the pair (m1, m2).
+func (b *builder) pairEdges(m1, m2 *ecl.Method) error {
+	f, _ := b.spec.FormulaFor(m1.Name, m2.Name)
+	atoms1, atoms2 := b.methodAtoms[m1.Name], b.methodAtoms[m2.Name]
+	n1, n2 := 1<<uint(len(atoms1)), 1<<uint(len(atoms2))
+	for beta1 := 0; beta1 < n1; beta1++ {
+		env1 := ecl.EnvFromBeta(atoms1, ecl.Beta(beta1))
+		for beta2 := 0; beta2 < n2; beta2++ {
+			env2 := ecl.EnvFromBeta(atoms2, ecl.Beta(beta2))
+			res, err := ecl.ResidualOf(f, m1.Name, m2.Name, env1, env2)
+			if err != nil {
+				return fmt.Errorf("translate: pair (%s, %s): %w", m1.Name, m2.Name, err)
+			}
+			if res.False {
+				b.addEdge(
+					b.rawID(m1.Name, ecl.Beta(beta1), -1),
+					b.rawID(m2.Name, ecl.Beta(beta2), -1))
+				continue
+			}
+			for _, nq := range res.Neqs {
+				b.addEdge(
+					b.rawID(m1.Name, ecl.Beta(beta1), nq[0]),
+					b.rawID(m2.Name, ecl.Beta(beta2), nq[1]))
+			}
+		}
+	}
+	return nil
+}
+
+func (b *builder) addEdge(x, y int) {
+	if b.edges[x] == nil {
+		b.edges[x] = map[int]struct{}{}
+	}
+	if b.edges[y] == nil {
+		b.edges[y] = map[int]struct{}{}
+	}
+	b.edges[x][y] = struct{}{}
+	b.edges[y][x] = struct{}{}
+}
+
+func (b *builder) rawName(m *ecl.Method, beta ecl.Beta, kind int) string {
+	atoms := b.methodAtoms[m.Name]
+	betaDesc := "∅"
+	if len(atoms) > 0 {
+		betaDesc = ecl.DescribeBeta(atoms, m, beta)
+	}
+	pos := "ds"
+	if kind >= 0 {
+		if names := m.OpNames(); kind < len(names) {
+			pos = names[kind]
+		} else {
+			pos = fmt.Sprintf("%d", kind+1)
+		}
+	}
+	return fmt.Sprintf("o.%s:%s:%s", m.Name, betaDesc, pos)
+}
+
+// mergeAndAssemble runs the congruence fixpoint over the alive raw classes
+// and assembles the final representation.
+func (b *builder) mergeAndAssemble(alive []bool) *Rep {
+	// rep[i] is the current representative of raw class i.
+	rep := make([]int, b.rawCount)
+	for i := range rep {
+		rep[i] = i
+	}
+	find := func(i int) int {
+		for rep[i] != i {
+			rep[i] = rep[rep[i]]
+			i = rep[i]
+		}
+		return i
+	}
+
+	if b.opts.Congruence {
+		for {
+			// Group alive representatives by their neighbor signature.
+			groups := map[string][]int{}
+			for i := 0; i < b.rawCount; i++ {
+				if !alive[i] || find(i) != i {
+					continue
+				}
+				sig := b.signature(i, alive, find)
+				groups[sig] = append(groups[sig], i)
+			}
+			changed := false
+			for _, members := range groups {
+				if len(members) < 2 {
+					continue
+				}
+				sort.Ints(members)
+				for _, m := range members[1:] {
+					rep[m] = members[0]
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Assign final ids to surviving representatives, in raw order.
+	finalOf := make([]int, b.rawCount)
+	for i := range finalOf {
+		finalOf[i] = -1
+	}
+	var classes []classRep
+	members := map[int][]int{}
+	for i := 0; i < b.rawCount; i++ {
+		if !alive[i] {
+			continue
+		}
+		r := find(i)
+		members[r] = append(members[r], i)
+	}
+	reps := make([]int, 0, len(members))
+	for r := range members {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	for _, r := range reps {
+		finalOf[r] = len(classes)
+		names := make([]string, len(members[r]))
+		for k, m := range members[r] {
+			names[k] = b.rawNames[m]
+		}
+		short := names[0]
+		if len(names) > 1 {
+			short += fmt.Sprintf(" (+%d merged)", len(names)-1)
+		}
+		classes = append(classes, classRep{
+			name:    strings.Join(names, " ≡ "),
+			short:   short,
+			isValue: b.rawIsValue[r],
+		})
+	}
+	// Neighbor lists: union over members' edges, mapped to final ids.
+	for _, r := range reps {
+		seen := map[int]struct{}{}
+		for _, m := range members[r] {
+			for n := range b.edges[m] {
+				if !alive[n] {
+					continue
+				}
+				seen[finalOf[find(n)]] = struct{}{}
+			}
+		}
+		ns := make([]int, 0, len(seen))
+		for n := range seen {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		classes[finalOf[r]].neighbors = ns
+	}
+
+	// Touch templates.
+	out := &Rep{spec: b.spec, methods: map[string]*methodRep{}, classes: classes}
+	for _, m := range b.spec.Methods {
+		atoms := b.methodAtoms[m.Name]
+		betas := 1 << uint(len(atoms))
+		mr := &methodRep{m: m, atoms: atoms, templates: make([]template, betas)}
+		for beta := 0; beta < betas; beta++ {
+			t := template{ds: -1, ops: make([]int, m.NumOps())}
+			raw := b.rawID(m.Name, ecl.Beta(beta), -1)
+			if alive[raw] {
+				t.ds = finalOf[find(raw)]
+			}
+			for i := 0; i < m.NumOps(); i++ {
+				raw := b.rawID(m.Name, ecl.Beta(beta), i)
+				t.ops[i] = -1
+				if alive[raw] {
+					t.ops[i] = finalOf[find(raw)]
+				}
+			}
+			mr.templates[beta] = t
+		}
+		out.methods[m.Name] = mr
+	}
+	return out
+}
+
+// signature renders a class's conflict neighborhood (up to current merging)
+// for congruence grouping. Classes of different kinds never share a
+// signature.
+func (b *builder) signature(i int, alive []bool, find func(int) int) string {
+	ns := map[int]struct{}{}
+	for n := range b.edges[i] {
+		if alive[n] {
+			ns[find(n)] = struct{}{}
+		}
+	}
+	ids := make([]int, 0, len(ns))
+	for n := range ns {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	kind := "v"
+	if !b.rawIsValue[i] {
+		kind = "d"
+	}
+	parts := make([]string, len(ids))
+	for k, id := range ids {
+		parts[k] = fmt.Sprint(id)
+	}
+	return kind + ":" + strings.Join(parts, ",")
+}
+
+// Touch implements ap.Rep: η(a) = {o.m:β:ds} ∪ {o.m:β:i:w_i}, restricted to
+// classes that survived the optimizations.
+func (r *Rep) Touch(dst []ap.Point, a trace.Action) ([]ap.Point, error) {
+	if err := r.spec.CheckAction(a); err != nil {
+		return nil, err
+	}
+	mr := r.methods[a.Method]
+	beta, err := ecl.BetaOf(mr.atoms, a)
+	if err != nil {
+		return nil, err
+	}
+	t := mr.templates[beta]
+	if t.ds >= 0 {
+		dst = append(dst, ap.Point{Class: t.ds})
+	}
+	for i, c := range t.ops {
+		if c >= 0 {
+			v, ok := a.Operand(i)
+			if !ok {
+				return nil, fmt.Errorf("translate: %s: operand %d out of range", a, i)
+			}
+			dst = append(dst, ap.Point{Class: c, Val: v})
+		}
+	}
+	return dst, nil
+}
+
+// Bounded reports true: translated representations satisfy Theorem 6.6.
+func (r *Rep) Bounded() bool { return true }
+
+// Conflicts enumerates the bounded conflict set of pt.
+func (r *Rep) Conflicts(dst []ap.Point, pt ap.Point) []ap.Point {
+	if pt.Class < 0 || pt.Class >= len(r.classes) {
+		return dst
+	}
+	c := r.classes[pt.Class]
+	for _, n := range c.neighbors {
+		if r.classes[n].isValue {
+			dst = append(dst, ap.Point{Class: n, Val: pt.Val})
+		} else {
+			dst = append(dst, ap.Point{Class: n})
+		}
+	}
+	return dst
+}
+
+// ConflictsWith reports whether two points conflict: their classes must be
+// neighbors and, for positional classes, the witnessed values must be equal.
+func (r *Rep) ConflictsWith(p, q ap.Point) bool {
+	if p.Class < 0 || p.Class >= len(r.classes) || q.Class < 0 || q.Class >= len(r.classes) {
+		return false
+	}
+	cp := r.classes[p.Class]
+	found := false
+	for _, n := range cp.neighbors {
+		if n == q.Class {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	if cp.isValue && r.classes[q.Class].isValue {
+		return p.Val == q.Val
+	}
+	return true
+}
+
+// Describe renders a point compactly for race reports: the class's first
+// member name (with a merge count) and the witnessed value. Dump shows the
+// full merged class names.
+func (r *Rep) Describe(pt ap.Point) string {
+	if pt.Class < 0 || pt.Class >= len(r.classes) {
+		return fmt.Sprintf("class#%d", pt.Class)
+	}
+	c := r.classes[pt.Class]
+	if c.isValue {
+		return fmt.Sprintf("[%s]=%s", c.short, pt.Val)
+	}
+	return "[" + c.short + "]"
+}
+
+// NumClasses returns the number of final point classes.
+func (r *Rep) NumClasses() int { return len(r.classes) }
+
+// MaxConflicts returns the largest conflict-set size over all classes — the
+// constant of Theorem 6.6 for this specification.
+func (r *Rep) MaxConflicts() int {
+	max := 0
+	for _, c := range r.classes {
+		if len(c.neighbors) > max {
+			max = len(c.neighbors)
+		}
+	}
+	return max
+}
+
+// Class describes one final point class for tooling.
+type Class struct {
+	ID        int
+	Name      string
+	Value     bool
+	Neighbors []int
+}
+
+// Classes returns the final classes in id order.
+func (r *Rep) Classes() []Class {
+	out := make([]Class, len(r.classes))
+	for i, c := range r.classes {
+		out[i] = Class{ID: i, Name: c.name, Value: c.isValue,
+			Neighbors: append([]int{}, c.neighbors...)}
+	}
+	return out
+}
+
+// Dump renders the representation: every class with its kind and conflict
+// neighbors. Used by the ecl2ap tool.
+func (r *Rep) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "object %s: %d point classes, max conflicts %d\n",
+		r.spec.Object, r.NumClasses(), r.MaxConflicts())
+	for i, c := range r.classes {
+		kind := "ds"
+		if c.isValue {
+			kind = "value"
+		}
+		fmt.Fprintf(&b, "  class %d (%s): %s\n", i, kind, c.name)
+		if len(c.neighbors) == 0 {
+			fmt.Fprintf(&b, "    no conflicts\n")
+		}
+		for _, n := range c.neighbors {
+			cond := ""
+			if c.isValue && r.classes[n].isValue {
+				cond = " when values equal"
+			}
+			fmt.Fprintf(&b, "    conflicts with class %d%s\n", n, cond)
+		}
+	}
+	return b.String()
+}
+
+// Spec returns the specification this representation was translated from.
+func (r *Rep) Spec() *ecl.Spec { return r.spec }

@@ -1,0 +1,550 @@
+package translate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ap"
+	"repro/internal/ecl"
+	"repro/internal/trace"
+)
+
+const dictSrc = `
+object dict
+method put(k, v) / (p)
+method get(k) / (v)
+method size() / (r)
+commute put(k1, v1)/(p1), put(k2, v2)/(p2)
+    when k1 != k2 || (v1 == p1 && v2 == p2)
+commute put(k1, v1)/(p1), get(k2)/(v2) when k1 != k2 || v1 == p1
+commute put(k1, v1)/(p1), size()/(r)
+    when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil)
+commute get(k1)/(v1), get(k2)/(v2) when true
+commute get(k1)/(v1), size()/(r) when true
+commute size()/(r1), size()/(r2) when true
+`
+
+var (
+	vNil = trace.NilValue
+	v1   = trace.IntValue(1)
+	v2   = trace.IntValue(2)
+	kA   = trace.StrValue("a.com")
+	kB   = trace.StrValue("b.com")
+)
+
+func put(k, v, p trace.Value) trace.Action {
+	return trace.Action{Method: "put", Args: []trace.Value{k, v}, Rets: []trace.Value{p}}
+}
+
+func get(k, v trace.Value) trace.Action {
+	return trace.Action{Method: "get", Args: []trace.Value{k}, Rets: []trace.Value{v}}
+}
+
+func size(r int64) trace.Action {
+	return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(r)}}
+}
+
+func dictRep(t *testing.T) *Rep {
+	t.Helper()
+	spec, err := ecl.ParseSpec(dictSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Translate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDictionaryTranslationMatchesFig7 is experiment E5: the optimized
+// translation of the Fig 6 specification must collapse to the four-class
+// representation of Fig 7 — o:w:k, o:r:k, o:size, o:resize — with every
+// class conflicting with at most two others.
+func TestDictionaryTranslationMatchesFig7(t *testing.T) {
+	rep := dictRep(t)
+	if got := rep.NumClasses(); got != 4 {
+		t.Fatalf("optimized dictionary representation has %d classes, want 4 (Fig 7)\n%s", got, rep.Dump())
+	}
+	if got := rep.MaxConflicts(); got != 2 {
+		t.Fatalf("max conflicts = %d, want 2 (Fig 7(c))\n%s", got, rep.Dump())
+	}
+	if !rep.Bounded() {
+		t.Fatal("translated representation must be bounded (Theorem 6.6)")
+	}
+
+	// Identify the classes structurally via Touch.
+	wPts, err := rep.Touch(nil, put(kA, v2, v1)) // non-resizing write: only w
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wPts) != 1 {
+		t.Fatalf("non-resizing put touches %v, want a single o:w point", wPts)
+	}
+	w := wPts[0]
+	rPtsGet, err := rep.Touch(nil, get(kA, v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rPtsGet) != 1 {
+		t.Fatalf("get touches %v, want single o:r point", rPtsGet)
+	}
+	r := rPtsGet[0]
+	rPtsNoop, err := rep.Touch(nil, put(kA, v1, v1)) // no-op put behaves as read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rPtsNoop) != 1 || rPtsNoop[0] != r {
+		t.Fatalf("no-op put touches %v, want the same o:r point as get (%v)", rPtsNoop, r)
+	}
+	szPts, err := rep.Touch(nil, size(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(szPts) != 1 {
+		t.Fatalf("size touches %v", szPts)
+	}
+	sz := szPts[0]
+	resizePts, err := rep.Touch(nil, put(kA, v1, vNil)) // insert: w + resize
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resizePts) != 2 {
+		t.Fatalf("inserting put touches %v, want w and resize", resizePts)
+	}
+	var resize ap.Point
+	foundW := false
+	for _, p := range resizePts {
+		if p.Class == w.Class {
+			foundW = true
+		} else {
+			resize = p
+		}
+	}
+	if !foundW {
+		t.Fatalf("inserting put %v missing the o:w point %v", resizePts, w)
+	}
+
+	// The Fig 7(c) conflict matrix.
+	mustConflict := func(p, q ap.Point, want bool) {
+		t.Helper()
+		if got := rep.ConflictsWith(p, q); got != want {
+			t.Errorf("ConflictsWith(%s, %s) = %v, want %v", rep.Describe(p), rep.Describe(q), got, want)
+		}
+	}
+	mustConflict(w, w, true)
+	mustConflict(w, r, true)
+	mustConflict(r, r, false)
+	mustConflict(sz, resize, true)
+	mustConflict(resize, sz, true)
+	mustConflict(sz, sz, false)
+	mustConflict(resize, resize, false)
+	mustConflict(w, sz, false)
+	mustConflict(r, resize, false)
+	// Value sensitivity: different keys do not conflict.
+	wOther := ap.Point{Class: w.Class, Val: kB}
+	mustConflict(w, wOther, false)
+	mustConflict(r, wOther, false)
+}
+
+func TestDictRemovalTouchesResize(t *testing.T) {
+	rep := dictRep(t)
+	pts, err := rep.Touch(nil, put(kA, vNil, v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("removal put touches %v, want w + resize", pts)
+	}
+}
+
+func TestTouchErrors(t *testing.T) {
+	rep := dictRep(t)
+	if _, err := rep.Touch(nil, trace.Action{Method: "frob"}); err == nil {
+		t.Error("unknown method must fail")
+	}
+	if _, err := rep.Touch(nil, trace.Action{Method: "put", Args: []trace.Value{kA}}); err == nil {
+		t.Error("bad arity must fail")
+	}
+}
+
+func TestConflictsEnumerationMatchesMatrix(t *testing.T) {
+	rep := dictRep(t)
+	// Gather every point reachable by touching a spread of actions.
+	actions := []trace.Action{
+		put(kA, v1, vNil), put(kA, v2, v1), put(kA, v1, v1), put(kA, vNil, v1),
+		put(kB, v1, vNil), get(kA, v1), get(kB, vNil), size(0),
+	}
+	var universe []ap.Point
+	seen := map[ap.Point]bool{}
+	for _, a := range actions {
+		pts, err := rep.Touch(nil, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if !seen[p] {
+				seen[p] = true
+				universe = append(universe, p)
+			}
+		}
+	}
+	for _, p := range universe {
+		enum := map[ap.Point]bool{}
+		for _, q := range rep.Conflicts(nil, p) {
+			enum[q] = true
+		}
+		for _, q := range universe {
+			if got, want := enum[q], rep.ConflictsWith(p, q); got != want {
+				t.Errorf("point %s vs %s: enum %v, matrix %v", rep.Describe(p), rep.Describe(q), got, want)
+			}
+		}
+	}
+}
+
+func randDictAction(r *rand.Rand) trace.Action {
+	keys := []trace.Value{kA, kB, trace.StrValue("c.com")}
+	vals := []trace.Value{vNil, v1, v2}
+	switch r.Intn(3) {
+	case 0:
+		return put(keys[r.Intn(3)], vals[r.Intn(3)], vals[r.Intn(3)])
+	case 1:
+		return get(keys[r.Intn(3)], vals[r.Intn(3)])
+	default:
+		return size(int64(r.Intn(3)))
+	}
+}
+
+// conflictBetween reports whether any touched points of the two actions
+// conflict under the representation.
+func conflictBetween(t *testing.T, rep ap.Rep, a, b trace.Action) bool {
+	t.Helper()
+	pa, err := rep.Touch(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := rep.Touch(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pa {
+		for _, q := range pb {
+			if rep.ConflictsWith(p, q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPropTheorem65Equivalence checks Definition 4.5 / Theorem 6.5: the
+// translated representation conflicts exactly when the logical specification
+// says the actions do not commute.
+func TestPropTheorem65Equivalence(t *testing.T) {
+	spec := ecl.MustParseSpec(dictSrc)
+	for _, opts := range []Options{
+		{},
+		{Cleanup: true},
+		{Congruence: true},
+		{Cleanup: true, Congruence: true},
+	} {
+		rep, err := TranslateOpts(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = quick.Check(func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a, b := randDictAction(r), randDictAction(r)
+			commutes, err := spec.Commutes(a, b)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			conflict := conflictBetween(t, rep, a, b)
+			if conflict == commutes {
+				t.Logf("opts %+v: a=%s b=%s commutes=%v conflict=%v", opts, a, b, commutes, conflict)
+				return false
+			}
+			return true
+		}, &quick.Config{MaxCount: 1500})
+		if err != nil {
+			t.Errorf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestPropMatchesHandWrittenDictRep cross-checks the translation against the
+// hand-written Fig 7 representation in package ap.
+func TestPropMatchesHandWrittenDictRep(t *testing.T) {
+	rep := dictRep(t)
+	hand := ap.DictRep{}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randDictAction(r), randDictAction(r)
+		return conflictBetween(t, rep, a, b) == conflictBetween(t, hand, a, b)
+	}, &quick.Config{MaxCount: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizationReducesClasses(t *testing.T) {
+	spec := ecl.MustParseSpec(dictSrc)
+	raw, err := TranslateOpts(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Translate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.NumClasses() <= opt.NumClasses() {
+		t.Errorf("raw %d classes vs optimized %d: optimization should shrink the representation",
+			raw.NumClasses(), opt.NumClasses())
+	}
+	if opt.NumClasses() != 4 {
+		t.Errorf("optimized classes = %d", opt.NumClasses())
+	}
+}
+
+func TestTranslateRejectsNonECL(t *testing.T) {
+	spec := ecl.NewSpec("bad")
+	if _, err := spec.AddMethod("m", []string{"a", "b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// a1 != a2 || b1 != b2 is X ∨ X.
+	f := ecl.Or{L: ecl.Neq{I: 0, J: 0}, R: ecl.Neq{I: 1, J: 1}}
+	if err := spec.SetPair("m", "m", f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(spec); err == nil {
+		t.Error("non-ECL spec must be rejected")
+	}
+}
+
+func TestTranslateRejectsHugeBetaSpace(t *testing.T) {
+	spec := ecl.NewSpec("wide")
+	args := make([]string, MaxAtomsPerMethod+1)
+	for i := range args {
+		args[i] = string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	if _, err := spec.AddMethod("m", args, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One LB atom per argument: m commutes with itself iff every arg is 0.
+	var conj ecl.Formula = ecl.Bool(true)
+	for i := range args {
+		conj = ecl.And{L: conj, R: ecl.Atom{Side: 1, Op: ecl.OpEq, L: ecl.Var(1, i), R: ecl.Const(trace.IntValue(0))}}
+	}
+	if err := spec.SetPair("m", "m", conj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(spec); err == nil {
+		t.Error("over-wide β space must be rejected")
+	}
+}
+
+func TestMissingPairsConservativelyConflict(t *testing.T) {
+	spec := ecl.NewSpec("partial")
+	if _, err := spec.AddMethod("a", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.AddMethod("b", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetPair("a", "a", ecl.Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetPair("b", "b", ecl.Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	// a-b left unspecified: must conflict.
+	rep, err := Translate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAct := trace.Action{Method: "a"}
+	bAct := trace.Action{Method: "b"}
+	if !conflictBetween(t, rep, aAct, bAct) {
+		t.Error("unspecified pair must conservatively conflict")
+	}
+	if conflictBetween(t, rep, aAct, aAct) {
+		t.Error("a commutes with itself per the spec")
+	}
+}
+
+func TestMustTranslatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTranslate should panic")
+		}
+	}()
+	spec := ecl.NewSpec("bad")
+	if _, err := spec.AddMethod("m", []string{"a", "b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetPair("m", "m", ecl.Or{L: ecl.Neq{I: 0, J: 0}, R: ecl.Neq{I: 1, J: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	MustTranslate(spec)
+}
+
+func TestDumpAndClasses(t *testing.T) {
+	rep := dictRep(t)
+	dump := rep.Dump()
+	for _, frag := range []string{"object dict", "4 point classes", "max conflicts 2", "conflicts with"} {
+		if !strings.Contains(dump, frag) {
+			t.Errorf("Dump missing %q:\n%s", frag, dump)
+		}
+	}
+	classes := rep.Classes()
+	if len(classes) != 4 {
+		t.Fatalf("Classes() = %d", len(classes))
+	}
+	valueClasses := 0
+	for _, c := range classes {
+		if c.Value {
+			valueClasses++
+		}
+		if c.ID < 0 || c.Name == "" {
+			t.Errorf("bad class %+v", c)
+		}
+	}
+	if valueClasses != 2 {
+		t.Errorf("value classes = %d, want 2 (o:r and o:w)", valueClasses)
+	}
+	if rep.Spec().Object != "dict" {
+		t.Error("Spec() accessor broken")
+	}
+}
+
+func TestDescribeUnknownClass(t *testing.T) {
+	rep := dictRep(t)
+	if got := rep.Describe(ap.Point{Class: 99}); !strings.Contains(got, "99") {
+		t.Errorf("Describe = %q", got)
+	}
+	if rep.ConflictsWith(ap.Point{Class: 99}, ap.Point{Class: 0}) {
+		t.Error("unknown class cannot conflict")
+	}
+	if pts := rep.Conflicts(nil, ap.Point{Class: -1}); len(pts) != 0 {
+		t.Error("unknown class has no conflicts")
+	}
+}
+
+// setSrc is a set specification — the paper notes sets are expressible in
+// ECL but not in SIMPLE.
+const setSrc = `
+object set
+method add(x) / (ok)
+method remove(x) / (ok)
+method contains(x) / (ok)
+method size() / (n)
+commute add(x1)/(k1), add(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute add(x1)/(k1), remove(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute add(x1)/(k1), contains(x2)/(k2) when x1 != x2 || k1 == false
+commute add(x1)/(k1), size()/(n) when k1 == false
+commute remove(x1)/(k1), remove(x2)/(k2) when x1 != x2 || (k1 == false && k2 == false)
+commute remove(x1)/(k1), contains(x2)/(k2) when x1 != x2 || k1 == false
+commute remove(x1)/(k1), size()/(n) when k1 == false
+commute contains(x1)/(k1), contains(x2)/(k2) when true
+commute contains(x1)/(k1), size()/(n) when true
+commute size()/(n1), size()/(n2) when true
+`
+
+func TestSetSpecTranslates(t *testing.T) {
+	spec, err := ecl.ParseSpec(setSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Translate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxConflicts() > 6 {
+		t.Errorf("set representation max conflicts = %d; expected a small constant\n%s",
+			rep.MaxConflicts(), rep.Dump())
+	}
+	add := func(x trace.Value, ok bool) trace.Action {
+		return trace.Action{Method: "add", Args: []trace.Value{x}, Rets: []trace.Value{trace.BoolValue(ok)}}
+	}
+	szAct := trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(1)}}
+	if !conflictBetween(t, rep, add(v1, true), add(v1, true)) {
+		t.Error("two successful adds of the same element conflict")
+	}
+	if conflictBetween(t, rep, add(v1, false), add(v1, false)) {
+		t.Error("two failed adds commute")
+	}
+	if conflictBetween(t, rep, add(v1, true), add(v2, true)) {
+		t.Error("adds of different elements commute")
+	}
+	if !conflictBetween(t, rep, add(v1, true), szAct) {
+		t.Error("successful add conflicts with size")
+	}
+	if conflictBetween(t, rep, add(v1, false), szAct) {
+		t.Error("failed add commutes with size")
+	}
+}
+
+func TestPropSetEquivalence(t *testing.T) {
+	spec := ecl.MustParseSpec(setSrc)
+	rep, err := Translate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := []trace.Value{v1, v2, trace.IntValue(3)}
+	randAct := func(r *rand.Rand) trace.Action {
+		ok := trace.BoolValue(r.Intn(2) == 0)
+		switch r.Intn(4) {
+		case 0:
+			return trace.Action{Method: "add", Args: []trace.Value{elems[r.Intn(3)]}, Rets: []trace.Value{ok}}
+		case 1:
+			return trace.Action{Method: "remove", Args: []trace.Value{elems[r.Intn(3)]}, Rets: []trace.Value{ok}}
+		case 2:
+			return trace.Action{Method: "contains", Args: []trace.Value{elems[r.Intn(3)]}, Rets: []trace.Value{ok}}
+		default:
+			return trace.Action{Method: "size", Rets: []trace.Value{trace.IntValue(int64(r.Intn(3)))}}
+		}
+	}
+	err = quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randAct(r), randAct(r)
+		commutes, err := spec.Commutes(a, b)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return conflictBetween(t, rep, a, b) != commutes
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTranslateDictionary(b *testing.B) {
+	spec := ecl.MustParseSpec(dictSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Translate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTouch(b *testing.B) {
+	spec := ecl.MustParseSpec(dictSrc)
+	rep, err := Translate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := put(kA, v1, vNil)
+	var buf []ap.Point
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if buf, err = rep.Touch(buf, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package vclock implements vector clocks, the classic device for tracking
+// the happens-before relation in a concurrent execution (Mattern '88,
+// Lamport '78; Section 3.2 of the paper).
+//
+// A vector clock is conceptually a total map Tid → N. We represent it as a
+// dense slice indexed by thread id, with all entries beyond the slice length
+// implicitly zero, which makes the bottom element the empty slice and keeps
+// comparisons cheap for programs with few threads.
+//
+// The set of vector clocks forms a lattice under the pointwise order:
+//
+//	c1 ⊑ c2  iff  c1(τ) ≤ c2(τ) for all τ
+//	c1 ⊔ c2  =  τ ↦ max(c1(τ), c2(τ))
+//	⊥        =  τ ↦ 0
+//
+// plus the per-thread increment inc_υ used at fork and release events.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tid identifies a thread. Thread ids are small dense integers assigned by
+// the runtime in creation order.
+type Tid int
+
+// VC is a vector clock. The zero value (nil) is the bottom element ⊥ and is
+// ready to use. VC values are mutable; use Clone when sharing.
+type VC []uint64
+
+// New returns a fresh bottom clock with capacity for n threads.
+func New(n int) VC {
+	return make(VC, n)
+}
+
+// Bottom reports whether the clock is the bottom element (all zeros).
+func (c VC) Bottom() bool {
+	for _, v := range c {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the timestamp recorded for thread t (zero if beyond the dense
+// prefix).
+func (c VC) Get(t Tid) uint64 {
+	if int(t) < len(c) {
+		return c[t]
+	}
+	return 0
+}
+
+// Set records timestamp v for thread t, growing the dense prefix as needed,
+// and returns the (possibly reallocated) clock.
+func (c VC) Set(t Tid, v uint64) VC {
+	c = c.grow(int(t) + 1)
+	c[t] = v
+	return c
+}
+
+// grow extends the dense prefix to at least n entries.
+func (c VC) grow(n int) VC {
+	if len(c) >= n {
+		return c
+	}
+	if cap(c) >= n {
+		old := len(c)
+		c = c[:n]
+		for i := old; i < n; i++ {
+			c[i] = 0
+		}
+		return c
+	}
+	out := make(VC, n)
+	copy(out, c)
+	return out
+}
+
+// Clone returns an independent copy of the clock.
+func (c VC) Clone() VC {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(VC, len(c))
+	copy(out, c)
+	return out
+}
+
+// Inc performs the timestep increment inc_t, bumping thread t's component in
+// place and returning the (possibly reallocated) clock.
+func (c VC) Inc(t Tid) VC {
+	c = c.grow(int(t) + 1)
+	c[t]++
+	return c
+}
+
+// LEQ reports the pointwise order c ⊑ d.
+func (c VC) LEQ(d VC) bool {
+	for i, v := range c {
+		if v > d.Get(Tid(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither c ⊑ d nor d ⊑ c, i.e. the clocks are
+// incomparable and the stamped events may happen in parallel.
+func (c VC) Concurrent(d VC) bool {
+	return !c.LEQ(d) && !d.LEQ(c)
+}
+
+// Equal reports pointwise equality (treating missing entries as zero).
+func (c VC) Equal(d VC) bool {
+	return c.LEQ(d) && d.LEQ(c)
+}
+
+// Join computes the pointwise maximum c ⊔ d in place on c and returns the
+// (possibly reallocated) result.
+func (c VC) Join(d VC) VC {
+	c = c.grow(len(d))
+	for i, v := range d {
+		if v > c[i] {
+			c[i] = v
+		}
+	}
+	return c
+}
+
+// JoinInto is like Join but never aliases d; it is a convenience for
+// accumulating into shadow state.
+func (c VC) JoinInto(d VC) VC { return c.Join(d) }
+
+// Width returns the length of the dense prefix (an upper bound on the
+// highest thread id with a nonzero entry, plus one).
+func (c VC) Width() int { return len(c) }
+
+// String renders the clock as ⟨v0, v1, …⟩ over its dense prefix.
+func (c VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Parse parses the String form "<a, b, c>". It accepts optional whitespace
+// and an empty body for bottom.
+func Parse(s string) (VC, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '<' || s[len(s)-1] != '>' {
+		return nil, fmt.Errorf("vclock: malformed clock %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return nil, nil
+	}
+	parts := strings.Split(body, ",")
+	out := make(VC, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vclock: bad component %q in %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Compare classifies the relationship between two clocks.
+func Compare(c, d VC) Ordering {
+	le, ge := c.LEQ(d), d.LEQ(c)
+	switch {
+	case le && ge:
+		return Same
+	case le:
+		return Before
+	case ge:
+		return After
+	default:
+		return Parallel
+	}
+}
+
+// Ordering is the outcome of comparing two vector clocks.
+type Ordering int
+
+// The four possible relationships between two vector clocks.
+const (
+	Same Ordering = iota
+	Before
+	After
+	Parallel
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Same:
+		return "same"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Max returns a fresh clock equal to the join of all arguments.
+func Max(clocks ...VC) VC {
+	var out VC
+	for _, c := range clocks {
+		out = out.Join(c)
+	}
+	return out
+}
+
+// Meet returns a fresh clock equal to the pointwise minimum of all
+// arguments — the greatest lower bound in the vector clock lattice. The
+// meet of no clocks is nil (bottom), which callers should treat as "nothing
+// is dominated".
+func Meet(clocks ...VC) VC {
+	if len(clocks) == 0 {
+		return nil
+	}
+	width := 0
+	for _, c := range clocks {
+		if len(c) > width {
+			width = len(c)
+		}
+	}
+	out := make(VC, width)
+	for i := range out {
+		out[i] = clocks[0].Get(Tid(i))
+		for _, c := range clocks[1:] {
+			if v := c.Get(Tid(i)); v < out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Support returns the thread ids with nonzero entries, ascending.
+func (c VC) Support() []Tid {
+	var ts []Tid
+	for i, v := range c {
+		if v != 0 {
+			ts = append(ts, Tid(i))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}

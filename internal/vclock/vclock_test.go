@@ -1,0 +1,348 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vc(vals ...uint64) VC { return VC(vals) }
+
+func TestBottom(t *testing.T) {
+	var c VC
+	if !c.Bottom() {
+		t.Fatal("nil clock should be bottom")
+	}
+	if c.Get(5) != 0 {
+		t.Fatal("bottom clock entries must read zero")
+	}
+	if !c.LEQ(vc(1, 2, 3)) {
+		t.Fatal("bottom must be below everything")
+	}
+	if c.Set(2, 7).Get(2) != 7 {
+		t.Fatal("Set after bottom failed")
+	}
+}
+
+func TestBottomNonEmpty(t *testing.T) {
+	if !vc(0, 0, 0).Bottom() {
+		t.Fatal("all-zero clock is bottom")
+	}
+	if vc(0, 1).Bottom() {
+		t.Fatal("nonzero clock is not bottom")
+	}
+}
+
+func TestIncAndGet(t *testing.T) {
+	var c VC
+	c = c.Inc(3)
+	if got := c.Get(3); got != 1 {
+		t.Fatalf("Get(3) = %d, want 1", got)
+	}
+	if got := c.Get(0); got != 0 {
+		t.Fatalf("Get(0) = %d, want 0", got)
+	}
+	c = c.Inc(3)
+	if got := c.Get(3); got != 2 {
+		t.Fatalf("Get(3) = %d after two incs, want 2", got)
+	}
+}
+
+func TestLEQ(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want bool
+	}{
+		{nil, nil, true},
+		{vc(1, 0), vc(1, 1), true},
+		{vc(1, 1), vc(1, 0), false},
+		{vc(2, 0, 1), vc(4, 1, 1), true},
+		{vc(3, 0, 1), vc(2, 1, 0), false}, // Fig 3: incomparable
+		{vc(2, 1, 0), vc(3, 0, 1), false},
+		{vc(1, 2, 3), vc(1, 2, 3), true},
+		{vc(0, 0, 0, 5), vc(0, 0, 0), false},
+		{vc(0, 0, 0), vc(0, 0, 0, 5), true},
+	}
+	for _, c := range cases {
+		if got := c.a.LEQ(c.b); got != c.want {
+			t.Errorf("%v ⊑ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFig3Clocks(t *testing.T) {
+	// The example from Fig 3 of the paper: a1 = <3,0,1>, a2 = <2,1,0>,
+	// a3 = <4,1,1>. a1 ∥ a2, a1 ≺ a3, a2 ≺ a3.
+	a1, a2, a3 := vc(3, 0, 1), vc(2, 1, 0), vc(4, 1, 1)
+	if !a1.Concurrent(a2) {
+		t.Error("a1 and a2 must be concurrent")
+	}
+	if !a1.LEQ(a3) || !a2.LEQ(a3) {
+		t.Error("a1 and a2 must both precede a3")
+	}
+	if a3.Concurrent(a1) || a3.Concurrent(a2) {
+		t.Error("a3 is ordered after both")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	got := vc(3, 0, 1).Clone().Join(vc(2, 1, 0))
+	want := vc(3, 1, 1)
+	if !got.Equal(want) {
+		t.Fatalf("join = %v, want %v", got, want)
+	}
+}
+
+func TestJoinGrows(t *testing.T) {
+	got := vc(1).Clone().Join(vc(0, 0, 0, 9))
+	if got.Get(3) != 9 || got.Get(0) != 1 {
+		t.Fatalf("join across widths = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := vc(1, 2, 3)
+	b := a.Clone()
+	b = b.Inc(0)
+	if a.Get(0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if b.Get(0) != 2 {
+		t.Fatal("Inc on clone lost")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Ordering
+	}{
+		{vc(1, 2), vc(1, 2), Same},
+		{vc(1, 0), vc(1, 2), Before},
+		{vc(1, 2), vc(1, 0), After},
+		{vc(3, 0, 1), vc(2, 1, 0), Parallel},
+		{nil, nil, Same},
+		{nil, vc(0, 0), Same},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Same: "same", Before: "before", After: "after", Parallel: "parallel",
+		Ordering(42): "Ordering(42)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, c := range []VC{nil, vc(0), vc(3, 0, 1), vc(1, 2, 3, 4, 5)} {
+		s := c.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip %q -> %v, want %v", s, back, c)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "<", "1,2,3", "<a, b>", "<1 2>"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	c, err := Parse("  < 1 ,  2 , 3 >  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(vc(1, 2, 3)) {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestMax(t *testing.T) {
+	got := Max(vc(1, 0, 0), vc(0, 2, 0), vc(0, 0, 3))
+	if !got.Equal(vc(1, 2, 3)) {
+		t.Fatalf("Max = %v", got)
+	}
+	if Max() != nil {
+		t.Fatal("Max() should be bottom")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	got := vc(0, 5, 0, 7).Support()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Support = %v", got)
+	}
+	if len(VC(nil).Support()) != 0 {
+		t.Fatal("bottom has empty support")
+	}
+}
+
+func TestSetGrowWithCapacity(t *testing.T) {
+	c := make(VC, 1, 8)
+	c[0] = 4
+	c = c.Set(5, 9)
+	if c.Get(0) != 4 || c.Get(5) != 9 || c.Get(3) != 0 {
+		t.Fatalf("grow within capacity broken: %v", c)
+	}
+}
+
+// randVC produces small random clocks for property tests.
+func randVC(r *rand.Rand) VC {
+	n := r.Intn(6)
+	c := make(VC, n)
+	for i := range c {
+		c[i] = uint64(r.Intn(5))
+	}
+	return c
+}
+
+func TestPropPartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Reflexivity.
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randVC(r)
+		return a.LEQ(a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Antisymmetry (up to Equal).
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		if a.LEQ(b) && b.LEQ(a) {
+			return a.Equal(b)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity.
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		if a.LEQ(b) && b.LEQ(c) {
+			return a.LEQ(c)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinIsLUB(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		j := a.Clone().Join(b)
+		if !a.LEQ(j) || !b.LEQ(j) {
+			return false
+		}
+		// Least: any upper bound dominates the join.
+		u := a.Clone().Join(b).Join(randVC(r))
+		return j.LEQ(u)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinCommutativeAssociativeIdempotent(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		ab := a.Clone().Join(b)
+		ba := b.Clone().Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := a.Clone().Join(b).Join(c)
+		abc2 := a.Clone().Join(b.Clone().Join(c))
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		return a.Clone().Join(a).Equal(a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIncStrictlyIncreases(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randVC(r)
+		tid := Tid(r.Intn(6))
+		before := a.Clone()
+		after := a.Clone().Inc(tid)
+		return before.LEQ(after) && !after.LEQ(before)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConcurrentSymmetric(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		return a.Concurrent(b) == b.Concurrent(a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLEQ(b *testing.B) {
+	x, y := vc(1, 2, 3, 4, 5, 6, 7, 8), vc(2, 3, 4, 5, 6, 7, 8, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.LEQ(y)
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	x, y := vc(1, 2, 3, 4, 5, 6, 7, 8), vc(2, 3, 4, 5, 6, 7, 8, 9)
+	buf := x.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		buf.Join(y)
+	}
+}
+
+func TestPropMeetIsGLB(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		m := Meet(a, b)
+		if !m.LEQ(a) || !m.LEQ(b) {
+			return false
+		}
+		// Greatest: any common lower bound is below the meet.
+		l := randVC(r)
+		if l.LEQ(a) && l.LEQ(b) && !l.LEQ(m) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
