@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race differential bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test suite under the Go race detector; the pipeline package's shard
+# goroutines get the heaviest exercise here.
+race:
+	$(GO) test -race ./...
+
+# The serial-vs-sharded differential tests: trace replay, single-shard
+# byte-for-byte, and the live same-runtime comparison.
+differential:
+	$(GO) test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' ./internal/pipeline ./internal/monitor -v
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+ci: vet build race differential
+
+clean:
+	$(GO) clean ./...

@@ -17,12 +17,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/h2sim"
 	"repro/internal/harness"
 	"repro/internal/monitor"
+	"repro/internal/pipeline"
 	"repro/internal/snitch"
 	"repro/internal/specs"
 	"repro/internal/trace"
@@ -77,6 +79,62 @@ func BenchmarkTable2(b *testing.B) {
 				benchCircuit(b, c, mode)
 			})
 		}
+	}
+}
+
+// BenchmarkPipeline compares serial RD2 detection against the sharded
+// pipeline at several shard counts on the heaviest H2 circuit (experiment:
+// the PR's tentpole). On a multicore host the sharded qps should meet or
+// beat serial once shards > 1; at GOMAXPROCS=1 the benchmark mainly
+// measures pipeline overhead.
+func BenchmarkPipeline(b *testing.B) {
+	var circuit h2sim.Circuit
+	for _, c := range h2sim.Circuits() {
+		if c.Threads >= circuit.Threads {
+			circuit = c
+		}
+	}
+	circuit = circuit.Scaled(100)
+
+	run := func(b *testing.B, shards int) {
+		b.Helper()
+		var ops, races int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt := monitor.NewRuntime()
+			if shards == 0 {
+				rd2 := monitor.AttachRD2(rt, core.Config{MaxRaces: 1000})
+				res := circuit.Run(rt, int64(i))
+				ops += res.Ops
+				races = rd2.Detector.Stats().Races
+			} else {
+				par := monitor.AttachRD2Parallel(rt, pipeline.Config{
+					Shards: shards, Core: core.Config{MaxRaces: 1000}})
+				res := circuit.Run(rt, int64(i))
+				if err := par.Close(); err != nil {
+					b.Fatal(err)
+				}
+				ops += res.Ops
+				races = par.Pipeline.Stats().Races
+			}
+			if err := rt.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "qps")
+		b.ReportMetric(float64(races), "races")
+	}
+
+	b.Run("Serial", func(b *testing.B) { run(b, 0) })
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, n := range counts {
+		n := n
+		b.Run(fmt.Sprintf("Shards=%d", n), func(b *testing.B) { run(b, n) })
 	}
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI entry point: vet, build, full race-instrumented tests, and the
+# serial-vs-sharded differential suite. Mirrors `make ci` for hosts
+# without make.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== differential (serial vs sharded pipeline) =="
+go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' \
+    ./internal/pipeline ./internal/monitor -v
+
+echo "CI OK"

@@ -25,17 +25,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/ap"
 	"repro/internal/core"
 	"repro/internal/ecl"
+	"repro/internal/pipeline"
 	"repro/internal/replay"
 	"repro/internal/specs"
 	"repro/internal/trace"
 	"repro/internal/translate"
 )
+
+// detector is the surface shared by the serial core.Detector and the
+// sharded pipeline.Pipeline; run picks one based on -shards.
+type detector interface {
+	Register(obj trace.ObjID, rep ap.Rep)
+	RunTrace(tr *trace.Trace) error
+	Races() []core.Race
+	Stats() core.Stats
+	DistinctObjects() int
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -47,6 +59,8 @@ func run(args []string) int {
 	specName := fs.String("spec", "dict", "default specification: built-in name or file path")
 	bind := fs.String("bind", "", "per-object specs, e.g. 0=dict,3=set")
 	engine := fs.String("engine", "bounded", "conflict engine: bounded or enumerating")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"detection shards; >1 runs the parallel pipeline, <=1 the serial detector")
 	maxRaces := fs.Int("max-races", 100, "maximum races to print")
 	quiet := fs.Bool("q", false, "print only the summary line")
 	grouped := fs.Bool("summary", false, "group redundant races by object and method pair")
@@ -99,7 +113,15 @@ func run(args []string) int {
 		return 2
 	}
 
-	det := core.New(core.Config{Engine: eng, MaxRaces: *maxRaces})
+	ccfg := core.Config{Engine: eng, MaxRaces: *maxRaces}
+	var det detector
+	if *shards > 1 {
+		// The sharded pipeline: serial happens-before stamping, parallel
+		// per-object detection, merged report in canonical order.
+		det = pipeline.New(pipeline.Config{Shards: *shards, Core: ccfg})
+	} else {
+		det = core.New(ccfg)
+	}
 	objs := map[trace.ObjID]bool{}
 	for _, e := range tr.Events {
 		if e.Kind == trace.ActionEvent {
@@ -138,7 +160,11 @@ func run(args []string) int {
 		return 2
 	}
 
-	races := det.Races()
+	// Canonical report order regardless of detection path: the pipeline
+	// merge is already sorted, but the serial detector emits ties within one
+	// second event in map-iteration order.
+	races := append([]core.Race(nil), det.Races()...)
+	core.SortRaces(races)
 	switch {
 	case *quiet:
 	case *jsonOut:

@@ -132,3 +132,31 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit = %d, want 1", code)
 	}
 }
+
+func TestShardsFlag(t *testing.T) {
+	racy := writeFile(t, "racy.trace", racyTrace)
+	clean := writeFile(t, "clean.trace", cleanTrace)
+	for _, shards := range []string{"1", "4"} {
+		if code := run([]string{"-trace", racy, "-shards", shards}); code != 1 {
+			t.Errorf("-shards %s racy: exit = %d, want 1", shards, code)
+		}
+		if code := run([]string{"-trace", clean, "-shards", shards}); code != 0 {
+			t.Errorf("-shards %s clean: exit = %d, want 0", shards, code)
+		}
+	}
+	// The pipeline path composes with the other report modes and spec files.
+	if code := run([]string{"-trace", racy, "-shards", "4", "-json"}); code != 1 {
+		t.Errorf("-shards 4 -json: want exit 1")
+	}
+	if code := run([]string{"-trace", racy, "-shards", "4", "-summary"}); code != 1 {
+		t.Errorf("-shards 4 -summary: want exit 1")
+	}
+	if code := run([]string{"-trace", racy, "-shards", "4", "-engine", "enumerating"}); code != 1 {
+		t.Errorf("-shards 4 -engine enumerating: want exit 1")
+	}
+	// Errors (unregistered kinds, malformed events) still surface as exit 2.
+	bad := writeFile(t, "bad.trace", "t0 act o0.frob(1)/2\n")
+	if code := run([]string{"-trace", bad, "-shards", "4"}); code != 2 {
+		t.Errorf("-shards 4 bad trace: exit = %d, want 2", code)
+	}
+}

@@ -9,15 +9,21 @@
 //	                       enumerating engine as the trace grows
 //	rd2bench -races        Section 7 — rediscover the three harmful races
 //	                       (freedPageSpace, chunks, samples-size hint)
+//	rd2bench -shardscale   sharded pipeline throughput at 1, 2, 4, and
+//	                       GOMAXPROCS shards vs the serial detector
 //
-// With no selection flags, everything runs. -scale multiplies workload
-// sizes (higher = more stable timings).
+// With no selection flags, everything runs (except -shardscale, which is
+// opt-in). -scale multiplies workload sizes (higher = more stable timings).
+// -shards N > 1 adds a sharded-pipeline column to Table 2. -cpuprofile and
+// -memprofile write pprof profiles of the selected experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 )
@@ -34,17 +40,59 @@ func run(args []string) int {
 	races := fs.Bool("races", false, "run the Section 7 race rediscovery")
 	overhead := fs.Bool("overhead", false, "run the per-event analysis cost comparison")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
+	shardscale := fs.Bool("shardscale", false, "run the shard-scaling throughput experiment")
 	scale := fs.Int("scale", 2, "workload scale multiplier")
 	seed := fs.Int64("seed", 42, "workload random seed")
+	shards := fs.Int("shards", 0, "add a sharded-pipeline pass with N shards to Table 2 (0 = off)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation
+	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation && !*shardscale
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *table2 || all {
 		fmt.Println("== Table 2: performance and races ==")
-		rows := harness.RunTable2(harness.Config{Scale: *scale, Seed: *seed})
+		rows := harness.RunTable2(harness.Config{Scale: *scale, Seed: *seed, Shards: *shards})
 		fmt.Print(harness.RenderTable2(rows))
+		fmt.Println()
+	}
+	if *shardscale {
+		fmt.Println("== Shard scaling: sharded pipeline vs serial RD2 ==")
+		counts := []int{1, 2, 4}
+		if n := runtime.GOMAXPROCS(0); n > 4 {
+			counts = append(counts, n)
+		}
+		rows := harness.RunShardScaling(counts, *scale, *seed)
+		fmt.Print(harness.RenderShardScaling(rows))
 		fmt.Println()
 	}
 	if *fig4 || all {

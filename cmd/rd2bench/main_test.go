@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestSelectedExperiments(t *testing.T) {
 	for _, args := range [][]string{
@@ -34,5 +38,41 @@ func TestTable2Small(t *testing.T) {
 func TestBadFlags(t *testing.T) {
 	if code := run([]string{"-bogus"}); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestShardScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard scaling is slow")
+	}
+	if code := run([]string{"-shardscale", "-scale", "1"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestTable2WithShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 is slow")
+	}
+	if code := run([]string{"-table2", "-scale", "1", "-shards", "2"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if code := run([]string{"-fig4", "-cpuprofile", cpu, "-memprofile", mem}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	// An unwritable profile path is a usage error.
+	if code := run([]string{"-fig4", "-cpuprofile", filepath.Join(dir, "no/such/dir.pprof")}); code != 2 {
+		t.Error("unwritable cpuprofile must exit 2")
 	}
 }

@@ -122,6 +122,7 @@ type Detector struct {
 	objects  map[trace.ObjID]*objState
 	races    []Race
 	racyObjs map[trace.ObjID]struct{}
+	deadRacy int // racy objects already reclaimed (still counted as distinct)
 	stats    Stats
 	ptBuf    []ap.Point
 	cfBuf    []ap.Point
@@ -132,11 +133,36 @@ type objState struct {
 	active map[ap.Point]*ptState
 }
 
+// ptState is the per-access-point shadow state. Points touched so far by a
+// single thread are stored in FastTrack epoch form (vc == nil, epoch = c@t):
+// by the epoch lemma (see vclock.Epoch) the one-comparison check
+// epoch.LEQ(d) gives the same verdict as the full accumulated clock, and no
+// clock is allocated. The first cross-thread touch promotes the point to a
+// full clock (taken from vclock.SharedPool) that folds in the epoch.
 type ptState struct {
-	vc         vclock.VC
+	epoch      vclock.Epoch // valid while vc == nil
+	vc         vclock.VC    // full accumulated clock after promotion
 	lastAct    trace.Action
 	lastThread vclock.Tid
 	lastSeq    int
+}
+
+// ordered reports whether the point's accumulated clock is ⊑ c — the
+// phase-1 test of Algorithm 1.
+func (ps *ptState) ordered(c vclock.VC) bool {
+	if ps.vc == nil {
+		return ps.epoch.LEQ(c)
+	}
+	return ps.vc.LEQ(c)
+}
+
+// clock returns an independent copy of the point's accumulated clock for
+// race reports (epoch points expand to their sparse equivalent).
+func (ps *ptState) clock() vclock.VC {
+	if ps.vc == nil {
+		return ps.epoch.VC()
+	}
+	return ps.vc.Clone()
 }
 
 // New returns a detector with the given configuration.
@@ -205,7 +231,7 @@ func (d *Detector) action(e *trace.Event) error {
 			d.cfBuf = cands[:0]
 			for _, cand := range cands {
 				d.stats.Checks++
-				if ps, ok := st.active[cand]; ok && !ps.vc.LEQ(e.Clock) {
+				if ps, ok := st.active[cand]; ok && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
 				}
@@ -213,7 +239,7 @@ func (d *Detector) action(e *trace.Event) error {
 		} else {
 			for cand, ps := range st.active {
 				d.stats.Checks++
-				if st.rep.ConflictsWith(pt, cand) && !ps.vc.LEQ(e.Clock) {
+				if st.rep.ConflictsWith(pt, cand) && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
 				}
@@ -227,17 +253,36 @@ func (d *Detector) action(e *trace.Event) error {
 	// Phase 2: fold the event's clock into the touched points.
 	for _, pt := range pts {
 		if ps, ok := st.active[pt]; ok {
-			ps.vc = ps.vc.Join(e.Clock)
+			switch {
+			case ps.vc != nil:
+				ps.vc = ps.vc.Join(e.Clock)
+			case e.Thread == ps.epoch.T:
+				// Same writer: same-thread clocks are pointwise monotone,
+				// so the join collapses to overwriting the epoch.
+				ps.epoch.C = e.Clock.Get(e.Thread)
+			default:
+				// Second thread: promote to a full clock. The accumulated
+				// history of the old writer is represented by its epoch,
+				// which the lemma makes order-equivalent to its full clock.
+				ps.vc = vclock.SharedPool.Clone(e.Clock).JoinEpoch(ps.epoch)
+			}
 			ps.lastAct = e.Act
 			ps.lastThread = e.Thread
 			ps.lastSeq = e.Seq
 		} else {
-			st.active[pt] = &ptState{
-				vc:         e.Clock.Clone(),
+			ps := &ptState{
 				lastAct:    e.Act,
 				lastThread: e.Thread,
 				lastSeq:    e.Seq,
 			}
+			if ep := vclock.EpochOf(e.Thread, e.Clock); ep.C > 0 {
+				ps.epoch = ep
+			} else {
+				// Clock without an own-entry (not produced by internal/hb):
+				// the epoch lemma does not apply, keep the full clock.
+				ps.vc = vclock.SharedPool.Clone(e.Clock)
+			}
+			st.active[pt] = ps
 			d.stats.ActivePoints++
 			if d.stats.ActivePoints > d.stats.PeakActive {
 				d.stats.PeakActive = d.stats.ActivePoints
@@ -265,7 +310,7 @@ func (d *Detector) report(e *trace.Event, st *objState, pt, cand ap.Point, ps *p
 		First:        ps.lastAct,
 		FirstThread:  ps.lastThread,
 		FirstSeq:     ps.lastSeq,
-		FirstClock:   ps.vc.Clone(),
+		FirstClock:   ps.clock(),
 		FirstPoint:   st.rep.Describe(cand),
 	}
 	if len(d.races) < d.cfg.MaxRaces {
@@ -292,7 +337,8 @@ func (d *Detector) Compact(threshold vclock.VC) int {
 	removed := 0
 	for _, st := range d.objects {
 		for pt, ps := range st.active {
-			if ps.vc.LEQ(threshold) {
+			if ps.ordered(threshold) {
+				vclock.SharedPool.Put(ps.vc)
 				delete(st.active, pt)
 				removed++
 			}
@@ -304,15 +350,28 @@ func (d *Detector) Compact(threshold vclock.VC) int {
 }
 
 // reclaim implements the Section 5.3 optimization: when an object dies, all
-// of its access points and clocks are released.
+// of its access points, clocks, and registration state are released. The
+// representation entry and the racy-object marker go too — under object
+// churn (millions of short-lived objects) they would otherwise grow without
+// bound; the distinct-object count is preserved in a counter. A dead
+// object's id must not be reused (the monitored runtime never does).
 func (d *Detector) reclaim(obj trace.ObjID) {
 	st := d.objects[obj]
 	if st == nil {
+		delete(d.reps, obj)
 		return
+	}
+	for _, ps := range st.active {
+		vclock.SharedPool.Put(ps.vc)
 	}
 	d.stats.Reclaimed += len(st.active)
 	d.stats.ActivePoints -= len(st.active)
 	delete(d.objects, obj)
+	delete(d.reps, obj)
+	if _, ok := d.racyObjs[obj]; ok {
+		delete(d.racyObjs, obj)
+		d.deadRacy++
+	}
 }
 
 // Races returns the retained race reports (capped at Config.MaxRaces).
@@ -323,9 +382,10 @@ func (d *Detector) Stats() Stats { return d.stats }
 
 // DistinctObjects returns the number of distinct objects with at least one
 // race — the "(distinct)" column of Table 2 for RD2. Unlike Races, this
-// count is exact even when the retained reports are capped.
+// count is exact even when the retained reports are capped, and it survives
+// object reclamation.
 func (d *Detector) DistinctObjects() int {
-	return len(d.racyObjs)
+	return len(d.racyObjs) + d.deadRacy
 }
 
 // RunTrace stamps the trace with a fresh happens-before engine and runs the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ap"
 	"repro/internal/ecl"
+	"repro/internal/hb"
 	"repro/internal/trace"
 	"repro/internal/translate"
 	"repro/internal/vclock"
@@ -244,8 +245,9 @@ func TestObjectDeathReclaims(t *testing.T) {
 }
 
 // TestNoRaceAcrossDeath: races are only reported among accesses within an
-// object's lifetime; after death (e.g. a fresh object reusing the id), old
-// accesses are forgotten.
+// object's lifetime; after death, old accesses are forgotten and the
+// object's registration is released (a fresh object reusing the id must be
+// registered anew, as the monitored runtime does for every created object).
 func TestNoRaceAcrossDeath(t *testing.T) {
 	tr := trace.NewBuilder().
 		Fork(0, 1).
@@ -254,8 +256,19 @@ func TestNoRaceAcrossDeath(t *testing.T) {
 		Put(0, 0, aCom, c2, trace.NilValue). // concurrent with t1's put, but object is new
 		Trace()
 	d := newDictDetector(Config{})
-	if err := d.RunTrace(tr); err != nil {
-		t.Fatal(err)
+	en := hb.New()
+	for i := range tr.Events {
+		if _, err := en.Process(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Events[i].Kind == trace.ActionEvent {
+			if _, ok := d.reps[0]; !ok {
+				d.Register(0, dictRep) // revival requires re-registration
+			}
+		}
+		if err := d.Process(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if n := len(d.Races()); n != 0 {
 		t.Fatalf("race across object death: %v", d.Races())

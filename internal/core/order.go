@@ -1,0 +1,33 @@
+package core
+
+import "sort"
+
+// RaceLess is the canonical deterministic order on race reports:
+// (SecondSeq, FirstSeq, Obj, SecondPoint, FirstPoint). SecondSeq is the
+// primary key because serial detection emits races in nondecreasing order
+// of the second (current) event; the remaining keys break ties between the
+// several point pairs one event can race on.
+func RaceLess(a, b Race) bool {
+	if a.SecondSeq != b.SecondSeq {
+		return a.SecondSeq < b.SecondSeq
+	}
+	if a.FirstSeq != b.FirstSeq {
+		return a.FirstSeq < b.FirstSeq
+	}
+	if a.Obj != b.Obj {
+		return a.Obj < b.Obj
+	}
+	if a.SecondPoint != b.SecondPoint {
+		return a.SecondPoint < b.SecondPoint
+	}
+	return a.FirstPoint < b.FirstPoint
+}
+
+// SortRaces sorts race reports into the canonical order in place. The
+// sharded pipeline uses it to merge per-shard reports into an order
+// independent of shard count and scheduling; comparing a serial run's
+// reports requires sorting them with the same function (serial emission
+// order from the enumerating engine depends on map iteration).
+func SortRaces(races []Race) {
+	sort.Slice(races, func(i, j int) bool { return RaceLess(races[i], races[j]) })
+}

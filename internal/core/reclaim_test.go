@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestReclaimReleasesRegistration is the regression test for the unbounded
+// per-object state leak: reclaim dropped objects[obj] but kept the reps
+// entry (and the racy-object marker) alive forever, so a workload churning
+// through short-lived objects grew the detector without bound.
+func TestReclaimReleasesRegistration(t *testing.T) {
+	const churn = 200
+	d := New(Config{})
+	en := hb.New()
+	feed := func(e trace.Event) {
+		t.Helper()
+		if _, err := en.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(trace.Fork(0, 1))
+	for o := 0; o < churn; o++ {
+		obj := trace.ObjID(o)
+		d.Register(obj, dictRep)
+		// Two concurrent puts on the same key: one race per object.
+		feed(trace.Act(1, trace.Action{Obj: obj, Method: "put",
+			Args: []trace.Value{aCom, c1}, Rets: []trace.Value{trace.NilValue}}))
+		feed(trace.Act(0, trace.Action{Obj: obj, Method: "put",
+			Args: []trace.Value{aCom, c2}, Rets: []trace.Value{trace.NilValue}}))
+		feed(trace.Die(0, obj))
+	}
+
+	if n := len(d.reps); n != 0 {
+		t.Errorf("reps retains %d entries after all objects died", n)
+	}
+	if n := len(d.objects); n != 0 {
+		t.Errorf("objects retains %d entries after all objects died", n)
+	}
+	if n := len(d.racyObjs); n != 0 {
+		t.Errorf("racyObjs retains %d entries after all objects died", n)
+	}
+	// The distinct-object count must survive reclamation.
+	if got := d.DistinctObjects(); got != churn {
+		t.Errorf("DistinctObjects = %d, want %d", got, churn)
+	}
+	if d.Stats().Races != churn {
+		t.Errorf("races = %d, want %d", d.Stats().Races, churn)
+	}
+	if d.Stats().ActivePoints != 0 {
+		t.Errorf("active points = %d after full churn", d.Stats().ActivePoints)
+	}
+}
+
+// TestReclaimUnknownObjectDropsStaleRegistration: a die event for an object
+// that was registered but never acted on still frees the registration.
+func TestReclaimUnknownObjectDropsStaleRegistration(t *testing.T) {
+	d := New(Config{})
+	d.Register(7, dictRep)
+	ev := trace.Die(0, 7)
+	ev.Clock = vclock.VC{1}
+	if err := d.Process(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.reps[7]; ok {
+		t.Error("reps entry survives death of an untouched object")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/h2sim"
 	"repro/internal/monitor"
+	"repro/internal/pipeline"
 	"repro/internal/snitch"
 	"repro/internal/specs"
 	"repro/internal/trace"
@@ -56,6 +57,13 @@ type Row struct {
 	FTDistinct  int // FASTTRACK: distinct variables
 	RD2Races    int // RD2: total commutativity races
 	RD2Distinct int // RD2: distinct objects
+
+	// Sharded-pipeline pass (only filled when Config.Shards > 1).
+	ParShards   int           // shard count of the parallel pass (0 = not run)
+	ParQPS      float64       // qps with the sharded pipeline
+	ParTime     time.Duration // wall time with the sharded pipeline
+	ParRaces    int           // races found by the sharded pipeline
+	ParDistinct int           // distinct racy objects (sharded pipeline)
 }
 
 // Config scales the Table 2 run.
@@ -64,6 +72,9 @@ type Config struct {
 	// 10+ = stable measurements).
 	Scale int
 	Seed  int64
+	// Shards > 1 adds a fourth pass per benchmark running RD2 through the
+	// sharded detection pipeline with that many shards.
+	Shards int
 }
 
 // DefaultConfig returns a configuration that finishes in a few seconds.
@@ -77,13 +88,13 @@ func RunTable2(cfg Config) []Row {
 	var rows []Row
 	for _, c := range h2sim.Circuits() {
 		scaled := c.Scaled(c.Ops * cfg.Scale / 2)
-		rows = append(rows, runH2Row(scaled, cfg.Seed))
+		rows = append(rows, runH2Row(scaled, cfg.Seed, cfg.Shards))
 	}
 	rows = append(rows, runSnitchRow(cfg))
 	return rows
 }
 
-func runH2Row(c h2sim.Circuit, seed int64) Row {
+func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 	row := Row{App: "H2 database", Benchmark: c.Name}
 	for _, mode := range []Mode{Uninstrumented, FastTrack, RD2} {
 		rt := monitor.NewRuntime()
@@ -107,6 +118,18 @@ func runH2Row(c h2sim.Circuit, seed int64) Row {
 			row.QPS[mode] = res.QPS()
 			row.Time[mode] = res.Duration
 		}
+	}
+	if shards > 1 {
+		rt := monitor.NewRuntime()
+		par := monitor.AttachRD2Parallel(rt, pipeline.Config{Shards: shards})
+		start := time.Now()
+		res := c.Run(rt, seed)
+		par.Close() // shard drain counts toward the measured pass
+		row.ParShards = shards
+		row.ParTime = time.Since(start)
+		row.ParQPS = float64(res.Ops) / row.ParTime.Seconds()
+		row.ParRaces = par.Pipeline.Stats().Races
+		row.ParDistinct = par.Pipeline.DistinctObjects()
 	}
 	return row
 }
@@ -137,16 +160,50 @@ func runSnitchRow(cfg Config) Row {
 			row.Time[mode] = time.Since(start)
 		}
 	}
+	if cfg.Shards > 1 {
+		rt := monitor.NewRuntime()
+		par := monitor.AttachRD2Parallel(rt, pipeline.Config{Shards: cfg.Shards})
+		start := time.Now()
+		snitch.RunTest(rt, sc, cfg.Seed)
+		par.Close()
+		row.ParShards = cfg.Shards
+		row.ParTime = time.Since(start)
+		row.ParRaces = par.Pipeline.Stats().Races
+		row.ParDistinct = par.Pipeline.DistinctObjects()
+	}
 	return row
 }
 
-// RenderTable2 formats the rows like the paper's Table 2.
+// RenderTable2 formats the rows like the paper's Table 2. When any row ran
+// the sharded-pipeline pass (Config.Shards > 1), an extra RD2(n shards)
+// column appears between RD2 and the race counts.
 func RenderTable2(rows []Row) string {
+	parallel := false
+	for _, r := range rows {
+		if r.ParShards > 0 {
+			parallel = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-13s %-45s | %15s %15s %15s | %18s %18s\n",
-		"Application", "Benchmark", "Uninstrumented", "FASTTRACK", "RD2",
-		"FASTTRACK races", "RD2 races")
-	fmt.Fprintln(&b, strings.Repeat("-", 152))
+	if parallel {
+		shards := 0
+		for _, r := range rows {
+			if r.ParShards > shards {
+				shards = r.ParShards
+			}
+		}
+		fmt.Fprintf(&b, "%-13s %-45s | %15s %15s %15s %15s | %18s %18s\n",
+			"Application", "Benchmark", "Uninstrumented", "FASTTRACK", "RD2",
+			fmt.Sprintf("RD2(%d shards)", shards),
+			"FASTTRACK races", "RD2 races")
+		fmt.Fprintln(&b, strings.Repeat("-", 168))
+	} else {
+		fmt.Fprintf(&b, "%-13s %-45s | %15s %15s %15s | %18s %18s\n",
+			"Application", "Benchmark", "Uninstrumented", "FASTTRACK", "RD2",
+			"FASTTRACK races", "RD2 races")
+		fmt.Fprintln(&b, strings.Repeat("-", 152))
+	}
 	for _, r := range rows {
 		perf := func(m Mode) string {
 			if r.TimeBased {
@@ -154,10 +211,100 @@ func RenderTable2(rows []Row) string {
 			}
 			return fmt.Sprintf("%.0f qps", r.QPS[m])
 		}
+		if parallel {
+			par := "-"
+			if r.ParShards > 0 {
+				if r.TimeBased {
+					par = fmt.Sprintf("%.3f s", r.ParTime.Seconds())
+				} else {
+					par = fmt.Sprintf("%.0f qps", r.ParQPS)
+				}
+			}
+			fmt.Fprintf(&b, "%-13s %-45s | %15s %15s %15s %15s | %12d (%d) %13d (%d)\n",
+				r.App, r.Benchmark,
+				perf(Uninstrumented), perf(FastTrack), perf(RD2), par,
+				r.FTRaces, r.FTDistinct, r.RD2Races, r.RD2Distinct)
+			continue
+		}
 		fmt.Fprintf(&b, "%-13s %-45s | %15s %15s %15s | %12d (%d) %13d (%d)\n",
 			r.App, r.Benchmark,
 			perf(Uninstrumented), perf(FastTrack), perf(RD2),
 			r.FTRaces, r.FTDistinct, r.RD2Races, r.RD2Distinct)
+	}
+	return b.String()
+}
+
+// ShardScalingRow is one point of the shard-scaling experiment: the same
+// benchmark run with the sharded pipeline at a given shard count. Shards ==
+// 0 denotes the serial RD2 baseline.
+type ShardScalingRow struct {
+	Shards int
+	QPS    float64
+	Time   time.Duration
+	Races  int
+}
+
+// RunShardScaling runs the heaviest H2 circuit once serially and once per
+// shard count, reporting throughput at each. On a multicore host the qps
+// column should grow with shards until detection stops being the
+// bottleneck; at GOMAXPROCS=1 it mainly measures pipeline overhead.
+func RunShardScaling(shardCounts []int, scale int, seed int64) []ShardScalingRow {
+	if scale <= 0 {
+		scale = 1
+	}
+	var circuit h2sim.Circuit
+	for _, c := range h2sim.Circuits() {
+		if c.Threads >= circuit.Threads {
+			circuit = c
+		}
+	}
+	circuit = circuit.Scaled(circuit.Ops * scale / 2)
+
+	var rows []ShardScalingRow
+	{
+		rt := monitor.NewRuntime()
+		rd2 := monitor.AttachRD2(rt, core.Config{})
+		start := time.Now()
+		res := circuit.Run(rt, seed)
+		elapsed := time.Since(start)
+		rows = append(rows, ShardScalingRow{
+			Shards: 0,
+			QPS:    float64(res.Ops) / elapsed.Seconds(),
+			Time:   elapsed,
+			Races:  rd2.Detector.Stats().Races,
+		})
+	}
+	for _, n := range shardCounts {
+		if n < 1 {
+			continue
+		}
+		rt := monitor.NewRuntime()
+		par := monitor.AttachRD2Parallel(rt, pipeline.Config{Shards: n})
+		start := time.Now()
+		res := circuit.Run(rt, seed)
+		par.Close()
+		elapsed := time.Since(start)
+		rows = append(rows, ShardScalingRow{
+			Shards: n,
+			QPS:    float64(res.Ops) / elapsed.Seconds(),
+			Time:   elapsed,
+			Races:  par.Pipeline.Stats().Races,
+		})
+	}
+	return rows
+}
+
+// RenderShardScaling formats the scaling series.
+func RenderShardScaling(rows []ShardScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %14s %8s\n", "shards", "qps", "time", "races")
+	for _, r := range rows {
+		label := "serial"
+		if r.Shards > 0 {
+			label = fmt.Sprintf("%d", r.Shards)
+		}
+		fmt.Fprintf(&b, "%10s %12.0f %14s %8d\n",
+			label, r.QPS, r.Time.Round(time.Microsecond), r.Races)
 	}
 	return b.String()
 }

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2ParallelPass: with Shards > 1 every row gains the sharded
+// pipeline pass. The circuits are live concurrent executions, so exact race
+// counts vary with goroutine scheduling between the serial and parallel
+// passes; the test checks the pass ran and agrees on whether racing
+// happened at all. (Exact-verdict equality on an identical event stream is
+// covered by internal/monitor's TestParallelMatchesSerialLive.)
+func TestTable2ParallelPass(t *testing.T) {
+	cfg := Config{Scale: 1, Seed: 42, Shards: 2}
+	rows := RunTable2(cfg)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.ParShards != 2 {
+			t.Errorf("%s: ParShards = %d, want 2", r.Benchmark, r.ParShards)
+		}
+		if (r.ParRaces > 0) != (r.RD2Races > 0) {
+			t.Errorf("%s: parallel races = %d, serial = %d (racy/raceless disagreement)",
+				r.Benchmark, r.ParRaces, r.RD2Races)
+		}
+		if (r.ParDistinct > 0) != (r.RD2Distinct > 0) {
+			t.Errorf("%s: parallel distinct = %d, serial = %d", r.Benchmark, r.ParDistinct, r.RD2Distinct)
+		}
+		if r.ParTime <= 0 {
+			t.Errorf("%s: parallel pass not timed", r.Benchmark)
+		}
+	}
+
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "RD2(2 shards)") {
+		t.Errorf("render misses the parallel column:\n%s", out)
+	}
+}
+
+// TestRenderTable2WithoutParallel: rows without a parallel pass render in
+// the original three-mode shape.
+func TestRenderTable2WithoutParallel(t *testing.T) {
+	rows := []Row{{App: "H2 database", Benchmark: "x", QPS: [3]float64{1, 2, 3}}}
+	out := RenderTable2(rows)
+	if strings.Contains(out, "shards") {
+		t.Errorf("serial render mentions shards:\n%s", out)
+	}
+}
+
+// TestRunShardScaling: serial baseline plus one row per shard count. Exact
+// race counts vary across live executions, so the check is on shape and on
+// every row finding races in this racy circuit.
+func TestRunShardScaling(t *testing.T) {
+	rows := RunShardScaling([]int{1, 2, 4}, 1, 42)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (serial + 3 shard counts)", len(rows))
+	}
+	if rows[0].Shards != 0 {
+		t.Errorf("first row must be the serial baseline, got shards=%d", rows[0].Shards)
+	}
+	for i, r := range rows {
+		if r.QPS <= 0 || r.Time <= 0 {
+			t.Errorf("row %d not measured: %+v", i, r)
+		}
+		if r.Races == 0 {
+			t.Errorf("shards=%d: found no races in the racy scaling circuit", r.Shards)
+		}
+	}
+	out := RenderShardScaling(rows)
+	if !strings.Contains(out, "serial") || !strings.Contains(out, "qps") {
+		t.Errorf("render:\n%s", out)
+	}
+}

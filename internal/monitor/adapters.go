@@ -5,6 +5,7 @@ import (
 	"repro/internal/atomicity"
 	"repro/internal/core"
 	"repro/internal/fasttrack"
+	"repro/internal/pipeline"
 	"repro/internal/specs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -54,6 +55,61 @@ func (r *RD2) Compact(threshold vclock.VC) int {
 // returns it.
 func AttachRD2(rt *Runtime, cfg core.Config) *RD2 {
 	r := NewRD2(cfg)
+	rt.Attach(r)
+	return r
+}
+
+// RD2Parallel glues the sharded detection pipeline to a monitored runtime:
+// happens-before stamping stays on the runtime's serial emit path, while
+// conflict checking runs on the pipeline's shard goroutines. Close must be
+// called after the workload quiesces (all monitored threads joined) to
+// flush the shards and merge results.
+type RD2Parallel struct {
+	Pipeline *pipeline.Pipeline
+	reps     map[string]ap.Rep
+}
+
+// NewRD2Parallel wraps a detection pipeline with the standard spec library.
+func NewRD2Parallel(cfg pipeline.Config) *RD2Parallel {
+	r := &RD2Parallel{Pipeline: pipeline.New(cfg), reps: map[string]ap.Rep{}}
+	for _, name := range specs.Names() {
+		r.reps[name] = specs.MustRep(name)
+	}
+	return r
+}
+
+// RegisterKind installs (or overrides) the representation used for objects
+// of the given kind. The rep must be immutable (shards share it).
+func (r *RD2Parallel) RegisterKind(kind string, rep ap.Rep) {
+	r.reps[kind] = rep
+}
+
+// Process implements Analysis. Calls arrive serialized under the runtime's
+// emit lock — exactly the single-producer discipline the pipeline needs.
+func (r *RD2Parallel) Process(e *trace.Event) error { return r.Pipeline.Process(e) }
+
+// ObjectCreated implements ObjectObserver; the registration travels the
+// owning shard's ordered stream ahead of the object's first action.
+func (r *RD2Parallel) ObjectCreated(obj trace.ObjID, kind string) {
+	if rep, ok := r.reps[kind]; ok {
+		r.Pipeline.Register(obj, rep)
+	}
+}
+
+// Compact implements Compactor; the request is asynchronous (see
+// pipeline.Pipeline.Compact).
+func (r *RD2Parallel) Compact(threshold vclock.VC) int {
+	return r.Pipeline.Compact(threshold)
+}
+
+// Close flushes and joins the shards; results are available afterwards via
+// r.Pipeline. Idempotent.
+func (r *RD2Parallel) Close() error { return r.Pipeline.Close() }
+
+// AttachRD2Parallel creates a sharded RD2 analysis, attaches it to the
+// runtime, and returns it.
+func AttachRD2Parallel(rt *Runtime, cfg pipeline.Config) *RD2Parallel {
+	r := NewRD2Parallel(cfg)
 	rt.Attach(r)
 	return r
 }

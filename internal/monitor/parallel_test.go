@@ -1,0 +1,109 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// TestParallelMatchesSerialLive attaches the serial detector and the
+// sharded pipeline to the same runtime, so both consume the identical
+// stamped event stream of a live concurrent workload, and asserts they
+// agree on every verdict. This is the live-mode differential counterpart
+// of the trace-replay tests in internal/pipeline.
+func TestParallelMatchesSerialLive(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		rt := NewRuntime()
+		serial := AttachRD2(rt, core.Config{})
+		par := AttachRD2Parallel(rt, pipeline.Config{Shards: shards, BatchSize: 8})
+
+		main := rt.Main()
+		d1, d2 := rt.NewDict(), rt.NewDict()
+		workers := make([]*Thread, 0, 4)
+		for w := 0; w < 4; w++ {
+			w := w
+			workers = append(workers, main.Go(func(th *Thread) {
+				for i := 0; i < 50; i++ {
+					k := trace.IntValue(int64(i % 8))
+					d1.Put(th, k, trace.IntValue(int64(w*100+i+1)))
+					if i%3 == 0 {
+						d2.Put(th, k, trace.IntValue(int64(i+1)))
+					}
+					d1.Get(th, k)
+					if i%7 == 0 {
+						d1.Size(th)
+					}
+				}
+			}))
+		}
+		main.JoinAll(workers...)
+		d1.Size(main)
+		if err := rt.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		name := fmt.Sprintf("shards=%d", shards)
+		sst, pst := serial.Detector.Stats(), par.Pipeline.Stats()
+		if pst.Races != sst.Races {
+			t.Errorf("%s: races = %d, want %d", name, pst.Races, sst.Races)
+		}
+		if pst.Checks != sst.Checks {
+			t.Errorf("%s: checks = %d, want %d", name, pst.Checks, sst.Checks)
+		}
+		if pst.Actions != sst.Actions {
+			t.Errorf("%s: actions = %d, want %d", name, pst.Actions, sst.Actions)
+		}
+		if got, want := par.Pipeline.DistinctObjects(), serial.Detector.DistinctObjects(); got != want {
+			t.Errorf("%s: distinct = %d, want %d", name, got, want)
+		}
+
+		wantRaces := append([]core.Race(nil), serial.Detector.Races()...)
+		core.SortRaces(wantRaces)
+		gotRaces := par.Pipeline.Races()
+		if len(gotRaces) != len(wantRaces) {
+			t.Fatalf("%s: %d retained races, want %d", name, len(gotRaces), len(wantRaces))
+		}
+		for i := range gotRaces {
+			g, w := gotRaces[i], wantRaces[i]
+			if g.Obj != w.Obj || g.FirstSeq != w.FirstSeq || g.SecondSeq != w.SecondSeq {
+				t.Errorf("%s: race[%d] = (o%d,%d,%d), want (o%d,%d,%d)", name, i,
+					g.Obj, g.FirstSeq, g.SecondSeq, w.Obj, w.FirstSeq, w.SecondSeq)
+			}
+		}
+	}
+}
+
+// TestParallelCompactsThroughRuntime: the runtime's post-join compaction
+// hook reaches the pipeline shards (asynchronously) without changing race
+// verdicts.
+func TestParallelCompactsThroughRuntime(t *testing.T) {
+	rt := NewRuntime()
+	par := AttachRD2Parallel(rt, pipeline.Config{Shards: 2})
+	main := rt.Main()
+	d := rt.NewDict()
+	w := main.Go(func(th *Thread) {
+		for i := 0; i < 30; i++ {
+			d.Put(th, trace.IntValue(int64(i)), trace.IntValue(1))
+		}
+	})
+	main.Join(w) // triggers Compact(MeetLive) on the emit path
+	d.Size(main)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if par.Pipeline.Stats().Races != 0 {
+		t.Errorf("joined workload raced: %v", par.Pipeline.Races())
+	}
+	if par.Pipeline.Stats().Reclaimed == 0 {
+		t.Error("post-join compaction reclaimed nothing")
+	}
+}

@@ -1,0 +1,343 @@
+// Package pipeline parallelizes commutativity race detection (Algorithm 1)
+// across CPU cores.
+//
+// Happens-before stamping (internal/hb) is inherently order-dependent — the
+// auxiliary maps T and L of Table 1 evolve with every synchronization event
+// — so it stays serial. Detection, however, is strictly per-object: all of
+// Algorithm 1's state lives in the per-object objState (active points and
+// their accumulated clocks), and an action on object o reads and writes
+// only o's state. Hash-partitioning objects onto N shards, each owning a
+// private core.Detector, therefore preserves every race verdict: each
+// shard sees exactly the subsequence of stamped events for its objects, in
+// trace order, which is indistinguishable (to a per-object algorithm) from
+// the serial run. The differential tests in this package assert that
+// equivalence on randomized traces.
+//
+// The producer (whoever calls Process — the monitored runtime's emit path
+// or RunTrace) batches events per shard and hands them over bounded
+// channels, amortizing channel synchronization over BatchSize events.
+// Registrations and compaction thresholds travel the same ordered streams,
+// so a shard never sees an action before its object's registration.
+//
+// Determinism: per-shard race reports are merged and sorted with
+// core.SortRaces, so the merged report is independent of shard count and
+// goroutine scheduling. Stats are summed across shards; Checks, Races,
+// Actions, and DistinctObjects are exactly the serial counts (disjoint
+// object partitions), while PeakActive becomes the sum of per-shard peaks
+// (an upper bound on the serial peak, as shards peak at different times).
+//
+// Access point representations must be immutable after construction (the
+// ap.Rep contract); ap.NaiveRep interns state inside Touch and is therefore
+// not safe under the pipeline — use it only with the serial detector.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBatchSize = 128
+	DefaultQueueLen  = 8
+)
+
+// Config configures a Pipeline.
+type Config struct {
+	// Shards is the number of detector shards; <= 0 means GOMAXPROCS.
+	Shards int
+	// BatchSize is the number of items handed to a shard per channel send;
+	// <= 0 means DefaultBatchSize.
+	BatchSize int
+	// QueueLen is the per-shard channel depth in batches; <= 0 means
+	// DefaultQueueLen. The producer blocks when a shard falls this far
+	// behind (backpressure instead of unbounded buffering).
+	QueueLen int
+	// Core configures each shard's private detector. MaxRaces caps both the
+	// per-shard retention and the merged report. OnRace, when set, is
+	// invoked from shard goroutines and must be safe for concurrent use.
+	Core core.Config
+}
+
+// itemKind discriminates the messages on a shard's stream.
+type itemKind uint8
+
+const (
+	itemEvent    itemKind = iota // ev: a stamped action or die event
+	itemRegister                 // ev.Act.Obj + rep: object registration
+	itemCompact                  // threshold: compaction request
+)
+
+// item is one ordered message to a shard.
+type item struct {
+	kind      itemKind
+	ev        trace.Event
+	rep       ap.Rep
+	threshold vclock.VC
+}
+
+// shard is one worker: a private detector fed over a bounded channel.
+type shard struct {
+	det    *core.Detector
+	ch     chan []item
+	done   chan struct{}
+	err    error // first processing error (shard keeps draining)
+	errSeq int
+}
+
+// Pipeline is a sharded parallel commutativity race detector. The producer
+// side (Register, Process, Compact, Close) must be called from a single
+// goroutine, or externally serialized — the monitored runtime's emit lock
+// provides exactly that. Results (Races, Stats, DistinctObjects) are
+// available after Close; calling them closes the pipeline implicitly.
+type Pipeline struct {
+	cfg     Config
+	shards  []*shard
+	pending [][]item    // per-shard batch under construction (producer-owned)
+	free    chan []item // recycled batch buffers
+	closed  bool
+
+	// Merged results, filled by Close.
+	races    []core.Race
+	stats    core.Stats
+	distinct int
+	err      error
+}
+
+// New starts a pipeline with cfg.Shards detector goroutines.
+func New(cfg Config) *Pipeline {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		pending: make([][]item, cfg.Shards),
+		free:    make(chan []item, cfg.Shards*(cfg.QueueLen+2)),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			det:  core.New(cfg.Core),
+			ch:   make(chan []item, cfg.QueueLen),
+			done: make(chan struct{}),
+		}
+		p.shards = append(p.shards, s)
+		go p.run(s)
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// run is the shard goroutine: drain batches, feed the private detector.
+func (p *Pipeline) run(s *shard) {
+	defer close(s.done)
+	for batch := range s.ch {
+		for i := range batch {
+			it := &batch[i]
+			switch it.kind {
+			case itemEvent:
+				// After a failure the shard keeps draining (so the producer
+				// never blocks) but stops detecting.
+				if s.err != nil {
+					continue
+				}
+				if err := s.det.Process(&it.ev); err != nil {
+					s.err, s.errSeq = err, it.ev.Seq
+				}
+			case itemRegister:
+				s.det.Register(it.ev.Act.Obj, it.rep)
+			case itemCompact:
+				s.det.Compact(it.threshold)
+			}
+		}
+		// Recycle the buffer; drop item contents so clocks and reps are not
+		// retained past their batch.
+		clear(batch)
+		select {
+		case p.free <- batch[:0]:
+		default:
+		}
+	}
+}
+
+// splitmix64 is the shard hash: cheap, and scrambles the low bits so dense
+// sequential object ids spread evenly over any shard count.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shardOf maps an object to its owning shard.
+func (p *Pipeline) shardOf(obj trace.ObjID) int {
+	return int(splitmix64(uint64(int64(obj))) % uint64(len(p.shards)))
+}
+
+// push appends an item to a shard's pending batch, flushing when full.
+func (p *Pipeline) push(i int, it item) {
+	buf := p.pending[i]
+	if buf == nil {
+		select {
+		case buf = <-p.free:
+		default:
+			buf = make([]item, 0, p.cfg.BatchSize)
+		}
+	}
+	buf = append(buf, it)
+	if len(buf) >= p.cfg.BatchSize {
+		p.shards[i].ch <- buf
+		p.pending[i] = nil
+		return
+	}
+	p.pending[i] = buf
+}
+
+// Register associates an object with its access point representation. Like
+// the serial detector, objects must be registered before their first
+// action; the registration travels the owning shard's ordered stream. The
+// rep must be immutable (safe for concurrent use from other shards that
+// share it for other objects).
+func (p *Pipeline) Register(obj trace.ObjID, rep ap.Rep) {
+	p.push(p.shardOf(obj), item{
+		kind: itemRegister,
+		ev:   trace.Event{Act: trace.Action{Obj: obj}},
+		rep:  rep,
+	})
+}
+
+// Process routes one stamped event to its object's shard. Synchronization
+// events are dropped here — the serial happens-before engine upstream has
+// already folded them into every event's clock. The event (including its
+// clock) must not be mutated by the caller afterwards; the monitored
+// runtime and RunTrace both stamp a fresh clock per event.
+func (p *Pipeline) Process(e *trace.Event) error {
+	switch e.Kind {
+	case trace.ActionEvent, trace.DieEvent:
+		p.push(p.shardOf(e.Act.Obj), item{kind: itemEvent, ev: *e})
+	}
+	return nil
+}
+
+// Compact broadcasts a compaction threshold to every shard. It is
+// asynchronous — each shard compacts when the request reaches the head of
+// its stream — so it returns 0; reclamation totals surface in the merged
+// Stats after Close. The threshold must not be mutated afterwards.
+func (p *Pipeline) Compact(threshold vclock.VC) int {
+	if threshold.Bottom() {
+		return 0
+	}
+	for i := range p.shards {
+		p.push(i, item{kind: itemCompact, threshold: threshold})
+	}
+	return 0
+}
+
+// Flush sends every pending partial batch to its shard.
+func (p *Pipeline) Flush() {
+	for i, buf := range p.pending {
+		if buf != nil {
+			p.shards[i].ch <- buf
+			p.pending[i] = nil
+		}
+	}
+}
+
+// Close flushes pending batches, waits for every shard to drain, and merges
+// results. It is idempotent; the first call returns the first error (by
+// event sequence) any shard hit.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return p.err
+	}
+	p.closed = true
+	p.Flush()
+	for _, s := range p.shards {
+		close(s.ch)
+	}
+	for _, s := range p.shards {
+		<-s.done
+	}
+
+	// Merge: stats sum exactly (disjoint object partitions) except
+	// PeakActive, which becomes the sum of per-shard peaks.
+	errSeq := 0
+	for _, s := range p.shards {
+		st := s.det.Stats()
+		p.stats.Actions += st.Actions
+		p.stats.Checks += st.Checks
+		p.stats.Races += st.Races
+		p.stats.RacyEvents += st.RacyEvents
+		p.stats.ActivePoints += st.ActivePoints
+		p.stats.PeakActive += st.PeakActive
+		p.stats.Reclaimed += st.Reclaimed
+		p.distinct += s.det.DistinctObjects()
+		p.races = append(p.races, s.det.Races()...)
+		if s.err != nil && (p.err == nil || s.errSeq < errSeq) {
+			p.err = fmt.Errorf("pipeline: event %d: %w", s.errSeq, s.err)
+			errSeq = s.errSeq
+		}
+	}
+	core.SortRaces(p.races)
+	if max := p.cfg.Core.MaxRaces; max == 0 && len(p.races) > core.DefaultMaxRaces {
+		p.races = p.races[:core.DefaultMaxRaces]
+	} else if max > 0 && len(p.races) > max {
+		p.races = p.races[:max]
+	}
+	return p.err
+}
+
+// Races returns the merged race reports in canonical order (closing the
+// pipeline if still open), capped like the serial detector's retention.
+func (p *Pipeline) Races() []core.Race {
+	p.Close()
+	return p.races
+}
+
+// Stats returns the merged counters (closing the pipeline if still open).
+func (p *Pipeline) Stats() core.Stats {
+	p.Close()
+	return p.stats
+}
+
+// DistinctObjects returns the number of distinct racy objects across all
+// shards (closing the pipeline if still open).
+func (p *Pipeline) DistinctObjects() int {
+	p.Close()
+	return p.distinct
+}
+
+// Err returns the merged error after Close (nil before).
+func (p *Pipeline) Err() error { return p.err }
+
+// RunTrace stamps the trace serially with a fresh happens-before engine,
+// feeds every event through the shards, and closes the pipeline. Objects
+// must already be registered.
+func (p *Pipeline) RunTrace(tr *trace.Trace) error {
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			p.Close()
+			return fmt.Errorf("pipeline: event %d (%s): %w", i, e, err)
+		}
+		if err := p.Process(e); err != nil {
+			p.Close()
+			return err
+		}
+	}
+	return p.Close()
+}

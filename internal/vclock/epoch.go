@@ -1,0 +1,63 @@
+package vclock
+
+import "fmt"
+
+// Epoch is the FastTrack-style compressed clock c@t (Flanagan & Freund,
+// PLDI '09): it summarizes the accumulated clock of a single-writer shadow
+// location by the writer's thread id and that thread's own timestamp.
+//
+// The compression is justified by the epoch lemma for clocks maintained
+// under the Table 1 happens-before discipline (internal/hb): a thread's own
+// entry only advances at its own events, and any clock d can acquire
+// d(t) ≥ c only along a happens-before path from the event of t stamped
+// with own-entry c — a path that carries that event's entire clock. Hence
+// for an event clock e with e(t) = c,
+//
+//	e ⊑ d  iff  c ≤ d(t)
+//
+// so one comparison replaces an O(|Tid|) pointwise scan. The same lemma
+// extends pointwise to meets of thread clocks (hb.Engine.MeetLive), which
+// is what makes epoch-mode compaction in internal/core sound.
+//
+// The zero Epoch (0@t0) is not a valid epoch for stamped events: honest
+// Table 1 clocks always carry an own-entry ≥ 1. Callers use C == 0 as the
+// "not epochable" sentinel and fall back to full clocks.
+type Epoch struct {
+	T Tid
+	C uint64
+}
+
+// EpochOf extracts the epoch of an event clock: the acting thread's own
+// entry. A zero C signals a clock that does not follow the Table 1
+// discipline (the caller must keep the full clock).
+func EpochOf(t Tid, c VC) Epoch {
+	return Epoch{T: t, C: c.Get(t)}
+}
+
+// LEQ reports e ⊑ d for the clock e summarizes — a single comparison by the
+// epoch lemma.
+func (e Epoch) LEQ(d VC) bool {
+	return e.C <= d.Get(e.T)
+}
+
+// VC expands the epoch to an explicit (sparse) vector clock ⟨…, C, …⟩ with
+// the single entry at T. By the epoch lemma this expansion is
+// order-equivalent to the summarized clock against every honest clock.
+func (e Epoch) VC() VC {
+	return VC(nil).Set(e.T, e.C)
+}
+
+// String renders the epoch in FastTrack's c@t notation.
+func (e Epoch) String() string {
+	return fmt.Sprintf("%d@t%d", e.C, int(e.T))
+}
+
+// JoinEpoch folds an epoch into the clock in place: c(e.T) ← max(c(e.T),
+// e.C). It is the promotion step when a single-writer point is touched by a
+// second thread.
+func (c VC) JoinEpoch(e Epoch) VC {
+	if c.Get(e.T) < e.C {
+		c = c.Set(e.T, e.C)
+	}
+	return c
+}

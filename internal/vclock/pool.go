@@ -1,0 +1,56 @@
+package vclock
+
+import "sync"
+
+// Pool is a sync.Pool-backed clock allocator. Detector hot paths clone an
+// event clock for every newly promoted access point; recycling those slices
+// through a pool removes the allocation from the steady state (points are
+// promoted and reclaimed continuously under object churn and compaction).
+//
+// Clocks handed out by Clone are ordinary VC values; they may grow (Join,
+// Set) and be returned with any length. Clocks that escape to user-visible
+// structures (race reports) must NOT be pooled — use VC.Clone for those.
+type Pool struct {
+	p sync.Pool
+}
+
+// poolMinCap avoids caching tiny slices that are cheaper to allocate fresh.
+const poolMinCap = 8
+
+// Clone returns a pooled copy of c. The result does not alias c.
+func (pl *Pool) Clone(c VC) VC {
+	if len(c) == 0 {
+		return nil
+	}
+	if v := pl.p.Get(); v != nil {
+		buf := v.(*[]uint64)
+		if cap(*buf) >= len(c) {
+			out := VC((*buf)[:len(c)])
+			copy(out, c)
+			return out
+		}
+		pl.p.Put(buf)
+	}
+	n := len(c)
+	if n < poolMinCap {
+		n = poolMinCap
+	}
+	out := make(VC, len(c), n)
+	copy(out, c)
+	return out
+}
+
+// Put returns a clock to the pool. The caller must not use c afterwards.
+// nil and tiny clocks are dropped.
+func (pl *Pool) Put(c VC) {
+	if cap(c) < poolMinCap {
+		return
+	}
+	buf := []uint64(c[:0])
+	pl.p.Put(&buf)
+}
+
+// SharedPool is the process-wide clock pool used by the detector shards.
+// sync.Pool is safe for concurrent use, so independent detectors (one per
+// pipeline shard) share it freely.
+var SharedPool Pool

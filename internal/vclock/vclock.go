@@ -101,8 +101,25 @@ func (c VC) Inc(t Tid) VC {
 
 // LEQ reports the pointwise order c ⊑ d.
 func (c VC) LEQ(d VC) bool {
-	for i, v := range c {
-		if v > d.Get(Tid(i)) {
+	if len(c) <= len(d) {
+		// Fast path (the common case: comparing against an equal-or-wider
+		// clock): one bounds check up front, then a single branch per entry.
+		d = d[:len(c)]
+		for i, v := range c {
+			if v > d[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, v := range c[:len(d)] {
+		if v > d[i] {
+			return false
+		}
+	}
+	// Entries beyond d's dense prefix are implicitly zero in d.
+	for _, v := range c[len(d):] {
+		if v != 0 {
 			return false
 		}
 	}
@@ -123,6 +140,16 @@ func (c VC) Equal(d VC) bool {
 // Join computes the pointwise maximum c ⊔ d in place on c and returns the
 // (possibly reallocated) result.
 func (c VC) Join(d VC) VC {
+	if len(d) <= len(c) {
+		// Fast path: no grow call, single bounded loop.
+		cd := c[:len(d)]
+		for i, v := range d {
+			if v > cd[i] {
+				cd[i] = v
+			}
+		}
+		return c
+	}
 	c = c.grow(len(d))
 	for i, v := range d {
 		if v > c[i] {
