@@ -1,10 +1,24 @@
 #!/bin/sh
-# CI entry point: vet, build, full race-instrumented tests, and the
-# serial-vs-sharded differential suite. Mirrors `make ci` for hosts
-# without make.
+# CI entry point: vet, build, full race-instrumented tests, the
+# serial-vs-sharded differential suite, and a smoke-size allocation gate on
+# the happens-before front-end. Mirrors `make ci` for hosts without make.
+#
+# Flags:
+#   -clockcheck   additionally run the whole test suite with poisoned clock
+#                 snapshots (-tags=clockcheck): any consumer that writes
+#                 through a shared Event.Clock panics. Guarded by this flag
+#                 so the default tier-1 run stays fast.
 set -eu
 
 cd "$(dirname "$0")"
+
+CLOCKCHECK=0
+for arg in "$@"; do
+    case "$arg" in
+    -clockcheck) CLOCKCHECK=1 ;;
+    *) echo "usage: ci.sh [-clockcheck]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== go vet =="
 go vet ./...
@@ -15,8 +29,21 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== differential (serial vs sharded pipeline) =="
+echo "== differential (serial vs sharded pipeline, clone vs snapshot stamping) =="
 go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' \
     ./internal/pipeline ./internal/monitor -v
+
+echo "== bench smoke (front-end allocation gate vs BENCH_baseline.json) =="
+{
+    go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkProcessAction' \
+        -benchmem -benchtime 100x ./internal/hb
+    go test -run '^$' -bench 'BenchmarkPipelineFrontend' \
+        -benchmem -benchtime 5x ./internal/pipeline
+} | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only
+
+if [ "$CLOCKCHECK" = 1 ]; then
+    echo "== go test -tags=clockcheck (poisoned snapshots) =="
+    go test -tags=clockcheck ./...
+fi
 
 echo "CI OK"

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro/internal/hb
+BenchmarkStampAll/action-8         	    1942	    654160 ns/op	  29595210 events/s	  239069 B/op	    2986 allocs/op
+BenchmarkProcessAction           	171913221	         7.111 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, ok := got["BenchmarkStampAll/action"]
+	if !ok {
+		t.Fatalf("missing normalized sub-benchmark name; parsed %v", got)
+	}
+	if act.AllocsOp != 2986 || act.NsOp != 654160 || act.BytesOp != 239069 {
+		t.Fatalf("bad parse: %+v", act)
+	}
+	pa, ok := got["BenchmarkProcessAction"]
+	if !ok || pa.AllocsOp != 0 || pa.NsOp != 7.111 {
+		t.Fatalf("bad parse of un-suffixed name: %+v ok=%v", pa, ok)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkStampAll/action-8":  "BenchmarkStampAll/action",
+		"BenchmarkStampAll/action":    "BenchmarkStampAll/action",
+		"BenchmarkPipeline/shards=4":  "BenchmarkPipeline/shards=4",
+		"BenchmarkFrontend/shards=16": "BenchmarkFrontend/shards=16",
+		"BenchmarkX-12":               "BenchmarkX",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -186,7 +186,10 @@ func (d *Detector) Register(obj trace.ObjID, rep ap.Rep) {
 
 // Process consumes one stamped event. Only action and die events are
 // examined; synchronization events are handled upstream by the
-// happens-before engine.
+// happens-before engine. e.Clock may be a segment snapshot shared with
+// other events (the hb immutability contract): the detector only reads it
+// — LEQ checks, Get, and clones into its own shadow state — never writes
+// through it.
 func (d *Detector) Process(e *trace.Event) error {
 	switch e.Kind {
 	case trace.ActionEvent:

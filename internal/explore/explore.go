@@ -11,6 +11,10 @@
 // interleavings of a fork–join program share the same happens-before
 // relation, so either every interleaving is commutativity-race-free and
 // they all end in the same state, or every interleaving contains a race.
+//
+// Induced traces are stamped by internal/hb, whose segment snapshots are
+// shared across events (the Event.Clock immutability contract); everything
+// here treats stamped clocks as read-only.
 package explore
 
 import (

@@ -7,6 +7,11 @@
 // adaptive shadow representation: most locations carry lightweight epochs
 // (a single thread/clock pair) and are promoted to full vector clocks only
 // while reads are genuinely concurrent.
+//
+// Event clocks may be segment snapshots shared across events (the hb
+// package's Event.Clock immutability contract); this detector only reads
+// them — epoch comparisons, LEQ, Get, and copies into its own read vector
+// clocks — never writes through them.
 package fasttrack
 
 import (

@@ -1,0 +1,19 @@
+//go:build !clockcheck
+
+package hb
+
+import "repro/internal/vclock"
+
+// ClockCheck reports whether this binary enforces the Event.Clock
+// immutability contract at runtime. Build with -tags=clockcheck to turn the
+// no-op guard below into real snapshot poisoning (see clockcheck_on.go).
+const ClockCheck = false
+
+// snapGuard is compiled out in regular builds: zero size, no-op methods,
+// fully inlinable, so the stamping fast path pays nothing for the debug
+// machinery.
+type snapGuard struct{}
+
+func (snapGuard) record(vclock.VC) int { return 0 }
+func (snapGuard) verify(int)           {}
+func (snapGuard) verifyAll()           {}

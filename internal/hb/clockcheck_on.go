@@ -1,0 +1,54 @@
+//go:build clockcheck
+
+package hb
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// ClockCheck reports whether this binary enforces the Event.Clock
+// immutability contract at runtime.
+const ClockCheck = true
+
+// snapGuard "poisons" every frozen segment snapshot: record keeps both the
+// live shared slice and a private copy of its bytes at freeze time. Any
+// later write through a shared Event.Clock (or lock clock, or in-flight
+// channel message) makes the two diverge; the divergence is caught at the
+// owning thread's next segment rollover (Engine.mutable) and, for every
+// snapshot, in Engine.VerifySnapshots / hb.StampAll.
+//
+// The guard retains every snapshot for the engine's lifetime, so the
+// clockcheck build trades memory for detection — it is a debug/CI
+// configuration (ci.sh -clockcheck), not a production one.
+type snapGuard struct {
+	snaps []guardEntry
+}
+
+type guardEntry struct {
+	live vclock.VC // the shared snapshot handed out to events/locks/messages
+	want vclock.VC // private copy of its bytes, taken at freeze time
+}
+
+func (g *snapGuard) record(c vclock.VC) int {
+	g.snaps = append(g.snaps, guardEntry{live: c, want: c.Clone()})
+	return len(g.snaps) - 1
+}
+
+func (g *snapGuard) verify(tok int) {
+	ge := &g.snaps[tok]
+	for i, v := range ge.live {
+		if ge.want.Get(vclock.Tid(i)) != v {
+			panic(fmt.Sprintf(
+				"hb: clockcheck: frozen snapshot %d mutated: froze as %s, now %s — a consumer wrote through a shared Event.Clock",
+				tok, ge.want, ge.live))
+		}
+	}
+}
+
+func (g *snapGuard) verifyAll() {
+	for tok := range g.snaps {
+		g.verify(tok)
+	}
+}

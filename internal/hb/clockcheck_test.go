@@ -1,0 +1,57 @@
+//go:build clockcheck
+
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestClockCheckCatchesSnapshotMutation verifies the poisoned build does
+// its job: writing through a stamped Event.Clock — a violation of the
+// immutability contract — must panic at the next verification point.
+func TestClockCheckCatchesSnapshotMutation(t *testing.T) {
+	en := New()
+	ev := trace.Act(0, trace.Action{Obj: 0, Method: "get",
+		Args: []trace.Value{trace.StrValue("k")}, Rets: []trace.Value{trace.NilValue}})
+	if _, err := en.Process(&ev); err != nil {
+		t.Fatal(err)
+	}
+
+	ev.Clock[0] += 100 // the forbidden write
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("clockcheck build must panic when a frozen snapshot is mutated")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "clockcheck") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	en.VerifySnapshots()
+}
+
+// TestClockCheckCatchesMutationAtRollover checks the incremental detection
+// point: the owning thread's next segment rollover re-verifies the snapshot
+// being retired, so violations surface even without an explicit
+// VerifySnapshots call.
+func TestClockCheckCatchesMutationAtRollover(t *testing.T) {
+	en := New()
+	act := trace.Act(0, trace.Action{Obj: 0, Method: "size",
+		Rets: []trace.Value{trace.IntValue(0)}})
+	if _, err := en.Process(&act); err != nil {
+		t.Fatal(err)
+	}
+	act.Clock[0] += 7
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("segment rollover must re-verify the retiring snapshot")
+		}
+	}()
+	rel := trace.Release(0, 0)
+	en.Process(&rel) // release rolls the segment: mutable() verifies first
+}

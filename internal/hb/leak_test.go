@@ -1,0 +1,87 @@
+package hb
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestChannelQueueReleasesPoppedClocks is the regression test for the
+// channel-queue memory leak: popping with `cs.queue = cs.queue[1:]` kept
+// the popped clock reachable through the backing array forever on
+// send-heavy traces. The fix nils the popped slot before reslicing and
+// releases the whole array once the queue drains.
+func TestChannelQueueReleasesPoppedClocks(t *testing.T) {
+	en := New()
+	const n = 8
+	for i := 0; i < n; i++ {
+		ev := trace.Send(0, 0)
+		if _, err := en.Process(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backing := en.chans[0].queue[:n] // aliases the backing array the pops walk
+
+	// Partial drain: popped slots must be nil-ed even while the queue is
+	// still non-empty.
+	half := n / 2
+	for i := 0; i < half; i++ {
+		ev := trace.Recv(1, 0)
+		if _, err := en.Process(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < half; i++ {
+		if backing[i] != nil {
+			t.Errorf("popped slot %d still retains its clock %s", i, backing[i])
+		}
+	}
+	if got := len(en.chans[0].queue); got != n-half {
+		t.Fatalf("queue length = %d, want %d", got, n-half)
+	}
+
+	// Full drain: the queue must drop the backing array entirely.
+	for i := half; i < n; i++ {
+		ev := trace.Recv(1, 0)
+		if _, err := en.Process(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range backing {
+		if c != nil {
+			t.Errorf("popped slot %d still retains its clock %s", i, c)
+		}
+	}
+	if en.chans[0].queue != nil {
+		t.Error("drained queue should release its backing array")
+	}
+}
+
+// TestSegmentSnapshotSharing pins the tentpole's zero-clone property: every
+// action event between two synchronization events of one thread is stamped
+// with the *same* underlying clock slice, and a sync event rolls the
+// segment over without disturbing earlier stamps.
+func TestSegmentSnapshotSharing(t *testing.T) {
+	k := trace.StrValue("k")
+	tr := trace.NewBuilder().
+		Get(0, 0, k, trace.NilValue).
+		Get(0, 0, k, trace.NilValue).
+		Release(0, 0).
+		Get(0, 0, k, trace.NilValue).
+		Trace()
+	if err := StampAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Events[0].Clock, tr.Events[1].Clock
+	rel := tr.Events[2].Clock
+	c := tr.Events[3].Clock
+	if &a[0] != &b[0] || &a[0] != &rel[0] {
+		t.Error("events of one segment (and its closing release) must share one snapshot")
+	}
+	if &c[0] == &a[0] {
+		t.Error("post-release event must be stamped with a fresh segment snapshot")
+	}
+	if !a.LEQ(c) || c.LEQ(a) {
+		t.Errorf("segment rollover must strictly advance the clock: %s then %s", a, c)
+	}
+}

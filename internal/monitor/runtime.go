@@ -110,7 +110,10 @@ func (rt *Runtime) Main() *Thread { return rt.main }
 func (rt *Runtime) Instrumented() bool { return rt.instrumented.Load() }
 
 // emit stamps and dispatches one event. It is the single serialization
-// point of the runtime. No-op when uninstrumented.
+// point of the runtime. No-op when uninstrumented. The stamped clock is
+// the acting thread's shared segment snapshot (see package hb): analyses
+// and the recorded trace all alias it, and must only read it — the
+// -tags=clockcheck build enforces this.
 func (rt *Runtime) emit(e trace.Event) {
 	if !rt.instrumented.Load() {
 		return

@@ -221,9 +221,13 @@ func (p *Pipeline) Register(obj trace.ObjID, rep ap.Rep) {
 
 // Process routes one stamped event to its object's shard. Synchronization
 // events are dropped here — the serial happens-before engine upstream has
-// already folded them into every event's clock. The event (including its
-// clock) must not be mutated by the caller afterwards; the monitored
-// runtime and RunTrace both stamp a fresh clock per event.
+// already folded them into every event's clock. The event's clock is a
+// segment snapshot shared with every other event of the same thread
+// segment (and possibly with lock clocks and in-flight channel messages);
+// it travels into the shard by reference with zero copying, which is safe
+// because both the engine and all shard detectors honor the hb package's
+// Event.Clock immutability contract (verified by the -tags=clockcheck
+// build). The event must not be mutated by the caller afterwards.
 func (p *Pipeline) Process(e *trace.Event) error {
 	switch e.Kind {
 	case trace.ActionEvent, trace.DieEvent:
@@ -325,7 +329,9 @@ func (p *Pipeline) Err() error { return p.err }
 
 // RunTrace stamps the trace serially with a fresh happens-before engine,
 // feeds every event through the shards, and closes the pipeline. Objects
-// must already be registered.
+// must already be registered. Stamping reuses one frozen snapshot per
+// thread segment end-to-end: the same clock slice flows from the engine
+// through the per-shard batches into the detectors without a single clone.
 func (p *Pipeline) RunTrace(tr *trace.Trace) error {
 	en := hb.New()
 	for i := range tr.Events {

@@ -7,7 +7,8 @@
 //
 // The checker samples random linear extensions of a stamped trace's
 // happens-before order and replays each against the reference semantics
-// (package semantics). A linearization "fails" when an action's recorded
+// (package semantics). Stamped clocks may be shared segment snapshots (the
+// hb Event.Clock immutability contract); the checker only compares them. A linearization "fails" when an action's recorded
 // return values are impossible in the replayed state — exactly the
 // observable symptom of non-determinism (e.g. the get(5) of Section 1
 // returning 7 in one schedule and nil in another) — or when two

@@ -1,0 +1,43 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMeetWithMatchesMeet checks the in-place incremental meet against the
+// materializing Meet on random clock sets (equality up to trailing zeros,
+// which both representations treat as absent entries).
+func TestMeetWithMatchesMeet(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(5)
+		clocks := make([]VC, n)
+		for i := range clocks {
+			c := make(VC, 1+r.Intn(6))
+			for j := range c {
+				c[j] = uint64(r.Intn(4))
+			}
+			clocks[i] = c
+		}
+		want := Meet(clocks...)
+		got := clocks[0].Clone()
+		for _, c := range clocks[1:] {
+			got = got.MeetWith(c)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: MeetWith chain = %s, Meet = %s (inputs %v)", trial, got, want, clocks)
+		}
+	}
+}
+
+func TestMeetWithZeroesTailBeyondShorterClock(t *testing.T) {
+	c := VC{3, 2, 5, 7}
+	got := c.MeetWith(VC{1, 4})
+	if want := (VC{1, 2, 0, 0}); !got.Equal(want) {
+		t.Fatalf("MeetWith = %s, want %s", got, want)
+	}
+	if len(got) != 4 {
+		t.Fatalf("MeetWith must preserve the receiver's length, got %d", len(got))
+	}
+}

@@ -28,7 +28,13 @@ import (
 type Tid int
 
 // VC is a vector clock. The zero value (nil) is the bottom element ⊥ and is
-// ready to use. VC values are mutable; use Clone when sharing.
+// ready to use. VC values are mutable; use Clone when sharing. One sharing
+// pattern is sanctioned without cloning: the happens-before engine
+// (internal/hb) stamps whole thread segments with one frozen snapshot, so a
+// clock received from an Event.Clock (or hb's accessors) is immutable —
+// read it, Clone it, or Join it into another clock, but never use it as the
+// receiver of Inc/Set/Join/MeetWith or assign its elements. The
+// `clockcheck` build tag turns violations into panics.
 type VC []uint64
 
 // New returns a fresh bottom clock with capacity for n threads.
@@ -278,6 +284,28 @@ func Meet(clocks ...VC) VC {
 		}
 	}
 	return out
+}
+
+// MeetWith computes the pointwise minimum c ⊓ d in place on c and returns
+// it. Entries beyond d's dense prefix are implicitly zero, so c's tail is
+// zeroed; c's length is preserved (trailing zeros are semantically inert —
+// compare with Equal, not byte equality). It never allocates: this is the
+// incremental building block hb.Engine.MeetLive folds live thread clocks
+// with, replacing the []VC it used to materialize for Meet.
+func (c VC) MeetWith(d VC) VC {
+	n := len(c)
+	if len(d) < n {
+		n = len(d)
+	}
+	for i := 0; i < n; i++ {
+		if d[i] < c[i] {
+			c[i] = d[i]
+		}
+	}
+	for i := n; i < len(c); i++ {
+		c[i] = 0
+	}
+	return c
 }
 
 // Support returns the thread ids with nonzero entries, ascending.
