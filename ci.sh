@@ -8,42 +8,98 @@
 #                 snapshots (-tags=clockcheck): any consumer that writes
 #                 through a shared Event.Clock panics. Guarded by this flag
 #                 so the default tier-1 run stays fast.
+#   -obs          additionally run the observability smoke: internal/obs
+#                 under -race, the disabled-path zero-alloc gate
+#                 (allocs-slack 0 — exactly zero allocations), and an HTTP
+#                 end-to-end check (rd2 -http -serve, curl /metrics,
+#                 obscheck schema validation).
+#   -obs-only     run only the observability smoke (used by `make obs-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
 
 CLOCKCHECK=0
+OBS=0
+OBSONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
-    *) echo "usage: ci.sh [-clockcheck]" >&2; exit 2 ;;
+    -obs) OBS=1 ;;
+    -obs-only) OBS=1; OBSONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only]" >&2; exit 2 ;;
     esac
 done
 
-echo "== go vet =="
-go vet ./...
+if [ "$OBSONLY" = 0 ]; then
+    echo "== go vet =="
+    go vet ./...
 
-echo "== go build =="
-go build ./...
+    echo "== go build =="
+    go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+    echo "== go test -race =="
+    go test -race ./...
 
-echo "== differential (serial vs sharded pipeline, clone vs snapshot stamping) =="
-go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' \
-    ./internal/pipeline ./internal/monitor -v
+    echo "== differential (serial vs sharded pipeline, clone vs snapshot stamping) =="
+    go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' \
+        ./internal/pipeline ./internal/monitor -v
 
-echo "== bench smoke (front-end allocation gate vs BENCH_baseline.json) =="
-{
-    go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkProcessAction' \
-        -benchmem -benchtime 100x ./internal/hb
-    go test -run '^$' -bench 'BenchmarkPipelineFrontend' \
-        -benchmem -benchtime 5x ./internal/pipeline
-} | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only
+    echo "== bench smoke (front-end allocation gate vs BENCH_baseline.json) =="
+    {
+        go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkProcessAction' \
+            -benchmem -benchtime 100x ./internal/hb
+        go test -run '^$' -bench 'BenchmarkPipelineFrontend' \
+            -benchmem -benchtime 5x ./internal/pipeline
+    } | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only
+fi
 
 if [ "$CLOCKCHECK" = 1 ]; then
     echo "== go test -tags=clockcheck (poisoned snapshots) =="
     go test -tags=clockcheck ./...
+fi
+
+if [ "$OBS" = 1 ]; then
+    echo "== obs: go test -race ./internal/obs/... =="
+    go test -race ./internal/obs/...
+
+    echo "== obs: disabled-path zero-alloc gate (allocs-slack 0) =="
+    go test -run '^$' -bench 'BenchmarkObsDisabled' -benchmem -benchtime 1000x ./internal/obs \
+        | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only -allocs-slack 0
+
+    echo "== obs: http smoke (rd2 -http -serve / curl /metrics / obscheck) =="
+    OBSTMP=$(mktemp -d)
+    RD2PID=""
+    cleanup() {
+        [ -n "$RD2PID" ] && kill "$RD2PID" 2>/dev/null || true
+        rm -rf "$OBSTMP"
+    }
+    trap cleanup EXIT
+    OBSADDR=127.0.0.1:36061
+    go run ./cmd/tracegen -seed 7 -threads 4 -ops-min 20 -ops-max 40 > "$OBSTMP/run.trace"
+    go build -o "$OBSTMP/rd2" ./cmd/rd2
+    "$OBSTMP/rd2" -trace "$OBSTMP/run.trace" -q -http "$OBSADDR" -serve 2> "$OBSTMP/rd2.log" &
+    RD2PID=$!
+    ok=0
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fsS "http://$OBSADDR/metrics" > "$OBSTMP/snap.json" 2>/dev/null; then
+            ok=1
+            break
+        fi
+        i=$((i + 1))
+        sleep 0.2
+    done
+    if [ "$ok" != 1 ]; then
+        echo "obs smoke: /metrics never came up on $OBSADDR" >&2
+        cat "$OBSTMP/rd2.log" >&2
+        exit 1
+    fi
+    curl -fsS "http://$OBSADDR/healthz" | grep -q ok
+    go run ./cmd/obscheck "$OBSTMP/snap.json"
+    kill "$RD2PID" 2>/dev/null || true
+    wait "$RD2PID" 2>/dev/null || true
+    RD2PID=""
+    echo "obs smoke OK"
 fi
 
 echo "CI OK"

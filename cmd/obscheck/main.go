@@ -1,0 +1,46 @@
+// Command obscheck validates a metrics snapshot against the obs JSON
+// schema. It reads one snapshot (as served by rd2's -http /metrics endpoint
+// or emitted by -stats-interval with -stats-json) from stdin or from a file
+// argument, and exits 0 iff the snapshot is well-formed: all required keys
+// present, gauge peaks >= values, histogram bucket sums consistent, and
+// quantiles monotone. ci.sh -obs uses it to gate the HTTP smoke test.
+//
+//	rd2 -trace run.trace -http :6060 -serve &
+//	curl -s localhost:6060/metrics | obscheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var data []byte
+	var err error
+	switch len(args) {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(args[0])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obscheck [snapshot.json] (default: stdin)")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+		return 2
+	}
+	if err := obs.ValidateSnapshot(data); err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: invalid snapshot: %v\n", err)
+		return 1
+	}
+	fmt.Println("obscheck: snapshot ok")
+	return 0
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidSnapshotExitsZero(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	reg.Counter("x.events").Add(7)
+	reg.Gauge("x.depth").Add(3)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{writeFile(t, "snap.json", data)}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestInvalidSnapshotExitsOne(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":     "nope",
+		"empty object": "{}",
+		"wrong types":  `{"taken_unix_ns":"x","uptime_ns":0,"enabled":true,"counters":{},"gauges":{},"histograms":{},"timers":{}}`,
+	} {
+		if code := run([]string{writeFile(t, "bad.json", []byte(body))}); code != 1 {
+			t.Errorf("%s: exit = %d, want 1", name, code)
+		}
+	}
+}
+
+func TestUsageErrorExitsTwo(t *testing.T) {
+	if code := run([]string{"a", "b"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+}

@@ -17,6 +17,12 @@
 // name (dict, set, counter, queue, register, multiset) or a path to an ECL
 // specification file. -bind overrides the specification per object id.
 //
+// Observability (see DESIGN.md §7): -http serves /metrics, /debug/vars and
+// /debug/pprof; -stats-interval emits periodic snapshots to stderr
+// (-stats-json for JSON); -obs prints a final snapshot; -report streams
+// structured race records as JSON Lines; -serve keeps the HTTP endpoint up
+// after the analysis until SIGINT/SIGTERM (for scraping and smoke tests).
+//
 // The exit status is 1 when races were found, 2 on usage or input errors.
 package main
 
@@ -25,13 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/ap"
 	"repro/internal/core"
 	"repro/internal/ecl"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replay"
 	"repro/internal/specs"
@@ -68,6 +77,12 @@ func run(args []string) int {
 	validate := fs.Bool("validate", true, "check trace well-formedness before analysis")
 	determinism := fs.Int("determinism", 0,
 		"additionally replay N random linearizations (Theorem 5.2 check; built-in specs only)")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (enables metrics)")
+	statsInterval := fs.Duration("stats-interval", 0, "emit a metrics snapshot to stderr at this interval (enables metrics)")
+	statsJSON := fs.Bool("stats-json", false, "emit -stats-interval snapshots as JSON instead of text")
+	obsFlag := fs.Bool("obs", false, "print a final metrics snapshot to stderr (enables metrics)")
+	reportPath := fs.String("report", "", "stream structured race records (JSON Lines) to this file")
+	serve := fs.Bool("serve", false, "with -http: keep serving after the analysis until SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,6 +90,29 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "rd2: -trace is required")
 		fs.Usage()
 		return 2
+	}
+	if *serve && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "rd2: -serve requires -http")
+		return 2
+	}
+
+	if *httpAddr != "" || *statsInterval > 0 || *obsFlag {
+		obs.SetEnabled(true)
+	}
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rd2: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *statsInterval > 0 {
+		em := obs.StartEmitter(os.Stderr, obs.Default, *statsInterval, *statsJSON)
+		defer em.Stop()
 	}
 
 	var eng core.Engine
@@ -114,6 +152,25 @@ func run(args []string) int {
 	}
 
 	ccfg := core.Config{Engine: eng, MaxRaces: *maxRaces}
+
+	// kinds maps each object to its responsible specification name; it is
+	// fully populated before RunTrace, so the report writer's OnRace
+	// callback (which runs on shard goroutines under -shards) only reads it.
+	kinds := map[trace.ObjID]string{}
+	var reporter *core.ReportWriter
+	if *reportPath != "" {
+		rf, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+		defer rf.Close()
+		reporter = core.NewReportWriter(rf)
+		ccfg.OnRace = func(r core.Race) {
+			reporter.Write(r, kinds[r.Obj])
+		}
+	}
+
 	var det detector
 	if *shards > 1 {
 		// The sharded pipeline: serial happens-before stamping, parallel
@@ -128,7 +185,6 @@ func run(args []string) int {
 			objs[e.Act.Obj] = true
 		}
 	}
-	kinds := map[trace.ObjID]string{}
 	for o := range objs {
 		det.Register(o, defaultRep)
 		kinds[o] = *specName
@@ -194,6 +250,13 @@ func run(args []string) int {
 	st := det.Stats()
 	fmt.Printf("rd2: %d events, %d actions, %d checks, %d commutativity races on %d objects\n",
 		tr.Len(), st.Actions, st.Checks, st.Races, det.DistinctObjects())
+	if reporter != nil {
+		if err := reporter.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: report: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "rd2: %d race records written to %s\n", reporter.Count(), *reportPath)
+	}
 
 	if *determinism > 0 {
 		res, err := replay.Check(tr, kinds, replay.Config{Samples: *determinism})
@@ -206,6 +269,15 @@ func run(args []string) int {
 		} else {
 			fmt.Printf("rd2: non-deterministic: %s\n", res.Witness)
 		}
+	}
+	if *obsFlag {
+		fmt.Fprint(os.Stderr, obs.FormatSnapshot(obs.Default.Snapshot()))
+	}
+	if *serve {
+		fmt.Fprintln(os.Stderr, "rd2: analysis done, serving until SIGINT/SIGTERM")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 	if st.Races > 0 {
 		return 1

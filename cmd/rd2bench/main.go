@@ -16,6 +16,11 @@
 // opt-in). -scale multiplies workload sizes (higher = more stable timings).
 // -shards N > 1 adds a sharded-pipeline column to Table 2. -cpuprofile and
 // -memprofile write pprof profiles of the selected experiments.
+//
+// Observability (see DESIGN.md §7): -http serves /metrics, /debug/vars and
+// /debug/pprof while experiments run; -stats-interval emits periodic
+// snapshots to stderr (-stats-json for JSON); -obs prints the unified
+// per-detector stat tables after Table 2 plus a final metrics snapshot.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,10 +52,31 @@ func run(args []string) int {
 	shards := fs.Int("shards", 0, "add a sharded-pipeline pass with N shards to Table 2 (0 = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (enables metrics)")
+	statsInterval := fs.Duration("stats-interval", 0, "emit a metrics snapshot to stderr at this interval (enables metrics)")
+	statsJSON := fs.Bool("stats-json", false, "emit -stats-interval snapshots as JSON instead of text")
+	obsFlag := fs.Bool("obs", false, "print per-detector stat tables and a final metrics snapshot (enables metrics)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation && !*shardscale
+
+	if *httpAddr != "" || *statsInterval > 0 || *obsFlag {
+		obs.SetEnabled(true)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rd2bench: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *statsInterval > 0 {
+		em := obs.StartEmitter(os.Stderr, obs.Default, *statsInterval, *statsJSON)
+		defer em.Stop()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -84,6 +111,11 @@ func run(args []string) int {
 		rows := harness.RunTable2(harness.Config{Scale: *scale, Seed: *seed, Shards: *shards})
 		fmt.Print(harness.RenderTable2(rows))
 		fmt.Println()
+		if *obsFlag {
+			fmt.Println("== Detector counters (unified stat surface) ==")
+			fmt.Print(harness.RenderDetectorStats(rows))
+			fmt.Println()
+		}
 	}
 	if *shardscale {
 		fmt.Println("== Shard scaling: sharded pipeline vs serial RD2 ==")
@@ -147,6 +179,9 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Print(harness.RenderRaceReports(reports))
+	}
+	if *obsFlag {
+		fmt.Fprint(os.Stderr, obs.FormatSnapshot(obs.Default.Snapshot()))
 	}
 	return 0
 }

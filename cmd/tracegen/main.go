@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -30,8 +31,12 @@ func run(args []string, out io.Writer) int {
 	opsMax := fs.Int("ops-max", 10, "maximum operations per thread")
 	locks := fs.Int("locks", 2, "lock universe size (0 disables locking)")
 	plocked := fs.Int("p-locked", 30, "percent of operations under a lock")
+	obsFlag := fs.Bool("obs", false, "print a generation metrics snapshot to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *obsFlag {
+		obs.SetEnabled(true)
 	}
 	cfg := trace.GenConfig{
 		Threads: *threads, Objects: *objects, Keys: *keys, Vals: 3,
@@ -39,9 +44,13 @@ func run(args []string, out io.Writer) int {
 		PSize: 15, PGet: 35, PLocked: *plocked, PRemove: 25,
 	}
 	tr := trace.Generate(rand.New(rand.NewSource(*seed)), cfg)
+	obs.GetCounter("tracegen.events").Add(uint64(tr.Len()))
 	if err := trace.Encode(out, tr); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		return 1
+	}
+	if *obsFlag {
+		fmt.Fprint(os.Stderr, obs.FormatSnapshot(obs.Default.Snapshot()))
 	}
 	return 0
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hb"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestActivePointsAcrossReclaim is the regression test for the peak
+// accounting bug: ActivePoints/PeakActive were only maintained on the
+// action path, so after a reclaim the count went stale until the next
+// action touched it — a snapshot taken between a die event and the next
+// action over-reported the live set, and a churning workload (grow, die,
+// grow smaller) computed its peak from a stale base. Every count change
+// now goes through addActive, so the invariants hold at every event
+// boundary:
+//
+//	ActivePoints == points currently active
+//	PeakActive   == max over time of ActivePoints
+//
+// The test asserts the invariants structurally (against the detector's own
+// counts) rather than hard-coding point totals, since the ECL translation
+// may touch several points per call.
+func TestActivePointsAcrossReclaim(t *testing.T) {
+	d := New(Config{})
+	en := hb.New()
+	feed := func(e trace.Event) {
+		t.Helper()
+		if _, err := en.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touch := func(obj trace.ObjID, key trace.Value) {
+		feed(trace.Act(0, trace.Action{Obj: obj, Method: "put",
+			Args: []trace.Value{key, c1}, Rets: []trace.Value{trace.NilValue}}))
+	}
+	key := func(i int) trace.Value { return trace.StrValue(fmt.Sprintf("k%d.com", i)) }
+
+	// Grow object 1: monotone growth from zero, so peak tracks active.
+	d.Register(1, dictRep)
+	for i := 0; i < 3; i++ {
+		touch(1, key(i))
+	}
+	high := d.Stats().ActivePoints
+	if high == 0 {
+		t.Fatal("no active points after three puts")
+	}
+	if got := d.Stats().PeakActive; got != high {
+		t.Fatalf("PeakActive = %d during monotone growth, want %d", got, high)
+	}
+
+	// The die event must drop the count immediately — not on the next
+	// action — and the peak must stay at the high-water mark.
+	feed(trace.Die(0, 1))
+	if got := d.Stats().ActivePoints; got != 0 {
+		t.Fatalf("ActivePoints = %d after reclaim, want 0", got)
+	}
+	if got := d.Stats().PeakActive; got != high {
+		t.Fatalf("PeakActive = %d after reclaim, want %d", got, high)
+	}
+
+	// Re-grow on a fresh object with fewer keys: the live count restarts
+	// from the post-reclaim zero (the stale-base bug double-counted here,
+	// reporting roughly old+new) and the peak must not move.
+	d.Register(2, dictRep)
+	for i := 0; i < 2; i++ {
+		touch(2, key(i))
+	}
+	low := d.Stats().ActivePoints
+	if low == 0 || low >= high {
+		t.Fatalf("ActivePoints = %d after smaller re-grow, want in (0, %d)", low, high)
+	}
+	if got := d.Stats().PeakActive; got != high {
+		t.Fatalf("PeakActive = %d after smaller re-grow, want %d", got, high)
+	}
+
+	// Exceed the old peak: the peak follows the live count again.
+	for i := 2; d.Stats().ActivePoints <= high; i++ {
+		touch(2, key(i))
+	}
+	if got, want := d.Stats().PeakActive, d.Stats().ActivePoints; got != want {
+		t.Fatalf("PeakActive = %d after exceeding old peak, want %d", got, want)
+	}
+}
+
+// TestActivePointsGaugeOnReclaim asserts the obs-side view of the same
+// invariant: a die event flushes the batched deltas so the process-global
+// core.active_points gauge drops at the reclaim, not an interval later.
+func TestActivePointsGaugeOnReclaim(t *testing.T) {
+	obs.Default.Reset()
+	obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Default.Reset()
+	}()
+
+	d := New(Config{})
+	en := hb.New()
+	feed := func(e trace.Event) {
+		t.Helper()
+		if _, err := en.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Process(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := obs.GetGauge("core.active_points")
+	base := g.Load()
+
+	d.Register(1, dictRep)
+	for _, key := range []trace.Value{aCom, bCom, trace.StrValue("c.com")} {
+		feed(trace.Act(0, trace.Action{Obj: 1, Method: "put",
+			Args: []trace.Value{key, c1}, Rets: []trace.Value{trace.NilValue}}))
+	}
+	d.FlushObs()
+	want := int64(d.Stats().ActivePoints)
+	if got := g.Load() - base; got != want {
+		t.Fatalf("gauge delta after growth = %d, want %d", got, want)
+	}
+
+	// reclaim() flushes internally; no FlushObs call here on purpose.
+	feed(trace.Die(0, 1))
+	if got := g.Load() - base; got != 0 {
+		t.Fatalf("gauge delta after reclaim = %d, want 0 (reclaim must flush)", got)
+	}
+	if peak := g.Peak() - base; peak < want {
+		t.Fatalf("gauge peak delta = %d, want >= %d", peak, want)
+	}
+}

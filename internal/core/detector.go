@@ -29,9 +29,40 @@ import (
 
 	"repro/internal/ap"
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
+
+// Process-global obs metrics, shared by every detector instance so the
+// pipeline's shards aggregate into one set of counters. Hot-path updates
+// are batched in pendingObs and flushed every obsFlushInterval actions
+// (and on reclaim/compaction), so the per-action cost is a few integer
+// adds — the shared atomics are touched ~1/64th as often.
+var (
+	obsActions   = obs.GetCounter("core.actions")
+	obsChecks    = obs.GetCounter("core.checks")
+	obsRaces     = obs.GetCounter("core.races")
+	obsRacyEvts  = obs.GetCounter("core.racy_events")
+	obsReclaimed = obs.GetCounter("core.reclaimed_points")
+	obsActive    = obs.GetGauge("core.active_points")
+	obsPhase1    = obs.GetTimer("core.phase1_ns")
+)
+
+// obsFlushInterval is the batched-flush cadence in actions; it doubles as
+// the phase-1 latency sampling rate (one timed action per interval), which
+// keeps the two monotonic clock reads off 63 of every 64 actions.
+const obsFlushInterval = 64
+
+// pendingObs accumulates metric deltas between flushes.
+type pendingObs struct {
+	actions   int
+	checks    int
+	races     int
+	racyEvts  int
+	reclaimed int
+	active    int
+}
 
 // Engine selects the conflict-lookup strategy.
 type Engine int
@@ -124,6 +155,7 @@ type Detector struct {
 	racyObjs map[trace.ObjID]struct{}
 	deadRacy int // racy objects already reclaimed (still counted as distinct)
 	stats    Stats
+	pend     pendingObs
 	ptBuf    []ap.Point
 	cfBuf    []ap.Point
 }
@@ -218,6 +250,7 @@ func (d *Detector) action(e *trace.Event) error {
 		d.objects[obj] = st
 	}
 	d.stats.Actions++
+	d.pend.actions++
 
 	pts, err := st.rep.Touch(d.ptBuf[:0], e.Act)
 	if err != nil {
@@ -225,7 +258,14 @@ func (d *Detector) action(e *trace.Event) error {
 	}
 	d.ptBuf = pts[:0]
 
-	// Phase 1: check for commutativity races.
+	// Phase 1: check for commutativity races. Checks are counted locally
+	// and folded into stats once per action; one action per flush interval
+	// is span-timed for the core.phase1_ns latency histogram.
+	t0 := int64(0)
+	if d.stats.Actions&(obsFlushInterval-1) == 0 {
+		t0 = obsPhase1.Start()
+	}
+	checks := 0
 	raced := false
 	useBounded := st.rep.Bounded() && d.cfg.Engine != EngineEnumerating
 	for _, pt := range pts {
@@ -233,7 +273,7 @@ func (d *Detector) action(e *trace.Event) error {
 			cands := st.rep.Conflicts(d.cfBuf[:0], pt)
 			d.cfBuf = cands[:0]
 			for _, cand := range cands {
-				d.stats.Checks++
+				checks++
 				if ps, ok := st.active[cand]; ok && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
@@ -241,7 +281,7 @@ func (d *Detector) action(e *trace.Event) error {
 			}
 		} else {
 			for cand, ps := range st.active {
-				d.stats.Checks++
+				checks++
 				if st.rep.ConflictsWith(pt, cand) && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
@@ -249,8 +289,12 @@ func (d *Detector) action(e *trace.Event) error {
 			}
 		}
 	}
+	obsPhase1.ObserveSince(t0)
+	d.stats.Checks += checks
+	d.pend.checks += checks
 	if raced {
 		d.stats.RacyEvents++
+		d.pend.racyEvts++
 	}
 
 	// Phase 2: fold the event's clock into the touched points.
@@ -286,17 +330,57 @@ func (d *Detector) action(e *trace.Event) error {
 				ps.vc = vclock.SharedPool.Clone(e.Clock)
 			}
 			st.active[pt] = ps
-			d.stats.ActivePoints++
-			if d.stats.ActivePoints > d.stats.PeakActive {
-				d.stats.PeakActive = d.stats.ActivePoints
-			}
+			d.addActive(1)
 		}
+	}
+	if d.stats.Actions&(obsFlushInterval-1) == 0 {
+		d.FlushObs()
 	}
 	return nil
 }
 
+// addActive moves the active-point count by n and maintains the peak at
+// every change — including the negative deltas of reclaim and Compact, so
+// the invariant PeakActive == max-over-time(ActivePoints) holds locally
+// wherever the count moves rather than only on the action path.
+func (d *Detector) addActive(n int) {
+	d.stats.ActivePoints += n
+	if d.stats.ActivePoints > d.stats.PeakActive {
+		d.stats.PeakActive = d.stats.ActivePoints
+	}
+	d.pend.active += n
+}
+
+// FlushObs publishes the batched metric deltas to the process-global obs
+// counters. It runs automatically every obsFlushInterval actions and on
+// reclaim/compaction; call it after a run (RunTrace and pipeline shard
+// drain do) so final snapshots are exact.
+func (d *Detector) FlushObs() {
+	p := &d.pend
+	if p.actions != 0 {
+		obsActions.Add(uint64(p.actions))
+	}
+	if p.checks != 0 {
+		obsChecks.Add(uint64(p.checks))
+	}
+	if p.races != 0 {
+		obsRaces.Add(uint64(p.races))
+	}
+	if p.racyEvts != 0 {
+		obsRacyEvts.Add(uint64(p.racyEvts))
+	}
+	if p.reclaimed != 0 {
+		obsReclaimed.Add(uint64(p.reclaimed))
+	}
+	if p.active != 0 {
+		obsActive.Add(int64(p.active))
+	}
+	*p = pendingObs{}
+}
+
 func (d *Detector) report(e *trace.Event, st *objState, pt, cand ap.Point, ps *ptState) {
 	d.stats.Races++
+	d.pend.races++
 	d.racyObjs[e.Act.Obj] = struct{}{}
 	if len(d.races) >= d.cfg.MaxRaces && d.cfg.OnRace == nil {
 		// Beyond the retention cap with nobody listening: count only and
@@ -347,8 +431,10 @@ func (d *Detector) Compact(threshold vclock.VC) int {
 			}
 		}
 	}
-	d.stats.ActivePoints -= removed
+	d.addActive(-removed)
 	d.stats.Reclaimed += removed
+	d.pend.reclaimed += removed
+	d.FlushObs()
 	return removed
 }
 
@@ -368,7 +454,11 @@ func (d *Detector) reclaim(obj trace.ObjID) {
 		vclock.SharedPool.Put(ps.vc)
 	}
 	d.stats.Reclaimed += len(st.active)
-	d.stats.ActivePoints -= len(st.active)
+	d.pend.reclaimed += len(st.active)
+	d.addActive(-len(st.active))
+	// Flush so live snapshots see the drop (and its gauge churn)
+	// immediately after a burst of frees, not an interval later.
+	d.FlushObs()
 	delete(d.objects, obj)
 	delete(d.reps, obj)
 	if _, ok := d.racyObjs[obj]; ok {
@@ -383,6 +473,27 @@ func (d *Detector) Races() []Race { return d.races }
 // Stats returns a snapshot of the counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// StatSnapshot exposes the counters through the unified obs.StatSource
+// surface (the order matches the Stats struct).
+func (s Stats) StatSnapshot() []obs.Stat {
+	return []obs.Stat{
+		{Name: "actions", Value: int64(s.Actions)},
+		{Name: "checks", Value: int64(s.Checks)},
+		{Name: "races", Value: int64(s.Races)},
+		{Name: "racy_events", Value: int64(s.RacyEvents)},
+		{Name: "active_points", Value: int64(s.ActivePoints)},
+		{Name: "peak_active", Value: int64(s.PeakActive)},
+		{Name: "reclaimed_points", Value: int64(s.Reclaimed)},
+	}
+}
+
+// StatSnapshot implements obs.StatSource: the counters plus the exact
+// distinct racy-object count.
+func (d *Detector) StatSnapshot() []obs.Stat {
+	return append(d.stats.StatSnapshot(),
+		obs.Stat{Name: "distinct_objects", Value: int64(d.DistinctObjects())})
+}
+
 // DistinctObjects returns the number of distinct objects with at least one
 // race — the "(distinct)" column of Table 2 for RD2. Unlike Races, this
 // count is exact even when the retained reports are capped, and it survives
@@ -394,6 +505,7 @@ func (d *Detector) DistinctObjects() int {
 // RunTrace stamps the trace with a fresh happens-before engine and runs the
 // detector over every event. Objects must already be registered.
 func (d *Detector) RunTrace(tr *trace.Trace) error {
+	defer d.FlushObs()
 	en := hb.New()
 	for i := range tr.Events {
 		e := &tr.Events[i]

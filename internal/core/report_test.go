@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestReportWriterJSONL runs the Fig 3 trace with every race streamed
+// through a ReportWriter and checks the JSONL output: one valid object per
+// line carrying both sides' actions, threads, points, and clocks.
+func TestReportWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewReportWriter(&buf)
+	d := newDictDetector(Config{OnRace: func(r Race) {
+		if err := rw.Write(r, "dict"); err != nil {
+			t.Fatal(err)
+		}
+	}})
+	if err := d.RunTrace(fig3Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Count() != d.Stats().Races || rw.Count() == 0 {
+		t.Fatalf("wrote %d records, detector found %d races", rw.Count(), d.Stats().Races)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec RaceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if rec.Spec != "dict" {
+			t.Errorf("line %d: spec = %q, want dict", lines, rec.Spec)
+		}
+		if rec.First.Method == "" || rec.Second.Method == "" {
+			t.Errorf("line %d: missing method: %+v", lines, rec)
+		}
+		if rec.First.Thread == rec.Second.Thread {
+			t.Errorf("line %d: both sides on t%d", lines, rec.First.Thread)
+		}
+		if len(rec.Second.Clock) == 0 {
+			t.Errorf("line %d: second side has no clock", lines)
+		}
+		if !strings.Contains(rec.First.Action, rec.First.Method) {
+			t.Errorf("line %d: action %q does not mention method %q",
+				lines, rec.First.Action, rec.First.Method)
+		}
+		if rec.First.Point == "" || rec.Second.Point == "" {
+			t.Errorf("line %d: missing access point: %+v", lines, rec)
+		}
+	}
+	if lines != rw.Count() {
+		t.Fatalf("output has %d lines, writer counted %d", lines, rw.Count())
+	}
+}
+
+// TestReportWriterConcurrent exercises the writer from many goroutines (the
+// pipeline's OnRace callbacks run on shard goroutines) and checks every
+// line stays a valid, untorn JSON object.
+func TestReportWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewReportWriter(&buf)
+	race := Race{Obj: 1, SecondClock: []uint64{1, 2}, FirstClock: []uint64{2, 1}}
+	var wg sync.WaitGroup
+	const writers, per = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := rw.Write(race, "dict"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rw.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", rw.Count(), writers*per)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec RaceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("torn line %d: %v", lines, err)
+		}
+	}
+	if lines != writers*per {
+		t.Fatalf("lines = %d, want %d", lines, writers*per)
+	}
+}

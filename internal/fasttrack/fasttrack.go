@@ -18,8 +18,20 @@ import (
 	"fmt"
 
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
+)
+
+// Adaptive-representation counters: a promotion creates a read vector
+// clock for genuinely concurrent reads, a demotion collapses it back to an
+// epoch at the next write. Both are rare relative to reads/writes (that is
+// FASTTRACK's whole point), so they update the shared atomics directly
+// rather than batching like the core hot path does.
+var (
+	obsPromotions = obs.GetCounter("fasttrack.read_promotions")
+	obsDemotions  = obs.GetCounter("fasttrack.read_demotions")
+	obsFTRaces    = obs.GetCounter("fasttrack.races")
 )
 
 // epoch is the c@t of the FASTTRACK paper: thread t at clock value c. The
@@ -85,6 +97,20 @@ type Stats struct {
 	Writes     int
 	Races      int
 	SharedVars int // locations promoted to vector-clock reads
+	Demotions  int // shared-read clocks collapsed back to epochs by a write
+}
+
+// StatSnapshot exposes the counters through the unified obs.StatSource
+// surface, so harness tables render FASTTRACK and RD2 stats with one code
+// path.
+func (s Stats) StatSnapshot() []obs.Stat {
+	return []obs.Stat{
+		{Name: "reads", Value: int64(s.Reads)},
+		{Name: "writes", Value: int64(s.Writes)},
+		{Name: "races", Value: int64(s.Races)},
+		{Name: "shared_vars", Value: int64(s.SharedVars)},
+		{Name: "read_demotions", Value: int64(s.Demotions)},
+	}
 }
 
 // Detector is a FASTTRACK analysis instance. Like core.Detector it is
@@ -129,6 +155,7 @@ func (d *Detector) state(v trace.VarID) *varState {
 
 func (d *Detector) report(e *trace.Event, kind RaceKind, prev vclock.Tid) {
 	d.stats.Races++
+	obsFTRaces.Inc()
 	r := Race{Var: e.Var, Kind: kind, Thread: e.Thread, Prev: prev, Seq: e.Seq}
 	if len(d.races) < d.max {
 		d.races = append(d.races, r)
@@ -168,6 +195,7 @@ func (d *Detector) read(e *trace.Event) error {
 	// Concurrent reads: promote to a shared read vector clock.
 	st.rvc = vclock.VC(nil).Set(st.r.t, st.r.c).Set(e.Thread, cur.c)
 	d.stats.SharedVars++
+	obsPromotions.Inc()
 	return nil
 }
 
@@ -203,6 +231,8 @@ func (d *Detector) write(e *trace.Event) error {
 		// Demote back to exclusive tracking.
 		st.rvc = nil
 		st.r = epoch{}
+		d.stats.Demotions++
+		obsDemotions.Inc()
 	} else if !st.r.leq(e.Clock) {
 		d.report(e, ReadWrite, st.r.t)
 	}
@@ -215,6 +245,13 @@ func (d *Detector) Races() []Race { return d.races }
 
 // Stats returns a snapshot of the counters.
 func (d *Detector) Stats() Stats { return d.stats }
+
+// StatSnapshot implements obs.StatSource: the counters plus the exact
+// distinct racy-location count.
+func (d *Detector) StatSnapshot() []obs.Stat {
+	return append(d.stats.StatSnapshot(),
+		obs.Stat{Name: "distinct_vars", Value: int64(d.DistinctVars())})
+}
 
 // DistinctVars returns the number of distinct locations with at least one
 // race — the "(distinct)" column of Table 2 for FASTTRACK.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/h2sim"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/snitch"
 	"repro/internal/specs"
@@ -64,6 +65,14 @@ type Row struct {
 	ParTime     time.Duration // wall time with the sharded pipeline
 	ParRaces    int           // races found by the sharded pipeline
 	ParDistinct int           // distinct racy objects (sharded pipeline)
+
+	// Full detector counters through the unified obs.StatSource surface
+	// (fasttrack.Detector.StatSnapshot / core.Detector.StatSnapshot /
+	// pipeline.Pipeline.StatSnapshot). RenderDetectorStats prints all three
+	// with one code path.
+	FTStats  []obs.Stat
+	RD2Stats []obs.Stat
+	ParStats []obs.Stat
 }
 
 // Config scales the Table 2 run.
@@ -106,6 +115,7 @@ func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 			row.Time[mode] = res.Duration
 			row.FTRaces = d.Stats().Races
 			row.FTDistinct = d.DistinctVars()
+			row.FTStats = d.StatSnapshot()
 		case RD2:
 			rd2 := monitor.AttachRD2(rt, core.Config{})
 			res := c.Run(rt, seed)
@@ -113,6 +123,7 @@ func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 			row.Time[mode] = res.Duration
 			row.RD2Races = rd2.Detector.Stats().Races
 			row.RD2Distinct = rd2.Detector.DistinctObjects()
+			row.RD2Stats = rd2.Detector.StatSnapshot()
 		default:
 			res := c.Run(rt, seed)
 			row.QPS[mode] = res.QPS()
@@ -130,6 +141,7 @@ func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 		row.ParQPS = float64(res.Ops) / row.ParTime.Seconds()
 		row.ParRaces = par.Pipeline.Stats().Races
 		row.ParDistinct = par.Pipeline.DistinctObjects()
+		row.ParStats = par.Pipeline.StatSnapshot()
 	}
 	return row
 }
@@ -149,12 +161,14 @@ func runSnitchRow(cfg Config) Row {
 			row.Time[mode] = time.Since(start)
 			row.FTRaces = d.Stats().Races
 			row.FTDistinct = d.DistinctVars()
+			row.FTStats = d.StatSnapshot()
 		case RD2:
 			rd2 := monitor.AttachRD2(rt, core.Config{})
 			snitch.RunTest(rt, sc, cfg.Seed)
 			row.Time[mode] = time.Since(start)
 			row.RD2Races = rd2.Detector.Stats().Races
 			row.RD2Distinct = rd2.Detector.DistinctObjects()
+			row.RD2Stats = rd2.Detector.StatSnapshot()
 		default:
 			snitch.RunTest(rt, sc, cfg.Seed)
 			row.Time[mode] = time.Since(start)
@@ -170,8 +184,35 @@ func runSnitchRow(cfg Config) Row {
 		row.ParTime = time.Since(start)
 		row.ParRaces = par.Pipeline.Stats().Races
 		row.ParDistinct = par.Pipeline.DistinctObjects()
+		row.ParStats = par.Pipeline.StatSnapshot()
 	}
 	return row
+}
+
+// RenderDetectorStats renders every row's full detector counters — the
+// FASTTRACK baseline, serial RD2, and (when run) the sharded pipeline —
+// through the one obs.FormatStats code path, so the three detectors need no
+// bespoke formatting and new counters appear automatically.
+func RenderDetectorStats(rows []Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		blocks := []struct {
+			label string
+			stats []obs.Stat
+		}{
+			{"FASTTRACK", r.FTStats},
+			{"RD2", r.RD2Stats},
+			{fmt.Sprintf("RD2(%d shards)", r.ParShards), r.ParStats},
+		}
+		for _, bl := range blocks {
+			if len(bl.stats) == 0 {
+				continue
+			}
+			b.WriteString(obs.FormatStats(
+				fmt.Sprintf("%s / %s — %s", r.App, r.Benchmark, bl.label), bl.stats))
+		}
+	}
+	return b.String()
 }
 
 // RenderTable2 formats the rows like the paper's Table 2. When any row ran

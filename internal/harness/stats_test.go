@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRenderDetectorStats asserts the unified stats surface: Table 2 rows
+// carry both detectors' full counters as obs.Stat lists, and one renderer
+// prints FASTTRACK, RD2, and the sharded pipeline without per-detector
+// format code.
+func TestRenderDetectorStats(t *testing.T) {
+	rows := RunTable2(Config{Scale: 1, Seed: 42, Shards: 2})
+	find := func(stats []obs.Stat, name string) (int64, bool) {
+		for _, s := range stats {
+			if s.Name == name {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+	for _, r := range rows {
+		if len(r.FTStats) == 0 || len(r.RD2Stats) == 0 || len(r.ParStats) == 0 {
+			t.Fatalf("%s: missing stat snapshots (ft %d, rd2 %d, par %d)",
+				r.Benchmark, len(r.FTStats), len(r.RD2Stats), len(r.ParStats))
+		}
+		if v, ok := find(r.FTStats, "races"); !ok || v != int64(r.FTRaces) {
+			t.Errorf("%s: FT stat races = %d (%v), want %d", r.Benchmark, v, ok, r.FTRaces)
+		}
+		if v, ok := find(r.RD2Stats, "races"); !ok || v != int64(r.RD2Races) {
+			t.Errorf("%s: RD2 stat races = %d (%v), want %d", r.Benchmark, v, ok, r.RD2Races)
+		}
+		if v, ok := find(r.ParStats, "shards"); !ok || v != 2 {
+			t.Errorf("%s: pipeline stat shards = %d (%v), want 2", r.Benchmark, v, ok)
+		}
+		// The pipeline's own columns must agree with its stat snapshot
+		// (serial-vs-pipeline race counts are separate live runs with
+		// different interleavings, so they are not compared here).
+		if pv, ok := find(r.ParStats, "races"); !ok || pv != int64(r.ParRaces) {
+			t.Errorf("%s: pipeline stat races = %d (%v), want %d", r.Benchmark, pv, ok, r.ParRaces)
+		}
+	}
+
+	out := RenderDetectorStats(rows)
+	for _, want := range []string{"FASTTRACK", "RD2(2 shards)", "read_demotions", "peak_active", "distinct_objects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered stats missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -41,8 +41,18 @@ package hb
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
+)
+
+// Segment-discipline counters: a freeze opens a shared snapshot (one per
+// thread segment), a rollover is the copy-on-write that ends one. Their
+// ratio to stamped events is the zero-clone win (DESIGN.md §7); these sit
+// on the synchronization path only, never on the per-action hot path.
+var (
+	obsSegFrozen    = obs.GetCounter("hb.segments_frozen")
+	obsSegRollovers = obs.GetCounter("hb.segment_rollovers")
 )
 
 // Engine tracks the happens-before relation of an event stream. It is not
@@ -120,6 +130,7 @@ func (en *Engine) freeze(ts *threadState) vclock.VC {
 	if !ts.shared {
 		ts.shared = true
 		ts.tok = en.guard.record(ts.clock)
+		obsSegFrozen.Inc()
 	}
 	return ts.clock
 }
@@ -133,6 +144,7 @@ func (en *Engine) mutable(ts *threadState) vclock.VC {
 		en.guard.verify(ts.tok)
 		ts.clock = vclock.SharedPool.Clone(ts.clock)
 		ts.shared = false
+		obsSegRollovers.Inc()
 	}
 	return ts.clock
 }

@@ -20,9 +20,23 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
+
+// Emission-path metrics: the events counter advances per emitted event; the
+// stamping-vs-detection latency split is sampled (1 event in 64) so the
+// monitored hot path pays for the two monotonic clock reads only on sampled
+// events, and never when obs is disabled.
+var (
+	obsEmitted  = obs.GetCounter("monitor.events")
+	obsStampNs  = obs.GetTimer("monitor.stamp_ns")
+	obsDetectNs = obs.GetTimer("monitor.detect_ns")
+)
+
+// obsSampleMask selects the sampled events: Seq & mask == 0.
+const obsSampleMask = 63
 
 // Analysis consumes stamped events. core.Detector and fasttrack.Detector
 // both satisfy it.
@@ -122,20 +136,33 @@ func (rt *Runtime) emit(e trace.Event) {
 	defer rt.mu.Unlock()
 	e.Seq = rt.seq
 	rt.seq++
+	obsEmitted.Inc()
+	sampled := obs.Enabled() && e.Seq&obsSampleMask == 0
+
+	t0 := int64(0)
+	if sampled {
+		t0 = obsStampNs.Start()
+	}
 	if _, err := rt.hb.Process(&e); err != nil {
 		if rt.err == nil {
 			rt.err = err
 		}
 		return
 	}
+	obsStampNs.ObserveSince(t0)
 	if rt.record != nil {
 		rt.record.Append(e)
+	}
+	t1 := int64(0)
+	if sampled {
+		t1 = obsDetectNs.Start()
 	}
 	for _, a := range rt.analyses {
 		if err := a.Process(&e); err != nil && rt.err == nil {
 			rt.err = err
 		}
 	}
+	obsDetectNs.ObserveSince(t1)
 	if e.Kind == trace.JoinEvent {
 		var threshold vclock.VC
 		for _, a := range rt.analyses {

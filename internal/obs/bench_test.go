@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkObsDisabled is the overhead gate for instrumented hot loops:
+// with the global switch off, every metric operation must be a single
+// load-and-branch — 0 allocs/op and nanosecond-scale ns/op. The ns_op
+// baseline in BENCH_baseline.json keeps `make benchcmp` watching the
+// timing, and ci.sh gates allocs/op at exactly zero (-allocs-slack 0).
+func BenchmarkObsDisabled(b *testing.B) {
+	SetEnabled(false)
+	var c Counter
+	var g Gauge
+	var h Histogram
+	var tm Timer
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Add(1)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i))
+		}
+	})
+	b.Run("timer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm.ObserveSince(tm.Start())
+		}
+	})
+}
+
+// BenchmarkObsEnabled documents the live cost of each operation (not
+// gated: uncontended atomics plus, for timers, two monotonic clock reads).
+func BenchmarkObsEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	var c Counter
+	var h Histogram
+	var tm Timer
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 4095))
+		}
+	})
+	b.Run("timer_span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm.ObserveSince(tm.Start())
+		}
+	})
+}
+
+// TestObsDisabledZeroAlloc pins the disabled path at zero allocations even
+// without the bench gate (testing.AllocsPerRun is deterministic).
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	SetEnabled(false)
+	var c Counter
+	var g Gauge
+	var h Histogram
+	var tm Timer
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		g.Set(2)
+		h.Observe(500)
+		tm.ObserveSince(tm.Start())
+		_ = Clock()
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", n)
+	}
+}
+
+// TestObsDisabledFast is a coarse sanity bound on the disabled counter
+// path (the precise <2ns/op expectation lives in BENCH_baseline.json,
+// where benchgate's relative headroom applies; this only catches gross
+// regressions like an accidental time syscall on the disabled path).
+func TestObsDisabledFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sanity check")
+	}
+	if raceEnabled {
+		t.Skip("-race instruments atomics; timing not meaningful")
+	}
+	SetEnabled(false)
+	var c Counter
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	if ns := res.NsPerOp(); ns >= 25 {
+		t.Fatalf("disabled Counter.Inc = %dns/op, want well under 25ns", ns)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled Counter.Inc allocates %d/op", res.AllocsPerOp())
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// nanosecond value has bit length i+1, i.e. the range [2^i, 2^(i+1)), with
+// bucket 0 also absorbing 0–1 ns and the last bucket everything from
+// 2^(histBuckets-1) ns (~2.1 s) up. Powers of two make bucketing one
+// bits.Len64 — no search, no float math — and 32 buckets span the whole
+// useful latency range of the detector (single-digit ns conflict checks to
+// whole-run spans) in a fixed 256-byte array.
+const histBuckets = 32
+
+// Histogram is a bounded latency histogram with ns-scale exponential
+// buckets. All fields are atomics, so concurrent Observe calls (e.g. from
+// pipeline shards) need no lock; Snapshot reads are lock-free and may be
+// slightly torn across fields, which is fine for monitoring.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration in nanoseconds. Negative values clamp to
+// zero.
+func (h *Histogram) Observe(ns int64) {
+	if !enabled.Load() {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// bucketIndex maps a non-negative ns value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns)) - 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the inclusive upper bound of bucket i (the last bucket is
+// open-ended; its bound is reported as-is and read as "≥").
+func bucketUpper(i int) uint64 {
+	return 1<<(uint(i)+1) - 1
+}
+
+// reset zeroes the histogram (Registry.Reset).
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Bucket is one nonzero histogram bucket in a snapshot.
+type Bucket struct {
+	UpperNs uint64 `json:"le_ns"` // inclusive upper bound (last bucket: lower bound of the open tail)
+	Count   uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON-stable read of one histogram. Quantiles
+// are bucket-upper-bound approximations (within 2× of the true value, the
+// resolution of power-of-two buckets).
+type HistogramSnapshot struct {
+	Count  uint64   `json:"count"`
+	SumNs  uint64   `json:"sum_ns"`
+	MeanNs float64  `json:"mean_ns"`
+	P50Ns  uint64   `json:"p50_ns"`
+	P90Ns  uint64   `json:"p90_ns"`
+	P99Ns  uint64   `json:"p99_ns"`
+	MaxNs  uint64   `json:"max_ns"` // upper bound of the highest populated bucket
+	Bkts   []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumNs: h.sum.Load()}
+	if s.Count > 0 {
+		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+	}
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			s.MaxNs = bucketUpper(i)
+			s.Bkts = append(s.Bkts, Bucket{UpperNs: bucketUpper(i), Count: counts[i]})
+		}
+	}
+	// Quantiles over the bucket counts actually read (total), which may
+	// drift from the count field under concurrent writes.
+	quantile := func(q float64) uint64 {
+		if total == 0 {
+			return 0
+		}
+		// Nearest-rank: the ⌈q·total⌉-th smallest observation (0-indexed).
+		rank := uint64(math.Ceil(q * float64(total)))
+		if rank > 0 {
+			rank--
+		}
+		if rank >= total {
+			rank = total - 1
+		}
+		cum := uint64(0)
+		for i := range counts {
+			cum += counts[i]
+			if cum > rank {
+				return bucketUpper(i)
+			}
+		}
+		return s.MaxNs
+	}
+	s.P50Ns = quantile(0.50)
+	s.P90Ns = quantile(0.90)
+	s.P99Ns = quantile(0.99)
+	return s
+}
+
+// Timer is a named phase-span timer: a Histogram of span durations plus
+// allocation-free start/stop helpers.
+//
+//	start := t.Start()            // 0 when disabled
+//	...
+//	t.ObserveSince(start)         // no-op when start == 0
+type Timer struct {
+	Histogram
+}
+
+// Start returns an opaque span start token (0 when disabled).
+func (t *Timer) Start() int64 { return Clock() }
+
+// ObserveSince records the span from a Start token. A zero token (span
+// started while disabled) is ignored, so enable/disable races drop the
+// span instead of recording garbage.
+func (t *Timer) ObserveSince(start int64) {
+	if start <= 0 || !enabled.Load() {
+		return
+	}
+	d := int64(time.Since(base)) - start
+	if d < 0 {
+		d = 0
+	}
+	t.Observe(d)
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability mux for a registry:
+//
+//	/metrics       — the full Snapshot as JSON (the schema ValidateSnapshot checks)
+//	/debug/vars    — expvar-style flat JSON (counters and gauges only)
+//	/debug/pprof/  — the standard net/http/pprof handlers
+//	/healthz       — liveness probe ("ok")
+//
+// The pprof handlers are mounted explicitly so nothing leaks onto
+// http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot()) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		s := reg.Snapshot()
+		flat := make(map[string]any, len(s.Counters)+len(s.Gauges))
+		for name, v := range s.Counters {
+			flat[name] = v
+		}
+		for name, g := range s.Gauges {
+			flat[name] = g.Value
+			flat[name+".peak"] = g.Peak
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(flat) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live observability endpoint returned by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. ":6060" or "127.0.0.1:0") and serves Handler(reg)
+// on a background goroutine. It does not flip the global enabled switch —
+// callers decide when collection starts.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return &Server{ln: ln, srv: srv}, nil
+}

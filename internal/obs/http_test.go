@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeMetricsAndVars(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	r.Counter("h.requests").Add(5)
+	r.Gauge("h.depth").Add(2)
+	r.Timer("h.span_ns").Observe(1500)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := get("/metrics")
+	if err := ValidateSnapshot(body); err != nil {
+		t.Fatalf("/metrics schema: %v\n%s", err, body)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["h.requests"] != 5 || s.Timers["h.span_ns"].Count != 1 {
+		t.Fatalf("snapshot content wrong: %+v", s)
+	}
+
+	var flat map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat["h.requests"].(float64) != 5 || flat["h.depth.peak"].(float64) != 2 {
+		t.Fatalf("/debug/vars content wrong: %v", flat)
+	}
+
+	if string(get("/healthz")) != "ok\n" {
+		t.Fatal("healthz body wrong")
+	}
+	// pprof index answers (the profile endpoints themselves are stdlib).
+	get("/debug/pprof/")
+}

@@ -1,0 +1,151 @@
+// Package obs is the runtime observability layer of the reproduction: a
+// small, dependency-free metrics and tracing facility the whole detection
+// stack instruments itself with. The paper's evaluation (Section 7, Fig 4)
+// argues RD2's practicality entirely through counters — conflict checks,
+// active access points, overhead vs. FASTTRACK — and the sharded pipeline
+// added since makes several more quantities load-bearing (per-shard skew,
+// stamping vs. detection split, clock-pool hit rates). This package makes
+// all of them visible at runtime instead of only in a post-run struct.
+//
+// Four metric kinds are provided:
+//
+//	Counter   — monotonically increasing atomic uint64
+//	Gauge     — atomic level with a high-water mark (peak)
+//	Histogram — bounded power-of-two ns-scale latency buckets
+//	Timer     — a Histogram plus Start/ObserveSince span helpers
+//
+// Metrics are registered by name in a Registry (obs.Default for the
+// process-wide one) and read via Snapshot, which the HTTP endpoint
+// (Serve), the periodic emitter (StartEmitter), and the text formatter all
+// consume.
+//
+// # The disabled path
+//
+// Instrumentation is off by default (SetEnabled). Every metric operation
+// first loads one package-level atomic bool and returns on the cold value,
+// so the disabled path is a single predictable branch: no allocation, no
+// atomic read-modify-write, no time syscall. BenchmarkObsDisabled pins
+// this at 0 allocs/op and nanosecond-scale ns/op, and the benchmark gate
+// (cmd/benchgate, BENCH_baseline.json) fails CI when it regresses — hot
+// loops may therefore call these unconditionally.
+//
+// Naming scheme: "<package>.<metric>" in snake_case, with a unit suffix
+// for durations ("core.phase1_ns"). Per-shard metrics insert the shard
+// index: "pipeline.shard.3.queue_batches". The full inventory lives in
+// DESIGN.md §7.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the single global instrumentation switch. A package-level
+// atomic.Bool keeps the disabled fast path to one load and one branch.
+var enabled atomic.Bool
+
+// Enabled reports whether instrumentation is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns instrumentation on or off. Metrics updated while
+// disabled are silently dropped (they do not buffer), so counters read as
+// "since enable".
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// base anchors the process-monotonic clock used by Clock and the timers.
+var base = time.Now()
+
+// Clock returns a monotonic nanosecond reading for span timing, or 0 when
+// instrumentation is disabled — pass the value to Timer.ObserveSince,
+// which treats 0 as "span never started". The reading is strictly
+// positive when enabled.
+func Clock() int64 {
+	if !enabled.Load() {
+		return 0
+	}
+	n := int64(time.Since(base))
+	if n <= 0 {
+		n = 1
+	}
+	return n
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; registry-created counters are shared by name.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// reset zeroes the counter (Registry.Reset).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous level with a high-water mark. Levels may go
+// negative transiently (e.g. a decrement observed before the matching
+// increment when producer and consumer race to update), but the peak only
+// ever rises.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Add moves the level by d (negative to decrease) and raises the peak if
+// the new level exceeds it.
+func (g *Gauge) Add(d int64) {
+	if !enabled.Load() {
+		return
+	}
+	v := g.cur.Add(d)
+	if d > 0 {
+		g.raise(v)
+	}
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.cur.Store(v)
+	g.raise(v)
+}
+
+// raise lifts the peak to at least v.
+func (g *Gauge) raise(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.cur.Load() }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// reset zeroes level and peak (Registry.Reset).
+func (g *Gauge) reset() {
+	g.cur.Store(0)
+	g.peak.Store(0)
+}

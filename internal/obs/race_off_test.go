@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the test binary was built with -race, which
+// instruments every atomic op and invalidates timing expectations.
+const raceEnabled = false

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. Get-or-create accessors make registration
+// idempotent: two packages (or two pipeline instances) asking for the same
+// name share one metric, so counts aggregate process-wide.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Default is the process-wide registry every in-tree instrumentation site
+// registers into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Reset zeroes every registered metric in place. Metric pointers held by
+// instrumentation sites stay valid — only their values clear. Benchmarks
+// and tests use this to isolate passes.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, t := range r.timers {
+		t.Histogram.reset()
+	}
+}
+
+// Package-level shorthands for the Default registry; instrumentation
+// sites typically call these once in a var block.
+
+// GetCounter returns the named counter from the Default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns the named gauge from the Default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram returns the named histogram from the Default registry.
+func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// GetTimer returns the named timer from the Default registry.
+func GetTimer(name string) *Timer { return Default.Timer(name) }
+
+// GaugeSnapshot is the JSON-stable read of one gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
+}
+
+// Snapshot is a point-in-time read of a whole registry — the schema served
+// by /metrics, emitted by the periodic emitter, and validated by
+// ValidateSnapshot. All four maps are always present (possibly empty) so
+// consumers can rely on the shape.
+type Snapshot struct {
+	TakenUnixNs int64                        `json:"taken_unix_ns"`
+	UptimeNs    int64                        `json:"uptime_ns"`
+	Enabled     bool                         `json:"enabled"`
+	Counters    map[string]uint64            `json:"counters"`
+	Gauges      map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms"`
+	Timers      map[string]HistogramSnapshot `json:"timers"`
+}
+
+// Snapshot reads every metric. Values are read lock-free while writers may
+// be running, so cross-metric consistency is approximate — fine for
+// monitoring, not for settlement.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		TakenUnixNs: time.Now().UnixNano(),
+		UptimeNs:    int64(time.Since(base)),
+		Enabled:     enabled.Load(),
+		Counters:    make(map[string]uint64, len(r.counters)),
+		Gauges:      make(map[string]GaugeSnapshot, len(r.gauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(r.hists)),
+		Timers:      make(map[string]HistogramSnapshot, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Load(), Peak: g.Peak()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = t.Histogram.Snapshot()
+	}
+	return s
+}
+
+// TakeSnapshot reads the Default registry.
+func TakeSnapshot() Snapshot { return Default.Snapshot() }
+
+// FormatSnapshot renders a snapshot as an aligned human-readable block —
+// the text mode of the periodic emitter and the commands' -obs dumps.
+// Zero-valued metrics are skipped so quiet runs stay short.
+func FormatSnapshot(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- obs snapshot @ %s (enabled=%v) --\n",
+		time.Duration(s.UptimeNs).Round(time.Millisecond), s.Enabled)
+	names := make([]string, 0, len(s.Counters))
+	for name, v := range s.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-36s %14d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		if g := s.Gauges[name]; g.Value != 0 || g.Peak != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "  %-36s %14d  (peak %d)\n", name, g.Value, g.Peak)
+	}
+	appendHists := func(m map[string]HistogramSnapshot) {
+		names = names[:0]
+		for name, h := range m {
+			if h.Count > 0 {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := m[name]
+			fmt.Fprintf(&b, "  %-36s %14d spans  mean %.0fns  p50 %dns  p99 %dns  max %dns\n",
+				name, h.Count, h.MeanNs, h.P50Ns, h.P99Ns, h.MaxNs)
+		}
+	}
+	appendHists(s.Timers)
+	appendHists(s.Histograms)
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateSnapshot checks that data is a well-formed Snapshot: all four
+// metric sections present with the right types, a positive timestamp, and
+// internally consistent histograms and gauges. ci.sh -obs curls /metrics
+// and pipes the body through cmd/obscheck, which is this function behind
+// an exit code.
+func ValidateSnapshot(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("obs: snapshot is not a JSON object: %w", err)
+	}
+	for _, key := range []string{
+		"taken_unix_ns", "uptime_ns", "enabled",
+		"counters", "gauges", "histograms", "timers",
+	} {
+		if _, ok := raw[key]; !ok {
+			return fmt.Errorf("obs: snapshot missing required key %q", key)
+		}
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("obs: snapshot fields have wrong types: %w", err)
+	}
+	if s.TakenUnixNs <= 0 {
+		return fmt.Errorf("obs: taken_unix_ns = %d, want > 0", s.TakenUnixNs)
+	}
+	if s.UptimeNs < 0 {
+		return fmt.Errorf("obs: uptime_ns = %d, want >= 0", s.UptimeNs)
+	}
+	for name, g := range s.Gauges {
+		if g.Peak < g.Value {
+			return fmt.Errorf("obs: gauge %q peak %d < value %d", name, g.Peak, g.Value)
+		}
+	}
+	check := func(section string, m map[string]HistogramSnapshot) error {
+		for name, h := range m {
+			var bucketed uint64
+			for _, b := range h.Bkts {
+				bucketed += b.Count
+			}
+			// Lock-free snapshots may tear between reading the count and
+			// the buckets while writers run; only outright corruption
+			// (buckets exceeding the count by far more than plausible
+			// in-flight observations) fails.
+			if bucketed > h.Count+h.Count/8+64 {
+				return fmt.Errorf("obs: %s %q bucket sum %d > count %d", section, name, bucketed, h.Count)
+			}
+			if h.P50Ns > h.P90Ns || h.P90Ns > h.P99Ns {
+				return fmt.Errorf("obs: %s %q quantiles not monotone: p50=%d p90=%d p99=%d",
+					section, name, h.P50Ns, h.P90Ns, h.P99Ns)
+			}
+		}
+		return nil
+	}
+	if err := check("histogram", s.Histograms); err != nil {
+		return err
+	}
+	return check("timer", s.Timers)
+}

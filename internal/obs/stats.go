@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stat is one named counter value in a detector's post-run summary.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// StatSource is the common snapshot surface of the detectors: core.Detector,
+// fasttrack.Detector, and pipeline.Pipeline all expose their end-of-run
+// counters as an ordered []Stat, so every front-end (cmd/rd2bench's tables,
+// cmd/rd2's summary) prints any detector with the one FormatStats code path
+// instead of per-detector fmt strings.
+type StatSource interface {
+	StatSnapshot() []Stat
+}
+
+// FormatStats renders one detector's stat list under a label:
+//
+//	RD2:
+//	  actions                    12034
+//	  checks                     24068
+func FormatStats(label string, stats []Stat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for _, s := range stats {
+		fmt.Fprintf(&b, "  %-24s %14d\n", s.Name, s.Value)
+	}
+	return b.String()
+}

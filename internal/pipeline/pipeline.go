@@ -38,8 +38,16 @@ import (
 	"repro/internal/ap"
 	"repro/internal/core"
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
+)
+
+// Pipeline-global obs counters; per-shard counters (queue depth, events,
+// races) are created in New so each shard updates its own cache line.
+var (
+	obsPipeEvents  = obs.GetCounter("pipeline.events")
+	obsPipeBatches = obs.GetCounter("pipeline.batches")
 )
 
 // Defaults for Config fields left zero.
@@ -82,13 +90,22 @@ type item struct {
 	threshold vclock.VC
 }
 
-// shard is one worker: a private detector fed over a bounded channel.
+// shard is one worker: a private detector fed over a bounded channel. Each
+// shard owns its obs instruments (distinct cache lines, no cross-shard
+// contention): queue depth in batches (producer increments on send, worker
+// decrements after processing — the peak is the high-water backlog),
+// events processed, and races found, updated once per batch.
 type shard struct {
 	det    *core.Detector
 	ch     chan []item
 	done   chan struct{}
 	err    error // first processing error (shard keeps draining)
 	errSeq int
+
+	obsQueue  *obs.Gauge   // pipeline.shard.<i>.queue_batches
+	obsEvents *obs.Counter // pipeline.shard.<i>.events
+	obsRaces  *obs.Counter // pipeline.shard.<i>.races
+	lastRaces int          // detector race count at last batch boundary
 }
 
 // Pipeline is a sharded parallel commutativity race detector. The producer
@@ -128,9 +145,12 @@ func New(cfg Config) *Pipeline {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
-			det:  core.New(cfg.Core),
-			ch:   make(chan []item, cfg.QueueLen),
-			done: make(chan struct{}),
+			det:       core.New(cfg.Core),
+			ch:        make(chan []item, cfg.QueueLen),
+			done:      make(chan struct{}),
+			obsQueue:  obs.GetGauge(fmt.Sprintf("pipeline.shard.%d.queue_batches", i)),
+			obsEvents: obs.GetCounter(fmt.Sprintf("pipeline.shard.%d.events", i)),
+			obsRaces:  obs.GetCounter(fmt.Sprintf("pipeline.shard.%d.races", i)),
 		}
 		p.shards = append(p.shards, s)
 		go p.run(s)
@@ -145,10 +165,12 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 func (p *Pipeline) run(s *shard) {
 	defer close(s.done)
 	for batch := range s.ch {
+		nEvents := 0
 		for i := range batch {
 			it := &batch[i]
 			switch it.kind {
 			case itemEvent:
+				nEvents++
 				// After a failure the shard keeps draining (so the producer
 				// never blocks) but stops detecting.
 				if s.err != nil {
@@ -163,6 +185,20 @@ func (p *Pipeline) run(s *shard) {
 				s.det.Compact(it.threshold)
 			}
 		}
+		// Metrics once per batch, not per item: queue depth drops, and the
+		// shard's event/race counters advance by this batch's delta.
+		if obs.Enabled() {
+			s.obsQueue.Add(-1)
+			obsPipeBatches.Inc()
+			if nEvents > 0 {
+				s.obsEvents.Add(uint64(nEvents))
+				obsPipeEvents.Add(uint64(nEvents))
+			}
+			if r := s.det.Stats().Races; r > s.lastRaces {
+				s.obsRaces.Add(uint64(r - s.lastRaces))
+				s.lastRaces = r
+			}
+		}
 		// Recycle the buffer; drop item contents so clocks and reps are not
 		// retained past their batch.
 		clear(batch)
@@ -171,6 +207,9 @@ func (p *Pipeline) run(s *shard) {
 		default:
 		}
 	}
+	// Publish the detector's batched deltas once the stream drains, so
+	// post-run snapshots are exact.
+	s.det.FlushObs()
 }
 
 // splitmix64 is the shard hash: cheap, and scrambles the low bits so dense
@@ -199,6 +238,7 @@ func (p *Pipeline) push(i int, it item) {
 	}
 	buf = append(buf, it)
 	if len(buf) >= p.cfg.BatchSize {
+		p.shards[i].obsQueue.Add(1)
 		p.shards[i].ch <- buf
 		p.pending[i] = nil
 		return
@@ -254,6 +294,7 @@ func (p *Pipeline) Compact(threshold vclock.VC) int {
 func (p *Pipeline) Flush() {
 	for i, buf := range p.pending {
 		if buf != nil {
+			p.shards[i].obsQueue.Add(1)
 			p.shards[i].ch <- buf
 			p.pending[i] = nil
 		}
@@ -322,6 +363,16 @@ func (p *Pipeline) Stats() core.Stats {
 func (p *Pipeline) DistinctObjects() int {
 	p.Close()
 	return p.distinct
+}
+
+// StatSnapshot implements obs.StatSource over the merged counters (closing
+// the pipeline if still open), so harness tables render the pipeline with
+// the same code path as the serial detectors.
+func (p *Pipeline) StatSnapshot() []obs.Stat {
+	p.Close()
+	return append(p.stats.StatSnapshot(),
+		obs.Stat{Name: "distinct_objects", Value: int64(p.distinct)},
+		obs.Stat{Name: "shards", Value: int64(len(p.shards))})
 }
 
 // Err returns the merged error after Close (nil before).

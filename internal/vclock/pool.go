@@ -1,6 +1,10 @@
 package vclock
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Pool is a sync.Pool-backed clock allocator. Detector hot paths clone an
 // event clock for every newly promoted access point; recycling those slices
@@ -17,6 +21,16 @@ type Pool struct {
 // poolMinCap avoids caching tiny slices that are cheaper to allocate fresh.
 const poolMinCap = 8
 
+// Pool traffic counters: a hit serves a Clone from a recycled buffer, a
+// miss allocates fresh. The hit rate is the quantity that explains whether
+// point promotion and segment rollover run allocation-free in the steady
+// state (DESIGN.md §7).
+var (
+	obsPoolHits   = obs.GetCounter("vclock.pool_hits")
+	obsPoolMisses = obs.GetCounter("vclock.pool_misses")
+	obsPoolPuts   = obs.GetCounter("vclock.pool_puts")
+)
+
 // Clone returns a pooled copy of c. The result does not alias c.
 func (pl *Pool) Clone(c VC) VC {
 	if len(c) == 0 {
@@ -25,12 +39,14 @@ func (pl *Pool) Clone(c VC) VC {
 	if v := pl.p.Get(); v != nil {
 		buf := v.(*[]uint64)
 		if cap(*buf) >= len(c) {
+			obsPoolHits.Inc()
 			out := VC((*buf)[:len(c)])
 			copy(out, c)
 			return out
 		}
 		pl.p.Put(buf)
 	}
+	obsPoolMisses.Inc()
 	n := len(c)
 	if n < poolMinCap {
 		n = poolMinCap
@@ -46,6 +62,7 @@ func (pl *Pool) Put(c VC) {
 	if cap(c) < poolMinCap {
 		return
 	}
+	obsPoolPuts.Inc()
 	buf := []uint64(c[:0])
 	pl.p.Put(&buf)
 }
