@@ -14,6 +14,13 @@
 #                 end-to-end check (rd2 -http -serve, curl /metrics,
 #                 obscheck schema validation).
 #   -obs-only     run only the observability smoke (used by `make obs-smoke`).
+#   -wire         additionally run the streaming smoke: record an H2 circuit
+#                 in the RDB2 binary wire format, analyze it offline, stream
+#                 it into a live rd2d daemon with rd2 -send, SIGTERM the
+#                 daemon, and require the two JSONL race reports to be
+#                 identical; then SIGTERM a second daemon mid-stream and
+#                 require a clean drain with a complete final report.
+#   -wire-only    run only the streaming smoke (used by `make wire-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,16 +28,27 @@ cd "$(dirname "$0")"
 CLOCKCHECK=0
 OBS=0
 OBSONLY=0
+WIRE=0
+WIREONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
     -obs) OBS=1 ;;
     -obs-only) OBS=1; OBSONLY=1 ;;
-    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only]" >&2; exit 2 ;;
+    -wire) WIRE=1 ;;
+    -wire-only) WIRE=1; WIREONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only]" >&2; exit 2 ;;
     esac
 done
+ONLY=0
+if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ]; then
+    ONLY=1
+else
+    # The streaming smoke is part of the default CI path.
+    WIRE=1
+fi
 
-if [ "$OBSONLY" = 0 ]; then
+if [ "$ONLY" = 0 ]; then
     echo "== go vet =="
     go vet ./...
 
@@ -100,6 +118,75 @@ if [ "$OBS" = 1 ]; then
     wait "$RD2PID" 2>/dev/null || true
     RD2PID=""
     echo "obs smoke OK"
+fi
+
+if [ "$WIRE" = 1 ]; then
+    echo "== wire: rd2d end-to-end (stream vs offline, SIGTERM drain) =="
+    WIRETMP=$(mktemp -d)
+    RD2DPID=""
+    cleanup_wire() {
+        [ -n "$RD2DPID" ] && kill "$RD2DPID" 2>/dev/null || true
+        rm -rf "$WIRETMP"
+        [ -n "${OBSTMP:-}" ] && rm -rf "$OBSTMP" || true
+    }
+    trap cleanup_wire EXIT
+    WIREADDR=127.0.0.1:36072
+    go build -o "$WIRETMP/rd2" ./cmd/rd2
+    go build -o "$WIRETMP/rd2d" ./cmd/rd2d
+    go build -o "$WIRETMP/tracegen" ./cmd/tracegen
+
+    # Record an H2 circuit directly in the RDB2 binary wire format.
+    "$WIRETMP/tracegen" -h2 ComplexConcurrency -o "$WIRETMP/h2.rdb"
+
+    # Offline reference run over the binary trace (exit 1 = races found).
+    rc=0
+    "$WIRETMP/rd2" -trace "$WIRETMP/h2.rdb" -q -report "$WIRETMP/off.jsonl" || rc=$?
+    [ "$rc" -le 1 ] || { echo "wire smoke: offline rd2 failed (rc $rc)" >&2; exit 1; }
+
+    # Online: stream the same trace into a live daemon, then SIGTERM it.
+    # -compact-every 0 keeps reported point clocks byte-identical to the
+    # offline run (compaction trims dead-thread clock entries).
+    "$WIRETMP/rd2d" -listen "$WIREADDR" -q -compact-every 0 \
+        -report "$WIRETMP/on.jsonl" 2> "$WIRETMP/rd2d.log" &
+    RD2DPID=$!
+    rc=0
+    "$WIRETMP/rd2" -trace "$WIRETMP/h2.rdb" -send "$WIREADDR" -send-wait 10s -q || rc=$?
+    [ "$rc" -le 1 ] || { echo "wire smoke: rd2 -send failed (rc $rc)" >&2; cat "$WIRETMP/rd2d.log" >&2; exit 1; }
+    kill -TERM "$RD2DPID"
+    rc=0
+    wait "$RD2DPID" || rc=$?
+    RD2DPID=""
+    [ "$rc" -le 1 ] || { echo "wire smoke: rd2d exited rc $rc" >&2; cat "$WIRETMP/rd2d.log" >&2; exit 1; }
+    # Discovery order differs between the serial offline run and the
+    # sharded online session; the sorted reports must be identical.
+    sort "$WIRETMP/off.jsonl" > "$WIRETMP/off.sorted"
+    sort "$WIRETMP/on.jsonl" > "$WIRETMP/on.sorted"
+    if ! diff -q "$WIRETMP/off.sorted" "$WIRETMP/on.sorted" > /dev/null; then
+        echo "wire smoke: streamed race report differs from offline report" >&2
+        diff "$WIRETMP/off.sorted" "$WIRETMP/on.sorted" | head >&2
+        exit 1
+    fi
+    echo "wire smoke: $(wc -l < "$WIRETMP/on.jsonl") streamed race records match offline"
+
+    # SIGTERM mid-stream: a much longer stream is cut by the drain; the
+    # daemon must still exit cleanly with a complete final report.
+    "$WIRETMP/tracegen" -h2 ComplexConcurrency -h2-ops 60000 -o "$WIRETMP/big.rdb"
+    "$WIRETMP/rd2d" -listen "$WIREADDR" -q -max-races 10 \
+        -report "$WIRETMP/drain.jsonl" 2> "$WIRETMP/drain.log" &
+    RD2DPID=$!
+    "$WIRETMP/rd2" -trace "$WIRETMP/big.rdb" -send "$WIREADDR" -send-wait 10s -q 2>/dev/null || true &
+    SENDPID=$!
+    sleep 0.5
+    kill -TERM "$RD2DPID"
+    rc=0
+    wait "$RD2DPID" || rc=$?
+    RD2DPID=""
+    wait "$SENDPID" 2>/dev/null || true
+    [ "$rc" -le 1 ] || { echo "wire smoke: drain exited rc $rc" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
+    grep -q "draining" "$WIRETMP/drain.log" || { echo "wire smoke: no drain log line" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
+    grep -q "race records written" "$WIRETMP/drain.log" || { echo "wire smoke: no final report line" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
+    grep -q "drained:" "$WIRETMP/drain.log" || { echo "wire smoke: no drained totals line" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
+    echo "wire smoke OK"
 fi
 
 echo "CI OK"

@@ -6,7 +6,13 @@
 //
 //	rd2 -trace run.trace [-spec dict] [-bind 0=dict,1=set] [-engine bounded]
 //
-// The trace file uses the text format of internal/trace:
+// The trace format is auto-detected by magic header: RDB2 binary traces
+// (.rdb, see internal/wire) and the text format both work everywhere a
+// trace is read. -send addr streams the trace to a running rd2d ingestion
+// daemon instead of analyzing locally (with -validate=false the file is
+// streamed in bounded memory).
+//
+// The text trace format of internal/trace:
 //
 //	t0 fork t1
 //	t1 act o0.put("a.com", 1)/nil
@@ -36,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/ap"
 	"repro/internal/core"
@@ -46,6 +53,7 @@ import (
 	"repro/internal/specs"
 	"repro/internal/trace"
 	"repro/internal/translate"
+	"repro/internal/wire"
 )
 
 // detector is the surface shared by the serial core.Detector and the
@@ -83,6 +91,8 @@ func run(args []string) int {
 	obsFlag := fs.Bool("obs", false, "print a final metrics snapshot to stderr (enables metrics)")
 	reportPath := fs.String("report", "", "stream structured race records (JSON Lines) to this file")
 	serve := fs.Bool("serve", false, "with -http: keep serving after the analysis until SIGINT/SIGTERM")
+	send := fs.String("send", "", "stream the trace to an rd2d daemon at this address instead of analyzing locally")
+	sendWait := fs.Duration("send-wait", 5*time.Second, "with -send: how long to retry the initial connection")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -132,7 +142,18 @@ func run(args []string) int {
 		return 2
 	}
 	defer f.Close()
-	tr, err := trace.Parse(f)
+
+	if *send != "" {
+		// Online mode: stream the trace to an rd2d ingestion daemon and
+		// report its session summary. With -validate=false the file is
+		// streamed straight off disk (bounded memory); validation needs
+		// the whole trace in hand first.
+		return runSend(*send, *sendWait, f, *validate)
+	}
+
+	// Auto-detect the trace format by magic header: RDB2 binary (.rdb) or
+	// the line-oriented text format.
+	tr, err := wire.ParseAny(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
 		return 2
@@ -280,6 +301,68 @@ func run(args []string) int {
 		<-ch
 	}
 	if st.Races > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSend streams the trace file to an rd2d daemon and relays its summary.
+// The initial connection is retried until wait elapses (so scripted runs
+// can start daemon and sender together). Exit codes mirror local analysis:
+// 1 when the daemon found races, 2 on errors.
+func runSend(addr string, wait time.Duration, f *os.File, validate bool) int {
+	var src trace.Source
+	if validate {
+		tr, err := wire.ParseAny(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+		if err := trace.Validate(tr); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+		src = tr.Source()
+	} else {
+		var err error
+		if src, err = wire.NewSource(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+	}
+
+	var cl *wire.Client
+	deadline := time.Now().Add(wait)
+	for {
+		var err error
+		cl, err = wire.Dial(addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return 2
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if err := cl.SendSource(src); err != nil {
+		cl.Abort()
+		fmt.Fprintf(os.Stderr, "rd2: send: %v\n", err)
+		return 2
+	}
+	sum, err := cl.Close(30 * time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rd2: send: %v\n", err)
+		return 2
+	}
+	fmt.Printf("rd2: streamed %d events to %s: %d commutativity races\n",
+		sum.Events, addr, sum.Races)
+	if sum.Error != "" {
+		fmt.Fprintf(os.Stderr, "rd2: daemon: %s\n", sum.Error)
+		return 2
+	}
+	if sum.Races > 0 {
 		return 1
 	}
 	return 0

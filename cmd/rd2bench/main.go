@@ -11,6 +11,9 @@
 //	                       (freedPageSpace, chunks, samples-size hint)
 //	rd2bench -shardscale   sharded pipeline throughput at 1, 2, 4, and
 //	                       GOMAXPROCS shards vs the serial detector
+//	rd2bench -replay f     replay a recorded trace file (text or .rdb
+//	                       binary, auto-detected) through serial and
+//	                       sharded detection
 //
 // With no selection flags, everything runs (except -shardscale, which is
 // opt-in). -scale multiplies workload sizes (higher = more stable timings).
@@ -29,9 +32,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -47,6 +56,8 @@ func run(args []string) int {
 	overhead := fs.Bool("overhead", false, "run the per-event analysis cost comparison")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
 	shardscale := fs.Bool("shardscale", false, "run the shard-scaling throughput experiment")
+	replayPath := fs.String("replay", "", "replay a recorded trace file (text or .rdb RDB2 binary, auto-detected by magic header) through serial and sharded detection")
+	replaySpec := fs.String("replay-spec", "dict", "built-in specification registered for every object during -replay")
 	scale := fs.Int("scale", 2, "workload scale multiplier")
 	seed := fs.Int64("seed", 42, "workload random seed")
 	shards := fs.Int("shards", 0, "add a sharded-pipeline pass with N shards to Table 2 (0 = off)")
@@ -59,7 +70,8 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation && !*shardscale
+	all := !*table2 && !*fig4 && !*complexity && !*races && !*overhead && !*ablation &&
+		!*shardscale && *replayPath == ""
 
 	if *httpAddr != "" || *statsInterval > 0 || *obsFlag {
 		obs.SetEnabled(true)
@@ -116,6 +128,14 @@ func run(args []string) int {
 			fmt.Print(harness.RenderDetectorStats(rows))
 			fmt.Println()
 		}
+	}
+	if *replayPath != "" {
+		fmt.Println("== Trace replay: serial vs sharded detection ==")
+		if err := runReplay(*replayPath, *replaySpec, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2bench: %v\n", err)
+			return 1
+		}
+		fmt.Println()
 	}
 	if *shardscale {
 		fmt.Println("== Shard scaling: sharded pipeline vs serial RD2 ==")
@@ -184,4 +204,60 @@ func run(args []string) int {
 		fmt.Fprint(os.Stderr, obs.FormatSnapshot(obs.Default.Snapshot()))
 	}
 	return 0
+}
+
+// runReplay loads a recorded trace (format auto-detected: RDB2 binary or
+// text) and runs it through the serial detector and the sharded pipeline,
+// reporting wall-clock throughput and the (identical) race counts.
+func runReplay(path, specName string, shards int) error {
+	rep, err := specs.Rep(specName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := wire.ParseAny(f)
+	if err != nil {
+		return err
+	}
+	objs := map[trace.ObjID]bool{}
+	for _, e := range tr.Events {
+		if e.Kind == trace.ActionEvent {
+			objs[e.Act.Obj] = true
+		}
+	}
+
+	serial := core.New(core.Config{})
+	for o := range objs {
+		serial.Register(o, rep)
+	}
+	t0 := time.Now()
+	if err := serial.RunTrace(tr); err != nil {
+		return err
+	}
+	serialDur := time.Since(t0)
+
+	if shards <= 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	p := pipeline.New(pipeline.Config{Shards: shards})
+	for o := range objs {
+		p.Register(o, rep)
+	}
+	t0 = time.Now()
+	if err := p.RunTrace(tr); err != nil {
+		return err
+	}
+	shardedDur := time.Since(t0)
+
+	evs := float64(tr.Len())
+	fmt.Printf("  %-22s %10d events  %8d objects\n", path, tr.Len(), len(objs))
+	fmt.Printf("  serial:    %12v  %10.0f events/s  %d races\n",
+		serialDur.Round(time.Microsecond), evs/serialDur.Seconds(), serial.Stats().Races)
+	fmt.Printf("  %d shards: %12v  %10.0f events/s  %d races\n",
+		shards, shardedDur.Round(time.Microsecond), evs/shardedDur.Seconds(), p.Stats().Races)
+	return nil
 }

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Ingest metrics (DESIGN.md §8): connection and stream counters, the
+// per-connection queue depth high-water mark, and backpressure stalls (a
+// push that found the ingest queue full and had to block the socket).
+var (
+	obsConns     = obs.GetCounter("rd2d.conns")
+	obsActive    = obs.GetGauge("rd2d.active_conns")
+	obsFrames    = obs.GetCounter("rd2d.frames")
+	obsBytes     = obs.GetCounter("rd2d.bytes")
+	obsEvents    = obs.GetCounter("rd2d.events")
+	obsRaces     = obs.GetCounter("rd2d.races")
+	obsQueue     = obs.GetGauge("rd2d.queue_events")
+	obsStalls    = obs.GetCounter("rd2d.backpressure_stalls")
+	obsSessions  = obs.GetCounter("rd2d.sessions_done")
+	obsDrainCuts = obs.GetCounter("rd2d.sessions_drained")
+)
+
+// daemonConfig is the resolved configuration of a daemon instance.
+type daemonConfig struct {
+	defaultRep  ap.Rep
+	defaultSpec string
+	binds       map[trace.ObjID]ap.Rep
+	bindSpecs   map[trace.ObjID]string
+	engine      core.Engine
+	shards      int
+	maxRaces    int
+	queueLen    int           // per-connection ingest queue, in events
+	idleTimeout time.Duration // per-read deadline; 0 disables
+	compactOps  int           // compact at most once per this many events; 0 disables
+	reporter    *core.ReportWriter
+	logger      *log.Logger
+}
+
+// daemon accepts wire streams over TCP and runs one detection session per
+// connection: incremental happens-before stamping feeding the sharded
+// pipeline, races streamed to the shared JSONL reporter as found.
+type daemon struct {
+	cfg daemonConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg          sync.WaitGroup
+	totalEvents atomic.Int64
+	totalRaces  atomic.Int64
+	sessions    atomic.Int64
+	failed      atomic.Int64
+}
+
+// newDaemon starts listening on addr.
+func newDaemon(addr string, cfg daemonConfig) (*daemon, error) {
+	if cfg.queueLen <= 0 {
+		cfg.queueLen = 1024
+	}
+	if cfg.compactOps < 0 {
+		cfg.compactOps = 4096
+	}
+	if cfg.logger == nil {
+		cfg.logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Addr returns the bound listen address.
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// Serve runs the accept loop until Shutdown closes the listener. It
+// returns after every in-flight session has drained.
+func (d *daemon) Serve() error {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			d.wg.Wait()
+			if d.isDraining() {
+				return nil
+			}
+			return err
+		}
+		d.mu.Lock()
+		if d.draining {
+			d.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(conn)
+		}()
+	}
+}
+
+// Shutdown begins a graceful drain: stop accepting, interrupt blocked
+// reads so sessions stop ingesting, and wait for every session to flush
+// its pending shards and report. Safe to call more than once.
+func (d *daemon) Shutdown() {
+	d.mu.Lock()
+	already := d.draining
+	d.draining = true
+	for conn := range d.conns {
+		// Wake any read blocked on the socket; the session treats the
+		// timeout as end-of-input and drains what it has.
+		conn.SetReadDeadline(time.Now())
+	}
+	d.mu.Unlock()
+	if !already {
+		d.ln.Close()
+	}
+	d.wg.Wait()
+}
+
+func (d *daemon) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// repFor resolves the access point representation and spec name for an
+// object (static per-daemon: -bind overrides, else the default spec).
+func (d *daemon) repFor(obj trace.ObjID) (ap.Rep, string) {
+	if rep, ok := d.cfg.binds[obj]; ok {
+		return rep, d.cfg.bindSpecs[obj]
+	}
+	return d.cfg.defaultRep, d.cfg.defaultSpec
+}
+
+// countingConn counts bytes read and applies the idle read deadline.
+type countingConn struct {
+	conn  net.Conn
+	idle  time.Duration
+	bytes int64
+	d     *daemon
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	// Serialized against Shutdown's deadline poke so a drain can never be
+	// overwritten by a refreshed idle deadline.
+	c.d.mu.Lock()
+	if c.d.draining {
+		c.conn.SetReadDeadline(time.Now())
+	} else if c.idle > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
+	c.d.mu.Unlock()
+	n, err := c.conn.Read(p)
+	c.bytes += int64(n)
+	return n, err
+}
+
+// handle runs one ingestion session over conn.
+func (d *daemon) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	obsConns.Inc()
+	obsActive.Add(1)
+	defer obsActive.Add(-1)
+	id := d.sessions.Add(1)
+	logf := func(format string, args ...any) {
+		d.cfg.logger.Printf("session %d (%s): %s", id, conn.RemoteAddr(), fmt.Sprintf(format, args...))
+	}
+	logf("connected")
+
+	cr := &countingConn{conn: conn, idle: d.cfg.idleTimeout, d: d}
+	sum := d.ingest(cr, logf)
+	obsBytes.Add(uint64(cr.bytes))
+	obsSessions.Inc()
+	d.totalEvents.Add(int64(sum.Events))
+	d.totalRaces.Add(int64(sum.Races))
+	if sum.Error != "" {
+		d.failed.Add(1)
+	}
+
+	// Acknowledge the session with a one-line JSON summary; the client may
+	// already be gone (abort, drain), which is fine.
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if b, err := json.Marshal(sum); err == nil {
+		conn.Write(append(b, '\n'))
+	}
+	logf("done: %d events, %d races, clean=%v err=%q", sum.Events, sum.Races, sum.Clean, sum.Error)
+}
+
+// ingest decodes, stamps, and detects over one connection's stream,
+// returning the session summary. The socket reader and the analysis
+// worker are decoupled by a bounded event queue: when the worker (and the
+// shard queues behind it) fall behind, the reader blocks, TCP flow control
+// pushes back on the client, and memory stays bounded.
+func (d *daemon) ingest(r io.Reader, logf func(string, ...any)) wire.Summary {
+	dec, err := wire.NewDecoder(r)
+	if err != nil {
+		logf("handshake failed: %v", err)
+		return wire.Summary{Error: err.Error()}
+	}
+
+	queue := make(chan trace.Event, d.cfg.queueLen)
+	var clean atomic.Bool
+	var readErr atomic.Value // error string, "" if none
+
+	go func() {
+		defer close(queue)
+		lastFrames := 0
+		for {
+			e, err := dec.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					clean.Store(dec.Clean())
+				} else if isTimeout(err) && d.isDraining() {
+					obsDrainCuts.Inc()
+					logf("drain: stopped reading mid-stream after %d events", dec.Events())
+				} else {
+					readErr.Store(err.Error())
+					logf("read: %v", err)
+				}
+				if f := dec.Frames(); f > lastFrames {
+					obsFrames.Add(uint64(f - lastFrames))
+				}
+				return
+			}
+			if f := dec.Frames(); f > lastFrames {
+				obsFrames.Add(uint64(f - lastFrames))
+				lastFrames = f
+			}
+			if obs.Enabled() {
+				select {
+				case queue <- e:
+				default:
+					obsStalls.Inc()
+					queue <- e
+				}
+				obsQueue.Set(int64(len(queue)))
+			} else {
+				queue <- e
+			}
+		}
+	}()
+
+	// The analysis worker: incremental stamping straight into the sharded
+	// pipeline, with lazy registration (an object's registration travels
+	// its shard's ordered stream ahead of its first action) and periodic
+	// MeetLive compaction so dead state is reclaimed on long streams.
+	en := hb.New()
+	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces}
+	if d.cfg.reporter != nil {
+		rw := d.cfg.reporter
+		ccfg.OnRace = func(r core.Race) {
+			_, spec := d.repFor(r.Obj)
+			rw.Write(r, spec)
+		}
+	}
+	p := pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg})
+	registered := map[trace.ObjID]bool{}
+	var procErr error
+	events, sinceCompact := 0, 0
+	for e := range queue {
+		if procErr != nil {
+			continue // drain so the reader never blocks forever
+		}
+		events++
+		sinceCompact++
+		if _, err := en.Process(&e); err != nil {
+			procErr = fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
+			continue
+		}
+		if e.Kind == trace.ActionEvent && !registered[e.Act.Obj] {
+			rep, _ := d.repFor(e.Act.Obj)
+			p.Register(e.Act.Obj, rep)
+			registered[e.Act.Obj] = true
+		}
+		p.Process(&e)
+		if e.Kind == trace.JoinEvent && d.cfg.compactOps > 0 && sinceCompact >= d.cfg.compactOps {
+			p.Compact(en.MeetLive())
+			sinceCompact = 0
+		}
+	}
+	if err := p.Close(); err != nil && procErr == nil {
+		procErr = err
+	}
+	st := p.Stats()
+	obsEvents.Add(uint64(events))
+	obsRaces.Add(uint64(st.Races))
+
+	sum := wire.Summary{Events: events, Races: st.Races, Clean: clean.Load()}
+	if procErr != nil {
+		sum.Error = procErr.Error()
+	} else if s, ok := readErr.Load().(string); ok && s != "" {
+		sum.Error = s
+	}
+	return sum
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

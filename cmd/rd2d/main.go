@@ -1,0 +1,203 @@
+// Command rd2d is the online commutativity race detection daemon: the
+// streaming counterpart of cmd/rd2. It listens on TCP for RDB2 binary
+// trace streams (internal/wire), runs one detection session per
+// connection — incremental happens-before stamping feeding the sharded
+// detection pipeline — and reports races as they are found, while the
+// monitored program is still running.
+//
+//	rd2d -listen 127.0.0.1:7029 -spec dict -report races.jsonl -http :6060
+//
+// Producers stream events with `rd2 -trace run.trace -send addr` (replay
+// an existing trace), `tracegen -wire` piped over the network, or any
+// writer of the wire format (wire.Client). Each session is acknowledged
+// with a one-line JSON summary {"events":N,"races":M,"clean":true}.
+//
+// Production shape: per-connection ingest queues are bounded — when
+// detection falls behind, the socket blocks and TCP flow control pushes
+// back on the producer instead of buffering without limit; reads carry an
+// idle timeout; SIGTERM/SIGINT drains gracefully (in-flight sessions stop
+// ingesting, flush their pending shards, and write complete reports before
+// the process exits). -http serves /metrics with ingest counters (frames,
+// bytes, events, queue depth, backpressure stalls) next to the detector
+// metrics.
+//
+// The exit status is 1 when any session found races, 2 on startup errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/ecl"
+	"repro/internal/obs"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/translate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rd2d", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7029", "TCP address to accept wire streams on")
+	specName := fs.String("spec", "dict", "default specification: built-in name or file path")
+	bind := fs.String("bind", "", "per-object specs, e.g. 0=dict,3=set")
+	engine := fs.String("engine", "bounded", "conflict engine: bounded or enumerating")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection shards per session")
+	maxRaces := fs.Int("max-races", 100, "maximum races retained per session")
+	queueLen := fs.Int("queue", 1024, "per-connection ingest queue depth in events")
+	idleTimeout := fs.Duration("idle-timeout", 30*time.Second, "per-read idle timeout (0 disables)")
+	compactOps := fs.Int("compact-every", 4096, "compact reclaimable detector state at most once per this many events (0 disables; compaction may trim dead-thread entries from reported point clocks)")
+	reportPath := fs.String("report", "", "stream structured race records (JSON Lines) to this file")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (enables metrics)")
+	statsInterval := fs.Duration("stats-interval", 0, "emit a metrics snapshot to stderr at this interval (enables metrics)")
+	statsJSON := fs.Bool("stats-json", false, "emit -stats-interval snapshots as JSON instead of text")
+	quiet := fs.Bool("q", false, "log only startup and shutdown, not per-session lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "rd2d: ", 0)
+	cfg := daemonConfig{
+		defaultSpec: *specName,
+		shards:      *shards,
+		maxRaces:    *maxRaces,
+		queueLen:    *queueLen,
+		idleTimeout: *idleTimeout,
+		compactOps:  *compactOps,
+		logger:      logger,
+	}
+	if *quiet {
+		cfg.logger = nil
+	}
+
+	var err error
+	if cfg.defaultRep, err = loadRep(*specName); err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	cfg.binds = map[trace.ObjID]ap.Rep{}
+	cfg.bindSpecs = map[trace.ObjID]string{}
+	if *bind != "" {
+		for _, pair := range strings.Split(*bind, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				logger.Printf("bad -bind entry %q", pair)
+				return 2
+			}
+			id, err := strconv.Atoi(kv[0])
+			if err != nil {
+				logger.Printf("bad object id %q", kv[0])
+				return 2
+			}
+			rep, err := loadRep(kv[1])
+			if err != nil {
+				logger.Printf("%v", err)
+				return 2
+			}
+			cfg.binds[trace.ObjID(id)] = rep
+			cfg.bindSpecs[trace.ObjID(id)] = kv[1]
+		}
+	}
+	switch *engine {
+	case "bounded":
+		cfg.engine = core.EngineBounded
+	case "enumerating":
+		cfg.engine = core.EngineEnumerating
+	default:
+		logger.Printf("unknown engine %q", *engine)
+		return 2
+	}
+
+	if *httpAddr != "" || *statsInterval > 0 {
+		obs.SetEnabled(true)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 2
+		}
+		defer srv.Close()
+		logger.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
+	if *statsInterval > 0 {
+		em := obs.StartEmitter(os.Stderr, obs.Default, *statsInterval, *statsJSON)
+		defer em.Stop()
+	}
+
+	var reportFile *os.File
+	if *reportPath != "" {
+		reportFile, err = os.Create(*reportPath)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 2
+		}
+		defer reportFile.Close()
+		cfg.reporter = core.NewReportWriter(reportFile)
+	}
+
+	d, err := newDaemon(*listen, cfg)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	logger.Printf("listening on %s (spec %s, %d shards)", d.Addr(), *specName, *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Printf("%v: draining...", s)
+		d.Shutdown()
+	}()
+
+	if err := d.Serve(); err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	// All sessions drained: the report is complete.
+	if cfg.reporter != nil {
+		if err := cfg.reporter.Err(); err != nil {
+			logger.Printf("report: %v", err)
+			return 2
+		}
+		logger.Printf("%d race records written to %s", cfg.reporter.Count(), *reportPath)
+	}
+	logger.Printf("drained: %d sessions, %d events, %d races, %d failed",
+		d.sessions.Load(), d.totalEvents.Load(), d.totalRaces.Load(), d.failed.Load())
+	if d.totalRaces.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadRep resolves a built-in spec name or parses a spec file and
+// translates it (same resolution as cmd/rd2).
+func loadRep(name string) (ap.Rep, error) {
+	if rep, err := specs.Rep(name); err == nil {
+		return rep, nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q is neither built-in (%v) nor readable: %v",
+			name, specs.Names(), err)
+	}
+	spec, err := ecl.ParseSpec(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return translate.Translate(spec)
+}

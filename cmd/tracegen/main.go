@@ -1,9 +1,15 @@
-// Command tracegen produces random well-formed dictionary traces in the
-// text format consumed by cmd/rd2 — fork/join structure, optional locking,
-// and action return values consistent with the dictionary semantics.
+// Command tracegen produces well-formed traces for cmd/rd2, cmd/rd2d, and
+// the benchmarks: random dictionary workloads (fork/join structure,
+// optional locking, action return values consistent with the dictionary
+// semantics) or recorded H2 circuit runs.
 //
 //	tracegen -seed 7 -threads 4 -ops 20 > run.trace
-//	rd2 -trace run.trace -spec dict
+//	tracegen -seed 7 -o run.rdb                 # RDB2 binary (by extension)
+//	tracegen -h2 ComplexConcurrency -o h2.rdb   # record an H2 circuit
+//	rd2 -trace run.rdb -spec dict
+//
+// Output is the text format by default; -wire (or a -o path ending in
+// .rdb) selects the RDB2 binary wire format of internal/wire.
 package main
 
 import (
@@ -12,9 +18,13 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
+	"repro/internal/h2sim"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -31,6 +41,10 @@ func run(args []string, out io.Writer) int {
 	opsMax := fs.Int("ops-max", 10, "maximum operations per thread")
 	locks := fs.Int("locks", 2, "lock universe size (0 disables locking)")
 	plocked := fs.Int("p-locked", 30, "percent of operations under a lock")
+	h2 := fs.String("h2", "", "record this H2 circuit instead of generating a dictionary trace")
+	h2ops := fs.Int("h2-ops", 0, "override the circuit's per-thread operation count (0 = default)")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	wireOut := fs.Bool("wire", false, "emit the RDB2 binary wire format (implied by a .rdb -o path)")
 	obsFlag := fs.Bool("obs", false, "print a generation metrics snapshot to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -38,14 +52,59 @@ func run(args []string, out io.Writer) int {
 	if *obsFlag {
 		obs.SetEnabled(true)
 	}
-	cfg := trace.GenConfig{
-		Threads: *threads, Objects: *objects, Keys: *keys, Vals: 3,
-		Locks: *locks, OpsMin: *opsMin, OpsMax: *opsMax,
-		PSize: 15, PGet: 35, PLocked: *plocked, PRemove: 25,
+
+	var tr *trace.Trace
+	if *h2 != "" {
+		c, ok := h2sim.CircuitByName(*h2)
+		if !ok {
+			names := make([]string, 0, len(h2sim.Circuits()))
+			for _, c := range h2sim.Circuits() {
+				names = append(names, fmt.Sprintf("%q", c.Name))
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: unknown circuit %q (have %s)\n",
+				*h2, strings.Join(names, ", "))
+			return 2
+		}
+		if *h2ops > 0 {
+			c = c.Scaled(*h2ops)
+		}
+		rt := monitor.NewRuntime()
+		rt.Record()
+		c.Run(rt, *seed)
+		if err := rt.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		tr = rt.Trace()
+	} else {
+		cfg := trace.GenConfig{
+			Threads: *threads, Objects: *objects, Keys: *keys, Vals: 3,
+			Locks: *locks, OpsMin: *opsMin, OpsMax: *opsMax,
+			PSize: 15, PGet: 35, PLocked: *plocked, PRemove: 25,
+		}
+		tr = trace.Generate(rand.New(rand.NewSource(*seed)), cfg)
 	}
-	tr := trace.Generate(rand.New(rand.NewSource(*seed)), cfg)
 	obs.GetCounter("tracegen.events").Add(uint64(tr.Len()))
-	if err := trace.Encode(out, tr); err != nil {
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+		if strings.HasSuffix(*outPath, ".rdb") {
+			*wireOut = true
+		}
+	}
+	var err error
+	if *wireOut {
+		err = wire.EncodeTrace(out, tr)
+	} else {
+		err = trace.Encode(out, tr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		return 1
 	}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/ap"
 	"repro/internal/hb"
@@ -517,4 +518,25 @@ func (d *Detector) RunTrace(tr *trace.Trace) error {
 		}
 	}
 	return nil
+}
+
+// RunSource stamps and detects over a streaming event source (a wire
+// decoder, a text scanner, an in-memory slice) without materializing the
+// trace: one event is live at a time. Objects must already be registered.
+// It reports the identical race set as RunTrace over the same events.
+func (d *Detector) RunSource(src trace.Source) error {
+	defer d.FlushObs()
+	st := hb.NewStream(src)
+	for {
+		e, err := st.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if err := d.Process(&e); err != nil {
+			return err
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package hb
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Stream stamps the events of a trace.Source incrementally: each Next call
+// pulls one raw event, applies it to the engine per Table 1, and returns
+// it with Clock set to the acting thread's segment snapshot. It is itself
+// a trace.Source, so detectors consume stamped streams and raw in-memory
+// traces through one interface — the online front-end of the rd2d
+// ingestion daemon is exactly a Stream over a wire.Decoder.
+//
+// The stamped clocks obey the package's immutability contract: they are
+// shared segment snapshots and must never be written by consumers.
+type Stream struct {
+	src trace.Source
+	en  *Engine
+	n   int
+}
+
+// NewStream returns a stamping stream over src with a fresh engine.
+func NewStream(src trace.Source) *Stream {
+	return &Stream{src: src, en: New()}
+}
+
+// Engine exposes the underlying happens-before engine (for MeetLive-based
+// compaction and thread accounting). The engine remains owned by the
+// stream; callers must not feed it events of their own.
+func (s *Stream) Engine() *Engine { return s.en }
+
+// Events returns the number of events stamped so far.
+func (s *Stream) Events() int { return s.n }
+
+// Next returns the next stamped event, io.EOF at the end of the source,
+// or the first stamping/decoding error.
+func (s *Stream) Next() (trace.Event, error) {
+	e, err := s.src.Next()
+	if err == io.EOF {
+		s.en.VerifySnapshots()
+		return trace.Event{}, io.EOF
+	}
+	if err != nil {
+		return trace.Event{}, err
+	}
+	if _, err := s.en.Process(&e); err != nil {
+		return trace.Event{}, fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
+	}
+	s.n++
+	return e, nil
+}

@@ -33,6 +33,7 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
 	"repro/internal/ap"
@@ -397,4 +398,28 @@ func (p *Pipeline) RunTrace(tr *trace.Trace) error {
 		}
 	}
 	return p.Close()
+}
+
+// RunSource stamps a streaming event source serially (hb.Stream), feeds
+// every event through the shards, and closes the pipeline — the bounded-
+// memory ingestion path: one event is live at a time on the producer side,
+// and the shard queues provide backpressure. Objects must already be
+// registered. Reports the identical race set as RunTrace over the same
+// events.
+func (p *Pipeline) RunSource(src trace.Source) error {
+	st := hb.NewStream(src)
+	for {
+		e, err := st.Next()
+		if err == io.EOF {
+			return p.Close()
+		}
+		if err != nil {
+			p.Close()
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		if err := p.Process(&e); err != nil {
+			p.Close()
+			return err
+		}
+	}
 }

@@ -43,28 +43,9 @@ func Format(tr *Trace) string {
 	return b.String()
 }
 
-// Parse decodes a trace from the text format.
+// Parse decodes a trace from the text format by draining a TextSource.
 func Parse(r io.Reader) (*Trace, error) {
-	tr := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		e, err := ParseEvent(line)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
-		}
-		tr.Append(e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return tr, nil
+	return ReadAll(NewTextSource(r))
 }
 
 // ParseString decodes a trace from a string.

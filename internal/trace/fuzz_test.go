@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEvent feeds arbitrary lines to the text parser. ParseEvent must
+// return an error for malformed lines — never panic — and any line that
+// parses must survive a String → ParseEvent round trip.
+func FuzzParseEvent(f *testing.F) {
+	f.Add("t0 fork t1")
+	f.Add("t1 acq l0")
+	f.Add("t1 o0.put(\"a.com\", 1)/nil")
+	f.Add("t2 o0.size()/7")
+	f.Add("t1 o1.contains(\"k\")/true")
+	f.Add("t0 send c3")
+	f.Add("t0 recv c3")
+	f.Add("t0 read v5")
+	f.Add("t0 write v5")
+	f.Add("t0 join t1")
+	f.Add("t0 die t0")
+	f.Add("t1 begin")
+	f.Add("t1 end")
+	f.Add("")
+	f.Add("# comment")
+	f.Add("t99999999999999999999 fork t1")
+	f.Add("t1 o0.put(\"unterminated")
+	f.Add("t1 o0.m(\"\\\"esc\\\\\")/nil")
+	f.Add("t-1 acq l-1")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEvent(line)
+		if err != nil {
+			return // malformed: fine, as long as we didn't panic
+		}
+		s := e.String()
+		e2, err := ParseEvent(s)
+		if err != nil {
+			t.Fatalf("String() %q of parsed %q does not re-parse: %v", s, line, err)
+		}
+		if e2.String() != s {
+			t.Fatalf("String round trip unstable: %q -> %q", s, e2.String())
+		}
+		_ = strings.TrimSpace(line)
+	})
+}

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchTrace is a ~20k-event dictionary workload shared by the decode and
+// parse benchmarks so the events/s numbers are directly comparable.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	cfg := trace.GenConfig{
+		Threads: 8, Objects: 6, Keys: 16, Vals: 8, Locks: 4,
+		OpsMin: 400, OpsMax: 600, PSize: 15, PGet: 35, PLocked: 30, PRemove: 25,
+	}
+	return trace.Generate(rand.New(rand.NewSource(42)), cfg)
+}
+
+// BenchmarkWireDecode streams the RDB2 binary form through the decoder
+// (no trace.Trace materialized), the hot loop of rd2d ingestion.
+func BenchmarkWireDecode(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != tr.Len() {
+			b.Fatalf("decoded %d events, want %d", n, tr.Len())
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTextParse streams the same trace's text form through the
+// streaming text parser — the baseline BenchmarkWireDecode is gated
+// against (wire must decode at least 2x the events/s of text).
+func BenchmarkTextParse(b *testing.B) {
+	tr := benchTrace(b)
+	text := trace.Format(tr)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := trace.NewTextSource(strings.NewReader(text))
+		n := 0
+		for {
+			_, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != tr.Len() {
+			b.Fatalf("parsed %d events, want %d", n, tr.Len())
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkWireEncode measures the producer side (tracegen -wire, rd2
+// -send, wire.Client).
+func BenchmarkWireEncode(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := NewEncoder(io.Discard)
+		for j := range tr.Events {
+			if err := enc.WriteEvent(&tr.Events[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

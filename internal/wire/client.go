@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Summary is the one-line JSON acknowledgment rd2d writes back on the
+// connection when a session ends: how many events it ingested, how many
+// commutativity races it found, and whether the stream terminated with an
+// explicit end-of-stream frame.
+type Summary struct {
+	Events int    `json:"events"`
+	Races  int    `json:"races"`
+	Clean  bool   `json:"clean"`
+	Error  string `json:"error,omitempty"` // first stamping/detection error, if any
+}
+
+// Client streams events to an rd2d ingestion daemon over TCP in the RDB2
+// wire format. Not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *Encoder
+}
+
+// Dial connects to an rd2d daemon.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: NewEncoder(conn)}, nil
+}
+
+// WriteEvent streams one event to the daemon.
+func (c *Client) WriteEvent(e *trace.Event) error { return c.enc.WriteEvent(e) }
+
+// Flush pushes buffered events onto the socket.
+func (c *Client) Flush() error { return c.enc.Flush() }
+
+// SendSource streams an entire event source.
+func (c *Client) SendSource(src trace.Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.WriteEvent(&e); err != nil {
+			return err
+		}
+	}
+}
+
+// Close finishes the stream (end-of-stream frame), half-closes the write
+// side, reads the daemon's summary line, and closes the connection. The
+// summary read honors timeout (0 means no deadline).
+func (c *Client) Close(timeout time.Duration) (Summary, error) {
+	defer c.conn.Close()
+	if err := c.enc.Close(); err != nil {
+		return Summary{}, err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return Summary{}, err
+		}
+	}
+	if timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return Summary{}, err
+		}
+	}
+	line, err := bufio.NewReader(c.conn).ReadBytes('\n')
+	if err != nil {
+		return Summary{}, fmt.Errorf("wire: reading summary: %w", err)
+	}
+	var s Summary
+	if err := json.Unmarshal(line, &s); err != nil {
+		return Summary{}, fmt.Errorf("wire: bad summary %q: %w", line, err)
+	}
+	return s, nil
+}
+
+// Abort closes the connection without finishing the stream (the daemon
+// sees an unclean end and still reports what it ingested).
+func (c *Client) Abort() error { return c.conn.Close() }

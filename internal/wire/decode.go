@@ -1,0 +1,367 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Decoder streams events out of an RDB2 binary stream. It implements
+// trace.Source: Next yields one event at a time and returns io.EOF after
+// the end-of-stream frame (or a clean underlying EOF at a frame boundary).
+// Memory is bounded by one frame plus the interning table; the whole trace
+// is never materialized. All failure modes — truncation, CRC mismatch,
+// unknown tags, over-limit lengths — surface as errors, never panics.
+type Decoder struct {
+	r      *bufio.Reader
+	frame  []byte   // current frame payload
+	pos    int      // read position within frame
+	intern []string // 1-based string table (index id-1)
+	seq    int
+	frames int
+	clean  bool // end-of-stream frame seen
+	err    error
+}
+
+// NewDecoder reads and verifies the stream header and returns a streaming
+// decoder for the events that follow.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r)}
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
+	}
+	if !Sniff(hdr[:len(Magic)]) {
+		return nil, fmt.Errorf("wire: bad magic %q (not an RDB2 stream)", hdr[:len(Magic)])
+	}
+	if v := hdr[len(Magic)]; v != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (want %d)", v, Version)
+	}
+	return d, nil
+}
+
+// Clean reports whether an explicit end-of-stream frame terminated the
+// stream (false while decoding, and after a bare EOF at a frame boundary).
+func (d *Decoder) Clean() bool { return d.clean }
+
+// Events returns the number of events decoded so far.
+func (d *Decoder) Events() int { return d.seq }
+
+// Frames returns the number of frames read so far (including the
+// end-of-stream frame).
+func (d *Decoder) Frames() int { return d.frames }
+
+// fail records and returns a sticky error.
+func (d *Decoder) fail(err error) error {
+	d.err = err
+	return err
+}
+
+// nextFrame loads the next events frame into d.frame. It returns io.EOF on
+// an end-of-stream frame or a clean EOF at a frame boundary.
+func (d *Decoder) nextFrame() error {
+	for {
+		kind, err := d.r.ReadByte()
+		if err == io.EOF {
+			return d.fail(io.EOF) // no end frame, but a frame-aligned end
+		}
+		if err != nil {
+			return d.fail(err)
+		}
+		size, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return d.fail(fmt.Errorf("%w: frame length: %v", ErrTruncated, err))
+		}
+		if size > MaxFrame {
+			return d.fail(fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", size))
+		}
+		if cap(d.frame) < int(size) {
+			d.frame = make([]byte, size)
+		}
+		d.frame = d.frame[:size]
+		if _, err := io.ReadFull(d.r, d.frame); err != nil {
+			return d.fail(fmt.Errorf("%w: frame payload: %v", ErrTruncated, err))
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+			return d.fail(fmt.Errorf("%w: frame CRC: %v", ErrTruncated, err))
+		}
+		want := binary.LittleEndian.Uint32(crc[:])
+		if got := crc32.Checksum(d.frame, castagnoli); got != want {
+			return d.fail(fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want))
+		}
+		d.frames++
+		switch kind {
+		case frameEnd:
+			d.clean = true
+			return d.fail(io.EOF)
+		case frameEvents:
+			if len(d.frame) == 0 {
+				continue // empty frame: keep scanning
+			}
+			d.pos = 0
+			return nil
+		default:
+			return d.fail(fmt.Errorf("wire: unknown frame kind 0x%02x", kind))
+		}
+	}
+}
+
+func (d *Decoder) remaining() int { return len(d.frame) - d.pos }
+
+func (d *Decoder) readByte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: event record crosses frame end", ErrTruncated)
+	}
+	b := d.frame[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *Decoder) readUvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.frame[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint in frame", ErrTruncated)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *Decoder) readVarint() (int64, error) {
+	v, n := binary.Varint(d.frame[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint in frame", ErrTruncated)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// readID decodes a non-negative id bounded to the int range.
+func (d *Decoder) readID() (int, error) {
+	v, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(int(^uint(0)>>1)) {
+		return 0, fmt.Errorf("wire: id %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// readString decodes an interned string reference or a new table entry.
+func (d *Decoder) readString() (string, error) {
+	ref, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if ref > 0 {
+		if ref > uint64(len(d.intern)) {
+			return "", fmt.Errorf("wire: string ref %d out of range (table has %d)", ref, len(d.intern))
+		}
+		return d.intern[ref-1], nil
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxString {
+		return "", fmt.Errorf("wire: string of %d bytes exceeds MaxString", n)
+	}
+	if int(n) > d.remaining() {
+		return "", fmt.Errorf("%w: string crosses frame end", ErrTruncated)
+	}
+	if len(d.intern) >= MaxStrings {
+		return "", fmt.Errorf("wire: interning table full (%d strings)", MaxStrings)
+	}
+	s := string(d.frame[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	d.intern = append(d.intern, s)
+	return s, nil
+}
+
+func (d *Decoder) readValue() (trace.Value, error) {
+	tag, err := d.readByte()
+	if err != nil {
+		return trace.Value{}, err
+	}
+	switch tag {
+	case wireNil:
+		return trace.NilValue, nil
+	case wireInt:
+		v, err := d.readVarint()
+		if err != nil {
+			return trace.Value{}, err
+		}
+		return trace.IntValue(v), nil
+	case wireStr:
+		s, err := d.readString()
+		if err != nil {
+			return trace.Value{}, err
+		}
+		return trace.StrValue(s), nil
+	case wireBool:
+		b, err := d.readByte()
+		if err != nil {
+			return trace.Value{}, err
+		}
+		if b > 1 {
+			return trace.Value{}, fmt.Errorf("wire: bad bool byte 0x%02x", b)
+		}
+		return trace.BoolValue(b == 1), nil
+	default:
+		return trace.Value{}, fmt.Errorf("wire: unknown value tag 0x%02x", tag)
+	}
+}
+
+func (d *Decoder) readTuple() ([]trace.Value, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxTuple {
+		return nil, fmt.Errorf("wire: tuple of %d values exceeds MaxTuple", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// A value takes at least one payload byte: bound the allocation by what
+	// the frame can actually hold before trusting the declared count.
+	if int(n) > d.remaining() {
+		return nil, fmt.Errorf("%w: tuple crosses frame end", ErrTruncated)
+	}
+	out := make([]trace.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.readValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Next decodes the next event. It returns io.EOF at the end of the stream;
+// any other error is sticky.
+func (d *Decoder) Next() (trace.Event, error) {
+	if d.err != nil {
+		return trace.Event{}, d.err
+	}
+	if d.remaining() == 0 {
+		if err := d.nextFrame(); err != nil {
+			return trace.Event{}, err
+		}
+	}
+	e, err := d.decodeEvent()
+	if err != nil {
+		return trace.Event{}, d.fail(err)
+	}
+	e.Seq = d.seq
+	d.seq++
+	return e, nil
+}
+
+func (d *Decoder) decodeEvent() (trace.Event, error) {
+	kb, err := d.readByte()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	kind := trace.EventKind(kb)
+	tid, err := d.readID()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	e := trace.Event{Kind: kind, Thread: vclock.Tid(tid)}
+	switch kind {
+	case trace.ForkEvent, trace.JoinEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Other = vclock.Tid(id)
+	case trace.AcquireEvent, trace.ReleaseEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Lock = trace.LockID(id)
+	case trace.ReadEvent, trace.WriteEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Var = trace.VarID(id)
+	case trace.SendEvent, trace.RecvEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Chan = trace.ChanID(id)
+	case trace.BeginEvent, trace.EndEvent:
+	case trace.DieEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Act.Obj = trace.ObjID(id)
+	case trace.ActionEvent:
+		id, err := d.readID()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		e.Act.Obj = trace.ObjID(id)
+		if e.Act.Method, err = d.readString(); err != nil {
+			return trace.Event{}, err
+		}
+		if e.Act.Args, err = d.readTuple(); err != nil {
+			return trace.Event{}, err
+		}
+		if e.Act.Rets, err = d.readTuple(); err != nil {
+			return trace.Event{}, err
+		}
+	default:
+		return trace.Event{}, fmt.Errorf("wire: unknown event kind 0x%02x", kb)
+	}
+	return e, nil
+}
+
+// DecodeTrace drains an RDB2 stream into an in-memory trace.
+func DecodeTrace(r io.Reader) (*trace.Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(d)
+}
+
+// NewSource sniffs the input and returns a streaming event source: a wire
+// Decoder when the RDB2 magic is present, a text TextSource otherwise.
+// This is the auto-detection used by rd2, rd2bench, and rd2d tooling to
+// accept .rdb binary traces and text traces interchangeably.
+func NewSource(r io.Reader) (trace.Source, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(SniffLen)
+	if err != nil && len(prefix) < SniffLen {
+		// Too short to be a wire stream; let the text parser handle it
+		// (an empty input is a valid empty text trace).
+		return trace.NewTextSource(br), nil
+	}
+	if Sniff(prefix) {
+		return NewDecoder(br)
+	}
+	return trace.NewTextSource(br), nil
+}
+
+// ParseAny decodes a whole trace with format auto-detection (see
+// NewSource).
+func ParseAny(r io.Reader) (*trace.Trace, error) {
+	src, err := NewSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(src)
+}

@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/trace"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encoder writes events in the RDB2 binary format. Events are buffered
+// into frames of roughly FrameSize bytes; Flush forces a partial frame out
+// (the rd2d client flushes on timer so the daemon sees events promptly),
+// and Close writes the end-of-stream frame. Not safe for concurrent use.
+type Encoder struct {
+	w      *bufio.Writer
+	buf    []byte // current frame payload under construction
+	tmp    [binary.MaxVarintLen64]byte
+	intern map[string]uint64 // string → 1-based id
+	// FrameSize is the payload size that triggers a frame write; set
+	// between NewEncoder and the first WriteEvent. 0 means DefaultFrameSize.
+	FrameSize int
+	started   bool
+	closed    bool
+	events    int
+}
+
+// NewEncoder returns an Encoder over w. The stream header is written
+// lazily by the first WriteEvent/Flush/Close.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), intern: map[string]uint64{}}
+}
+
+// start writes the magic + version header once.
+func (enc *Encoder) start() error {
+	if enc.started {
+		return nil
+	}
+	enc.started = true
+	if _, err := enc.w.WriteString(Magic); err != nil {
+		return err
+	}
+	return enc.w.WriteByte(Version)
+}
+
+func (enc *Encoder) frameSize() int {
+	if enc.FrameSize > 0 {
+		return enc.FrameSize
+	}
+	return DefaultFrameSize
+}
+
+func (enc *Encoder) putUvarint(v uint64) {
+	n := binary.PutUvarint(enc.tmp[:], v)
+	enc.buf = append(enc.buf, enc.tmp[:n]...)
+}
+
+func (enc *Encoder) putVarint(v int64) {
+	n := binary.PutVarint(enc.tmp[:], v)
+	enc.buf = append(enc.buf, enc.tmp[:n]...)
+}
+
+// putID encodes a non-negative id; negative ids are a caller bug the text
+// format cannot express either, and are rejected rather than corrupting
+// the stream.
+func (enc *Encoder) putID(v int) error {
+	if v < 0 {
+		return fmt.Errorf("wire: negative id %d", v)
+	}
+	enc.putUvarint(uint64(v))
+	return nil
+}
+
+// putString encodes s through the interning table: a back-reference for a
+// known string, or ref 0 + bytes for a new one (which is assigned the next
+// 1-based id on both sides).
+func (enc *Encoder) putString(s string) error {
+	if id, ok := enc.intern[s]; ok {
+		enc.putUvarint(id)
+		return nil
+	}
+	if len(s) > MaxString {
+		return fmt.Errorf("wire: string of %d bytes exceeds MaxString", len(s))
+	}
+	if len(enc.intern) >= MaxStrings {
+		return fmt.Errorf("wire: interning table full (%d strings)", MaxStrings)
+	}
+	enc.buf = append(enc.buf, 0)
+	enc.putUvarint(uint64(len(s)))
+	enc.buf = append(enc.buf, s...)
+	enc.intern[s] = uint64(len(enc.intern) + 1)
+	return nil
+}
+
+func (enc *Encoder) putValue(v trace.Value) error {
+	switch v.Kind() {
+	case trace.Nil:
+		enc.buf = append(enc.buf, wireNil)
+	case trace.Int:
+		enc.buf = append(enc.buf, wireInt)
+		enc.putVarint(v.Int())
+	case trace.Str:
+		enc.buf = append(enc.buf, wireStr)
+		return enc.putString(v.Str())
+	case trace.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		enc.buf = append(enc.buf, wireBool, b)
+	default:
+		return fmt.Errorf("wire: unknown value kind %v", v.Kind())
+	}
+	return nil
+}
+
+// WriteEvent appends one event to the stream. The event's Seq and Clock
+// are not transmitted (the decoder reassigns Seq; clocks are recomputed).
+func (enc *Encoder) WriteEvent(e *trace.Event) error {
+	if enc.closed {
+		return fmt.Errorf("wire: write on closed encoder")
+	}
+	mark := len(enc.buf)
+	if err := enc.encodeEvent(e); err != nil {
+		enc.buf = enc.buf[:mark] // drop the partial record
+		return err
+	}
+	enc.events++
+	if len(enc.buf) >= enc.frameSize() {
+		return enc.flushFrame()
+	}
+	return nil
+}
+
+func (enc *Encoder) encodeEvent(e *trace.Event) error {
+	enc.buf = append(enc.buf, byte(e.Kind))
+	if err := enc.putID(int(e.Thread)); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case trace.ForkEvent, trace.JoinEvent:
+		return enc.putID(int(e.Other))
+	case trace.AcquireEvent, trace.ReleaseEvent:
+		return enc.putID(int(e.Lock))
+	case trace.ReadEvent, trace.WriteEvent:
+		return enc.putID(int(e.Var))
+	case trace.SendEvent, trace.RecvEvent:
+		return enc.putID(int(e.Chan))
+	case trace.BeginEvent, trace.EndEvent:
+		return nil
+	case trace.DieEvent:
+		return enc.putID(int(e.Act.Obj))
+	case trace.ActionEvent:
+		if err := enc.putID(int(e.Act.Obj)); err != nil {
+			return err
+		}
+		if err := enc.putString(e.Act.Method); err != nil {
+			return err
+		}
+		if len(e.Act.Args) > MaxTuple || len(e.Act.Rets) > MaxTuple {
+			return fmt.Errorf("wire: action tuple exceeds MaxTuple")
+		}
+		enc.putUvarint(uint64(len(e.Act.Args)))
+		for _, v := range e.Act.Args {
+			if err := enc.putValue(v); err != nil {
+				return err
+			}
+		}
+		enc.putUvarint(uint64(len(e.Act.Rets)))
+		for _, v := range e.Act.Rets {
+			if err := enc.putValue(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("wire: unknown event kind %v", e.Kind)
+	}
+}
+
+// flushFrame writes the buffered payload as one events frame.
+func (enc *Encoder) flushFrame() error {
+	if len(enc.buf) == 0 {
+		return nil
+	}
+	if err := enc.start(); err != nil {
+		return err
+	}
+	if err := enc.writeFrame(frameEvents, enc.buf); err != nil {
+		return err
+	}
+	enc.buf = enc.buf[:0]
+	return nil
+}
+
+func (enc *Encoder) writeFrame(kind byte, payload []byte) error {
+	if err := enc.w.WriteByte(kind); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(enc.tmp[:], uint64(len(payload)))
+	if _, err := enc.w.Write(enc.tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := enc.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	_, err := enc.w.Write(crc[:])
+	return err
+}
+
+// Flush writes any buffered partial frame and flushes the underlying
+// writer, making everything written so far visible to the reader.
+func (enc *Encoder) Flush() error {
+	if err := enc.start(); err != nil {
+		return err
+	}
+	if err := enc.flushFrame(); err != nil {
+		return err
+	}
+	return enc.w.Flush()
+}
+
+// Events returns the number of events written so far.
+func (enc *Encoder) Events() int { return enc.events }
+
+// Close flushes buffered events and writes the end-of-stream frame. The
+// underlying writer is not closed. Close is idempotent.
+func (enc *Encoder) Close() error {
+	if enc.closed {
+		return nil
+	}
+	if err := enc.start(); err != nil {
+		return err
+	}
+	if err := enc.flushFrame(); err != nil {
+		return err
+	}
+	enc.closed = true
+	if err := enc.writeFrame(frameEnd, nil); err != nil {
+		return err
+	}
+	return enc.w.Flush()
+}
+
+// EncodeTrace writes a whole in-memory trace as one RDB2 stream (header,
+// event frames, end-of-stream frame).
+func EncodeTrace(w io.Writer, tr *trace.Trace) error {
+	enc := NewEncoder(w)
+	for i := range tr.Events {
+		if err := enc.WriteEvent(&tr.Events[i]); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the decoder. The decoder must
+// return an error for malformed input — never panic, never allocate
+// unboundedly — and any prefix that happens to decode must round-trip
+// byte-identically through encode.
+func FuzzWireRoundTrip(f *testing.F) {
+	// Seed with valid encodings of real traces plus interesting corruptions.
+	var buf bytes.Buffer
+	tr := &trace.Trace{}
+	tr.Append(trace.Fork(0, 1))
+	tr.Append(trace.Act(1, trace.Action{Obj: 0, Method: "put",
+		Args: []trace.Value{trace.StrValue("k"), trace.IntValue(1)},
+		Rets: []trace.Value{trace.NilValue}}))
+	tr.Append(trace.Join(0, 1))
+	if err := EncodeTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(Magic))
+	f.Add([]byte{'R', 'D', 'B', '2', 1})
+	f.Add([]byte{'R', 'D', 'B', '2', 1, 0x01, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+	f.Add([]byte("t0 fork t1\n"))
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 12 {
+		corrupt[12] ^= 0x40
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header: fine, as long as we didn't panic
+		}
+		var events []trace.Event
+		for {
+			e, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // malformed stream: fine
+			}
+			events = append(events, e)
+			if len(events) > 1<<16 {
+				t.Skip("unrealistically long decoded stream")
+			}
+		}
+		// Everything decoded: re-encoding and re-decoding must agree.
+		var out bytes.Buffer
+		enc := NewEncoder(&out)
+		for i := range events {
+			if err := enc.WriteEvent(&events[i]); err != nil {
+				t.Fatalf("re-encode of decoded event failed: %v", err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(got.Events) != len(events) {
+			t.Fatalf("re-decode has %d events, want %d", len(got.Events), len(events))
+		}
+		for i := range events {
+			if events[i].String() != got.Events[i].String() {
+				t.Fatalf("event %d differs: %q vs %q", i,
+					events[i].String(), got.Events[i].String())
+			}
+		}
+	})
+}

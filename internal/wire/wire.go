@@ -1,0 +1,103 @@
+// Package wire implements the RDB2 streaming binary trace format: a
+// compact, framed, CRC-protected encoding of internal/trace events designed
+// for online ingestion (cmd/rd2d) and for on-disk binary traces (.rdb).
+//
+// # Stream layout (DESIGN.md §8)
+//
+//	stream  := magic version frame*
+//	magic   := "RDB2"                        (4 bytes)
+//	version := 0x01                          (1 byte)
+//	frame   := kind len payload crc
+//	kind    := 0x01 events | 0x02 end-of-stream (1 byte)
+//	len     := uvarint                       (payload length in bytes)
+//	payload := event*                        (empty for end-of-stream)
+//	crc     := CRC-32C of payload            (4 bytes little-endian)
+//
+// Events are varint records; all ids (threads, objects, locks, vars,
+// channels) are unsigned varints, integer values are zigzag varints, and
+// strings (method names, string values) go through a per-stream interning
+// table so each distinct string is transmitted once:
+//
+//	event      := kind:u8 body
+//	fork|join  := tid other
+//	acq|rel    := tid lock
+//	read|write := tid var
+//	send|recv  := tid chan
+//	begin|end  := tid
+//	die        := tid obj
+//	act        := tid obj method:str nargs val* nrets val*
+//	val        := 0x00            (nil)
+//	            | 0x01 zigzag     (int)
+//	            | 0x02 str        (string)
+//	            | 0x03 u8         (bool)
+//	str        := ref             (ref > 0: interned string #ref)
+//	            | 0x00 len byte*  (ref = 0: new string, assigned the next id)
+//
+// Sequence numbers are not transmitted: the decoder assigns them in stream
+// order, exactly like trace.Trace.Append. Vector clocks are never encoded
+// (they are an analysis artifact, recomputed by the happens-before engine
+// on the receiving side).
+//
+// The Decoder is a trace.Source: it yields one event per Next call and
+// holds at most one frame (≤ MaxFrame bytes) plus the interning table in
+// memory, so arbitrarily long traces stream in bounded space. It returns
+// errors — never panics — on truncated, corrupt, or adversarial input
+// (FuzzWireRoundTrip keeps it honest).
+//
+// An explicit end-of-stream frame distinguishes a clean end from a
+// truncated stream: Decoder.Clean reports whether one was seen. The
+// Encoder writes it from Close; a stream that merely stops at a frame
+// boundary still decodes fully but reports Clean() == false.
+package wire
+
+import "errors"
+
+// Magic is the 4-byte stream header identifying the RDB2 binary format.
+const Magic = "RDB2"
+
+// Version is the wire format version written and accepted.
+const Version = 1
+
+// Frame kinds.
+const (
+	frameEvents byte = 0x01
+	frameEnd    byte = 0x02
+)
+
+// Value kind tags (mirror trace.Kind but are an independent wire contract).
+const (
+	wireNil  byte = 0x00
+	wireInt  byte = 0x01
+	wireStr  byte = 0x02
+	wireBool byte = 0x03
+)
+
+// Limits bounding decoder memory against corrupt or hostile streams.
+const (
+	// MaxFrame is the largest accepted frame payload. The encoder flushes
+	// frames well below this (DefaultFrameSize).
+	MaxFrame = 1 << 24
+	// MaxString is the largest accepted interned string.
+	MaxString = 1 << 20
+	// MaxStrings caps the interning table size.
+	MaxStrings = 1 << 20
+	// MaxTuple caps the argument/return tuple length of one action.
+	MaxTuple = 1 << 16
+)
+
+// DefaultFrameSize is the payload size at which the encoder emits a frame.
+const DefaultFrameSize = 16 * 1024
+
+// ErrCRC is returned (wrapped) when a frame fails its checksum.
+var ErrCRC = errors.New("wire: frame CRC mismatch")
+
+// ErrTruncated is returned (wrapped) when the stream ends inside a frame.
+var ErrTruncated = errors.New("wire: truncated stream")
+
+// SniffLen is the number of bytes needed to recognize the format (Sniff).
+const SniffLen = len(Magic)
+
+// Sniff reports whether the prefix bytes identify an RDB2 binary stream.
+func Sniff(prefix []byte) bool {
+	return len(prefix) >= len(Magic) && string(prefix[:len(Magic)]) == Magic
+}
