@@ -21,6 +21,15 @@
 #                 identical; then SIGTERM a second daemon mid-stream and
 #                 require a clean drain with a complete final report.
 #   -wire-only    run only the streaming smoke (used by `make wire-smoke`).
+#   -chaos        additionally run the fault-tolerance smoke: the chaos test
+#                 suite under -race with a hard timeout (injected worker and
+#                 rep panics, corrupt streams under resync, abrupt client
+#                 disconnects, the sever-at-every-chunk-boundary resume
+#                 differential), a short fuzz budget over the corrupt-frame
+#                 corpus, and live-binary injection runs (rd2d -inject +
+#                 rd2 -send -resume) asserting the daemon never crashes or
+#                 hangs and every faulted session reports itself degraded.
+#   -chaos-only   run only the fault-tolerance smoke (used by `make chaos-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
@@ -30,6 +39,8 @@ OBS=0
 OBSONLY=0
 WIRE=0
 WIREONLY=0
+CHAOS=0
+CHAOSONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
@@ -37,11 +48,13 @@ for arg in "$@"; do
     -obs-only) OBS=1; OBSONLY=1 ;;
     -wire) WIRE=1 ;;
     -wire-only) WIRE=1; WIREONLY=1 ;;
-    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only]" >&2; exit 2 ;;
+    -chaos) CHAOS=1 ;;
+    -chaos-only) CHAOS=1; CHAOSONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only]" >&2; exit 2 ;;
     esac
 done
 ONLY=0
-if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ]; then
+if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ]; then
     ONLY=1
 else
     # The streaming smoke is part of the default CI path.
@@ -187,6 +200,80 @@ if [ "$WIRE" = 1 ]; then
     grep -q "race records written" "$WIRETMP/drain.log" || { echo "wire smoke: no final report line" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
     grep -q "drained:" "$WIRETMP/drain.log" || { echo "wire smoke: no drained totals line" >&2; cat "$WIRETMP/drain.log" >&2; exit 1; }
     echo "wire smoke OK"
+fi
+
+if [ "$CHAOS" = 1 ]; then
+    echo "== chaos: fault-tolerance tests (-race, hard timeout) =="
+    go test -race -timeout 180s \
+        -run 'TestDaemonSurvives|TestDaemonResync|TestDaemonClientGone|TestDaemonResumeAtEveryChunkBoundary' \
+        ./cmd/rd2d
+    go test -race -timeout 120s \
+        -run 'TestResync|TestSessionDedup|TestChunkGap|TestAdoptState|TestResumableClient' \
+        ./internal/wire
+    go test -race -timeout 60s ./internal/faultinject
+
+    echo "== chaos: wire decoder fuzz (short budget over the corrupt-frame corpus) =="
+    go test -run '^$' -fuzz 'FuzzWireRoundTrip' -fuzztime 10s ./internal/wire
+
+    echo "== chaos: live daemon under injected faults =="
+    CHAOSTMP=$(mktemp -d)
+    CHAOSPID=""
+    cleanup_chaos() {
+        [ -n "$CHAOSPID" ] && kill -9 "$CHAOSPID" 2>/dev/null || true
+        rm -rf "$CHAOSTMP"
+        [ -n "${WIRETMP:-}" ] && rm -rf "$WIRETMP" || true
+        [ -n "${OBSTMP:-}" ] && rm -rf "$OBSTMP" || true
+    }
+    trap cleanup_chaos EXIT
+    CHAOSADDR=127.0.0.1:36083
+    go build -o "$CHAOSTMP/rd2" ./cmd/rd2
+    go build -o "$CHAOSTMP/rd2d" ./cmd/rd2d
+    go run ./cmd/tracegen -seed 11 -threads 4 -ops-min 20 -ops-max 40 > "$CHAOSTMP/run.trace"
+
+    for inject in worker-panic:25 rep-panic:30; do
+        "$CHAOSTMP/rd2d" -listen "$CHAOSADDR" -q -resync -inject "$inject" \
+            -report "$CHAOSTMP/chaos.jsonl" 2> "$CHAOSTMP/rd2d.log" &
+        CHAOSPID=$!
+        # The client run is bounded: a hang is a failure, not a stall.
+        rc=0
+        timeout 30 "$CHAOSTMP/rd2" -trace "$CHAOSTMP/run.trace" \
+            -send "$CHAOSADDR" -send-wait 10s -resume -q 2> "$CHAOSTMP/send.log" || rc=$?
+        [ "$rc" -le 1 ] || {
+            echo "chaos smoke ($inject): rd2 -send rc $rc" >&2
+            cat "$CHAOSTMP/send.log" "$CHAOSTMP/rd2d.log" >&2
+            exit 1
+        }
+        # The fault must be surfaced, not swallowed: the client saw an
+        # explicitly degraded session.
+        grep -q "degraded" "$CHAOSTMP/send.log" || {
+            echo "chaos smoke ($inject): client never saw a degraded summary" >&2
+            cat "$CHAOSTMP/send.log" "$CHAOSTMP/rd2d.log" >&2
+            exit 1
+        }
+        # The daemon survived the injected panic and shuts down cleanly,
+        # within a hard deadline (a wedged daemon is a failure).
+        kill -0 "$CHAOSPID" 2>/dev/null || {
+            echo "chaos smoke ($inject): daemon died" >&2
+            cat "$CHAOSTMP/rd2d.log" >&2
+            exit 1
+        }
+        kill -TERM "$CHAOSPID"
+        i=0
+        while kill -0 "$CHAOSPID" 2>/dev/null; do
+            i=$((i + 1))
+            if [ $i -gt 50 ]; then
+                echo "chaos smoke ($inject): daemon hung on shutdown" >&2
+                cat "$CHAOSTMP/rd2d.log" >&2
+                kill -9 "$CHAOSPID" 2>/dev/null || true
+                exit 1
+            fi
+            sleep 0.2
+        done
+        wait "$CHAOSPID" 2>/dev/null || true
+        CHAOSPID=""
+        echo "chaos smoke ($inject): degraded session reported, daemon survived"
+    done
+    echo "chaos smoke OK"
 fi
 
 echo "CI OK"

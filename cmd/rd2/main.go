@@ -10,7 +10,10 @@
 // (.rdb, see internal/wire) and the text format both work everywhere a
 // trace is read. -send addr streams the trace to a running rd2d ingestion
 // daemon instead of analyzing locally (with -validate=false the file is
-// streamed in bounded memory).
+// streamed in bounded memory). -resume (or an explicit -session id) opens a
+// resumable session: if the connection is lost mid-stream, rd2 reconnects
+// with exponential backoff and the daemon resumes the session from the last
+// acknowledged chunk, without duplicating events.
 //
 // The text trace format of internal/trace:
 //
@@ -30,6 +33,9 @@
 // after the analysis until SIGINT/SIGTERM (for scraping and smoke tests).
 //
 // The exit status is 1 when races were found, 2 on usage or input errors.
+// -send distinguishes its failure modes: 3 when the initial dial fails,
+// 4 when the connection is lost mid-stream (and, with -resume, could not be
+// recovered), 5 when the stream was delivered but the summary read failed.
 package main
 
 import (
@@ -93,6 +99,9 @@ func run(args []string) int {
 	serve := fs.Bool("serve", false, "with -http: keep serving after the analysis until SIGINT/SIGTERM")
 	send := fs.String("send", "", "stream the trace to an rd2d daemon at this address instead of analyzing locally")
 	sendWait := fs.Duration("send-wait", 5*time.Second, "with -send: how long to retry the initial connection")
+	resume := fs.Bool("resume", false, "with -send: open a resumable session (reconnect and resume after mid-stream connection loss)")
+	session := fs.String("session", "", "with -send: client-chosen session id (implies -resume; default: derived unique id)")
+	retries := fs.Int("retries", wire.DefaultRetries, "with -resume: redial attempts per connection failure")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -148,7 +157,11 @@ func run(args []string) int {
 		// report its session summary. With -validate=false the file is
 		// streamed straight off disk (bounded memory); validation needs
 		// the whole trace in hand first.
-		return runSend(*send, *sendWait, f, *validate)
+		sid := *session
+		if sid == "" && *resume {
+			sid = fmt.Sprintf("rd2-%d-%d", os.Getpid(), time.Now().UnixNano())
+		}
+		return runSend(*send, *sendWait, f, *validate, sid, *retries)
 	}
 
 	// Auto-detect the trace format by magic header: RDB2 binary (.rdb) or
@@ -306,64 +319,108 @@ func run(args []string) int {
 	return 0
 }
 
+// -send exit codes: the error taxonomy distinguishes where a streamed
+// session failed, so scripts can tell "daemon unreachable" from "the
+// network died mid-stream" from "the stream went but the summary did not
+// come back" (documented in README).
+const (
+	exitRaces       = 1 // session completed; races found
+	exitUsage       = 2 // usage, trace, or daemon-reported errors
+	exitDial        = 3 // could not establish the initial connection
+	exitSend        = 4 // connection lost mid-stream (and, with -resume, not recovered)
+	exitSummaryRead = 5 // stream delivered, but the summary read failed
+)
+
+// sendClient is the surface shared by the plain and resumable clients.
+type sendClient interface {
+	SendSource(src trace.Source) error
+	Close(timeout time.Duration) (wire.Summary, error)
+	Abort() error
+}
+
 // runSend streams the trace file to an rd2d daemon and relays its summary.
 // The initial connection is retried until wait elapses (so scripted runs
-// can start daemon and sender together). Exit codes mirror local analysis:
-// 1 when the daemon found races, 2 on errors.
-func runSend(addr string, wait time.Duration, f *os.File, validate bool) int {
+// can start daemon and sender together). With a session id the stream is
+// resumable: a mid-stream connection loss is retried with exponential
+// backoff and the session resumes from the last acknowledged chunk.
+func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid string, retries int) int {
 	var src trace.Source
 	if validate {
 		tr, err := wire.ParseAny(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return 2
+			return exitUsage
 		}
 		if err := trace.Validate(tr); err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return 2
+			return exitUsage
 		}
 		src = tr.Source()
 	} else {
 		var err error
 		if src, err = wire.NewSource(f); err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return 2
+			return exitUsage
 		}
 	}
 
-	var cl *wire.Client
+	var cl sendClient
 	deadline := time.Now().Add(wait)
 	for {
 		var err error
-		cl, err = wire.Dial(addr, time.Second)
-		if err == nil {
-			break
+		if sid != "" {
+			var rc *wire.ResumableClient
+			if rc, err = wire.DialSession(addr, sid, time.Second); err == nil {
+				rc.Retries = retries
+				rc.OnResume = func(replayed int) {
+					fmt.Fprintf(os.Stderr, "rd2: reconnected, replayed %d chunks\n", replayed)
+				}
+				cl = rc
+				break
+			}
+		} else {
+			var pc *wire.Client
+			if pc, err = wire.Dial(addr, time.Second); err == nil {
+				cl = pc
+				break
+			}
 		}
 		if time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return 2
+			fmt.Fprintf(os.Stderr, "rd2: dial failed: %v (is rd2d running on %s?)\n", err, addr)
+			return exitDial
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 
 	if err := cl.SendSource(src); err != nil {
 		cl.Abort()
-		fmt.Fprintf(os.Stderr, "rd2: send: %v\n", err)
-		return 2
+		if sid != "" {
+			fmt.Fprintf(os.Stderr, "rd2: mid-stream send failed after %d reconnect attempts: %v\n", retries, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rd2: mid-stream send failed: %v (use -resume to survive connection loss)\n", err)
+		}
+		return exitSend
 	}
 	sum, err := cl.Close(30 * time.Second)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rd2: send: %v\n", err)
-		return 2
+		fmt.Fprintf(os.Stderr, "rd2: stream delivered but summary read failed: %v (check the daemon's report output)\n", err)
+		return exitSummaryRead
 	}
 	fmt.Printf("rd2: streamed %d events to %s: %d commutativity races\n",
 		sum.Events, addr, sum.Races)
+	if sum.Degraded {
+		fmt.Fprintf(os.Stderr, "rd2: daemon: session degraded (races may be missing): skipped_frames=%d skipped_bytes=%d shard_panics=%d\n",
+			sum.SkippedFrames, sum.SkippedBytes, sum.ShardPanics)
+	}
+	if sum.Resumes > 0 {
+		fmt.Fprintf(os.Stderr, "rd2: session resumed %d time(s)\n", sum.Resumes)
+	}
 	if sum.Error != "" {
 		fmt.Fprintf(os.Stderr, "rd2: daemon: %s\n", sum.Error)
-		return 2
+		return exitUsage
 	}
 	if sum.Races > 0 {
-		return 1
+		return exitRaces
 	}
 	return 0
 }

@@ -13,9 +13,7 @@ import (
 
 	"repro/internal/ap"
 	"repro/internal/core"
-	"repro/internal/hb"
 	"repro/internal/obs"
-	"repro/internal/pipeline"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -38,36 +36,50 @@ var (
 
 // daemonConfig is the resolved configuration of a daemon instance.
 type daemonConfig struct {
-	defaultRep  ap.Rep
-	defaultSpec string
-	binds       map[trace.ObjID]ap.Rep
-	bindSpecs   map[trace.ObjID]string
-	engine      core.Engine
-	shards      int
-	maxRaces    int
-	queueLen    int           // per-connection ingest queue, in events
-	idleTimeout time.Duration // per-read deadline; 0 disables
-	compactOps  int           // compact at most once per this many events; 0 disables
-	reporter    *core.ReportWriter
-	logger      *log.Logger
+	defaultRep   ap.Rep
+	defaultSpec  string
+	binds        map[trace.ObjID]ap.Rep
+	bindSpecs    map[trace.ObjID]string
+	engine       core.Engine
+	shards       int
+	maxRaces     int
+	queueLen     int           // per-connection ingest queue, in events
+	idleTimeout  time.Duration // per-read deadline; 0 disables
+	writeTimeout time.Duration // summary/ack write deadline; 0 disables
+	resumeTTL    time.Duration // parked-session lifetime; 0 = DefaultResumeTTL
+	resync       bool          // corruption resync: skip corrupt frames (degraded)
+	compactOps   int           // compact at most once per this many events; 0 disables
+	reporter     *core.ReportWriter
+	logger       *log.Logger
+
+	// Fault injection (ci.sh -chaos; inert when zero).
+	injectRepPanic    int64 // panic on the N-th rep Touch per session
+	injectWorkerPanic int   // panic on the N-th event in the session worker
 }
 
-// daemon accepts wire streams over TCP and runs one detection session per
-// connection: incremental happens-before stamping feeding the sharded
-// pipeline, races streamed to the shared JSONL reporter as found.
+// DefaultWriteTimeout bounds summary and ack writes to dead clients.
+const DefaultWriteTimeout = 5 * time.Second
+
+// daemon accepts wire streams over TCP and runs detection sessions:
+// incremental happens-before stamping feeding the sharded pipeline, races
+// streamed to the shared JSONL reporter as found. Plain streams are one
+// session per connection; hello-framed streams open resumable sessions
+// that survive connection loss (see session.go).
 type daemon struct {
 	cfg daemonConfig
 	ln  net.Listener
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
+	sessions map[string]*session // resumable sessions by client session id
 	draining bool
 
 	wg          sync.WaitGroup
+	sessionSeq  atomic.Int64
 	totalEvents atomic.Int64
 	totalRaces  atomic.Int64
-	sessions    atomic.Int64
 	failed      atomic.Int64
+	degraded    atomic.Int64
 }
 
 // newDaemon starts listening on addr.
@@ -85,7 +97,12 @@ func newDaemon(addr string, cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}, nil
+	return &daemon{
+		cfg:      cfg,
+		ln:       ln,
+		conns:    map[net.Conn]struct{}{},
+		sessions: map[string]*session{},
+	}, nil
 }
 
 // Addr returns the bound listen address.
@@ -97,6 +114,7 @@ func (d *daemon) Serve() error {
 	for {
 		conn, err := d.ln.Accept()
 		if err != nil {
+			d.finalizeParked()
 			d.wg.Wait()
 			if d.isDraining() {
 				return nil
@@ -120,8 +138,9 @@ func (d *daemon) Serve() error {
 }
 
 // Shutdown begins a graceful drain: stop accepting, interrupt blocked
-// reads so sessions stop ingesting, and wait for every session to flush
-// its pending shards and report. Safe to call more than once.
+// reads so sessions stop ingesting, finalize parked sessions, and wait for
+// every session to flush its pending shards and report. Safe to call more
+// than once.
 func (d *daemon) Shutdown() {
 	d.mu.Lock()
 	already := d.draining
@@ -135,13 +154,48 @@ func (d *daemon) Shutdown() {
 	if !already {
 		d.ln.Close()
 	}
+	d.finalizeParked()
 	d.wg.Wait()
+}
+
+// finalizeParked finalizes every parked session during a drain, so their
+// partial reports land before the daemon exits. Attached sessions are
+// finalized by their own read loops (the drain check in park prevents any
+// new parking once draining is set, and park's d.mu transition makes this
+// sweep exhaustive).
+func (d *daemon) finalizeParked() {
+	d.mu.Lock()
+	var parked []*session
+	for _, s := range d.sessions {
+		s.mu.Lock()
+		if s.state == stateParked {
+			parked = append(parked, s)
+		}
+		s.mu.Unlock()
+	}
+	d.mu.Unlock()
+	for _, s := range parked {
+		obsDrainCuts.Inc()
+		sum := s.finalize()
+		s.logf("drain: finalized parked session: %d events, %d races, clean=%v",
+			sum.Events, sum.Races, sum.Clean)
+	}
 }
 
 func (d *daemon) isDraining() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.draining
+}
+
+// dropSession forgets a completed resumable session (TTL after finalize),
+// unless the id has already been taken over by a newer session.
+func (d *daemon) dropSession(sid string, s *session) {
+	d.mu.Lock()
+	if d.sessions[sid] == s {
+		delete(d.sessions, sid)
+	}
+	d.mu.Unlock()
 }
 
 // repFor resolves the access point representation and spec name for an
@@ -176,7 +230,23 @@ func (c *countingConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// handle runs one ingestion session over conn.
+// writeJSON writes one JSON line to conn under the write timeout. Errors
+// are ignored: the client may already be gone (abort, drain), and both
+// summaries and acks are re-deliverable through the resume path.
+func (d *daemon) writeJSON(conn net.Conn, v any) {
+	wt := d.cfg.writeTimeout
+	if wt <= 0 {
+		wt = DefaultWriteTimeout
+	}
+	conn.SetWriteDeadline(time.Now().Add(wt))
+	if b, err := json.Marshal(v); err == nil {
+		conn.Write(append(b, '\n'))
+	}
+}
+
+// handle runs one connection: decode the stream header, route to a plain
+// (connection-bound) or resumable session, feed the session's queue, and
+// deliver the summary or park the session when the connection dies early.
 func (d *daemon) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -187,137 +257,235 @@ func (d *daemon) handle(conn net.Conn) {
 	obsConns.Inc()
 	obsActive.Add(1)
 	defer obsActive.Add(-1)
-	id := d.sessions.Add(1)
-	logf := func(format string, args ...any) {
-		d.cfg.logger.Printf("session %d (%s): %s", id, conn.RemoteAddr(), fmt.Sprintf(format, args...))
-	}
-	logf("connected")
 
 	cr := &countingConn{conn: conn, idle: d.cfg.idleTimeout, d: d}
-	sum := d.ingest(cr, logf)
-	obsBytes.Add(uint64(cr.bytes))
-	obsSessions.Inc()
-	d.totalEvents.Add(int64(sum.Events))
-	d.totalRaces.Add(int64(sum.Races))
-	if sum.Error != "" {
+	defer func() { obsBytes.Add(uint64(cr.bytes)) }()
+
+	dec, err := wire.NewDecoder(cr)
+	if err != nil {
+		d.cfg.logger.Printf("conn %s: handshake failed: %v", conn.RemoteAddr(), err)
 		d.failed.Add(1)
+		obsSessions.Inc()
+		d.writeJSON(conn, wire.Summary{Error: err.Error()})
+		return
+	}
+	dec.SetResync(d.cfg.resync)
+	sid, err := dec.ReadHello()
+	if err != nil {
+		d.cfg.logger.Printf("conn %s: hello failed: %v", conn.RemoteAddr(), err)
+		d.failed.Add(1)
+		obsSessions.Inc()
+		d.writeJSON(conn, wire.Summary{Error: err.Error()})
+		return
 	}
 
-	// Acknowledge the session with a one-line JSON summary; the client may
-	// already be gone (abort, drain), which is fine.
-	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if b, err := json.Marshal(sum); err == nil {
-		conn.Write(append(b, '\n'))
+	if sid == "" {
+		// Plain stream: the session lives and dies with this connection.
+		s := d.newSession("")
+		s.logf("connected (%s)", conn.RemoteAddr())
+		s.setConn(conn)
+		s.mu.Lock()
+		s.dec = dec
+		s.mu.Unlock()
+		err := d.readLoop(s, dec)
+		d.classifyEnd(s, err)
+		sum := s.finalize()
+		d.writeJSON(conn, sum)
+		s.logf("done: %d events, %d races, clean=%v degraded=%v err=%q",
+			sum.Events, sum.Races, sum.Clean, sum.Degraded, sum.Error)
+		return
 	}
-	logf("done: %d events, %d races, clean=%v err=%q", sum.Events, sum.Races, sum.Clean, sum.Error)
+
+	// Resumable stream: route to a (possibly existing) session.
+	s, resumed, err := d.routeSession(sid, dec)
+	if err != nil {
+		d.cfg.logger.Printf("conn %s: %v", conn.RemoteAddr(), err)
+		d.writeJSON(conn, wire.Summary{SessionID: sid, Error: err.Error()})
+		return
+	}
+	if s.isCompleted() {
+		// Late reconnect to a finished session: re-deliver its summary.
+		sum := s.waitSummary()
+		s.logf("summary re-delivered to %s", conn.RemoteAddr())
+		d.writeJSON(conn, sum)
+		return
+	}
+	if resumed {
+		s.logf("resumed by %s (replay expected from chunk %d)", conn.RemoteAddr(), nextChunk(dec))
+	} else {
+		s.logf("connected (%s)", conn.RemoteAddr())
+	}
+	s.setConn(conn)
+	// Ack accepted chunks on the return path so the client can trim its
+	// resend buffer. Written from this (the only) writer goroutine.
+	dec.OnChunk = func(acked uint64) {
+		d.writeJSON(conn, map[string]uint64{"ack": acked})
+	}
+
+	err = d.readLoop(s, dec)
+	if clean, _ := endOfStream(err, dec); clean {
+		s.clean.Store(true)
+		sum := s.finalize()
+		d.writeJSON(conn, sum)
+		s.logf("done: %d events, %d races, clean=%v degraded=%v resumes=%d err=%q",
+			sum.Events, sum.Races, sum.Clean, sum.Degraded, sum.Resumes, sum.Error)
+		return
+	}
+	if !d.isDraining() && connLost(err) {
+		// The connection died mid-stream: park and wait for a resume.
+		s.setConn(nil)
+		if s.park() {
+			return
+		}
+	}
+	d.classifyEnd(s, err)
+	sum := s.finalize()
+	d.writeJSON(conn, sum)
+	s.logf("done: %d events, %d races, clean=%v degraded=%v resumes=%d err=%q",
+		sum.Events, sum.Races, sum.Clean, sum.Degraded, sum.Resumes, sum.Error)
 }
 
-// ingest decodes, stamps, and detects over one connection's stream,
-// returning the session summary. The socket reader and the analysis
-// worker are decoupled by a bounded event queue: when the worker (and the
-// shard queues behind it) fall behind, the reader blocks, TCP flow control
-// pushes back on the client, and memory stays bounded.
-func (d *daemon) ingest(r io.Reader, logf func(string, ...any)) wire.Summary {
-	dec, err := wire.NewDecoder(r)
-	if err != nil {
-		logf("handshake failed: %v", err)
-		return wire.Summary{Error: err.Error()}
+// nextChunk reads the decoder's chunk cursor for logging.
+func nextChunk(dec *wire.Decoder) uint64 {
+	if n, ok := dec.AckedChunk(); ok {
+		return n + 1
 	}
+	return 0
+}
 
-	queue := make(chan trace.Event, d.cfg.queueLen)
-	var clean atomic.Bool
-	var readErr atomic.Value // error string, "" if none
+// routeSession finds or creates the resumable session for sid. A parked
+// session is re-attached: the new connection's decoder adopts the stream
+// state (interning table, chunk cursor) of the dead connection's decoder,
+// so replayed chunks deduplicate and fresh chunks decode correctly. If the
+// id is still attached to a live connection, that connection is poked and
+// given a moment to park (covers half-dead TCP peers the client already
+// gave up on); a second live claim loses.
+func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resumed bool, err error) {
+	d.mu.Lock()
+	s, ok := d.sessions[sid]
+	if !ok {
+		if d.draining {
+			d.mu.Unlock()
+			return nil, false, fmt.Errorf("draining: session %q rejected", sid)
+		}
+		s = d.newSession(sid)
+		d.sessions[sid] = s
+		d.mu.Unlock()
+		s.mu.Lock()
+		s.dec = dec
+		s.mu.Unlock()
+		return s, false, nil
+	}
+	d.mu.Unlock()
 
-	go func() {
-		defer close(queue)
-		lastFrames := 0
-		for {
-			e, err := dec.Next()
-			if err != nil {
-				if errors.Is(err, io.EOF) {
-					clean.Store(dec.Clean())
-				} else if isTimeout(err) && d.isDraining() {
-					obsDrainCuts.Inc()
-					logf("drain: stopped reading mid-stream after %d events", dec.Events())
-				} else {
-					readErr.Store(err.Error())
-					logf("read: %v", err)
-				}
-				if f := dec.Frames(); f > lastFrames {
-					obsFrames.Add(uint64(f - lastFrames))
-				}
-				return
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		switch s.state {
+		case stateParked:
+			if s.ttl != nil && !s.ttl.Stop() {
+				// The TTL already fired; expiry is finalizing concurrently.
+				// Treat as completed: the caller re-delivers the summary.
+				s.mu.Unlock()
+				s.waitSummary()
+				return s, true, nil
 			}
-			if f := dec.Frames(); f > lastFrames {
-				obsFrames.Add(uint64(f - lastFrames))
-				lastFrames = f
+			s.ttl = nil
+			dec.AdoptState(s.dec)
+			s.dec = dec
+			s.state = stateAttached
+			s.resumes++
+			s.mu.Unlock()
+			obsResumes.Inc()
+			return s, true, nil
+		case stateCompleted:
+			s.mu.Unlock()
+			return s, true, nil
+		default: // stateAttached
+			old := s.conn
+			s.mu.Unlock()
+			if time.Now().After(deadline) {
+				return nil, false, fmt.Errorf("session %q is attached to another connection", sid)
 			}
-			if obs.Enabled() {
-				select {
-				case queue <- e:
-				default:
-					obsStalls.Inc()
-					queue <- e
-				}
-				obsQueue.Set(int64(len(queue)))
-			} else {
-				queue <- e
+			if old != nil {
+				old.SetReadDeadline(time.Now()) // force the stale reader out
 			}
+			time.Sleep(20 * time.Millisecond)
 		}
-	}()
+	}
+}
 
-	// The analysis worker: incremental stamping straight into the sharded
-	// pipeline, with lazy registration (an object's registration travels
-	// its shard's ordered stream ahead of its first action) and periodic
-	// MeetLive compaction so dead state is reclaimed on long streams.
-	en := hb.New()
-	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces}
-	if d.cfg.reporter != nil {
-		rw := d.cfg.reporter
-		ccfg.OnRace = func(r core.Race) {
-			_, spec := d.repFor(r.Obj)
-			rw.Write(r, spec)
+// readLoop decodes events from one connection into the session queue until
+// the stream ends (whatever way), returning the terminal decode error.
+func (d *daemon) readLoop(s *session, dec *wire.Decoder) error {
+	lastFrames := 0
+	for {
+		e, err := dec.Next()
+		if f := dec.Frames(); f > lastFrames {
+			obsFrames.Add(uint64(f - lastFrames))
+			lastFrames = f
+		}
+		if err != nil {
+			return err
+		}
+		if obs.Enabled() {
+			select {
+			case s.queue <- e:
+			default:
+				obsStalls.Inc()
+				s.queue <- e
+			}
+			obsQueue.Set(int64(len(s.queue)))
+		} else {
+			s.queue <- e
 		}
 	}
-	p := pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg})
-	registered := map[trace.ObjID]bool{}
-	var procErr error
-	events, sinceCompact := 0, 0
-	for e := range queue {
-		if procErr != nil {
-			continue // drain so the reader never blocks forever
-		}
-		events++
-		sinceCompact++
-		if _, err := en.Process(&e); err != nil {
-			procErr = fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
-			continue
-		}
-		if e.Kind == trace.ActionEvent && !registered[e.Act.Obj] {
-			rep, _ := d.repFor(e.Act.Obj)
-			p.Register(e.Act.Obj, rep)
-			registered[e.Act.Obj] = true
-		}
-		p.Process(&e)
-		if e.Kind == trace.JoinEvent && d.cfg.compactOps > 0 && sinceCompact >= d.cfg.compactOps {
-			p.Compact(en.MeetLive())
-			sinceCompact = 0
-		}
-	}
-	if err := p.Close(); err != nil && procErr == nil {
-		procErr = err
-	}
-	st := p.Stats()
-	obsEvents.Add(uint64(events))
-	obsRaces.Add(uint64(st.Races))
+}
 
-	sum := wire.Summary{Events: events, Races: st.Races, Clean: clean.Load()}
-	if procErr != nil {
-		sum.Error = procErr.Error()
-	} else if s, ok := readErr.Load().(string); ok && s != "" {
-		sum.Error = s
+// endOfStream reports whether err is a clean end (end-of-stream frame).
+func endOfStream(err error, dec *wire.Decoder) (clean, eof bool) {
+	if errors.Is(err, io.EOF) {
+		return dec.Clean(), true
 	}
-	return sum
+	return false, false
+}
+
+// connLost reports whether err looks like a lost connection (resumable)
+// rather than stream corruption (not worth resuming: the client would
+// replay the same bytes).
+func connLost(err error) bool {
+	if errors.Is(err, io.EOF) {
+		return true // unclean EOF at a frame boundary: peer went away
+	}
+	if errors.Is(err, wire.ErrTruncated) {
+		return true // stream cut mid-frame (includes read timeouts mid-frame)
+	}
+	return isTimeout(err)
+}
+
+// classifyEnd records how the stream ended on the session: a clean end
+// frame sets Clean, a drain cut is logged but not an error, anything else
+// becomes the summary error.
+func (d *daemon) classifyEnd(s *session, err error) {
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, io.EOF):
+		s.clean.Store(s.cleanOf())
+	case isTimeout(err) && d.isDraining():
+		obsDrainCuts.Inc()
+		s.logf("drain: stopped reading mid-stream")
+	default:
+		s.setReadErr(err.Error())
+		s.logf("read: %v", err)
+	}
+}
+
+// cleanOf reads the current decoder's clean flag under mu.
+func (s *session) cleanOf() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec != nil && s.dec.Clean()
 }
 
 // isTimeout reports whether err is a deadline expiry.

@@ -59,6 +59,10 @@ func run(args []string) int {
 	maxRaces := fs.Int("max-races", 100, "maximum races retained per session")
 	queueLen := fs.Int("queue", 1024, "per-connection ingest queue depth in events")
 	idleTimeout := fs.Duration("idle-timeout", 30*time.Second, "per-read idle timeout (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", DefaultWriteTimeout, "summary/ack write deadline (also applied to the -report writer when it supports deadlines)")
+	resumeTTL := fs.Duration("resume-ttl", DefaultResumeTTL, "how long a resumable session survives a lost connection")
+	resync := fs.Bool("resync", false, "corruption resync: skip corrupt frames and continue (session reports degraded)")
+	inject := fs.String("inject", "", "fault injection for chaos testing, e.g. rep-panic:100 or worker-panic:50")
 	compactOps := fs.Int("compact-every", 4096, "compact reclaimable detector state at most once per this many events (0 disables; compaction may trim dead-thread entries from reported point clocks)")
 	reportPath := fs.String("report", "", "stream structured race records (JSON Lines) to this file")
 	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (enables metrics)")
@@ -71,16 +75,26 @@ func run(args []string) int {
 
 	logger := log.New(os.Stderr, "rd2d: ", 0)
 	cfg := daemonConfig{
-		defaultSpec: *specName,
-		shards:      *shards,
-		maxRaces:    *maxRaces,
-		queueLen:    *queueLen,
-		idleTimeout: *idleTimeout,
-		compactOps:  *compactOps,
-		logger:      logger,
+		defaultSpec:  *specName,
+		shards:       *shards,
+		maxRaces:     *maxRaces,
+		queueLen:     *queueLen,
+		idleTimeout:  *idleTimeout,
+		writeTimeout: *writeTimeout,
+		resumeTTL:    *resumeTTL,
+		resync:       *resync,
+		compactOps:   *compactOps,
+		logger:       logger,
 	}
 	if *quiet {
 		cfg.logger = nil
+	}
+	if *inject != "" {
+		if err := parseInject(*inject, &cfg); err != nil {
+			logger.Printf("%v", err)
+			return 2
+		}
+		logger.Printf("fault injection armed: %s", *inject)
 	}
 
 	var err error
@@ -146,7 +160,7 @@ func run(args []string) int {
 			return 2
 		}
 		defer reportFile.Close()
-		cfg.reporter = core.NewReportWriter(reportFile)
+		cfg.reporter = core.NewReportWriter(&deadlineWriter{f: reportFile, d: *writeTimeout})
 	}
 
 	d, err := newDaemon(*listen, cfg)
@@ -176,12 +190,53 @@ func run(args []string) int {
 		}
 		logger.Printf("%d race records written to %s", cfg.reporter.Count(), *reportPath)
 	}
-	logger.Printf("drained: %d sessions, %d events, %d races, %d failed",
-		d.sessions.Load(), d.totalEvents.Load(), d.totalRaces.Load(), d.failed.Load())
+	logger.Printf("drained: %d sessions, %d events, %d races, %d failed, %d degraded",
+		d.sessionSeq.Load(), d.totalEvents.Load(), d.totalRaces.Load(), d.failed.Load(), d.degraded.Load())
 	if d.totalRaces.Load() > 0 {
 		return 1
 	}
 	return 0
+}
+
+// parseInject arms the daemon's deterministic fault hooks from a comma
+// list of kind:count pairs (chaos testing; see internal/faultinject).
+func parseInject(spec string, cfg *daemonConfig) error {
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -inject entry %q (want kind:count)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -inject count %q", kv[1])
+		}
+		switch kv[0] {
+		case "rep-panic":
+			cfg.injectRepPanic = int64(n)
+		case "worker-panic":
+			cfg.injectWorkerPanic = n
+		default:
+			return fmt.Errorf("unknown -inject kind %q (want rep-panic or worker-panic)", kv[0])
+		}
+	}
+	return nil
+}
+
+// deadlineWriter applies the daemon write timeout to the JSONL report
+// writer. Regular files do not support write deadlines (SetWriteDeadline
+// returns ErrNoDeadline) and are written as-is; pipes and sockets — where
+// a stuck reader could otherwise wedge every session's race reporting —
+// honor the deadline.
+type deadlineWriter struct {
+	f *os.File
+	d time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if w.d > 0 {
+		w.f.SetWriteDeadline(time.Now().Add(w.d)) // best-effort; see above
+	}
+	return w.f.Write(p)
 }
 
 // loadRep resolves a built-in spec name or parses a spec file and

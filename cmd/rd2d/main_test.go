@@ -48,6 +48,12 @@ func racyTrace(t *testing.T) (*trace.Trace, int) {
 }
 
 func testDaemon(t *testing.T, report *bytes.Buffer) (*daemon, chan error) {
+	return testDaemonCfg(t, report, nil)
+}
+
+// testDaemonCfg is testDaemon with a config mutator hook (fault-injection
+// and resilience tests arm injectors / resync / TTLs through it).
+func testDaemonCfg(t *testing.T, report *bytes.Buffer, mut func(*daemonConfig)) (*daemon, chan error) {
 	t.Helper()
 	rep, err := specs.Rep("dict")
 	if err != nil {
@@ -65,6 +71,9 @@ func testDaemon(t *testing.T, report *bytes.Buffer) (*daemon, chan error) {
 	}
 	if report != nil {
 		cfg.reporter = core.NewReportWriter(report)
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	d, err := newDaemon("127.0.0.1:0", cfg)
 	if err != nil {
@@ -221,6 +230,150 @@ func TestDaemonDrainMidStream(t *testing.T) {
 	}
 	if n := d.cfg.reporter.Count(); n != wantRaces {
 		t.Fatalf("final report has %d records, want %d", n, wantRaces)
+	}
+}
+
+// TestDaemonClientGoneMidFrame severs the connection in the middle of an
+// events frame (inside the final frame's payload/CRC). The daemon must keep
+// serving, analyze every fully delivered frame, and emit a non-clean summary
+// with an explicit error for the cut session.
+func TestDaemonClientGoneMidFrame(t *testing.T) {
+	tr, _ := racyTrace(t)
+	d, done := testDaemon(t, nil)
+
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	enc.FrameSize = 128 // several frames, so some events land before the cut
+	for i := range tr.Events {
+		if err := enc.WriteEvent(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the 8-byte end frame plus the tail of the last events frame: the
+	// daemon sees a frame that starts but never finishes.
+	if _, err := conn.Write(data[:len(data)-10]); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("no summary after mid-frame cut: %v", err)
+	}
+	conn.Close()
+	var sum wire.Summary
+	if err := json.Unmarshal(line, &sum); err != nil {
+		t.Fatalf("bad summary %q: %v", line, err)
+	}
+	if sum.Clean {
+		t.Fatal("mid-frame cut reported clean")
+	}
+	if sum.Error == "" {
+		t.Fatal("mid-frame cut carried no error")
+	}
+	if sum.Events == 0 || sum.Events >= tr.Len() {
+		t.Fatalf("analyzed %d events, want partial (0 < n < %d)", sum.Events, tr.Len())
+	}
+
+	// The daemon is still healthy.
+	cl, err := wire.Dial(d.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if sum, err = cl.Close(10 * time.Second); err != nil || sum.Error != "" {
+		t.Fatalf("post-cut session failed: %v %q", err, sum.Error)
+	}
+	d.Shutdown()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := d.failed.Load(); got != 1 {
+		t.Fatalf("failed sessions = %d, want 1", got)
+	}
+}
+
+// TestDaemonClientGoneMidVarint severs the connection one byte into a frame
+// length varint — the nastiest cut point, since the decoder is mid-way
+// through a multi-byte integer. The daemon must report the truncation and
+// keep serving.
+func TestDaemonClientGoneMidVarint(t *testing.T) {
+	tr, wantRaces := racyTrace(t)
+	d, done := testDaemon(t, nil)
+
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf) // default frame size: one big first frame
+	for i := range tr.Events {
+		if err := enc.WriteEvent(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Layout: 5-byte header, then sync(2) + kind(1) + length uvarint. A
+	// payload >= 128 bytes makes the varint multi-byte; byte 8 is its first
+	// byte and must have the continuation bit set for the cut to land
+	// mid-varint.
+	if len(data) < 9 || data[8]&0x80 == 0 {
+		t.Fatalf("first frame payload too small for a multi-byte length varint")
+	}
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(data[:9]); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("no summary after mid-varint cut: %v", err)
+	}
+	conn.Close()
+	var sum wire.Summary
+	if err := json.Unmarshal(line, &sum); err != nil {
+		t.Fatalf("bad summary %q: %v", line, err)
+	}
+	if sum.Clean || sum.Error == "" {
+		t.Fatalf("mid-varint cut summary = %+v, want unclean with error", sum)
+	}
+	if sum.Events != 0 {
+		t.Fatalf("analyzed %d events from a headerless cut, want 0", sum.Events)
+	}
+
+	// The daemon is still healthy.
+	cl, err := wire.Dial(d.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = cl.Close(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Races != wantRaces {
+		t.Fatalf("post-cut session found %d races, want %d", sum.Races, wantRaces)
+	}
+	d.Shutdown()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
 	}
 }
 

@@ -1,0 +1,375 @@
+package main
+
+// This file implements fault-tolerant detection sessions (DESIGN.md §9):
+// a session is decoupled from its TCP connection. Plain streams still live
+// and die with their connection, but a stream that opens with a hello
+// frame (a client-chosen session id) becomes resumable — if its connection
+// drops mid-stream the session is parked with its full detection state
+// (happens-before engine, pipeline shards, interning table, chunk cursor)
+// and a reconnecting client resumes it by replaying unacknowledged chunks,
+// which the decoder deduplicates by sequence number. The analysis worker
+// is supervised: a panic degrades the session to a partial-but-honest
+// report instead of killing the daemon.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hb"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Session lifecycle metrics: the active-session gauge moves by exactly one
+// per session regardless of how it ends (clean close, idle timeout, worker
+// panic, TTL expiry — see obs.Gauge.Enter), and the counters classify ends.
+var (
+	obsActiveSessions = obs.GetGauge("rd2d.active_sessions")
+	obsSessionPanics  = obs.GetCounter("rd2d.session_panics")
+	obsResumes        = obs.GetCounter("rd2d.sessions_resumed")
+	obsParks          = obs.GetCounter("rd2d.sessions_parked")
+	obsExpired        = obs.GetCounter("rd2d.sessions_expired")
+	obsDegraded       = obs.GetCounter("rd2d.sessions_degraded")
+)
+
+// session states (guarded by session.mu).
+const (
+	stateAttached  = iota // a connection's read loop is feeding the queue
+	stateParked           // no connection; detection state held under TTL
+	stateCompleted        // summary finalized (stored for re-delivery)
+)
+
+// DefaultResumeTTL is how long a parked session waits for its client.
+const DefaultResumeTTL = 30 * time.Second
+
+// session is one detection run: the bounded event queue between the
+// connection read loop and the supervised analysis worker, plus the state
+// needed to park and resume across connections.
+type session struct {
+	d   *daemon
+	id  int64  // daemon-local ordinal (logging)
+	sid string // client session id; "" = bound to one connection
+
+	queue chan trace.Event
+	done  chan struct{} // worker exited (detection results final)
+	final chan struct{} // summary assembled (read s.summary after this)
+
+	// Worker-owned detection state; touched outside the worker only after
+	// <-done (the channel close is the happens-before edge).
+	en          *hb.Engine
+	p           *pipeline.Pipeline
+	registered  map[trace.ObjID]bool
+	wrapRep     func(ap.Rep) ap.Rep // fault-injection hook (nil normally)
+	events      int
+	races       int
+	shardPanics int
+	degraded    bool // pipeline degraded or worker panicked
+	panicked    bool
+	procErr     error
+	lastEv      string // most recent event, for panic reports
+
+	// Reader-published stream facts (set before the queue closes).
+	clean   atomic.Bool
+	readErr atomic.Value // string
+
+	mu      sync.Mutex
+	state   int
+	conn    pokeable      // current connection (attached), for liveness pokes
+	dec     *wire.Decoder // decoder holding the stream's cross-conn state
+	ttl     *time.Timer
+	resumes int
+
+	finishOnce   sync.Once
+	summary      wire.Summary // immutable once final is closed
+	releaseGauge func()
+}
+
+// pokeable is the slice of net.Conn the session needs from its connection.
+type pokeable interface{ SetReadDeadline(time.Time) error }
+
+// newSession creates a session and starts its supervised worker.
+func (d *daemon) newSession(sid string) *session {
+	s := &session{
+		d:          d,
+		id:         d.sessionSeq.Add(1),
+		sid:        sid,
+		queue:      make(chan trace.Event, d.cfg.queueLen),
+		done:       make(chan struct{}),
+		final:      make(chan struct{}),
+		registered: map[trace.ObjID]bool{},
+		en:         hb.New(),
+	}
+	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces}
+	if d.cfg.reporter != nil {
+		rw := d.cfg.reporter
+		ccfg.OnRace = func(r core.Race) {
+			_, spec := d.repFor(r.Obj)
+			rw.Write(r, spec)
+		}
+	}
+	s.p = pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg})
+	if d.cfg.injectRepPanic > 0 {
+		s.wrapRep = faultinject.WrapAllReps(d.cfg.injectRepPanic)
+	}
+	s.releaseGauge = obsActiveSessions.Enter()
+	go s.work()
+	return s
+}
+
+// logf logs one line for this session through the daemon logger.
+func (s *session) logf(format string, args ...any) {
+	who := fmt.Sprintf("session %d", s.id)
+	if s.sid != "" {
+		who = fmt.Sprintf("session %d (id %q)", s.id, s.sid)
+	}
+	s.d.cfg.logger.Printf("%s: %s", who, fmt.Sprintf(format, args...))
+}
+
+// work is the supervised analysis worker: incremental happens-before
+// stamping into the sharded pipeline, with lazy registration and periodic
+// compaction. A panic is recovered — logged with the offending event and
+// stack, counted, and degraded to a partial result — and the worker keeps
+// draining the queue so the connection read loop can never block forever
+// on a dead session.
+func (s *session) work() {
+	defer close(s.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = true
+			s.degraded = true
+			obsSessionPanics.Inc()
+			s.logf("recovered worker panic at event %s: %v\n%s", s.lastEv, r, debug.Stack())
+			for range s.queue {
+			} // drain: the reader must never block on a dead worker
+			s.collect()
+		}
+	}()
+	sinceCompact := 0
+	for e := range s.queue {
+		s.events++
+		sinceCompact++
+		if s.procErr != nil {
+			continue // drain
+		}
+		s.lastEv = e.String()
+		if n := s.d.cfg.injectWorkerPanic; n > 0 && s.events == n {
+			panic(fmt.Sprintf("faultinject: injected worker panic at event %d", n))
+		}
+		if _, err := s.en.Process(&e); err != nil {
+			s.procErr = fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
+			continue
+		}
+		if e.Kind == trace.ActionEvent && !s.registered[e.Act.Obj] {
+			rep, _ := s.d.repFor(e.Act.Obj)
+			if s.wrapRep != nil {
+				rep = s.wrapRep(rep)
+			}
+			s.p.Register(e.Act.Obj, rep)
+			s.registered[e.Act.Obj] = true
+		}
+		s.p.Process(&e)
+		if e.Kind == trace.JoinEvent && s.d.cfg.compactOps > 0 && sinceCompact >= s.d.cfg.compactOps {
+			s.p.Compact(s.en.MeetLive())
+			sinceCompact = 0
+		}
+	}
+	s.collect()
+}
+
+// collect closes the pipeline and harvests its results, under its own
+// panic guard: even a detector that dies during the final merge yields
+// whatever it reported before dying (an honestly degraded result) rather
+// than losing the session.
+func (s *session) collect() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = true
+			s.degraded = true
+			obsSessionPanics.Inc()
+			s.logf("recovered panic collecting results: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := s.p.Close(); err != nil && s.procErr == nil {
+		s.procErr = err
+	}
+	st := s.p.Stats()
+	s.races = st.Races
+	s.shardPanics = s.p.ShardPanics()
+	if s.p.Degraded() {
+		s.degraded = true
+	}
+}
+
+// setConn records the attached connection (for liveness pokes) under mu.
+func (s *session) setConn(c pokeable) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+// setReadErr records the stream error that ends the session, if no
+// detection error claims the summary first.
+func (s *session) setReadErr(msg string) { s.readErr.Store(msg) }
+
+// park detaches the session from its dead connection and starts the
+// resume TTL. It returns false when the daemon is draining — the caller
+// finalizes instead, so a drain never leaves work behind. The transition
+// is atomic with the drain check (d.mu) so Shutdown's parked-session sweep
+// can never miss it.
+func (s *session) park() bool {
+	s.d.mu.Lock()
+	if s.d.draining {
+		s.d.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	if s.state == stateCompleted {
+		s.mu.Unlock()
+		s.d.mu.Unlock()
+		return false
+	}
+	s.state = stateParked
+	s.conn = nil
+	ttl := s.d.cfg.resumeTTL
+	if ttl <= 0 {
+		ttl = DefaultResumeTTL
+	}
+	s.ttl = time.AfterFunc(ttl, s.expire)
+	s.mu.Unlock()
+	s.d.mu.Unlock()
+	obsParks.Inc()
+	s.logf("parked (%d events so far, resume ttl %v)", s.d.snapshotEvents(s), ttl)
+	return true
+}
+
+// expire fires when a parked session's TTL runs out with no reconnect.
+func (s *session) expire() {
+	s.mu.Lock()
+	if s.state != stateParked {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	obsExpired.Inc()
+	sum := s.finalize()
+	s.logf("resume ttl expired: %d events, %d races, clean=%v degraded=%v",
+		sum.Events, sum.Races, sum.Clean, sum.Degraded)
+}
+
+// snapshotEvents reads the decoder's event count for logging (the worker's
+// count is not synchronized until done).
+func (d *daemon) snapshotEvents(s *session) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dec != nil {
+		return s.dec.Events()
+	}
+	return 0
+}
+
+// finalize ends the session exactly once: close the queue, wait for the
+// worker, assemble the summary from detection results plus stream facts
+// (resync skips, resumes), do the daemon bookkeeping, and release the
+// active-session gauge. Every later (or concurrent) call waits and returns
+// the same summary. Callers must guarantee no read loop is feeding the
+// queue — clean end, parked, or drain-cut states all do.
+func (s *session) finalize() wire.Summary {
+	s.finishOnce.Do(func() {
+		s.mu.Lock()
+		s.state = stateCompleted
+		if s.ttl != nil {
+			s.ttl.Stop()
+			s.ttl = nil
+		}
+		s.mu.Unlock()
+		close(s.queue)
+		<-s.done
+
+		s.mu.Lock()
+		sum := wire.Summary{
+			Events:      s.events,
+			Races:       s.races,
+			Clean:       s.clean.Load(),
+			Resumes:     s.resumes,
+			SessionID:   s.sid,
+			ShardPanics: s.shardPanics,
+		}
+		if s.panicked {
+			sum.ShardPanics++ // the worker itself counts as a failed unit
+		}
+		if s.dec != nil {
+			sum.SkippedFrames = s.dec.SkippedFrames()
+			sum.SkippedBytes = s.dec.SkippedBytes()
+		}
+		sum.Degraded = s.degraded || sum.SkippedFrames > 0 || sum.SkippedBytes > 0
+		if s.procErr != nil {
+			sum.Error = s.procErr.Error()
+		} else if m, ok := s.readErr.Load().(string); ok && m != "" {
+			sum.Error = m
+		}
+		s.summary = sum
+		s.mu.Unlock()
+
+		obsSessions.Inc()
+		obsEvents.Add(uint64(sum.Events))
+		obsRaces.Add(uint64(sum.Races))
+		s.d.totalEvents.Add(int64(sum.Events))
+		s.d.totalRaces.Add(int64(sum.Races))
+		if sum.Error != "" {
+			s.d.failed.Add(1)
+		}
+		if sum.Degraded {
+			obsDegraded.Inc()
+			s.d.degraded.Add(1)
+			// Mark the shared JSONL report so its race records for this
+			// session are self-describingly incomplete.
+			if s.d.cfg.reporter != nil {
+				s.d.cfg.reporter.WriteNote(map[string]any{
+					"note":           "degraded",
+					"session":        s.id,
+					"session_id":     s.sid,
+					"events":         sum.Events,
+					"races":          sum.Races,
+					"skipped_frames": sum.SkippedFrames,
+					"skipped_bytes":  sum.SkippedBytes,
+					"shard_panics":   sum.ShardPanics,
+				})
+			}
+		}
+		s.releaseGauge()
+		if s.sid != "" {
+			// Keep the completed entry around for summary re-delivery, then
+			// forget it.
+			linger := s.d.cfg.resumeTTL
+			if linger <= 0 {
+				linger = DefaultResumeTTL
+			}
+			time.AfterFunc(linger, func() { s.d.dropSession(s.sid, s) })
+		}
+		close(s.final)
+	})
+	<-s.final
+	return s.summary
+}
+
+// waitSummary blocks until the session is finalized and returns its
+// summary (the re-delivery path for completed sessions).
+func (s *session) waitSummary() wire.Summary {
+	<-s.final
+	return s.summary
+}
+
+// isCompleted reports whether the session has been finalized.
+func (s *session) isCompleted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateCompleted
+}

@@ -89,6 +89,23 @@ func (rw *ReportWriter) Write(r Race, spec string) error {
 	return nil
 }
 
+// WriteNote emits an arbitrary JSONL record alongside the race records —
+// rd2d uses it for per-session markers (session start, degraded-session
+// annotations), so a report file is self-describing about sessions whose
+// race set may be incomplete. Notes do not count toward Count.
+func (rw *ReportWriter) WriteNote(v any) error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.err != nil {
+		return rw.err
+	}
+	if err := rw.enc.Encode(v); err != nil {
+		rw.err = err
+		return err
+	}
+	return nil
+}
+
 // Count returns the number of records written so far.
 func (rw *ReportWriter) Count() int {
 	rw.mu.Lock()

@@ -1,0 +1,271 @@
+// Package faultinject is the deterministic, seed-driven fault-injection
+// toolkit behind the chaos smoke (ci.sh -chaos) and the fault-tolerance
+// tests: wire-level corruption (bit flips, truncation, zeroed regions,
+// junk insertion), connection faults (severed and delayed conns), detector
+// faults (access-point representations that panic on cue), and memory
+// pressure (heap ballast).
+//
+// Every injector is a pure function of its seed: the same seed yields the
+// same fault, so a chaos failure reproduces with its logged seed. No
+// injector runs unless explicitly armed — the daemon and harness expose
+// opt-in hooks (rd2d -inject, harness.Config.WrapRep) that are nil in
+// normal operation.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/trace"
+)
+
+// ErrInjected marks every error produced by an injector, so tests can
+// distinguish injected faults from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// NewRand returns the deterministic random stream for a seed.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// --- Byte-level corruption -------------------------------------------------
+
+// FlipBits returns a copy of data with n random single-bit flips at offsets
+// >= skip (use skip to protect a header from corruption, or 0 to include
+// it).
+func FlipBits(data []byte, seed int64, n, skip int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) <= skip {
+		return out
+	}
+	rng := NewRand(seed)
+	for i := 0; i < n; i++ {
+		pos := skip + rng.Intn(len(out)-skip)
+		out[pos] ^= 1 << uint(rng.Intn(8))
+	}
+	return out
+}
+
+// Truncate returns data cut at a random offset in [min, len(data)).
+func Truncate(data []byte, seed int64, min int) []byte {
+	if len(data) <= min {
+		return append([]byte(nil), data...)
+	}
+	cut := min + NewRand(seed).Intn(len(data)-min)
+	return append([]byte(nil), data[:cut]...)
+}
+
+// ZeroRegion returns a copy of data with a random n-byte region (at offset
+// >= skip) overwritten with zeros.
+func ZeroRegion(data []byte, seed int64, n, skip int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) <= skip {
+		return out
+	}
+	start := skip + NewRand(seed).Intn(len(out)-skip)
+	end := start + n
+	if end > len(out) {
+		end = len(out)
+	}
+	for i := start; i < end; i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// InsertJunk returns data with n random bytes spliced in at a random
+// offset >= skip.
+func InsertJunk(data []byte, seed int64, n, skip int) []byte {
+	rng := NewRand(seed)
+	junk := make([]byte, n)
+	rng.Read(junk)
+	pos := skip
+	if len(data) > skip {
+		pos = skip + rng.Intn(len(data)-skip)
+	}
+	out := make([]byte, 0, len(data)+n)
+	out = append(out, data[:pos]...)
+	out = append(out, junk...)
+	out = append(out, data[pos:]...)
+	return out
+}
+
+// Variant is one labeled corruption of a byte stream.
+type Variant struct {
+	Name string
+	Data []byte
+}
+
+// CorruptStream derives a deterministic family of corruptions from one
+// valid wire stream: the exact fault classes the RDB2 decoder must survive
+// (payload bit flips breaking the CRC, zeroed frame headers losing sync,
+// truncation mid-frame, junk splices, and a lying length field). It seeds
+// the internal/wire fuzz corpus and drives the resync chaos tests. skip
+// protects the first skip bytes (the stream header) so the variant still
+// enters frame decoding.
+func CorruptStream(data []byte, seed int64, skip int) []Variant {
+	variants := []Variant{
+		{Name: "bitflip1", Data: FlipBits(data, seed, 1, skip)},
+		{Name: "bitflip8", Data: FlipBits(data, seed+1, 8, skip)},
+		{Name: "zero16", Data: ZeroRegion(data, seed+2, 16, skip)},
+		{Name: "truncate", Data: Truncate(data, seed+3, skip)},
+		{Name: "junk32", Data: InsertJunk(data, seed+4, 32, skip)},
+	}
+	// A frame header that announces an absurd payload length: overwrite
+	// bytes right after the header region with a maximal uvarint.
+	if len(data) > skip+12 {
+		lie := append([]byte(nil), data...)
+		copy(lie[skip+3:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+		variants = append(variants, Variant{Name: "lyinglen", Data: lie})
+	}
+	return variants
+}
+
+// --- Connection faults -----------------------------------------------------
+
+// SeverWriter fails every Write (with ErrInjected) once n bytes have been
+// written — a deterministic mid-stream connection loss for io.Writer
+// plumbing.
+type SeverWriter struct {
+	W      io.Writer
+	n      int64
+	budget int64
+}
+
+// NewSeverWriter returns a writer that dies after budget bytes.
+func NewSeverWriter(w io.Writer, budget int64) *SeverWriter {
+	return &SeverWriter{W: w, budget: budget}
+}
+
+// Write forwards to the underlying writer until the budget is spent.
+func (s *SeverWriter) Write(p []byte) (int, error) {
+	if s.n >= s.budget {
+		return 0, fmt.Errorf("%w: connection severed after %d bytes", ErrInjected, s.n)
+	}
+	if rem := s.budget - s.n; int64(len(p)) > rem {
+		n, _ := s.W.Write(p[:rem])
+		s.n += int64(n)
+		return n, fmt.Errorf("%w: connection severed after %d bytes", ErrInjected, s.n)
+	}
+	n, err := s.W.Write(p)
+	s.n += int64(n)
+	return n, err
+}
+
+// SeverConn wraps a net.Conn so it hard-closes after budget written bytes:
+// the peer sees a mid-stream disconnect at a deterministic byte offset.
+type SeverConn struct {
+	net.Conn
+	n      int64
+	budget int64
+}
+
+// NewSeverConn returns a conn that dies after budget written bytes.
+func NewSeverConn(c net.Conn, budget int64) *SeverConn {
+	return &SeverConn{Conn: c, budget: budget}
+}
+
+// Write forwards until the budget is spent, then closes the connection and
+// fails with ErrInjected.
+func (s *SeverConn) Write(p []byte) (int, error) {
+	if s.n >= s.budget {
+		s.Conn.Close()
+		return 0, fmt.Errorf("%w: conn severed after %d bytes", ErrInjected, s.n)
+	}
+	if rem := s.budget - s.n; int64(len(p)) > rem {
+		n, _ := s.Conn.Write(p[:rem])
+		s.n += int64(n)
+		s.Conn.Close()
+		return n, fmt.Errorf("%w: conn severed after %d bytes", ErrInjected, s.n)
+	}
+	n, err := s.Conn.Write(p)
+	s.n += int64(n)
+	return n, err
+}
+
+// DelayConn wraps a net.Conn adding a fixed latency before every write —
+// the slow-network injector for timeout paths.
+type DelayConn struct {
+	net.Conn
+	Delay time.Duration
+}
+
+// Write sleeps, then forwards.
+func (d *DelayConn) Write(p []byte) (int, error) {
+	time.Sleep(d.Delay)
+	return d.Conn.Write(p)
+}
+
+// --- Detector faults -------------------------------------------------------
+
+// PanicRep wraps an access-point representation so that one Touch call —
+// the countdown-th — panics. Embedding forwards every other Rep method to
+// the wrapped representation unchanged, so detection is bit-identical up
+// to the injected panic. The countdown is atomic: under the sharded
+// pipeline, whichever shard reaches it first panics, and exactly once.
+type PanicRep struct {
+	ap.Rep
+	remaining atomic.Int64
+}
+
+// NewPanicRep arms rep to panic on the after-th Touch (1 = first touch).
+func NewPanicRep(rep ap.Rep, after int64) *PanicRep {
+	p := &PanicRep{Rep: rep}
+	p.remaining.Store(after)
+	return p
+}
+
+// Touch forwards to the wrapped representation, panicking when the
+// countdown strikes zero.
+func (p *PanicRep) Touch(dst []ap.Point, a trace.Action) ([]ap.Point, error) {
+	if p.remaining.Add(-1) == 0 {
+		panic(fmt.Sprintf("faultinject: injected rep panic at obj %d method %s", a.Obj, a.Method))
+	}
+	return p.Rep.Touch(dst, a)
+}
+
+// WrapAllReps returns a WrapRep hook arming every registered representation
+// with one shared countdown: the after-th Touch across all objects panics.
+func WrapAllReps(after int64) func(ap.Rep) ap.Rep {
+	shared := &atomic.Int64{}
+	shared.Store(after)
+	return func(rep ap.Rep) ap.Rep {
+		return &sharedPanicRep{Rep: rep, remaining: shared}
+	}
+}
+
+// sharedPanicRep is PanicRep with a countdown shared across many reps.
+type sharedPanicRep struct {
+	ap.Rep
+	remaining *atomic.Int64
+}
+
+// Touch forwards, panicking when the shared countdown strikes zero.
+func (p *sharedPanicRep) Touch(dst []ap.Point, a trace.Action) ([]ap.Point, error) {
+	if p.remaining.Add(-1) == 0 {
+		panic(fmt.Sprintf("faultinject: injected rep panic at obj %d method %s", a.Obj, a.Method))
+	}
+	return p.Rep.Touch(dst, a)
+}
+
+// --- Memory pressure -------------------------------------------------------
+
+// Ballast allocates and touches n bytes of heap, returning a release
+// function — a deterministic way to trigger allocation pressure and GC
+// activity under a running session.
+func Ballast(n int) (release func()) {
+	b := make([]byte, n)
+	for i := 0; i < len(b); i += 4096 {
+		b[i] = 1
+	}
+	return func() {
+		// Keep b reachable until release; then let the GC take it.
+		_ = b[0]
+		b = nil
+		_ = b
+	}
+}

@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+func sample() []byte {
+	b := make([]byte, 256)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestInjectorsAreDeterministic(t *testing.T) {
+	data := sample()
+	if !bytes.Equal(FlipBits(data, 7, 4, 8), FlipBits(data, 7, 4, 8)) {
+		t.Error("FlipBits not deterministic for a fixed seed")
+	}
+	if bytes.Equal(FlipBits(data, 7, 4, 8), FlipBits(data, 8, 4, 8)) {
+		t.Error("FlipBits ignored the seed")
+	}
+	if !bytes.Equal(Truncate(data, 3, 8), Truncate(data, 3, 8)) {
+		t.Error("Truncate not deterministic")
+	}
+	if !bytes.Equal(InsertJunk(data, 5, 16, 8), InsertJunk(data, 5, 16, 8)) {
+		t.Error("InsertJunk not deterministic")
+	}
+	if !bytes.Equal(ZeroRegion(data, 9, 16, 8), ZeroRegion(data, 9, 16, 8)) {
+		t.Error("ZeroRegion not deterministic")
+	}
+}
+
+func TestInjectorsRespectSkip(t *testing.T) {
+	data := sample()
+	const skip = 16
+	for name, out := range map[string][]byte{
+		"FlipBits":   FlipBits(data, 1, 32, skip),
+		"ZeroRegion": ZeroRegion(data, 2, 64, skip),
+		"InsertJunk": InsertJunk(data, 3, 32, skip),
+		"Truncate":   Truncate(data, 4, skip),
+	} {
+		if len(out) < skip || !bytes.Equal(out[:skip], data[:skip]) {
+			t.Errorf("%s corrupted the protected prefix", name)
+		}
+	}
+	// Each injector must actually change something past the prefix.
+	if bytes.Equal(FlipBits(data, 1, 32, skip), data) {
+		t.Error("FlipBits changed nothing")
+	}
+	if len(Truncate(data, 4, skip)) >= len(data) {
+		t.Error("Truncate cut nothing")
+	}
+}
+
+func TestCorruptStreamVariants(t *testing.T) {
+	data := sample()
+	vs := CorruptStream(data, 42, 5)
+	if len(vs) < 6 {
+		t.Fatalf("CorruptStream produced %d variants, want >= 6", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Errorf("duplicate variant name %q", v.Name)
+		}
+		seen[v.Name] = true
+		if v.Name != "truncate" && bytes.Equal(v.Data, data) {
+			t.Errorf("variant %q did not change the stream", v.Name)
+		}
+	}
+}
+
+func TestSeverWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewSeverWriter(&sink, 10)
+	if n, err := w.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (6, nil)", n, err)
+	}
+	n, err := w.Write(make([]byte, 6))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget-crossing write = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write error = %v, want ErrInjected", err)
+	}
+	if sink.Len() != 10 {
+		t.Fatalf("sink got %d bytes, want exactly the 10-byte budget", sink.Len())
+	}
+}
+
+func TestPanicRepCountdown(t *testing.T) {
+	rep := NewPanicRep(specs.MustRep("dict"), 3)
+	act := trace.Action{Obj: 0, Method: "put",
+		Args: []trace.Value{trace.StrValue("k"), trace.IntValue(1)},
+		Rets: []trace.Value{trace.NilValue}}
+	for i := 0; i < 2; i++ {
+		if _, err := rep.Touch(nil, act); err != nil {
+			t.Fatalf("touch %d: %v", i, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("third Touch did not panic")
+		}
+	}()
+	rep.Touch(nil, act)
+}
+
+func TestWrapAllRepsSharedCountdown(t *testing.T) {
+	wrap := WrapAllReps(4)
+	a := wrap(specs.MustRep("dict"))
+	b := wrap(specs.MustRep("set"))
+	act := trace.Action{Obj: 0, Method: "size",
+		Rets: []trace.Value{trace.IntValue(0)}}
+	// Countdown is shared: touches across both reps consume it.
+	touch := func(r ap.Rep) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		r.Touch(nil, act)
+		return
+	}
+	for i, r := range []ap.Rep{a, b, a} {
+		if touch(r) {
+			t.Fatalf("touch %d panicked early", i)
+		}
+	}
+	if !touch(b) {
+		t.Fatal("4th touch across wrapped reps did not panic")
+	}
+	if touch(a) || touch(b) {
+		t.Fatal("countdown fired more than once")
+	}
+}
+
+func TestBallast(t *testing.T) {
+	release := Ballast(1 << 20)
+	release()
+}

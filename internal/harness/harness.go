@@ -84,6 +84,10 @@ type Config struct {
 	// Shards > 1 adds a fourth pass per benchmark running RD2 through the
 	// sharded detection pipeline with that many shards.
 	Shards int
+	// WrapRep, when set, rewrites every representation the RD2 passes
+	// register (monitor.RD2.WrapReps) — the fault-injection hook used by the
+	// chaos tests to arm faultinject.WrapAllReps under a real benchmark.
+	WrapRep func(ap.Rep) ap.Rep
 }
 
 // DefaultConfig returns a configuration that finishes in a few seconds.
@@ -97,13 +101,14 @@ func RunTable2(cfg Config) []Row {
 	var rows []Row
 	for _, c := range h2sim.Circuits() {
 		scaled := c.Scaled(c.Ops * cfg.Scale / 2)
-		rows = append(rows, runH2Row(scaled, cfg.Seed, cfg.Shards))
+		rows = append(rows, runH2Row(scaled, cfg))
 	}
 	rows = append(rows, runSnitchRow(cfg))
 	return rows
 }
 
-func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
+func runH2Row(c h2sim.Circuit, cfg Config) Row {
+	seed, shards := cfg.Seed, cfg.Shards
 	row := Row{App: "H2 database", Benchmark: c.Name}
 	for _, mode := range []Mode{Uninstrumented, FastTrack, RD2} {
 		rt := monitor.NewRuntime()
@@ -118,6 +123,9 @@ func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 			row.FTStats = d.StatSnapshot()
 		case RD2:
 			rd2 := monitor.AttachRD2(rt, core.Config{})
+			if cfg.WrapRep != nil {
+				rd2.WrapReps(cfg.WrapRep)
+			}
 			res := c.Run(rt, seed)
 			row.QPS[mode] = res.QPS()
 			row.Time[mode] = res.Duration
@@ -133,6 +141,9 @@ func runH2Row(c h2sim.Circuit, seed int64, shards int) Row {
 	if shards > 1 {
 		rt := monitor.NewRuntime()
 		par := monitor.AttachRD2Parallel(rt, pipeline.Config{Shards: shards})
+		if cfg.WrapRep != nil {
+			par.WrapReps(cfg.WrapRep)
+		}
 		start := time.Now()
 		res := c.Run(rt, seed)
 		par.Close() // shard drain counts toward the measured pass
@@ -164,6 +175,9 @@ func runSnitchRow(cfg Config) Row {
 			row.FTStats = d.StatSnapshot()
 		case RD2:
 			rd2 := monitor.AttachRD2(rt, core.Config{})
+			if cfg.WrapRep != nil {
+				rd2.WrapReps(cfg.WrapRep)
+			}
 			snitch.RunTest(rt, sc, cfg.Seed)
 			row.Time[mode] = time.Since(start)
 			row.RD2Races = rd2.Detector.Stats().Races
@@ -177,6 +191,9 @@ func runSnitchRow(cfg Config) Row {
 	if cfg.Shards > 1 {
 		rt := monitor.NewRuntime()
 		par := monitor.AttachRD2Parallel(rt, pipeline.Config{Shards: cfg.Shards})
+		if cfg.WrapRep != nil {
+			par.WrapReps(cfg.WrapRep)
+		}
 		start := time.Now()
 		snitch.RunTest(rt, sc, cfg.Seed)
 		par.Close()

@@ -35,6 +35,16 @@ func (r *RD2) RegisterKind(kind string, rep ap.Rep) {
 	r.reps[kind] = rep
 }
 
+// WrapReps rewrites every registered representation through wrap — the
+// fault-injection hook (e.g. faultinject.WrapAllReps) and, generally, the
+// way to interpose on Touch for all kinds at once. Call before the
+// workload creates objects.
+func (r *RD2) WrapReps(wrap func(ap.Rep) ap.Rep) {
+	for kind, rep := range r.reps {
+		r.reps[kind] = wrap(rep)
+	}
+}
+
 // Process implements Analysis.
 func (r *RD2) Process(e *trace.Event) error { return r.Detector.Process(e) }
 
@@ -82,6 +92,14 @@ func NewRD2Parallel(cfg pipeline.Config) *RD2Parallel {
 // of the given kind. The rep must be immutable (shards share it).
 func (r *RD2Parallel) RegisterKind(kind string, rep ap.Rep) {
 	r.reps[kind] = rep
+}
+
+// WrapReps rewrites every registered representation through wrap (see
+// RD2.WrapReps). Wrapped reps must stay shard-safe.
+func (r *RD2Parallel) WrapReps(wrap func(ap.Rep) ap.Rep) {
+	for kind, rep := range r.reps {
+		r.reps[kind] = wrap(rep)
+	}
 }
 
 // Process implements Analysis. Calls arrive serialized under the runtime's

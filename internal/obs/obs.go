@@ -119,6 +119,26 @@ func (g *Gauge) Add(d int64) {
 	}
 }
 
+// Enter increments the gauge and returns a release function that
+// decrements it exactly once, no matter how many times — or from how many
+// deferred recovery paths — it is called. The decrement is paired with the
+// increment even if metrics are toggled in between: if the increment was
+// suppressed (metrics disabled), the release is a no-op, so a session that
+// ends via panic recovery AND idle timeout AND normal teardown still moves
+// the gauge by net zero.
+func (g *Gauge) Enter() (release func()) {
+	if !enabled.Load() {
+		return func() {}
+	}
+	g.raise(g.cur.Add(1))
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			g.cur.Add(-1)
+		}
+	}
+}
+
 // Set replaces the level.
 func (g *Gauge) Set(v int64) {
 	if !enabled.Load() {

@@ -82,6 +82,60 @@ func TestGaugeConcurrentPeak(t *testing.T) {
 	}
 }
 
+// TestGaugeEnterReleasesExactlyOnce is the regression test for the
+// active-session gauge: a session that ends through more than one path
+// (panic recovery AND idle-timeout cleanup both firing, say) must decrement
+// the gauge exactly once, no matter how many times release runs.
+func TestGaugeEnterReleasesExactlyOnce(t *testing.T) {
+	withEnabled(t)
+	var g Gauge
+	release := g.Enter()
+	if g.Load() != 1 {
+		t.Fatalf("gauge after Enter = %d, want 1", g.Load())
+	}
+	release()
+	release() // second (and any further) release is a no-op
+	release()
+	if g.Load() != 0 {
+		t.Fatalf("gauge after repeated release = %d, want 0", g.Load())
+	}
+
+	// Concurrent double-release: still exactly one decrement per Enter.
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		rel := g.Enter()
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel()
+			}()
+		}
+	}
+	wg.Wait()
+	if g.Load() != 0 {
+		t.Fatalf("gauge settled at %d after concurrent releases, want 0", g.Load())
+	}
+	if p := g.Peak(); p < 1 {
+		t.Fatalf("peak = %d, want >= 1", p)
+	}
+}
+
+// TestGaugeEnterDisabled: when metrics are off at Enter time the increment
+// is suppressed, and the returned release must not decrement either — even
+// if metrics get enabled in between.
+func TestGaugeEnterDisabled(t *testing.T) {
+	SetEnabled(false)
+	var g Gauge
+	release := g.Enter()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(false) })
+	release()
+	if g.Load() != 0 {
+		t.Fatalf("gauge = %d after disabled Enter + enabled release, want 0", g.Load())
+	}
+}
+
 func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	withEnabled(t)
 	var h Histogram

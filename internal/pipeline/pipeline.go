@@ -34,7 +34,9 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"log"
 	"runtime"
+	"runtime/debug"
 
 	"repro/internal/ap"
 	"repro/internal/core"
@@ -49,6 +51,9 @@ import (
 var (
 	obsPipeEvents  = obs.GetCounter("pipeline.events")
 	obsPipeBatches = obs.GetCounter("pipeline.batches")
+	// obsShardPanics counts recovered detector-shard panics (supervision):
+	// each one degrades its pipeline to a partial-but-honest result.
+	obsShardPanics = obs.GetCounter("pipeline.shard_panics")
 )
 
 // Defaults for Config fields left zero.
@@ -102,6 +107,8 @@ type shard struct {
 	done   chan struct{}
 	err    error // first processing error (shard keeps draining)
 	errSeq int
+	panics int  // recovered panics (first one retires the detector)
+	dead   bool // detector retired after a panic; shard drains only
 
 	obsQueue  *obs.Gauge   // pipeline.shard.<i>.queue_batches
 	obsEvents *obs.Counter // pipeline.shard.<i>.events
@@ -125,6 +132,7 @@ type Pipeline struct {
 	races    []core.Race
 	stats    core.Stats
 	distinct int
+	panics   int
 	err      error
 }
 
@@ -163,29 +171,13 @@ func New(cfg Config) *Pipeline {
 func (p *Pipeline) Shards() int { return len(p.shards) }
 
 // run is the shard goroutine: drain batches, feed the private detector.
+// The detector work is supervised (runBatch): a panic retires the detector
+// but never kills the goroutine, so the producer is never left blocking on
+// a dead shard and the session degrades instead of crashing.
 func (p *Pipeline) run(s *shard) {
 	defer close(s.done)
 	for batch := range s.ch {
-		nEvents := 0
-		for i := range batch {
-			it := &batch[i]
-			switch it.kind {
-			case itemEvent:
-				nEvents++
-				// After a failure the shard keeps draining (so the producer
-				// never blocks) but stops detecting.
-				if s.err != nil {
-					continue
-				}
-				if err := s.det.Process(&it.ev); err != nil {
-					s.err, s.errSeq = err, it.ev.Seq
-				}
-			case itemRegister:
-				s.det.Register(it.ev.Act.Obj, it.rep)
-			case itemCompact:
-				s.det.Compact(it.threshold)
-			}
-		}
+		nEvents := p.runBatch(s, batch)
 		// Metrics once per batch, not per item: queue depth drops, and the
 		// shard's event/race counters advance by this batch's delta.
 		if obs.Enabled() {
@@ -195,9 +187,11 @@ func (p *Pipeline) run(s *shard) {
 				s.obsEvents.Add(uint64(nEvents))
 				obsPipeEvents.Add(uint64(nEvents))
 			}
-			if r := s.det.Stats().Races; r > s.lastRaces {
-				s.obsRaces.Add(uint64(r - s.lastRaces))
-				s.lastRaces = r
+			if !s.dead {
+				if r := s.det.Stats().Races; r > s.lastRaces {
+					s.obsRaces.Add(uint64(r - s.lastRaces))
+					s.lastRaces = r
+				}
 			}
 		}
 		// Recycle the buffer; drop item contents so clocks and reps are not
@@ -209,8 +203,66 @@ func (p *Pipeline) run(s *shard) {
 		}
 	}
 	// Publish the detector's batched deltas once the stream drains, so
-	// post-run snapshots are exact.
-	s.det.FlushObs()
+	// post-run snapshots are exact. A retired detector may be mid-update:
+	// leave it alone.
+	if !s.dead {
+		s.det.FlushObs()
+	}
+}
+
+// runBatch feeds one batch to the shard's detector under a panic guard and
+// returns the number of events it carried. A recovered panic is logged with
+// the offending item and stack, counted (pipeline.shard_panics), and
+// retires the detector: the shard keeps draining so the producer never
+// blocks, the races found before the panic are still merged (best-effort,
+// see Close), and the pipeline reports Degraded.
+func (p *Pipeline) runBatch(s *shard, batch []item) (nEvents int) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics++
+			s.dead = true
+			obsShardPanics.Inc()
+			at := "batch boundary"
+			if i < len(batch) {
+				switch batch[i].kind {
+				case itemEvent:
+					at = fmt.Sprintf("event %d (%s)", batch[i].ev.Seq, &batch[i].ev)
+				case itemRegister:
+					at = fmt.Sprintf("register obj %d", batch[i].ev.Act.Obj)
+				case itemCompact:
+					at = "compact"
+				}
+			}
+			log.Printf("pipeline: recovered shard panic at %s: %v\n%s", at, r, debug.Stack())
+		}
+	}()
+	for ; i < len(batch); i++ {
+		it := &batch[i]
+		switch it.kind {
+		case itemEvent:
+			nEvents++
+			// After a failure or a panic the shard keeps draining (so the
+			// producer never blocks) but stops detecting.
+			if s.err != nil || s.dead {
+				continue
+			}
+			if err := s.det.Process(&it.ev); err != nil {
+				s.err, s.errSeq = err, it.ev.Seq
+			}
+		case itemRegister:
+			if s.dead {
+				continue
+			}
+			s.det.Register(it.ev.Act.Obj, it.rep)
+		case itemCompact:
+			if s.dead {
+				continue
+			}
+			s.det.Compact(it.threshold)
+		}
+	}
+	return nEvents
 }
 
 // splitmix64 is the shard hash: cheap, and scrambles the low bits so dense
@@ -319,19 +371,14 @@ func (p *Pipeline) Close() error {
 	}
 
 	// Merge: stats sum exactly (disjoint object partitions) except
-	// PeakActive, which becomes the sum of per-shard peaks.
+	// PeakActive, which becomes the sum of per-shard peaks. A shard whose
+	// detector was retired by a panic may hold inconsistent state, so its
+	// merge is itself supervised: whatever it can still report is kept,
+	// and a second panic forfeits only that shard's contribution.
 	errSeq := 0
 	for _, s := range p.shards {
-		st := s.det.Stats()
-		p.stats.Actions += st.Actions
-		p.stats.Checks += st.Checks
-		p.stats.Races += st.Races
-		p.stats.RacyEvents += st.RacyEvents
-		p.stats.ActivePoints += st.ActivePoints
-		p.stats.PeakActive += st.PeakActive
-		p.stats.Reclaimed += st.Reclaimed
-		p.distinct += s.det.DistinctObjects()
-		p.races = append(p.races, s.det.Races()...)
+		p.panics += s.panics
+		p.mergeShard(s)
 		if s.err != nil && (p.err == nil || s.errSeq < errSeq) {
 			p.err = fmt.Errorf("pipeline: event %d: %w", s.errSeq, s.err)
 			errSeq = s.errSeq
@@ -345,6 +392,39 @@ func (p *Pipeline) Close() error {
 	}
 	return p.err
 }
+
+// mergeShard folds one shard's results into the pipeline totals, under a
+// panic guard so a detector corrupted by a recovered panic cannot take
+// down the merge. The races snapshot is taken first — if the detector dies
+// midway, whatever was already copied out is still reported.
+func (p *Pipeline) mergeShard(s *shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics++
+			p.panics++
+			obsShardPanics.Inc()
+			log.Printf("pipeline: recovered shard panic during merge: %v\n%s", r, debug.Stack())
+		}
+	}()
+	p.races = append(p.races, s.det.Races()...)
+	st := s.det.Stats()
+	p.stats.Actions += st.Actions
+	p.stats.Checks += st.Checks
+	p.stats.Races += st.Races
+	p.stats.RacyEvents += st.RacyEvents
+	p.stats.ActivePoints += st.ActivePoints
+	p.stats.PeakActive += st.PeakActive
+	p.stats.Reclaimed += st.Reclaimed
+	p.distinct += s.det.DistinctObjects()
+}
+
+// Degraded reports whether any shard lost work to a recovered panic: the
+// merged race set is then partial but honest — every race listed was
+// found, none are invented, some may be missing. Valid after Close.
+func (p *Pipeline) Degraded() bool { return p.panics > 0 }
+
+// ShardPanics returns the number of recovered shard panics (after Close).
+func (p *Pipeline) ShardPanics() int { return p.panics }
 
 // Races returns the merged race reports in canonical order (closing the
 // pipeline if still open), capped like the serial detector's retention.

@@ -85,6 +85,27 @@ func (s *TextSource) Next() (Event, error) {
 	return Event{}, s.err
 }
 
+// LimitSource yields at most n events from an underlying source, then
+// io.EOF. The fault-injection harness uses it to truncate event streams at
+// exact event boundaries (as opposed to byte-level truncation, which the
+// wire-format injectors cover).
+type LimitSource struct {
+	src Source
+	n   int
+}
+
+// Limit wraps src so that at most n events are yielded.
+func Limit(src Source, n int) *LimitSource { return &LimitSource{src: src, n: n} }
+
+// Next returns the next event while the budget lasts, then io.EOF.
+func (l *LimitSource) Next() (Event, error) {
+	if l.n <= 0 {
+		return Event{}, io.EOF
+	}
+	l.n--
+	return l.src.Next()
+}
+
 // ReadAll drains a Source into an in-memory trace.
 func ReadAll(src Source) (*Trace, error) {
 	tr := &Trace{}

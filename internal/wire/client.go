@@ -20,6 +20,18 @@ type Summary struct {
 	Races  int    `json:"races"`
 	Clean  bool   `json:"clean"`
 	Error  string `json:"error,omitempty"` // first stamping/detection error, if any
+
+	// Fault-tolerance annotations (version 2 sessions). Degraded means the
+	// race set may be incomplete — corruption resync skipped data, or a
+	// detection shard panicked and was recovered — and the counts say why.
+	// A degraded report is partial but honest: every race listed was found;
+	// none are invented; some may be missing.
+	Degraded      bool   `json:"degraded,omitempty"`
+	SkippedFrames int    `json:"skipped_frames,omitempty"`
+	SkippedBytes  int64  `json:"skipped_bytes,omitempty"`
+	ShardPanics   int    `json:"shard_panics,omitempty"`
+	Resumes       int    `json:"resumes,omitempty"` // times the session was re-attached
+	SessionID     string `json:"session,omitempty"`
 }
 
 // Client streams events to an rd2d ingestion daemon over TCP in the RDB2

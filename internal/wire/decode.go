@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,27 +12,59 @@ import (
 	"repro/internal/vclock"
 )
 
+// errCorrupt classifies decode failures that corruption resync can recover
+// from (vs. IO-level truncation, which only more bytes could fix).
+var errCorrupt = errors.New("wire: corrupt frame")
+
+// errAgain is an internal sentinel: readFrame consumed a non-event frame
+// (hello, empty, duplicate chunk) or entered a resync scan; call it again.
+var errAgain = errors.New("wire: internal again")
+
 // Decoder streams events out of an RDB2 binary stream. It implements
 // trace.Source: Next yields one event at a time and returns io.EOF after
 // the end-of-stream frame (or a clean underlying EOF at a frame boundary).
 // Memory is bounded by one frame plus the interning table; the whole trace
 // is never materialized. All failure modes — truncation, CRC mismatch,
 // unknown tags, over-limit lengths — surface as errors, never panics.
+//
+// With SetResync(true), corrupt frames are skipped instead (see the
+// package comment); with a resuming client on the other end, seq'd chunks
+// are deduplicated and acknowledged through OnChunk.
 type Decoder struct {
-	r      *bufio.Reader
-	frame  []byte   // current frame payload
-	pos    int      // read position within frame
-	intern []string // 1-based string table (index id-1)
-	seq    int
-	frames int
-	clean  bool // end-of-stream frame seen
-	err    error
+	r       *bufio.Reader
+	version byte
+	frame   []byte   // current frame payload
+	pos     int      // read position within frame
+	intern  []string // 1-based string table (index id-1)
+	seq     int
+	frames  int
+	clean   bool // end-of-stream frame seen
+	err     error
+
+	// Corruption resync state.
+	resync        bool
+	scanning      bool
+	skippedBytes  int64
+	skippedFrames int
+	resyncs       int
+
+	// Resumable session state.
+	sid         string
+	expectChunk uint64 // next expected chunk sequence number
+	seenChunk   bool   // at least one seq'd chunk accepted
+	dups        int
+
+	// OnChunk, when set, is invoked with the highest contiguous chunk
+	// sequence number accepted so far, each time a seq'd events frame is
+	// accepted or a duplicate is skipped — the daemon's ack hook. Called
+	// from within Next.
+	OnChunk func(acked uint64)
 }
 
 // NewDecoder reads and verifies the stream header and returns a streaming
 // decoder for the events that follow.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	d := &Decoder{r: bufio.NewReader(r)}
+	d := &Decoder{r: bufio.NewReaderSize(r, ResyncWindow)}
 	var hdr [len(Magic) + 1]byte
 	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
@@ -39,11 +72,19 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if !Sniff(hdr[:len(Magic)]) {
 		return nil, fmt.Errorf("wire: bad magic %q (not an RDB2 stream)", hdr[:len(Magic)])
 	}
-	if v := hdr[len(Magic)]; v != Version {
-		return nil, fmt.Errorf("wire: unsupported version %d (want %d)", v, Version)
+	v := hdr[len(Magic)]
+	if v < MinVersion || v > Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (want %d..%d)", v, MinVersion, Version)
 	}
+	d.version = v
 	return d, nil
 }
+
+// SetResync enables (or disables) corruption resync: on a corrupt frame
+// the decoder scans forward to the next verifiable frame instead of
+// failing. Only effective on version 2 streams (version 1 frames carry no
+// sync marker).
+func (d *Decoder) SetResync(on bool) { d.resync = on }
 
 // Clean reports whether an explicit end-of-stream frame terminated the
 // stream (false while decoding, and after a bare EOF at a frame boundary).
@@ -56,60 +97,361 @@ func (d *Decoder) Events() int { return d.seq }
 // end-of-stream frame).
 func (d *Decoder) Frames() int { return d.frames }
 
+// SessionID returns the session id from the stream's hello frame, or ""
+// for a plain (non-resumable) stream.
+func (d *Decoder) SessionID() string { return d.sid }
+
+// SkippedBytes returns the bytes discarded by corruption resync scans.
+func (d *Decoder) SkippedBytes() int64 { return d.skippedBytes }
+
+// SkippedFrames returns the number of frames known to be lost: resync
+// episodes, CRC-valid but undecodable frames dropped, and chunk-sequence
+// gaps observed after a resync.
+func (d *Decoder) SkippedFrames() int { return d.skippedFrames }
+
+// Resyncs returns the number of corruption resync scans entered.
+func (d *Decoder) Resyncs() int { return d.resyncs }
+
+// DupChunks returns the number of duplicate chunks skipped (a resuming
+// client replaying already-received data — protocol-normal, not loss).
+func (d *Decoder) DupChunks() int { return d.dups }
+
+// Degraded reports whether the decoded event stream is known to be
+// incomplete: resync skipped bytes or dropped frames.
+func (d *Decoder) Degraded() bool { return d.skippedBytes > 0 || d.skippedFrames > 0 }
+
+// AckedChunk returns the highest contiguous chunk sequence number accepted
+// and whether any chunk has been accepted at all.
+func (d *Decoder) AckedChunk() (uint64, bool) {
+	if d.expectChunk == 0 {
+		return 0, false
+	}
+	return d.expectChunk - 1, true
+}
+
+// AdoptState transplants the cross-connection stream state — interning
+// table, event sequence, chunk cursor, and degradation counters — from the
+// decoder of a previous connection of the same resumable session. The
+// receiving decoder must be freshly constructed (header read, no events
+// consumed); the previous decoder must not be used afterwards.
+func (d *Decoder) AdoptState(prev *Decoder) {
+	d.intern = prev.intern
+	d.seq = prev.seq
+	d.frames += prev.frames
+	d.expectChunk = prev.expectChunk
+	d.seenChunk = prev.seenChunk
+	d.skippedBytes += prev.skippedBytes
+	d.skippedFrames += prev.skippedFrames
+	d.resyncs += prev.resyncs
+	d.dups += prev.dups
+}
+
 // fail records and returns a sticky error.
 func (d *Decoder) fail(err error) error {
 	d.err = err
 	return err
 }
 
+// canResync reports whether err is a corruption (not an IO condition) that
+// a forward scan can recover from on this stream.
+func (d *Decoder) canResync(err error) bool {
+	if !d.resync || d.version < 2 {
+		return false
+	}
+	return errors.Is(err, ErrCRC) || errors.Is(err, ErrSync) ||
+		errors.Is(err, ErrChunkGap) || errors.Is(err, errCorrupt)
+}
+
+// enterScan switches into resync scanning, accounting one lost frame.
+func (d *Decoder) enterScan() {
+	d.scanning = true
+	d.resyncs++
+	d.skippedFrames++
+	obsResyncs.Inc()
+	obsSkippedFrames.Inc()
+}
+
+// discard consumes n bytes as resync junk.
+func (d *Decoder) discard(n int) {
+	d.r.Discard(n)
+	d.skippedBytes += int64(n)
+	obsSkippedBytes.Add(uint64(n))
+}
+
+// scan advances the reader to the next sync marker that begins a frame
+// whose checksum verifies inside the lookahead window. Bytes passed over
+// are counted as skipped. Returns io.EOF when the stream ends first.
+func (d *Decoder) scan() error {
+	for {
+		pre, err := d.r.Peek(2)
+		if len(pre) < 2 {
+			// Tail too short for any frame: consume and end unclean.
+			d.discard(len(pre))
+			if err == nil || err == io.EOF {
+				return io.EOF
+			}
+			return err
+		}
+		if pre[0] != sync0 || pre[1] != sync1 || !d.peekValidFrame() {
+			d.discard(1)
+			continue
+		}
+		return nil
+	}
+}
+
+// peekValidFrame reports whether the bytes at the current read position
+// (starting with a sync marker) form a complete frame with a valid
+// checksum, verified entirely within the lookahead window.
+func (d *Decoder) peekValidFrame() bool {
+	buf, _ := d.r.Peek(ResyncWindow)
+	if len(buf) < 2+1+1+4 {
+		return false
+	}
+	kind := buf[2]
+	if kind < frameEvents || kind > frameEventsSeq {
+		return false
+	}
+	size, n := binary.Uvarint(buf[3:])
+	if n <= 0 || size > MaxFrame {
+		return false
+	}
+	total := 3 + n + int(size) + 4
+	if total > len(buf) {
+		return false // cannot verify inside the window: treat as junk
+	}
+	payload := buf[3+n : 3+n+int(size)]
+	want := binary.LittleEndian.Uint32(buf[3+n+int(size):])
+	return crc32.Checksum(payload, castagnoli) == want
+}
+
+// parseFrame reads one frame (sync marker, kind, length, payload, CRC)
+// into d.frame and returns its kind. io.EOF is returned only for a clean
+// EOF before any frame byte.
+func (d *Decoder) parseFrame() (byte, error) {
+	first, err := d.r.ReadByte()
+	if err == io.EOF {
+		return 0, io.EOF // frame-aligned end without an end frame
+	}
+	if err != nil {
+		return 0, err
+	}
+	var kind byte
+	if d.version >= 2 {
+		second, err := d.r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: frame sync: %v", ErrTruncated, err)
+		}
+		if first != sync0 || second != sync1 {
+			return 0, fmt.Errorf("%w: got %02x %02x", ErrSync, first, second)
+		}
+		if kind, err = d.r.ReadByte(); err != nil {
+			return 0, fmt.Errorf("%w: frame kind: %v", ErrTruncated, err)
+		}
+	} else {
+		kind = first
+	}
+	size, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, fmt.Errorf("%w: frame length: %v", ErrTruncated, err)
+		}
+		return 0, fmt.Errorf("%w: frame length: %v", errCorrupt, err)
+	}
+	if size > MaxFrame {
+		return 0, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", errCorrupt, size)
+	}
+	if cap(d.frame) < int(size) {
+		d.frame = make([]byte, size)
+	}
+	d.frame = d.frame[:size]
+	if _, err := io.ReadFull(d.r, d.frame); err != nil {
+		return 0, fmt.Errorf("%w: frame payload: %v", ErrTruncated, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+		return 0, fmt.Errorf("%w: frame CRC: %v", ErrTruncated, err)
+	}
+	want := binary.LittleEndian.Uint32(crc[:])
+	if got := crc32.Checksum(d.frame, castagnoli); got != want {
+		return 0, fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want)
+	}
+	d.frames++
+	return kind, nil
+}
+
+// readFrame advances the stream by one frame. It returns nil when an
+// events frame is loaded (d.frame/d.pos ready), errAgain when a non-event
+// frame was consumed (call again), io.EOF at the end of the stream, and a
+// sticky error otherwise.
+func (d *Decoder) readFrame() error {
+	if d.scanning {
+		if err := d.scan(); err != nil {
+			return d.fail(err)
+		}
+		d.scanning = false
+	}
+	kind, err := d.parseFrame()
+	if err != nil {
+		if err == io.EOF {
+			return d.fail(io.EOF)
+		}
+		if d.canResync(err) {
+			d.scanning = true
+			d.resyncs++
+			d.skippedFrames++
+			obsResyncs.Inc()
+			obsSkippedFrames.Inc()
+			return errAgain
+		}
+		return d.fail(err)
+	}
+	switch kind {
+	case frameEnd:
+		d.clean = true
+		return d.fail(io.EOF)
+	case frameEvents:
+		if len(d.frame) == 0 {
+			return errAgain
+		}
+		d.pos = 0
+		return nil
+	case frameHello:
+		err := d.parseHello()
+		// Whatever the outcome, the hello frame is fully consumed: mark the
+		// frame buffer drained so a caller leaving the read loop right after
+		// (ReadHello) cannot misdecode the hello payload as events.
+		d.frame = d.frame[:0]
+		d.pos = 0
+		if err != nil {
+			if d.canResync(err) {
+				d.scanning = true
+				d.resyncs++
+				d.skippedFrames++
+				obsResyncs.Inc()
+				obsSkippedFrames.Inc()
+				return errAgain
+			}
+			return d.fail(err)
+		}
+		return errAgain
+	case frameEventsSeq:
+		return d.acceptChunk()
+	default:
+		err := fmt.Errorf("%w: unknown frame kind 0x%02x", errCorrupt, kind)
+		if d.canResync(err) {
+			d.scanning = true
+			d.resyncs++
+			d.skippedFrames++
+			obsResyncs.Inc()
+			obsSkippedFrames.Inc()
+			return errAgain
+		}
+		return d.fail(err)
+	}
+}
+
+// parseHello decodes a hello frame payload (session id) from d.frame.
+func (d *Decoder) parseHello() error {
+	if d.version < 2 {
+		return fmt.Errorf("%w: hello frame in version %d stream", errCorrupt, d.version)
+	}
+	n, w := binary.Uvarint(d.frame)
+	if w <= 0 || n == 0 || n > MaxSessionID || int(n) != len(d.frame)-w {
+		return fmt.Errorf("%w: malformed hello frame", errCorrupt)
+	}
+	d.sid = string(d.frame[w : w+int(n)])
+	return nil
+}
+
+// acceptChunk handles a seq'd events frame: deduplicate replays, detect
+// gaps, position the payload, and fire the ack hook.
+func (d *Decoder) acceptChunk() error {
+	if d.version < 2 {
+		return d.fail(fmt.Errorf("%w: seq'd frame in version %d stream", errCorrupt, d.version))
+	}
+	seq, w := binary.Uvarint(d.frame)
+	if w <= 0 {
+		err := fmt.Errorf("%w: bad chunk sequence", errCorrupt)
+		if d.canResync(err) {
+			d.scanning = true
+			d.resyncs++
+			d.skippedFrames++
+			obsResyncs.Inc()
+			obsSkippedFrames.Inc()
+			return errAgain
+		}
+		return d.fail(err)
+	}
+	switch {
+	case seq < d.expectChunk:
+		// A resuming client replayed a chunk we already consumed: skip it
+		// (marking the frame fully drained), but re-ack so the client can
+		// trim its resend buffer.
+		d.pos = len(d.frame)
+		d.dups++
+		obsDupChunks.Inc()
+		if d.OnChunk != nil {
+			d.OnChunk(d.expectChunk - 1)
+		}
+		return errAgain
+	case seq > d.expectChunk:
+		if !d.resync {
+			return d.fail(fmt.Errorf("%w: got chunk %d, expected %d", ErrChunkGap, seq, d.expectChunk))
+		}
+		// After a resync scan the lost region may have swallowed whole
+		// chunks; account for them and carry on — the stream is already
+		// marked degraded.
+		gap := int(seq - d.expectChunk)
+		d.skippedFrames += gap
+		obsSkippedFrames.Add(uint64(gap))
+	}
+	d.expectChunk = seq + 1
+	d.seenChunk = true
+	if d.OnChunk != nil {
+		d.OnChunk(seq)
+	}
+	d.pos = w
+	if d.remaining() == 0 {
+		return errAgain // empty chunk (timer flush with no events)
+	}
+	return nil
+}
+
 // nextFrame loads the next events frame into d.frame. It returns io.EOF on
 // an end-of-stream frame or a clean EOF at a frame boundary.
 func (d *Decoder) nextFrame() error {
 	for {
-		kind, err := d.r.ReadByte()
-		if err == io.EOF {
-			return d.fail(io.EOF) // no end frame, but a frame-aligned end
-		}
-		if err != nil {
-			return d.fail(err)
-		}
-		size, err := binary.ReadUvarint(d.r)
-		if err != nil {
-			return d.fail(fmt.Errorf("%w: frame length: %v", ErrTruncated, err))
-		}
-		if size > MaxFrame {
-			return d.fail(fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", size))
-		}
-		if cap(d.frame) < int(size) {
-			d.frame = make([]byte, size)
-		}
-		d.frame = d.frame[:size]
-		if _, err := io.ReadFull(d.r, d.frame); err != nil {
-			return d.fail(fmt.Errorf("%w: frame payload: %v", ErrTruncated, err))
-		}
-		var crc [4]byte
-		if _, err := io.ReadFull(d.r, crc[:]); err != nil {
-			return d.fail(fmt.Errorf("%w: frame CRC: %v", ErrTruncated, err))
-		}
-		want := binary.LittleEndian.Uint32(crc[:])
-		if got := crc32.Checksum(d.frame, castagnoli); got != want {
-			return d.fail(fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want))
-		}
-		d.frames++
-		switch kind {
-		case frameEnd:
-			d.clean = true
-			return d.fail(io.EOF)
-		case frameEvents:
-			if len(d.frame) == 0 {
-				continue // empty frame: keep scanning
-			}
-			d.pos = 0
-			return nil
-		default:
-			return d.fail(fmt.Errorf("wire: unknown frame kind 0x%02x", kind))
+		err := d.readFrame()
+		if err != errAgain {
+			return err
 		}
 	}
+}
+
+// ReadHello reads frames until the stream's intent is known: it returns
+// the session id as soon as a hello frame is seen (before consuming any
+// events frame that follows), or "" once the first events frame, end
+// frame, or EOF shows this is a plain stream. The daemon calls it before
+// Next to route resumable sessions to their session state.
+func (d *Decoder) ReadHello() (string, error) {
+	for d.sid == "" {
+		if d.err != nil || d.remaining() > 0 {
+			return d.sid, nil
+		}
+		err := d.readFrame()
+		if err == errAgain {
+			continue
+		}
+		if err == io.EOF {
+			return d.sid, nil // empty/ended stream; Next returns the sticky EOF
+		}
+		if err != nil {
+			return d.sid, err
+		}
+		return d.sid, nil // events frame loaded: plain stream
+	}
+	return d.sid, nil
 }
 
 func (d *Decoder) remaining() int { return len(d.frame) - d.pos }
@@ -246,23 +588,36 @@ func (d *Decoder) readTuple() ([]trace.Value, error) {
 }
 
 // Next decodes the next event. It returns io.EOF at the end of the stream;
-// any other error is sticky.
+// any other error is sticky — except in resync mode, where a CRC-valid but
+// undecodable frame is dropped (counted as skipped) and decoding carries
+// on at the next frame boundary.
 func (d *Decoder) Next() (trace.Event, error) {
 	if d.err != nil {
 		return trace.Event{}, d.err
 	}
-	if d.remaining() == 0 {
-		if err := d.nextFrame(); err != nil {
-			return trace.Event{}, err
+	for {
+		if d.remaining() == 0 {
+			if err := d.nextFrame(); err != nil {
+				return trace.Event{}, err
+			}
 		}
+		e, err := d.decodeEvent()
+		if err != nil {
+			if d.resync && d.version >= 2 {
+				// The frame passed its CRC but does not decode (producer
+				// bug or interning drift after an earlier skip): drop the
+				// rest of it, honestly counted.
+				d.pos = len(d.frame)
+				d.skippedFrames++
+				obsSkippedFrames.Inc()
+				continue
+			}
+			return trace.Event{}, d.fail(err)
+		}
+		e.Seq = d.seq
+		d.seq++
+		return e, nil
 	}
-	e, err := d.decodeEvent()
-	if err != nil {
-		return trace.Event{}, d.fail(err)
-	}
-	e.Seq = d.seq
-	d.seq++
-	return e, nil
 }
 
 func (d *Decoder) decodeEvent() (trace.Event, error) {

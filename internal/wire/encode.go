@@ -12,21 +12,40 @@ import (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Encoder writes events in the RDB2 binary format. Events are buffered
-// into frames of roughly FrameSize bytes; Flush forces a partial frame out
-// (the rd2d client flushes on timer so the daemon sees events promptly),
-// and Close writes the end-of-stream frame. Not safe for concurrent use.
+// Encoder writes events in the RDB2 binary format (version 2). Events are
+// buffered into frames of roughly FrameSize bytes; Flush forces a partial
+// frame out (the rd2d client flushes on timer so the daemon sees events
+// promptly), and Close writes the end-of-stream frame. Not safe for
+// concurrent use.
+//
+// SetSession switches the encoder into resumable mode: the stream header is
+// followed by a hello frame carrying the session id, every events frame
+// becomes a seq'd chunk, and the complete serialized bytes of each chunk
+// are handed to the OnFrame hook before they are written — the hook owner
+// (ResumableClient) keeps them until the receiver acknowledges the chunk,
+// so they can be replayed verbatim over a new connection after Reset.
 type Encoder struct {
 	w      *bufio.Writer
 	buf    []byte // current frame payload under construction
 	tmp    [binary.MaxVarintLen64]byte
-	intern map[string]uint64 // string → 1-based id
+	scratch []byte            // serialized frame under construction
+	intern  map[string]uint64 // string → 1-based id
 	// FrameSize is the payload size that triggers a frame write; set
 	// between NewEncoder and the first WriteEvent. 0 means DefaultFrameSize.
 	FrameSize int
-	started   bool
-	closed    bool
-	events    int
+	// OnFrame, when set together with SetSession, receives the chunk
+	// sequence number and the complete serialized frame bytes of every
+	// seq'd events frame, before the frame is written to the underlying
+	// writer. The slice is only valid during the call and must be copied
+	// to be retained.
+	OnFrame func(seq uint64, frame []byte) error
+
+	sid        string // resumable session id ("" = plain stream)
+	nextSeq    uint64 // next chunk sequence number (resumable mode)
+	started    bool   // header (+hello) written on the current writer
+	endWritten bool   // end-of-stream frame written on the current writer
+	closed     bool
+	events     int
 }
 
 // NewEncoder returns an Encoder over w. The stream header is written
@@ -35,7 +54,42 @@ func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bufio.NewWriter(w), intern: map[string]uint64{}}
 }
 
-// start writes the magic + version header once.
+// SetSession switches the encoder into resumable mode under the given
+// client-chosen session id. Must be called before the first write.
+func (enc *Encoder) SetSession(sid string) error {
+	if enc.started {
+		return fmt.Errorf("wire: SetSession after stream start")
+	}
+	if sid == "" || len(sid) > MaxSessionID {
+		return fmt.Errorf("wire: bad session id %q", sid)
+	}
+	enc.sid = sid
+	return nil
+}
+
+// Reset points the encoder at a new writer (a freshly dialed connection).
+// The stream header — and, in resumable mode, the hello frame — is written
+// again by the next write; the interning table, the chunk sequence, and
+// any partially buffered frame are preserved, so a resumed stream carries
+// on exactly where the dead connection left off once the unacknowledged
+// chunks have been replayed (WriteRaw).
+func (enc *Encoder) Reset(w io.Writer) {
+	enc.w = bufio.NewWriter(w)
+	enc.started = false
+	enc.endWritten = false
+	enc.closed = false
+}
+
+// Start writes the stream header (and hello frame, in resumable mode) if
+// it has not been written on the current writer yet, and flushes it.
+func (enc *Encoder) Start() error {
+	if err := enc.start(); err != nil {
+		return err
+	}
+	return enc.w.Flush()
+}
+
+// start writes the magic + version header (+ hello) once per writer.
 func (enc *Encoder) start() error {
 	if enc.started {
 		return nil
@@ -44,7 +98,30 @@ func (enc *Encoder) start() error {
 	if _, err := enc.w.WriteString(Magic); err != nil {
 		return err
 	}
-	return enc.w.WriteByte(Version)
+	if err := enc.w.WriteByte(Version); err != nil {
+		return err
+	}
+	if enc.sid != "" {
+		hello := make([]byte, 0, len(enc.sid)+binary.MaxVarintLen64)
+		n := binary.PutUvarint(enc.tmp[:], uint64(len(enc.sid)))
+		hello = append(hello, enc.tmp[:n]...)
+		hello = append(hello, enc.sid...)
+		return enc.writeFrame(frameHello, hello)
+	}
+	return nil
+}
+
+// WriteRaw replays previously captured frame bytes (OnFrame) verbatim —
+// the resend path of a session resume. The header is written first if the
+// current writer has not seen it.
+func (enc *Encoder) WriteRaw(frame []byte) error {
+	if err := enc.start(); err != nil {
+		return err
+	}
+	if _, err := enc.w.Write(frame); err != nil {
+		return err
+	}
+	return enc.w.Flush()
 }
 
 func (enc *Encoder) frameSize() int {
@@ -182,7 +259,12 @@ func (enc *Encoder) encodeEvent(e *trace.Event) error {
 	}
 }
 
-// flushFrame writes the buffered payload as one events frame.
+// flushFrame writes the buffered payload as one events frame. In resumable
+// mode the chunk is sequenced and handed to OnFrame before the connection
+// write — and the encoder state (cleared buffer, advanced sequence) is
+// committed regardless of the write's outcome, so a failed write leaves
+// the chunk safely in the resend buffer rather than duplicated in the
+// next frame.
 func (enc *Encoder) flushFrame() error {
 	if len(enc.buf) == 0 {
 		return nil
@@ -190,27 +272,50 @@ func (enc *Encoder) flushFrame() error {
 	if err := enc.start(); err != nil {
 		return err
 	}
-	if err := enc.writeFrame(frameEvents, enc.buf); err != nil {
+	if enc.sid == "" {
+		if err := enc.writeFrame(frameEvents, enc.buf); err != nil {
+			return err
+		}
+		enc.buf = enc.buf[:0]
+		return nil
+	}
+	seq := enc.nextSeq
+	payload := make([]byte, 0, len(enc.buf)+binary.MaxVarintLen64)
+	n := binary.PutUvarint(enc.tmp[:], seq)
+	payload = append(payload, enc.tmp[:n]...)
+	payload = append(payload, enc.buf...)
+	frame := enc.serializeFrame(frameEventsSeq, payload)
+	enc.nextSeq++
+	enc.buf = enc.buf[:0]
+	if enc.OnFrame != nil {
+		if err := enc.OnFrame(seq, frame); err != nil {
+			return err
+		}
+	}
+	if _, err := enc.w.Write(frame); err != nil {
 		return err
 	}
-	enc.buf = enc.buf[:0]
-	return nil
+	// Per-chunk flush: resumable streams want errors surfaced promptly so
+	// the client can reconnect with a tight unacked window.
+	return enc.w.Flush()
+}
+
+// serializeFrame renders a complete frame (sync, kind, length, payload,
+// CRC) into the scratch buffer and returns it.
+func (enc *Encoder) serializeFrame(kind byte, payload []byte) []byte {
+	enc.scratch = enc.scratch[:0]
+	enc.scratch = append(enc.scratch, sync0, sync1, kind)
+	n := binary.PutUvarint(enc.tmp[:], uint64(len(payload)))
+	enc.scratch = append(enc.scratch, enc.tmp[:n]...)
+	enc.scratch = append(enc.scratch, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	enc.scratch = append(enc.scratch, crc[:]...)
+	return enc.scratch
 }
 
 func (enc *Encoder) writeFrame(kind byte, payload []byte) error {
-	if err := enc.w.WriteByte(kind); err != nil {
-		return err
-	}
-	n := binary.PutUvarint(enc.tmp[:], uint64(len(payload)))
-	if _, err := enc.w.Write(enc.tmp[:n]); err != nil {
-		return err
-	}
-	if _, err := enc.w.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
-	_, err := enc.w.Write(crc[:])
+	_, err := enc.w.Write(enc.serializeFrame(kind, payload))
 	return err
 }
 
@@ -229,23 +334,40 @@ func (enc *Encoder) Flush() error {
 // Events returns the number of events written so far.
 func (enc *Encoder) Events() int { return enc.events }
 
-// Close flushes buffered events and writes the end-of-stream frame. The
-// underlying writer is not closed. Close is idempotent.
-func (enc *Encoder) Close() error {
-	if enc.closed {
-		return nil
-	}
+// NextSeq returns the next chunk sequence number (resumable mode).
+func (enc *Encoder) NextSeq() uint64 { return enc.nextSeq }
+
+// WriteEnd flushes buffered events and writes the end-of-stream frame on
+// the current writer, without closing the encoder to further Resets — the
+// resume path uses it to re-terminate a replayed stream. Idempotent per
+// writer.
+func (enc *Encoder) WriteEnd() error {
 	if err := enc.start(); err != nil {
 		return err
 	}
 	if err := enc.flushFrame(); err != nil {
 		return err
 	}
-	enc.closed = true
-	if err := enc.writeFrame(frameEnd, nil); err != nil {
-		return err
+	if !enc.endWritten {
+		enc.endWritten = true
+		if err := enc.writeFrame(frameEnd, nil); err != nil {
+			return err
+		}
 	}
 	return enc.w.Flush()
+}
+
+// Close flushes buffered events and writes the end-of-stream frame. The
+// underlying writer is not closed. Close is idempotent.
+func (enc *Encoder) Close() error {
+	if enc.closed {
+		return nil
+	}
+	if err := enc.WriteEnd(); err != nil {
+		return err
+	}
+	enc.closed = true
+	return nil
 }
 
 // EncodeTrace writes a whole in-memory trace as one RDB2 stream (header,

@@ -5,8 +5,29 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/trace"
 )
+
+// encodeMultiFrame builds a small-frame stream of n action events for the
+// corruption seeds.
+func encodeMultiFrame(f *testing.F, n int) []byte {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	enc.FrameSize = 64
+	for i := 0; i < n; i++ {
+		e := trace.Act(1, trace.Action{Obj: 0, Method: "put",
+			Args: []trace.Value{trace.IntValue(int64(i))},
+			Rets: []trace.Value{trace.NilValue}})
+		if err := enc.WriteEvent(&e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // FuzzWireRoundTrip feeds arbitrary bytes to the decoder. The decoder must
 // return an error for malformed input — never panic, never allocate
@@ -37,8 +58,36 @@ func FuzzWireRoundTrip(f *testing.F) {
 		corrupt[12] ^= 0x40
 	}
 	f.Add(corrupt)
+	// The fault injector's corruption family: bad CRCs (bit flips), zeroed
+	// sync markers, truncated end-of-stream, junk splices, and a lying
+	// length field — seeded past the 5-byte header so every variant reaches
+	// frame decoding.
+	for _, v := range faultinject.CorruptStream(valid, 1, len(Magic)+1) {
+		f.Add(v.Data)
+	}
+	// A longer multi-frame stream corrupted the same ways (exercises the
+	// resync scan across frame boundaries).
+	long := encodeMultiFrame(f, 50)
+	f.Add(long)
+	for _, v := range faultinject.CorruptStream(long, 2, len(Magic)+1) {
+		f.Add(v.Data)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Resync mode first: must never panic, never loop forever, and stay
+		// within the decoded-event bound whatever the input.
+		if rd, err := NewDecoder(bytes.NewReader(data)); err == nil {
+			rd.SetResync(true)
+			for n := 0; ; n++ {
+				if _, err := rd.Next(); err != nil {
+					break
+				}
+				if n > 1<<16 {
+					t.Skip("unrealistically long decoded stream")
+				}
+			}
+		}
+
 		d, err := NewDecoder(bytes.NewReader(data))
 		if err != nil {
 			return // malformed header: fine, as long as we didn't panic

@@ -1,0 +1,378 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Resume-protocol defaults (overridable per client).
+const (
+	DefaultRetries    = 5
+	DefaultBackoff    = 100 * time.Millisecond
+	DefaultMaxBackoff = 5 * time.Second
+)
+
+// serverMsg is one JSON line from the daemon on the return path: either a
+// chunk acknowledgment ({"ack":N}) or the final session summary (which
+// always carries "events"). The two never share keys.
+type serverMsg struct {
+	Ack *uint64 `json:"ack"`
+
+	Events        *int   `json:"events"`
+	Races         int    `json:"races"`
+	Clean         bool   `json:"clean"`
+	Error         string `json:"error"`
+	Degraded      bool   `json:"degraded"`
+	SkippedFrames int    `json:"skipped_frames"`
+	SkippedBytes  int64  `json:"skipped_bytes"`
+	ShardPanics   int    `json:"shard_panics"`
+	Resumes       int    `json:"resumes"`
+	SessionID     string `json:"session"`
+}
+
+func (m *serverMsg) summary() Summary {
+	return Summary{
+		Events:        *m.Events,
+		Races:         m.Races,
+		Clean:         m.Clean,
+		Error:         m.Error,
+		Degraded:      m.Degraded,
+		SkippedFrames: m.SkippedFrames,
+		SkippedBytes:  m.SkippedBytes,
+		ShardPanics:   m.ShardPanics,
+		Resumes:       m.Resumes,
+		SessionID:     m.SessionID,
+	}
+}
+
+// chunk is one serialized seq'd events frame held until the daemon acks it.
+type chunk struct {
+	seq  uint64
+	data []byte
+}
+
+// ResumableClient streams events to an rd2d daemon under a client-chosen
+// session id, surviving mid-stream connection loss: every chunk is kept in
+// a resend buffer until the daemon acknowledges its sequence number, and on
+// a connection failure the client redials with exponential backoff plus
+// jitter, replays the stream header, hello frame, and all unacknowledged
+// chunks verbatim, and carries on. The daemon deduplicates replayed chunks
+// by sequence number, so no event is lost or double-counted regardless of
+// where the connection died.
+//
+// Correctness does not depend on acks arriving: acks only trim the resend
+// buffer. A daemon that never acks just costs the client memory.
+//
+// Not safe for concurrent use (like Client); the ack reader runs on its own
+// goroutine internally.
+type ResumableClient struct {
+	addr        string
+	sid         string
+	dialTimeout time.Duration
+
+	// Retries is the number of redial attempts per connection failure.
+	Retries int
+	// Backoff is the initial redial backoff; it doubles per attempt (with
+	// jitter) up to MaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// OnResume, when set, is called after each successful re-attach with
+	// the number of chunks replayed (a CLI progress hook).
+	OnResume func(replayed int)
+
+	conn    net.Conn
+	enc     *Encoder
+	msgs    chan serverMsg
+	done    chan struct{} // closed when the current conn's ack reader exits
+	resumes int
+
+	mu      sync.Mutex
+	unacked []chunk
+}
+
+// DialSession connects to an rd2d daemon and opens a resumable session
+// under sid (client-chosen; 1..MaxSessionID bytes, unique per client run).
+func DialSession(addr, sid string, timeout time.Duration) (*ResumableClient, error) {
+	c := &ResumableClient{
+		addr:        addr,
+		sid:         sid,
+		dialTimeout: timeout,
+		Retries:     DefaultRetries,
+		Backoff:     DefaultBackoff,
+		MaxBackoff:  DefaultMaxBackoff,
+		msgs:        make(chan serverMsg, 16),
+	}
+	c.enc = NewEncoder(io.Discard)
+	if err := c.enc.SetSession(sid); err != nil {
+		return nil, err
+	}
+	c.enc.OnFrame = c.captureChunk
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c.attach(conn)
+	return c, nil
+}
+
+// captureChunk is the Encoder.OnFrame hook: copy the serialized chunk into
+// the resend buffer before it touches the connection.
+func (c *ResumableClient) captureChunk(seq uint64, frame []byte) error {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	c.mu.Lock()
+	c.unacked = append(c.unacked, chunk{seq: seq, data: cp})
+	c.mu.Unlock()
+	return nil
+}
+
+// attach points the encoder at a fresh connection and starts its ack
+// reader. The caller replays unacked chunks afterwards (resume path).
+func (c *ResumableClient) attach(conn net.Conn) {
+	c.conn = conn
+	c.enc.Reset(conn)
+	done := make(chan struct{})
+	c.done = done
+	go func() {
+		defer close(done)
+		c.readAcks(conn)
+	}()
+}
+
+// readAcks drains the daemon's return path for this connection: ack lines
+// trim the resend buffer, and the final summary is forwarded to Close.
+// Exits when the connection dies.
+func (c *ResumableClient) readAcks(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var m serverMsg
+		if json.Unmarshal(line, &m) != nil {
+			continue
+		}
+		if m.Ack != nil {
+			c.ackUpTo(*m.Ack)
+			continue
+		}
+		if m.Events != nil {
+			select {
+			case c.msgs <- m:
+			default:
+			}
+		}
+	}
+}
+
+// ackUpTo drops every buffered chunk with sequence number <= seq.
+func (c *ResumableClient) ackUpTo(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := 0
+	for i < len(c.unacked) && c.unacked[i].seq <= seq {
+		i++
+	}
+	if i > 0 {
+		c.unacked = append(c.unacked[:0], c.unacked[i:]...)
+	}
+}
+
+// SetFrameSize overrides the chunk payload size threshold (tuning, and the
+// chunk-boundary differential tests). Call before the first WriteEvent.
+func (c *ResumableClient) SetFrameSize(n int) { c.enc.FrameSize = n }
+
+// Unacked returns the number of chunks awaiting acknowledgment.
+func (c *ResumableClient) Unacked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Resumes returns how many times the client re-attached after a failure.
+func (c *ResumableClient) Resumes() int { return c.resumes }
+
+// retryable reports whether err is a connection-level failure a reconnect
+// can fix (vs. an encoding error, which would recur on any connection).
+func retryable(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// reconnect redials with exponential backoff + jitter and replays the
+// header, hello, and all unacknowledged chunks on the new connection.
+func (c *ResumableClient) reconnect() error {
+	c.conn.Close() // stops the old ack reader
+	var lastErr error
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			// Full jitter over [backoff/2, backoff]: desynchronizes a herd
+			// of clients reconnecting after one daemon blip.
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.replay(conn); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		c.resumes++
+		return nil
+	}
+	return fmt.Errorf("wire: resume session %q after %d attempts: %w", c.sid, c.Retries+1, lastErr)
+}
+
+// replay attaches conn and resends header + hello + unacked chunks.
+func (c *ResumableClient) replay(conn net.Conn) error {
+	c.attach(conn)
+	if err := c.enc.Start(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	pending := make([]chunk, len(c.unacked))
+	copy(pending, c.unacked)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		if err := c.enc.WriteRaw(ch.data); err != nil {
+			return err
+		}
+	}
+	if c.OnResume != nil {
+		c.OnResume(len(pending))
+	}
+	return nil
+}
+
+// WriteEvent streams one event, reconnecting and resuming on connection
+// failure. When the write fails at the connection, the event is already
+// committed to the resend buffer (or the encoder's partial-frame buffer),
+// so it is never re-encoded — replay delivers it exactly once.
+func (c *ResumableClient) WriteEvent(e *trace.Event) error {
+	err := c.enc.WriteEvent(e)
+	if err == nil {
+		return nil
+	}
+	if !retryable(err) {
+		return err
+	}
+	return c.reconnect()
+}
+
+// Flush pushes buffered events onto the socket, reconnecting on failure.
+func (c *ResumableClient) Flush() error {
+	err := c.enc.Flush()
+	if err == nil {
+		return nil
+	}
+	if !retryable(err) {
+		return err
+	}
+	return c.reconnect()
+}
+
+// SendSource streams an entire event source.
+func (c *ResumableClient) SendSource(src trace.Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.WriteEvent(&e); err != nil {
+			return err
+		}
+	}
+}
+
+// Close terminates the stream (end-of-stream frame) and waits up to
+// timeout for the daemon's summary, reconnecting — and re-terminating the
+// replayed stream — if the connection dies in between. A completed session
+// lingers in the daemon's session table, so a summary lost to a dying
+// connection is re-delivered on the next attach.
+func (c *ResumableClient) Close(timeout time.Duration) (Summary, error) {
+	defer c.conn.Close()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.enc.WriteEnd(); err != nil {
+			if !retryable(err) {
+				return Summary{}, err
+			}
+			if err := c.reconnectForClose(deadline, timeout); err != nil {
+				return Summary{}, err
+			}
+			continue
+		}
+		var wait time.Duration
+		if timeout > 0 {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return Summary{}, fmt.Errorf("wire: reading summary: timeout")
+			}
+		} else {
+			wait = 365 * 24 * time.Hour
+		}
+		select {
+		case m := <-c.msgs:
+			return m.summary(), nil
+		case <-time.After(wait):
+			return Summary{}, fmt.Errorf("wire: reading summary: timeout after %v", timeout)
+		case <-c.done:
+			// The ack reader exited: either the daemon sent the summary and
+			// closed (it is already buffered in msgs — the reader forwards
+			// before exiting), or the connection died mid-wait.
+			select {
+			case m := <-c.msgs:
+				return m.summary(), nil
+			default:
+			}
+			if err := c.reconnectForClose(deadline, timeout); err != nil {
+				return Summary{}, err
+			}
+		}
+	}
+}
+
+// reconnectForClose is reconnect with the Close deadline enforced.
+func (c *ResumableClient) reconnectForClose(deadline time.Time, timeout time.Duration) error {
+	if timeout > 0 && time.Now().After(deadline) {
+		return fmt.Errorf("wire: reading summary: timeout")
+	}
+	return c.reconnect()
+}
+
+// Abort closes the connection without finishing the stream. The daemon
+// parks the session until its TTL expires, then reports it unclean.
+func (c *ResumableClient) Abort() error { return c.conn.Close() }

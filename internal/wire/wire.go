@@ -2,16 +2,34 @@
 // compact, framed, CRC-protected encoding of internal/trace events designed
 // for online ingestion (cmd/rd2d) and for on-disk binary traces (.rdb).
 //
-// # Stream layout (DESIGN.md §8)
+// # Stream layout (DESIGN.md §8, §9)
 //
 //	stream  := magic version frame*
 //	magic   := "RDB2"                        (4 bytes)
-//	version := 0x01                          (1 byte)
-//	frame   := kind len payload crc
-//	kind    := 0x01 events | 0x02 end-of-stream (1 byte)
+//	version := 0x01 | 0x02                   (1 byte)
+//	frame   := sync kind len payload crc     (sync only in version 2)
+//	sync    := 0xE5 0x4D                     (per-frame resync marker)
+//	kind    := 0x01 events | 0x02 end-of-stream
+//	         | 0x03 hello  | 0x04 seq'd events (version 2 only)
 //	len     := uvarint                       (payload length in bytes)
 //	payload := event*                        (empty for end-of-stream)
 //	crc     := CRC-32C of payload            (4 bytes little-endian)
+//
+// Version 2 (written by this package; version 1 streams are still read)
+// prefixes every frame with a two-byte sync marker and adds two frame
+// kinds in support of fault tolerance:
+//
+//	hello   := sidlen:uvarint sid:bytes      (client-chosen session id)
+//	seq'd   := seq:uvarint event*            (chunk sequence number)
+//
+// A hello frame, sent immediately after the stream header, opens a
+// resumable session: every events frame then carries a chunk sequence
+// number, the daemon acknowledges chunks with JSON lines ({"ack":N}) on
+// the return path, and a client that loses its connection can redial,
+// replay the header + hello + its unacknowledged chunks, and continue —
+// the receiver skips chunks whose sequence number it has already consumed,
+// so no event is duplicated or lost (ResumableClient implements the client
+// side, with exponential backoff + jitter).
 //
 // Events are varint records; all ids (threads, objects, locks, vars,
 // channels) are unsigned varints, integer values are zigzag varints, and
@@ -44,24 +62,56 @@
 // errors — never panics — on truncated, corrupt, or adversarial input
 // (FuzzWireRoundTrip keeps it honest).
 //
+// # Corruption resync
+//
+// By default a corrupt frame (CRC mismatch, lost sync, unparseable header)
+// is a fatal decode error. With SetResync(true) the decoder instead scans
+// forward for the next sync marker that starts a CRC-valid frame and
+// continues from there; the bytes skipped and frames dropped are counted
+// (SkippedBytes, SkippedFrames) and reported through internal/obs, and
+// Degraded() reports that the decoded event stream is incomplete. A
+// candidate frame is accepted during the scan only after its checksum has
+// been verified in the decoder's lookahead window (ResyncWindow), so a
+// false sync marker inside corrupt data can never desynchronize the
+// decoder further; valid frames larger than the window are skipped rather
+// than trusted. Resync requires a version 2 stream (version 1 frames have
+// no sync marker).
+//
 // An explicit end-of-stream frame distinguishes a clean end from a
 // truncated stream: Decoder.Clean reports whether one was seen. The
 // Encoder writes it from Close; a stream that merely stops at a frame
 // boundary still decodes fully but reports Clean() == false.
 package wire
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
 
 // Magic is the 4-byte stream header identifying the RDB2 binary format.
 const Magic = "RDB2"
 
-// Version is the wire format version written and accepted.
-const Version = 1
+// Version is the wire format version written. The decoder also accepts
+// MinVersion streams (no per-frame sync marker, no resumable sessions).
+const (
+	Version    = 2
+	MinVersion = 1
+)
+
+// Per-frame sync marker bytes (version 2): every frame header starts with
+// these, giving the corruption resync scan an anchor to search for.
+const (
+	sync0 byte = 0xE5
+	sync1 byte = 0x4D
+)
 
 // Frame kinds.
 const (
-	frameEvents byte = 0x01
-	frameEnd    byte = 0x02
+	frameEvents    byte = 0x01
+	frameEnd       byte = 0x02
+	frameHello     byte = 0x03 // resumable session id (version 2)
+	frameEventsSeq byte = 0x04 // events with a chunk sequence number (version 2)
 )
 
 // Value kind tags (mirror trace.Kind but are an independent wire contract).
@@ -83,16 +133,43 @@ const (
 	MaxStrings = 1 << 20
 	// MaxTuple caps the argument/return tuple length of one action.
 	MaxTuple = 1 << 16
+	// MaxSessionID caps the hello frame's session id length.
+	MaxSessionID = 256
 )
 
 // DefaultFrameSize is the payload size at which the encoder emits a frame.
 const DefaultFrameSize = 16 * 1024
+
+// ResyncWindow is the decoder's lookahead during corruption resync: a
+// candidate frame is accepted only if it fits the window and its CRC
+// verifies there. Larger valid frames inside corrupt regions are skipped
+// (counted, reported) rather than trusted.
+const ResyncWindow = 128 * 1024
 
 // ErrCRC is returned (wrapped) when a frame fails its checksum.
 var ErrCRC = errors.New("wire: frame CRC mismatch")
 
 // ErrTruncated is returned (wrapped) when the stream ends inside a frame.
 var ErrTruncated = errors.New("wire: truncated stream")
+
+// ErrSync is returned (wrapped) when a version 2 frame does not start with
+// the sync marker (stream corruption), in strict (non-resync) mode.
+var ErrSync = errors.New("wire: lost frame sync")
+
+// ErrChunkGap is returned when a seq'd events frame skips ahead of the next
+// expected chunk (a resuming client replayed too little), in strict mode.
+var ErrChunkGap = errors.New("wire: chunk sequence gap")
+
+// Resync metrics: bytes skipped scanning for a sync marker, whole frames
+// dropped (undecodable but CRC-valid, or lost in a chunk-sequence gap), and
+// resync scans entered. Duplicate chunks skipped during a session resume
+// are counted separately — they are protocol-normal, not corruption.
+var (
+	obsSkippedBytes  = obs.GetCounter("wire.resync_skipped_bytes")
+	obsSkippedFrames = obs.GetCounter("wire.resync_skipped_frames")
+	obsResyncs       = obs.GetCounter("wire.resyncs")
+	obsDupChunks     = obs.GetCounter("wire.dup_chunks")
+)
 
 // SniffLen is the number of bytes needed to recognize the format (Sniff).
 const SniffLen = len(Magic)

@@ -148,9 +148,9 @@ func TestDecoderClean(t *testing.T) {
 		t.Fatalf("Events() = %d, want %d", d.Events(), tr.Len())
 	}
 
-	// Dropping the end-of-stream frame (5 bytes: kind + len0 + crc4) still
-	// decodes everything but reports an unclean end.
-	d2, err := NewDecoder(bytes.NewReader(data[:len(data)-6]))
+	// Dropping the end-of-stream frame (8 bytes: sync2 + kind + len0 + crc4)
+	// still decodes everything but reports an unclean end.
+	d2, err := NewDecoder(bytes.NewReader(data[:len(data)-8]))
 	if err != nil {
 		t.Fatal(err)
 	}
