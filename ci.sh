@@ -30,6 +30,13 @@
 #                 rd2 -send -resume) asserting the daemon never crashes or
 #                 hangs and every faulted session reports itself degraded.
 #   -chaos-only   run only the fault-tolerance smoke (used by `make chaos-smoke`).
+#   -stamp        additionally run the parallel-stamping smoke: the
+#                 parallel-vs-serial stamping differentials (byte-identical
+#                 clocks, identical races and errors) under -race at
+#                 GOMAXPROCS 1, 2 and 4 — the single-proc run exercises the
+#                 worker pool fully serialized, the others with real
+#                 preemption.
+#   -stamp-only   run only the parallel-stamping smoke (used by `make stamp-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
@@ -41,6 +48,8 @@ WIRE=0
 WIREONLY=0
 CHAOS=0
 CHAOSONLY=0
+STAMP=0
+STAMPONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
@@ -50,11 +59,13 @@ for arg in "$@"; do
     -wire-only) WIRE=1; WIREONLY=1 ;;
     -chaos) CHAOS=1 ;;
     -chaos-only) CHAOS=1; CHAOSONLY=1 ;;
-    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only]" >&2; exit 2 ;;
+    -stamp) STAMP=1 ;;
+    -stamp-only) STAMP=1; STAMPONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only] [-stamp|-stamp-only]" >&2; exit 2 ;;
     esac
 done
 ONLY=0
-if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ]; then
+if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ] || [ "$STAMPONLY" = 1 ]; then
     ONLY=1
 else
     # The streaming smoke is part of the default CI path.
@@ -71,17 +82,53 @@ if [ "$ONLY" = 0 ]; then
     echo "== go test -race =="
     go test -race ./...
 
-    echo "== differential (serial vs sharded pipeline, clone vs snapshot stamping) =="
-    go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial' \
-        ./internal/pipeline ./internal/monitor -v
+    echo "== differential (serial vs sharded pipeline, clone vs snapshot vs parallel stamping) =="
+    go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial|TestCorpusParallel|TestRunParallelMatchesSerial' \
+        ./internal/pipeline ./internal/monitor ./internal/hb ./internal/core -v
+
+    echo "== stamp differential under -tags=clockcheck (poisoned snapshots) =="
+    go test -tags=clockcheck -count=1 \
+        -run 'TestCorpusParallelStampingByteIdentical|TestStampAllParallelMatchesSerial|TestCorpusParallelFrontend|TestDifferentialParallelFrontend' \
+        ./internal/hb ./internal/pipeline
 
     echo "== bench smoke (front-end allocation gate vs BENCH_baseline.json) =="
     {
-        go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkProcessAction' \
+        go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkStampParallel|BenchmarkProcessAction' \
             -benchmem -benchtime 100x ./internal/hb
         go test -run '^$' -bench 'BenchmarkPipelineFrontend' \
             -benchmem -benchtime 5x ./internal/pipeline
     } | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only
+
+    echo "== bench ratio gate (parallel front end vs serial shards=1, interleaved rounds) =="
+    # The two variants alternate binary-run by binary-run so host-speed
+    # drift hits both sides equally; benchgate takes the median ns/op per
+    # side. An absolute ns/op gate would be meaningless on a noisy box — a
+    # ratio of medians from interleaved samples is stable.
+    #
+    # The limit depends on the processor count: with >= 2 CPUs the parallel
+    # front end must be at least as fast as the serial shards=1 baseline
+    # (the Amdahl wall this path removes must not return). A single-CPU box
+    # cannot show parallel speedup — there the gate instead bounds the
+    # two-pass machinery's overhead at 10% (the pre-optimization wall
+    # measured ~1.28x, so a regression still trips it).
+    NCPU=$(nproc 2>/dev/null || echo 1)
+    if [ "$NCPU" -ge 2 ]; then
+        RATIO_LIMIT=1.0
+    else
+        RATIO_LIMIT=1.10
+    fi
+    RATIOTMP=$(mktemp -d)
+    go test -c -o "$RATIOTMP/pipeline.test" ./internal/pipeline
+    for round in 1 2 3; do
+        "$RATIOTMP/pipeline.test" -test.run '^$' \
+            -test.bench 'BenchmarkPipelineFrontend/shards=1$' -test.benchtime 10x
+        "$RATIOTMP/pipeline.test" -test.run '^$' \
+            -test.bench 'BenchmarkPipelineFrontend/shards=4/stamp=2$' -test.benchtime 10x
+    done > "$RATIOTMP/bench.out"
+    go run ./cmd/benchgate -baseline '' \
+        -ratio "BenchmarkPipelineFrontend/shards=4/stamp=2,BenchmarkPipelineFrontend/shards=1,$RATIO_LIMIT" \
+        < "$RATIOTMP/bench.out"
+    rm -rf "$RATIOTMP"
 fi
 
 if [ "$CLOCKCHECK" = 1 ]; then
@@ -274,6 +321,21 @@ if [ "$CHAOS" = 1 ]; then
         echo "chaos smoke ($inject): degraded session reported, daemon survived"
     done
     echo "chaos smoke OK"
+fi
+
+if [ "$STAMP" = 1 ]; then
+    echo "== stamp smoke: parallel-vs-serial stamping at GOMAXPROCS 1, 2, 4 =="
+    # GOMAXPROCS=1 runs the worker pool fully serialized (every handoff is a
+    # yield), higher values with real preemption. -count=1 defeats the test
+    # cache: GOMAXPROCS is read by the runtime, not os.Getenv, so cached
+    # results would otherwise be reused across processor counts.
+    for procs in 1 2 4; do
+        echo "-- GOMAXPROCS=$procs"
+        GOMAXPROCS=$procs go test -race -count=1 \
+            -run 'TestStampAllParallelMatchesSerial|TestCorpusParallelStampingByteIdentical|TestParallelStreamMatchesStream|TestParallelStamperChunked|TestDifferentialParallelFrontend|TestRunParallelMatchesSerial' \
+            ./internal/hb ./internal/pipeline ./internal/core
+    done
+    echo "stamp smoke OK"
 fi
 
 echo "CI OK"

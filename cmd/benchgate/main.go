@@ -23,6 +23,20 @@
 // Benchmarks missing from the baseline are reported but never fail the
 // gate, so adding a benchmark does not require regenerating the baseline in
 // the same change.
+//
+// Ratio gates compare two benchmarks WITHIN the same input instead of
+// against the baseline — host-speed drift hits both sides equally, so the
+// ratio is stable even on machines where absolute ns/op is not:
+//
+//	... | benchgate -baseline '' \
+//	      -ratio 'BenchmarkPipelineFrontend/shards=4/stamp=2,BenchmarkPipelineFrontend/shards=1,1.0'
+//
+// fails when median ns/op of the first benchmark exceeds max × the second's.
+// The flag repeats; each side must be present in the input (missing = exit
+// 2, the gate never silently passes). When the input holds several samples
+// of a name (interleaved rounds, -count), the median is used, so one noisy
+// sample cannot flip the gate. -baseline '' skips the baseline comparison
+// for ratio-only invocations.
 package main
 
 import (
@@ -36,11 +50,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. When the same benchmark appears
+// several times in the input (interleaved rounds, -count), NsSamples keeps
+// every ns/op observation for median-based ratio gates; the flat fields
+// hold the last observation.
 type Result struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"bytes_op"`
 	AllocsOp float64 `json:"allocs_op"`
+
+	NsSamples []float64 `json:"-"`
 }
 
 // Baseline is the checked-in reference file.
@@ -81,9 +100,46 @@ func parseBench(r *bufio.Scanner) (map[string]Result, error) {
 				res.AllocsOp = v
 			}
 		}
+		res.NsSamples = append(out[name].NsSamples, res.NsOp)
 		out[name] = res
 	}
 	return out, r.Err()
+}
+
+// median of a non-empty sample set (lower middle for even counts).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// ratioCheck is one -ratio gate: median ns/op of num must be at most
+// max × median ns/op of den.
+type ratioCheck struct {
+	num, den string
+	max      float64
+}
+
+// ratioFlags parses repeated -ratio 'Num,Den,max' flags.
+type ratioFlags struct{ checks []ratioCheck }
+
+func (r *ratioFlags) String() string { return fmt.Sprint(r.checks) }
+
+func (r *ratioFlags) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want 'NumBench,DenBench,max', got %q", s)
+	}
+	max, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("bad ratio limit %q", parts[2])
+	}
+	r.checks = append(r.checks, ratioCheck{
+		num: strings.TrimSpace(parts[0]),
+		den: strings.TrimSpace(parts[1]),
+		max: max,
+	})
+	return nil
 }
 
 // normalizeName strips the -N GOMAXPROCS suffix Go appends to benchmark
@@ -108,7 +164,10 @@ func main() {
 		allocsSlack  = flag.Float64("allocs-slack", 16, "absolute allocs/op headroom over baseline")
 		timeTol      = flag.Float64("time-tol", 1.0, "relative ns/op headroom over baseline (1.0 = 2x)")
 		allocsOnly   = flag.Bool("allocs-only", false, "gate allocs/op only (skip the noisy ns/op check)")
+		ratios       ratioFlags
 	)
+	flag.Var(&ratios, "ratio",
+		"in-run ratio gate 'NumBench,DenBench,max': median ns/op of Num must be <= max * Den (repeatable)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -137,15 +196,17 @@ func main() {
 		return
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: bad baseline %s: %v\n", *baselinePath, err)
-		os.Exit(2)
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad baseline %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
 	}
 
 	names := make([]string, 0, len(got))
@@ -156,6 +217,9 @@ func main() {
 
 	failed := false
 	for _, name := range names {
+		if *baselinePath == "" {
+			break // ratio-only invocation: no baseline to diff against
+		}
 		cur := got[name]
 		ref, ok := base.Benchmarks[name]
 		if !ok {
@@ -182,6 +246,27 @@ func main() {
 		}
 		fmt.Printf("%s %-50s %10.0f allocs/op (baseline %0.0f) %12.0f ns/op (baseline %0.0f)\n",
 			status, name, cur.AllocsOp, ref.AllocsOp, cur.NsOp, ref.NsOp)
+	}
+	for _, rc := range ratios.checks {
+		num, okN := got[rc.num]
+		den, okD := got[rc.den]
+		if !okN || !okD {
+			missing := rc.num
+			if okN {
+				missing = rc.den
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: ratio gate: benchmark %q missing from input\n", missing)
+			os.Exit(2)
+		}
+		nv, dv := median(num.NsSamples), median(den.NsSamples)
+		ratio := nv / dv
+		status := "ok   "
+		if ratio > rc.max {
+			status = "FAIL "
+			failed = true
+		}
+		fmt.Printf("%s ratio %s / %s = %.3f (limit %.3f, medians %0.0f / %0.0f ns/op over %d+%d samples)\n",
+			status, rc.num, rc.den, ratio, rc.max, nv, dv, len(num.NsSamples), len(den.NsSamples))
 	}
 	if failed {
 		fmt.Println("benchgate: REGRESSION — see FAIL lines above")

@@ -31,6 +31,52 @@ PASS
 	}
 }
 
+func TestParseBenchCollectsSamples(t *testing.T) {
+	out := `BenchmarkA-8	10	100 ns/op
+BenchmarkB-8	10	50 ns/op
+BenchmarkA-8	10	300 ns/op
+BenchmarkB-8	10	60 ns/op
+BenchmarkA-8	10	200 ns/op
+`
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got["BenchmarkA"]
+	if len(a.NsSamples) != 3 || median(a.NsSamples) != 200 {
+		t.Fatalf("BenchmarkA samples %v, median %v, want 3 samples / median 200",
+			a.NsSamples, median(a.NsSamples))
+	}
+	if a.NsOp != 200 { // flat field keeps the last observation
+		t.Fatalf("BenchmarkA NsOp = %v, want 200", a.NsOp)
+	}
+	if b := got["BenchmarkB"]; median(b.NsSamples) != 50 {
+		t.Fatalf("BenchmarkB median = %v, want 50 (lower middle of even count)", median(b.NsSamples))
+	}
+}
+
+func TestRatioFlagSet(t *testing.T) {
+	var r ratioFlags
+	if err := r.Set("BenchmarkA/x=1, BenchmarkB ,1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("BenchmarkC,BenchmarkD,0.9"); err != nil {
+		t.Fatal(err)
+	}
+	want := []ratioCheck{
+		{num: "BenchmarkA/x=1", den: "BenchmarkB", max: 1.5},
+		{num: "BenchmarkC", den: "BenchmarkD", max: 0.9},
+	}
+	if len(r.checks) != 2 || r.checks[0] != want[0] || r.checks[1] != want[1] {
+		t.Fatalf("checks = %+v, want %+v", r.checks, want)
+	}
+	for _, bad := range []string{"", "a,b", "a,b,c,d", "a,b,zero", "a,b,-1"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+}
+
 func TestNormalizeName(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkStampAll/action-8":  "BenchmarkStampAll/action",

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestStampWorkersFlag: -stampworkers routes through the two-pass parallel
+// front end on both the serial detector (shards<=1) and the sharded
+// pipeline, with identical exit codes on racy and clean traces.
+func TestStampWorkersFlag(t *testing.T) {
+	racy := writeFile(t, "racy.trace", racyTrace)
+	clean := writeFile(t, "clean.trace", cleanTrace)
+	for _, shards := range []string{"1", "4"} {
+		for _, workers := range []string{"1", "2", "4"} {
+			base := []string{"-shards", shards, "-stampworkers", workers, "-trace"}
+			if code := run(append(base, racy)); code != 1 {
+				t.Errorf("shards=%s stampworkers=%s racy: exit = %d, want 1",
+					shards, workers, code)
+			}
+			if code := run(append(base, clean)); code != 0 {
+				t.Errorf("shards=%s stampworkers=%s clean: exit = %d, want 0",
+					shards, workers, code)
+			}
+		}
+	}
+}

@@ -42,6 +42,7 @@ type daemonConfig struct {
 	bindSpecs    map[trace.ObjID]string
 	engine       core.Engine
 	shards       int
+	stampWorkers int // >= 2 runs the chunked two-pass stamping worker
 	maxRaces     int
 	queueLen     int           // per-connection ingest queue, in events
 	idleTimeout  time.Duration // per-read deadline; 0 disables

@@ -56,6 +56,8 @@ func run(args []string) int {
 	bind := fs.String("bind", "", "per-object specs, e.g. 0=dict,3=set")
 	engine := fs.String("engine", "bounded", "conflict engine: bounded or enumerating")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection shards per session")
+	stampWorkers := fs.Int("stampworkers", 1,
+		"happens-before stamping workers per session; >=2 stamps ingest chunks with the two-pass parallel engine")
 	maxRaces := fs.Int("max-races", 100, "maximum races retained per session")
 	queueLen := fs.Int("queue", 1024, "per-connection ingest queue depth in events")
 	idleTimeout := fs.Duration("idle-timeout", 30*time.Second, "per-read idle timeout (0 disables)")
@@ -77,6 +79,7 @@ func run(args []string) int {
 	cfg := daemonConfig{
 		defaultSpec:  *specName,
 		shards:       *shards,
+		stampWorkers: *stampWorkers,
 		maxRaces:     *maxRaces,
 		queueLen:     *queueLen,
 		idleTimeout:  *idleTimeout,

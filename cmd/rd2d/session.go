@@ -152,6 +152,17 @@ func (s *session) work() {
 			s.collect()
 		}
 	}()
+	if s.d.cfg.stampWorkers >= 2 {
+		s.workChunked()
+	} else {
+		s.workSerial()
+	}
+	s.collect()
+}
+
+// workSerial is the legacy per-event worker loop: incremental serial
+// stamping, immediate dispatch.
+func (s *session) workSerial() {
 	sinceCompact := 0
 	for e := range s.queue {
 		s.events++
@@ -167,21 +178,95 @@ func (s *session) work() {
 			s.procErr = fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
 			continue
 		}
-		if e.Kind == trace.ActionEvent && !s.registered[e.Act.Obj] {
-			rep, _ := s.d.repFor(e.Act.Obj)
-			if s.wrapRep != nil {
-				rep = s.wrapRep(rep)
-			}
-			s.p.Register(e.Act.Obj, rep)
-			s.registered[e.Act.Obj] = true
-		}
-		s.p.Process(&e)
-		if e.Kind == trace.JoinEvent && s.d.cfg.compactOps > 0 && sinceCompact >= s.d.cfg.compactOps {
-			s.p.Compact(s.en.MeetLive())
-			sinceCompact = 0
-		}
+		s.dispatch(&e, &sinceCompact)
 	}
-	s.collect()
+}
+
+// workChunked is the two-pass variant of the worker (-stampworkers >= 2):
+// it drains the queue in chunks — one blocking receive, then whatever else
+// is already buffered — stamps each chunk with the parallel two-pass
+// engine, and runs the per-event dispatch loop (lazy registration, fault
+// injection, pipeline feed, compaction) over the stamped chunk. Verdicts
+// and error positions match the serial worker exactly; an idle trickle
+// degrades to chunks of one event, the same work the serial loop does.
+func (s *session) workChunked() {
+	ps := hb.NewParallelStamper(s.d.cfg.stampWorkers)
+	s.en = ps.Engine() // compaction thresholds (MeetLive) come from here
+	max := s.d.cfg.queueLen
+	if max < 1 {
+		max = 1
+	}
+	chunk := make([]trace.Event, 0, max)
+	sinceCompact := 0
+	for {
+		e, ok := <-s.queue
+		if !ok {
+			return
+		}
+		chunk = append(chunk[:0], e)
+	drain:
+		for len(chunk) < max {
+			select {
+			case e, ok := <-s.queue:
+				if !ok {
+					s.runChunk(ps, chunk, &sinceCompact)
+					return
+				}
+				chunk = append(chunk, e)
+			default:
+				break drain
+			}
+		}
+		s.runChunk(ps, chunk, &sinceCompact)
+	}
+}
+
+// runChunk stamps one drained chunk and dispatches its events in order.
+// On a stamping error the valid prefix is still dispatched (the serial
+// loop's stop-at-first-error behavior) and the remainder only counted.
+func (s *session) runChunk(ps *hb.ParallelStamper, chunk []trace.Event, sinceCompact *int) {
+	if s.procErr != nil {
+		s.events += len(chunk)
+		*sinceCompact += len(chunk)
+		return
+	}
+	n, serr := ps.StampChunk(chunk)
+	for i := 0; i < n; i++ {
+		e := &chunk[i]
+		s.events++
+		*sinceCompact++
+		s.lastEv = e.String()
+		if k := s.d.cfg.injectWorkerPanic; k > 0 && s.events == k {
+			panic(fmt.Sprintf("faultinject: injected worker panic at event %d", k))
+		}
+		s.dispatch(e, sinceCompact)
+	}
+	if serr != nil {
+		bad := &chunk[n]
+		s.lastEv = bad.String()
+		s.events += len(chunk) - n
+		*sinceCompact += len(chunk) - n
+		s.procErr = fmt.Errorf("event %d (%s): %w", bad.Seq, bad.String(), serr)
+	}
+}
+
+// dispatch feeds one stamped event to the pipeline: lazy registration
+// ahead of the object's first action, then the event itself, then the
+// post-join compaction check.
+func (s *session) dispatch(e *trace.Event, sinceCompact *int) {
+	if e.Kind == trace.ActionEvent && !s.registered[e.Act.Obj] {
+		rep, _ := s.d.repFor(e.Act.Obj)
+		if s.wrapRep != nil {
+			rep = s.wrapRep(rep)
+		}
+		s.p.Register(e.Act.Obj, rep)
+		s.registered[e.Act.Obj] = true
+	}
+	s.p.Process(e)
+	if e.Kind == trace.JoinEvent && s.d.cfg.compactOps > 0 && *sinceCompact >= s.d.cfg.compactOps {
+		s.p.Compact(s.en.MeetLive())
+		*sinceCompact = 0
+	}
 }
 
 // collect closes the pipeline and harvests its results, under its own

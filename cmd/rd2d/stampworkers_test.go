@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestDaemonChunkedWorkerMatchesSerial streams the same workload into a
+// legacy daemon and a -stampworkers=2 daemon (chunked two-pass stamping in
+// the session worker) and requires identical session summaries — the
+// daemon leg of the ISSUE 6 differential.
+func TestDaemonChunkedWorkerMatchesSerial(t *testing.T) {
+	gcfg := trace.GenConfig{
+		Threads: 5, Objects: 4, Keys: 5, Vals: 3, Locks: 2,
+		OpsMin: 60, OpsMax: 90, PSize: 10, PGet: 40, PLocked: 25, PRemove: 25,
+	}
+	tr := trace.Generate(rand.New(rand.NewSource(11)), gcfg)
+
+	run := func(stampWorkers int) wire.Summary {
+		t.Helper()
+		var report bytes.Buffer
+		d, done := testDaemonCfg(t, &report, func(cfg *daemonConfig) {
+			cfg.stampWorkers = stampWorkers
+			cfg.queueLen = 32 // force several chunks per session
+		})
+		cl, err := wire.Dial(d.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SendSource(tr.Source()); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := cl.Close(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Shutdown()
+		if err := <-done; err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		return sum
+	}
+
+	serial := run(1)
+	chunked := run(2)
+	if serial.Error != "" || chunked.Error != "" {
+		t.Fatalf("session errors: serial %q, chunked %q", serial.Error, chunked.Error)
+	}
+	if !serial.Clean || !chunked.Clean {
+		t.Fatalf("sessions not clean: serial %+v, chunked %+v", serial, chunked)
+	}
+	if serial.Events != chunked.Events || serial.Races != chunked.Races {
+		t.Fatalf("summaries differ:\n  serial:  %+v\n  chunked: %+v", serial, chunked)
+	}
+}
+
+// TestDaemonChunkedWorkerErrorParity: a malformed stream produces the same
+// positioned session error through the chunked worker as the serial one.
+func TestDaemonChunkedWorkerErrorParity(t *testing.T) {
+	bad := &trace.Trace{}
+	bad.Append(trace.Fork(0, 1))
+	bad.Append(trace.Act(1, trace.Action{Obj: 0, Method: "size", Rets: []trace.Value{trace.IntValue(0)}}))
+	bad.Append(trace.Recv(1, 3)) // no pending send
+	bad.Append(trace.Act(1, trace.Action{Obj: 0, Method: "size", Rets: []trace.Value{trace.IntValue(0)}}))
+
+	run := func(stampWorkers int) wire.Summary {
+		t.Helper()
+		d, done := testDaemonCfg(t, nil, func(cfg *daemonConfig) {
+			cfg.stampWorkers = stampWorkers
+		})
+		cl, err := wire.Dial(d.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SendSource(bad.Source()); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := cl.Close(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Shutdown()
+		if err := <-done; err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		return sum
+	}
+
+	serial := run(1)
+	chunked := run(2)
+	if serial.Error == "" || chunked.Error == "" {
+		t.Fatalf("expected session errors, got serial %q, chunked %q", serial.Error, chunked.Error)
+	}
+	if serial.Error != chunked.Error {
+		t.Fatalf("error mismatch:\n  serial:  %s\n  chunked: %s", serial.Error, chunked.Error)
+	}
+	if serial.Events != chunked.Events {
+		t.Fatalf("events: serial %d, chunked %d", serial.Events, chunked.Events)
+	}
+}

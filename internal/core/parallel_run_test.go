@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// rawTrace returns a private unstamped copy so each run stamps its own
+// events.
+func rawTrace(tr *trace.Trace) *trace.Trace {
+	ev := make([]trace.Event, len(tr.Events))
+	copy(ev, tr.Events)
+	for i := range ev {
+		ev[i].Clock = nil
+	}
+	return &trace.Trace{Events: ev}
+}
+
+// TestRunParallelMatchesSerial: the parallel front-end entry points
+// (RunTraceParallel, RunSourceParallel) report byte-for-byte the verdicts
+// of the serial ones on randomized traces — same races in the same order,
+// same stats.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Threads, cfg.Objects = 6, 12
+	cfg.OpsMin, cfg.OpsMax = 50, 120
+	newDet := func() *Detector {
+		d := New(Config{})
+		for o := 0; o < cfg.Objects; o++ {
+			d.Register(trace.ObjID(o), dictRep)
+		}
+		return d
+	}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), cfg)
+		serial := newDet()
+		if err := serial.RunTrace(rawTrace(tr)); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, mode := range []string{"trace", "source"} {
+				label := fmt.Sprintf("seed=%d workers=%d %s", seed, workers, mode)
+				d := newDet()
+				var err error
+				if mode == "trace" {
+					err = d.RunTraceParallel(rawTrace(tr), workers)
+				} else {
+					err = d.RunSourceParallel(rawTrace(tr).Source(), workers)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				want, have := serial.Races(), d.Races()
+				if len(want) != len(have) {
+					t.Fatalf("%s: race count %d, want %d", label, len(have), len(want))
+				}
+				for i := range want {
+					if want[i].Obj != have[i].Obj ||
+						want[i].FirstSeq != have[i].FirstSeq ||
+						want[i].SecondSeq != have[i].SecondSeq {
+						t.Fatalf("%s: race %d differs: %+v vs %+v",
+							label, i, have[i], want[i])
+					}
+				}
+				if ws, hs := serial.Stats(), d.Stats(); ws != hs {
+					t.Fatalf("%s: stats %+v, want %+v", label, hs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestRunTraceParallelErrorParity: a malformed trace produces the same
+// positioned error through the parallel entry point, with the valid prefix
+// detected exactly as the serial loop would.
+func TestRunTraceParallelErrorParity(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Fork(0, 1))
+	tr.Append(trace.Act(1, trace.Action{Obj: 0, Method: "size", Rets: []trace.Value{trace.IntValue(0)}}))
+	tr.Append(trace.Recv(1, 9)) // no pending send
+
+	newDet := func() *Detector {
+		d := New(Config{})
+		d.Register(0, dictRep)
+		return d
+	}
+	serial := newDet()
+	serialErr := serial.RunTrace(rawTrace(tr))
+	if serialErr == nil {
+		t.Fatal("serial run unexpectedly succeeded")
+	}
+	par := newDet()
+	parErr := par.RunTraceParallel(rawTrace(tr), 2)
+	if parErr == nil {
+		t.Fatal("parallel run unexpectedly succeeded")
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error mismatch:\n  serial:   %v\n  parallel: %v", serialErr, parErr)
+	}
+	if s, p := serial.Stats().Actions, par.Stats().Actions; s != p || s != 1 {
+		t.Fatalf("prefix actions: serial %d, parallel %d (want 1)", s, p)
+	}
+}

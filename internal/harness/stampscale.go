@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+// StampScalingRow is one point of the worker-scaling experiment (ISSUE 6):
+// the full detection front end — stamping plus shard dispatch plus
+// detection — over one action-dominated trace, at one stamp-worker count.
+// Workers 0 is the serial front end (the baseline the parallel two-pass
+// engine must beat); workers >= 1 run the two-pass engine.
+type StampScalingRow struct {
+	Workers int // 0 = serial front end
+	Events  int
+	Time    time.Duration
+	QPS     float64 // events per second
+	Races   int
+}
+
+// RunStampScaling generates one action-dominated trace (scaled by scale)
+// and runs it through the sharded pipeline once per stamp-worker count,
+// re-stamping from scratch each run. On a multicore host throughput should
+// grow with workers until the skeleton pass or detection dominates; at
+// GOMAXPROCS=1 it measures how much front-end overhead the two-pass chunk
+// path removes (the benchgate ratio check pins that regime).
+func RunStampScaling(workerCounts []int, shards, scale int, seed int64) ([]StampScalingRow, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if shards <= 0 {
+		shards = 4
+	}
+	gcfg := trace.GenConfig{
+		Threads: 8, Objects: 32, Keys: 64, Vals: 8, Locks: 4,
+		OpsMin: 1500 * scale, OpsMax: 1500 * scale,
+		PSize: 5, PGet: 45, PLocked: 10, PRemove: 20,
+	}
+	master := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+	rep := specs.MustRep("dict")
+
+	run := func(workers int) (StampScalingRow, error) {
+		ev := make([]trace.Event, len(master.Events))
+		copy(ev, master.Events)
+		for i := range ev {
+			ev[i].Clock = nil
+		}
+		tr := &trace.Trace{Events: ev}
+		p := pipeline.New(pipeline.Config{Shards: shards, StampWorkers: workers})
+		for o := 0; o < gcfg.Objects; o++ {
+			p.Register(trace.ObjID(o), rep)
+		}
+		start := time.Now()
+		if err := p.RunTrace(tr); err != nil {
+			return StampScalingRow{}, err
+		}
+		elapsed := time.Since(start)
+		return StampScalingRow{
+			Workers: workers,
+			Events:  tr.Len(),
+			Time:    elapsed,
+			QPS:     float64(tr.Len()) / elapsed.Seconds(),
+			Races:   p.Stats().Races,
+		}, nil
+	}
+
+	rows := []StampScalingRow{}
+	base, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, base)
+	for _, w := range workerCounts {
+		if w < 1 {
+			continue
+		}
+		row, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderStampScaling formats the worker-scaling series.
+func RenderStampScaling(rows []StampScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %12s %14s %8s\n",
+		"stampers", "events", "events/s", "time", "races")
+	for _, r := range rows {
+		label := "serial"
+		if r.Workers > 0 {
+			label = fmt.Sprintf("%d", r.Workers)
+		}
+		fmt.Fprintf(&b, "%10s %10d %12.0f %14s %8d\n",
+			label, r.Events, r.QPS, r.Time.Round(time.Microsecond), r.Races)
+	}
+	return b.String()
+}

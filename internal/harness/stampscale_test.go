@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunStampScaling runs the worker-scaling experiment at a small scale
+// and checks its invariants: one baseline row plus one per worker count,
+// identical race verdicts at every setting, and a renderable table.
+func TestRunStampScaling(t *testing.T) {
+	rows, err := RunStampScaling([]int{1, 2, 4}, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if rows[0].Workers != 0 {
+		t.Fatalf("first row should be the serial baseline, got workers=%d", rows[0].Workers)
+	}
+	for i, r := range rows {
+		if r.Events != rows[0].Events {
+			t.Fatalf("row %d events %d, want %d", i, r.Events, rows[0].Events)
+		}
+		if r.Races != rows[0].Races {
+			t.Fatalf("row %d races %d, want %d (verdicts must not depend on workers)",
+				i, r.Races, rows[0].Races)
+		}
+		if r.QPS <= 0 || r.Time <= 0 {
+			t.Fatalf("row %d has no timing: %+v", i, r)
+		}
+	}
+	out := RenderStampScaling(rows)
+	if !strings.Contains(out, "serial") || !strings.Contains(out, "stampers") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}

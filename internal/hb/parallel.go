@@ -1,0 +1,303 @@
+package hb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// This file implements two-pass parallel stamping. The serial engine
+// (Process/StampAll) interleaves two very different kinds of work: the
+// synchronization events that actually change engine state (fork, join,
+// acquire, release, send, recv, end — a small minority of real traces) and
+// the body events (actions, reads, writes, begin, die) whose entire
+// processing is `e.Clock = <current segment snapshot>`. The segment
+// discipline of PR 2 makes the split exploitable: within a segment every
+// body event receives the same frozen snapshot, so once the segment
+// boundary clocks are known the body stamps are embarrassingly parallel.
+//
+// Pass 1 (the skeleton pass) walks the chunk in order, feeding sync events
+// through Process exactly as the serial stamper would and, at each body
+// event, freezing the acting thread's segment — but deferring the
+// `e.Clock =` store. The first body event of each (thread, segment) pair
+// appends one boundary{pos, tid, snap} record to the boundary log. Pass 2
+// partitions the chunk into contiguous subranges; each worker replays the
+// boundary-log prefix for its range into a thread → snapshot table and then
+// stamps its body events from the table. Workers write disjoint events and
+// never touch the engine, so the passes are race-free by construction, and
+// because the skeleton pass mutates engine state in exactly the order the
+// serial stamper does, the stamped clocks are not merely equal but the
+// *same* shared snapshot values — byte-identical, pointer-identical, and
+// subject to the same clockcheck poisoning (DESIGN.md §10).
+
+// Parallel-stamping counters: segments is the boundary-log length (one per
+// thread segment containing body events), body_events the stamps deferred
+// to workers. The skeleton/body timer split shows how much of the front
+// end the two-pass refactor actually parallelized; parks and idle_ns
+// expose worker-pool starvation in the streaming path.
+var (
+	obsPStampChunks   = obs.GetCounter("hb.pstamp.chunks")
+	obsPStampSegments = obs.GetCounter("hb.pstamp.segments")
+	obsPStampBodies   = obs.GetCounter("hb.pstamp.body_events")
+	obsPStampSkeleton = obs.GetTimer("hb.pstamp.skeleton_ns")
+	obsPStampBody     = obs.GetTimer("hb.pstamp.body_ns")
+	obsPStampParks    = obs.GetCounter("hb.pstamp.worker_parks")
+	obsPStampIdle     = obs.GetTimer("hb.pstamp.worker_idle_ns")
+)
+
+// boundary marks the first body event of one thread segment within a
+// chunk: every body event of thread tid from pos until tid's next boundary
+// (or the end of the chunk) is stamped with snap.
+type boundary struct {
+	pos  int32
+	tid  vclock.Tid
+	snap vclock.VC
+}
+
+// isBody reports whether k is a body event: one whose processing does not
+// change engine state and reduces to stamping the segment snapshot.
+func isBody(k trace.EventKind) bool {
+	switch k {
+	case trace.ActionEvent, trace.ReadEvent, trace.WriteEvent,
+		trace.BeginEvent, trace.DieEvent:
+		return true
+	}
+	return false
+}
+
+// minWorkerSpan is the smallest per-worker subrange worth a goroutine;
+// chunks smaller than two spans are stamped inline by the caller.
+const minWorkerSpan = 256
+
+// ParallelStamper stamps successive chunks of one logical trace with the
+// two-pass scheme, carrying engine and segment state across chunks. It is
+// the synchronous building block: StampChunk returns only when every event
+// of the chunk is stamped, which suits callers that interleave stamping
+// with per-chunk work of their own (the rd2d session worker). For
+// pipelined overlap of skeleton and body passes across chunks, use
+// ParallelStream.
+//
+// Not safe for concurrent use; successive StampChunk calls must come from
+// one goroutine (or be externally serialized).
+type ParallelStamper struct {
+	en      *Engine
+	workers int
+	logged  []int       // per-tid: gen+1 of the segment last boundary-logged
+	table   []vclock.VC // per-tid snapshot as of the current chunk start
+	log     []boundary  // scratch boundary log, reused across chunks
+}
+
+// NewParallelStamper returns a stamper over a fresh engine using the given
+// worker count for body passes (values below 1 are treated as 1).
+func NewParallelStamper(workers int) *ParallelStamper {
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelStamper{en: New(), workers: workers}
+}
+
+// Engine exposes the underlying happens-before engine (for MeetLive-based
+// compaction and thread accounting). The engine is owned by the stamper;
+// callers may query it between StampChunk calls but must not feed it
+// events of their own.
+func (ps *ParallelStamper) Engine() *Engine { return ps.en }
+
+// skeleton runs pass 1 over events: sync events go through en.Process
+// (stamping them in place), body events freeze the segment and append a
+// boundary record on first sight per segment. It returns the number of
+// events processed and the first error. Body events are counted but not
+// stamped; bodies get their clocks in pass 2.
+func (ps *ParallelStamper) skeleton(events []trace.Event) (int, error) {
+	start := obsPStampSkeleton.Start()
+	en := ps.en
+	bodies := 0
+	if cap(ps.log) == 0 && len(events) >= 4*minWorkerSpan {
+		// One boundary per thread segment with bodies; sizing for one
+		// segment per few events skips most of the append-doubling churn
+		// on the first (or only) chunk without overcommitting on
+		// sync-light traces.
+		ps.log = make([]boundary, 0, len(events)/4)
+	}
+	for i := range events {
+		e := &events[i]
+		if !isBody(e.Kind) {
+			if _, err := en.Process(e); err != nil {
+				obsPStampSkeleton.ObserveSince(start)
+				obsPStampBodies.Add(uint64(bodies))
+				return i, err
+			}
+			continue
+		}
+		bodies++
+		ts := en.state(e.Thread)
+		snap := en.freeze(ts)
+		t := int(e.Thread)
+		for len(ps.logged) <= t {
+			ps.logged = append(ps.logged, 0)
+		}
+		if ps.logged[t] != ts.gen+1 {
+			ps.logged[t] = ts.gen + 1
+			ps.log = append(ps.log, boundary{pos: int32(i), tid: e.Thread, snap: snap})
+		}
+	}
+	obsPStampSkeleton.ObserveSince(start)
+	obsPStampBodies.Add(uint64(bodies))
+	obsPStampSegments.Add(uint64(len(ps.log)))
+	obsPStampChunks.Inc()
+	return len(events), nil
+}
+
+// setSnap records tid's segment snapshot in a thread table, growing it as
+// needed.
+func setSnap(tbl []vclock.VC, tid vclock.Tid, snap vclock.VC) []vclock.VC {
+	for len(tbl) <= int(tid) {
+		tbl = append(tbl, nil)
+	}
+	tbl[tid] = snap
+	return tbl
+}
+
+// stampRange runs pass 2 over events[lo:hi]: it builds the thread →
+// snapshot table as of position lo (chunk-start base plus the boundary-log
+// prefix) and stamps every body event in the range. Ranges are disjoint
+// and the table is private, so concurrent calls over one chunk are
+// race-free. If route is non-nil, routes[i] = route(&events[i]) is filled
+// for the whole range (sync events included), letting pipeline callers
+// compute shard routing inside the worker.
+func stampRange(events []trace.Event, log []boundary, base []vclock.VC, lo, hi int,
+	route func(*trace.Event) uint8, routes []uint8) {
+	tbl := make([]vclock.VC, len(base))
+	copy(tbl, base)
+	li := 0
+	for li < len(log) && int(log[li].pos) < lo {
+		tbl = setSnap(tbl, log[li].tid, log[li].snap)
+		li++
+	}
+	for i := lo; i < hi; i++ {
+		if li < len(log) && int(log[li].pos) == i {
+			tbl = setSnap(tbl, log[li].tid, log[li].snap)
+			li++
+		}
+		e := &events[i]
+		if isBody(e.Kind) {
+			// The table entry is the same shared snapshot the serial
+			// stamper would assign; a missing entry would be a skeleton
+			// bug and panics on the nil/short index.
+			e.Clock = tbl[e.Thread]
+		}
+		if route != nil {
+			routes[i] = route(e)
+		}
+	}
+}
+
+// advance folds the chunk's boundary log into the carry table: after the
+// call, table[t] is t's segment snapshot as of the end of the chunk, which
+// is exactly the base the next chunk's body pass starts from. Entries for
+// threads whose segment rolled over mid-chunk are stale until their next
+// boundary, but stale entries are never read: a body event after any
+// clock-changing sync event always has a fresh boundary record first.
+func (ps *ParallelStamper) advance() {
+	for _, b := range ps.log {
+		ps.table = setSnap(ps.table, b.tid, b.snap)
+	}
+	ps.log = ps.log[:0]
+}
+
+// split partitions n events into near-equal contiguous worker spans,
+// capping the part count so no span is smaller than minWorkerSpan.
+func split(n, workers int) []int {
+	parts := workers
+	if parts > n/minWorkerSpan {
+		parts = n / minWorkerSpan
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	cuts := make([]int, parts+1)
+	for i := 1; i < parts; i++ {
+		cuts[i] = i * n / parts
+	}
+	cuts[parts] = n
+	return cuts
+}
+
+// StampChunk stamps the next chunk of the trace in place and returns the
+// number of events stamped. On error the valid prefix (all events before
+// the returned index) is fully stamped, matching the serial stamper's
+// stop-at-first-error behavior. The error is not position-wrapped; callers
+// prepend the event context they track (sequence number or trace index).
+func (ps *ParallelStamper) StampChunk(events []trace.Event) (int, error) {
+	return ps.StampChunkPost(events, nil)
+}
+
+// StampChunkPost is StampChunk plus a per-span hook: post(lo, hi) runs in
+// the worker goroutine after events[lo:hi] is stamped, before the chunk is
+// considered done. The pipeline uses it to hash-route its span without an
+// extra pass over the chunk.
+func (ps *ParallelStamper) StampChunkPost(events []trace.Event, post func(lo, hi int)) (int, error) {
+	n, err := ps.skeleton(events)
+	ps.stampBodies(events[:n], nil, nil, post)
+	ps.advance()
+	return n, err
+}
+
+// stampBodies runs pass 2 over a skeleton-processed prefix, fanning out to
+// worker goroutines when the chunk is large enough to pay for them.
+func (ps *ParallelStamper) stampBodies(events []trace.Event, route func(*trace.Event) uint8,
+	routes []uint8, post func(lo, hi int)) {
+	n := len(events)
+	if n == 0 {
+		return
+	}
+	start := obsPStampBody.Start()
+	cuts := split(n, ps.workers)
+	if len(cuts) == 2 {
+		stampRange(events, ps.log, ps.table, 0, n, route, routes)
+		if post != nil {
+			post(0, n)
+		}
+		obsPStampBody.ObserveSince(start)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w+1 < len(cuts); w++ {
+		lo, hi := cuts[w], cuts[w+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stampRange(events, ps.log, ps.table, lo, hi, route, routes)
+			if post != nil {
+				post(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	obsPStampBody.ObserveSince(start)
+}
+
+// StampAllParallel stamps the whole trace with the two-pass engine,
+// producing clocks byte-identical to StampAll (the same shared snapshot
+// values, the same freeze/rollover discipline, the same clockcheck
+// poisoning). workers bounds the body-pass parallelism; 1 degrades to a
+// two-pass serial stamp. Under -tags=clockcheck every snapshot is
+// re-verified after the run.
+func StampAllParallel(tr *trace.Trace, workers int) error {
+	return StampAllParallelPost(tr, workers, nil)
+}
+
+// StampAllParallelPost is StampAllParallel with stampChunkPost's per-span
+// hook: post(lo, hi) runs in the worker goroutine once tr.Events[lo:hi] is
+// stamped. On error, post still covers the stamped valid prefix.
+func StampAllParallelPost(tr *trace.Trace, workers int, post func(lo, hi int)) error {
+	ps := NewParallelStamper(workers)
+	n, err := ps.StampChunkPost(tr.Events, post)
+	ps.en.VerifySnapshots()
+	if err != nil {
+		return fmt.Errorf("event %d (%s): %w", n, tr.Events[n].String(), err)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package hb_test
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// corpusTraces loads every trace in examples/traces (text and binary wire
+// formats alike). This is the satellite differential of ISSUE 6: parallel
+// stamping must be clock-byte-identical to serial over the whole corpus.
+func corpusTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	dir := filepath.Join("..", "..", "examples", "traces")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	out := map[string]*trace.Trace{}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := wire.ParseAny(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parsing %s: %v", ent.Name(), err)
+		}
+		out[ent.Name()] = tr
+	}
+	if len(out) == 0 {
+		t.Fatal("empty trace corpus")
+	}
+	return out
+}
+
+func unstamped(tr *trace.Trace) *trace.Trace {
+	ev := make([]trace.Event, len(tr.Events))
+	copy(ev, tr.Events)
+	for i := range ev {
+		ev[i].Clock = nil
+	}
+	return &trace.Trace{Events: ev}
+}
+
+func TestCorpusParallelStampingByteIdentical(t *testing.T) {
+	for name, tr := range corpusTraces(t) {
+		serial := unstamped(tr)
+		if err := hb.StampAll(serial); err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			par := unstamped(tr)
+			if err := hb.StampAllParallel(par, workers); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			for i := range serial.Events {
+				if !slices.Equal(serial.Events[i].Clock, par.Events[i].Clock) {
+					t.Fatalf("%s workers=%d event %d (%s): clock mismatch: %v vs %v",
+						name, workers, i, serial.Events[i].String(),
+						serial.Events[i].Clock, par.Events[i].Clock)
+				}
+			}
+			// The streaming path must agree too, with chunk boundaries
+			// cutting through segments.
+			ps := hb.NewParallelStream(unstamped(tr).Source(),
+				hb.ParallelStreamConfig{Workers: workers, ChunkSize: 13})
+			for i := 0; ; i++ {
+				e, err := ps.Next()
+				if err != nil {
+					if i != len(serial.Events) {
+						t.Fatalf("%s workers=%d: stream ended after %d of %d events: %v",
+							name, workers, i, len(serial.Events), err)
+					}
+					break
+				}
+				if !slices.Equal(serial.Events[i].Clock, e.Clock) {
+					t.Fatalf("%s workers=%d stream event %d: clock mismatch", name, workers, i)
+				}
+			}
+		}
+	}
+}

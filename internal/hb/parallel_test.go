@@ -1,0 +1,366 @@
+package hb
+
+import (
+	"io"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// rawCopy returns an unstamped copy of the trace (fresh event slice, all
+// clocks nil) so serial and parallel stampers each work on private events.
+func rawCopy(tr *trace.Trace) *trace.Trace {
+	ev := make([]trace.Event, len(tr.Events))
+	copy(ev, tr.Events)
+	for i := range ev {
+		ev[i].Clock = nil
+	}
+	return &trace.Trace{Events: ev}
+}
+
+// requireSameClocks fails unless both traces carry byte-identical clocks
+// event by event.
+func requireSameClocks(t *testing.T, want, got *trace.Trace) {
+	t.Helper()
+	if len(want.Events) != len(got.Events) {
+		t.Fatalf("event count mismatch: %d vs %d", len(want.Events), len(got.Events))
+	}
+	for i := range want.Events {
+		w, g := want.Events[i].Clock, got.Events[i].Clock
+		if !slices.Equal(w, g) {
+			t.Fatalf("event %d (%s): clock mismatch: serial %v, parallel %v",
+				i, want.Events[i].String(), w, g)
+		}
+	}
+}
+
+// mixedTrace exercises every event kind the engine knows, including
+// channel edges, memory accesses, begin/end, die, and a thread whose very
+// first appearance is a body event (first-sight init on the hot path).
+func mixedTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	tr.Append(trace.Fork(0, 1))
+	tr.Append(trace.Fork(0, 2))
+	tr.Append(trace.Event{Kind: trace.BeginEvent, Thread: 1})
+	tr.Append(trace.Send(0, 0))
+	tr.Append(trace.Write(1, 5))
+	tr.Append(trace.Recv(1, 0))
+	tr.Append(trace.Write(1, 5))
+	tr.Append(trace.Read(2, 5))
+	tr.Append(trace.Write(3, 9)) // thread 3 first seen at a body event
+	tr.Append(trace.Acquire(2, 0))
+	tr.Append(trace.Act(2, trace.Action{Obj: 1, Method: "get", Args: []trace.Value{trace.StrValue("k")}}))
+	tr.Append(trace.Release(2, 0))
+	tr.Append(trace.Acquire(1, 0))
+	tr.Append(trace.Act(1, trace.Action{Obj: 1, Method: "size"}))
+	tr.Append(trace.Die(1, 1))
+	tr.Append(trace.Release(1, 0))
+	tr.Append(trace.Send(1, 1))
+	tr.Append(trace.Recv(0, 1))
+	tr.Append(trace.Event{Kind: trace.EndEvent, Thread: 3})
+	tr.Append(trace.Join(0, 1))
+	tr.Append(trace.Join(0, 2))
+	tr.Append(trace.Act(0, trace.Action{Obj: 1, Method: "size"}))
+	return tr
+}
+
+// differentialTraces is the shared test corpus: generated dictionaries in
+// both regimes plus the hand-built mixed-kind trace.
+func differentialTraces(tb testing.TB) map[string]*trace.Trace {
+	out := map[string]*trace.Trace{"mixed": mixedTrace()}
+	for _, cfg := range []struct {
+		name    string
+		ops     int
+		pLocked int
+		seed    int64
+	}{
+		{"action", 400, 10, 1},
+		{"syncheavy", 120, 60, 2},
+		{"action-big", 2500, 10, 3},
+	} {
+		out[cfg.name] = trace.Generate(rand.New(rand.NewSource(cfg.seed)),
+			benchGenConfig(cfg.ops, cfg.pLocked))
+	}
+	return out
+}
+
+// TestStampAllParallelMatchesSerial is the core differential: for every
+// trace and worker count, StampAllParallel must produce clocks
+// byte-identical to StampAll.
+func TestStampAllParallelMatchesSerial(t *testing.T) {
+	for name, tr := range differentialTraces(t) {
+		serial := rawCopy(tr)
+		if err := StampAll(serial); err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			par := rawCopy(tr)
+			if err := StampAllParallel(par, workers); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			requireSameClocks(t, serial, par)
+		}
+	}
+}
+
+// TestStampAllParallelPostCoversPrefix checks the per-span hook: the
+// post(lo, hi) calls must tile the stamped range exactly once.
+func TestStampAllParallelPostCoversPrefix(t *testing.T) {
+	tr := differentialTraces(t)["action-big"]
+	par := rawCopy(tr)
+	covered := make([]int32, len(par.Events))
+	err := StampAllParallelPost(par, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i]++ // disjoint ranges: no two goroutines share an index
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("event %d covered %d times", i, n)
+		}
+	}
+}
+
+// TestParallelStamperChunked drives the synchronous chunked stamper with
+// pathological chunk sizes (1, 3, 7, ...) so segment snapshots constantly
+// cross chunk boundaries, and requires byte-identical clocks throughout.
+func TestParallelStamperChunked(t *testing.T) {
+	for name, tr := range differentialTraces(t) {
+		serial := rawCopy(tr)
+		if err := StampAll(serial); err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		for _, chunk := range []int{1, 3, 7, 64, 1000} {
+			par := rawCopy(tr)
+			ps := NewParallelStamper(3)
+			for lo := 0; lo < len(par.Events); lo += chunk {
+				hi := lo + chunk
+				if hi > len(par.Events) {
+					hi = len(par.Events)
+				}
+				n, err := ps.StampChunk(par.Events[lo:hi])
+				if err != nil {
+					t.Fatalf("%s chunk=%d at %d: %v", name, chunk, lo, err)
+				}
+				if n != hi-lo {
+					t.Fatalf("%s chunk=%d at %d: stamped %d of %d", name, chunk, lo, n, hi-lo)
+				}
+			}
+			ps.Engine().VerifySnapshots()
+			requireSameClocks(t, serial, par)
+		}
+	}
+}
+
+// TestStampAllParallelErrors checks stop-at-first-error parity: same error
+// text as the serial stamper and a fully stamped valid prefix.
+func TestStampAllParallelErrors(t *testing.T) {
+	cases := map[string]*trace.Trace{}
+
+	forkTwice := &trace.Trace{}
+	forkTwice.Append(trace.Fork(0, 1))
+	forkTwice.Append(trace.Write(1, 1))
+	forkTwice.Append(trace.Fork(0, 1))
+	cases["fork-twice"] = forkTwice
+
+	orphanRecv := &trace.Trace{}
+	orphanRecv.Append(trace.Write(0, 1))
+	orphanRecv.Append(trace.Recv(0, 3))
+	cases["orphan-recv"] = orphanRecv
+
+	unknownJoin := &trace.Trace{}
+	unknownJoin.Append(trace.Write(0, 1))
+	unknownJoin.Append(trace.Join(0, 9))
+	cases["unknown-join"] = unknownJoin
+
+	for name, tr := range cases {
+		serial := rawCopy(tr)
+		serr := StampAll(serial)
+		if serr == nil {
+			t.Fatalf("%s: serial stamp unexpectedly succeeded", name)
+		}
+		for _, workers := range []int{1, 4} {
+			par := rawCopy(tr)
+			perr := StampAllParallel(par, workers)
+			if perr == nil {
+				t.Fatalf("%s workers=%d: parallel stamp unexpectedly succeeded", name, workers)
+			}
+			if serr.Error() != perr.Error() {
+				t.Fatalf("%s workers=%d: error mismatch:\n  serial:   %v\n  parallel: %v",
+					name, workers, serr, perr)
+			}
+			requireSameClocks(t, serial, par)
+		}
+	}
+}
+
+// TestParallelStreamMatchesStream compares the pipelined chunked stream
+// against the serial Stream event by event, across worker counts and
+// chunk sizes that force cross-chunk segment carry.
+func TestParallelStreamMatchesStream(t *testing.T) {
+	for name, tr := range differentialTraces(t) {
+		want := rawCopy(tr)
+		ss := NewStream(want.Source())
+		var serial []trace.Event
+		for {
+			e, err := ss.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: serial stream: %v", name, err)
+			}
+			serial = append(serial, e)
+		}
+		for _, tc := range []struct{ workers, chunk int }{
+			{1, 7}, {2, 3}, {4, 64}, {3, 100000},
+		} {
+			src := rawCopy(tr).Source()
+			ps := NewParallelStream(src, ParallelStreamConfig{Workers: tc.workers, ChunkSize: tc.chunk})
+			i := 0
+			for {
+				e, err := ps.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s workers=%d chunk=%d: %v", name, tc.workers, tc.chunk, err)
+				}
+				if i >= len(serial) {
+					t.Fatalf("%s: parallel stream yields extra event %d", name, i)
+				}
+				if !slices.Equal(serial[i].Clock, e.Clock) {
+					t.Fatalf("%s workers=%d chunk=%d event %d (%s): clock mismatch: %v vs %v",
+						name, tc.workers, tc.chunk, i, e.String(), serial[i].Clock, e.Clock)
+				}
+				i++
+			}
+			if i != len(serial) {
+				t.Fatalf("%s workers=%d chunk=%d: got %d events, want %d", name, tc.workers, tc.chunk, i, len(serial))
+			}
+			if ps.Events() != len(serial) {
+				t.Fatalf("%s: Events() = %d, want %d", name, ps.Events(), len(serial))
+			}
+		}
+	}
+}
+
+// TestParallelStreamChunksAndRoutes exercises the chunk-level API: route
+// bytes computed by the workers, chunk retain/release recycling, and the
+// trace-order guarantee.
+func TestParallelStreamChunksAndRoutes(t *testing.T) {
+	tr := differentialTraces(t)["action"]
+	want := rawCopy(tr)
+	if err := StampAll(want); err != nil {
+		t.Fatal(err)
+	}
+	src := rawCopy(tr).Source()
+	ps := NewParallelStream(src, ParallelStreamConfig{
+		Workers:   3,
+		ChunkSize: 37,
+		Route:     func(e *trace.Event) uint8 { return uint8(e.Thread) + 1 },
+	})
+	pos := 0
+	var retained []*Chunk
+	for {
+		c, err := ps.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Routes) != len(c.Events) {
+			t.Fatalf("chunk routes len %d, events %d", len(c.Routes), len(c.Events))
+		}
+		for i := range c.Events {
+			e := &c.Events[i]
+			if e.Seq != pos {
+				t.Fatalf("out of order: event %d has seq %d", pos, e.Seq)
+			}
+			if !slices.Equal(want.Events[pos].Clock, e.Clock) {
+				t.Fatalf("event %d: clock mismatch", pos)
+			}
+			if c.Routes[i] != uint8(e.Thread)+1 {
+				t.Fatalf("event %d: route %d, want %d", pos, c.Routes[i], uint8(e.Thread)+1)
+			}
+			pos++
+		}
+		c.Retain() // second holder: keep alive past the consumer release
+		retained = append(retained, c)
+		c.Release()
+	}
+	if pos != len(want.Events) {
+		t.Fatalf("streamed %d events, want %d", pos, len(want.Events))
+	}
+	// Retained chunks must still be intact after the stream finished.
+	seq := 0
+	for _, c := range retained {
+		for i := range c.Events {
+			if c.Events[i].Seq != seq {
+				t.Fatalf("retained chunk corrupted at seq %d", seq)
+			}
+			seq++
+		}
+		c.Release()
+	}
+}
+
+// TestParallelStreamError checks that a mid-stream stamping error delivers
+// the stamped prefix first and then the positioned error, like Stream.
+func TestParallelStreamError(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Fork(0, 1))
+	tr.Append(trace.Write(1, 1))
+	tr.Append(trace.Write(0, 2))
+	tr.Append(trace.Recv(1, 5)) // no pending send: stamping error at seq 3
+	tr.Append(trace.Write(1, 9))
+
+	for _, chunk := range []int{1, 2, 100} {
+		src := rawCopy(tr).Source()
+		ps := NewParallelStream(src, ParallelStreamConfig{Workers: 2, ChunkSize: chunk})
+		var got []trace.Event
+		var err error
+		for {
+			var e trace.Event
+			e, err = ps.Next()
+			if err != nil {
+				break
+			}
+			got = append(got, e)
+		}
+		if err == io.EOF {
+			t.Fatalf("chunk=%d: error swallowed", chunk)
+		}
+		if !strings.Contains(err.Error(), "event 3") || !strings.Contains(err.Error(), "no pending send") {
+			t.Fatalf("chunk=%d: unexpected error %v", chunk, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("chunk=%d: delivered %d events before the error, want 3", chunk, len(got))
+		}
+		for i, e := range got {
+			if e.Clock == nil {
+				t.Fatalf("chunk=%d: event %d unstamped", chunk, i)
+			}
+		}
+	}
+}
+
+// TestParallelStreamClose abandons a stream mid-flight; the goroutines
+// must unwind without deadlocking (the test would time out otherwise).
+func TestParallelStreamClose(t *testing.T) {
+	tr := differentialTraces(t)["action-big"]
+	src := rawCopy(tr).Source()
+	ps := NewParallelStream(src, ParallelStreamConfig{Workers: 4, ChunkSize: 16})
+	if _, err := ps.Next(); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+	ps.Close() // idempotent
+}

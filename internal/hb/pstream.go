@@ -1,0 +1,345 @@
+package hb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// DefaultChunkSize is the events-per-chunk target of ParallelStream. Large
+// enough to amortize the per-chunk skeleton bookkeeping and channel hops,
+// small enough that a few in-flight chunks bound memory.
+const DefaultChunkSize = 4096
+
+// ParallelStreamConfig configures a ParallelStream.
+type ParallelStreamConfig struct {
+	// Workers is the body-pass worker pool size; values below 1 mean 1.
+	Workers int
+	// ChunkSize is the events-per-chunk target (DefaultChunkSize if <= 0).
+	ChunkSize int
+	// Route, when set, is evaluated by the body-pass workers for every
+	// event of a chunk (sync events included) and collected into
+	// Chunk.Routes. The pipeline uses it to compute shard routing in
+	// parallel, so dispatch needs no extra pass over the events.
+	Route func(*trace.Event) uint8
+}
+
+// Chunk is one stamped run of events delivered by a ParallelStream. The
+// consumer receives it holding one reference; Retain/Release manage
+// additional holders (pipeline shards reading events out of the shared
+// chunk), and the final Release recycles the buffers into the stream's
+// free list. Events and Routes are read-only for all holders.
+type Chunk struct {
+	Events []trace.Event
+	// Routes holds the per-event routing byte when the stream was
+	// configured with a Route func; len(Routes) == len(Events) then.
+	Routes []uint8
+
+	log  []boundary
+	base []vclock.VC
+	wg   sync.WaitGroup
+	refs atomic.Int32
+	ps   *ParallelStream
+}
+
+// Retain adds a reference to the chunk, keeping its buffers alive until
+// the matching Release.
+func (c *Chunk) Retain() { c.refs.Add(1) }
+
+// Release drops a reference; the last release recycles the chunk. The
+// caller must not touch the chunk afterwards.
+func (c *Chunk) Release() {
+	if c.refs.Add(-1) != 0 {
+		return
+	}
+	c.Events = c.Events[:0]
+	c.Routes = c.Routes[:0]
+	c.log = c.log[:0]
+	c.base = c.base[:0]
+	select {
+	case c.ps.free <- c:
+	default: // free list full: let the GC have it
+	}
+}
+
+// outMsg carries one delivery from the sequencer to the consumer: a
+// stamped chunk, and on the final delivery of a failed stream, the error
+// (attached to the partial chunk when the failing chunk had a stamped
+// prefix, or to a nil chunk otherwise).
+type outMsg struct {
+	c   *Chunk
+	err error
+}
+
+// ParallelStream is the pipelined form of two-pass stamping: a filler
+// goroutine reads chunks from the source and runs the serial skeleton
+// pass, a persistent worker pool stamps chunk bodies (and computes
+// routes), and a sequencer delivers finished chunks in trace order. The
+// skeleton pass of chunk N+1 overlaps the body pass and downstream
+// consumption of chunk N, so the serial fraction of the front end shrinks
+// to the sync-event walk.
+//
+// It is a trace.Source (Next) and a chunk source (NextChunk); use one or
+// the other, not both. Not safe for concurrent consumers.
+type ParallelStream struct {
+	cfg  ParallelStreamConfig
+	en   *Engine
+	jobs chan bodyJob
+	seq  chan outMsg
+	out  chan outMsg
+	free chan *Chunk
+	quit chan struct{}
+	once sync.Once
+
+	cur    *Chunk // chunk Next is iterating
+	pos    int
+	n      int
+	sticky error
+}
+
+// bodyJob is one worker-span of a chunk's body pass.
+type bodyJob struct {
+	c      *Chunk
+	lo, hi int
+}
+
+// NewParallelStream starts the filler, sequencer, and worker goroutines
+// over src. The source is owned by the stream from here on. Call Close to
+// tear the goroutines down if the stream is abandoned before io.EOF or an
+// error is observed.
+func NewParallelStream(src trace.Source, cfg ParallelStreamConfig) *ParallelStream {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	ps := &ParallelStream{
+		cfg:  cfg,
+		en:   New(),
+		jobs: make(chan bodyJob, cfg.Workers*2),
+		seq:  make(chan outMsg, 2),
+		out:  make(chan outMsg, 2),
+		free: make(chan *Chunk, cfg.Workers+6),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		go ps.worker()
+	}
+	go ps.sequence()
+	go ps.fill(src)
+	return ps
+}
+
+// Engine exposes the happens-before engine. The filler goroutine owns it
+// while the stream runs; callers may only use it after NextChunk/Next has
+// returned io.EOF or an error (the filler has exited by then).
+func (ps *ParallelStream) Engine() *Engine { return ps.en }
+
+// Events returns the number of events handed out via Next.
+func (ps *ParallelStream) Events() int { return ps.n }
+
+// Close tears down the stream's goroutines. It is only needed when the
+// consumer abandons the stream before draining it; after io.EOF or an
+// error it is a harmless no-op. Outstanding retained chunks stay valid.
+func (ps *ParallelStream) Close() { ps.once.Do(func() { close(ps.quit) }) }
+
+// worker stamps body-pass spans until the jobs channel closes. The
+// park/idle metrics separate "pool starved waiting for the skeleton pass"
+// from useful work.
+func (ps *ParallelStream) worker() {
+	for {
+		var j bodyJob
+		var ok bool
+		select {
+		case j, ok = <-ps.jobs:
+		default:
+			obsPStampParks.Inc()
+			idle := obsPStampIdle.Start()
+			j, ok = <-ps.jobs
+			obsPStampIdle.ObserveSince(idle)
+		}
+		if !ok {
+			return
+		}
+		c := j.c
+		var routes []uint8
+		if ps.cfg.Route != nil {
+			routes = c.Routes
+		}
+		stampRange(c.Events, c.log, c.base, j.lo, j.hi, ps.cfg.Route, routes)
+		c.wg.Done()
+	}
+}
+
+// sequence delivers chunks to the consumer in trace order, waiting for
+// each chunk's body pass to finish first. Ordering is inherited from the
+// seq channel: the filler enqueues chunks in the order it read them.
+func (ps *ParallelStream) sequence() {
+	defer close(ps.out)
+	for m := range ps.seq {
+		if m.c != nil {
+			m.c.wg.Wait()
+		}
+		select {
+		case ps.out <- m:
+		case <-ps.quit:
+			if m.c != nil {
+				m.c.Release()
+			}
+			// Keep draining so the filler can finish and close seq.
+			for m := range ps.seq {
+				if m.c != nil {
+					m.c.wg.Wait()
+					m.c.Release()
+				}
+			}
+			return
+		}
+	}
+}
+
+// getChunk recycles a chunk from the free list or allocates a fresh one.
+func (ps *ParallelStream) getChunk() *Chunk {
+	select {
+	case c := <-ps.free:
+		return c
+	default:
+		return &Chunk{ps: ps}
+	}
+}
+
+// fill is the filler goroutine: read a chunk, skeleton-stamp it, dispatch
+// its body spans to the pool, hand it to the sequencer, advance the carry
+// table, repeat. On a source or stamping error the stamped prefix is
+// delivered first and the error rides the same message.
+func (ps *ParallelStream) fill(src trace.Source) {
+	defer close(ps.seq)
+	defer close(ps.jobs)
+	stamper := &ParallelStamper{en: ps.en, workers: ps.cfg.Workers}
+	for {
+		c := ps.getChunk()
+		var srcErr error
+		for len(c.Events) < ps.cfg.ChunkSize {
+			e, err := src.Next()
+			if err != nil {
+				srcErr = err
+				break
+			}
+			c.Events = append(c.Events, e)
+		}
+		n, stampErr := stamper.skeleton(c.Events)
+		// fin, when non-nil, ends the stream after this delivery: either
+		// the first source/stamping error or a clean io.EOF.
+		var fin error
+		switch {
+		case stampErr != nil:
+			bad := c.Events[n]
+			fin = fmt.Errorf("event %d (%s): %w", bad.Seq, bad.String(), stampErr)
+		case srcErr == io.EOF:
+			ps.en.VerifySnapshots()
+			fin = io.EOF
+		default:
+			fin = srcErr
+		}
+		// Only the skeleton-valid prefix is stamped and delivered.
+		c.Events = c.Events[:n]
+		if n == 0 {
+			c.Release() // nothing to deliver; recycle the empty chunk
+			if fin != nil && fin != io.EOF {
+				ps.emit(outMsg{err: fin})
+			}
+			return
+		}
+		if ps.cfg.Route != nil {
+			if cap(c.Routes) < n {
+				c.Routes = make([]uint8, n)
+			} else {
+				c.Routes = c.Routes[:n]
+			}
+		}
+		// Snapshot the carry state into the chunk, then advance it for the
+		// next chunk: workers read c.base/c.log while the skeleton pass
+		// mutates stamper.table and appends to a fresh log.
+		c.base = append(c.base, stamper.table...)
+		c.log = append(c.log, stamper.log...)
+		stamper.advance()
+		c.refs.Store(1)
+		cuts := split(n, ps.cfg.Workers)
+		c.wg.Add(len(cuts) - 1)
+		for w := 0; w+1 < len(cuts); w++ {
+			ps.jobs <- bodyJob{c: c, lo: cuts[w], hi: cuts[w+1]}
+		}
+		if !ps.emit(outMsg{c: c, err: fin}) {
+			return
+		}
+		if fin != nil {
+			return
+		}
+	}
+}
+
+// emit sends a delivery to the sequencer, aborting on Close. It reports
+// whether the send happened.
+func (ps *ParallelStream) emit(m outMsg) bool {
+	select {
+	case ps.seq <- m:
+		return true
+	case <-ps.quit:
+		if m.c != nil {
+			m.c.wg.Wait()
+			m.c.Release()
+		}
+		return false
+	}
+}
+
+// NextChunk returns the next stamped chunk (the caller holds one reference
+// and must Release it), io.EOF at clean end of stream, or the first
+// source/stamping error. When the failing chunk had a stamped prefix, that
+// partial chunk is returned first and the error is returned by the
+// following call.
+func (ps *ParallelStream) NextChunk() (*Chunk, error) {
+	if ps.sticky != nil {
+		err := ps.sticky
+		return nil, err
+	}
+	m, ok := <-ps.out
+	if !ok {
+		ps.sticky = io.EOF
+		return nil, io.EOF
+	}
+	if m.c != nil {
+		if m.err != nil {
+			ps.sticky = m.err
+		}
+		return m.c, nil
+	}
+	ps.sticky = m.err
+	return nil, m.err
+}
+
+// Next implements trace.Source over the chunk stream: events are handed
+// out one at a time in trace order, chunks are released as they drain.
+// The returned event's Clock obeys the package immutability contract.
+func (ps *ParallelStream) Next() (trace.Event, error) {
+	for ps.cur == nil || ps.pos >= len(ps.cur.Events) {
+		if ps.cur != nil {
+			ps.cur.Release()
+			ps.cur = nil
+		}
+		c, err := ps.NextChunk()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		ps.cur, ps.pos = c, 0
+	}
+	e := ps.cur.Events[ps.pos]
+	ps.pos++
+	ps.n++
+	return e, nil
+}

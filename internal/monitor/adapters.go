@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"fmt"
+
 	"repro/internal/ap"
 	"repro/internal/atomicity"
 	"repro/internal/core"
@@ -130,6 +132,40 @@ func AttachRD2Parallel(rt *Runtime, cfg pipeline.Config) *RD2Parallel {
 	r := NewRD2Parallel(cfg)
 	rt.Attach(r)
 	return r
+}
+
+// ReplayRecorded re-analyzes a recorded execution offline: the recorded
+// trace is re-stamped from scratch through the two-pass parallel front end
+// (pipeline.Config.StampWorkers) and re-detected on the sharded pipeline,
+// with every monitored object re-registered by kind. Live analyses attached
+// during recording are untouched — the recorded events are copied with
+// their clocks stripped, so the live run's shared snapshots stay immutable.
+// The returned pipeline is closed: results are ready to read. Use it to
+// re-check a live session's verdicts with different detection settings
+// (shard count, stamp workers, retention caps) without re-running the
+// workload.
+func ReplayRecorded(rt *Runtime, cfg pipeline.Config) (*pipeline.Pipeline, error) {
+	tr := rt.Trace()
+	if tr == nil {
+		return nil, fmt.Errorf("monitor: no recorded trace (call Record before the workload)")
+	}
+	ev := make([]trace.Event, len(tr.Events))
+	copy(ev, tr.Events)
+	for i := range ev {
+		ev[i].Clock = nil
+	}
+	p := pipeline.New(cfg)
+	reps := map[string]ap.Rep{}
+	for _, name := range specs.Names() {
+		reps[name] = specs.MustRep(name)
+	}
+	for _, ok := range rt.ObjectKinds() {
+		if rep, found := reps[ok.Kind]; found {
+			p.Register(ok.Obj, rep)
+		}
+	}
+	err := p.RunTrace(&trace.Trace{Events: ev})
+	return p, err
 }
 
 // AttachFastTrack creates a FASTTRACK detector, attaches it, and returns it.

@@ -66,6 +66,7 @@ type Runtime struct {
 	hb       *hb.Engine
 	analyses []Analysis
 	record   *trace.Trace
+	objKinds []ObjectKind
 	seq      int
 	err      error
 
@@ -372,6 +373,27 @@ func (c *Cell) Add(t *Thread, delta int64) int64 {
 // newObjID allocates an object id and notifies observers.
 func (rt *Runtime) newObjID(kind string) trace.ObjID {
 	id := trace.ObjID(atomic.AddInt32(&rt.nextObj, 1) - 1)
+	rt.mu.Lock()
+	rt.objKinds = append(rt.objKinds, ObjectKind{Obj: id, Kind: kind})
+	rt.mu.Unlock()
 	rt.notifyObject(id, kind)
 	return id
+}
+
+// ObjectKind records one monitored object's creation: its id and the kind
+// string that selects its access point representation.
+type ObjectKind struct {
+	Obj  trace.ObjID
+	Kind string
+}
+
+// ObjectKinds returns every monitored object created so far, in creation
+// order — the registration set an offline re-analysis of the recorded
+// trace needs (see ReplayRecorded).
+func (rt *Runtime) ObjectKinds() []ObjectKind {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]ObjectKind, len(rt.objKinds))
+	copy(out, rt.objKinds)
+	return out
 }

@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// unstampedCopy returns a private raw copy of the trace so each run stamps
+// its own events.
+func unstampedCopy(tr *trace.Trace) *trace.Trace {
+	ev := make([]trace.Event, len(tr.Events))
+	copy(ev, tr.Events)
+	for i := range ev {
+		ev[i].Clock = nil
+	}
+	return &trace.Trace{Events: ev}
+}
+
+// requireSameVerdicts compares a serial detector's results to a pipeline's.
+func requireSameVerdicts(t *testing.T, label string, serial *core.Detector, p *Pipeline) {
+	t.Helper()
+	keys := func(rs []core.Race) [][3]int {
+		out := make([][3]int, len(rs))
+		for i, r := range rs {
+			out[i] = raceKey(r)
+		}
+		// Discovery order vs canonical order can differ on ties; compare
+		// as sets of keys.
+		slices.SortFunc(out, func(a, b [3]int) int { return slices.Compare(a[:], b[:]) })
+		return out
+	}
+	want, have := keys(serial.Races()), keys(p.Races())
+	if len(want) != len(have) {
+		t.Fatalf("%s: race count mismatch: serial %d, pipeline %d", label, len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("%s: race %d mismatch: serial %v, pipeline %v", label, i, want[i], have[i])
+		}
+	}
+	ws, hs := serial.Stats(), p.Stats()
+	if ws.Races != hs.Races || ws.Checks != hs.Checks || ws.Actions != hs.Actions {
+		t.Fatalf("%s: stats mismatch: serial %+v, pipeline %+v", label, ws, hs)
+	}
+	if serial.DistinctObjects() != p.DistinctObjects() {
+		t.Fatalf("%s: distinct objects mismatch: %d vs %d",
+			label, serial.DistinctObjects(), p.DistinctObjects())
+	}
+}
+
+// TestDifferentialParallelFrontend is ISSUE 6's acceptance differential
+// inside the pipeline: with the two-pass parallel front end (StampWorkers
+// >= 2, zero-copy chunk dispatch), the sharded pipeline must report the
+// identical race set and stats as the serial detector, over both RunTrace
+// and the chunked RunSource (with chunk sizes that slice through thread
+// segments).
+func TestDifferentialParallelFrontend(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.Threads, gcfg.Objects, gcfg.Keys = 5, 8, 3
+	gcfg.OpsMin, gcfg.OpsMax = 20, 60
+	for _, seed := range []int64{1, 2, 3} {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+		serial := runSerial(t, unstampedCopy(tr), gcfg.Objects, core.Config{})
+		for _, shards := range []int{1, 3, 4} {
+			for _, workers := range []int{2, 4} {
+				label := fmt.Sprintf("seed=%d shards=%d stamp=%d", seed, shards, workers)
+				cfg := Config{Shards: shards, StampWorkers: workers, Core: core.Config{}}
+				p := runParallel(t, unstampedCopy(tr), gcfg.Objects, cfg)
+				requireSameVerdicts(t, label+" trace", serial, p)
+
+				scfg := cfg
+				scfg.StampChunk = 23 // force many chunks and cross-chunk segments
+				ps := New(scfg)
+				for o := 0; o < gcfg.Objects; o++ {
+					ps.Register(trace.ObjID(o), dictRep)
+				}
+				if err := ps.RunSource(unstampedCopy(tr).Source()); err != nil {
+					t.Fatalf("%s source: %v", label, err)
+				}
+				requireSameVerdicts(t, label+" source", serial, ps)
+			}
+		}
+	}
+}
+
+// TestCorpusParallelFrontend runs the full examples/traces corpus through
+// serial detection and the parallel-front-end pipeline and requires
+// identical race sets — the corpus leg of the satellite differential
+// (ci.sh runs this under -race and -tags=clockcheck).
+func TestCorpusParallelFrontend(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "traces")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty trace corpus")
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := wire.ParseAny(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parsing %s: %v", ent.Name(), err)
+		}
+		var objs []trace.ObjID
+		seen := map[trace.ObjID]bool{}
+		for _, e := range tr.Events {
+			if e.Kind == trace.ActionEvent && !seen[e.Act.Obj] {
+				seen[e.Act.Obj] = true
+				objs = append(objs, e.Act.Obj)
+			}
+		}
+		slices.Sort(objs)
+
+		serial := core.New(core.Config{})
+		for _, o := range objs {
+			serial.Register(o, dictRep)
+		}
+		if err := serial.RunTrace(unstampedCopy(tr)); err != nil {
+			t.Fatalf("%s: serial: %v", ent.Name(), err)
+		}
+		for _, shards := range []int{1, 4} {
+			p := New(Config{Shards: shards, StampWorkers: 2, StampChunk: 13})
+			for _, o := range objs {
+				p.Register(o, dictRep)
+			}
+			if err := p.RunSource(unstampedCopy(tr).Source()); err != nil {
+				t.Fatalf("%s shards=%d: %v", ent.Name(), shards, err)
+			}
+			requireSameVerdicts(t, fmt.Sprintf("%s shards=%d", ent.Name(), shards), serial, p)
+		}
+	}
+}
+
+// TestParallelFrontendError checks error parity: a malformed trace yields
+// the same positioned error through the parallel front end as through the
+// serial one, with the valid prefix still detected.
+func TestParallelFrontendError(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Fork(0, 1))
+	tr.Append(trace.Act(1, trace.Action{Obj: 0, Method: "size", Rets: []trace.Value{trace.IntValue(0)}}))
+	tr.Append(trace.Recv(1, 7)) // no pending send
+
+	serialP := New(Config{Shards: 2})
+	serialP.Register(0, dictRep)
+	serialErr := serialP.RunTrace(unstampedCopy(tr))
+	if serialErr == nil {
+		t.Fatal("serial front end unexpectedly succeeded")
+	}
+
+	parP := New(Config{Shards: 2, StampWorkers: 2})
+	parP.Register(0, dictRep)
+	parErr := parP.RunTrace(unstampedCopy(tr))
+	if parErr == nil {
+		t.Fatal("parallel front end unexpectedly succeeded")
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error mismatch:\n  serial:   %v\n  parallel: %v", serialErr, parErr)
+	}
+	if s, p := serialP.Stats().Actions, parP.Stats().Actions; s != p || s != 1 {
+		t.Fatalf("prefix actions mismatch: serial %d, parallel %d (want 1)", s, p)
+	}
+}
