@@ -1,0 +1,121 @@
+package repro
+
+// End-to-end back-end differential over the real workloads (the ISSUE-7
+// layout swap): every H2 circuit and the snitch service are run live under
+// RD2 with recording on, then the recorded (already stamped) event stream
+// is replayed through both the allocation-free core.Detector and the frozen
+// map-based core.RefDetector. Verdicts, stats, and distinct-object counts
+// must agree exactly — and the offline race count must match what the live
+// detector (which additionally compacts after joins) reported.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/h2sim"
+	"repro/internal/monitor"
+	"repro/internal/snitch"
+	"repro/internal/specs"
+)
+
+// replayBoth feeds a recorded, stamped trace to both back-ends with the
+// monitored objects registered by kind (as ReplayRecorded does).
+func replayBoth(t *testing.T, rt *monitor.Runtime, cfg core.Config) (*core.Detector, *core.RefDetector) {
+	t.Helper()
+	tr := rt.Trace()
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no recorded trace")
+	}
+	reps := map[string]ap.Rep{}
+	for _, name := range specs.Names() {
+		reps[name] = specs.MustRep(name)
+	}
+	d := core.New(cfg)
+	ref := core.NewReference(cfg)
+	for _, ok := range rt.ObjectKinds() {
+		if rep, found := reps[ok.Kind]; found {
+			d.Register(ok.Obj, rep)
+			ref.Register(ok.Obj, rep)
+		}
+	}
+	for i := range tr.Events {
+		if err := d.Process(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Process(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.FlushObs()
+	return d, ref
+}
+
+func compareReplayed(t *testing.T, d *core.Detector, ref *core.RefDetector) {
+	t.Helper()
+	if ds, rs := d.Stats(), ref.Stats(); ds != rs {
+		t.Fatalf("stats diverge:\n  layout %+v\n  map    %+v", ds, rs)
+	}
+	if dd, rd := d.DistinctObjects(), ref.DistinctObjects(); dd != rd {
+		t.Fatalf("distinct objects: layout %d, map %d", dd, rd)
+	}
+	got, want := d.Races(), ref.Races()
+	if len(got) != len(want) {
+		t.Fatalf("race counts: layout %d, map %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("race %d diverges:\n  layout %+v\n  map    %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDifferentialBackendH2Workloads replays every H2 circuit's recorded
+// stream through both back-ends.
+func TestDifferentialBackendH2Workloads(t *testing.T) {
+	cfg := core.Config{MaxRaces: 1 << 20}
+	for _, c := range h2sim.Circuits() {
+		c := c.Scaled(10)
+		t.Run(sanitize(c.Name), func(t *testing.T) {
+			rt := monitor.NewRuntime()
+			rt.Record()
+			live := monitor.AttachRD2(rt, cfg)
+			c.Run(rt, 7)
+			if err := rt.Err(); err != nil {
+				t.Fatal(err)
+			}
+			d, ref := replayBoth(t, rt, cfg)
+			compareReplayed(t, d, ref)
+			// The live detector compacted after joins; compaction preserves
+			// verdicts, so the race count must still agree.
+			if lr, dr := live.Detector.Stats().Races, d.Stats().Races; lr != dr {
+				t.Fatalf("live detector found %d races, offline replay %d", lr, dr)
+			}
+		})
+	}
+}
+
+// TestDifferentialBackendSnitch replays the snitch service workload — the
+// paper's standout real-world subject — through both back-ends at several
+// seeds.
+func TestDifferentialBackendSnitch(t *testing.T) {
+	cfg := core.Config{MaxRaces: 1 << 20}
+	for seed := int64(0); seed < 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rt := monitor.NewRuntime()
+			rt.Record()
+			live := monitor.AttachRD2(rt, cfg)
+			snitch.RunTest(rt, snitch.DefaultTestConfig(), seed)
+			if err := rt.Err(); err != nil {
+				t.Fatal(err)
+			}
+			d, ref := replayBoth(t, rt, cfg)
+			compareReplayed(t, d, ref)
+			if lr, dr := live.Detector.Stats().Races, d.Stats().Races; lr != dr {
+				t.Fatalf("live detector found %d races, offline replay %d", lr, dr)
+			}
+		})
+	}
+}

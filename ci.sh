@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI entry point: vet, build, full race-instrumented tests, the
-# serial-vs-sharded differential suite, and a smoke-size allocation gate on
-# the happens-before front-end. Mirrors `make ci` for hosts without make.
+# serial-vs-sharded and back-end-layout differential suites, and smoke-size
+# allocation + ratio gates on the happens-before front-end and the
+# detection back-end. Mirrors `make ci` for hosts without make.
 #
 # Flags:
 #   -clockcheck   additionally run the whole test suite with poisoned clock
@@ -82,21 +83,32 @@ if [ "$ONLY" = 0 ]; then
     echo "== go test -race =="
     go test -race ./...
 
-    echo "== differential (serial vs sharded pipeline, clone vs snapshot vs parallel stamping) =="
+    echo "== differential (serial vs sharded pipeline, clone vs snapshot vs parallel stamping, back-end layouts) =="
+    # The root package carries the back-end layout differentials over the
+    # live h2sim/snitch workloads; internal/core carries them over generated
+    # traces, compaction interleavings, and the example-trace corpus.
     go test -race -run 'TestDifferential|TestSingleShardByteForByte|TestParallelMatchesSerial|TestCorpusParallel|TestRunParallelMatchesSerial' \
-        ./internal/pipeline ./internal/monitor ./internal/hb ./internal/core -v
+        . ./internal/pipeline ./internal/monitor ./internal/hb ./internal/core -v
 
     echo "== stamp differential under -tags=clockcheck (poisoned snapshots) =="
     go test -tags=clockcheck -count=1 \
         -run 'TestCorpusParallelStampingByteIdentical|TestStampAllParallelMatchesSerial|TestCorpusParallelFrontend|TestDifferentialParallelFrontend' \
         ./internal/hb ./internal/pipeline
 
-    echo "== bench smoke (front-end allocation gate vs BENCH_baseline.json) =="
+    echo "== back-end differential under -tags=clockcheck (poisoned snapshots) =="
+    # The layout back-end clones promoted clocks through its arena; poisoned
+    # snapshots catch any path that instead retained or wrote a shared clock.
+    go test -tags=clockcheck -count=1 -run 'TestDifferentialBackend' \
+        . ./internal/core
+
+    echo "== bench smoke (front-end + back-end allocation gate vs BENCH_baseline.json) =="
     {
         go test -run '^$' -bench 'BenchmarkStampAll|BenchmarkStampParallel|BenchmarkProcessAction' \
             -benchmem -benchtime 100x ./internal/hb
         go test -run '^$' -bench 'BenchmarkPipelineFrontend' \
             -benchmem -benchtime 5x ./internal/pipeline
+        go test -run '^$' -bench 'BenchmarkDetectBackend' \
+            -benchmem -benchtime 20x ./internal/core
     } | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only
 
     echo "== bench ratio gate (parallel front end vs serial shards=1, interleaved rounds) =="
@@ -129,6 +141,26 @@ if [ "$ONLY" = 0 ]; then
         -ratio "BenchmarkPipelineFrontend/shards=4/stamp=2,BenchmarkPipelineFrontend/shards=1,$RATIO_LIMIT" \
         < "$RATIOTMP/bench.out"
     rm -rf "$RATIOTMP"
+
+    echo "== bench ratio gate (layout back end vs map reference, interleaved rounds) =="
+    # Same interleaved-median methodology as above, but CPU-count
+    # independent: both sides are single-detector replays of the same
+    # stamped trace, so the allocation-free layout must never be slower than
+    # the map-based reference it replaced. dist=churn is the gated pair —
+    # it exercises every layer (inline set, spill, table growth, arena
+    # recycling) and showed the widest margin at introduction (~0.5x).
+    LAYOUTTMP=$(mktemp -d)
+    go test -c -o "$LAYOUTTMP/core.test" ./internal/core
+    for round in 1 2 3; do
+        "$LAYOUTTMP/core.test" -test.run '^$' \
+            -test.bench 'BenchmarkDetectBackend/dist=churn/layout=table$' -test.benchtime 20x
+        "$LAYOUTTMP/core.test" -test.run '^$' \
+            -test.bench 'BenchmarkDetectBackend/dist=churn/layout=map$' -test.benchtime 20x
+    done > "$LAYOUTTMP/bench.out"
+    go run ./cmd/benchgate -baseline '' \
+        -ratio "BenchmarkDetectBackend/dist=churn/layout=table,BenchmarkDetectBackend/dist=churn/layout=map,1.0" \
+        < "$LAYOUTTMP/bench.out"
+    rm -rf "$LAYOUTTMP"
 fi
 
 if [ "$CLOCKCHECK" = 1 ]; then

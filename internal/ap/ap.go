@@ -30,6 +30,16 @@ type Point struct {
 	Val   trace.Value
 }
 
+// Hash returns a 64-bit structural hash of the point for the detector's
+// open-addressed active tables (internal/core). Equal points hash equal;
+// hashing never allocates.
+func (p Point) Hash() uint64 {
+	// The class usually occupies few low bits; rotate it away from the
+	// value hash's low bits before mixing so (class, val) pairs that share
+	// a value still land in distinct slots.
+	return p.Val.Hash() ^ (uint64(p.Class)*0x9e3779b97f4a7c15 + 0x94d049bb133111eb)
+}
+
 // Rep is an access point representation. Implementations must be safe for
 // concurrent readers (they are immutable after construction).
 type Rep interface {
@@ -166,22 +176,66 @@ type NaiveRep struct {
 	Commute func(a, b trace.Action) bool
 	// actions interns recorded actions; point Class indexes into it.
 	actions []trace.Action
-	index   map[string]int
+	// index interns by structural key — no per-event formatting. Actions
+	// with more operands than a naiveKey holds (rare; no shipped spec has
+	// any) fall back to the rendered-string key in overflow.
+	index    map[naiveKey]int
+	overflow map[string]int
+}
+
+// naiveKeyOps bounds the operands a structural interning key carries
+// inline. Actions with at most this many operands (every shipped spec)
+// intern without allocating or formatting.
+const naiveKeyOps = 6
+
+// naiveKey is the comparable structural identity of an action: object,
+// method, arity, and the operand values ū·v̄ inline. It distinguishes
+// exactly what the old a.String() key distinguished (trace.Value renders
+// injectively per kind), so interned ids are assigned identically.
+type naiveKey struct {
+	obj          trace.ObjID
+	method       string
+	nargs, nrets int
+	w            [naiveKeyOps]trace.Value
 }
 
 // NewNaiveRep returns a NaiveRep over the given commutativity predicate.
 func NewNaiveRep(commute func(a, b trace.Action) bool) *NaiveRep {
-	return &NaiveRep{Commute: commute, index: map[string]int{}}
+	return &NaiveRep{Commute: commute, index: map[naiveKey]int{}}
 }
 
-// Touch interns the action and returns its singleton point.
+// Touch interns the action and returns its singleton point. Interning is
+// structural and allocation-free for already-seen actions: the previous
+// implementation rendered a.String() on every event, charging the
+// unbounded-engine baseline an allocation plus a format per action and
+// distorting the naive-vs-bounded comparison (Fig 8).
 func (n *NaiveRep) Touch(dst []Point, a trace.Action) ([]Point, error) {
-	key := a.String()
-	id, ok := n.index[key]
+	if len(a.Args)+len(a.Rets) > naiveKeyOps {
+		return n.touchOverflow(dst, a)
+	}
+	k := naiveKey{obj: a.Obj, method: a.Method, nargs: len(a.Args), nrets: len(a.Rets)}
+	copy(k.w[:], a.Args)
+	copy(k.w[len(a.Args):], a.Rets)
+	id, ok := n.index[k]
 	if !ok {
 		id = len(n.actions)
 		n.actions = append(n.actions, a)
-		n.index[key] = id
+		n.index[k] = id
+	}
+	return append(dst, Point{Class: id}), nil
+}
+
+// touchOverflow interns wide actions by rendered string (the old path).
+func (n *NaiveRep) touchOverflow(dst []Point, a trace.Action) ([]Point, error) {
+	if n.overflow == nil {
+		n.overflow = map[string]int{}
+	}
+	key := a.String()
+	id, ok := n.overflow[key]
+	if !ok {
+		id = len(n.actions)
+		n.actions = append(n.actions, a)
+		n.overflow[key] = id
 	}
 	return append(dst, Point{Class: id}), nil
 }

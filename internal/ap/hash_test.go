@@ -1,0 +1,166 @@
+package ap
+
+// Tests for the structural Point/Value hashing behind the detector's
+// open-addressed tables, and for NaiveRep's allocation-free structural
+// interning (the ISSUE-7 satellite: the old a.String() key charged the
+// unbounded baseline a format+alloc per event).
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPointHashEqualPointsHashEqual(t *testing.T) {
+	pts := []Point{
+		{Class: DictRead, Val: trace.StrValue("k")},
+		{Class: DictWrite, Val: trace.StrValue("k")},
+		{Class: DictWrite, Val: trace.IntValue(1)},
+		{Class: DictWrite, Val: trace.BoolValue(true)},
+		{Class: DictSize},
+		{Class: DictResize},
+	}
+	for _, p := range pts {
+		q := Point{Class: p.Class, Val: p.Val}
+		if p.Hash() != q.Hash() {
+			t.Fatalf("equal points hash differently: %+v", p)
+		}
+	}
+	// Distinctness is probabilistic, but these few must not collide — they
+	// are exactly the near-miss pairs a weak mix would merge.
+	seen := map[uint64]Point{}
+	for _, p := range pts {
+		if prev, dup := seen[p.Hash()]; dup {
+			t.Fatalf("hash collision between %+v and %+v", prev, p)
+		}
+		seen[p.Hash()] = p
+	}
+}
+
+func TestValueHashDistinguishesKinds(t *testing.T) {
+	// int 1, bool true, string "1": same scalar payload or rendering,
+	// different kinds.
+	vals := []trace.Value{
+		trace.IntValue(1), trace.BoolValue(true), trace.StrValue("1"),
+		trace.NilValue, trace.IntValue(0), trace.StrValue(""),
+	}
+	seen := map[uint64]trace.Value{}
+	for _, v := range vals {
+		if prev, dup := seen[v.Hash()]; dup {
+			t.Fatalf("hash collision between %s and %s", prev, v)
+		}
+		seen[v.Hash()] = v
+	}
+}
+
+func TestValueHashSpreadsDenseInts(t *testing.T) {
+	// Dense integer keys are the wide-key benchmark's workload; the
+	// splitmix finalizer must spread them over low bits (power-of-two
+	// masks). With 1024 sequential keys over a 4096-slot mask, collisions
+	// should be far below the pigeonhole disaster of an identity hash's
+	// perfect packing — just require no slot gets piled on.
+	const mask = 1<<12 - 1
+	counts := map[uint64]int{}
+	for i := 0; i < 1024; i++ {
+		counts[trace.IntValue(int64(i)).Hash()&mask]++
+	}
+	for slot, n := range counts {
+		if n > 8 {
+			t.Fatalf("slot %d received %d of 1024 dense keys; hash is not spreading", slot, n)
+		}
+	}
+}
+
+func naiveDict() *NaiveRep {
+	return NewNaiveRep(func(a, b trace.Action) bool { return false })
+}
+
+func TestNaiveInterningAssignsStableIDs(t *testing.T) {
+	n := naiveDict()
+	a1 := trace.Action{Obj: 0, Method: "put",
+		Args: []trace.Value{trace.StrValue("k"), trace.IntValue(1)},
+		Rets: []trace.Value{trace.NilValue}}
+	a2 := trace.Action{Obj: 0, Method: "get",
+		Args: []trace.Value{trace.StrValue("k")},
+		Rets: []trace.Value{trace.IntValue(1)}}
+	id := func(a trace.Action) int {
+		pts, err := n.Touch(nil, a)
+		if err != nil || len(pts) != 1 {
+			t.Fatalf("touch %s: %v %v", a, pts, err)
+		}
+		return pts[0].Class
+	}
+	i1, i2 := id(a1), id(a2)
+	if i1 == i2 {
+		t.Fatal("distinct actions interned to one id")
+	}
+	if id(a1) != i1 || id(a2) != i2 || id(a1) != i1 {
+		t.Fatal("repeated touches must return the first-assigned id")
+	}
+}
+
+func TestNaiveInterningDistinguishesLikeStrings(t *testing.T) {
+	// The structural key must keep apart everything the old rendered-string
+	// key kept apart: same rendering shape, different structure.
+	n := naiveDict()
+	cases := []trace.Action{
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.IntValue(1)}},
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.StrValue("1")}},
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.BoolValue(true)}},
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.StrValue("true")}},
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.NilValue}},
+		{Obj: 0, Method: "m", Args: []trace.Value{trace.StrValue("nil")}},
+		{Obj: 1, Method: "m", Args: []trace.Value{trace.IntValue(1)}}, // other object
+		{Obj: 0, Method: "m", Args: nil, Rets: []trace.Value{trace.IntValue(1)}},
+	}
+	seen := map[int]trace.Action{}
+	for _, a := range cases {
+		pts, err := n.Touch(nil, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[pts[0].Class]; dup {
+			t.Fatalf("actions %s and %s interned to one id", prev, a)
+		}
+		seen[pts[0].Class] = a
+	}
+}
+
+func TestNaiveInterningOverflowArity(t *testing.T) {
+	// More operands than the inline key holds: the string fallback must
+	// still intern stably.
+	n := naiveDict()
+	wide := trace.Action{Obj: 0, Method: "m", Args: []trace.Value{
+		trace.IntValue(1), trace.IntValue(2), trace.IntValue(3), trace.IntValue(4),
+		trace.IntValue(5), trace.IntValue(6), trace.IntValue(7)}}
+	pts1, err := n.Touch(nil, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts2, err := n.Touch(nil, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts1[0].Class != pts2[0].Class {
+		t.Fatal("overflow interning is unstable")
+	}
+}
+
+func TestNaiveInterningAllocationFree(t *testing.T) {
+	n := naiveDict()
+	a := trace.Action{Obj: 0, Method: "put",
+		Args: []trace.Value{trace.StrValue("k"), trace.IntValue(1)},
+		Rets: []trace.Value{trace.NilValue}}
+	buf := make([]Point, 0, 4)
+	if _, err := n.Touch(buf, a); err != nil { // interning miss: allocates once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := n.Touch(buf, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interned touch allocates %.1f times; want 0", allocs)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+// Differential tests pinning the allocation-free back-end (store.go +
+// arena.go) to the frozen map-based reference (reference.go): identical
+// Races, Stats, DistinctObjects, and JSONL reports on random realizable
+// traces, compaction interleavings, die-churn traces that recycle the
+// arena, and the shipped example corpus. ci.sh runs these under -race and
+// -tags=clockcheck (the TestDifferential prefix is part of its gate).
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// diffConfig is the retention config used by the differential runs: a cap
+// high enough that no generated trace truncates (truncation under a cap is
+// iteration-order-sensitive for the enumerating engine, which is exactly
+// the freedom SortRaces grants it).
+func diffConfig(engine Engine) Config {
+	return Config{Engine: engine, MaxRaces: 1 << 20}
+}
+
+// runBoth stamps tr once and feeds every event to both back-ends,
+// compacting both every compactEvery events (0 disables compaction).
+func runBoth(t *testing.T, tr *trace.Trace, cfg Config, reps map[trace.ObjID]ap.Rep, compactEvery int) (*Detector, *RefDetector) {
+	t.Helper()
+	d := New(cfg)
+	ref := NewReference(cfg)
+	for obj, rep := range reps {
+		d.Register(obj, rep)
+		ref.Register(obj, rep)
+	}
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if compactEvery > 0 && i%compactEvery == 0 {
+			meet := en.MeetLive()
+			d.Compact(meet)
+			ref.Compact(meet)
+		}
+	}
+	d.FlushObs()
+	return d, ref
+}
+
+// compareBackends fails unless both back-ends produced identical verdicts.
+// With sorted, races are compared as sets ordered by RaceLess (the
+// enumerating engine's scan order legitimately differs between a Go map and
+// an open-addressed table); otherwise element-for-element.
+func compareBackends(t *testing.T, d *Detector, ref *RefDetector, sorted bool) {
+	t.Helper()
+	if ds, rs := d.Stats(), ref.Stats(); ds != rs {
+		t.Fatalf("stats diverge:\n  layout %+v\n  map    %+v", ds, rs)
+	}
+	if dd, rd := d.DistinctObjects(), ref.DistinctObjects(); dd != rd {
+		t.Fatalf("distinct objects: layout %d, map %d", dd, rd)
+	}
+	got := append([]Race(nil), d.Races()...)
+	want := append([]Race(nil), ref.Races()...)
+	if sorted {
+		SortRaces(got)
+		SortRaces(want)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("race counts: layout %d, map %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("race %d diverges:\n  layout %+v\n  map    %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// genReps registers the translated dictionary rep for every generated
+// object.
+func genReps(cfg trace.GenConfig) map[trace.ObjID]ap.Rep {
+	reps := map[trace.ObjID]ap.Rep{}
+	for o := 0; o < cfg.Objects; o++ {
+		reps[trace.ObjID(o)] = dictRep
+	}
+	return reps
+}
+
+// TestDifferentialBackendRandom: on random realizable traces, the bounded
+// engine produces element-for-element identical races (its candidate
+// enumeration order is layout-independent) and identical stats.
+func TestDifferentialBackendRandom(t *testing.T) {
+	gcfgs := []trace.GenConfig{
+		trace.DefaultGenConfig(),
+		// Wide key universe + hot objects: spills the inline sets and grows
+		// the open-addressed tables.
+		{Threads: 4, Objects: 3, Keys: 10, Vals: 3, Locks: 2,
+			OpsMin: 30, OpsMax: 60, PSize: 10, PGet: 30, PLocked: 20, PRemove: 25},
+	}
+	for _, gcfg := range gcfgs {
+		for seed := int64(0); seed < 30; seed++ {
+			tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+			d, ref := runBoth(t, tr, diffConfig(EngineAuto), genReps(gcfg), 0)
+			compareBackends(t, d, ref, false)
+		}
+	}
+}
+
+// TestDifferentialBackendEnumerating: the enumerating engine scans the
+// active set, so its verdict set (not order) must match, and Checks — the
+// scan cardinality Fig 4 reasons about — must match exactly.
+func TestDifferentialBackendEnumerating(t *testing.T) {
+	gcfg := trace.GenConfig{Threads: 4, Objects: 2, Keys: 8, Vals: 3, Locks: 1,
+		OpsMin: 20, OpsMax: 40, PSize: 15, PGet: 35, PLocked: 25, PRemove: 25}
+	for seed := int64(0); seed < 30; seed++ {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+		d, ref := runBoth(t, tr, diffConfig(EngineEnumerating), genReps(gcfg), 0)
+		compareBackends(t, d, ref, true)
+	}
+}
+
+// TestDifferentialBackendCompaction: interleaving Compact (at the meet of
+// live thread clocks) exercises table rebuilds, shrinks, and un-spills
+// mid-trace; verdicts must be unaffected and identical.
+func TestDifferentialBackendCompaction(t *testing.T) {
+	gcfg := trace.GenConfig{Threads: 4, Objects: 3, Keys: 10, Vals: 3, Locks: 2,
+		OpsMin: 30, OpsMax: 60, PSize: 10, PGet: 30, PLocked: 30, PRemove: 25}
+	for seed := int64(0); seed < 20; seed++ {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+		for _, every := range []int{1, 7} {
+			d, ref := runBoth(t, tr, diffConfig(EngineAuto), genReps(gcfg), every)
+			compareBackends(t, d, ref, false)
+		}
+	}
+}
+
+// churnTrace builds a die-heavy trace: generations of objects are touched
+// on enough keys to spill and grow their tables (two threads per object so
+// points promote to full clocks), raced deliberately, then died — the
+// workload the arena free-lists exist for.
+func churnTrace(nGens, keysPerObj int) (*trace.Trace, map[trace.ObjID]ap.Rep) {
+	b := trace.NewBuilder()
+	reps := map[trace.ObjID]ap.Rep{}
+	b.Fork(0, 1).Fork(0, 2)
+	for g := 0; g < nGens; g++ {
+		obj := trace.ObjID(g)
+		reps[obj] = dictRep
+		for k := 0; k < keysPerObj; k++ {
+			key := trace.IntValue(int64(k))
+			// Concurrent puts on the same key race (and promote the point).
+			b.Put(1, obj, key, trace.IntValue(1), trace.NilValue)
+			b.Put(2, obj, key, trace.IntValue(2), trace.IntValue(1))
+		}
+		b.Die(1, obj)
+	}
+	b.JoinAll(0, 1, 2)
+	return b.Trace(), reps
+}
+
+// TestDifferentialBackendChurn: object death recycles tables, objStates,
+// and promoted clocks through the arena; later generations run on recycled
+// memory and must still report identically.
+func TestDifferentialBackendChurn(t *testing.T) {
+	for _, keys := range []int{3, 20, 60} { // inline-only, one spill, grown tables
+		tr, reps := churnTrace(12, keys)
+		d, ref := runBoth(t, tr, diffConfig(EngineAuto), reps, 0)
+		compareBackends(t, d, ref, false)
+		if d.Stats().Races == 0 {
+			t.Fatal("churn trace found no races; the differential is vacuous")
+		}
+		if d.Stats().Reclaimed == 0 {
+			t.Fatal("churn trace reclaimed nothing; the arena path was not exercised")
+		}
+	}
+}
+
+// TestDifferentialBackendCorpus: over every shipped example trace (text and
+// binary), the two back-ends agree race-for-race, stat-for-stat, and
+// byte-for-byte on the JSONL report stream.
+func TestDifferentialBackendCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "traces", "*"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example traces found: %v", err)
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := wire.ParseAny(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps := map[trace.ObjID]ap.Rep{}
+			for i := range tr.Events {
+				if tr.Events[i].Kind == trace.ActionEvent {
+					reps[tr.Events[i].Act.Obj] = dictRep
+				}
+			}
+			d, ref := runBoth(t, tr, diffConfig(EngineAuto), reps, 0)
+			compareBackends(t, d, ref, false)
+
+			var got, want bytes.Buffer
+			gw, ww := NewReportWriter(&got), NewReportWriter(&want)
+			for _, r := range d.Races() {
+				if err := gw.Write(r, "dict"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, r := range ref.Races() {
+				if err := ww.Write(r, "dict"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("JSONL reports diverge on %s:\nlayout:\n%s\nmap:\n%s",
+					name, got.String(), want.String())
+			}
+		})
+	}
+}
+
+// TestDifferentialBackendNaive: the unbounded naive representation drives
+// the enumerating engine through the structural interning fast path of
+// ap.NaiveRep; verdict sets must match the reference (each back-end interns
+// through its own rep instance, proving id assignment is deterministic).
+func TestDifferentialBackendNaive(t *testing.T) {
+	gcfg := trace.GenConfig{Threads: 3, Objects: 2, Keys: 5, Vals: 2, Locks: 1,
+		OpsMin: 10, OpsMax: 25, PSize: 15, PGet: 35, PLocked: 25, PRemove: 25}
+	naive := func() ap.Rep {
+		return ap.NewNaiveRep(func(a, b trace.Action) bool {
+			ok, err := dictSpec.Commutes(a, b)
+			return err == nil && ok
+		})
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+		cfg := diffConfig(EngineAuto) // naive reps are unbounded: auto enumerates
+		d := New(cfg)
+		ref := NewReference(cfg)
+		for o := 0; o < gcfg.Objects; o++ {
+			d.Register(trace.ObjID(o), naive())
+			ref.Register(trace.ObjID(o), naive())
+		}
+		en := hb.New()
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if _, err := en.Process(e); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Process(e); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Process(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compareBackends(t, d, ref, true)
+	}
+}
+
+// TestDifferentialBackendDescribeMemo: the memoized Describe strings in race
+// reports must equal fresh Describe output even when the same point races
+// repeatedly (the memo hit path).
+func TestDifferentialBackendDescribeMemo(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Fork(0, 1).Fork(0, 2)
+	key := trace.StrValue("hot")
+	for i := 0; i < 10; i++ {
+		b.Put(1, 0, key, trace.IntValue(int64(i+1)), prevVal(i))
+		b.Put(2, 0, key, trace.IntValue(int64(100+i)), trace.IntValue(int64(i+1)))
+	}
+	b.JoinAll(0, 1, 2)
+	d, ref := runBoth(t, b.Trace(), diffConfig(EngineAuto),
+		map[trace.ObjID]ap.Rep{0: dictRep}, 0)
+	compareBackends(t, d, ref, false)
+	if len(d.Races()) < 2 {
+		t.Fatalf("want repeated races on the hot key, got %d", len(d.Races()))
+	}
+	for _, r := range d.Races() {
+		if !strings.Contains(r.FirstPoint, "hot") || !strings.Contains(r.SecondPoint, "hot") {
+			t.Fatalf("memoized point descriptions wrong: %q / %q", r.FirstPoint, r.SecondPoint)
+		}
+	}
+}
+
+func prevVal(i int) trace.Value {
+	if i == 0 {
+		return trace.NilValue
+	}
+	return trace.IntValue(int64(100 + i - 1))
+}

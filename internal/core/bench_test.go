@@ -1,0 +1,182 @@
+package core
+
+// BenchmarkDetectBackend isolates the detection back-end (Algorithm 1's two
+// phases) from stamping: traces are built and stamped once, then replayed
+// through a detector per iteration. Each distribution targets one hot path
+// of the store.go layout, and each runs on both the allocation-free layout
+// (layout=table) and the frozen map-based reference (layout=map) — the
+// pair ci.sh's interleaved -ratio gate compares.
+//
+//	dist=hotkey  — Phase 1: repeated conflict checks against a small live
+//	               point set (lock-ordered, so no race reports pollute it)
+//	dist=fold    — Phase 2 fold: one promoted point joining clocks forever
+//	dist=widekey — Phase 2 insert: monotone fresh keys; spill and growth
+//	dist=churn   — arena: objects spill, promote, die, recycle
+//
+// All variants are race-free by construction (every op is ordered through
+// one lock or a single thread), so the numbers measure the check/fold
+// machinery, not report construction.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/hb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// benchBackend is the surface shared by Detector and RefDetector.
+type benchBackend interface {
+	Register(obj trace.ObjID, rep ap.Rep)
+	Process(e *trace.Event) error
+	Stats() Stats
+}
+
+// stampedTrace builds and stamps a benchmark trace once.
+func stampedTrace(b *testing.B, build func(*trace.Builder)) *trace.Trace {
+	b.Helper()
+	bd := trace.NewBuilder()
+	build(bd)
+	tr := bd.Trace()
+	en := hb.New()
+	for i := range tr.Events {
+		if _, err := en.Process(&tr.Events[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// hotkeyTrace: two threads hammer 4 keys of one object, every op ordered
+// through one lock — Phase 1 candidate lookups against a stable live set.
+func hotkeyTrace(b *testing.B, ops int) *trace.Trace {
+	return stampedTrace(b, func(bd *trace.Builder) {
+		bd.Fork(0, 1).Fork(0, 2)
+		val := trace.IntValue(1)
+		for i := 0; i < ops; i++ {
+			t := vclock.Tid(1 + i%2)
+			k := trace.IntValue(int64(i % 4))
+			bd.Acquire(t, 0)
+			if i%3 == 0 {
+				bd.Get(t, 0, k, val)
+			} else {
+				bd.Put(t, 0, k, val, val) // no-op put: a read point, no resize
+			}
+			bd.Release(t, 0)
+		}
+		bd.JoinAll(0, 1, 2)
+	})
+}
+
+// foldTrace: two threads alternate writes to one key under a lock — the
+// point promotes once, then every action folds a clock (Phase 2 fold).
+func foldTrace(b *testing.B, ops int) *trace.Trace {
+	return stampedTrace(b, func(bd *trace.Builder) {
+		bd.Fork(0, 1).Fork(0, 2)
+		k := trace.StrValue("k")
+		for i := 0; i < ops; i++ {
+			t := vclock.Tid(1 + i%2)
+			bd.Acquire(t, 0)
+			bd.Put(t, 0, k, trace.IntValue(int64(i+2)), trace.IntValue(int64(i+1)))
+			bd.Release(t, 0)
+		}
+		bd.JoinAll(0, 1, 2)
+	})
+}
+
+// widekeyTrace: one thread writes monotonically fresh keys — the pure
+// insert path: inline fill, spill, table growth.
+func widekeyTrace(b *testing.B, ops int) *trace.Trace {
+	return stampedTrace(b, func(bd *trace.Builder) {
+		for i := 0; i < ops; i++ {
+			bd.Put(0, 0, trace.IntValue(int64(i)), trace.IntValue(1), trace.NilValue)
+		}
+	})
+}
+
+// churnTraceBench: generations of objects spill, promote on two disjoint
+// key ranges, and die — the arena recycling path.
+func churnTraceBench(b *testing.B, gens, keys int) *trace.Trace {
+	return stampedTrace(b, func(bd *trace.Builder) {
+		bd.Fork(0, 1)
+		for g := 0; g < gens; g++ {
+			obj := trace.ObjID(g)
+			for k := 0; k < keys; k++ {
+				bd.Put(0, obj, trace.IntValue(int64(k)), trace.IntValue(1), trace.NilValue)
+				bd.Put(1, obj, trace.IntValue(int64(1000+k)), trace.IntValue(1), trace.NilValue)
+			}
+			bd.Die(0, obj)
+		}
+		bd.Join(0, 1)
+	})
+}
+
+// objectsIn returns the distinct objects acted on, for registration.
+func objectsIn(tr *trace.Trace) []trace.ObjID {
+	seen := map[trace.ObjID]bool{}
+	var objs []trace.ObjID
+	for i := range tr.Events {
+		if tr.Events[i].Kind == trace.ActionEvent && !seen[tr.Events[i].Act.Obj] {
+			seen[tr.Events[i].Act.Obj] = true
+			objs = append(objs, tr.Events[i].Act.Obj)
+		}
+	}
+	return objs
+}
+
+func runBackendBench(b *testing.B, tr *trace.Trace, mk func() benchBackend) {
+	objs := objectsIn(tr)
+	actions := 0
+	for i := range tr.Events {
+		if tr.Events[i].Kind == trace.ActionEvent {
+			actions++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := mk()
+		for _, o := range objs {
+			d.Register(o, ap.DictRep{})
+		}
+		for j := range tr.Events {
+			if err := d.Process(&tr.Events[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d.Stats().Races != 0 {
+			b.Fatal("benchmark trace raced; numbers would measure report construction")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(actions*b.N)/b.Elapsed().Seconds(), "actions/s")
+}
+
+func BenchmarkDetectBackend(b *testing.B) {
+	const ops = 4096
+	dists := []struct {
+		name  string
+		trace func(*testing.B) *trace.Trace
+	}{
+		{"hotkey", func(b *testing.B) *trace.Trace { return hotkeyTrace(b, ops) }},
+		{"fold", func(b *testing.B) *trace.Trace { return foldTrace(b, ops) }},
+		{"widekey", func(b *testing.B) *trace.Trace { return widekeyTrace(b, ops) }},
+		{"churn", func(b *testing.B) *trace.Trace { return churnTraceBench(b, 64, 32) }},
+	}
+	layouts := []struct {
+		name string
+		mk   func() benchBackend
+	}{
+		{"table", func() benchBackend { return New(Config{}) }},
+		{"map", func() benchBackend { return NewReference(Config{}) }},
+	}
+	for _, dist := range dists {
+		for _, layout := range layouts {
+			b.Run(fmt.Sprintf("dist=%s/layout=%s", dist.name, layout.name), func(b *testing.B) {
+				runBackendBench(b, dist.trace(b), layout.mk)
+			})
+		}
+	}
+}

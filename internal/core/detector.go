@@ -63,6 +63,9 @@ type pendingObs struct {
 	racyEvts  int
 	reclaimed int
 	active    int
+	lookups   int // spill-table probe sequences (core.table.lookups)
+	probes    int // spill-table slot inspections (core.table.probes)
+	tableLive int // delta of live spill-table entries (core.table.live)
 }
 
 // Engine selects the conflict-lookup strategy.
@@ -148,6 +151,11 @@ const DefaultMaxRaces = 10000
 
 // Detector is the commutativity race detector. It is not safe for
 // concurrent use; the monitored runtime serializes events into it.
+//
+// Object state lives in the allocation-free layout of store.go (inline
+// small-sets spilling to open-addressed tables) backed by the detector's
+// private arena (arena.go); the map-based layout it replaced survives as
+// RefDetector (reference.go), which differential tests hold it to.
 type Detector struct {
 	cfg      Config
 	reps     map[trace.ObjID]ap.Rep
@@ -159,11 +167,14 @@ type Detector struct {
 	pend     pendingObs
 	ptBuf    []ap.Point
 	cfBuf    []ap.Point
-}
+	arena    backendArena
+	scratch  []ptEntry // Compact's table-rebuild buffer
 
-type objState struct {
-	rep    ap.Rep
-	active map[ap.Point]*ptState
+	// Last-object memoization: consecutive actions on the same object (the
+	// common case in sharded streams) skip the d.objects map hit. lastSt is
+	// invalidated when the object dies.
+	lastObj trace.ObjID
+	lastSt  *objState
 }
 
 // ptState is the per-access-point shadow state. Points touched so far by a
@@ -171,13 +182,16 @@ type objState struct {
 // by the epoch lemma (see vclock.Epoch) the one-comparison check
 // epoch.LEQ(d) gives the same verdict as the full accumulated clock, and no
 // clock is allocated. The first cross-thread touch promotes the point to a
-// full clock (taken from vclock.SharedPool) that folds in the epoch.
+// full clock (carved from the detector's arena) that folds in the epoch.
+// ptState is stored by value in objState's inline array or spill table; it
+// holds no pointers into either, so table rebuilds may copy it freely.
 type ptState struct {
 	epoch      vclock.Epoch // valid while vc == nil
 	vc         vclock.VC    // full accumulated clock after promotion
 	lastAct    trace.Action
 	lastThread vclock.Tid
 	lastSeq    int
+	desc       string // memoized rep.Describe of this point ("" until first race)
 }
 
 // ordered reports whether the point's accumulated clock is ⊑ c — the
@@ -241,14 +255,20 @@ func (d *Detector) action(e *trace.Event) error {
 		return fmt.Errorf("core: event %d (%s) has no vector clock; stamp events before detection", e.Seq, e)
 	}
 	obj := e.Act.Obj
-	st := d.objects[obj]
-	if st == nil {
-		rep, ok := d.reps[obj]
-		if !ok {
-			return fmt.Errorf("core: object o%d has no registered representation", obj)
+	st := d.lastSt
+	if st == nil || obj != d.lastObj {
+		st = d.objects[obj]
+		if st == nil {
+			rep, ok := d.reps[obj]
+			if !ok {
+				return fmt.Errorf("core: object o%d has no registered representation", obj)
+			}
+			st = d.arena.newObjState()
+			st.rep = rep
+			d.objects[obj] = st
+			obsTblInline.Add(1)
 		}
-		st = &objState{rep: rep, active: map[ap.Point]*ptState{}}
-		d.objects[obj] = st
+		d.lastObj, d.lastSt = obj, st
 	}
 	d.stats.Actions++
 	d.pend.actions++
@@ -275,14 +295,27 @@ func (d *Detector) action(e *trace.Event) error {
 			d.cfBuf = cands[:0]
 			for _, cand := range cands {
 				checks++
-				if ps, ok := st.active[cand]; ok && !ps.ordered(e.Clock) {
+				if ps := d.lookup(st, cand); ps != nil && !ps.ordered(e.Clock) {
+					d.report(e, st, pt, cand, ps)
+					raced = true
+				}
+			}
+		} else if t := st.table; t != nil {
+			for i, u := range t.used {
+				if !u {
+					continue
+				}
+				checks++
+				cand, ps := t.keys[i], &t.states[i]
+				if st.rep.ConflictsWith(pt, cand) && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
 				}
 			}
 		} else {
-			for cand, ps := range st.active {
+			for i := 0; i < st.n; i++ {
 				checks++
+				cand, ps := st.keys[i], &st.states[i]
 				if st.rep.ConflictsWith(pt, cand) && !ps.ordered(e.Clock) {
 					d.report(e, st, pt, cand, ps)
 					raced = true
@@ -298,9 +331,11 @@ func (d *Detector) action(e *trace.Event) error {
 		d.pend.racyEvts++
 	}
 
-	// Phase 2: fold the event's clock into the touched points.
+	// Phase 2: fold the event's clock into the touched points. The state
+	// pointer from lookupOrInsert stays valid for the body of one iteration
+	// (nothing else inserts into st before the next lookupOrInsert).
 	for _, pt := range pts {
-		if ps, ok := st.active[pt]; ok {
+		if ps, existed := d.lookupOrInsert(st, pt); existed {
 			switch {
 			case ps.vc != nil:
 				ps.vc = ps.vc.Join(e.Clock)
@@ -312,25 +347,27 @@ func (d *Detector) action(e *trace.Event) error {
 				// Second thread: promote to a full clock. The accumulated
 				// history of the old writer is represented by its epoch,
 				// which the lemma makes order-equivalent to its full clock.
-				ps.vc = vclock.SharedPool.Clone(e.Clock).JoinEpoch(ps.epoch)
+				// The carve is wide enough that JoinEpoch cannot grow it.
+				w := len(e.Clock)
+				if t := int(ps.epoch.T) + 1; t > w {
+					w = t
+				}
+				ps.vc = d.arena.cloneClock(e.Clock, w).JoinEpoch(ps.epoch)
 			}
 			ps.lastAct = e.Act
 			ps.lastThread = e.Thread
 			ps.lastSeq = e.Seq
 		} else {
-			ps := &ptState{
-				lastAct:    e.Act,
-				lastThread: e.Thread,
-				lastSeq:    e.Seq,
-			}
+			ps.lastAct = e.Act
+			ps.lastThread = e.Thread
+			ps.lastSeq = e.Seq
 			if ep := vclock.EpochOf(e.Thread, e.Clock); ep.C > 0 {
 				ps.epoch = ep
 			} else {
 				// Clock without an own-entry (not produced by internal/hb):
 				// the epoch lemma does not apply, keep the full clock.
-				ps.vc = vclock.SharedPool.Clone(e.Clock)
+				ps.vc = d.arena.cloneClock(e.Clock, 0)
 			}
-			st.active[pt] = ps
 			d.addActive(1)
 		}
 	}
@@ -376,6 +413,15 @@ func (d *Detector) FlushObs() {
 	if p.active != 0 {
 		obsActive.Add(int64(p.active))
 	}
+	if p.lookups != 0 {
+		obsTblLookups.Add(uint64(p.lookups))
+	}
+	if p.probes != 0 {
+		obsTblProbes.Add(uint64(p.probes))
+	}
+	if p.tableLive != 0 {
+		obsTblLive.Add(int64(p.tableLive))
+	}
 	*p = pendingObs{}
 }
 
@@ -388,18 +434,26 @@ func (d *Detector) report(e *trace.Event, st *objState, pt, cand ap.Point, ps *p
 		// skip the (comparatively expensive) report construction.
 		return
 	}
+	// Report construction dominates the allocation profile of racy traces
+	// (string formatting plus clock snapshots), so both are de-duplicated:
+	// Describe strings are memoized in the point state (racy points race
+	// repeatedly) and clock snapshots are carved from the never-recycled
+	// report slab. Contents are identical to Describe/Clone output.
+	if ps.desc == "" {
+		ps.desc = st.rep.Describe(cand)
+	}
 	r := Race{
 		Obj:          e.Act.Obj,
 		Second:       e.Act,
 		SecondThread: e.Thread,
 		SecondSeq:    e.Seq,
-		SecondClock:  e.Clock.Clone(),
-		SecondPoint:  st.rep.Describe(pt),
+		SecondClock:  d.arena.reportClock(e.Clock),
+		SecondPoint:  d.describe(st, pt),
 		First:        ps.lastAct,
 		FirstThread:  ps.lastThread,
 		FirstSeq:     ps.lastSeq,
-		FirstClock:   ps.clock(),
-		FirstPoint:   st.rep.Describe(cand),
+		FirstClock:   d.reportPtClock(ps),
+		FirstPoint:   ps.desc,
 	}
 	if len(d.races) < d.cfg.MaxRaces {
 		d.races = append(d.races, r)
@@ -407,6 +461,29 @@ func (d *Detector) report(e *trace.Event, st *objState, pt, cand ap.Point, ps *p
 	if d.cfg.OnRace != nil {
 		d.cfg.OnRace(r)
 	}
+}
+
+// describe renders pt for a race report, memoizing in the point's state
+// when pt is already active (the second point of one race is routinely the
+// first point of the next).
+func (d *Detector) describe(st *objState, pt ap.Point) string {
+	if ps := d.lookup(st, pt); ps != nil {
+		if ps.desc == "" {
+			ps.desc = st.rep.Describe(pt)
+		}
+		return ps.desc
+	}
+	return st.rep.Describe(pt)
+}
+
+// reportPtClock snapshots a point's accumulated clock for a race report,
+// carving from the report slab (promoted clocks by copy, epochs by their
+// sparse ⟨…, C, …⟩ expansion — the same contents ptState.clock returns).
+func (d *Detector) reportPtClock(ps *ptState) vclock.VC {
+	if ps.vc != nil {
+		return d.arena.reportClock(ps.vc)
+	}
+	return d.arena.reportEpochVC(ps.epoch)
 }
 
 // Compact removes every active point whose accumulated clock is ⊑
@@ -424,13 +501,7 @@ func (d *Detector) Compact(threshold vclock.VC) int {
 	}
 	removed := 0
 	for _, st := range d.objects {
-		for pt, ps := range st.active {
-			if ps.ordered(threshold) {
-				vclock.SharedPool.Put(ps.vc)
-				delete(st.active, pt)
-				removed++
-			}
-		}
+		removed += d.compactObj(st, threshold)
 	}
 	d.addActive(-removed)
 	d.stats.Reclaimed += removed
@@ -451,12 +522,15 @@ func (d *Detector) reclaim(obj trace.ObjID) {
 		delete(d.reps, obj)
 		return
 	}
-	for _, ps := range st.active {
-		vclock.SharedPool.Put(ps.vc)
+	if obj == d.lastObj {
+		// Drop the memo before the objState is recycled: the arena may hand
+		// it to a different object while lastObj still names this one.
+		d.lastSt = nil
 	}
-	d.stats.Reclaimed += len(st.active)
-	d.pend.reclaimed += len(st.active)
-	d.addActive(-len(st.active))
+	released := d.releaseObj(st)
+	d.stats.Reclaimed += released
+	d.pend.reclaimed += released
+	d.addActive(-released)
 	// Flush so live snapshots see the drop (and its gauge churn)
 	// immediately after a burst of frees, not an interval later.
 	d.FlushObs()

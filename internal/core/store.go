@@ -1,0 +1,334 @@
+package core
+
+// This file is the allocation-free, cache-resident object-state layout the
+// detector's back-end runs on (DESIGN.md §12). The paper's bound makes the
+// per-action check O(1) (Theorem 6.6); this layout makes the *memory
+// traffic* match that bound the way the FastTrack epochs of ptState match
+// the clock representation:
+//
+//   - inline small-set: most objects have at most inlineCap live access
+//     points; their ptState values live in a fixed array inside objState,
+//     found by a linear scan over a contiguous key array — no hashing, no
+//     pointer chase, no heap at all.
+//   - open-addressed spill table: hot objects (wide key spaces) spill into
+//     a power-of-two table with linear probing and *inline* ptState values
+//     in a parallel array — one hash, a short contiguous probe, and the
+//     state on the same cache path; no per-point heap allocation, no
+//     map-bucket indirection.
+//   - arena recycling: objStates, spill tables, and promoted clocks come
+//     from the detector-private free-lists of arena.go, so DieEvent-heavy
+//     traces run at steady-state zero allocation.
+//
+// The layout is semantics-free: lookups and inserts reproduce exactly what
+// map[ap.Point]*ptState did, which backend_differential_test.go and the
+// corpus differential in ci.sh pin against the retained RefDetector.
+
+import (
+	"repro/internal/ap"
+	"repro/internal/obs"
+)
+
+// inlineCap is the number of access points stored inline in objState before
+// spilling to an open-addressed table. Four covers the common case (a
+// handful of live points per object) while keeping the inline key scan
+// within a few cache lines.
+const inlineCap = 4
+
+// minTableCap is the smallest spill table (power of two, > inlineCap so a
+// fresh spill is already under the 3/4 load bound).
+const minTableCap = 16
+
+// Table-layout gauges (DESIGN.md §7 naming): inline-vs-spilled object
+// counts, total spill-table slots and live entries (load factor =
+// live/slots), and probe traffic (mean probe length = probes/lookups).
+// Structural changes (spill, grow, reclaim) update the gauges directly —
+// they are rare; per-lookup probe counts batch through pendingObs.
+var (
+	obsTblInline  = obs.GetGauge("core.table.inline_objects")
+	obsTblSpilled = obs.GetGauge("core.table.spilled_objects")
+	obsTblSlots   = obs.GetGauge("core.table.slots")
+	obsTblLive    = obs.GetGauge("core.table.live")
+	obsTblLookups = obs.GetCounter("core.table.lookups")
+	obsTblProbes  = obs.GetCounter("core.table.probes")
+)
+
+// objState is the per-object detection state: the representation and the
+// active access points with their shadow state. While table is nil the
+// points live in the inline arrays keys[:n]/states[:n] (parallel arrays: a
+// lookup scans the contiguous keys without dragging the fat states through
+// the cache); after a spill they live in the table exclusively.
+type objState struct {
+	rep    ap.Rep
+	n      int
+	table  *ptTable
+	keys   [inlineCap]ap.Point
+	states [inlineCap]ptState
+}
+
+// ptTable is an open-addressed, linear-probed point table with inline
+// states. Parallel arrays again: probes touch used/keys only. Capacity is a
+// power of two; load is kept at or below 3/4.
+type ptTable struct {
+	mask   uint64
+	live   int
+	used   []bool
+	keys   []ap.Point
+	states []ptState
+}
+
+// ptEntry pairs a point with its state value — the scratch element Compact
+// uses to rebuild tables in place.
+type ptEntry struct {
+	pt ap.Point
+	ps ptState
+}
+
+// lookup returns the state of pt, or nil when pt is not active. It is the
+// phase-1 candidate probe: one hash and a short contiguous scan for spilled
+// objects, a linear scan of at most inlineCap contiguous keys otherwise.
+func (d *Detector) lookup(st *objState, pt ap.Point) *ptState {
+	if t := st.table; t != nil {
+		d.pend.lookups++
+		i := pt.Hash() & t.mask
+		for probes := 1; ; probes++ {
+			if !t.used[i] {
+				d.pend.probes += probes
+				return nil
+			}
+			if t.keys[i] == pt {
+				d.pend.probes += probes
+				return &t.states[i]
+			}
+			i = (i + 1) & t.mask
+		}
+	}
+	for i := 0; i < st.n; i++ {
+		if st.keys[i] == pt {
+			return &st.states[i]
+		}
+	}
+	return nil
+}
+
+// lookupOrInsert returns the state of pt, inserting a zeroed state when the
+// point is not yet active (existed reports which). The returned pointer is
+// valid until the next insert into the same object. It is the phase-2
+// entry point: the probe that finds the point is the probe that finds its
+// slot.
+func (d *Detector) lookupOrInsert(st *objState, pt ap.Point) (ps *ptState, existed bool) {
+	if st.table != nil {
+		return d.tableInsert(st, pt)
+	}
+	for i := 0; i < st.n; i++ {
+		if st.keys[i] == pt {
+			return &st.states[i], true
+		}
+	}
+	if st.n < inlineCap {
+		i := st.n
+		st.n = i + 1
+		st.keys[i] = pt
+		return &st.states[i], false
+	}
+	d.spill(st)
+	return d.tableInsert(st, pt)
+}
+
+// tableInsert is lookupOrInsert's spilled path.
+func (d *Detector) tableInsert(st *objState, pt ap.Point) (*ptState, bool) {
+	t := st.table
+	d.pend.lookups++
+	i := pt.Hash() & t.mask
+	probes := 1
+	for t.used[i] {
+		if t.keys[i] == pt {
+			d.pend.probes += probes
+			return &t.states[i], true
+		}
+		i = (i + 1) & t.mask
+		probes++
+	}
+	d.pend.probes += probes
+	if (t.live+1)*4 > len(t.used)*3 {
+		d.growTable(st)
+		t = st.table
+		i = pt.Hash() & t.mask
+		for t.used[i] {
+			i = (i + 1) & t.mask
+		}
+	}
+	t.used[i] = true
+	t.keys[i] = pt
+	t.live++
+	d.pend.tableLive++
+	return &t.states[i], false
+}
+
+// spill moves an object's inline points into a fresh (recycled) table.
+func (d *Detector) spill(st *objState) {
+	t := d.arena.newTable(minTableCap)
+	for i := 0; i < st.n; i++ {
+		j := st.keys[i].Hash() & t.mask
+		for t.used[j] {
+			j = (j + 1) & t.mask
+		}
+		t.used[j] = true
+		t.keys[j] = st.keys[i]
+		t.states[j] = st.states[i]
+	}
+	t.live = st.n
+	d.pend.tableLive += st.n
+	st.keys = [inlineCap]ap.Point{}
+	st.states = [inlineCap]ptState{}
+	st.n = 0
+	st.table = t
+	obsTblInline.Add(-1)
+	obsTblSpilled.Add(1)
+	obsTblSlots.Add(int64(len(t.used)))
+}
+
+// growTable doubles an object's spill table, rehashing every entry.
+// Pointers into the old state array are invalid afterwards — callers hold
+// none across an insert.
+func (d *Detector) growTable(st *objState) {
+	old := st.table
+	t := d.arena.newTable(2 * len(old.used))
+	for i, u := range old.used {
+		if !u {
+			continue
+		}
+		j := old.keys[i].Hash() & t.mask
+		for t.used[j] {
+			j = (j + 1) & t.mask
+		}
+		t.used[j] = true
+		t.keys[j] = old.keys[i]
+		t.states[j] = old.states[i]
+	}
+	t.live = old.live
+	st.table = t
+	obsTblSlots.Add(int64(len(t.used) - len(old.used)))
+	d.arena.putTable(old)
+}
+
+// compactObj removes every point of st whose accumulated clock is ⊑
+// threshold, releasing its promoted clock to the arena, and returns the
+// number removed. Spilled tables are rebuilt from the survivors (open
+// addressing has no cheap single-slot delete); an object whose survivors
+// fit inline is un-spilled, so compaction returns churny objects to the
+// cache-resident fast path.
+func (d *Detector) compactObj(st *objState, threshold []uint64) int {
+	if t := st.table; t != nil {
+		d.scratch = d.scratch[:0]
+		removed := 0
+		for i, u := range t.used {
+			if !u {
+				continue
+			}
+			if t.states[i].ordered(threshold) {
+				d.arena.freeClock(t.states[i].vc)
+				removed++
+				continue
+			}
+			d.scratch = append(d.scratch, ptEntry{pt: t.keys[i], ps: t.states[i]})
+		}
+		if removed == 0 {
+			return 0
+		}
+		d.pend.tableLive -= t.live
+		if len(d.scratch) <= inlineCap {
+			// Un-spill: the survivors fit inline again.
+			st.table = nil
+			st.n = len(d.scratch)
+			for i, e := range d.scratch {
+				st.keys[i] = e.pt
+				st.states[i] = e.ps
+			}
+			obsTblSpilled.Add(-1)
+			obsTblInline.Add(1)
+			obsTblSlots.Add(-int64(len(t.used)))
+			d.arena.putTable(t)
+		} else {
+			// Rebuild in place (shrinking when the table is mostly empty).
+			capacity := len(t.used)
+			for capacity > minTableCap && len(d.scratch)*4 <= capacity {
+				capacity /= 2
+			}
+			if capacity != len(t.used) {
+				obsTblSlots.Add(int64(capacity - len(t.used)))
+				d.arena.putTable(t)
+				t = d.arena.newTable(capacity)
+				st.table = t
+			} else {
+				clear(t.used)
+				clear(t.keys)
+				clear(t.states)
+			}
+			for _, e := range d.scratch {
+				j := e.pt.Hash() & t.mask
+				for t.used[j] {
+					j = (j + 1) & t.mask
+				}
+				t.used[j] = true
+				t.keys[j] = e.pt
+				t.states[j] = e.ps
+			}
+			t.live = len(d.scratch)
+			d.pend.tableLive += t.live
+		}
+		clear(d.scratch)
+		return removed
+	}
+	w := 0
+	removed := 0
+	for i := 0; i < st.n; i++ {
+		if st.states[i].ordered(threshold) {
+			d.arena.freeClock(st.states[i].vc)
+			removed++
+			continue
+		}
+		if w != i {
+			st.keys[w] = st.keys[i]
+			st.states[w] = st.states[i]
+		}
+		w++
+	}
+	for i := w; i < st.n; i++ {
+		st.keys[i] = ap.Point{}
+		st.states[i] = ptState{}
+	}
+	st.n = w
+	return removed
+}
+
+// releaseObj frees every point of st (clocks back to the arena), recycles
+// its spill table and the objState itself, and returns the number of points
+// released. The object-death path of reclaim.
+func (d *Detector) releaseObj(st *objState) int {
+	released := 0
+	if t := st.table; t != nil {
+		for i, u := range t.used {
+			if u {
+				d.arena.freeClock(t.states[i].vc)
+				released++
+			}
+		}
+		d.pend.tableLive -= t.live
+		obsTblSpilled.Add(-1)
+		obsTblSlots.Add(-int64(len(t.used)))
+		d.arena.putTable(t)
+		st.table = nil
+	} else {
+		for i := 0; i < st.n; i++ {
+			d.arena.freeClock(st.states[i].vc)
+			released++
+		}
+		obsTblInline.Add(-1)
+	}
+	st.keys = [inlineCap]ap.Point{}
+	st.states = [inlineCap]ptState{}
+	st.n = 0
+	st.rep = nil
+	d.arena.putObjState(st)
+	return released
+}

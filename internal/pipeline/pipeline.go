@@ -138,6 +138,14 @@ func (c *eventChunk) unref() {
 // contention): queue depth in batches (producer increments on send, worker
 // decrements after processing — the peak is the high-water backlog),
 // events processed, and races found, updated once per batch.
+//
+// The detector's back-end arena (recycled object states, spill tables, and
+// promoted clocks — see core/arena.go) is detector-private and unlocked,
+// which is sound here because the detector is goroutine-confined: only the
+// shard worker calls Process/Compact, and the merge path reads Races and
+// Stats strictly after the worker's done channel closes. Race records
+// themselves carry clocks from the arena's never-recycled report slab, so
+// merged reports stay valid after further shard processing.
 type shard struct {
 	det    *core.Detector
 	ch     chan []item

@@ -77,6 +77,34 @@ func (v Value) Str() string { return v.s }
 // Bool returns the boolean payload; it is false for non-boolean values.
 func (v Value) Bool() bool { return v.kind == Bool && v.i != 0 }
 
+// Hash returns a 64-bit structural hash of the value, suitable for
+// open-addressed tables keyed by values (or by structs embedding them,
+// like ap.Point). Equal values hash equal; the hash never allocates and
+// never formats. String payloads are hashed with FNV-1a, scalar payloads
+// are mixed through a splitmix64 finalizer so dense integer keys spread
+// over power-of-two tables.
+func (v Value) Hash() uint64 {
+	h := uint64(v.kind)
+	if v.kind == Str {
+		// FNV-1a over the string bytes, seeded with the kind.
+		h ^= 14695981039346656037
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	return mix64(h<<56 ^ uint64(v.i))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Less imposes a total order on values: by kind, then payload. It exists so
 // specs may use ordered atoms (x < y) in the LB fragment and so dumps are
 // deterministic.
