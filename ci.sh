@@ -11,9 +11,13 @@
 #                 so the default tier-1 run stays fast.
 #   -obs          additionally run the observability smoke: internal/obs
 #                 under -race, the disabled-path zero-alloc gate
-#                 (allocs-slack 0 — exactly zero allocations), and an HTTP
-#                 end-to-end check (rd2 -http -serve, curl /metrics,
-#                 obscheck schema validation).
+#                 (allocs-slack 0 — exactly zero allocations, including
+#                 scoped registries and stage spans via obscheck -allocs),
+#                 an HTTP end-to-end check (rd2 -http -serve, curl
+#                 /metrics, obscheck schema validation), and a live rd2d
+#                 scrape: stream a session in, then validate
+#                 /metrics?format=prom with the strict Prometheus parser
+#                 (obscheck -prom) and the /sessions listing.
 #   -obs-only     run only the observability smoke (used by `make obs-smoke`).
 #   -wire         additionally run the streaming smoke: record an H2 circuit
 #                 in the RDB2 binary wire format, analyze it offline, stream
@@ -176,6 +180,9 @@ if [ "$OBS" = 1 ]; then
     go test -run '^$' -bench 'BenchmarkObsDisabled' -benchmem -benchtime 1000x ./internal/obs \
         | go run ./cmd/benchgate -baseline BENCH_baseline.json -allocs-only -allocs-slack 0
 
+    echo "== obs: scoped-registry + span disabled-path alloc gate (obscheck -allocs) =="
+    go run ./cmd/obscheck -allocs
+
     echo "== obs: http smoke (rd2 -http -serve / curl /metrics / obscheck) =="
     OBSTMP=$(mktemp -d)
     RD2PID=""
@@ -207,6 +214,47 @@ if [ "$OBS" = 1 ]; then
     curl -fsS "http://$OBSADDR/healthz" | grep -q ok
     go run ./cmd/obscheck "$OBSTMP/snap.json"
     kill "$RD2PID" 2>/dev/null || true
+    wait "$RD2PID" 2>/dev/null || true
+    RD2PID=""
+
+    echo "== obs: rd2d prom scrape (stream a session, /metrics?format=prom, /sessions) =="
+    PROMADDR=127.0.0.1:36062
+    PROMHTTP=127.0.0.1:36063
+    go build -o "$OBSTMP/rd2d" ./cmd/rd2d
+    go build -o "$OBSTMP/rd2obs" ./cmd/rd2
+    "$OBSTMP/rd2d" -listen "$PROMADDR" -http "$PROMHTTP" -q \
+        2> "$OBSTMP/rd2d.log" &
+    RD2PID=$!
+    ok=0
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fsS "http://$PROMHTTP/healthz" > /dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        i=$((i + 1))
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "obs smoke: rd2d /healthz never came up" >&2; cat "$OBSTMP/rd2d.log" >&2; exit 1; }
+    rc=0
+    "$OBSTMP/rd2obs" -trace "$OBSTMP/run.trace" -send "$PROMADDR" -send-wait 10s -q || rc=$?
+    [ "$rc" -le 1 ] || { echo "obs smoke: rd2 -send rc $rc" >&2; cat "$OBSTMP/rd2d.log" >&2; exit 1; }
+    # The finished session lingers (default resume TTL), so the scrape sees
+    # its per-session series next to the rolled-up globals.
+    curl -fsS "http://$PROMHTTP/metrics?format=prom" > "$OBSTMP/scrape.prom"
+    go run ./cmd/obscheck -prom "$OBSTMP/scrape.prom"
+    grep -q 'session="' "$OBSTMP/scrape.prom" || {
+        echo "obs smoke: prom scrape has no per-session series" >&2
+        head -20 "$OBSTMP/scrape.prom" >&2
+        exit 1
+    }
+    curl -fsS "http://$PROMHTTP/sessions" > "$OBSTMP/sessions.json"
+    grep -q '"stage.detect"' "$OBSTMP/sessions.json" || {
+        echo "obs smoke: /sessions has no stage digests" >&2
+        cat "$OBSTMP/sessions.json" >&2
+        exit 1
+    }
+    kill -TERM "$RD2PID" 2>/dev/null || true
     wait "$RD2PID" 2>/dev/null || true
     RD2PID=""
     echo "obs smoke OK"
@@ -250,9 +298,12 @@ if [ "$WIRE" = 1 ]; then
     RD2DPID=""
     [ "$rc" -le 1 ] || { echo "wire smoke: rd2d exited rc $rc" >&2; cat "$WIRETMP/rd2d.log" >&2; exit 1; }
     # Discovery order differs between the serial offline run and the
-    # sharded online session; the sorted reports must be identical.
+    # sharded online session; the sorted reports must be identical. The
+    # daemon stamps each record with its session id and per-session seq
+    # (offline rd2 does not) — strip that prefix before comparing.
     sort "$WIRETMP/off.jsonl" > "$WIRETMP/off.sorted"
-    sort "$WIRETMP/on.jsonl" > "$WIRETMP/on.sorted"
+    sed 's/^{"session":"[^"]*","seq":[0-9]*,/{/' "$WIRETMP/on.jsonl" \
+        | sort > "$WIRETMP/on.sorted"
     if ! diff -q "$WIRETMP/off.sorted" "$WIRETMP/on.sorted" > /dev/null; then
         echo "wire smoke: streamed race report differs from offline report" >&2
         diff "$WIRETMP/off.sorted" "$WIRETMP/on.sorted" | head >&2

@@ -18,18 +18,15 @@ import (
 	"repro/internal/wire"
 )
 
-// Ingest metrics (DESIGN.md §8): connection and stream counters, the
-// per-connection queue depth high-water mark, and backpressure stalls (a
-// push that found the ingest queue full and had to block the socket).
+// Ingest metrics (DESIGN.md §8) that are daemon-wide by nature: connection
+// counters and bytes read. Everything attributable to one session — frames,
+// events, races, queue depth and its high-water mark, backpressure stalls —
+// lives in the per-session scope (sessObs) and rolls up into the global
+// series on write.
 var (
 	obsConns     = obs.GetCounter("rd2d.conns")
 	obsActive    = obs.GetGauge("rd2d.active_conns")
-	obsFrames    = obs.GetCounter("rd2d.frames")
 	obsBytes     = obs.GetCounter("rd2d.bytes")
-	obsEvents    = obs.GetCounter("rd2d.events")
-	obsRaces     = obs.GetCounter("rd2d.races")
-	obsQueue     = obs.GetGauge("rd2d.queue_events")
-	obsStalls    = obs.GetCounter("rd2d.backpressure_stalls")
 	obsSessions  = obs.GetCounter("rd2d.sessions_done")
 	obsDrainCuts = obs.GetCounter("rd2d.sessions_drained")
 )
@@ -52,6 +49,7 @@ type daemonConfig struct {
 	compactOps   int           // compact at most once per this many events; 0 disables
 	reporter     *core.ReportWriter
 	logger       *log.Logger
+	obsRoot      *obs.Registry // registry the session scopes hang under; nil = obs.Default
 
 	// Fault injection (ci.sh -chaos; inert when zero).
 	injectRepPanic    int64 // panic on the N-th rep Touch per session
@@ -74,6 +72,13 @@ type daemon struct {
 	conns    map[net.Conn]struct{}
 	sessions map[string]*session // resumable sessions by client session id
 	draining bool
+
+	// tracked lists every live or lingering session by scope name for
+	// /sessions and the stats table. Its own lock, not d.mu: newSession
+	// runs under d.mu on the resume path, and monitoring reads must never
+	// contend with the accept/route path.
+	trackMu sync.Mutex
+	tracked map[string]*session
 
 	wg          sync.WaitGroup
 	sessionSeq  atomic.Int64
@@ -103,7 +108,35 @@ func newDaemon(addr string, cfg daemonConfig) (*daemon, error) {
 		ln:       ln,
 		conns:    map[net.Conn]struct{}{},
 		sessions: map[string]*session{},
+		tracked:  map[string]*session{},
 	}, nil
+}
+
+// obsRoot returns the registry session scopes hang under.
+func (d *daemon) obsRoot() *obs.Registry {
+	if d.cfg.obsRoot != nil {
+		return d.cfg.obsRoot
+	}
+	return obs.Default
+}
+
+// track registers a session for /sessions listing (newest wins on a reused
+// scope name, mirroring the resumable-session table).
+func (d *daemon) track(s *session) {
+	d.trackMu.Lock()
+	d.tracked[s.name] = s
+	d.trackMu.Unlock()
+}
+
+// untrack forgets a lingered session and detaches its metric scope, unless
+// the name has been taken over by a newer session.
+func (d *daemon) untrack(s *session) {
+	d.trackMu.Lock()
+	if d.tracked[s.name] == s {
+		delete(d.tracked, s.name)
+		d.obsRoot().DropScope("session", s.name)
+	}
+	d.trackMu.Unlock()
 }
 
 // Addr returns the bound listen address.
@@ -285,6 +318,7 @@ func (d *daemon) handle(conn net.Conn) {
 		s := d.newSession("")
 		s.logf("connected (%s)", conn.RemoteAddr())
 		s.setConn(conn)
+		dec.SetObs(s.scope)
 		s.mu.Lock()
 		s.dec = dec
 		s.mu.Unlock()
@@ -372,6 +406,7 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 		s = d.newSession(sid)
 		d.sessions[sid] = s
 		d.mu.Unlock()
+		dec.SetObs(s.scope)
 		s.mu.Lock()
 		s.dec = dec
 		s.mu.Unlock()
@@ -393,6 +428,7 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 			}
 			s.ttl = nil
 			dec.AdoptState(s.dec)
+			dec.SetObs(s.scope)
 			s.dec = dec
 			s.state = stateAttached
 			s.resumes++
@@ -417,26 +453,31 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 }
 
 // readLoop decodes events from one connection into the session queue until
-// the stream ends (whatever way), returning the terminal decode error.
+// the stream ends (whatever way), returning the terminal decode error. Each
+// decode is recorded in the session's stage.decode span (latency includes
+// waiting for bytes — the span's p99 is time-to-next-event as the worker
+// experiences it), and ingest counters land in the session scope.
 func (d *daemon) readLoop(s *session, dec *wire.Decoder) error {
-	lastFrames := 0
+	lastFrames := dec.Frames()
 	for {
+		start := s.ob.decode.Start()
 		e, err := dec.Next()
 		if f := dec.Frames(); f > lastFrames {
-			obsFrames.Add(uint64(f - lastFrames))
+			s.ob.frames.Add(uint64(f - lastFrames))
 			lastFrames = f
 		}
 		if err != nil {
 			return err
 		}
+		s.ob.decode.End(start, 1)
 		if obs.Enabled() {
 			select {
 			case s.queue <- e:
 			default:
-				obsStalls.Inc()
+				s.ob.stalls.Inc()
 				s.queue <- e
 			}
-			obsQueue.Set(int64(len(s.queue)))
+			s.ob.queue.Set(int64(len(s.queue)))
 		} else {
 			s.queue <- e
 		}

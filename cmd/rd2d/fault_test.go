@@ -282,10 +282,14 @@ func sessionLayout(t *testing.T, tr *trace.Trace, frameSize int, sid string) (pr
 }
 
 // raceLines extracts the sorted race records (notes excluded) from a JSONL
-// report buffer.
+// report buffer. Every record must carry its owning session id and a dense
+// per-session seq (1..N in file order, surviving resumes); both are checked
+// here and then stripped so runs under different session ids — a plain
+// baseline vs a severed resumable stream — compare equal.
 func raceLines(t *testing.T, report *bytes.Buffer) []string {
 	t.Helper()
 	var out []string
+	lastSeq := map[string]uint64{}
 	sc := bufio.NewScanner(bytes.NewReader(report.Bytes()))
 	for sc.Scan() {
 		line := sc.Text()
@@ -299,7 +303,23 @@ func raceLines(t *testing.T, report *bytes.Buffer) []string {
 		if _, isNote := m["note"]; isNote {
 			continue
 		}
-		out = append(out, line)
+		sess, _ := m["session"].(string)
+		if sess == "" {
+			t.Fatalf("race record missing session id: %q", line)
+		}
+		seq, _ := m["seq"].(float64)
+		if uint64(seq) != lastSeq[sess]+1 {
+			t.Fatalf("session %q: race record seq %v, want %d (dense and monotonic): %q",
+				sess, m["seq"], lastSeq[sess]+1, line)
+		}
+		lastSeq[sess] = uint64(seq)
+		delete(m, "session")
+		delete(m, "seq")
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
 	}
 	sort.Strings(out)
 	return out

@@ -141,19 +141,6 @@ func run(args []string) int {
 	if *httpAddr != "" || *statsInterval > 0 {
 		obs.SetEnabled(true)
 	}
-	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, obs.Default)
-		if err != nil {
-			logger.Printf("%v", err)
-			return 2
-		}
-		defer srv.Close()
-		logger.Printf("metrics on http://%s/metrics", srv.Addr())
-	}
-	if *statsInterval > 0 {
-		em := obs.StartEmitter(os.Stderr, obs.Default, *statsInterval, *statsJSON)
-		defer em.Stop()
-	}
 
 	var reportFile *os.File
 	if *reportPath != "" {
@@ -170,6 +157,23 @@ func run(args []string) int {
 	if err != nil {
 		logger.Printf("%v", err)
 		return 2
+	}
+	if *httpAddr != "" {
+		srv, err := obs.ServeHandler(*httpAddr, d.httpHandler())
+		if err != nil {
+			logger.Printf("%v", err)
+			return 2
+		}
+		defer srv.Close()
+		logger.Printf("metrics on http://%s/metrics, sessions on /sessions", srv.Addr())
+	}
+	if *statsInterval > 0 {
+		if *statsJSON {
+			em := obs.StartEmitter(os.Stderr, obs.Default, *statsInterval, true)
+			defer em.Stop()
+		} else {
+			defer d.startStatsTable(os.Stderr, *statsInterval)()
+		}
 	}
 	logger.Printf("listening on %s (spec %s, %d shards)", d.Addr(), *specName, *shards)
 

@@ -40,6 +40,35 @@ var (
 	obsDegraded       = obs.GetCounter("rd2d.sessions_degraded")
 )
 
+// sessObs bundles the per-session instruments, resolved from the session's
+// scope so every write rolls up into the daemon-global series: ingest
+// counters (frames, events, races, backpressure), the queue-depth gauge
+// whose peak is the session's high-water backlog, and the two stage spans
+// the session records itself (wire decode and report emit; the skeleton,
+// stamp, dispatch, and detect spans come from the hb engine and pipeline
+// instruments resolved against the same scope).
+type sessObs struct {
+	frames *obs.Counter
+	events *obs.Counter
+	races  *obs.Counter
+	stalls *obs.Counter
+	queue  *obs.Gauge
+	decode *obs.Span
+	report *obs.Span
+}
+
+func newSessObs(scope *obs.Registry) *sessObs {
+	return &sessObs{
+		frames: scope.Counter("rd2d.frames"),
+		events: scope.Counter("rd2d.events"),
+		races:  scope.Counter("rd2d.races"),
+		stalls: scope.Counter("rd2d.backpressure_stalls"),
+		queue:  scope.Gauge("rd2d.queue_events"),
+		decode: scope.Span(obs.StageDecode),
+		report: scope.Span(obs.StageReport),
+	}
+}
+
 // session states (guarded by session.mu).
 const (
 	stateAttached  = iota // a connection's read loop is feeding the queue
@@ -54,9 +83,14 @@ const DefaultResumeTTL = 30 * time.Second
 // connection read loop and the supervised analysis worker, plus the state
 // needed to park and resume across connections.
 type session struct {
-	d   *daemon
-	id  int64  // daemon-local ordinal (logging)
-	sid string // client session id; "" = bound to one connection
+	d    *daemon
+	id   int64  // daemon-local ordinal (logging)
+	sid  string // client session id; "" = bound to one connection
+	name string // scope id: sid, or "conn-<id>" for plain sessions
+
+	scope *obs.Registry // per-session metric scope (rolls up to the root)
+	ob    *sessObs
+	sr    *core.SessionReporter // stamps session+seq on JSONL records (nil without -report)
 
 	queue chan trace.Event
 	done  chan struct{} // worker exited (detection results final)
@@ -95,31 +129,48 @@ type session struct {
 // pokeable is the slice of net.Conn the session needs from its connection.
 type pokeable interface{ SetReadDeadline(time.Time) error }
 
-// newSession creates a session and starts its supervised worker.
+// newSession creates a session and starts its supervised worker. Every
+// session gets its own metric scope ("session" = its id) under the daemon's
+// registry root: the engine, pipeline shards, decoder, and the session's
+// own ingest instruments all record into it, and every write rolls up into
+// the global series, so /sessions and /metrics?session=ID attribute the
+// fleet numbers per tenant at no extra bookkeeping.
 func (d *daemon) newSession(sid string) *session {
+	id := d.sessionSeq.Add(1)
+	name := sid
+	if name == "" {
+		name = fmt.Sprintf("conn-%d", id)
+	}
+	scope := d.obsRoot().Scope("session", name)
 	s := &session{
 		d:          d,
-		id:         d.sessionSeq.Add(1),
+		id:         id,
 		sid:        sid,
+		name:       name,
+		scope:      scope,
+		ob:         newSessObs(scope),
 		queue:      make(chan trace.Event, d.cfg.queueLen),
 		done:       make(chan struct{}),
 		final:      make(chan struct{}),
 		registered: map[trace.ObjID]bool{},
-		en:         hb.New(),
+		en:         hb.NewObs(scope),
 	}
 	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces}
 	if d.cfg.reporter != nil {
-		rw := d.cfg.reporter
+		s.sr = d.cfg.reporter.Session(name)
 		ccfg.OnRace = func(r core.Race) {
 			_, spec := d.repFor(r.Obj)
-			rw.Write(r, spec)
+			start := s.ob.report.Start()
+			s.sr.Write(r, spec)
+			s.ob.report.End(start, 1)
 		}
 	}
-	s.p = pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg})
+	s.p = pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg, Obs: scope})
 	if d.cfg.injectRepPanic > 0 {
 		s.wrapRep = faultinject.WrapAllReps(d.cfg.injectRepPanic)
 	}
 	s.releaseGauge = obsActiveSessions.Enter()
+	d.track(s)
 	go s.work()
 	return s
 }
@@ -161,8 +212,13 @@ func (s *session) work() {
 }
 
 // workSerial is the legacy per-event worker loop: incremental serial
-// stamping, immediate dispatch.
+// stamping, immediate dispatch. Per-event stamping time is attributed to
+// the same skeleton/stamp stage spans as the two-pass engine, split by
+// event kind: sync events walk the engine state (the skeleton work), body
+// events reduce to stamping the segment snapshot.
 func (s *session) workSerial() {
+	skel := s.scope.Span(obs.StageSkeleton)
+	stamp := s.scope.Span(obs.StageStamp)
 	sinceCompact := 0
 	for e := range s.queue {
 		s.events++
@@ -174,7 +230,14 @@ func (s *session) workSerial() {
 		if n := s.d.cfg.injectWorkerPanic; n > 0 && s.events == n {
 			panic(fmt.Sprintf("faultinject: injected worker panic at event %d", n))
 		}
-		if _, err := s.en.Process(&e); err != nil {
+		sp := skel
+		if hb.IsBodyEvent(e.Kind) {
+			sp = stamp
+		}
+		start := sp.Start()
+		_, err := s.en.Process(&e)
+		sp.End(start, 1)
+		if err != nil {
 			s.procErr = fmt.Errorf("event %d (%s): %w", e.Seq, e.String(), err)
 			continue
 		}
@@ -190,7 +253,7 @@ func (s *session) workSerial() {
 // and error positions match the serial worker exactly; an idle trickle
 // degrades to chunks of one event, the same work the serial loop does.
 func (s *session) workChunked() {
-	ps := hb.NewParallelStamper(s.d.cfg.stampWorkers)
+	ps := hb.NewParallelStamperObs(s.d.cfg.stampWorkers, s.scope)
 	s.en = ps.Engine() // compaction thresholds (MeetLive) come from here
 	max := s.d.cfg.queueLen
 	if max < 1 {
@@ -400,12 +463,16 @@ func (s *session) finalize() wire.Summary {
 		} else if m, ok := s.readErr.Load().(string); ok && m != "" {
 			sum.Error = m
 		}
+		if s.sr != nil {
+			sum.Seq = s.sr.Seq()
+		}
 		s.summary = sum
 		s.mu.Unlock()
 
 		obsSessions.Inc()
-		obsEvents.Add(uint64(sum.Events))
-		obsRaces.Add(uint64(sum.Races))
+		s.ob.queue.Set(0) // queue drained; clear its contribution to the global sum
+		s.ob.events.Add(uint64(sum.Events))
+		s.ob.races.Add(uint64(sum.Races))
 		s.d.totalEvents.Add(int64(sum.Events))
 		s.d.totalRaces.Add(int64(sum.Races))
 		if sum.Error != "" {
@@ -419,7 +486,8 @@ func (s *session) finalize() wire.Summary {
 			if s.d.cfg.reporter != nil {
 				s.d.cfg.reporter.WriteNote(map[string]any{
 					"note":           "degraded",
-					"session":        s.id,
+					"session":        s.name,
+					"seq":            sum.Seq,
 					"session_id":     s.sid,
 					"events":         sum.Events,
 					"races":          sum.Races,
@@ -430,15 +498,20 @@ func (s *session) finalize() wire.Summary {
 			}
 		}
 		s.releaseGauge()
-		if s.sid != "" {
-			// Keep the completed entry around for summary re-delivery, then
-			// forget it.
-			linger := s.d.cfg.resumeTTL
-			if linger <= 0 {
-				linger = DefaultResumeTTL
-			}
-			time.AfterFunc(linger, func() { s.d.dropSession(s.sid, s) })
+		// Keep the completed session visible (summary re-delivery for
+		// resumable streams, a terminal /sessions row for operators), then
+		// forget it and detach its metric scope. Writes from stragglers
+		// keep rolling up into the global series after the drop.
+		linger := s.d.cfg.resumeTTL
+		if linger <= 0 {
+			linger = DefaultResumeTTL
 		}
+		time.AfterFunc(linger, func() {
+			if s.sid != "" {
+				s.d.dropSession(s.sid, s)
+			}
+			s.d.untrack(s)
+		})
 		close(s.final)
 	})
 	<-s.final

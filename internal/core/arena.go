@@ -13,7 +13,6 @@ import (
 	"math/bits"
 
 	"repro/internal/ap"
-	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -33,15 +32,8 @@ const (
 	freeListCap = 1024
 )
 
-// Arena occupancy gauges (population across all detectors in the process).
-var (
-	obsArenaObjInUse  = obs.GetGauge("core.arena.obj_inuse")
-	obsArenaObjFree   = obs.GetGauge("core.arena.obj_free")
-	obsArenaTblFree   = obs.GetGauge("core.arena.table_free")
-	obsArenaClockFree = obs.GetGauge("core.arena.clock_free")
-)
-
 type backendArena struct {
+	ob      *coreObs // owning detector's instrument set
 	objFree []*objState
 	objSlab []objState
 
@@ -62,8 +54,8 @@ func (a *backendArena) newObjState() *objState {
 		st := a.objFree[n-1]
 		a.objFree[n-1] = nil
 		a.objFree = a.objFree[:n-1]
-		obsArenaObjFree.Add(-1)
-		obsArenaObjInUse.Add(1)
+		a.ob.arenaObjFree.Add(-1)
+		a.ob.arenaObjInUse.Add(1)
 		return st
 	}
 	if len(a.objSlab) == 0 {
@@ -71,18 +63,18 @@ func (a *backendArena) newObjState() *objState {
 	}
 	st := &a.objSlab[0]
 	a.objSlab = a.objSlab[1:]
-	obsArenaObjInUse.Add(1)
+	a.ob.arenaObjInUse.Add(1)
 	return st
 }
 
 // putObjState recycles a released objState (already zeroed by releaseObj).
 func (a *backendArena) putObjState(st *objState) {
-	obsArenaObjInUse.Add(-1)
+	a.ob.arenaObjInUse.Add(-1)
 	if len(a.objFree) >= freeListCap {
 		return
 	}
 	a.objFree = append(a.objFree, st)
-	obsArenaObjFree.Add(1)
+	a.ob.arenaObjFree.Add(1)
 }
 
 // newTable returns an empty table of the given power-of-two capacity,
@@ -94,7 +86,7 @@ func (a *backendArena) newTable(capacity int) *ptTable {
 			t := fl[len(fl)-1]
 			fl[len(fl)-1] = nil
 			a.tblFree[cl] = fl[:len(fl)-1]
-			obsArenaTblFree.Add(-1)
+			a.ob.arenaTblFree.Add(-1)
 			return t
 		}
 	}
@@ -117,7 +109,7 @@ func (a *backendArena) putTable(t *ptTable) {
 		return
 	}
 	a.tblFree[cl] = append(a.tblFree[cl], t)
-	obsArenaTblFree.Add(1)
+	a.ob.arenaTblFree.Add(1)
 }
 
 // cloneClock returns a copy of c with capacity at least minCap, recycled
@@ -141,7 +133,7 @@ func (a *backendArena) cloneClock(c vclock.VC, minCap int) vclock.VC {
 		buf := a.clockFree[n-1]
 		a.clockFree[n-1] = nil
 		a.clockFree = a.clockFree[:n-1]
-		obsArenaClockFree.Add(-1)
+		a.ob.arenaClockFree.Add(-1)
 		if cap(buf) >= minCap {
 			out = buf[:w]
 		}
@@ -176,7 +168,7 @@ func (a *backendArena) freeClock(c vclock.VC) {
 		return
 	}
 	a.clockFree = append(a.clockFree, c[:0])
-	obsArenaClockFree.Add(1)
+	a.ob.arenaClockFree.Add(1)
 }
 
 // reportClock returns a copy of c carved from the never-recycled report

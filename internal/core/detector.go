@@ -35,21 +35,6 @@ import (
 	"repro/internal/vclock"
 )
 
-// Process-global obs metrics, shared by every detector instance so the
-// pipeline's shards aggregate into one set of counters. Hot-path updates
-// are batched in pendingObs and flushed every obsFlushInterval actions
-// (and on reclaim/compaction), so the per-action cost is a few integer
-// adds — the shared atomics are touched ~1/64th as often.
-var (
-	obsActions   = obs.GetCounter("core.actions")
-	obsChecks    = obs.GetCounter("core.checks")
-	obsRaces     = obs.GetCounter("core.races")
-	obsRacyEvts  = obs.GetCounter("core.racy_events")
-	obsReclaimed = obs.GetCounter("core.reclaimed_points")
-	obsActive    = obs.GetGauge("core.active_points")
-	obsPhase1    = obs.GetTimer("core.phase1_ns")
-)
-
 // obsFlushInterval is the batched-flush cadence in actions; it doubles as
 // the phase-1 latency sampling rate (one timed action per interval), which
 // keeps the two monotonic clock reads off 63 of every 64 actions.
@@ -144,6 +129,11 @@ type Config struct {
 	// MaxRaces caps the retained Races slice (counters keep counting).
 	// Zero means DefaultMaxRaces.
 	MaxRaces int
+	// Obs is the registry the detector's metrics record into. Nil means
+	// obs.Default (all detectors aggregate process-wide, the historical
+	// behavior); rd2d passes each session's scope so the same series also
+	// exist per session.
+	Obs *obs.Registry
 }
 
 // DefaultMaxRaces is the default cap on retained race reports.
@@ -158,6 +148,7 @@ const DefaultMaxRaces = 10000
 // RefDetector (reference.go), which differential tests hold it to.
 type Detector struct {
 	cfg      Config
+	ob       *coreObs
 	reps     map[trace.ObjID]ap.Rep
 	objects  map[trace.ObjID]*objState
 	races    []Race
@@ -217,12 +208,19 @@ func New(cfg Config) *Detector {
 	if cfg.MaxRaces == 0 {
 		cfg.MaxRaces = DefaultMaxRaces
 	}
-	return &Detector{
+	ob := defaultCoreObs
+	if cfg.Obs != nil {
+		ob = newCoreObs(cfg.Obs)
+	}
+	d := &Detector{
 		cfg:      cfg,
+		ob:       ob,
 		reps:     map[trace.ObjID]ap.Rep{},
 		objects:  map[trace.ObjID]*objState{},
 		racyObjs: map[trace.ObjID]struct{}{},
 	}
+	d.arena.ob = ob
+	return d
 }
 
 // Register associates an object with its access point representation.
@@ -266,7 +264,7 @@ func (d *Detector) action(e *trace.Event) error {
 			st = d.arena.newObjState()
 			st.rep = rep
 			d.objects[obj] = st
-			obsTblInline.Add(1)
+			d.ob.tblInline.Add(1)
 		}
 		d.lastObj, d.lastSt = obj, st
 	}
@@ -284,7 +282,7 @@ func (d *Detector) action(e *trace.Event) error {
 	// is span-timed for the core.phase1_ns latency histogram.
 	t0 := int64(0)
 	if d.stats.Actions&(obsFlushInterval-1) == 0 {
-		t0 = obsPhase1.Start()
+		t0 = d.ob.phase1.Start()
 	}
 	checks := 0
 	raced := false
@@ -323,7 +321,7 @@ func (d *Detector) action(e *trace.Event) error {
 			}
 		}
 	}
-	obsPhase1.ObserveSince(t0)
+	d.ob.phase1.ObserveSince(t0)
 	d.stats.Checks += checks
 	d.pend.checks += checks
 	if raced {
@@ -396,31 +394,31 @@ func (d *Detector) addActive(n int) {
 func (d *Detector) FlushObs() {
 	p := &d.pend
 	if p.actions != 0 {
-		obsActions.Add(uint64(p.actions))
+		d.ob.actions.Add(uint64(p.actions))
 	}
 	if p.checks != 0 {
-		obsChecks.Add(uint64(p.checks))
+		d.ob.checks.Add(uint64(p.checks))
 	}
 	if p.races != 0 {
-		obsRaces.Add(uint64(p.races))
+		d.ob.races.Add(uint64(p.races))
 	}
 	if p.racyEvts != 0 {
-		obsRacyEvts.Add(uint64(p.racyEvts))
+		d.ob.racyEvts.Add(uint64(p.racyEvts))
 	}
 	if p.reclaimed != 0 {
-		obsReclaimed.Add(uint64(p.reclaimed))
+		d.ob.reclaimed.Add(uint64(p.reclaimed))
 	}
 	if p.active != 0 {
-		obsActive.Add(int64(p.active))
+		d.ob.active.Add(int64(p.active))
 	}
 	if p.lookups != 0 {
-		obsTblLookups.Add(uint64(p.lookups))
+		d.ob.tblLookups.Add(uint64(p.lookups))
 	}
 	if p.probes != 0 {
-		obsTblProbes.Add(uint64(p.probes))
+		d.ob.tblProbes.Add(uint64(p.probes))
 	}
 	if p.tableLive != 0 {
-		obsTblLive.Add(int64(p.tableLive))
+		d.ob.tblLive.Add(int64(p.tableLive))
 	}
 	*p = pendingObs{}
 }

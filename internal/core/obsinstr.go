@@ -1,0 +1,72 @@
+package core
+
+import "repro/internal/obs"
+
+// coreObs bundles every obs instrument the detector, its store layout, and
+// its arena record into. One instance per registry: detectors built with a
+// nil Config.Obs share the process-global set (defaultCoreObs, resolved
+// from obs.Default — the pipeline's shards aggregate there exactly as
+// before), while an rd2d session passes its scope and gets per-session
+// series that roll up into the global ones on write.
+//
+// Hot-path updates are batched in pendingObs and flushed every
+// obsFlushInterval actions (and on reclaim/compaction), so the per-action
+// cost is a few integer adds — the shared atomics are touched ~1/64th as
+// often. Structural changes (spill, grow, reclaim, arena traffic) update
+// their gauges directly; they are rare.
+type coreObs struct {
+	actions   *obs.Counter
+	checks    *obs.Counter
+	races     *obs.Counter
+	racyEvts  *obs.Counter
+	reclaimed *obs.Counter
+	active    *obs.Gauge
+	phase1    *obs.Timer
+
+	// Table-layout gauges (DESIGN.md §7 naming): inline-vs-spilled object
+	// counts, total spill-table slots and live entries (load factor =
+	// live/slots), and probe traffic (mean probe length = probes/lookups).
+	tblInline  *obs.Gauge
+	tblSpilled *obs.Gauge
+	tblSlots   *obs.Gauge
+	tblLive    *obs.Gauge
+	tblLookups *obs.Counter
+	tblProbes  *obs.Counter
+
+	// Arena occupancy gauges (population across the registry's detectors).
+	arenaObjInUse  *obs.Gauge
+	arenaObjFree   *obs.Gauge
+	arenaTblFree   *obs.Gauge
+	arenaClockFree *obs.Gauge
+}
+
+func newCoreObs(reg *obs.Registry) *coreObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &coreObs{
+		actions:   reg.Counter("core.actions"),
+		checks:    reg.Counter("core.checks"),
+		races:     reg.Counter("core.races"),
+		racyEvts:  reg.Counter("core.racy_events"),
+		reclaimed: reg.Counter("core.reclaimed_points"),
+		active:    reg.Gauge("core.active_points"),
+		phase1:    reg.Timer("core.phase1_ns"),
+
+		tblInline:  reg.Gauge("core.table.inline_objects"),
+		tblSpilled: reg.Gauge("core.table.spilled_objects"),
+		tblSlots:   reg.Gauge("core.table.slots"),
+		tblLive:    reg.Gauge("core.table.live"),
+		tblLookups: reg.Counter("core.table.lookups"),
+		tblProbes:  reg.Counter("core.table.probes"),
+
+		arenaObjInUse:  reg.Gauge("core.arena.obj_inuse"),
+		arenaObjFree:   reg.Gauge("core.arena.obj_free"),
+		arenaTblFree:   reg.Gauge("core.arena.table_free"),
+		arenaClockFree: reg.Gauge("core.arena.clock_free"),
+	}
+}
+
+// defaultCoreObs is the process-global instrument set, shared by every
+// detector whose config names no registry.
+var defaultCoreObs = newCoreObs(nil)

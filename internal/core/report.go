@@ -26,12 +26,19 @@ type RaceSide struct {
 	Clock  []uint64 `json:"clock"`
 }
 
-// RaceRecord is the JSONL schema of one commutativity race.
+// RaceRecord is the JSONL schema of one commutativity race. Session and
+// Seq are stamped by a SessionReporter (rd2d): the owning session's id and
+// a monotonic per-session sequence number assigned in file order, so a
+// resumed session's corpus can be checked for continuity. They are the
+// first fields so offline tools can strip the session prefix textually
+// when diffing against a session-less report.
 type RaceRecord struct {
-	Object int      `json:"object"`
-	Spec   string   `json:"spec,omitempty"` // responsible specification (object kind)
-	First  RaceSide `json:"first"`
-	Second RaceSide `json:"second"`
+	Session string   `json:"session,omitempty"`
+	Seq     uint64   `json:"seq,omitempty"`
+	Object  int      `json:"object"`
+	Spec    string   `json:"spec,omitempty"` // responsible specification (object kind)
+	First   RaceSide `json:"first"`
+	Second  RaceSide `json:"second"`
 }
 
 // Record converts the race to its structured form. spec names the
@@ -104,6 +111,50 @@ func (rw *ReportWriter) WriteNote(v any) error {
 		return err
 	}
 	return nil
+}
+
+// Session returns a view of the writer that stamps every record with the
+// session id and a monotonic per-session sequence number. The seq is
+// assigned under the writer's lock, so seq order equals file order even
+// with other sessions interleaving on the same writer; a session resumed
+// on a new connection keeps its reporter and the numbering continues
+// without gaps.
+func (rw *ReportWriter) Session(session string) *SessionReporter {
+	return &SessionReporter{rw: rw, session: session}
+}
+
+// SessionReporter stamps one session's identity onto shared JSONL output.
+// Safe for concurrent use (it serializes on the underlying writer's lock).
+type SessionReporter struct {
+	rw      *ReportWriter
+	session string
+	seq     uint64 // guarded by rw.mu
+}
+
+// Write emits one race stamped with the session id and the next seq.
+func (sr *SessionReporter) Write(r Race, spec string) error {
+	sr.rw.mu.Lock()
+	defer sr.rw.mu.Unlock()
+	if sr.rw.err != nil {
+		return sr.rw.err
+	}
+	rec := r.Record(spec)
+	rec.Session = sr.session
+	rec.Seq = sr.seq + 1
+	if err := sr.rw.enc.Encode(rec); err != nil {
+		sr.rw.err = err
+		return err
+	}
+	sr.seq++
+	sr.rw.n++
+	return nil
+}
+
+// Seq returns the last sequence number assigned (0 before the first race).
+func (sr *SessionReporter) Seq() uint64 {
+	sr.rw.mu.Lock()
+	defer sr.rw.mu.Unlock()
+	return sr.seq
 }
 
 // Count returns the number of records written so far.

@@ -25,7 +25,6 @@ package core
 
 import (
 	"repro/internal/ap"
-	"repro/internal/obs"
 )
 
 // inlineCap is the number of access points stored inline in objState before
@@ -37,20 +36,6 @@ const inlineCap = 4
 // minTableCap is the smallest spill table (power of two, > inlineCap so a
 // fresh spill is already under the 3/4 load bound).
 const minTableCap = 16
-
-// Table-layout gauges (DESIGN.md §7 naming): inline-vs-spilled object
-// counts, total spill-table slots and live entries (load factor =
-// live/slots), and probe traffic (mean probe length = probes/lookups).
-// Structural changes (spill, grow, reclaim) update the gauges directly —
-// they are rare; per-lookup probe counts batch through pendingObs.
-var (
-	obsTblInline  = obs.GetGauge("core.table.inline_objects")
-	obsTblSpilled = obs.GetGauge("core.table.spilled_objects")
-	obsTblSlots   = obs.GetGauge("core.table.slots")
-	obsTblLive    = obs.GetGauge("core.table.live")
-	obsTblLookups = obs.GetCounter("core.table.lookups")
-	obsTblProbes  = obs.GetCounter("core.table.probes")
-)
 
 // objState is the per-object detection state: the representation and the
 // active access points with their shadow state. While table is nil the
@@ -182,9 +167,9 @@ func (d *Detector) spill(st *objState) {
 	st.states = [inlineCap]ptState{}
 	st.n = 0
 	st.table = t
-	obsTblInline.Add(-1)
-	obsTblSpilled.Add(1)
-	obsTblSlots.Add(int64(len(t.used)))
+	d.ob.tblInline.Add(-1)
+	d.ob.tblSpilled.Add(1)
+	d.ob.tblSlots.Add(int64(len(t.used)))
 }
 
 // growTable doubles an object's spill table, rehashing every entry.
@@ -207,7 +192,7 @@ func (d *Detector) growTable(st *objState) {
 	}
 	t.live = old.live
 	st.table = t
-	obsTblSlots.Add(int64(len(t.used) - len(old.used)))
+	d.ob.tblSlots.Add(int64(len(t.used) - len(old.used)))
 	d.arena.putTable(old)
 }
 
@@ -244,9 +229,9 @@ func (d *Detector) compactObj(st *objState, threshold []uint64) int {
 				st.keys[i] = e.pt
 				st.states[i] = e.ps
 			}
-			obsTblSpilled.Add(-1)
-			obsTblInline.Add(1)
-			obsTblSlots.Add(-int64(len(t.used)))
+			d.ob.tblSpilled.Add(-1)
+			d.ob.tblInline.Add(1)
+			d.ob.tblSlots.Add(-int64(len(t.used)))
 			d.arena.putTable(t)
 		} else {
 			// Rebuild in place (shrinking when the table is mostly empty).
@@ -255,7 +240,7 @@ func (d *Detector) compactObj(st *objState, threshold []uint64) int {
 				capacity /= 2
 			}
 			if capacity != len(t.used) {
-				obsTblSlots.Add(int64(capacity - len(t.used)))
+				d.ob.tblSlots.Add(int64(capacity - len(t.used)))
 				d.arena.putTable(t)
 				t = d.arena.newTable(capacity)
 				st.table = t
@@ -314,8 +299,8 @@ func (d *Detector) releaseObj(st *objState) int {
 			}
 		}
 		d.pend.tableLive -= t.live
-		obsTblSpilled.Add(-1)
-		obsTblSlots.Add(-int64(len(t.used)))
+		d.ob.tblSpilled.Add(-1)
+		d.ob.tblSlots.Add(-int64(len(t.used)))
 		d.arena.putTable(t)
 		st.table = nil
 	} else {
@@ -323,7 +308,7 @@ func (d *Detector) releaseObj(st *objState) int {
 			d.arena.freeClock(st.states[i].vc)
 			released++
 		}
-		obsTblInline.Add(-1)
+		d.ob.tblInline.Add(-1)
 	}
 	st.keys = [inlineCap]ap.Point{}
 	st.states = [inlineCap]ptState{}

@@ -46,14 +46,12 @@ import (
 	"repro/internal/vclock"
 )
 
-// Segment-discipline counters: a freeze opens a shared snapshot (one per
-// thread segment), a rollover is the copy-on-write that ends one. Their
-// ratio to stamped events is the zero-clone win (DESIGN.md §7); these sit
-// on the synchronization path only, never on the per-action hot path.
-var (
-	obsSegFrozen    = obs.GetCounter("hb.segments_frozen")
-	obsSegRollovers = obs.GetCounter("hb.segment_rollovers")
-)
+// Segment-discipline counters ("hb.segments_frozen", "hb.segment_rollovers"):
+// a freeze opens a shared snapshot (one per thread segment), a rollover is
+// the copy-on-write that ends one. Their ratio to stamped events is the
+// zero-clone win (DESIGN.md §7); these sit on the synchronization path
+// only, never on the per-action hot path. The counters are per-engine
+// fields resolved from a registry (NewObs) so sessions can scope them.
 
 // Engine tracks the happens-before relation of an event stream. It is not
 // safe for concurrent use; the monitored runtime serializes events into it.
@@ -63,6 +61,12 @@ type Engine struct {
 	locks   map[trace.LockID]vclock.VC
 	chans   map[trace.ChanID]*chanState
 	guard   snapGuard // clockcheck-only snapshot poisoning (no-op otherwise)
+
+	// Segment counters; the process-global metrics by default (New), a
+	// session scope's when built via NewObs. Scoped counters roll up, so
+	// the global series stays whole either way.
+	segFrozen    *obs.Counter
+	segRollovers *obs.Counter
 }
 
 // threadState is the per-thread slot: the current clock T(τ) plus the
@@ -87,11 +91,21 @@ type chanState struct {
 	queue []vclock.VC
 }
 
-// New returns an empty engine.
-func New() *Engine {
+// New returns an empty engine recording into the process-global metrics.
+func New() *Engine { return NewObs(nil) }
+
+// NewObs returns an empty engine whose segment counters live in reg — an
+// rd2d session passes its own scope so per-session stamping activity is
+// attributable. A nil reg means obs.Default.
+func NewObs(reg *obs.Registry) *Engine {
+	if reg == nil {
+		reg = obs.Default
+	}
 	return &Engine{
-		locks: map[trace.LockID]vclock.VC{},
-		chans: map[trace.ChanID]*chanState{},
+		locks:        map[trace.LockID]vclock.VC{},
+		chans:        map[trace.ChanID]*chanState{},
+		segFrozen:    reg.Counter("hb.segments_frozen"),
+		segRollovers: reg.Counter("hb.segment_rollovers"),
 	}
 }
 
@@ -131,7 +145,7 @@ func (en *Engine) freeze(ts *threadState) vclock.VC {
 	if !ts.shared {
 		ts.shared = true
 		ts.tok = en.guard.record(ts.clock)
-		obsSegFrozen.Inc()
+		en.segFrozen.Inc()
 	}
 	return ts.clock
 }
@@ -146,7 +160,7 @@ func (en *Engine) mutable(ts *threadState) vclock.VC {
 		ts.clock = vclock.SharedPool.Clone(ts.clock)
 		ts.shared = false
 		ts.gen++
-		obsSegRollovers.Inc()
+		en.segRollovers.Inc()
 	}
 	return ts.clock
 }

@@ -33,20 +33,46 @@ import (
 // *same* shared snapshot values — byte-identical, pointer-identical, and
 // subject to the same clockcheck poisoning (DESIGN.md §10).
 
-// Parallel-stamping counters: segments is the boundary-log length (one per
-// thread segment containing body events), body_events the stamps deferred
-// to workers. The skeleton/body timer split shows how much of the front
-// end the two-pass refactor actually parallelized; parks and idle_ns
-// expose worker-pool starvation in the streaming path.
-var (
-	obsPStampChunks   = obs.GetCounter("hb.pstamp.chunks")
-	obsPStampSegments = obs.GetCounter("hb.pstamp.segments")
-	obsPStampBodies   = obs.GetCounter("hb.pstamp.body_events")
-	obsPStampSkeleton = obs.GetTimer("hb.pstamp.skeleton_ns")
-	obsPStampBody     = obs.GetTimer("hb.pstamp.body_ns")
-	obsPStampParks    = obs.GetCounter("hb.pstamp.worker_parks")
-	obsPStampIdle     = obs.GetTimer("hb.pstamp.worker_idle_ns")
-)
+// Parallel-stamping instruments: segments is the boundary-log length (one
+// per thread segment containing body events), body_events the stamps
+// deferred to workers. The skeleton/body timer split shows how much of the
+// front end the two-pass refactor actually parallelized; parks and idle_ns
+// expose worker-pool starvation in the streaming path. On top of the
+// hb.pstamp.* inventory, the skeleton and body passes double as the
+// pipeline's stage.skeleton / stage.stamp spans (obs.Span), so scoped
+// per-session stage latency exists wherever the stamper records.
+//
+// The instruments are resolved from a registry per stamper/stream
+// (pstampObs), defaulting to obs.Default; sessions pass their own scope.
+type pstampObs struct {
+	chunks   *obs.Counter
+	segments *obs.Counter
+	bodies   *obs.Counter
+	skeleton *obs.Timer
+	body     *obs.Timer
+	parks    *obs.Counter
+	idle     *obs.Timer
+
+	spanSkeleton *obs.Span
+	spanStamp    *obs.Span
+}
+
+func newPStampObs(reg *obs.Registry) *pstampObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &pstampObs{
+		chunks:       reg.Counter("hb.pstamp.chunks"),
+		segments:     reg.Counter("hb.pstamp.segments"),
+		bodies:       reg.Counter("hb.pstamp.body_events"),
+		skeleton:     reg.Timer("hb.pstamp.skeleton_ns"),
+		body:         reg.Timer("hb.pstamp.body_ns"),
+		parks:        reg.Counter("hb.pstamp.worker_parks"),
+		idle:         reg.Timer("hb.pstamp.worker_idle_ns"),
+		spanSkeleton: reg.Span(obs.StageSkeleton),
+		spanStamp:    reg.Span(obs.StageStamp),
+	}
+}
 
 // boundary marks the first body event of one thread segment within a
 // chunk: every body event of thread tid from pos until tid's next boundary
@@ -68,6 +94,11 @@ func isBody(k trace.EventKind) bool {
 	return false
 }
 
+// IsBodyEvent reports whether k is a body event (see isBody) — exported so
+// serial stamping loops (the rd2d session worker) can attribute per-event
+// time to the same skeleton/stamp stage spans as the two-pass engine.
+func IsBodyEvent(k trace.EventKind) bool { return isBody(k) }
+
 // minWorkerSpan is the smallest per-worker subrange worth a goroutine;
 // chunks smaller than two spans are stamped inline by the caller.
 const minWorkerSpan = 256
@@ -85,18 +116,27 @@ const minWorkerSpan = 256
 type ParallelStamper struct {
 	en      *Engine
 	workers int
+	ob      *pstampObs
 	logged  []int       // per-tid: gen+1 of the segment last boundary-logged
 	table   []vclock.VC // per-tid snapshot as of the current chunk start
 	log     []boundary  // scratch boundary log, reused across chunks
 }
 
 // NewParallelStamper returns a stamper over a fresh engine using the given
-// worker count for body passes (values below 1 are treated as 1).
+// worker count for body passes (values below 1 are treated as 1),
+// recording into the process-global metrics.
 func NewParallelStamper(workers int) *ParallelStamper {
+	return NewParallelStamperObs(workers, nil)
+}
+
+// NewParallelStamperObs is NewParallelStamper recording into reg (a
+// session scope in rd2d; nil means obs.Default). The underlying engine's
+// segment counters land in the same registry.
+func NewParallelStamperObs(workers int, reg *obs.Registry) *ParallelStamper {
 	if workers < 1 {
 		workers = 1
 	}
-	return &ParallelStamper{en: New(), workers: workers}
+	return &ParallelStamper{en: NewObs(reg), workers: workers, ob: newPStampObs(reg)}
 }
 
 // Engine exposes the underlying happens-before engine (for MeetLive-based
@@ -111,7 +151,7 @@ func (ps *ParallelStamper) Engine() *Engine { return ps.en }
 // events processed and the first error. Body events are counted but not
 // stamped; bodies get their clocks in pass 2.
 func (ps *ParallelStamper) skeleton(events []trace.Event) (int, error) {
-	start := obsPStampSkeleton.Start()
+	start := ps.ob.skeleton.Start()
 	en := ps.en
 	bodies := 0
 	if cap(ps.log) == 0 && len(events) >= 4*minWorkerSpan {
@@ -125,8 +165,9 @@ func (ps *ParallelStamper) skeleton(events []trace.Event) (int, error) {
 		e := &events[i]
 		if !isBody(e.Kind) {
 			if _, err := en.Process(e); err != nil {
-				obsPStampSkeleton.ObserveSince(start)
-				obsPStampBodies.Add(uint64(bodies))
+				ps.ob.skeleton.ObserveSince(start)
+				ps.ob.spanSkeleton.End(start, i-bodies)
+				ps.ob.bodies.Add(uint64(bodies))
 				return i, err
 			}
 			continue
@@ -143,10 +184,11 @@ func (ps *ParallelStamper) skeleton(events []trace.Event) (int, error) {
 			ps.log = append(ps.log, boundary{pos: int32(i), tid: e.Thread, snap: snap})
 		}
 	}
-	obsPStampSkeleton.ObserveSince(start)
-	obsPStampBodies.Add(uint64(bodies))
-	obsPStampSegments.Add(uint64(len(ps.log)))
-	obsPStampChunks.Inc()
+	ps.ob.skeleton.ObserveSince(start)
+	ps.ob.spanSkeleton.End(start, len(events)-bodies)
+	ps.ob.bodies.Add(uint64(bodies))
+	ps.ob.segments.Add(uint64(len(ps.log)))
+	ps.ob.chunks.Inc()
 	return len(events), nil
 }
 
@@ -253,14 +295,15 @@ func (ps *ParallelStamper) stampBodies(events []trace.Event, route func(*trace.E
 	if n == 0 {
 		return
 	}
-	start := obsPStampBody.Start()
+	start := ps.ob.body.Start()
 	cuts := split(n, ps.workers)
 	if len(cuts) == 2 {
 		stampRange(events, ps.log, ps.table, 0, n, route, routes)
 		if post != nil {
 			post(0, n)
 		}
-		obsPStampBody.ObserveSince(start)
+		ps.ob.body.ObserveSince(start)
+		ps.ob.spanStamp.End(start, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -276,7 +319,8 @@ func (ps *ParallelStamper) stampBodies(events []trace.Event, route func(*trace.E
 		}()
 	}
 	wg.Wait()
-	obsPStampBody.ObserveSince(start)
+	ps.ob.body.ObserveSince(start)
+	ps.ob.spanStamp.End(start, n)
 }
 
 // StampAllParallel stamps the whole trace with the two-pass engine,

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -26,6 +27,10 @@ type ParallelStreamConfig struct {
 	// Chunk.Routes. The pipeline uses it to compute shard routing in
 	// parallel, so dispatch needs no extra pass over the events.
 	Route func(*trace.Event) uint8
+	// Obs is the registry the stream's engine, stamper, and worker-pool
+	// instruments record into (an rd2d session scope); nil means
+	// obs.Default.
+	Obs *obs.Registry
 }
 
 // Chunk is one stamped run of events delivered by a ParallelStream. The
@@ -88,6 +93,7 @@ type outMsg struct {
 type ParallelStream struct {
 	cfg  ParallelStreamConfig
 	en   *Engine
+	ob   *pstampObs
 	jobs chan bodyJob
 	seq  chan outMsg
 	out  chan outMsg
@@ -120,7 +126,8 @@ func NewParallelStream(src trace.Source, cfg ParallelStreamConfig) *ParallelStre
 	}
 	ps := &ParallelStream{
 		cfg:  cfg,
-		en:   New(),
+		en:   NewObs(cfg.Obs),
+		ob:   newPStampObs(cfg.Obs),
 		jobs: make(chan bodyJob, cfg.Workers*2),
 		seq:  make(chan outMsg, 2),
 		out:  make(chan outMsg, 2),
@@ -158,10 +165,10 @@ func (ps *ParallelStream) worker() {
 		select {
 		case j, ok = <-ps.jobs:
 		default:
-			obsPStampParks.Inc()
-			idle := obsPStampIdle.Start()
+			ps.ob.parks.Inc()
+			idle := ps.ob.idle.Start()
 			j, ok = <-ps.jobs
-			obsPStampIdle.ObserveSince(idle)
+			ps.ob.idle.ObserveSince(idle)
 		}
 		if !ok {
 			return
@@ -220,7 +227,7 @@ func (ps *ParallelStream) getChunk() *Chunk {
 func (ps *ParallelStream) fill(src trace.Source) {
 	defer close(ps.seq)
 	defer close(ps.jobs)
-	stamper := &ParallelStamper{en: ps.en, workers: ps.cfg.Workers}
+	stamper := &ParallelStamper{en: ps.en, workers: ps.cfg.Workers, ob: ps.ob}
 	for {
 		c := ps.getChunk()
 		var srcErr error

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -25,6 +26,12 @@ type Stream struct {
 // NewStream returns a stamping stream over src with a fresh engine.
 func NewStream(src trace.Source) *Stream {
 	return &Stream{src: src, en: New()}
+}
+
+// NewStreamObs is NewStream with the engine's obs instruments resolved from
+// reg (nil means obs.Default).
+func NewStreamObs(src trace.Source, reg *obs.Registry) *Stream {
+	return &Stream{src: src, en: NewObs(reg)}
 }
 
 // Engine exposes the underlying happens-before engine (for MeetLive-based

@@ -25,15 +25,31 @@ import (
 	"repro/internal/vclock"
 )
 
-// Emission-path metrics: the events counter advances per emitted event; the
-// stamping-vs-detection latency split is sampled (1 event in 64) so the
-// monitored hot path pays for the two monotonic clock reads only on sampled
-// events, and never when obs is disabled.
-var (
-	obsEmitted  = obs.GetCounter("monitor.events")
-	obsStampNs  = obs.GetTimer("monitor.stamp_ns")
-	obsDetectNs = obs.GetTimer("monitor.detect_ns")
-)
+// monObs bundles the emission-path metrics: the events counter advances per
+// emitted event; the stamping-vs-detection latency split is sampled (1
+// event in 64) so the monitored hot path pays for the two monotonic clock
+// reads only on sampled events, and never when obs is disabled. Runtimes
+// built with NewRuntime record into the process-global set; NewRuntimeObs
+// points one at a scope.
+type monObs struct {
+	emitted  *obs.Counter
+	stampNs  *obs.Timer
+	detectNs *obs.Timer
+}
+
+func newMonObs(reg *obs.Registry) *monObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &monObs{
+		emitted:  reg.Counter("monitor.events"),
+		stampNs:  reg.Timer("monitor.stamp_ns"),
+		detectNs: reg.Timer("monitor.detect_ns"),
+	}
+}
+
+// defaultMonObs is the process-global instrument set.
+var defaultMonObs = newMonObs(nil)
 
 // obsSampleMask selects the sampled events: Seq & mask == 0.
 const obsSampleMask = 63
@@ -63,6 +79,7 @@ type Compactor interface {
 // stamps every event with the emitting thread's vector clock.
 type Runtime struct {
 	mu       sync.Mutex
+	ob       *monObs
 	hb       *hb.Engine
 	analyses []Analysis
 	record   *trace.Trace
@@ -82,7 +99,16 @@ type Runtime struct {
 
 // NewRuntime returns a monitored runtime with a main thread (t0).
 func NewRuntime() *Runtime {
-	rt := &Runtime{hb: hb.New(), nextTid: 1}
+	return NewRuntimeObs(nil)
+}
+
+// NewRuntimeObs is NewRuntime with the emission-path and happens-before
+// instruments resolved from reg (nil means obs.Default).
+func NewRuntimeObs(reg *obs.Registry) *Runtime {
+	rt := &Runtime{ob: defaultMonObs, hb: hb.NewObs(reg), nextTid: 1}
+	if reg != nil {
+		rt.ob = newMonObs(reg)
+	}
 	rt.main = &Thread{rt: rt, ID: 0, done: make(chan struct{})}
 	return rt
 }
@@ -137,12 +163,12 @@ func (rt *Runtime) emit(e trace.Event) {
 	defer rt.mu.Unlock()
 	e.Seq = rt.seq
 	rt.seq++
-	obsEmitted.Inc()
+	rt.ob.emitted.Inc()
 	sampled := obs.Enabled() && e.Seq&obsSampleMask == 0
 
 	t0 := int64(0)
 	if sampled {
-		t0 = obsStampNs.Start()
+		t0 = rt.ob.stampNs.Start()
 	}
 	if _, err := rt.hb.Process(&e); err != nil {
 		if rt.err == nil {
@@ -150,20 +176,20 @@ func (rt *Runtime) emit(e trace.Event) {
 		}
 		return
 	}
-	obsStampNs.ObserveSince(t0)
+	rt.ob.stampNs.ObserveSince(t0)
 	if rt.record != nil {
 		rt.record.Append(e)
 	}
 	t1 := int64(0)
 	if sampled {
-		t1 = obsDetectNs.Start()
+		t1 = rt.ob.detectNs.Start()
 	}
 	for _, a := range rt.analyses {
 		if err := a.Process(&e); err != nil && rt.err == nil {
 			rt.err = err
 		}
 	}
-	obsDetectNs.ObserveSince(t1)
+	rt.ob.detectNs.ObserveSince(t1)
 	if e.Kind == trace.JoinEvent {
 		var threshold vclock.VC
 		for _, a := range rt.analyses {

@@ -39,6 +39,37 @@ func BenchmarkObsDisabled(b *testing.B) {
 			tm.ObserveSince(tm.Start())
 		}
 	})
+	// Scoped metrics and spans ride the same single load-and-branch when
+	// disabled: the rollup chain is only walked after the enabled check.
+	scope := NewRegistry().Scope("session", "bench")
+	sc := scope.Counter("bench.scoped")
+	sg := scope.Gauge("bench.scoped_depth")
+	sh := scope.Histogram("bench.scoped_ns")
+	sp := scope.Span("bench.scoped_stage")
+	b.Run("scoped_counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Inc()
+		}
+	})
+	b.Run("scoped_gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sg.Add(1)
+		}
+	})
+	b.Run("scoped_histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh.Observe(int64(i))
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp.End(sp.Start(), 1)
+		}
+	})
 }
 
 // BenchmarkObsEnabled documents the live cost of each operation (not
@@ -67,6 +98,15 @@ func BenchmarkObsEnabled(b *testing.B) {
 			tm.ObserveSince(tm.Start())
 		}
 	})
+	// Live cost of a two-level rollup (session scope → root): one extra
+	// atomic add per level.
+	sc := NewRegistry().Scope("session", "bench").Counter("bench.scoped")
+	b.Run("scoped_counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Inc()
+		}
+	})
 }
 
 // TestObsDisabledZeroAlloc pins the disabled path at zero allocations even
@@ -77,6 +117,11 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 	var g Gauge
 	var h Histogram
 	var tm Timer
+	scope := NewRegistry().Scope("session", "za")
+	sc := scope.Counter("za.c")
+	sg := scope.Gauge("za.g")
+	sh := scope.Histogram("za.h")
+	sp := scope.Span("za.stage")
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(3)
@@ -84,6 +129,11 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 		g.Set(2)
 		h.Observe(500)
 		tm.ObserveSince(tm.Start())
+		sc.Inc()
+		sg.Add(1)
+		sg.Set(2)
+		sh.Observe(500)
+		sp.End(sp.Start(), 7)
 		_ = Clock()
 	}); n != 0 {
 		t.Fatalf("disabled path allocates %v per op, want 0", n)

@@ -23,11 +23,13 @@ const histBuckets = 32
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
+	up      *Histogram // same-named histogram in the parent scope; nil at the root
 	buckets [histBuckets]atomic.Uint64
 }
 
-// Observe records one duration in nanoseconds. Negative values clamp to
-// zero.
+// Observe records one duration in nanoseconds, into this histogram and
+// every ancestor scope (the bucket index is computed once and reused up
+// the chain). Negative values clamp to zero.
 func (h *Histogram) Observe(ns int64) {
 	if !enabled.Load() {
 		return
@@ -35,9 +37,12 @@ func (h *Histogram) Observe(ns int64) {
 	if ns < 0 {
 		ns = 0
 	}
-	h.count.Add(1)
-	h.sum.Add(uint64(ns))
-	h.buckets[bucketIndex(ns)].Add(1)
+	b := bucketIndex(ns)
+	for p := h; p != nil; p = p.up {
+		p.count.Add(1)
+		p.sum.Add(uint64(ns))
+		p.buckets[b].Add(1)
+	}
 }
 
 // bucketIndex maps a non-negative ns value to its bucket.

@@ -11,6 +11,10 @@ import (
 // Handler returns the observability mux for a registry:
 //
 //	/metrics       — the full Snapshot as JSON (the schema ValidateSnapshot checks)
+//	                 ?session=ID scopes to one session (404 on unknown id);
+//	                 ?format=prom switches to Prometheus text exposition
+//	                 (scopes become labels; combine with ?session= to scrape
+//	                 one subtree)
 //	/debug/vars    — expvar-style flat JSON (counters and gauges only)
 //	/debug/pprof/  — the standard net/http/pprof handlers
 //	/healthz       — liveness probe ("ok")
@@ -19,11 +23,23 @@ import (
 // http.DefaultServeMux.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		target := reg
+		if sid := req.URL.Query().Get("session"); sid != "" {
+			if target = reg.FindScope("session", sid); target == nil {
+				http.Error(w, "unknown session "+sid, http.StatusNotFound)
+				return
+			}
+		}
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, target) //nolint:errcheck // client went away
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(reg.Snapshot()) //nolint:errcheck // client went away
+		enc.Encode(target.Snapshot()) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		s := reg.Snapshot()
@@ -67,11 +83,17 @@ func (s *Server) Close() error { return s.srv.Close() }
 // on a background goroutine. It does not flip the global enabled switch —
 // callers decide when collection starts.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler — for daemons
+// that wrap Handler with extra routes (rd2d adds /sessions).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return &Server{ln: ln, srv: srv}, nil
 }

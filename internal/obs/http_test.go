@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -62,4 +63,70 @@ func TestServeMetricsAndVars(t *testing.T) {
 	}
 	// pprof index answers (the profile endpoints themselves are stdlib).
 	get("/debug/pprof/")
+}
+
+func TestServeMetricsScopedAndProm(t *testing.T) {
+	withEnabled(t)
+	r := NewRegistry()
+	r.Scope("session", "s1").Counter("h.events").Add(3)
+	r.Scope("session", "s2").Counter("h.events").Add(4)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// Session scoping: only that scope's view, with its label path.
+	var s Snapshot
+	if err := json.Unmarshal(get("/metrics?session=s1", http.StatusOK), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["h.events"] != 3 || len(s.Scope) != 1 || s.Scope[0].ID != "s1" {
+		t.Fatalf("scoped snapshot wrong: %+v", s)
+	}
+	get("/metrics?session=nope", http.StatusNotFound)
+
+	// Prometheus exposition parses and carries the per-session series.
+	samples, err := ParsePrometheus(bytes.NewReader(get("/metrics?format=prom", http.StatusOK)))
+	if err != nil {
+		t.Fatalf("prom scrape unparseable: %v", err)
+	}
+	bySession := map[string]float64{}
+	for _, smp := range samples {
+		if smp.Name == "h_events" {
+			bySession[smp.Labels["session"]] = smp.Value
+		}
+	}
+	if bySession["s1"] != 3 || bySession["s2"] != 4 || bySession[""] != 7 {
+		t.Fatalf("prom series wrong: %v", bySession)
+	}
+
+	// Scoped prom scrape: only the one subtree, labels intact.
+	samples, err = ParsePrometheus(bytes.NewReader(get("/metrics?session=s2&format=prom", http.StatusOK)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range samples {
+		if smp.Name == "h_events" && smp.Labels["session"] != "s2" {
+			t.Fatalf("scoped prom scrape leaked series %+v", smp)
+		}
+	}
 }

@@ -71,9 +71,14 @@ func Clock() int64 {
 }
 
 // Counter is a monotonically increasing counter. The zero value is ready
-// to use; registry-created counters are shared by name.
+// to use; registry-created counters are shared by name. A counter created
+// inside a child scope (Registry.Scope) carries an up-link to the
+// same-named counter one scope up: every write walks the chain, so parent
+// scopes always read as the sum of their children plus their own direct
+// writes — one atomic add per level, no locks.
 type Counter struct {
-	v atomic.Uint64
+	v  atomic.Uint64
+	up *Counter // same-named counter in the parent scope; nil at the root
 }
 
 // Inc adds 1.
@@ -81,7 +86,9 @@ func (c *Counter) Inc() {
 	if !enabled.Load() {
 		return
 	}
-	c.v.Add(1)
+	for p := c; p != nil; p = p.up {
+		p.v.Add(1)
+	}
 }
 
 // Add adds n.
@@ -89,7 +96,9 @@ func (c *Counter) Add(n uint64) {
 	if !enabled.Load() {
 		return
 	}
-	c.v.Add(n)
+	for p := c; p != nil; p = p.up {
+		p.v.Add(n)
+	}
 }
 
 // Load returns the current value.
@@ -101,10 +110,13 @@ func (c *Counter) reset() { c.v.Store(0) }
 // Gauge is an instantaneous level with a high-water mark. Levels may go
 // negative transiently (e.g. a decrement observed before the matching
 // increment when producer and consumer race to update), but the peak only
-// ever rises.
+// ever rises. Scoped gauges (Registry.Scope) propagate every level change
+// up the parent chain, so a parent gauge reads as the sum of its children;
+// each level keeps its own independent peak.
 type Gauge struct {
 	cur  atomic.Int64
 	peak atomic.Int64
+	up   *Gauge // same-named gauge in the parent scope; nil at the root
 }
 
 // Add moves the level by d (negative to decrease) and raises the peak if
@@ -113,9 +125,11 @@ func (g *Gauge) Add(d int64) {
 	if !enabled.Load() {
 		return
 	}
-	v := g.cur.Add(d)
-	if d > 0 {
-		g.raise(v)
+	for p := g; p != nil; p = p.up {
+		v := p.cur.Add(d)
+		if d > 0 {
+			p.raise(v)
+		}
 	}
 }
 
@@ -130,22 +144,35 @@ func (g *Gauge) Enter() (release func()) {
 	if !enabled.Load() {
 		return func() {}
 	}
-	g.raise(g.cur.Add(1))
+	for p := g; p != nil; p = p.up {
+		p.raise(p.cur.Add(1))
+	}
 	var done atomic.Bool
 	return func() {
 		if done.CompareAndSwap(false, true) {
-			g.cur.Add(-1)
+			for p := g; p != nil; p = p.up {
+				p.cur.Add(-1)
+			}
 		}
 	}
 }
 
-// Set replaces the level.
+// Set replaces the level of this gauge and moves every ancestor by the
+// delta, preserving the sum-of-children invariant: setting a session's
+// queue depth from 3 to 7 adds 4 to the rolled-up global queue depth, it
+// does not overwrite it.
 func (g *Gauge) Set(v int64) {
 	if !enabled.Load() {
 		return
 	}
-	g.cur.Store(v)
+	d := v - g.cur.Swap(v)
 	g.raise(v)
+	for p := g.up; p != nil; p = p.up {
+		nv := p.cur.Add(d)
+		if d > 0 {
+			p.raise(nv)
+		}
+	}
 }
 
 // raise lifts the peak to at least v.

@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over a registry tree.
+// Metric names map by replacing every character outside [a-zA-Z0-9_:] with
+// '_' ("pipeline.shard.3.queue_batches" → "pipeline_shard_3_queue_batches");
+// scopes become labels, outermost first ({session="conn-3"}); label values
+// are escaped per the spec (backslash, double quote, newline). Gauges emit
+// a companion "<name>_peak" gauge for the high-water mark; histograms and
+// timers emit the conventional cumulative _bucket{le=...} / _sum / _count
+// triple with nanosecond bounds (bucket bounds are powers of two; the
+// open-ended top bucket folds into +Inf). Because scoped writes roll up on
+// the chain, summing a family's per-session series reproduces the
+// unlabeled global series exactly — the property stock dashboards sum() on.
+
+// WritePrometheus renders reg and every (transitive) child scope in
+// Prometheus text exposition format. Output is deterministic: families
+// sorted by name, series within a family sorted by label path.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	type series struct {
+		key   string // sort key: rendered label set
+		lines []string
+	}
+	type family struct {
+		typ    string
+		series []series
+	}
+	fams := map[string]*family{}
+	add := func(name, typ, labels string, lines []string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.series = append(f.series, series{key: labels, lines: lines})
+	}
+	var walk func(r *Registry)
+	walk = func(r *Registry) {
+		labels := promLabelSet(r.ScopePath())
+		s := r.Snapshot()
+		for name, v := range s.Counters {
+			n := promName(name)
+			add(n, "counter", labels, []string{
+				fmt.Sprintf("%s%s %d", n, labels, v),
+			})
+		}
+		for name, g := range s.Gauges {
+			n := promName(name)
+			add(n, "gauge", labels, []string{
+				fmt.Sprintf("%s%s %d", n, labels, g.Value),
+			})
+			add(n+"_peak", "gauge", labels, []string{
+				fmt.Sprintf("%s_peak%s %d", n, labels, g.Peak),
+			})
+		}
+		hist := func(name string, h HistogramSnapshot) {
+			n := promName(name)
+			lines := make([]string, 0, len(h.Bkts)+3)
+			cum := uint64(0)
+			for _, b := range h.Bkts {
+				cum += b.Count
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d",
+					n, promBucketLabels(labels, strconv.FormatUint(b.UpperNs, 10)), cum))
+			}
+			lines = append(lines,
+				fmt.Sprintf("%s_bucket%s %d", n, promBucketLabels(labels, "+Inf"), cum),
+				fmt.Sprintf("%s_sum%s %d", n, labels, h.SumNs),
+				fmt.Sprintf("%s_count%s %d", n, labels, h.Count))
+			add(n, "histogram", labels, lines)
+		}
+		for name, h := range s.Histograms {
+			hist(name, h)
+		}
+		for name, t := range s.Timers {
+			hist(name, t)
+		}
+		for _, c := range r.Scopes() {
+			walk(c)
+		}
+	}
+	walk(reg)
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", n, f.typ)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		for _, s := range f.series {
+			for _, line := range s.lines {
+				bw.WriteString(line)
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// promName maps a dotted obs metric name onto the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b[i] = c
+		case c >= '0' && c <= '9' && i > 0:
+			b[i] = c
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promLabelName maps a scope kind onto the label-name alphabet
+// [a-zA-Z_][a-zA-Z0-9_]* (no colon, unlike metric names).
+func promLabelName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b[i] = c
+		case c >= '0' && c <= '9' && i > 0:
+			b[i] = c
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promEscape escapes a label value: backslash, double quote, newline.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// promLabelSet renders a scope path as a label set, `{kind="id",...}`, or
+// "" for a root registry.
+func promLabelSet(path []ScopeRef) string {
+	if len(path) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range path {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promLabelName(s.Kind), promEscape(s.ID))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promBucketLabels splices le="<bound>" into an existing label set.
+func promBucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// PromSample is one parsed sample line of a Prometheus scrape.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity (name plus sorted labels) — convenient
+// for cross-scrape comparisons in tests.
+func (s PromSample) Key() string {
+	names := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range names {
+		fmt.Fprintf(&b, `|%s=%q`, k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// ParsePrometheus parses (and thereby validates) text in the Prometheus
+// 0.0.4 exposition format: metric-name and label-name alphabets, label
+// value escape sequences, float sample values, and TYPE comment lines. It
+// returns every sample. obscheck -prom and the ci.sh -obs smoke use it to
+// prove a live rd2d scrape round-trips through a strict reader.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom line %d: malformed TYPE comment", lineno)
+				}
+				if !validPromName(fields[2]) {
+					return nil, fmt.Errorf("prom line %d: bad metric name %q in TYPE", lineno, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom line %d: unknown metric type %q", lineno, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %v", lineno, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validPromLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		s.Labels = map[string]string{}
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return s, fmt.Errorf("label without '='")
+			}
+			name := line[i:j]
+			if !validPromLabelName(name) {
+				return s, fmt.Errorf("bad label name %q", name)
+			}
+			j++ // past '='
+			if j >= len(line) || line[j] != '"' {
+				return s, fmt.Errorf("label value for %q not quoted", name)
+			}
+			j++
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %q", name)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					j++
+					if j >= len(line) {
+						return s, fmt.Errorf("dangling escape in label value for %q", name)
+					}
+					switch line[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in label value for %q", line[j], name)
+					}
+					j++
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			s.Labels[name] = val.String()
+			if j < len(line) && line[j] == ',' {
+				j++
+			}
+			i = j
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return s, fmt.Errorf("want value (and optional timestamp), got %q", line[i:])
+	}
+	v, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest[0], err)
+	}
+	s.Value = v
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", rest[1])
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	root.Counter("core.actions").Add(7)
+	root.Gauge("pipeline.shard.0.queue_batches").Set(3)
+	s := root.Scope("session", "conn-1")
+	s.Counter("core.actions").Add(2) // also +2 at root via rollup
+	s.Histogram("stage.detect_ns").Observe(100)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE core_actions counter\n",
+		"core_actions 9\n", // 7 direct + 2 rolled up
+		`core_actions{session="conn-1"} 2` + "\n",
+		"# TYPE pipeline_shard_0_queue_batches gauge\n",
+		"pipeline_shard_0_queue_batches 3\n",
+		"pipeline_shard_0_queue_batches_peak 3\n",
+		"# TYPE stage_detect_ns histogram\n",
+		`stage_detect_ns_bucket{session="conn-1",le="+Inf"} 1` + "\n",
+		`stage_detect_ns_count{session="conn-1"} 1` + "\n",
+		`stage_detect_ns_sum{session="conn-1"} 100` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative and carry the rolled-up root
+	// series too (no labels).
+	if !strings.Contains(out, `stage_detect_ns_bucket{le="+Inf"} 1`) {
+		t.Errorf("root histogram series missing:\n%s", out)
+	}
+
+	// Deterministic: two renders byte-match.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, root); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("prom output not deterministic across renders")
+	}
+}
+
+func TestPrometheusRoundTripEscaping(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	// Hostile scope id and metric name: escaping must round-trip exactly.
+	hostile := "we\"ird\\id\nwith-everything"
+	sc := root.Scope("session id", hostile)
+	sc.Counter("1bad name-with.stuff").Add(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("self-parse failed: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "_bad_name_with_stuff" && s.Labels["session_id"] == hostile {
+			found = true
+			if s.Value != 5 {
+				t.Fatalf("value = %v, want 5", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("escaped series not recovered from:\n%s", buf.String())
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":            "9metric 1\n",
+		"bad label name":      `m{9l="x"} 1` + "\n",
+		"unquoted label":      `m{l=x} 1` + "\n",
+		"unterminated labels": `m{l="x" 1` + "\n",
+		"bad escape":          `m{l="\q"} 1` + "\n",
+		"no value":            "m\n",
+		"bad value":           "m pizza\n",
+		"bad TYPE":            "# TYPE m frobnicator\n",
+		"short TYPE":          "# TYPE m\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// Benign inputs parse.
+	ok := "# HELP m whatever\n# TYPE m counter\nm 1\nm{a=\"b\",c=\"d\"} 2.5 1700000000\n\n"
+	samples, err := ParsePrometheus(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("benign input rejected: %v", err)
+	}
+	if len(samples) != 2 || samples[1].Value != 2.5 || samples[1].Labels["c"] != "d" {
+		t.Fatalf("parsed %+v", samples)
+	}
+}
+
+// TestPromScopeSeriesSumToRoot is the exposition-level statement of the
+// rollup invariant: for counters, summing the per-session series of a
+// family reproduces the unlabeled root series.
+func TestPromScopeSeriesSumToRoot(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	for i, n := range []uint64{3, 11, 40} {
+		root.Scope("session", string(rune('a'+i))).Counter("x.events").Add(n)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rootV, sum float64
+	for _, s := range samples {
+		if s.Name != "x_events" {
+			continue
+		}
+		if len(s.Labels) == 0 {
+			rootV = s.Value
+		} else {
+			sum += s.Value
+		}
+	}
+	if rootV != 54 || sum != 54 {
+		t.Fatalf("root=%v sum-of-sessions=%v, want 54/54", rootV, sum)
+	}
+}

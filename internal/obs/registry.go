@@ -11,21 +11,39 @@ import (
 // Registry holds named metrics. Get-or-create accessors make registration
 // idempotent: two packages (or two pipeline instances) asking for the same
 // name share one metric, so counts aggregate process-wide.
+//
+// A registry can grow child scopes (Scope): a child is a full registry
+// whose metrics carry up-links to the same-named metric in the parent, so
+// every write rolls up the chain — one atomic add per level. rd2d gives
+// each detection session a scope under obs.Default; the global series then
+// always read as the sum over sessions, and /metrics?session=ID or a
+// Prometheus scrape (WritePrometheus, scopes become labels) can attribute
+// the same counters per tenant.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	timers   map[string]*Timer
+	spans    map[string]*Span
+
+	// Scope identity: immutable after creation, so label paths can be
+	// walked without the lock.
+	parent   *Registry
+	kind, id string
+	children map[scopeKey]*Registry
 }
 
-// NewRegistry returns an empty registry.
+type scopeKey struct{ kind, id string }
+
+// NewRegistry returns an empty root registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		timers:   map[string]*Timer{},
+		spans:    map[string]*Span{},
 	}
 }
 
@@ -33,13 +51,93 @@ func NewRegistry() *Registry {
 // registers into.
 var Default = NewRegistry()
 
-// Counter returns the named counter, creating it if needed.
+// Scope returns the child registry labeled kind=id, creating it if needed.
+// Metrics created in the child roll up into the same-named metric here (and
+// transitively to every ancestor) on each write. Scopes nest; in practice
+// the tree is two levels (process root → "session" scopes).
+func (r *Registry) Scope(kind, id string) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := scopeKey{kind, id}
+	c, ok := r.children[k]
+	if !ok {
+		c = NewRegistry()
+		c.parent = r
+		c.kind, c.id = kind, id
+		if r.children == nil {
+			r.children = map[scopeKey]*Registry{}
+		}
+		r.children[k] = c
+	}
+	return c
+}
+
+// FindScope returns the child scope labeled kind=id, or nil if it does not
+// exist (it never creates — the read-side counterpart of Scope for HTTP
+// handlers that must 404 on unknown sessions).
+func (r *Registry) FindScope(kind, id string) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.children[scopeKey{kind, id}]
+}
+
+// DropScope detaches the child scope labeled kind=id from snapshots and
+// Prometheus output. Metric pointers inside the dropped scope stay valid
+// and keep rolling up into this registry — a straggling writer loses
+// per-scope visibility, never global counts. A later Scope with the same
+// key starts fresh.
+func (r *Registry) DropScope(kind, id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.children, scopeKey{kind, id})
+}
+
+// Scopes returns the direct child scopes, sorted by kind then id.
+func (r *Registry) Scopes() []*Registry {
+	r.mu.Lock()
+	out := make([]*Registry, 0, len(r.children))
+	for _, c := range r.children {
+		out = append(out, c)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].kind != out[j].kind {
+			return out[i].kind < out[j].kind
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// ScopeKind returns this registry's scope label name ("" at a root).
+func (r *Registry) ScopeKind() string { return r.kind }
+
+// ScopeID returns this registry's scope label value ("" at a root).
+func (r *Registry) ScopeID() string { return r.id }
+
+// ScopePath returns the label path from the root to this registry,
+// outermost first. A root registry returns nil.
+func (r *Registry) ScopePath() []ScopeRef {
+	var path []ScopeRef
+	for p := r; p.parent != nil; p = p.parent {
+		path = append([]ScopeRef{{Kind: p.kind, ID: p.id}}, path...)
+	}
+	return path
+}
+
+// Counter returns the named counter, creating it if needed. In a child
+// scope, creation links the counter to the parent's same-named counter
+// (created on demand, recursively), establishing the rollup chain.
+// Lock order is always leaf→root, so nested creation cannot deadlock.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
+		if r.parent != nil {
+			c.up = r.parent.Counter(name)
+		}
 		r.counters[name] = c
 	}
 	return c
@@ -52,6 +150,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
+		if r.parent != nil {
+			g.up = r.parent.Gauge(name)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -64,6 +165,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
+		if r.parent != nil {
+			h.up = r.parent.Histogram(name)
+		}
 		r.hists[name] = h
 	}
 	return h
@@ -76,17 +180,19 @@ func (r *Registry) Timer(name string) *Timer {
 	t, ok := r.timers[name]
 	if !ok {
 		t = &Timer{}
+		if r.parent != nil {
+			t.Histogram.up = &r.parent.Timer(name).Histogram
+		}
 		r.timers[name] = t
 	}
 	return t
 }
 
-// Reset zeroes every registered metric in place. Metric pointers held by
-// instrumentation sites stay valid — only their values clear. Benchmarks
-// and tests use this to isolate passes.
+// Reset zeroes every registered metric in place, recursively through child
+// scopes. Metric pointers held by instrumentation sites stay valid — only
+// their values clear. Benchmarks and tests use this to isolate passes.
 func (r *Registry) Reset() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, c := range r.counters {
 		c.reset()
 	}
@@ -98,6 +204,14 @@ func (r *Registry) Reset() {
 	}
 	for _, t := range r.timers {
 		t.Histogram.reset()
+	}
+	kids := make([]*Registry, 0, len(r.children))
+	for _, c := range r.children {
+		kids = append(kids, c)
+	}
+	r.mu.Unlock()
+	for _, c := range kids {
+		c.Reset()
 	}
 }
 
@@ -122,6 +236,13 @@ type GaugeSnapshot struct {
 	Peak  int64 `json:"peak"`
 }
 
+// ScopeRef names one scope level: the label pair a child registry hangs
+// under ("session" = "conn-3").
+type ScopeRef struct {
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+}
+
 // Snapshot is a point-in-time read of a whole registry — the schema served
 // by /metrics, emitted by the periodic emitter, and validated by
 // ValidateSnapshot. All four maps are always present (possibly empty) so
@@ -130,6 +251,8 @@ type Snapshot struct {
 	TakenUnixNs int64                        `json:"taken_unix_ns"`
 	UptimeNs    int64                        `json:"uptime_ns"`
 	Enabled     bool                         `json:"enabled"`
+	Scope       []ScopeRef                   `json:"scope,omitempty"`  // label path of this registry, root→leaf
+	Scopes      []ScopeRef                   `json:"scopes,omitempty"` // direct child scopes at snapshot time
 	Counters    map[string]uint64            `json:"counters"`
 	Gauges      map[string]GaugeSnapshot     `json:"gauges"`
 	Histograms  map[string]HistogramSnapshot `json:"histograms"`
@@ -146,11 +269,21 @@ func (r *Registry) Snapshot() Snapshot {
 		TakenUnixNs: time.Now().UnixNano(),
 		UptimeNs:    int64(time.Since(base)),
 		Enabled:     enabled.Load(),
+		Scope:       r.ScopePath(),
 		Counters:    make(map[string]uint64, len(r.counters)),
 		Gauges:      make(map[string]GaugeSnapshot, len(r.gauges)),
 		Histograms:  make(map[string]HistogramSnapshot, len(r.hists)),
 		Timers:      make(map[string]HistogramSnapshot, len(r.timers)),
 	}
+	for k := range r.children {
+		s.Scopes = append(s.Scopes, ScopeRef{Kind: k.kind, ID: k.id})
+	}
+	sort.Slice(s.Scopes, func(i, j int) bool {
+		if s.Scopes[i].Kind != s.Scopes[j].Kind {
+			return s.Scopes[i].Kind < s.Scopes[j].Kind
+		}
+		return s.Scopes[i].ID < s.Scopes[j].ID
+	})
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
 	}

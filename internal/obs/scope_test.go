@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestScopeCounterRollsUp(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	a := root.Scope("session", "a")
+	b := root.Scope("session", "b")
+	a.Counter("x.events").Add(10)
+	b.Counter("x.events").Add(5)
+	root.Counter("x.events").Inc() // direct root write on top of the rollup
+	if got := a.Counter("x.events").Load(); got != 10 {
+		t.Fatalf("scope a = %d, want 10", got)
+	}
+	if got := b.Counter("x.events").Load(); got != 5 {
+		t.Fatalf("scope b = %d, want 5", got)
+	}
+	if got := root.Counter("x.events").Load(); got != 16 {
+		t.Fatalf("root = %d, want 16 (10+5+1)", got)
+	}
+}
+
+func TestScopeIsIdempotentAndSharesMetrics(t *testing.T) {
+	root := NewRegistry()
+	a1 := root.Scope("session", "a")
+	a2 := root.Scope("session", "a")
+	if a1 != a2 {
+		t.Fatal("Scope must be get-or-create")
+	}
+	if a1.Counter("x") != a2.Counter("x") {
+		t.Fatal("metrics inside one scope must be shared by name")
+	}
+	if root.Scope("session", "b") == a1 {
+		t.Fatal("distinct ids must get distinct scopes")
+	}
+	if root.Scope("shard", "a") == a1 {
+		t.Fatal("distinct kinds must get distinct scopes")
+	}
+}
+
+func TestScopeGaugeRollup(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	a := root.Scope("session", "a")
+	b := root.Scope("session", "b")
+	ag, bg, rg := a.Gauge("q.depth"), b.Gauge("q.depth"), root.Gauge("q.depth")
+
+	ag.Add(3)
+	bg.Add(4)
+	if rg.Load() != 7 {
+		t.Fatalf("root gauge = %d, want 7", rg.Load())
+	}
+	// Set on a scope moves the parent by the delta, preserving sum-of-children.
+	ag.Set(10)
+	if ag.Load() != 10 || rg.Load() != 14 {
+		t.Fatalf("after Set(10): scope=%d root=%d, want 10/14", ag.Load(), rg.Load())
+	}
+	ag.Set(0)
+	if rg.Load() != 4 {
+		t.Fatalf("after Set(0): root=%d, want 4", rg.Load())
+	}
+	// Peaks are per level: the root peak saw the combined high-water mark.
+	if ag.Peak() != 10 {
+		t.Fatalf("scope peak = %d, want 10", ag.Peak())
+	}
+	if rg.Peak() < 10 {
+		t.Fatalf("root peak = %d, want >= 10", rg.Peak())
+	}
+
+	// Enter/release walks the chain both ways, still exactly once.
+	rel := ag.Enter()
+	if ag.Load() != 1 || rg.Load() != 5 {
+		t.Fatalf("after Enter: scope=%d root=%d, want 1/5", ag.Load(), rg.Load())
+	}
+	rel()
+	rel()
+	if ag.Load() != 0 || rg.Load() != 4 {
+		t.Fatalf("after release x2: scope=%d root=%d, want 0/4", ag.Load(), rg.Load())
+	}
+}
+
+func TestScopeHistogramAndSpanRollup(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	a := root.Scope("session", "a")
+	b := root.Scope("session", "b")
+	a.Histogram("lat_ns").Observe(100)
+	a.Histogram("lat_ns").Observe(100)
+	b.Histogram("lat_ns").Observe(1_000_000)
+	rs := root.Histogram("lat_ns").Snapshot()
+	if rs.Count != 3 || rs.SumNs != 1_000_200 {
+		t.Fatalf("root hist = %d spans sum %d, want 3/1000200", rs.Count, rs.SumNs)
+	}
+	// Bucket counts roll up bucket-for-bucket, not just in aggregate.
+	want := map[uint64]uint64{bucketUpper(bucketIndex(100)): 2, bucketUpper(bucketIndex(1_000_000)): 1}
+	for _, bk := range rs.Bkts {
+		if want[bk.UpperNs] != bk.Count {
+			t.Fatalf("root bucket %d = %d, want %d", bk.UpperNs, bk.Count, want[bk.UpperNs])
+		}
+		delete(want, bk.UpperNs)
+	}
+	if len(want) != 0 {
+		t.Fatalf("root missing buckets: %v", want)
+	}
+
+	// Spans: latency rolls up through the timer chain, items through the
+	// counter chain.
+	sp := a.Span(StageDecode)
+	st := sp.Start()
+	if st <= 0 {
+		t.Fatal("span Start must be positive while enabled")
+	}
+	sp.End(st, 42)
+	if got := root.Span(StageDecode).Items(); got != 42 {
+		t.Fatalf("root span items = %d, want 42", got)
+	}
+	if got := root.Timer(StageDecode + "_ns").Histogram.Snapshot().Count; got != 1 {
+		t.Fatalf("root span latency count = %d, want 1", got)
+	}
+	if a.Span(StageDecode) != sp {
+		t.Fatal("Span must be get-or-create")
+	}
+}
+
+func TestScopeLifecycle(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	a := root.Scope("session", "a")
+	c := a.Counter("x")
+	c.Add(3)
+	if root.FindScope("session", "a") != a {
+		t.Fatal("FindScope must return the live scope")
+	}
+	if root.FindScope("session", "zzz") != nil {
+		t.Fatal("FindScope must return nil for unknown scopes")
+	}
+	refs := root.Snapshot().Scopes
+	if len(refs) != 1 || refs[0] != (ScopeRef{Kind: "session", ID: "a"}) {
+		t.Fatalf("snapshot scopes = %v", refs)
+	}
+	if path := a.Snapshot().Scope; len(path) != 1 || path[0].ID != "a" {
+		t.Fatalf("scope snapshot label path = %v", path)
+	}
+
+	root.DropScope("session", "a")
+	if root.FindScope("session", "a") != nil {
+		t.Fatal("dropped scope still findable")
+	}
+	// A straggling writer keeps rolling up (counts are never lost), it just
+	// loses per-scope visibility.
+	c.Inc()
+	if got := root.Counter("x").Load(); got != 4 {
+		t.Fatalf("root after post-drop write = %d, want 4", got)
+	}
+	// Re-scoping the same id starts a fresh scope.
+	a2 := root.Scope("session", "a")
+	if a2 == a {
+		t.Fatal("re-created scope must be fresh")
+	}
+	if a2.Counter("x").Load() != 0 {
+		t.Fatal("fresh scope must start at zero")
+	}
+}
+
+func TestScopeNestingAndReset(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	leaf := root.Scope("session", "s").Scope("shard", "0")
+	leaf.Counter("deep").Add(2)
+	if root.Counter("deep").Load() != 2 {
+		t.Fatal("two-level rollup broken")
+	}
+	if p := leaf.ScopePath(); len(p) != 2 || p[0].Kind != "session" || p[1].Kind != "shard" {
+		t.Fatalf("label path = %v", p)
+	}
+	root.Reset()
+	if leaf.Counter("deep").Load() != 0 {
+		t.Fatal("Reset must recurse into child scopes")
+	}
+}
+
+// TestScopeChurnConcurrent exercises scope creation, writes, snapshots,
+// Prometheus rendering, and drops all racing — the shape of a fleet daemon
+// with sessions starting and expiring mid-scrape. Run under -race.
+func TestScopeChurnConcurrent(t *testing.T) {
+	withEnabled(t)
+	root := NewRegistry()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("s%d-%d", w, i%7)
+				sc := root.Scope("session", id)
+				sc.Counter("churn.events").Add(3)
+				sc.Gauge("churn.depth").Set(int64(i % 11))
+				sc.Span(StageDetect).End(sc.Span(StageDetect).Start(), 1)
+				if i%5 == 0 {
+					root.DropScope("session", id)
+				}
+			}
+		}(w)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := root.Snapshot()
+			if s.TakenUnixNs == 0 {
+				t.Error("zero snapshot timestamp")
+				return
+			}
+			if err := WritePrometheus(discard{}, root); err != nil {
+				t.Errorf("prom render during churn: %v", err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every write survived somewhere: the root counter is the total.
+	if got := root.Counter("churn.events").Load(); got != 4*200*3 {
+		t.Fatalf("root total = %d, want %d", got, 4*200*3)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

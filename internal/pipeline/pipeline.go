@@ -49,15 +49,35 @@ import (
 	"repro/internal/vclock"
 )
 
-// Pipeline-global obs counters; per-shard counters (queue depth, events,
-// races) are created in New so each shard updates its own cache line.
-var (
-	obsPipeEvents  = obs.GetCounter("pipeline.events")
-	obsPipeBatches = obs.GetCounter("pipeline.batches")
-	// obsShardPanics counts recovered detector-shard panics (supervision):
-	// each one degrades its pipeline to a partial-but-honest result.
-	obsShardPanics = obs.GetCounter("pipeline.shard_panics")
-)
+// pipeObs bundles the pipeline-wide obs instruments, resolved once per
+// pipeline from Config.Obs (per-shard instruments live on each shard so
+// every worker updates its own cache line). Pipelines built against an rd2d
+// session scope produce per-session series that roll up into the globals.
+type pipeObs struct {
+	events  *obs.Counter
+	batches *obs.Counter
+	// panics counts recovered detector-shard panics (supervision): each
+	// one degrades its pipeline to a partial-but-honest result.
+	panics *obs.Counter
+	// dispatch spans batch handoffs to shard queues (items = batch length;
+	// latency includes backpressure blocking on a full queue). detect spans
+	// each shard batch through its private detector (items = events).
+	dispatch *obs.Span
+	detect   *obs.Span
+}
+
+func newPipeObs(reg *obs.Registry) *pipeObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &pipeObs{
+		events:   reg.Counter("pipeline.events"),
+		batches:  reg.Counter("pipeline.batches"),
+		panics:   reg.Counter("pipeline.shard_panics"),
+		dispatch: reg.Span(obs.StageDispatch),
+		detect:   reg.Span(obs.StageDetect),
+	}
+}
 
 // Defaults for Config fields left zero.
 const (
@@ -92,6 +112,11 @@ type Config struct {
 	// per-shard retention and the merged report. OnRace, when set, is
 	// invoked from shard goroutines and must be safe for concurrent use.
 	Core core.Config
+	// Obs is the registry the pipeline's counters, gauges, and stage spans
+	// record into (an rd2d session scope, say); nil means obs.Default. When
+	// Core.Obs is nil it inherits this registry, so shard detectors report
+	// into the same scope.
+	Obs *obs.Registry
 }
 
 // itemKind discriminates the messages on a shard's stream.
@@ -168,9 +193,10 @@ type shard struct {
 // available after Close; calling them closes the pipeline implicitly.
 type Pipeline struct {
 	cfg     Config
+	ob      *pipeObs
 	shards  []*shard
-	pending [][]item    // per-shard batch under construction (producer-owned)
-	free    chan []item // recycled batch buffers
+	pending [][]item     // per-shard batch under construction (producer-owned)
+	free    chan []item  // recycled batch buffers
 	idxfree chan []int32 // recycled chunk index lists
 	closed  bool
 
@@ -193,8 +219,16 @@ func New(cfg Config) *Pipeline {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = DefaultQueueLen
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	if cfg.Core.Obs == nil {
+		cfg.Core.Obs = reg
+	}
 	p := &Pipeline{
 		cfg:     cfg,
+		ob:      newPipeObs(reg),
 		pending: make([][]item, cfg.Shards),
 		free:    make(chan []item, cfg.Shards*(cfg.QueueLen+2)),
 		idxfree: make(chan []int32, cfg.Shards*4),
@@ -204,9 +238,9 @@ func New(cfg Config) *Pipeline {
 			det:       core.New(cfg.Core),
 			ch:        make(chan []item, cfg.QueueLen),
 			done:      make(chan struct{}),
-			obsQueue:  obs.GetGauge(fmt.Sprintf("pipeline.shard.%d.queue_batches", i)),
-			obsEvents: obs.GetCounter(fmt.Sprintf("pipeline.shard.%d.events", i)),
-			obsRaces:  obs.GetCounter(fmt.Sprintf("pipeline.shard.%d.races", i)),
+			obsQueue:  reg.Gauge(fmt.Sprintf("pipeline.shard.%d.queue_batches", i)),
+			obsEvents: reg.Counter(fmt.Sprintf("pipeline.shard.%d.events", i)),
+			obsRaces:  reg.Counter(fmt.Sprintf("pipeline.shard.%d.races", i)),
 		}
 		p.shards = append(p.shards, s)
 		go p.run(s)
@@ -224,15 +258,17 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 func (p *Pipeline) run(s *shard) {
 	defer close(s.done)
 	for batch := range s.ch {
+		start := p.ob.detect.Start()
 		nEvents := p.runBatch(s, batch)
+		p.ob.detect.End(start, nEvents)
 		// Metrics once per batch, not per item: queue depth drops, and the
 		// shard's event/race counters advance by this batch's delta.
 		if obs.Enabled() {
 			s.obsQueue.Add(-1)
-			obsPipeBatches.Inc()
+			p.ob.batches.Inc()
 			if nEvents > 0 {
 				s.obsEvents.Add(uint64(nEvents))
-				obsPipeEvents.Add(uint64(nEvents))
+				p.ob.events.Add(uint64(nEvents))
 			}
 			if !s.dead {
 				if r := s.det.Stats().Races; r > s.lastRaces {
@@ -278,7 +314,7 @@ func (p *Pipeline) runBatch(s *shard, batch []item) (nEvents int) {
 		if r := recover(); r != nil {
 			s.panics++
 			s.dead = true
-			obsShardPanics.Inc()
+			p.ob.panics.Inc()
 			at := "batch boundary"
 			if i < len(batch) {
 				switch batch[i].kind {
@@ -354,6 +390,16 @@ func (p *Pipeline) shardOf(obj trace.ObjID) int {
 	return int(splitmix64(uint64(int64(obj))) % uint64(len(p.shards)))
 }
 
+// send hands one finished batch to shard i under the stage.dispatch span
+// (items = batch length; the latency includes blocking on a full shard
+// queue, so dispatch p99 is the backpressure signal).
+func (p *Pipeline) send(i int, buf []item) {
+	start := p.ob.dispatch.Start()
+	p.shards[i].obsQueue.Add(1)
+	p.shards[i].ch <- buf
+	p.ob.dispatch.End(start, len(buf))
+}
+
 // push appends an item to a shard's pending batch, flushing when full.
 func (p *Pipeline) push(i int, it item) {
 	buf := p.pending[i]
@@ -366,8 +412,7 @@ func (p *Pipeline) push(i int, it item) {
 	}
 	buf = append(buf, it)
 	if len(buf) >= p.cfg.BatchSize {
-		p.shards[i].obsQueue.Add(1)
-		p.shards[i].ch <- buf
+		p.send(i, buf)
 		p.pending[i] = nil
 		return
 	}
@@ -447,8 +492,7 @@ func (p *Pipeline) dispatchChunk(events []trace.Event, routes []uint8, release f
 		// backpressure tight.
 		p.push(sh, item{kind: itemChunk, chunk: c, idxs: idxs})
 		if buf := p.pending[sh]; buf != nil {
-			p.shards[sh].obsQueue.Add(1)
-			p.shards[sh].ch <- buf
+			p.send(sh, buf)
 			p.pending[sh] = nil
 		}
 	}
@@ -502,8 +546,7 @@ func (p *Pipeline) Compact(threshold vclock.VC) int {
 func (p *Pipeline) Flush() {
 	for i, buf := range p.pending {
 		if buf != nil {
-			p.shards[i].obsQueue.Add(1)
-			p.shards[i].ch <- buf
+			p.send(i, buf)
 			p.pending[i] = nil
 		}
 	}
@@ -564,7 +607,7 @@ func (p *Pipeline) mergeShard(s *shard) {
 		if r := recover(); r != nil {
 			s.panics++
 			p.panics++
-			obsShardPanics.Inc()
+			p.ob.panics.Inc()
 			log.Printf("pipeline: recovered shard panic during merge: %v\n%s", r, debug.Stack())
 		}
 	}()
@@ -633,7 +676,7 @@ func (p *Pipeline) RunTrace(tr *trace.Trace) error {
 	if p.cfg.StampWorkers >= 2 && len(p.shards) <= unroutable {
 		return p.runTraceParallel(tr)
 	}
-	en := hb.New()
+	en := hb.NewObs(p.cfg.Obs)
 	for i := range tr.Events {
 		e := &tr.Events[i]
 		if _, err := en.Process(e); err != nil {
@@ -663,7 +706,7 @@ func (p *Pipeline) runTraceParallel(tr *trace.Trace) error {
 		mu    sync.Mutex
 		spans []span
 	)
-	ps := hb.NewParallelStamper(p.cfg.StampWorkers)
+	ps := hb.NewParallelStamperObs(p.cfg.StampWorkers, p.cfg.Obs)
 	n, serr := ps.StampChunkPost(tr.Events, func(lo, hi int) {
 		lists := make([][]int32, len(p.shards))
 		for i := lo; i < hi; i++ {
@@ -700,8 +743,7 @@ func (p *Pipeline) runTraceParallel(tr *trace.Trace) error {
 				}
 				p.push(sh, item{kind: itemChunk, chunk: c, idxs: idxs})
 				if buf := p.pending[sh]; buf != nil {
-					p.shards[sh].obsQueue.Add(1)
-					p.shards[sh].ch <- buf
+					p.send(sh, buf)
 					p.pending[sh] = nil
 				}
 			}
@@ -725,7 +767,7 @@ func (p *Pipeline) RunSource(src trace.Source) error {
 	if p.cfg.StampWorkers >= 2 && len(p.shards) <= unroutable {
 		return p.runSourceParallel(src)
 	}
-	st := hb.NewStream(src)
+	st := hb.NewStreamObs(src, p.cfg.Obs)
 	for {
 		e, err := st.Next()
 		if err == io.EOF {
@@ -750,6 +792,7 @@ func (p *Pipeline) runSourceParallel(src trace.Source) error {
 		Workers:   p.cfg.StampWorkers,
 		ChunkSize: p.cfg.StampChunk,
 		Route:     p.routeOf,
+		Obs:       p.cfg.Obs,
 	})
 	defer st.Close()
 	for {

@@ -32,6 +32,10 @@ type Summary struct {
 	ShardPanics   int    `json:"shard_panics,omitempty"`
 	Resumes       int    `json:"resumes,omitempty"` // times the session was re-attached
 	SessionID     string `json:"session,omitempty"`
+	// Seq is the session's last race record sequence number (the monotonic
+	// per-session counter stamped on every JSONL race record), so a client
+	// can cross-check the streamed report against the daemon's corpus.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Client streams events to an rd2d ingestion daemon over TCP in the RDB2

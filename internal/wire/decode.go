@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -32,6 +33,7 @@ var errAgain = errors.New("wire: internal again")
 // are deduplicated and acknowledged through OnChunk.
 type Decoder struct {
 	r       *bufio.Reader
+	ob      *wireObs
 	version byte
 	frame   []byte   // current frame payload
 	pos     int      // read position within frame
@@ -64,7 +66,7 @@ type Decoder struct {
 // NewDecoder reads and verifies the stream header and returns a streaming
 // decoder for the events that follow.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	d := &Decoder{r: bufio.NewReaderSize(r, ResyncWindow)}
+	d := &Decoder{r: bufio.NewReaderSize(r, ResyncWindow), ob: defaultWireObs}
 	var hdr [len(Magic) + 1]byte
 	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
@@ -85,6 +87,16 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 // failing. Only effective on version 2 streams (version 1 frames carry no
 // sync marker).
 func (d *Decoder) SetResync(on bool) { d.resync = on }
+
+// SetObs points the decoder's resync/dedup metrics at reg (an rd2d session
+// scope, say); nil restores the process-global set. Call before Next.
+func (d *Decoder) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		d.ob = defaultWireObs
+		return
+	}
+	d.ob = newWireObs(reg)
+}
 
 // Clean reports whether an explicit end-of-stream frame terminated the
 // stream (false while decoding, and after a bare EOF at a frame boundary).
@@ -167,15 +179,15 @@ func (d *Decoder) enterScan() {
 	d.scanning = true
 	d.resyncs++
 	d.skippedFrames++
-	obsResyncs.Inc()
-	obsSkippedFrames.Inc()
+	d.ob.resyncs.Inc()
+	d.ob.skippedFrames.Inc()
 }
 
 // discard consumes n bytes as resync junk.
 func (d *Decoder) discard(n int) {
 	d.r.Discard(n)
 	d.skippedBytes += int64(n)
-	obsSkippedBytes.Add(uint64(n))
+	d.ob.skippedBytes.Add(uint64(n))
 }
 
 // scan advances the reader to the next sync marker that begins a frame
@@ -300,8 +312,8 @@ func (d *Decoder) readFrame() error {
 			d.scanning = true
 			d.resyncs++
 			d.skippedFrames++
-			obsResyncs.Inc()
-			obsSkippedFrames.Inc()
+			d.ob.resyncs.Inc()
+			d.ob.skippedFrames.Inc()
 			return errAgain
 		}
 		return d.fail(err)
@@ -328,8 +340,8 @@ func (d *Decoder) readFrame() error {
 				d.scanning = true
 				d.resyncs++
 				d.skippedFrames++
-				obsResyncs.Inc()
-				obsSkippedFrames.Inc()
+				d.ob.resyncs.Inc()
+				d.ob.skippedFrames.Inc()
 				return errAgain
 			}
 			return d.fail(err)
@@ -343,8 +355,8 @@ func (d *Decoder) readFrame() error {
 			d.scanning = true
 			d.resyncs++
 			d.skippedFrames++
-			obsResyncs.Inc()
-			obsSkippedFrames.Inc()
+			d.ob.resyncs.Inc()
+			d.ob.skippedFrames.Inc()
 			return errAgain
 		}
 		return d.fail(err)
@@ -377,8 +389,8 @@ func (d *Decoder) acceptChunk() error {
 			d.scanning = true
 			d.resyncs++
 			d.skippedFrames++
-			obsResyncs.Inc()
-			obsSkippedFrames.Inc()
+			d.ob.resyncs.Inc()
+			d.ob.skippedFrames.Inc()
 			return errAgain
 		}
 		return d.fail(err)
@@ -390,7 +402,7 @@ func (d *Decoder) acceptChunk() error {
 		// trim its resend buffer.
 		d.pos = len(d.frame)
 		d.dups++
-		obsDupChunks.Inc()
+		d.ob.dupChunks.Inc()
 		if d.OnChunk != nil {
 			d.OnChunk(d.expectChunk - 1)
 		}
@@ -404,7 +416,7 @@ func (d *Decoder) acceptChunk() error {
 		// marked degraded.
 		gap := int(seq - d.expectChunk)
 		d.skippedFrames += gap
-		obsSkippedFrames.Add(uint64(gap))
+		d.ob.skippedFrames.Add(uint64(gap))
 	}
 	d.expectChunk = seq + 1
 	d.seenChunk = true
@@ -609,7 +621,7 @@ func (d *Decoder) Next() (trace.Event, error) {
 				// rest of it, honestly counted.
 				d.pos = len(d.frame)
 				d.skippedFrames++
-				obsSkippedFrames.Inc()
+				d.ob.skippedFrames.Inc()
 				continue
 			}
 			return trace.Event{}, d.fail(err)

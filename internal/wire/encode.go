@@ -25,9 +25,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // (ResumableClient) keeps them until the receiver acknowledges the chunk,
 // so they can be replayed verbatim over a new connection after Reset.
 type Encoder struct {
-	w      *bufio.Writer
-	buf    []byte // current frame payload under construction
-	tmp    [binary.MaxVarintLen64]byte
+	w       *bufio.Writer
+	buf     []byte // current frame payload under construction
+	tmp     [binary.MaxVarintLen64]byte
 	scratch []byte            // serialized frame under construction
 	intern  map[string]uint64 // string → 1-based id
 	// FrameSize is the payload size that triggers a frame write; set

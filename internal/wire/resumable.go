@@ -37,6 +37,7 @@ type serverMsg struct {
 	ShardPanics   int    `json:"shard_panics"`
 	Resumes       int    `json:"resumes"`
 	SessionID     string `json:"session"`
+	Seq           uint64 `json:"seq"`
 }
 
 func (m *serverMsg) summary() Summary {
@@ -51,6 +52,7 @@ func (m *serverMsg) summary() Summary {
 		ShardPanics:   m.ShardPanics,
 		Resumes:       m.Resumes,
 		SessionID:     m.SessionID,
+		Seq:           m.Seq,
 	}
 }
 

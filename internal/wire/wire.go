@@ -160,16 +160,34 @@ var ErrSync = errors.New("wire: lost frame sync")
 // expected chunk (a resuming client replayed too little), in strict mode.
 var ErrChunkGap = errors.New("wire: chunk sequence gap")
 
-// Resync metrics: bytes skipped scanning for a sync marker, whole frames
-// dropped (undecodable but CRC-valid, or lost in a chunk-sequence gap), and
-// resync scans entered. Duplicate chunks skipped during a session resume
-// are counted separately — they are protocol-normal, not corruption.
-var (
-	obsSkippedBytes  = obs.GetCounter("wire.resync_skipped_bytes")
-	obsSkippedFrames = obs.GetCounter("wire.resync_skipped_frames")
-	obsResyncs       = obs.GetCounter("wire.resyncs")
-	obsDupChunks     = obs.GetCounter("wire.dup_chunks")
-)
+// wireObs bundles the resync metrics: bytes skipped scanning for a sync
+// marker, whole frames dropped (undecodable but CRC-valid, or lost in a
+// chunk-sequence gap), and resync scans entered. Duplicate chunks skipped
+// during a session resume are counted separately — they are
+// protocol-normal, not corruption. Decoders record into the process-global
+// set until SetObs points them at a scope (an rd2d session registry).
+type wireObs struct {
+	skippedBytes  *obs.Counter
+	skippedFrames *obs.Counter
+	resyncs       *obs.Counter
+	dupChunks     *obs.Counter
+}
+
+func newWireObs(reg *obs.Registry) *wireObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &wireObs{
+		skippedBytes:  reg.Counter("wire.resync_skipped_bytes"),
+		skippedFrames: reg.Counter("wire.resync_skipped_frames"),
+		resyncs:       reg.Counter("wire.resyncs"),
+		dupChunks:     reg.Counter("wire.dup_chunks"),
+	}
+}
+
+// defaultWireObs is the process-global instrument set, shared by every
+// decoder not pointed at a scope via SetObs.
+var defaultWireObs = newWireObs(nil)
 
 // SniffLen is the number of bytes needed to recognize the format (Sniff).
 const SniffLen = len(Magic)
