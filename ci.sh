@@ -42,6 +42,16 @@
 #                 worker pool fully serialized, the others with real
 #                 preemption.
 #   -stamp-only   run only the parallel-stamping smoke (used by `make stamp-smoke`).
+#   -fleet        additionally run the fleet-scheduling smoke: the fleet test
+#                 suite (differential, admission, chaos, starvation) under
+#                 -race and again under -tags=clockcheck, then live binaries:
+#                 a fleet-vs-perconn differential streaming the whole
+#                 examples/traces corpus through both daemon modes and
+#                 requiring byte-identical JSONL verdicts, and a fairness
+#                 smoke where a quota-compliant background tenant must keep
+#                 >= 80% of its isolated ingest rate while a hot tenant
+#                 saturates the shared worker pool.
+#   -fleet-only   run only the fleet-scheduling smoke (used by `make fleet-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
@@ -55,6 +65,8 @@ CHAOS=0
 CHAOSONLY=0
 STAMP=0
 STAMPONLY=0
+FLEET=0
+FLEETONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
@@ -66,11 +78,13 @@ for arg in "$@"; do
     -chaos-only) CHAOS=1; CHAOSONLY=1 ;;
     -stamp) STAMP=1 ;;
     -stamp-only) STAMP=1; STAMPONLY=1 ;;
-    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only] [-stamp|-stamp-only]" >&2; exit 2 ;;
+    -fleet) FLEET=1 ;;
+    -fleet-only) FLEET=1; FLEETONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only] [-stamp|-stamp-only] [-fleet|-fleet-only]" >&2; exit 2 ;;
     esac
 done
 ONLY=0
-if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ] || [ "$STAMPONLY" = 1 ]; then
+if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ] || [ "$STAMPONLY" = 1 ] || [ "$FLEETONLY" = 1 ]; then
     ONLY=1
 else
     # The streaming smoke is part of the default CI path.
@@ -419,6 +433,120 @@ if [ "$STAMP" = 1 ]; then
             ./internal/hb ./internal/pipeline ./internal/core
     done
     echo "stamp smoke OK"
+fi
+
+if [ "$FLEET" = 1 ]; then
+    echo "== fleet: scheduler + daemon tests (-race) =="
+    go test -race -timeout 180s ./internal/fleet
+    go test -race -timeout 300s -run 'TestFleet|TestMaxSessionsCap' ./cmd/rd2d
+
+    echo "== fleet: differential + chaos under -tags=clockcheck (poisoned snapshots) =="
+    go test -tags=clockcheck -count=1 -timeout 300s \
+        -run 'TestFleetDifferentialCorpus|TestFleetMultiTenantChaos' ./cmd/rd2d
+
+    echo "== fleet: live fleet-vs-perconn differential over examples/traces =="
+    FLEETTMP=$(mktemp -d)
+    FLEETPID=""
+    HOTPIDS=""
+    cleanup_fleet() {
+        [ -n "$FLEETPID" ] && kill "$FLEETPID" 2>/dev/null || true
+        for p in $HOTPIDS; do kill "$p" 2>/dev/null || true; done
+        rm -rf "$FLEETTMP"
+        [ -n "${CHAOSTMP:-}" ] && rm -rf "$CHAOSTMP" || true
+        [ -n "${WIRETMP:-}" ] && rm -rf "$WIRETMP" || true
+        [ -n "${OBSTMP:-}" ] && rm -rf "$OBSTMP" || true
+    }
+    trap cleanup_fleet EXIT
+    FLEETADDR=127.0.0.1:36093
+    go build -o "$FLEETTMP/rd2" ./cmd/rd2
+    go build -o "$FLEETTMP/rd2d" ./cmd/rd2d
+
+    # Stream the whole corpus through both daemon modes; after stripping the
+    # daemon-assigned session id and seq, the JSONL verdicts must be
+    # byte-identical. -compact-every 0 on both sides so point-clock
+    # renderings cannot drift with compaction timing.
+    for mode in perconn fleet; do
+        if [ "$mode" = fleet ]; then
+            MODEFLAGS="-fleet -fleet-workers 2 -max-sessions 64"
+        else
+            MODEFLAGS=""
+        fi
+        # shellcheck disable=SC2086
+        "$FLEETTMP/rd2d" -listen "$FLEETADDR" -q -compact-every 0 $MODEFLAGS \
+            -report "$FLEETTMP/$mode.jsonl" 2> "$FLEETTMP/$mode.log" &
+        FLEETPID=$!
+        for tracefile in examples/traces/*; do
+            rc=0
+            timeout 60 "$FLEETTMP/rd2" -trace "$tracefile" -send "$FLEETADDR" \
+                -send-wait 10s -tenant smoke -q || rc=$?
+            [ "$rc" -le 1 ] || {
+                echo "fleet smoke ($mode): rd2 -send $tracefile rc $rc" >&2
+                cat "$FLEETTMP/$mode.log" >&2
+                exit 1
+            }
+        done
+        kill -TERM "$FLEETPID"
+        rc=0
+        wait "$FLEETPID" || rc=$?
+        FLEETPID=""
+        [ "$rc" -le 1 ] || { echo "fleet smoke ($mode): rd2d rc $rc" >&2; cat "$FLEETTMP/$mode.log" >&2; exit 1; }
+        sed 's/^{"session":"[^"]*","seq":[0-9]*,/{/' "$FLEETTMP/$mode.jsonl" \
+            | sort > "$FLEETTMP/$mode.sorted"
+    done
+    if ! diff -q "$FLEETTMP/perconn.sorted" "$FLEETTMP/fleet.sorted" > /dev/null; then
+        echo "fleet smoke: fleet-mode verdicts differ from per-conn verdicts" >&2
+        diff "$FLEETTMP/perconn.sorted" "$FLEETTMP/fleet.sorted" | head >&2
+        exit 1
+    fi
+    [ -s "$FLEETTMP/fleet.sorted" ] || { echo "fleet smoke: corpus produced no race records" >&2; exit 1; }
+    echo "fleet smoke: $(wc -l < "$FLEETTMP/fleet.sorted") verdicts byte-identical across modes"
+
+    echo "== fleet: fairness smoke (hot tenant vs quota-compliant background tenant) =="
+    # The background tenant is paced by its own 5000 events/s token bucket;
+    # a saturating hot tenant (three unthrottled streams) must not push its
+    # ingest below 80% of the isolated rate, i.e. the contended send may
+    # take at most 1.25x the isolated send (plus a fixed scheduling slack).
+    go run ./cmd/tracegen -seed 5 -threads 4 -ops-min 400 -ops-max 400 > "$FLEETTMP/bg.trace"
+    go run ./cmd/tracegen -seed 9 -threads 4 -ops-min 20000 -ops-max 20000 > "$FLEETTMP/hot.trace"
+    "$FLEETTMP/rd2d" -listen "$FLEETADDR" -q -fleet -fleet-workers 2 \
+        -tenant-quota 'bg:events=5000,burst=250' 2> "$FLEETTMP/fair.log" &
+    FLEETPID=$!
+
+    T0=$(date +%s%N)
+    rc=0
+    timeout 60 "$FLEETTMP/rd2" -trace "$FLEETTMP/bg.trace" -send "$FLEETADDR" \
+        -send-wait 10s -tenant bg -q || rc=$?
+    [ "$rc" -le 1 ] || { echo "fleet smoke: isolated bg send rc $rc" >&2; cat "$FLEETTMP/fair.log" >&2; exit 1; }
+    T1=$(date +%s%N)
+    D_ISO=$(( (T1 - T0) / 1000000 ))
+
+    for i in 1 2 3; do
+        timeout 120 "$FLEETTMP/rd2" -trace "$FLEETTMP/hot.trace" -send "$FLEETADDR" \
+            -send-wait 10s -tenant hot -q 2>/dev/null &
+        HOTPIDS="$HOTPIDS $!"
+    done
+    sleep 0.3 # let the hot tenant get resident and saturate the pool
+    T0=$(date +%s%N)
+    rc=0
+    timeout 60 "$FLEETTMP/rd2" -trace "$FLEETTMP/bg.trace" -send "$FLEETADDR" \
+        -send-wait 10s -tenant bg -q || rc=$?
+    [ "$rc" -le 1 ] || { echo "fleet smoke: contended bg send rc $rc" >&2; cat "$FLEETTMP/fair.log" >&2; exit 1; }
+    T1=$(date +%s%N)
+    D_HOT=$(( (T1 - T0) / 1000000 ))
+    for p in $HOTPIDS; do wait "$p" || true; done
+    HOTPIDS=""
+
+    LIMIT=$(( D_ISO * 5 / 4 + 150 ))
+    echo "fleet smoke: bg isolated ${D_ISO}ms, under hot tenant ${D_HOT}ms (limit ${LIMIT}ms)"
+    [ "$D_HOT" -le "$LIMIT" ] || {
+        echo "fleet smoke: background tenant fell below 80% of its isolated ingest rate" >&2
+        cat "$FLEETTMP/fair.log" >&2
+        exit 1
+    }
+    kill -TERM "$FLEETPID"
+    wait "$FLEETPID" 2>/dev/null || true
+    FLEETPID=""
+    echo "fleet smoke OK"
 fi
 
 echo "CI OK"

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -89,6 +90,15 @@ func checkAllocs() int {
 	h := scope.Histogram("check.histogram")
 	tm := scope.Timer("check.timer_ns")
 	sp := scope.Span(obs.StageDetect)
+	// Fleet scheduler instruments (DESIGN.md §14): the per-event tenant
+	// throttle fast path and the per-quantum schedule span are the two
+	// calls on the fleet hot path, so they share the zero-alloc contract.
+	freg := obs.NewRegistry()
+	fsched := fleet.New(fleet.Config{Obs: freg})
+	fth := fsched.Throttle("obscheck")
+	fquanta := freg.Counter("fleet.quanta")
+	frunnable := freg.Gauge("fleet.runnable")
+	fsp := freg.Span(obs.StageSchedule)
 	fail := 0
 	for _, op := range []struct {
 		name string
@@ -101,6 +111,10 @@ func checkAllocs() int {
 		{"histogram.Observe", func() { h.Observe(500) }},
 		{"timer.ObserveSince", func() { tm.ObserveSince(tm.Start()) }},
 		{"span.Start/End", func() { sp.End(sp.Start(), 7) }},
+		{"fleet.Throttle.Wait", func() { fth.Wait(1) }},
+		{"fleet.quanta.Inc", func() { fquanta.Inc() }},
+		{"fleet.runnable.Add", func() { frunnable.Add(1) }},
+		{"fleet stage.schedule span", func() { fsp.End(fsp.Start(), 1) }},
 	} {
 		if n := testing.AllocsPerRun(1000, op.fn); n != 0 {
 			fmt.Fprintf(os.Stderr, "obscheck: disabled %s allocates %v per op, want 0\n", op.name, n)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// busyDaemon is a minimal fake rd2d that rejects every session at admission:
+// it writes a busy summary line, half-closes, and drains the client's bytes,
+// mirroring the daemon's rejectBusy path. accepts counts attempts so tests
+// can assert the retry loop honored -retries.
+func busyDaemon(t *testing.T) (addr string, accepts *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepts = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				line, _ := json.Marshal(wire.Summary{Busy: true, Error: "fleet: busy: session table full"})
+				conn.Write(append(line, '\n')) //nolint:errcheck
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.CloseWrite() //nolint:errcheck
+				}
+				conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+				io.Copy(io.Discard, conn)                             //nolint:errcheck
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), accepts
+}
+
+func openTrace(t *testing.T, content string) *os.File {
+	t.Helper()
+	path := writeFile(t, "busy.trace", content)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestSendBusyExhaustsRetries(t *testing.T) {
+	addr, accepts := busyDaemon(t)
+	f := openTrace(t, cleanTrace)
+	code := runSend(addr, time.Second, f, false, "", "", 1)
+	if code != exitBusy {
+		t.Fatalf("exit = %d, want %d (busy)", code, exitBusy)
+	}
+	// -retries 1 bounds busy retries: the initial attempt plus one retry.
+	if got := accepts.Load(); got != 2 {
+		t.Fatalf("daemon saw %d attempts, want 2", got)
+	}
+}
+
+func TestSendBusyResumableExhaustsRetries(t *testing.T) {
+	addr, _ := busyDaemon(t)
+	f := openTrace(t, cleanTrace)
+	code := runSend(addr, time.Second, f, false, "sess-busy", "acme", 0)
+	if code != exitBusy {
+		t.Fatalf("exit = %d, want %d (busy)", code, exitBusy)
+	}
+}

@@ -35,13 +35,19 @@
 // The exit status is 1 when races were found, 2 on usage or input errors.
 // -send distinguishes its failure modes: 3 when the initial dial fails,
 // 4 when the connection is lost mid-stream (and, with -resume, could not be
-// recovered), 5 when the stream was delivered but the summary read failed.
+// recovered), 5 when the stream was delivered but the summary read failed,
+// 6 when the daemon rejected the session at admission (busy: session table
+// full or tenant over quota) and the -retries backoff attempts ran out.
+// -tenant stamps the stream's hello with a tenant id for the daemon's
+// per-tenant quota accounting and fair scheduling (-fleet mode of rd2d).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -103,7 +109,8 @@ func run(args []string) int {
 	sendWait := fs.Duration("send-wait", 5*time.Second, "with -send: how long to retry the initial connection")
 	resume := fs.Bool("resume", false, "with -send: open a resumable session (reconnect and resume after mid-stream connection loss)")
 	session := fs.String("session", "", "with -send: client-chosen session id (implies -resume; default: derived unique id)")
-	retries := fs.Int("retries", wire.DefaultRetries, "with -resume: redial attempts per connection failure")
+	retries := fs.Int("retries", wire.DefaultRetries, "with -resume: redial attempts per connection failure (also bounds busy-reject retries)")
+	tenant := fs.String("tenant", "", "with -send: tenant id carried in the stream hello (daemon-side quota accounting and fair scheduling)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -163,7 +170,7 @@ func run(args []string) int {
 		if sid == "" && *resume {
 			sid = fmt.Sprintf("rd2-%d-%d", os.Getpid(), time.Now().UnixNano())
 		}
-		return runSend(*send, *sendWait, f, *validate, sid, *retries)
+		return runSend(*send, *sendWait, f, *validate, sid, *tenant, *retries)
 	}
 
 	// Auto-detect the trace format by magic header: RDB2 binary (.rdb) or
@@ -340,6 +347,14 @@ const (
 	exitDial        = 3 // could not establish the initial connection
 	exitSend        = 4 // connection lost mid-stream (and, with -resume, not recovered)
 	exitSummaryRead = 5 // stream delivered, but the summary read failed
+	exitBusy        = 6 // daemon rejected the session at admission; retries exhausted
+)
+
+// Busy-reject retry pacing: a rejected session is retried from the top of
+// the trace (the daemon ingested nothing) with doubling backoff.
+const (
+	busyBackoff    = 200 * time.Millisecond
+	busyMaxBackoff = 5 * time.Second
 )
 
 // sendClient is the surface shared by the plain and resumable clients.
@@ -353,25 +368,55 @@ type sendClient interface {
 // The initial connection is retried until wait elapses (so scripted runs
 // can start daemon and sender together). With a session id the stream is
 // resumable: a mid-stream connection loss is retried with exponential
-// backoff and the session resumes from the last acknowledged chunk.
-func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid string, retries int) int {
+// backoff and the session resumes from the last acknowledged chunk. A busy
+// reject (the daemon's admission control shed the session before ingesting
+// anything) is retried from the top of the trace with doubling backoff,
+// up to retries attempts; exit code 6 when they run out.
+func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int) int {
+	backoff := busyBackoff
+	for attempt := 0; ; attempt++ {
+		code, busy := sendOnce(addr, wait, f, validate, sid, tenant, retries)
+		if !busy {
+			return code
+		}
+		if attempt >= retries {
+			fmt.Fprintf(os.Stderr, "rd2: daemon busy after %d attempts (raise -retries or shed load)\n", attempt+1)
+			return exitBusy
+		}
+		fmt.Fprintf(os.Stderr, "rd2: daemon busy, retrying in %v\n", backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > busyMaxBackoff {
+			backoff = busyMaxBackoff
+		}
+		// The daemon ingested nothing from a rejected session: replay the
+		// whole trace file on the next attempt.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
+			return exitUsage
+		}
+	}
+}
+
+// sendOnce performs one full send attempt. busy reports a daemon-side
+// admission reject, which the caller may retry after backoff.
+func sendOnce(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int) (code int, busy bool) {
 	var src trace.Source
 	if validate {
 		tr, err := wire.ParseAny(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return exitUsage
+			return exitUsage, false
 		}
 		if err := trace.Validate(tr); err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return exitUsage
+			return exitUsage, false
 		}
 		src = tr.Source()
 	} else {
 		var err error
 		if src, err = wire.NewSource(f); err != nil {
 			fmt.Fprintf(os.Stderr, "rd2: %v\n", err)
-			return exitUsage
+			return exitUsage, false
 		}
 	}
 
@@ -386,36 +431,59 @@ func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid str
 				rc.OnResume = func(replayed int) {
 					fmt.Fprintf(os.Stderr, "rd2: reconnected, replayed %d chunks\n", replayed)
 				}
+				if tenant != "" {
+					if terr := rc.SetTenant(tenant); terr != nil {
+						fmt.Fprintf(os.Stderr, "rd2: %v\n", terr)
+						return exitUsage, false
+					}
+				}
 				cl = rc
 				break
 			}
 		} else {
 			var pc *wire.Client
 			if pc, err = wire.Dial(addr, time.Second); err == nil {
+				if tenant != "" {
+					if terr := pc.SetTenant(tenant); terr != nil {
+						fmt.Fprintf(os.Stderr, "rd2: %v\n", terr)
+						return exitUsage, false
+					}
+				}
 				cl = pc
 				break
 			}
 		}
 		if time.Now().After(deadline) {
 			fmt.Fprintf(os.Stderr, "rd2: dial failed: %v (is rd2d running on %s?)\n", err, addr)
-			return exitDial
+			return exitDial, false
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 
 	if err := cl.SendSource(src); err != nil {
+		if errors.Is(err, wire.ErrBusy) {
+			return 0, true // resumable client: reconnect short-circuited on a busy reject
+		}
+		// The daemon may have stopped reading because it rejected the
+		// session: salvage the summary line before declaring a send failure.
+		if sum, cerr := cl.Close(2 * time.Second); errors.Is(cerr, wire.ErrBusy) || sum.Busy {
+			return 0, true
+		}
 		cl.Abort()
 		if sid != "" {
 			fmt.Fprintf(os.Stderr, "rd2: mid-stream send failed after %d reconnect attempts: %v\n", retries, err)
 		} else {
 			fmt.Fprintf(os.Stderr, "rd2: mid-stream send failed: %v (use -resume to survive connection loss)\n", err)
 		}
-		return exitSend
+		return exitSend, false
 	}
 	sum, err := cl.Close(30 * time.Second)
+	if errors.Is(err, wire.ErrBusy) || sum.Busy {
+		return 0, true
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rd2: stream delivered but summary read failed: %v (check the daemon's report output)\n", err)
-		return exitSummaryRead
+		return exitSummaryRead, false
 	}
 	fmt.Printf("rd2: streamed %d events to %s: %d commutativity races\n",
 		sum.Events, addr, sum.Races)
@@ -428,12 +496,12 @@ func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid str
 	}
 	if sum.Error != "" {
 		fmt.Fprintf(os.Stderr, "rd2: daemon: %s\n", sum.Error)
-		return exitUsage
+		return exitUsage, false
 	}
 	if sum.Races > 0 {
-		return exitRaces
+		return exitRaces, false
 	}
-	return 0
+	return 0, false
 }
 
 // raceJSON is the machine-readable form of one race report.

@@ -7,12 +7,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ap"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -29,6 +31,7 @@ var (
 	obsBytes     = obs.GetCounter("rd2d.bytes")
 	obsSessions  = obs.GetCounter("rd2d.sessions_done")
 	obsDrainCuts = obs.GetCounter("rd2d.sessions_drained")
+	obsBusy      = obs.GetCounter("rd2d.busy_rejects")
 )
 
 // daemonConfig is the resolved configuration of a daemon instance.
@@ -54,6 +57,17 @@ type daemonConfig struct {
 	// Fault injection (ci.sh -chaos; inert when zero).
 	injectRepPanic    int64 // panic on the N-th rep Touch per session
 	injectWorkerPanic int   // panic on the N-th event in the session worker
+
+	// Fleet scheduling (DESIGN.md §14). maxSessions and the quota fields
+	// are enforced even with fleet off — the scheduler always exists and
+	// gates admission; only the shared worker pool is opt-in.
+	fleet        bool                   // run sessions on the shared worker pool
+	fleetWorkers int                    // pool size; 0 = GOMAXPROCS
+	maxSessions  int                    // resident session cap; 0 = unbounded
+	globalRate   float64                // daemon-wide events/s budget; 0 = unlimited
+	fleetQuantum int                    // DRR grant per tenant round; 0 = fleet.DefaultQuantum
+	defaultQuota fleet.Quota            // quota for tenants not in tenantQuotas
+	tenantQuotas map[string]fleet.Quota // per-tenant overrides
 }
 
 // DefaultWriteTimeout bounds summary and ack writes to dead clients.
@@ -65,8 +79,9 @@ const DefaultWriteTimeout = 5 * time.Second
 // session per connection; hello-framed streams open resumable sessions
 // that survive connection loss (see session.go).
 type daemon struct {
-	cfg daemonConfig
-	ln  net.Listener
+	cfg   daemonConfig
+	ln    net.Listener
+	sched *fleet.Scheduler
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -103,13 +118,31 @@ func newDaemon(addr string, cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{
+	d := &daemon{
 		cfg:      cfg,
 		ln:       ln,
 		conns:    map[net.Conn]struct{}{},
 		sessions: map[string]*session{},
 		tracked:  map[string]*session{},
-	}, nil
+	}
+	workers := 0
+	if cfg.fleet {
+		workers = cfg.fleetWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	d.sched = fleet.New(fleet.Config{
+		Workers:            workers,
+		MaxSessions:        cfg.maxSessions,
+		GlobalEventsPerSec: cfg.globalRate,
+		Quantum:            cfg.fleetQuantum,
+		Default:            cfg.defaultQuota,
+		Tenants:            cfg.tenantQuotas,
+		Obs:                d.obsRoot(),
+		Logf:               cfg.logger.Printf,
+	})
+	return d, nil
 }
 
 // obsRoot returns the registry session scopes hang under.
@@ -150,6 +183,10 @@ func (d *daemon) Serve() error {
 		if err != nil {
 			d.finalizeParked()
 			d.wg.Wait()
+			// Every session has finalized; stop the fleet workers (Stop
+			// drains any quanta still queued, so it must come after the
+			// finalize sweep, never before).
+			d.sched.Stop()
 			if d.isDraining() {
 				return nil
 			}
@@ -313,16 +350,29 @@ func (d *daemon) handle(conn net.Conn) {
 		return
 	}
 
+	tenant := dec.Tenant()
+	if tenant == "" {
+		tenant = fleet.DefaultTenant
+	}
+
 	if sid == "" {
 		// Plain stream: the session lives and dies with this connection.
-		s := d.newSession("")
-		s.logf("connected (%s)", conn.RemoteAddr())
+		release, aerr := d.sched.Admit(tenant)
+		if aerr != nil {
+			d.rejectBusy(conn, "", tenant, aerr)
+			return
+		}
+		s := d.newSession("", tenant)
+		s.admit = release
+		s.logf("connected (%s, tenant %q)", conn.RemoteAddr(), tenant)
 		s.setConn(conn)
 		dec.SetObs(s.scope)
+		th := d.sched.Throttle(tenant)
 		s.mu.Lock()
 		s.dec = dec
+		s.th = th
 		s.mu.Unlock()
-		err := d.readLoop(s, dec)
+		err := d.readLoop(s, dec, th)
 		d.classifyEnd(s, err)
 		sum := s.finalize()
 		d.writeJSON(conn, sum)
@@ -332,8 +382,12 @@ func (d *daemon) handle(conn net.Conn) {
 	}
 
 	// Resumable stream: route to a (possibly existing) session.
-	s, resumed, err := d.routeSession(sid, dec)
+	s, resumed, err := d.routeSession(sid, tenant, dec)
 	if err != nil {
+		if isBusy(err) {
+			d.rejectBusy(conn, sid, tenant, err)
+			return
+		}
 		d.cfg.logger.Printf("conn %s: %v", conn.RemoteAddr(), err)
 		d.writeJSON(conn, wire.Summary{SessionID: sid, Error: err.Error()})
 		return
@@ -357,7 +411,11 @@ func (d *daemon) handle(conn net.Conn) {
 		d.writeJSON(conn, map[string]uint64{"ack": acked})
 	}
 
-	err = d.readLoop(s, dec)
+	th := d.sched.Throttle(tenant)
+	s.mu.Lock()
+	s.th = th
+	s.mu.Unlock()
+	err = d.readLoop(s, dec, th)
 	if clean, _ := endOfStream(err, dec); clean {
 		s.clean.Store(true)
 		sum := s.finalize()
@@ -395,7 +453,7 @@ func nextChunk(dec *wire.Decoder) uint64 {
 // id is still attached to a live connection, that connection is poked and
 // given a moment to park (covers half-dead TCP peers the client already
 // gave up on); a second live claim loses.
-func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resumed bool, err error) {
+func (d *daemon) routeSession(sid, tenant string, dec *wire.Decoder) (s *session, resumed bool, err error) {
 	d.mu.Lock()
 	s, ok := d.sessions[sid]
 	if !ok {
@@ -403,7 +461,17 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 			d.mu.Unlock()
 			return nil, false, fmt.Errorf("draining: session %q rejected", sid)
 		}
-		s = d.newSession(sid)
+		// Admission happens under d.mu so two racing hellos for a new sid
+		// can never both reserve a slot for it. Resumes below bypass it:
+		// a parked session is already resident, and shedding a reconnect
+		// would strand detection state the daemon still holds.
+		release, aerr := d.sched.Admit(tenant)
+		if aerr != nil {
+			d.mu.Unlock()
+			return nil, false, aerr
+		}
+		s = d.newSession(sid, tenant)
+		s.admit = release
 		d.sessions[sid] = s
 		d.mu.Unlock()
 		dec.SetObs(s.scope)
@@ -413,6 +481,13 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 		return s, false, nil
 	}
 	d.mu.Unlock()
+	if s.tenant != tenant {
+		// The hello's tenant rides every replayed hello, so a mismatch is
+		// a client bug or a sid collision across tenants — never resume
+		// one tenant's session with another's credentials.
+		return nil, false, fmt.Errorf("session %q belongs to tenant %q, hello says %q",
+			sid, s.tenant, tenant)
+	}
 
 	deadline := time.Now().Add(2 * time.Second)
 	for {
@@ -452,12 +527,46 @@ func (d *daemon) routeSession(sid string, dec *wire.Decoder) (s *session, resume
 	}
 }
 
+// isBusy reports whether err is a fleet admission reject.
+func isBusy(err error) bool {
+	var busy *fleet.BusyError
+	return errors.As(err, &busy)
+}
+
+// busyDrainTimeout bounds how long a rejected connection is drained so
+// the producer can read the busy line before the socket closes.
+const busyDrainTimeout = 5 * time.Second
+
+// rejectBusy turns an admission reject into the wire-level busy
+// summary: write the line, half-close the write side so it is flushed
+// ahead of any reset, then drain whatever the producer already has in
+// flight (closing with unread inbound data would RST the connection and
+// race the reject line off the wire). Clients surface the line as
+// wire.ErrBusy and retry with backoff (rd2 -send exits 6 when retries
+// run out).
+func (d *daemon) rejectBusy(conn net.Conn, sid, tenant string, cause error) {
+	obsBusy.Inc()
+	d.failed.Add(1)
+	obsSessions.Inc()
+	d.cfg.logger.Printf("conn %s: busy reject (tenant %q): %v", conn.RemoteAddr(), tenant, cause)
+	d.writeJSON(conn, wire.Summary{SessionID: sid, Busy: true, Error: cause.Error()})
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(busyDrainTimeout))
+	io.Copy(io.Discard, conn)
+}
+
 // readLoop decodes events from one connection into the session queue until
 // the stream ends (whatever way), returning the terminal decode error. Each
 // decode is recorded in the session's stage.decode span (latency includes
 // waiting for bytes — the span's p99 is time-to-next-event as the worker
-// experiences it), and ingest counters land in the session scope.
-func (d *daemon) readLoop(s *session, dec *wire.Decoder) error {
+// experiences it), and ingest counters land in the session scope. Each
+// event is charged to the tenant's throttle before it is enqueued: an
+// over-quota tenant stalls right here, in its own connection's read
+// loop, and TCP flow control pushes back on exactly that producer. In
+// fleet mode the enqueue also wakes the session's run-queue entry.
+func (d *daemon) readLoop(s *session, dec *wire.Decoder, th *fleet.Throttle) error {
 	lastFrames := dec.Frames()
 	for {
 		start := s.ob.decode.Start()
@@ -470,6 +579,7 @@ func (d *daemon) readLoop(s *session, dec *wire.Decoder) error {
 			return err
 		}
 		s.ob.decode.End(start, 1)
+		th.Wait(1)
 		if obs.Enabled() {
 			select {
 			case s.queue <- e:
@@ -480,6 +590,9 @@ func (d *daemon) readLoop(s *session, dec *wire.Decoder) error {
 			s.ob.queue.Set(int64(len(s.queue)))
 		} else {
 			s.queue <- e
+		}
+		if s.entry != nil {
+			s.entry.Wake()
 		}
 	}
 }

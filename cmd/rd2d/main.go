@@ -39,6 +39,7 @@ import (
 	"repro/internal/ap"
 	"repro/internal/core"
 	"repro/internal/ecl"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/internal/trace"
@@ -66,6 +67,13 @@ func run(args []string) int {
 	resync := fs.Bool("resync", false, "corruption resync: skip corrupt frames and continue (session reports degraded)")
 	inject := fs.String("inject", "", "fault injection for chaos testing, e.g. rep-panic:100 or worker-panic:50")
 	compactOps := fs.Int("compact-every", 4096, "compact reclaimable detector state at most once per this many events (0 disables; compaction may trim dead-thread entries from reported point clocks)")
+	fleetMode := fs.Bool("fleet", false, "multi-tenant fleet scheduling: run sessions as quanta on a shared worker pool with per-tenant deficit-round-robin fairness (sessions stamp serially; -shards and -stampworkers apply only to per-conn mode)")
+	fleetWorkers := fs.Int("fleet-workers", 0, "fleet worker pool size (with -fleet; 0 = GOMAXPROCS)")
+	fleetQuantum := fs.Int("fleet-quantum", 0, "events granted per tenant scheduling round (0 = built-in default)")
+	maxSessions := fs.Int("max-sessions", 0, "reject new sessions beyond this resident count with a retryable busy summary (0 = unbounded; enforced with or without -fleet)")
+	globalRate := fs.Float64("global-events-per-sec", 0, "daemon-wide ingest budget; resident sessions overdraft it, but new sessions are rejected busy while it is overdrawn (0 = unlimited)")
+	tenantQuota := fs.String("tenant-quota", "",
+		"per-tenant quotas: 'name:events=5000,burst=500,sessions=4,arena=64MB;...' (name 'default' sets the quota for unlisted tenants)")
 	reportPath := fs.String("report", "", "stream structured race records (JSON Lines) to this file")
 	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (enables metrics)")
 	statsInterval := fs.Duration("stats-interval", 0, "emit a metrics snapshot to stderr at this interval (enables metrics)")
@@ -88,6 +96,20 @@ func run(args []string) int {
 		resync:       *resync,
 		compactOps:   *compactOps,
 		logger:       logger,
+		fleet:        *fleetMode,
+		fleetWorkers: *fleetWorkers,
+		fleetQuantum: *fleetQuantum,
+		maxSessions:  *maxSessions,
+		globalRate:   *globalRate,
+	}
+	if *tenantQuota != "" {
+		def, quotas, err := parseTenantQuotas(*tenantQuota)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 2
+		}
+		cfg.defaultQuota = def
+		cfg.tenantQuotas = quotas
 	}
 	if *quiet {
 		cfg.logger = nil
@@ -203,6 +225,80 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// parseTenantQuotas parses the -tenant-quota grammar: semicolon-separated
+// tenant entries, each 'name:key=value,...' with keys events (float,
+// events/s), burst (events), sessions (count), and arena (bytes, with an
+// optional K/M/G suffix). The tenant name 'default' sets the quota applied
+// to tenants without an entry.
+func parseTenantQuotas(spec string) (def fleet.Quota, quotas map[string]fleet.Quota, err error) {
+	quotas = map[string]fleet.Quota{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, body, ok := strings.Cut(entry, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return def, nil, fmt.Errorf("bad -tenant-quota entry %q (want name:key=value,...)", entry)
+		}
+		var q fleet.Quota
+		for _, kv := range strings.Split(body, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return def, nil, fmt.Errorf("bad -tenant-quota field %q in %q", kv, entry)
+			}
+			switch k {
+			case "events":
+				if q.EventsPerSec, err = strconv.ParseFloat(v, 64); err != nil || q.EventsPerSec < 0 {
+					return def, nil, fmt.Errorf("bad -tenant-quota events %q", v)
+				}
+			case "burst":
+				if q.Burst, err = strconv.Atoi(v); err != nil || q.Burst < 0 {
+					return def, nil, fmt.Errorf("bad -tenant-quota burst %q", v)
+				}
+			case "sessions":
+				if q.MaxSessions, err = strconv.Atoi(v); err != nil || q.MaxSessions < 0 {
+					return def, nil, fmt.Errorf("bad -tenant-quota sessions %q", v)
+				}
+			case "arena":
+				if q.MaxArenaBytes, err = parseBytes(v); err != nil {
+					return def, nil, fmt.Errorf("bad -tenant-quota arena %q: %v", v, err)
+				}
+			default:
+				return def, nil, fmt.Errorf("unknown -tenant-quota key %q (want events, burst, sessions, or arena)", k)
+			}
+		}
+		if name == "default" {
+			def = q
+		} else {
+			quotas[name] = q
+		}
+	}
+	return def, quotas, nil
+}
+
+// parseBytes parses a byte count with an optional K/M/G (or KB/MB/GB)
+// binary suffix.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}} {
+		if strings.HasSuffix(s, suf.tag) {
+			s, mult = strings.TrimSuffix(s, suf.tag), suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a non-negative byte count, e.g. 64MB")
+	}
+	return n * mult, nil
 }
 
 // parseInject arms the daemon's deterministic fault hooks from a comma

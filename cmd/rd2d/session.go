@@ -21,6 +21,7 @@ import (
 	"repro/internal/ap"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/hb"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -83,10 +84,18 @@ const DefaultResumeTTL = 30 * time.Second
 // connection read loop and the supervised analysis worker, plus the state
 // needed to park and resume across connections.
 type session struct {
-	d    *daemon
-	id   int64  // daemon-local ordinal (logging)
-	sid  string // client session id; "" = bound to one connection
-	name string // scope id: sid, or "conn-<id>" for plain sessions
+	d      *daemon
+	id     int64  // daemon-local ordinal (logging)
+	sid    string // client session id; "" = bound to one connection
+	name   string // scope id: sid, or "conn-<id>" for plain sessions
+	tenant string // quota/scheduling tenant (fleet.DefaultTenant when unset)
+
+	// Fleet-mode execution (nil with -fleet off): the run-queue entry on
+	// the shared scheduler and its serial runner. admit releases the
+	// session's admission reservation; finalize calls it (idempotent).
+	entry  *fleet.Entry
+	runner *fleetRunner
+	admit  func()
 
 	scope *obs.Registry // per-session metric scope (rolls up to the root)
 	ob    *sessObs
@@ -116,8 +125,9 @@ type session struct {
 
 	mu      sync.Mutex
 	state   int
-	conn    pokeable      // current connection (attached), for liveness pokes
-	dec     *wire.Decoder // decoder holding the stream's cross-conn state
+	conn    pokeable        // current connection (attached), for liveness pokes
+	dec     *wire.Decoder   // decoder holding the stream's cross-conn state
+	th      *fleet.Throttle // current connection's ingest throttle
 	ttl     *time.Timer
 	resumes int
 
@@ -135,11 +145,14 @@ type pokeable interface{ SetReadDeadline(time.Time) error }
 // own ingest instruments all record into it, and every write rolls up into
 // the global series, so /sessions and /metrics?session=ID attribute the
 // fleet numbers per tenant at no extra bookkeeping.
-func (d *daemon) newSession(sid string) *session {
+func (d *daemon) newSession(sid, tenant string) *session {
 	id := d.sessionSeq.Add(1)
 	name := sid
 	if name == "" {
 		name = fmt.Sprintf("conn-%d", id)
+	}
+	if tenant == "" {
+		tenant = fleet.DefaultTenant
 	}
 	scope := d.obsRoot().Scope("session", name)
 	s := &session{
@@ -147,6 +160,7 @@ func (d *daemon) newSession(sid string) *session {
 		id:         id,
 		sid:        sid,
 		name:       name,
+		tenant:     tenant,
 		scope:      scope,
 		ob:         newSessObs(scope),
 		queue:      make(chan trace.Event, d.cfg.queueLen),
@@ -155,7 +169,7 @@ func (d *daemon) newSession(sid string) *session {
 		registered: map[trace.ObjID]bool{},
 		en:         hb.NewObs(scope),
 	}
-	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces}
+	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces, Obs: scope}
 	if d.cfg.reporter != nil {
 		s.sr = d.cfg.reporter.Session(name)
 		ccfg.OnRace = func(r core.Race) {
@@ -165,13 +179,19 @@ func (d *daemon) newSession(sid string) *session {
 			s.ob.report.End(start, 1)
 		}
 	}
-	s.p = pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg, Obs: scope})
 	if d.cfg.injectRepPanic > 0 {
 		s.wrapRep = faultinject.WrapAllReps(d.cfg.injectRepPanic)
 	}
 	s.releaseGauge = obsActiveSessions.Enter()
 	d.track(s)
-	go s.work()
+	if d.cfg.fleet {
+		// Fleet mode: no private goroutine, no per-session shards. The
+		// session runs as quanta on the shared worker pool.
+		s.startFleet(ccfg)
+	} else {
+		s.p = pipeline.New(pipeline.Config{Shards: d.cfg.shards, Core: ccfg, Obs: scope})
+		go s.work()
+	}
 	return s
 }
 
@@ -439,7 +459,18 @@ func (s *session) finalize() wire.Summary {
 		}
 		s.mu.Unlock()
 		close(s.queue)
+		if s.entry != nil {
+			// Fleet mode: the closed queue is drained and collected by a
+			// shared worker; wake the entry so an idle session notices.
+			s.entry.Wake()
+		}
 		<-s.done
+		if s.entry != nil {
+			s.entry.Close()
+		}
+		if s.admit != nil {
+			s.admit()
+		}
 
 		s.mu.Lock()
 		sum := wire.Summary{

@@ -31,7 +31,9 @@ type stageStat struct {
 type sessionInfo struct {
 	Session  string `json:"session"`           // scope id (client sid or conn-<n>)
 	Ordinal  int64  `json:"ordinal"`           // daemon-local session number
+	Tenant   string `json:"tenant,omitempty"`  // quota/scheduling tenant
 	State    string `json:"state"`             // attached | parked | completed
+	Sched    string `json:"sched,omitempty"`   // fleet state: idle | runnable | running | throttled
 	Resumes  int    `json:"resumes,omitempty"` // times re-attached after a lost conn
 	Events   int    `json:"events"`            // events ingested off the wire
 	Races    uint64 `json:"races"`
@@ -52,6 +54,7 @@ func (s *session) info() sessionInfo {
 	in := sessionInfo{
 		Session: s.name,
 		Ordinal: s.id,
+		Tenant:  s.tenant,
 		Queue:   len(s.queue),
 		QueuePk: s.ob.queue.Peak(),
 		Races:   s.scope.Counter("core.races").Load(),
@@ -59,7 +62,16 @@ func (s *session) info() sessionInfo {
 	if s.sr != nil {
 		in.LastSeq = s.sr.Seq()
 	}
+	if s.entry != nil {
+		in.Sched = s.entry.State()
+	}
 	s.mu.Lock()
+	// A connection stalled in its tenant's throttle overrides the
+	// scheduler state: the session is not waiting for a worker, its
+	// producer is being rate limited.
+	if s.th != nil && s.th.Stalling() {
+		in.Sched = "throttled"
+	}
 	switch s.state {
 	case stateParked:
 		in.State = "parked"
@@ -130,6 +142,12 @@ func (d *daemon) httpHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(d.sessionInfos()) //nolint:errcheck // client went away
 	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.sched.Tenants()) //nolint:errcheck // client went away
+	})
 	return mux
 }
 
@@ -163,9 +181,10 @@ func (d *daemon) formatStatsTable(up, every time.Duration, prev map[string]int) 
 	infos := d.sessionInfos()
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- rd2d sessions @ %s --\n", up.Round(time.Millisecond))
-	fmt.Fprintf(&b, "  %-24s %-10s %10s %8s %7s %7s\n",
-		"SESSION", "STATE", "EVENTS", "EV/S", "QUEUE", "RACES")
+	fmt.Fprintf(&b, "  %-24s %-12s %-10s %-10s %10s %8s %7s %7s\n",
+		"SESSION", "TENANT", "STATE", "SCHED", "EVENTS", "EV/S", "QUEUE", "RACES")
 	totEvents, totRate, totQueue, totRaces := 0, 0.0, 0, uint64(0)
+	tenantRate := map[string]float64{}
 	seen := map[string]bool{}
 	for _, in := range infos {
 		rate := float64(in.Events-prev[in.Session]) / every.Seconds()
@@ -178,19 +197,30 @@ func (d *daemon) formatStatsTable(up, every time.Duration, prev map[string]int) 
 		if in.Degraded {
 			flags = " !degraded"
 		}
-		fmt.Fprintf(&b, "  %-24s %-10s %10d %8.0f %7d %7d%s\n",
-			in.Session, in.State, in.Events, rate, in.Queue, in.Races, flags)
+		sched := in.Sched
+		if sched == "" {
+			sched = "-"
+		}
+		fmt.Fprintf(&b, "  %-24s %-12s %-10s %-10s %10d %8.0f %7d %7d%s\n",
+			in.Session, in.Tenant, in.State, sched, in.Events, rate, in.Queue, in.Races, flags)
 		totEvents += in.Events
 		totRate += rate
 		totQueue += in.Queue
 		totRaces += in.Races
+		tenantRate[in.Tenant] += rate
 	}
 	for name := range prev {
 		if !seen[name] {
 			delete(prev, name) // session lingered out; stop charging its rate
 		}
 	}
-	fmt.Fprintf(&b, "  %-24s %-10s %10d %8.0f %7d %7d\n",
-		"TOTAL", fmt.Sprintf("%d sess", len(infos)), totEvents, totRate, totQueue, totRaces)
+	fmt.Fprintf(&b, "  %-24s %-12s %-10s %-10s %10d %8.0f %7d %7d\n",
+		"TOTAL", "", fmt.Sprintf("%d sess", len(infos)), "", totEvents, totRate, totQueue, totRaces)
+	// Per-tenant rollup: resident sessions, cumulative throttled events,
+	// admission rejects, and this tick's ingest rate.
+	for _, ts := range d.sched.Tenants() {
+		fmt.Fprintf(&b, "  tenant %-17s %12s %8.0f ev/s %8d rejects\n",
+			ts.Name, fmt.Sprintf("%d sess", ts.Sessions), tenantRate[ts.Name], ts.Rejects)
+	}
 	return b.String()
 }

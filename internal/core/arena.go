@@ -11,6 +11,7 @@ package core
 
 import (
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/ap"
 	"repro/internal/vclock"
@@ -46,7 +47,17 @@ type backendArena struct {
 	// escape to the user, so these carves are never recycled — the slab only
 	// amortizes their allocation.
 	reportSlab []uint64
+
+	// allocBytes counts every byte the arena has requested from the Go heap
+	// (slabs, tables, oversized clocks). It is monotone — the arena recycles
+	// internally and never returns memory to the GC — so it is an upper
+	// bound on the detector's resident footprint, which the fleet scheduler
+	// charges against per-tenant arena-byte quotas.
+	allocBytes int64
 }
+
+// account charges n freshly heap-allocated bytes to the arena footprint.
+func (a *backendArena) account(n int) { a.allocBytes += int64(n) }
 
 // newObjState returns a zeroed objState, recycled or carved from a slab.
 func (a *backendArena) newObjState() *objState {
@@ -60,6 +71,7 @@ func (a *backendArena) newObjState() *objState {
 	}
 	if len(a.objSlab) == 0 {
 		a.objSlab = make([]objState, objSlabLen)
+		a.account(objSlabLen * int(unsafe.Sizeof(objState{})))
 	}
 	st := &a.objSlab[0]
 	a.objSlab = a.objSlab[1:]
@@ -90,6 +102,8 @@ func (a *backendArena) newTable(capacity int) *ptTable {
 			return t
 		}
 	}
+	a.account(int(unsafe.Sizeof(ptTable{})) +
+		capacity*int(1+unsafe.Sizeof(ap.Point{})+unsafe.Sizeof(ptState{})))
 	return &ptTable{
 		mask:   uint64(capacity - 1),
 		used:   make([]bool, capacity),
@@ -143,9 +157,11 @@ func (a *backendArena) cloneClock(c vclock.VC, minCap int) vclock.VC {
 	if out == nil {
 		if minCap > clockSlabWords/4 {
 			out = make(vclock.VC, w, minCap)
+			a.account(minCap * 8)
 		} else {
 			if len(a.clockSlab) < minCap {
 				a.clockSlab = make([]uint64, clockSlabWords)
+				a.account(clockSlabWords * 8)
 			}
 			// Three-index carve: cap is pinned to the carved region so a
 			// later grow of this clock can never alias the next carve.
@@ -181,11 +197,13 @@ func (a *backendArena) reportClock(c vclock.VC) vclock.VC {
 	}
 	if w > clockSlabWords/4 {
 		out := make(vclock.VC, w)
+		a.account(w * 8)
 		copy(out, c)
 		return out
 	}
 	if len(a.reportSlab) < w {
 		a.reportSlab = make([]uint64, clockSlabWords)
+		a.account(clockSlabWords * 8)
 	}
 	out := vclock.VC(a.reportSlab[0:w:w])
 	a.reportSlab = a.reportSlab[w:]
@@ -201,10 +219,12 @@ func (a *backendArena) reportClock(c vclock.VC) vclock.VC {
 func (a *backendArena) reportEpochVC(e vclock.Epoch) vclock.VC {
 	w := int(e.T) + 1
 	if w > clockSlabWords/4 {
+		a.account(w * 8)
 		return e.VC()
 	}
 	if len(a.reportSlab) < w {
 		a.reportSlab = make([]uint64, clockSlabWords)
+		a.account(clockSlabWords * 8)
 	}
 	out := vclock.VC(a.reportSlab[0:w:w])
 	a.reportSlab = a.reportSlab[w:]

@@ -546,6 +546,13 @@ func (d *Detector) Races() []Race { return d.races }
 // Stats returns a snapshot of the counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// ArenaBytes returns the total bytes the detector's arena has requested
+// from the heap. The arena recycles internally and never frees, so this is
+// a monotone upper bound on the detector's resident detection-state
+// footprint — the figure the fleet scheduler charges against per-tenant
+// arena-byte quotas.
+func (d *Detector) ArenaBytes() int64 { return d.arena.allocBytes }
+
 // StatSnapshot exposes the counters through the unified obs.StatSource
 // surface (the order matches the Stats struct).
 func (s Stats) StatSnapshot() []obs.Stat {

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucket is a token bucket over an externally supplied clock (callers
+// pass the current time in, so tests drive it deterministically and the
+// scheduler can indirect through its own now func). Callers also
+// provide mutual exclusion — tenantState.bmu or Scheduler.gmu.
+type bucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+	tok   float64
+	last  time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	b := &bucket{rate: rate, burst: float64(burst), last: now}
+	if b.burst <= 0 {
+		b.burst = rate // default depth: one second of budget
+		if b.burst < 1 {
+			b.burst = 1
+		}
+	}
+	b.tok = b.burst
+	return b
+}
+
+func (b *bucket) refill(now time.Time) {
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tok += dt * b.rate
+	if b.tok > b.burst {
+		b.tok = b.burst
+	}
+}
+
+// take removes n tokens if available and returns 0; otherwise it takes
+// nothing and returns how long until n tokens will have accrued.
+func (b *bucket) take(n float64, now time.Time) time.Duration {
+	b.refill(now)
+	if b.tok >= n {
+		b.tok -= n
+		return 0
+	}
+	d := time.Duration((n - b.tok) / b.rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// forceTake removes n tokens unconditionally, driving the bucket into
+// overdraft (tok < 0) when they are not there. The global budget uses
+// this: resident sessions never block on it, but Admit rejects new
+// sessions while it is overdrawn.
+func (b *bucket) forceTake(n float64, now time.Time) {
+	b.refill(now)
+	b.tok -= n
+}
+
+func (b *bucket) overdrawn(now time.Time) bool {
+	b.refill(now)
+	return b.tok < 0
+}
+
+// maxThrottleSleep caps one throttle nap so a conn stuck behind a hot
+// tenant still notices daemon shutdown and conn deadlines promptly.
+const maxThrottleSleep = 250 * time.Millisecond
+
+// Throttle is one connection's handle on its tenant's ingest budget.
+// Call Wait(n) before enqueuing n decoded events; it blocks (in batched
+// bucket visits) while the tenant is over its events/s quota, which
+// stalls that connection's read loop and pushes TCP backpressure onto
+// exactly that tenant's producer. The global budget is debited on the
+// same visits but never blocks — it only flips admission away.
+//
+// A Throttle is owned by a single read loop; it is not safe for
+// concurrent use (per-conn credit is unsynchronized by design).
+type Throttle struct {
+	s       *Scheduler
+	t       *tenantState
+	limited bool
+	batch   int // events debited per bucket visit
+	credit  int // events already paid for
+
+	stalling atomic.Bool
+}
+
+// Throttle returns a new ingest-throttle handle for tenant.
+func (s *Scheduler) Throttle(tenant string) *Throttle {
+	s.mu.Lock()
+	t := s.tenantLocked(tenant)
+	s.mu.Unlock()
+	th := &Throttle{s: s, t: t, limited: t.bucket != nil || s.global != nil}
+	if !th.limited {
+		return th
+	}
+	// Batch bucket visits to ~20 per second at the governing rate, so the
+	// hot path is a couple of subtractions per event, not a lock.
+	rate := t.quota.EventsPerSec
+	if g := s.cfg.GlobalEventsPerSec; g > 0 && (rate == 0 || g < rate) {
+		rate = g
+	}
+	th.batch = int(rate / 20)
+	if th.batch < 1 {
+		th.batch = 1
+	}
+	if th.batch > 64 {
+		th.batch = 64
+	}
+	return th
+}
+
+// Wait blocks until the tenant's budget covers n more events, then
+// charges them (and force-charges the global budget).
+func (th *Throttle) Wait(n int) {
+	th.t.ob.events.Add(uint64(n))
+	if !th.limited {
+		return
+	}
+	for n > 0 {
+		if th.credit >= n {
+			th.credit -= n
+			return
+		}
+		n -= th.credit
+		th.credit = 0
+		th.acquireBatch()
+		th.credit = th.batch
+	}
+}
+
+func (th *Throttle) acquireBatch() {
+	s := th.s
+	n := float64(th.batch)
+	if b := th.t.bucket; b != nil {
+		stalled := false
+		var start int64
+		for {
+			th.t.bmu.Lock()
+			d := b.take(n, s.now())
+			th.t.bmu.Unlock()
+			if d == 0 {
+				break
+			}
+			if !stalled {
+				stalled = true
+				th.stalling.Store(true)
+				start = s.ob.throttle.Start()
+			}
+			if d > maxThrottleSleep {
+				d = maxThrottleSleep
+			}
+			s.sleep(d)
+		}
+		if stalled {
+			th.stalling.Store(false)
+			s.ob.throttle.ObserveSince(start)
+			th.t.ob.throttle.ObserveSince(start)
+		}
+	}
+	if s.global != nil {
+		s.gmu.Lock()
+		s.global.forceTake(n, s.now())
+		s.gmu.Unlock()
+	}
+}
+
+// Stalling reports whether the owning connection is currently blocked
+// in Wait (read by /sessions to render the "throttled" state).
+func (th *Throttle) Stalling() bool { return th.stalling.Load() }

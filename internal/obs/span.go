@@ -12,6 +12,7 @@ const (
 	StageDispatch = "stage.dispatch" // shard routing + queue handoff
 	StageDetect   = "stage.detect"   // per-shard commutativity race detection
 	StageReport   = "stage.report"   // race record serialization / JSONL emit
+	StageSchedule = "stage.schedule" // fleet-mode run quantum (wait + execute)
 )
 
 // Span is a start/stop pair over a named histogram pair: span latency in

@@ -21,6 +21,12 @@ type Summary struct {
 	Clean  bool   `json:"clean"`
 	Error  string `json:"error,omitempty"` // first stamping/detection error, if any
 
+	// Busy means the daemon refused the session at admission (session table
+	// full, global ingest budget exhausted, or tenant quota exceeded): no
+	// events were ingested and the client may retry after a backoff. The
+	// clients surface it as ErrBusy.
+	Busy bool `json:"busy,omitempty"`
+
 	// Fault-tolerance annotations (version 2 sessions). Degraded means the
 	// race set may be incomplete — corruption resync skipped data, or a
 	// detection shard panicked and was recovered — and the counts say why.
@@ -54,6 +60,10 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn, enc: NewEncoder(conn)}, nil
 }
 
+// SetTenant declares the stream's tenant id for the daemon's per-tenant
+// admission and quotas. Must be called before the first write.
+func (c *Client) SetTenant(tenant string) error { return c.enc.SetTenant(tenant) }
+
 // WriteEvent streams one event to the daemon.
 func (c *Client) WriteEvent(e *trace.Event) error { return c.enc.WriteEvent(e) }
 
@@ -79,15 +89,23 @@ func (c *Client) SendSource(src trace.Source) error {
 // Close finishes the stream (end-of-stream frame), half-closes the write
 // side, reads the daemon's summary line, and closes the connection. The
 // summary read honors timeout (0 means no deadline).
+//
+// A transport-level write failure does not abort the summary read: a
+// daemon that rejected the session at admission writes its busy summary
+// and stops reading, so the client's writes fail while the answer already
+// sits in its receive buffer. Close salvages that line and returns the
+// summary with ErrBusy; only when no summary can be read does the write
+// error surface.
 func (c *Client) Close(timeout time.Duration) (Summary, error) {
 	defer c.conn.Close()
-	if err := c.enc.Close(); err != nil {
-		return Summary{}, err
-	}
-	if tc, ok := c.conn.(*net.TCPConn); ok {
-		if err := tc.CloseWrite(); err != nil {
-			return Summary{}, err
+	werr := c.enc.Close()
+	if werr == nil {
+		if tc, ok := c.conn.(*net.TCPConn); ok {
+			werr = tc.CloseWrite()
 		}
+	}
+	if werr != nil && !retryable(werr) {
+		return Summary{}, werr
 	}
 	if timeout > 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -96,11 +114,17 @@ func (c *Client) Close(timeout time.Duration) (Summary, error) {
 	}
 	line, err := bufio.NewReader(c.conn).ReadBytes('\n')
 	if err != nil {
+		if werr != nil {
+			return Summary{}, fmt.Errorf("wire: stream write failed: %w", werr)
+		}
 		return Summary{}, fmt.Errorf("wire: reading summary: %w", err)
 	}
 	var s Summary
 	if err := json.Unmarshal(line, &s); err != nil {
 		return Summary{}, fmt.Errorf("wire: bad summary %q: %w", line, err)
+	}
+	if s.Busy {
+		return s, ErrBusy
 	}
 	return s, nil
 }

@@ -52,6 +52,7 @@ type Decoder struct {
 
 	// Resumable session state.
 	sid         string
+	tenant      string
 	expectChunk uint64 // next expected chunk sequence number
 	seenChunk   bool   // at least one seq'd chunk accepted
 	dups        int
@@ -112,6 +113,10 @@ func (d *Decoder) Frames() int { return d.frames }
 // SessionID returns the session id from the stream's hello frame, or ""
 // for a plain (non-resumable) stream.
 func (d *Decoder) SessionID() string { return d.sid }
+
+// Tenant returns the tenant id from the stream's hello frame (version 3),
+// or "" when none was declared (the daemon's default tenant).
+func (d *Decoder) Tenant() string { return d.tenant }
 
 // SkippedBytes returns the bytes discarded by corruption resync scans.
 func (d *Decoder) SkippedBytes() int64 { return d.skippedBytes }
@@ -363,16 +368,38 @@ func (d *Decoder) readFrame() error {
 	}
 }
 
-// parseHello decodes a hello frame payload (session id) from d.frame.
+// parseHello decodes a hello frame payload from d.frame: the session id,
+// and in version 3 an optional trailing tenant id. Version 2 hellos are
+// exactly `sidlen sid` with a non-empty sid; version 3 additionally allows
+// `sidlen sid tidlen tid`, with an empty sid permitted only when a tenant
+// follows (a tenant-declaring plain stream).
 func (d *Decoder) parseHello() error {
 	if d.version < 2 {
 		return fmt.Errorf("%w: hello frame in version %d stream", errCorrupt, d.version)
 	}
 	n, w := binary.Uvarint(d.frame)
-	if w <= 0 || n == 0 || n > MaxSessionID || int(n) != len(d.frame)-w {
+	if w <= 0 || n > MaxSessionID || w+int(n) > len(d.frame) {
 		return fmt.Errorf("%w: malformed hello frame", errCorrupt)
 	}
-	d.sid = string(d.frame[w : w+int(n)])
+	rest := d.frame[w+int(n):]
+	if len(rest) == 0 {
+		if n == 0 {
+			return fmt.Errorf("%w: malformed hello frame", errCorrupt)
+		}
+		d.sid = string(d.frame[w : w+int(n)])
+		return nil
+	}
+	if d.version < 3 {
+		return fmt.Errorf("%w: malformed hello frame", errCorrupt)
+	}
+	tn, tw := binary.Uvarint(rest)
+	if tw <= 0 || tn == 0 || tn > MaxTenantID || int(tn) != len(rest)-tw {
+		return fmt.Errorf("%w: malformed hello frame", errCorrupt)
+	}
+	if n > 0 {
+		d.sid = string(d.frame[w : w+int(n)])
+	}
+	d.tenant = string(rest[tw : tw+int(tn)])
 	return nil
 }
 

@@ -41,6 +41,7 @@ type Encoder struct {
 	OnFrame func(seq uint64, frame []byte) error
 
 	sid        string // resumable session id ("" = plain stream)
+	tenant     string // tenant id ("" = default tenant, no hello field)
 	nextSeq    uint64 // next chunk sequence number (resumable mode)
 	started    bool   // header (+hello) written on the current writer
 	endWritten bool   // end-of-stream frame written on the current writer
@@ -64,6 +65,21 @@ func (enc *Encoder) SetSession(sid string) error {
 		return fmt.Errorf("wire: bad session id %q", sid)
 	}
 	enc.sid = sid
+	return nil
+}
+
+// SetTenant declares the stream's tenant id, carried in the hello frame
+// for the daemon's per-tenant admission and quotas. Works with or without
+// SetSession (a tenant-only hello declares the tenant of a plain stream).
+// Must be called before the first write.
+func (enc *Encoder) SetTenant(tenant string) error {
+	if enc.started {
+		return fmt.Errorf("wire: SetTenant after stream start")
+	}
+	if tenant == "" || len(tenant) > MaxTenantID {
+		return fmt.Errorf("wire: bad tenant id %q", tenant)
+	}
+	enc.tenant = tenant
 	return nil
 }
 
@@ -101,11 +117,16 @@ func (enc *Encoder) start() error {
 	if err := enc.w.WriteByte(Version); err != nil {
 		return err
 	}
-	if enc.sid != "" {
-		hello := make([]byte, 0, len(enc.sid)+binary.MaxVarintLen64)
+	if enc.sid != "" || enc.tenant != "" {
+		hello := make([]byte, 0, len(enc.sid)+len(enc.tenant)+2*binary.MaxVarintLen64)
 		n := binary.PutUvarint(enc.tmp[:], uint64(len(enc.sid)))
 		hello = append(hello, enc.tmp[:n]...)
 		hello = append(hello, enc.sid...)
+		if enc.tenant != "" {
+			n = binary.PutUvarint(enc.tmp[:], uint64(len(enc.tenant)))
+			hello = append(hello, enc.tmp[:n]...)
+			hello = append(hello, enc.tenant...)
+		}
 		return enc.writeFrame(frameHello, hello)
 	}
 	return nil

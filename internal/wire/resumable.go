@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -31,6 +32,7 @@ type serverMsg struct {
 	Races         int    `json:"races"`
 	Clean         bool   `json:"clean"`
 	Error         string `json:"error"`
+	Busy          bool   `json:"busy"`
 	Degraded      bool   `json:"degraded"`
 	SkippedFrames int    `json:"skipped_frames"`
 	SkippedBytes  int64  `json:"skipped_bytes"`
@@ -46,6 +48,7 @@ func (m *serverMsg) summary() Summary {
 		Races:         m.Races,
 		Clean:         m.Clean,
 		Error:         m.Error,
+		Busy:          m.Busy,
 		Degraded:      m.Degraded,
 		SkippedFrames: m.SkippedFrames,
 		SkippedBytes:  m.SkippedBytes,
@@ -96,6 +99,7 @@ type ResumableClient struct {
 	msgs    chan serverMsg
 	done    chan struct{} // closed when the current conn's ack reader exits
 	resumes int
+	busy    atomic.Bool // daemon sent a busy reject; reconnecting is pointless
 
 	mu      sync.Mutex
 	unacked []chunk
@@ -169,6 +173,11 @@ func (c *ResumableClient) readAcks(conn net.Conn) {
 			continue
 		}
 		if m.Events != nil {
+			if m.Busy {
+				// An admission reject: remember it so the reconnect loop
+				// stops burning retries against a saturated daemon.
+				c.busy.Store(true)
+			}
 			select {
 			case c.msgs <- m:
 			default:
@@ -204,6 +213,13 @@ func (c *ResumableClient) Unacked() int {
 // Resumes returns how many times the client re-attached after a failure.
 func (c *ResumableClient) Resumes() int { return c.resumes }
 
+// SetTenant declares the session's tenant id, carried in the hello frame
+// (and every replayed hello). Must be called before the first WriteEvent.
+func (c *ResumableClient) SetTenant(tenant string) error { return c.enc.SetTenant(tenant) }
+
+// Busy reports whether the daemon rejected the session at admission.
+func (c *ResumableClient) Busy() bool { return c.busy.Load() }
+
 // retryable reports whether err is a connection-level failure a reconnect
 // can fix (vs. an encoding error, which would recur on any connection).
 func retryable(err error) bool {
@@ -229,6 +245,11 @@ func (c *ResumableClient) reconnect() error {
 		maxBackoff = DefaultMaxBackoff
 	}
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if c.busy.Load() {
+			// The daemon told us it will not take this session; surface the
+			// reject instead of replaying into more refusals.
+			return fmt.Errorf("wire: resume session %q: %w", c.sid, ErrBusy)
+		}
 		if attempt > 0 {
 			// Full jitter over [backoff/2, backoff]: desynchronizes a herd
 			// of clients reconnecting after one daemon blip.
@@ -348,7 +369,7 @@ func (c *ResumableClient) Close(timeout time.Duration) (Summary, error) {
 		}
 		select {
 		case m := <-c.msgs:
-			return m.summary(), nil
+			return deliverSummary(m)
 		case <-time.After(wait):
 			return Summary{}, fmt.Errorf("wire: reading summary: timeout after %v", timeout)
 		case <-c.done:
@@ -357,7 +378,7 @@ func (c *ResumableClient) Close(timeout time.Duration) (Summary, error) {
 			// before exiting), or the connection died mid-wait.
 			select {
 			case m := <-c.msgs:
-				return m.summary(), nil
+				return deliverSummary(m)
 			default:
 			}
 			if err := c.reconnectForClose(deadline, timeout); err != nil {
@@ -365,6 +386,16 @@ func (c *ResumableClient) Close(timeout time.Duration) (Summary, error) {
 			}
 		}
 	}
+}
+
+// deliverSummary converts a received summary message into Close's return
+// pair: a busy reject carries ErrBusy so callers can branch on it.
+func deliverSummary(m serverMsg) (Summary, error) {
+	sum := m.summary()
+	if sum.Busy {
+		return sum, ErrBusy
+	}
+	return sum, nil
 }
 
 // reconnectForClose is reconnect with the Close deadline enforced.

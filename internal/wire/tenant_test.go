@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+const testDialTimeout = 5 * time.Second
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+// helloStream builds a raw version-`ver` stream consisting of the header,
+// one hello frame with the given payload, and an end-of-stream frame.
+func helloStream(ver byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(ver)
+	enc := NewEncoder(io.Discard)
+	buf.Write(append([]byte(nil), enc.serializeFrame(frameHello, payload)...))
+	buf.Write(append([]byte(nil), enc.serializeFrame(frameEnd, nil)...))
+	return buf.Bytes()
+}
+
+// helloPayload renders `sidlen sid [tidlen tid]` as the encoder would.
+func helloPayload(sid, tenant string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	out := append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], uint64(len(sid)))]...)
+	out = append(out, sid...)
+	if tenant != "" {
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(tenant)))]...)
+		out = append(out, tenant...)
+	}
+	return out
+}
+
+func TestTenantHelloRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.SetSession("sess-1"); err != nil {
+		t.Fatalf("SetSession: %v", err)
+	}
+	if err := enc.SetTenant("team-red"); err != nil {
+		t.Fatalf("SetTenant: %v", err)
+	}
+	for i := range tr.Events {
+		if err := enc.WriteEvent(&tr.Events[i]); err != nil {
+			t.Fatalf("WriteEvent: %v", err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	sid, err := d.ReadHello()
+	if err != nil {
+		t.Fatalf("ReadHello: %v", err)
+	}
+	if sid != "sess-1" {
+		t.Fatalf("session id = %q, want sess-1", sid)
+	}
+	if d.Tenant() != "team-red" {
+		t.Fatalf("tenant = %q, want team-red", d.Tenant())
+	}
+	got, err := trace.ReadAll(d)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if trace.Format(tr) != trace.Format(got) {
+		t.Fatal("tenant hello round trip changed the event stream")
+	}
+	if !d.Clean() {
+		t.Fatal("stream not clean")
+	}
+}
+
+// A tenant-only hello (empty session id) declares the tenant of a plain,
+// non-resumable stream: ReadHello returns "" but Tenant() is set, and the
+// events that follow decode normally.
+func TestTenantOnlyHello(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.SetTenant("team-blue"); err != nil {
+		t.Fatalf("SetTenant: %v", err)
+	}
+	for i := range tr.Events {
+		if err := enc.WriteEvent(&tr.Events[i]); err != nil {
+			t.Fatalf("WriteEvent: %v", err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	sid, err := d.ReadHello()
+	if err != nil {
+		t.Fatalf("ReadHello: %v", err)
+	}
+	if sid != "" {
+		t.Fatalf("session id = %q, want empty (plain stream)", sid)
+	}
+	if d.Tenant() != "team-blue" {
+		t.Fatalf("tenant = %q, want team-blue", d.Tenant())
+	}
+	got, err := trace.ReadAll(d)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if trace.Format(tr) != trace.Format(got) {
+		t.Fatal("tenant-only hello changed the event stream")
+	}
+}
+
+// Version 2 hello parsing must be byte-for-byte unchanged: trailing bytes
+// after the session id (the version 3 tenant extension) are malformed in a
+// version 2 stream, as is an empty session id.
+func TestHelloVersionCompat(t *testing.T) {
+	cases := []struct {
+		name    string
+		ver     byte
+		payload []byte
+		wantErr bool
+		sid     string
+		tenant  string
+	}{
+		{"v2 plain sid", 2, helloPayload("abc", ""), false, "abc", ""},
+		{"v2 rejects tenant", 2, helloPayload("abc", "t1"), true, "", ""},
+		{"v2 rejects empty sid", 2, helloPayload("", ""), true, "", ""},
+		{"v3 plain sid", 3, helloPayload("abc", ""), false, "abc", ""},
+		{"v3 sid+tenant", 3, helloPayload("abc", "t1"), false, "abc", "t1"},
+		{"v3 tenant only", 3, helloPayload("", "t1"), false, "", "t1"},
+		{"v3 rejects empty hello", 3, helloPayload("", ""), true, "", ""},
+		{"v3 rejects trailing junk", 3, append(helloPayload("abc", "t1"), 0xFF), true, "", ""},
+		{"v3 rejects zero-len tenant", 3, append(helloPayload("abc", ""), 0x00), true, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewDecoder(bytes.NewReader(helloStream(tc.ver, tc.payload)))
+			if err != nil {
+				t.Fatalf("NewDecoder: %v", err)
+			}
+			sid, err := d.ReadHello()
+			if tc.wantErr {
+				if err == nil {
+					// The malformed hello may also surface on the next read.
+					if _, err = d.Next(); err == nil || err == io.EOF {
+						t.Fatalf("malformed hello accepted (sid %q tenant %q)", sid, d.Tenant())
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ReadHello: %v", err)
+			}
+			if sid != tc.sid || d.Tenant() != tc.tenant {
+				t.Fatalf("got sid %q tenant %q, want %q/%q", sid, d.Tenant(), tc.sid, tc.tenant)
+			}
+		})
+	}
+}
+
+func TestSetTenantValidation(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if err := enc.SetTenant(""); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	long := string(make([]byte, MaxTenantID+1))
+	if err := enc.SetTenant(long); err == nil {
+		t.Fatal("over-long tenant accepted")
+	}
+	if err := enc.SetTenant("ok"); err != nil {
+		t.Fatalf("SetTenant: %v", err)
+	}
+	if err := enc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := enc.SetTenant("late"); err == nil {
+		t.Fatal("SetTenant after stream start accepted")
+	}
+}
+
+// A busy summary is surfaced as ErrBusy by Client.Close even when the
+// daemon stopped reading before the stream finished (the salvage read).
+func TestClientBusySalvage(t *testing.T) {
+	ln := newLocalListener(t)
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Reject at admission: write the busy line, then drain and close
+		// (the daemon-side shape of rejectBusy).
+		conn.Write([]byte(`{"events":0,"busy":true,"error":"busy: session table full"}` + "\n"))
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}()
+
+	cl, err := Dial(ln.Addr().String(), testDialTimeout)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	tr := sampleTrace()
+	for i := range tr.Events {
+		if err := cl.WriteEvent(&tr.Events[i]); err != nil {
+			t.Fatalf("WriteEvent: %v", err)
+		}
+	}
+	sum, err := cl.Close(testDialTimeout)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Close err = %v, want ErrBusy", err)
+	}
+	if !sum.Busy {
+		t.Fatal("summary not marked busy")
+	}
+}
+
+// A resumable client that receives a busy summary must not burn reconnect
+// attempts: reconnect short-circuits with ErrBusy.
+func TestResumableBusyStopsReconnect(t *testing.T) {
+	ln := newLocalListener(t)
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte(`{"events":0,"busy":true,"session":"s1","error":"busy: tenant quota"}` + "\n"))
+		// Leave the conn open long enough for the ack reader to deliver the
+		// busy line, then cut it to trigger the client's reconnect path.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}()
+
+	cl, err := DialSession(ln.Addr().String(), "s1", testDialTimeout)
+	if err != nil {
+		t.Fatalf("DialSession: %v", err)
+	}
+	cl.Retries = 2
+	sum, err := cl.Close(testDialTimeout)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Close err = %v (sum %+v), want ErrBusy", err, sum)
+	}
+	if !cl.Busy() {
+		t.Fatal("client Busy() false after busy summary")
+	}
+}

@@ -6,20 +6,21 @@
 //
 //	stream  := magic version frame*
 //	magic   := "RDB2"                        (4 bytes)
-//	version := 0x01 | 0x02                   (1 byte)
-//	frame   := sync kind len payload crc     (sync only in version 2)
+//	version := 0x01 | 0x02 | 0x03            (1 byte)
+//	frame   := sync kind len payload crc     (sync only in version >= 2)
 //	sync    := 0xE5 0x4D                     (per-frame resync marker)
 //	kind    := 0x01 events | 0x02 end-of-stream
-//	         | 0x03 hello  | 0x04 seq'd events (version 2 only)
+//	         | 0x03 hello  | 0x04 seq'd events (version >= 2 only)
 //	len     := uvarint                       (payload length in bytes)
 //	payload := event*                        (empty for end-of-stream)
 //	crc     := CRC-32C of payload            (4 bytes little-endian)
 //
-// Version 2 (written by this package; version 1 streams are still read)
-// prefixes every frame with a two-byte sync marker and adds two frame
-// kinds in support of fault tolerance:
+// Version 2 (version 1 streams are still read) prefixes every frame with a
+// two-byte sync marker and adds two frame kinds in support of fault
+// tolerance:
 //
 //	hello   := sidlen:uvarint sid:bytes      (client-chosen session id)
+//	          [tidlen:uvarint tid:bytes]     (tenant id, version 3 only)
 //	seq'd   := seq:uvarint event*            (chunk sequence number)
 //
 // A hello frame, sent immediately after the stream header, opens a
@@ -30,6 +31,17 @@
 // the receiver skips chunks whose sequence number it has already consumed,
 // so no event is duplicated or lost (ResumableClient implements the client
 // side, with exponential backoff + jitter).
+//
+// Version 3 (written by this package) extends the hello payload with an
+// optional trailing tenant id for multi-tenant admission and quotas
+// (cmd/rd2d -fleet): a version 3 hello may carry a tenant id after the
+// session id, and — uniquely in version 3 — an empty session id (sidlen 0)
+// is permitted when a tenant id follows, declaring the tenant of a plain
+// non-resumable stream. A daemon that refuses a new session (admission
+// control: session table full, global ingest budget exhausted, or tenant
+// quota exceeded) answers with its usual one-line JSON summary carrying
+// "busy":true and closes; clients surface that as ErrBusy, a retryable
+// condition distinct from every transport failure.
 //
 // Events are varint records; all ids (threads, objects, locks, vars,
 // channels) are unsigned varints, integer values are zigzag varints, and
@@ -92,10 +104,12 @@ import (
 // Magic is the 4-byte stream header identifying the RDB2 binary format.
 const Magic = "RDB2"
 
-// Version is the wire format version written. The decoder also accepts
-// MinVersion streams (no per-frame sync marker, no resumable sessions).
+// Version is the wire format version written. The decoder accepts every
+// version from MinVersion (no per-frame sync marker, no resumable
+// sessions) through Version; version 2 streams differ from version 3 only
+// in that their hello frames cannot carry a tenant id.
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -135,6 +149,8 @@ const (
 	MaxTuple = 1 << 16
 	// MaxSessionID caps the hello frame's session id length.
 	MaxSessionID = 256
+	// MaxTenantID caps the hello frame's tenant id length (version 3).
+	MaxTenantID = 64
 )
 
 // DefaultFrameSize is the payload size at which the encoder emits a frame.
@@ -159,6 +175,13 @@ var ErrSync = errors.New("wire: lost frame sync")
 // ErrChunkGap is returned when a seq'd events frame skips ahead of the next
 // expected chunk (a resuming client replayed too little), in strict mode.
 var ErrChunkGap = errors.New("wire: chunk sequence gap")
+
+// ErrBusy is returned (wrapped) by the clients when the daemon refused the
+// session at admission — session table full, global ingest budget
+// exhausted, or a tenant quota exceeded (Summary.Busy on the wire). The
+// condition is retryable: the stream was never ingested, so resending the
+// whole trace after a backoff is safe.
+var ErrBusy = errors.New("wire: daemon busy, session rejected at admission")
 
 // wireObs bundles the resync metrics: bytes skipped scanning for a sync
 // marker, whole frames dropped (undecodable but CRC-valid, or lost in a
