@@ -52,6 +52,18 @@
 #                 >= 80% of its isolated ingest rate while a hot tenant
 #                 saturates the shared worker pool.
 #   -fleet-only   run only the fleet-scheduling smoke (used by `make fleet-smoke`).
+#   -durable      additionally run the durable-session smoke: the
+#                 crash/restart differential tests under -race (in-process
+#                 crash, torn snapshot, truncated WAL, snapshot-beyond-WAL,
+#                 TTL expiry of on-disk state), then live binaries: rd2
+#                 -send -resume -restart-window streams a long trace into
+#                 rd2d -statedir while fault injection SIGKILLs the daemon
+#                 mid-snapshot (ckpt-crash, leaving a half-written snapshot)
+#                 and mid-WAL-append (wal-crash, leaving a torn WAL tail);
+#                 the daemon restarts over the same state dir and the
+#                 recovered JSONL verdicts must be byte-identical to an
+#                 uninterrupted baseline run.
+#   -durable-only run only the durable-session smoke (used by `make durable-smoke`).
 set -eu
 
 cd "$(dirname "$0")"
@@ -67,6 +79,8 @@ STAMP=0
 STAMPONLY=0
 FLEET=0
 FLEETONLY=0
+DURABLE=0
+DURABLEONLY=0
 for arg in "$@"; do
     case "$arg" in
     -clockcheck) CLOCKCHECK=1 ;;
@@ -80,11 +94,13 @@ for arg in "$@"; do
     -stamp-only) STAMP=1; STAMPONLY=1 ;;
     -fleet) FLEET=1 ;;
     -fleet-only) FLEET=1; FLEETONLY=1 ;;
-    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only] [-stamp|-stamp-only] [-fleet|-fleet-only]" >&2; exit 2 ;;
+    -durable) DURABLE=1 ;;
+    -durable-only) DURABLE=1; DURABLEONLY=1 ;;
+    *) echo "usage: ci.sh [-clockcheck] [-obs|-obs-only] [-wire|-wire-only] [-chaos|-chaos-only] [-stamp|-stamp-only] [-fleet|-fleet-only] [-durable|-durable-only]" >&2; exit 2 ;;
     esac
 done
 ONLY=0
-if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ] || [ "$STAMPONLY" = 1 ] || [ "$FLEETONLY" = 1 ]; then
+if [ "$OBSONLY" = 1 ] || [ "$WIREONLY" = 1 ] || [ "$CHAOSONLY" = 1 ] || [ "$STAMPONLY" = 1 ] || [ "$FLEETONLY" = 1 ] || [ "$DURABLEONLY" = 1 ]; then
     ONLY=1
 else
     # The streaming smoke is part of the default CI path.
@@ -547,6 +563,120 @@ if [ "$FLEET" = 1 ]; then
     wait "$FLEETPID" 2>/dev/null || true
     FLEETPID=""
     echo "fleet smoke OK"
+fi
+
+if [ "$DURABLE" = 1 ]; then
+    echo "== durable: crash/restart differential tests (-race) =="
+    go test -race -timeout 300s \
+        -run 'TestDurable|TestScanReport|TestHealthzPhases' ./cmd/rd2d
+    go test -race -timeout 120s ./internal/pipeline
+
+    echo "== durable: live SIGKILL-restart-resume differential (torn snapshot, torn WAL) =="
+    DURTMP=$(mktemp -d)
+    DURPID=""
+    DSENDPID=""
+    cleanup_durable() {
+        [ -n "$DURPID" ] && kill -9 "$DURPID" 2>/dev/null || true
+        [ -n "$DSENDPID" ] && kill -9 "$DSENDPID" 2>/dev/null || true
+        rm -rf "$DURTMP"
+        [ -n "${FLEETTMP:-}" ] && rm -rf "$FLEETTMP" || true
+        [ -n "${CHAOSTMP:-}" ] && rm -rf "$CHAOSTMP" || true
+        [ -n "${WIRETMP:-}" ] && rm -rf "$WIRETMP" || true
+        [ -n "${OBSTMP:-}" ] && rm -rf "$OBSTMP" || true
+    }
+    trap cleanup_durable EXIT
+    DURADDR=127.0.0.1:36113
+    go build -o "$DURTMP/rd2" ./cmd/rd2
+    go build -o "$DURTMP/rd2d" ./cmd/rd2d
+    # Long enough for several 16 KiB frames (so both injection points land
+    # mid-stream) and for multiple checkpoints at -ckpt-every 128.
+    go run ./cmd/tracegen -seed 17 -threads 4 -ops-min 3000 -ops-max 3000 \
+        > "$DURTMP/run.trace"
+
+    # Uninterrupted baseline verdicts. -compact-every 0 on every daemon in
+    # this smoke so point-clock renderings cannot drift with restart timing.
+    "$DURTMP/rd2d" -listen "$DURADDR" -q -compact-every 0 \
+        -report "$DURTMP/base.jsonl" 2> "$DURTMP/base.log" &
+    DURPID=$!
+    rc=0
+    timeout 60 "$DURTMP/rd2" -trace "$DURTMP/run.trace" -send "$DURADDR" \
+        -send-wait 10s -resume -q || rc=$?
+    [ "$rc" -le 1 ] || { echo "durable smoke: baseline send rc $rc" >&2; cat "$DURTMP/base.log" >&2; exit 1; }
+    kill -TERM "$DURPID"
+    rc=0
+    wait "$DURPID" || rc=$?
+    DURPID=""
+    [ "$rc" -le 1 ] || { echo "durable smoke: baseline rd2d rc $rc" >&2; cat "$DURTMP/base.log" >&2; exit 1; }
+    sed 's/^{"session":"[^"]*","seq":[0-9]*,/{/' "$DURTMP/base.jsonl" \
+        | sort > "$DURTMP/base.sorted"
+    [ -s "$DURTMP/base.sorted" ] || { echo "durable smoke: trace produced no race records" >&2; exit 1; }
+
+    # ckpt-crash:2 dies by SIGKILL on the second snapshot with the snapshot
+    # file half-written in place; wal-crash:3 dies on the third WAL append
+    # with half a frame on disk. Either way the restarted daemon must
+    # recover to the exact baseline verdicts.
+    for inject in ckpt-crash:2 wal-crash:3; do
+        rm -rf "$DURTMP/state"
+        rm -f "$DURTMP/dur.jsonl"
+        "$DURTMP/rd2d" -listen "$DURADDR" -q -compact-every 0 \
+            -statedir "$DURTMP/state" -ckpt-every 128 \
+            -report "$DURTMP/dur.jsonl" -inject "$inject" \
+            2> "$DURTMP/dur1.log" &
+        DURPID=$!
+        timeout 120 "$DURTMP/rd2" -trace "$DURTMP/run.trace" -send "$DURADDR" \
+            -send-wait 10s -resume -restart-window 60s -q \
+            2> "$DURTMP/send.log" &
+        DSENDPID=$!
+        # The injected fault must SIGKILL the daemon mid-stream; a daemon
+        # that outlives the deadline means the injection never fired.
+        i=0
+        while kill -0 "$DURPID" 2>/dev/null; do
+            i=$((i + 1))
+            if [ $i -gt 300 ]; then
+                echo "durable smoke ($inject): daemon never crashed" >&2
+                cat "$DURTMP/dur1.log" >&2
+                exit 1
+            fi
+            sleep 0.2
+        done
+        rc=0
+        wait "$DURPID" || rc=$?
+        DURPID=""
+        [ "$rc" -ge 128 ] || {
+            echo "durable smoke ($inject): daemon exited rc $rc, expected a SIGKILL death" >&2
+            cat "$DURTMP/dur1.log" >&2
+            exit 1
+        }
+        # Restart over the same state dir and report file; the client's
+        # restart window keeps it redialing the refused port until the
+        # reborn daemon has rehydrated and adopts the session.
+        "$DURTMP/rd2d" -listen "$DURADDR" -q -compact-every 0 \
+            -statedir "$DURTMP/state" -ckpt-every 128 \
+            -report "$DURTMP/dur.jsonl" 2> "$DURTMP/dur2.log" &
+        DURPID=$!
+        rc=0
+        wait "$DSENDPID" || rc=$?
+        DSENDPID=""
+        [ "$rc" -le 1 ] || {
+            echo "durable smoke ($inject): resumed rd2 -send rc $rc" >&2
+            cat "$DURTMP/send.log" "$DURTMP/dur1.log" "$DURTMP/dur2.log" >&2
+            exit 1
+        }
+        kill -TERM "$DURPID"
+        rc=0
+        wait "$DURPID" || rc=$?
+        DURPID=""
+        [ "$rc" -le 1 ] || { echo "durable smoke ($inject): restarted rd2d rc $rc" >&2; cat "$DURTMP/dur2.log" >&2; exit 1; }
+        sed 's/^{"session":"[^"]*","seq":[0-9]*,/{/' "$DURTMP/dur.jsonl" \
+            | sort > "$DURTMP/dur.sorted"
+        if ! diff -q "$DURTMP/base.sorted" "$DURTMP/dur.sorted" > /dev/null; then
+            echo "durable smoke ($inject): recovered verdicts differ from baseline" >&2
+            diff "$DURTMP/base.sorted" "$DURTMP/dur.sorted" | head >&2
+            exit 1
+        fi
+        echo "durable smoke ($inject): $(wc -l < "$DURTMP/dur.sorted") verdicts byte-identical across the SIGKILL restart"
+    done
+    echo "durable smoke OK"
 fi
 
 echo "CI OK"

@@ -99,6 +99,13 @@ func checkAllocs() int {
 	fquanta := freg.Counter("fleet.quanta")
 	frunnable := freg.Gauge("fleet.runnable")
 	fsp := freg.Span(obs.StageSchedule)
+	// Durable-session checkpoint instruments (DESIGN.md §15): the WAL
+	// append counter sits on rd2d's per-frame ingest path, so the whole
+	// rd2d.ckpt.* family shares the zero-alloc contract when metrics are off.
+	dreg := obs.NewRegistry()
+	dwal := dreg.Counter("rd2d.ckpt.wal_appends")
+	dbytes := dreg.Counter("rd2d.ckpt.bytes")
+	dns := dreg.Counter("rd2d.ckpt.ns")
 	fail := 0
 	for _, op := range []struct {
 		name string
@@ -115,6 +122,9 @@ func checkAllocs() int {
 		{"fleet.quanta.Inc", func() { fquanta.Inc() }},
 		{"fleet.runnable.Add", func() { frunnable.Add(1) }},
 		{"fleet stage.schedule span", func() { fsp.End(fsp.Start(), 1) }},
+		{"ckpt.wal_appends.Inc", func() { dwal.Inc() }},
+		{"ckpt.bytes.Add", func() { dbytes.Add(4096) }},
+		{"ckpt.ns.Add", func() { dns.Add(1000) }},
 	} {
 		if n := testing.AllocsPerRun(1000, op.fn); n != 0 {
 			fmt.Fprintf(os.Stderr, "obscheck: disabled %s allocates %v per op, want 0\n", op.name, n)

@@ -60,7 +60,7 @@ func openTrace(t *testing.T, content string) *os.File {
 func TestSendBusyExhaustsRetries(t *testing.T) {
 	addr, accepts := busyDaemon(t)
 	f := openTrace(t, cleanTrace)
-	code := runSend(addr, time.Second, f, false, "", "", 1)
+	code := runSend(addr, time.Second, f, false, "", "", 1, 0)
 	if code != exitBusy {
 		t.Fatalf("exit = %d, want %d (busy)", code, exitBusy)
 	}
@@ -73,7 +73,7 @@ func TestSendBusyExhaustsRetries(t *testing.T) {
 func TestSendBusyResumableExhaustsRetries(t *testing.T) {
 	addr, _ := busyDaemon(t)
 	f := openTrace(t, cleanTrace)
-	code := runSend(addr, time.Second, f, false, "sess-busy", "acme", 0)
+	code := runSend(addr, time.Second, f, false, "sess-busy", "acme", 0, 0)
 	if code != exitBusy {
 		t.Fatalf("exit = %d, want %d (busy)", code, exitBusy)
 	}

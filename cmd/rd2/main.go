@@ -110,6 +110,8 @@ func run(args []string) int {
 	resume := fs.Bool("resume", false, "with -send: open a resumable session (reconnect and resume after mid-stream connection loss)")
 	session := fs.String("session", "", "with -send: client-chosen session id (implies -resume; default: derived unique id)")
 	retries := fs.Int("retries", wire.DefaultRetries, "with -resume: redial attempts per connection failure (also bounds busy-reject retries)")
+	restartWindow := fs.Duration("restart-window", 15*time.Second,
+		"with -resume: keep redialing a refused connection for this long (covers an rd2d crash/restart window; 0 disables)")
 	tenant := fs.String("tenant", "", "with -send: tenant id carried in the stream hello (daemon-side quota accounting and fair scheduling)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -170,7 +172,7 @@ func run(args []string) int {
 		if sid == "" && *resume {
 			sid = fmt.Sprintf("rd2-%d-%d", os.Getpid(), time.Now().UnixNano())
 		}
-		return runSend(*send, *sendWait, f, *validate, sid, *tenant, *retries)
+		return runSend(*send, *sendWait, f, *validate, sid, *tenant, *retries, *restartWindow)
 	}
 
 	// Auto-detect the trace format by magic header: RDB2 binary (.rdb) or
@@ -371,11 +373,14 @@ type sendClient interface {
 // backoff and the session resumes from the last acknowledged chunk. A busy
 // reject (the daemon's admission control shed the session before ingesting
 // anything) is retried from the top of the trace with doubling backoff,
-// up to retries attempts; exit code 6 when they run out.
-func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int) int {
+// up to retries attempts; exit code 6 when they run out. restartWindow
+// extends mid-stream reconnects past the retry budget for its duration,
+// so a daemon restart (connection refused while the new process rehydrates
+// durable sessions) does not kill a resumable send.
+func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int, restartWindow time.Duration) int {
 	backoff := busyBackoff
 	for attempt := 0; ; attempt++ {
-		code, busy := sendOnce(addr, wait, f, validate, sid, tenant, retries)
+		code, busy := sendOnce(addr, wait, f, validate, sid, tenant, retries, restartWindow)
 		if !busy {
 			return code
 		}
@@ -399,7 +404,7 @@ func runSend(addr string, wait time.Duration, f *os.File, validate bool, sid, te
 
 // sendOnce performs one full send attempt. busy reports a daemon-side
 // admission reject, which the caller may retry after backoff.
-func sendOnce(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int) (code int, busy bool) {
+func sendOnce(addr string, wait time.Duration, f *os.File, validate bool, sid, tenant string, retries int, restartWindow time.Duration) (code int, busy bool) {
 	var src trace.Source
 	if validate {
 		tr, err := wire.ParseAny(f)
@@ -428,6 +433,7 @@ func sendOnce(addr string, wait time.Duration, f *os.File, validate bool, sid, t
 			var rc *wire.ResumableClient
 			if rc, err = wire.DialSession(addr, sid, time.Second); err == nil {
 				rc.Retries = retries
+				rc.RetryWindow = restartWindow
 				rc.OnResume = func(replayed int) {
 					fmt.Fprintf(os.Stderr, "rd2: reconnected, replayed %d chunks\n", replayed)
 				}

@@ -54,9 +54,17 @@ type daemonConfig struct {
 	logger       *log.Logger
 	obsRoot      *obs.Registry // registry the session scopes hang under; nil = obs.Default
 
-	// Fault injection (ci.sh -chaos; inert when zero).
+	// Fault injection (ci.sh -chaos / -durable; inert when zero).
 	injectRepPanic    int64 // panic on the N-th rep Touch per session
 	injectWorkerPanic int   // panic on the N-th event in the session worker
+	injectCkptCrash   int   // SIGKILL with a half-written snapshot on the N-th checkpoint
+	injectWalCrash    int   // SIGKILL with a half-written frame on the N-th WAL append
+
+	// Durable sessions (DESIGN.md §15; off when stateDir is empty).
+	stateDir   string
+	ckptEvery  int // snapshot cadence in events; 0 = DefaultCkptEvery
+	fsyncMode  int // fsyncOff | fsyncCkpt | fsyncAlways
+	reportSeqs map[string]uint64 // per-session durable JSONL seq from a prior life
 
 	// Fleet scheduling (DESIGN.md §14). maxSessions and the quota fields
 	// are enforced even with fleet off — the scheduler always exists and
@@ -101,6 +109,35 @@ type daemon struct {
 	totalRaces  atomic.Int64
 	failed      atomic.Int64
 	degraded    atomic.Int64
+
+	// phase drives /healthz readiness: starting → rehydrating → serving →
+	// draining. In-process embedders get serving straight from newDaemon;
+	// the rd2d binary interposes rehydrating while the state dir loads.
+	phase atomic.Int32
+
+	// Daemon-wide injection countdowns for the durable chaos harness.
+	walAppendN atomic.Int64
+	snapshotN  atomic.Int64
+}
+
+// Daemon phases, reported by /healthz.
+const (
+	phaseStarting = int32(iota)
+	phaseRehydrating
+	phaseServing
+	phaseDraining
+)
+
+func phaseName(p int32) string {
+	switch p {
+	case phaseRehydrating:
+		return "rehydrating"
+	case phaseServing:
+		return "serving"
+	case phaseDraining:
+		return "draining"
+	}
+	return "starting"
 }
 
 // newDaemon starts listening on addr.
@@ -142,6 +179,7 @@ func newDaemon(addr string, cfg daemonConfig) (*daemon, error) {
 		Obs:                d.obsRoot(),
 		Logf:               cfg.logger.Printf,
 	})
+	d.phase.Store(phaseServing)
 	return d, nil
 }
 
@@ -213,6 +251,7 @@ func (d *daemon) Serve() error {
 // every session to flush its pending shards and report. Safe to call more
 // than once.
 func (d *daemon) Shutdown() {
+	d.phase.Store(phaseDraining)
 	d.mu.Lock()
 	already := d.draining
 	d.draining = true
@@ -362,7 +401,7 @@ func (d *daemon) handle(conn net.Conn) {
 			d.rejectBusy(conn, "", tenant, aerr)
 			return
 		}
-		s := d.newSession("", tenant)
+		s := d.newSession("", tenant, nil)
 		s.admit = release
 		s.logf("connected (%s, tenant %q)", conn.RemoteAddr(), tenant)
 		s.setConn(conn)
@@ -470,13 +509,16 @@ func (d *daemon) routeSession(sid, tenant string, dec *wire.Decoder) (s *session
 			d.mu.Unlock()
 			return nil, false, aerr
 		}
-		s = d.newSession(sid, tenant)
+		s = d.newSession(sid, tenant, nil)
 		s.admit = release
 		d.sessions[sid] = s
 		d.mu.Unlock()
 		dec.SetObs(s.scope)
 		s.mu.Lock()
 		s.dec = dec
+		if s.dur != nil {
+			dec.OnFrameAccepted = s.dur.hook(dec)
+		}
 		s.mu.Unlock()
 		return s, false, nil
 	}
@@ -505,6 +547,9 @@ func (d *daemon) routeSession(sid, tenant string, dec *wire.Decoder) (s *session
 			dec.AdoptState(s.dec)
 			dec.SetObs(s.scope)
 			s.dec = dec
+			if s.dur != nil {
+				dec.OnFrameAccepted = s.dur.hook(dec)
+			}
 			s.state = stateAttached
 			s.resumes++
 			s.mu.Unlock()

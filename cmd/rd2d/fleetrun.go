@@ -49,6 +49,7 @@ func (s *session) startFleet(ccfg core.Config) {
 		stamp: s.scope.Span(obs.StageStamp),
 	}
 	s.runner = r
+	s.applyRestore()
 	s.entry = s.d.sched.Register(s.tenant, r)
 }
 
@@ -100,6 +101,9 @@ func (r *fleetRunner) process(e *trace.Event) {
 	if r.dead {
 		return // post-panic drain: not analyzed, not counted (as per-conn)
 	}
+	// Quantum execution is serialized by the scheduler, so the runner sits
+	// at a frame boundary between events exactly like the serial worker.
+	s.maybeCheckpoint()
 	s.events++
 	r.sinceCompact++
 	if s.procErr != nil {

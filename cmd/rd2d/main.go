@@ -65,6 +65,9 @@ func run(args []string) int {
 	writeTimeout := fs.Duration("write-timeout", DefaultWriteTimeout, "summary/ack write deadline (also applied to the -report writer when it supports deadlines)")
 	resumeTTL := fs.Duration("resume-ttl", DefaultResumeTTL, "how long a resumable session survives a lost connection")
 	resync := fs.Bool("resync", false, "corruption resync: skip corrupt frames and continue (session reports degraded)")
+	stateDir := fs.String("statedir", "", "persist resumable sessions here (crash-safe checkpoint/restore across daemon restarts)")
+	ckptEvery := fs.Int("ckpt-every", DefaultCkptEvery, "with -statedir: snapshot a durable session at most once per this many events")
+	fsyncMode := fs.String("fsync", "ckpt", "with -statedir: off (safe against process crashes only), ckpt (fsync WAL and snapshot at checkpoints), always (also fsync every WAL append)")
 	inject := fs.String("inject", "", "fault injection for chaos testing, e.g. rep-panic:100 or worker-panic:50")
 	compactOps := fs.Int("compact-every", 4096, "compact reclaimable detector state at most once per this many events (0 disables; compaction may trim dead-thread entries from reported point clocks)")
 	fleetMode := fs.Bool("fleet", false, "multi-tenant fleet scheduling: run sessions as quanta on a shared worker pool with per-tenant deficit-round-robin fairness (sessions stamp serially; -shards and -stampworkers apply only to per-conn mode)")
@@ -94,6 +97,8 @@ func run(args []string) int {
 		writeTimeout: *writeTimeout,
 		resumeTTL:    *resumeTTL,
 		resync:       *resync,
+		stateDir:     *stateDir,
+		ckptEvery:    *ckptEvery,
 		compactOps:   *compactOps,
 		logger:       logger,
 		fleet:        *fleetMode,
@@ -114,6 +119,11 @@ func run(args []string) int {
 	if *quiet {
 		cfg.logger = nil
 	}
+	var err error
+	if cfg.fsyncMode, err = parseFsyncMode(*fsyncMode); err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
 	if *inject != "" {
 		if err := parseInject(*inject, &cfg); err != nil {
 			logger.Printf("%v", err)
@@ -122,7 +132,6 @@ func run(args []string) int {
 		logger.Printf("fault injection armed: %s", *inject)
 	}
 
-	var err error
 	if cfg.defaultRep, err = loadRep(*specName); err != nil {
 		logger.Printf("%v", err)
 		return 2
@@ -166,7 +175,21 @@ func run(args []string) int {
 
 	var reportFile *os.File
 	if *reportPath != "" {
-		reportFile, err = os.Create(*reportPath)
+		if *stateDir != "" {
+			// Durable mode appends: prior sessions' records survive the
+			// restart, and scanReport recovers each session's high-water
+			// seq (truncating a torn last line) so rehydrated reporters
+			// suppress replayed records instead of duplicating them.
+			seqs, serr := scanReport(*reportPath)
+			if serr != nil {
+				logger.Printf("report: %v", serr)
+				return 2
+			}
+			cfg.reportSeqs = seqs
+			reportFile, err = os.OpenFile(*reportPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		} else {
+			reportFile, err = os.Create(*reportPath)
+		}
 		if err != nil {
 			logger.Printf("%v", err)
 			return 2
@@ -196,6 +219,14 @@ func run(args []string) int {
 		} else {
 			defer d.startStatsTable(os.Stderr, *statsInterval)()
 		}
+	}
+	if *stateDir != "" {
+		// Rehydrate before serving: the listener is bound (connections
+		// queue in the accept backlog) and /healthz answers 503
+		// "rehydrating" until every checkpointed session is parked again.
+		d.phase.Store(phaseRehydrating)
+		d.rehydrate()
+		d.phase.Store(phaseServing)
 	}
 	logger.Printf("listening on %s (spec %s, %d shards)", d.Addr(), *specName, *shards)
 
@@ -318,8 +349,12 @@ func parseInject(spec string, cfg *daemonConfig) error {
 			cfg.injectRepPanic = int64(n)
 		case "worker-panic":
 			cfg.injectWorkerPanic = n
+		case "ckpt-crash":
+			cfg.injectCkptCrash = n
+		case "wal-crash":
+			cfg.injectWalCrash = n
 		default:
-			return fmt.Errorf("unknown -inject kind %q (want rep-panic or worker-panic)", kv[0])
+			return fmt.Errorf("unknown -inject kind %q (want rep-panic, worker-panic, ckpt-crash, or wal-crash)", kv[0])
 		}
 	}
 	return nil

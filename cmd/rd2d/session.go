@@ -97,6 +97,12 @@ type session struct {
 	runner *fleetRunner
 	admit  func()
 
+	// Durable-session state (nil without -statedir or for plain streams):
+	// the WAL + snapshot machinery and, on a rehydrated session, the
+	// checkpointed state the worker imports before processing.
+	dur     *durSession
+	restore *sessionRestore
+
 	scope *obs.Registry // per-session metric scope (rolls up to the root)
 	ob    *sessObs
 	sr    *core.SessionReporter // stamps session+seq on JSONL records (nil without -report)
@@ -145,7 +151,7 @@ type pokeable interface{ SetReadDeadline(time.Time) error }
 // own ingest instruments all record into it, and every write rolls up into
 // the global series, so /sessions and /metrics?session=ID attribute the
 // fleet numbers per tenant at no extra bookkeeping.
-func (d *daemon) newSession(sid, tenant string) *session {
+func (d *daemon) newSession(sid, tenant string, restore *sessionRestore) *session {
 	id := d.sessionSeq.Add(1)
 	name := sid
 	if name == "" {
@@ -161,6 +167,7 @@ func (d *daemon) newSession(sid, tenant string) *session {
 		sid:        sid,
 		name:       name,
 		tenant:     tenant,
+		restore:    restore,
 		scope:      scope,
 		ob:         newSessObs(scope),
 		queue:      make(chan trace.Event, d.cfg.queueLen),
@@ -169,9 +176,27 @@ func (d *daemon) newSession(sid, tenant string) *session {
 		registered: map[trace.ObjID]bool{},
 		en:         hb.NewObs(scope),
 	}
+	if restore != nil {
+		s.dur = restore.dur
+	} else if d.cfg.stateDir != "" && sid != "" {
+		ds, err := d.openDurSession(sid, tenant)
+		if err != nil {
+			// Durability is best-effort infrastructure, detection is the
+			// job: run the session ephemeral and say so loudly.
+			d.cfg.logger.Printf("session %q: durable state unavailable, running ephemeral: %v", sid, err)
+		} else {
+			s.dur = ds
+		}
+	}
 	ccfg := core.Config{Engine: d.cfg.engine, MaxRaces: d.cfg.maxRaces, Obs: scope}
 	if d.cfg.reporter != nil {
 		s.sr = d.cfg.reporter.Session(name)
+		if restore != nil {
+			// Replayed events regenerate already-durable JSONL records;
+			// the suppression window swallows them, keeping numbering
+			// contiguous across the restart.
+			s.sr.Restore(restore.meta.ReporterSeq, restore.durableSeq)
+		}
 		ccfg.OnRace = func(r core.Race) {
 			_, spec := d.repFor(r.Obj)
 			start := s.ob.report.Start()
@@ -237,10 +262,14 @@ func (s *session) work() {
 // event kind: sync events walk the engine state (the skeleton work), body
 // events reduce to stamping the segment snapshot.
 func (s *session) workSerial() {
+	s.applyRestore()
 	skel := s.scope.Span(obs.StageSkeleton)
 	stamp := s.scope.Span(obs.StageStamp)
 	sinceCompact := 0
 	for e := range s.queue {
+		// Before the count advances, the worker sits exactly at the frame
+		// boundary a checkpoint needs (events processed == boundary cum).
+		s.maybeCheckpoint()
 		s.events++
 		sinceCompact++
 		if s.procErr != nil {
@@ -275,6 +304,7 @@ func (s *session) workSerial() {
 func (s *session) workChunked() {
 	ps := hb.NewParallelStamperObs(s.d.cfg.stampWorkers, s.scope)
 	s.en = ps.Engine() // compaction thresholds (MeetLive) come from here
+	s.applyRestore()
 	max := s.d.cfg.queueLen
 	if max < 1 {
 		max = 1
@@ -286,9 +316,24 @@ func (s *session) workChunked() {
 		if !ok {
 			return
 		}
+		// The blocking receive is a frame-boundary opportunity: the
+		// received event is not processed yet, so the worker still sits at
+		// the boundary the decoder last published.
+		s.maybeCheckpoint()
+		// When a checkpoint will be due at the next published boundary, cap
+		// the chunk there: the engine must not stamp past a boundary the
+		// worker intends to snapshot at.
+		limit := max
+		if ds := s.dur; ds != nil {
+			if nb, ok := ds.ckptDueAt(s.events); ok {
+				if room := nb - s.events; room < limit {
+					limit = room
+				}
+			}
+		}
 		chunk = append(chunk[:0], e)
 	drain:
-		for len(chunk) < max {
+		for len(chunk) < limit {
 			select {
 			case e, ok := <-s.queue:
 				if !ok {
@@ -301,6 +346,7 @@ func (s *session) workChunked() {
 			}
 		}
 		s.runChunk(ps, chunk, &sinceCompact)
+		s.maybeCheckpoint()
 	}
 }
 
@@ -470,6 +516,11 @@ func (s *session) finalize() wire.Summary {
 		}
 		if s.admit != nil {
 			s.admit()
+		}
+		if s.dur != nil {
+			// The session is final: its summary is in memory for
+			// re-delivery and its durability obligation is over.
+			s.dur.destroy()
 		}
 
 		s.mu.Lock()

@@ -136,6 +136,16 @@ func (d *daemon) sessionInfos() []sessionInfo {
 func (d *daemon) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(d.obsRoot()))
+	// Readiness: overrides the obs handler's static /healthz with the
+	// daemon's lifecycle phase, so load balancers and restart scripts can
+	// wait out rehydration and stop routing to a draining daemon.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if p := d.phase.Load(); p != phaseServing {
+			http.Error(w, phaseName(p), http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -126,17 +126,26 @@ func (rw *ReportWriter) Session(session string) *SessionReporter {
 // SessionReporter stamps one session's identity onto shared JSONL output.
 // Safe for concurrent use (it serializes on the underlying writer's lock).
 type SessionReporter struct {
-	rw      *ReportWriter
-	session string
-	seq     uint64 // guarded by rw.mu
+	rw       *ReportWriter
+	session  string
+	seq      uint64 // guarded by rw.mu
+	suppress uint64 // records with Seq <= suppress skip the file (guarded by rw.mu)
 }
 
 // Write emits one race stamped with the session id and the next seq.
+// Records at or below the suppression mark (Restore) advance the numbering
+// but are not written: they already sit in the report file from before a
+// daemon restart, and replay determinism makes the regenerated copies
+// byte-identical to the ones on disk.
 func (sr *SessionReporter) Write(r Race, spec string) error {
 	sr.rw.mu.Lock()
 	defer sr.rw.mu.Unlock()
 	if sr.rw.err != nil {
 		return sr.rw.err
+	}
+	if sr.seq+1 <= sr.suppress {
+		sr.seq++
+		return nil
 	}
 	rec := r.Record(spec)
 	rec.Session = sr.session
@@ -148,6 +157,17 @@ func (sr *SessionReporter) Write(r Race, spec string) error {
 	sr.seq++
 	sr.rw.n++
 	return nil
+}
+
+// Restore positions a rehydrated session's reporter: numbering resumes from
+// seq (the checkpoint's last assigned number) and regenerated records up to
+// durable — the highest number already durable in the report file — are
+// suppressed instead of duplicated. rd2d calls it before WAL replay.
+func (sr *SessionReporter) Restore(seq, durable uint64) {
+	sr.rw.mu.Lock()
+	defer sr.rw.mu.Unlock()
+	sr.seq = seq
+	sr.suppress = durable
 }
 
 // Seq returns the last sequence number assigned (0 before the first race).

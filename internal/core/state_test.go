@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// runSplit stamps tr and feeds it through a detector that is exported at
+// the split point and imported into a fresh one (split < 0 disables the
+// handoff), compacting every compactEvery events. It returns the imported
+// (or sole) detector and the concatenated OnRace stream.
+func runSplit(t *testing.T, tr *trace.Trace, reps map[trace.ObjID]ap.Rep,
+	engine Engine, split, compactEvery int) (*Detector, []string) {
+	t.Helper()
+	var raceLog []string
+	cfg := Config{Engine: engine, MaxRaces: 1 << 20,
+		OnRace: func(r Race) { raceLog = append(raceLog, r.String()) }}
+	repFor := func(obj trace.ObjID) (ap.Rep, error) {
+		rep, ok := reps[obj]
+		if !ok {
+			return nil, fmt.Errorf("no rep for o%d", obj)
+		}
+		return rep, nil
+	}
+	d := New(cfg)
+	for obj, rep := range reps {
+		d.Register(obj, rep)
+	}
+	en := hb.New()
+	for i := range tr.Events {
+		if i == split {
+			st := d.ExportState()
+			d2 := New(cfg)
+			if err := d2.ImportState(st, repFor); err != nil {
+				t.Fatalf("ImportState at %d: %v", split, err)
+			}
+			for obj, rep := range reps {
+				d2.Register(obj, rep)
+			}
+			// Keep driving the old detector to prove the export is
+			// independent of it.
+			d.Compact(en.MeetLive())
+			d = d2
+		}
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if compactEvery > 0 && i > 0 && i%compactEvery == 0 {
+			d.Compact(en.MeetLive())
+		}
+	}
+	d.FlushObs()
+	return d, raceLog
+}
+
+func stateReps(n int) map[trace.ObjID]ap.Rep {
+	reps := map[trace.ObjID]ap.Rep{}
+	for o := 0; o < n; o++ {
+		reps[trace.ObjID(o)] = ap.DictRep{}
+	}
+	return reps
+}
+
+// A detector rebuilt from an export at any split point must report the
+// remaining races identically to the uninterrupted run and land on the same
+// stats — across compaction, spilled tables, promoted clocks, and object
+// death, for both engines.
+func TestDetectorExportImportDifferential(t *testing.T) {
+	type caseT struct {
+		name         string
+		tr           *trace.Trace
+		reps         map[trace.ObjID]ap.Rep
+		compactEvery int
+	}
+	var cases []caseT
+	for seed := int64(1); seed <= 3; seed++ {
+		gcfg := trace.GenConfig{Threads: 4, Objects: 3, Keys: 12, Vals: 3, Locks: 2,
+			OpsMin: 120, OpsMax: 240, PSize: 10, PGet: 30, PLocked: 30, PRemove: 20}
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+		cases = append(cases,
+			caseT{fmt.Sprintf("gen%d", seed), tr, stateReps(gcfg.Objects), 0},
+			caseT{fmt.Sprintf("gen%d-compact", seed), tr, stateReps(gcfg.Objects), 25},
+		)
+	}
+	tr, reps := churnTrace(8, 30) // spill + growth + die/reclaim
+	cases = append(cases, caseT{"churn", tr, reps, 0})
+
+	for _, tc := range cases {
+		for _, engine := range []Engine{EngineAuto, EngineEnumerating} {
+			want, wantLog := runSplit(t, tc.tr, tc.reps, engine, -1, tc.compactEvery)
+			for split := 0; split <= tc.tr.Len(); split += 1 + tc.tr.Len()/5 {
+				got, gotLog := runSplit(t, tc.tr, tc.reps, engine, split, tc.compactEvery)
+				if len(gotLog) != len(wantLog) {
+					t.Fatalf("%s/%v split %d: %d races, want %d",
+						tc.name, engine, split, len(gotLog), len(wantLog))
+				}
+				for i := range wantLog {
+					if gotLog[i] != wantLog[i] {
+						t.Fatalf("%s/%v split %d: race %d:\n  got  %s\n  want %s",
+							tc.name, engine, split, i, gotLog[i], wantLog[i])
+					}
+				}
+				if gs, ws := got.Stats(), want.Stats(); gs != ws {
+					t.Fatalf("%s/%v split %d: stats diverge:\n  got  %+v\n  want %+v",
+						tc.name, engine, split, gs, ws)
+				}
+				if gd, wd := got.DistinctObjects(), want.DistinctObjects(); gd != wd {
+					t.Fatalf("%s/%v split %d: distinct %d, want %d",
+						tc.name, engine, split, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+// Export must survive a round through itself: exporting the imported
+// detector yields the same state (deterministic ordering).
+func TestDetectorExportDeterministic(t *testing.T) {
+	tr, reps := churnTrace(6, 20)
+	repFor := func(obj trace.ObjID) (ap.Rep, error) { return reps[obj], nil }
+	d, _ := runSplit(t, tr, reps, EngineAuto, -1, 0)
+	st := d.ExportState()
+	d2 := New(Config{MaxRaces: 1 << 20})
+	if err := d2.ImportState(st, repFor); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	a, b := fmt.Sprintf("%+v", st), fmt.Sprintf("%+v", d2.ExportState())
+	if a != b {
+		t.Fatalf("export not stable across import:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// The suppression window: a restored reporter replays already-durable
+// records silently, keeps numbering intact, and resumes writing past the
+// mark.
+func TestSessionReporterRestore(t *testing.T) {
+	var buf1, buf2 []byte
+	mk := func(buf *[]byte) *SessionReporter {
+		rw := NewReportWriter(writerFunc(func(p []byte) (int, error) {
+			*buf = append(*buf, p...)
+			return len(p), nil
+		}))
+		return rw.Session("s1")
+	}
+	race := Race{Obj: 3, First: trace.Action{Obj: 3, Method: "put"},
+		Second: trace.Action{Obj: 3, Method: "get"}}
+
+	// Uninterrupted: four records.
+	sr := mk(&buf1)
+	for i := 0; i < 4; i++ {
+		if err := sr.Write(race, "dict"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restarted: two records before the crash, then a reporter restored to
+	// snapshot seq 1 with durable mark 2 regenerates records 2..4.
+	sr2 := mk(&buf2)
+	for i := 0; i < 2; i++ {
+		if err := sr2.Write(race, "dict"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr2.Restore(1, 2)
+	if got := sr2.Seq(); got != 1 {
+		t.Fatalf("Seq after Restore = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sr2.Write(race, "dict"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sr2.Seq(); got != 4 {
+		t.Fatalf("Seq after replay = %d, want 4", got)
+	}
+	if string(buf1) != string(buf2) {
+		t.Fatalf("restored stream diverges:\n%s\nvs\n%s", buf1, buf2)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,52 @@
+package faultinject
+
+// Process- and file-level injectors for the durable-session chaos harness
+// (ci.sh -durable, DESIGN.md §15): hard process kills simulating a daemon
+// crash at a chosen write, and deterministic on-disk corruption of WAL and
+// snapshot files between a kill and the restart.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// KillSelf delivers SIGKILL to the current process — the injected
+// equivalent of a crash: no deferred functions, no flushes, no graceful
+// drain. It never returns; the brief sleep loop covers signal delivery
+// latency.
+func KillSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// TruncateFile cuts the file at a random offset in [min, size) — a torn
+// append tail, as a machine crash mid-write leaves behind.
+func TruncateFile(path string, seed int64, min int) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := int(fi.Size())
+	if size <= min {
+		return fmt.Errorf("%w: %s has %d bytes, nothing to truncate past %d", ErrInjected, path, size, min)
+	}
+	cut := min + NewRand(seed).Intn(size-min)
+	return os.Truncate(path, int64(cut))
+}
+
+// FlipFileBits applies n random single-bit flips to the file at offsets
+// >= skip — bitrot in a snapshot or WAL that CRC validation must catch.
+func FlipFileBits(path string, seed int64, n, skip int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) <= skip {
+		return fmt.Errorf("%w: %s has %d bytes, nothing past skip %d", ErrInjected, path, len(data), skip)
+	}
+	return os.WriteFile(path, FlipBits(data, seed, n, skip), 0o644)
+}

@@ -1,0 +1,239 @@
+package pipeline
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"math/rand"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// raceCollector accumulates OnRace renderings from shard goroutines.
+type raceCollector struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (rc *raceCollector) onRace(r core.Race) {
+	rc.mu.Lock()
+	rc.log = append(rc.log, r.String())
+	rc.mu.Unlock()
+}
+
+func (rc *raceCollector) sorted() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := append([]string(nil), rc.log...)
+	sort.Strings(out)
+	return out
+}
+
+// runBarrierSplit drives tr through a pipeline that hands its sharded
+// detector state off through Barrier at the split point (split < 0 disables
+// the handoff): export on the first pipeline, import into a fresh one with
+// the same shard count, exactly as rd2d's durable checkpoint/restore does.
+// Returns the final pipeline's stats, distinct-object count, and the
+// concatenated OnRace multiset.
+func runBarrierSplit(t *testing.T, tr *trace.Trace, objects, shards, split, compactEvery int) (core.Stats, int, []string) {
+	t.Helper()
+	rc := &raceCollector{}
+	cfg := Config{Shards: shards, BatchSize: 4,
+		Core: core.Config{MaxRaces: 1 << 20, OnRace: rc.onRace}}
+	repFor := func(trace.ObjID) (ap.Rep, error) { return dictRep, nil }
+
+	p := New(cfg)
+	for o := 0; o < objects; o++ {
+		p.Register(trace.ObjID(o), dictRep)
+	}
+	en := hb.New()
+	for i := range tr.Events {
+		if i == split {
+			states := make([]*core.DetectorState, shards)
+			if err := p.Barrier(func(si int, det *core.Detector) {
+				states[si] = det.ExportState()
+			}); err != nil {
+				t.Fatalf("export Barrier: %v", err)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatalf("Close after export: %v", err)
+			}
+			p2 := New(cfg)
+			if err := p2.Barrier(func(si int, det *core.Detector) {
+				if err := det.ImportState(states[si], repFor); err != nil {
+					t.Errorf("shard %d ImportState: %v", si, err)
+				}
+			}); err != nil {
+				t.Fatalf("import Barrier: %v", err)
+			}
+			for o := 0; o < objects; o++ {
+				p2.Register(trace.ObjID(o), dictRep)
+			}
+			p = p2
+		}
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if compactEvery > 0 && i > 0 && i%compactEvery == 0 {
+			p.Compact(en.MeetLive())
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Stats(), p.DistinctObjects(), rc.sorted()
+}
+
+// A pipeline rebuilt from a Barrier export at any split point must report
+// the same race multiset and land on the same merged stats as the
+// uninterrupted run — the sharded-session recovery path in rd2d.
+func TestBarrierExportImportDifferential(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.Threads, gcfg.Objects, gcfg.Keys = 4, 6, 3
+	gcfg.OpsMin, gcfg.OpsMax = 60, 120
+	for _, seed := range []int64{7, 8} {
+		for _, compactEvery := range []int{0, 25} {
+			mk := func() *trace.Trace {
+				return trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+			}
+			tr := mk()
+			const shards = 3
+			wantStats, wantDistinct, wantLog := runBarrierSplit(t, tr, gcfg.Objects, shards, -1, compactEvery)
+			for split := 0; split <= tr.Len(); split += 1 + tr.Len()/4 {
+				gotStats, gotDistinct, gotLog := runBarrierSplit(t, mk(), gcfg.Objects, shards, split, compactEvery)
+				if gotStats != wantStats {
+					t.Fatalf("seed %d compact %d split %d: stats diverge:\n  got  %+v\n  want %+v",
+						seed, compactEvery, split, gotStats, wantStats)
+				}
+				if gotDistinct != wantDistinct {
+					t.Fatalf("seed %d compact %d split %d: distinct %d, want %d",
+						seed, compactEvery, split, gotDistinct, wantDistinct)
+				}
+				if strings.Join(gotLog, "\n") != strings.Join(wantLog, "\n") {
+					t.Fatalf("seed %d compact %d split %d: race multiset diverges:\n  got  %v\n  want %v",
+						seed, compactEvery, split, gotLog, wantLog)
+				}
+			}
+		}
+	}
+}
+
+// Barrier must observe every previously produced item: after N events, each
+// shard's detector has processed its share of exactly N actions.
+func TestBarrierQuiescesAtBoundary(t *testing.T) {
+	b := trace.NewBuilder()
+	const n = 50
+	for i := 0; i < n; i++ {
+		b.Put(0, trace.ObjID(i%5), trace.StrValue("k"), trace.IntValue(int64(i+1)), trace.NilValue)
+	}
+	tr := b.Trace()
+	p := New(Config{Shards: 3, BatchSize: 8})
+	for o := 0; o < 5; o++ {
+		p.Register(trace.ObjID(o), dictRep)
+	}
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	var mu sync.Mutex
+	if err := p.Barrier(func(_ int, det *core.Detector) {
+		mu.Lock()
+		total += det.Stats().Actions
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	if total != n {
+		t.Fatalf("barrier observed %d actions, want %d", total, n)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Barrier(func(int, *core.Detector) {}); err == nil {
+		t.Fatal("Barrier after Close must fail")
+	}
+}
+
+// boomRep panics on first touch, retiring its shard.
+type boomRep struct{ ap.Rep }
+
+func (boomRep) Touch([]ap.Point, trace.Action) ([]ap.Point, error) { panic("boom") }
+
+// A shard retired by a panic must not deadlock Barrier: the control item is
+// acknowledged as skipped and Barrier reports the degraded shard, so the
+// caller abandons the checkpoint instead of persisting partial state.
+func TestBarrierDeadShardNoDeadlock(t *testing.T) {
+	p := New(Config{Shards: 2, BatchSize: 1})
+	p.Register(0, boomRep{dictRep})
+	for o := 1; o < 6; o++ {
+		p.Register(trace.ObjID(o), dictRep)
+	}
+	b := trace.NewBuilder()
+	b.Put(0, 0, trace.StrValue("k"), trace.IntValue(1), trace.NilValue) // panics its shard
+	for o := 1; o < 6; o++ {
+		b.Put(0, trace.ObjID(o), trace.StrValue("k"), trace.IntValue(1), trace.NilValue)
+	}
+	tr := b.Trace()
+	en := hb.New()
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran := make([]bool, 2)
+	err := p.Barrier(func(si int, _ *core.Detector) { ran[si] = true })
+	if err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("Barrier on degraded pipeline: err = %v, want degraded-shard error", err)
+	}
+	live := 0
+	for _, r := range ran {
+		if r {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("barrier ran on %d shards, want exactly the 1 surviving shard", live)
+	}
+	p.Close()
+	if !p.Degraded() {
+		t.Fatal("pipeline must report Degraded after the shard panic")
+	}
+}
+
+// A panic inside the barrier fn itself must still acknowledge the control
+// item (as skipped) and retire the shard, never hang the producer.
+func TestBarrierFnPanicRetiresShard(t *testing.T) {
+	p := New(Config{Shards: 2})
+	err := p.Barrier(func(si int, _ *core.Detector) {
+		if si == 0 {
+			panic("ctl boom")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("err = %v, want degraded-shard error", err)
+	}
+	p.Close()
+	if p.ShardPanics() != 1 {
+		t.Fatalf("ShardPanics = %d, want 1", p.ShardPanics())
+	}
+}

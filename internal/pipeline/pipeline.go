@@ -127,7 +127,17 @@ const (
 	itemRegister                 // ev.Act.Obj + rep: object registration
 	itemCompact                  // threshold: compaction request
 	itemChunk                    // chunk + idxs: events read in place from a shared chunk
+	itemCtl                      // ctl: barrier control function (Barrier)
 )
+
+// ctlItem is one shard's share of a Barrier: fn runs on the shard goroutine
+// against its private detector, then done receives whether it actually ran
+// (false when the shard was retired by a panic or stopped by an error). The
+// channel is buffered so the shard never blocks on a slow barrier caller.
+type ctlItem struct {
+	fn   func(*core.Detector)
+	done chan bool
+}
 
 // item is one ordered message to a shard.
 type item struct {
@@ -137,6 +147,7 @@ type item struct {
 	threshold vclock.VC
 	chunk     *eventChunk
 	idxs      []int32
+	ctl       *ctlItem
 }
 
 // eventChunk is a stamped run of events shared by every shard whose
@@ -326,6 +337,8 @@ func (p *Pipeline) runBatch(s *shard, batch []item) (nEvents int) {
 					at = "compact"
 				case itemChunk:
 					at = fmt.Sprintf("chunk item (%d events)", len(batch[i].idxs))
+				case itemCtl:
+					at = "barrier ctl"
 				}
 			}
 			log.Printf("pipeline: recovered shard panic at %s: %v\n%s", at, r, debug.Stack())
@@ -371,6 +384,18 @@ func (p *Pipeline) runBatch(s *shard, batch []item) (nEvents int) {
 				continue
 			}
 			s.det.Compact(it.threshold)
+		case itemCtl:
+			// The done send rides a defer so a panicking fn still signals
+			// (as skipped) before the outer recover retires the shard —
+			// Barrier must never deadlock on a dying shard.
+			func() {
+				ran := false
+				defer func() { it.ctl.done <- ran }()
+				if s.err == nil && !s.dead {
+					it.ctl.fn(s.det)
+					ran = true
+				}
+			}()
 		}
 	}
 	return nEvents
@@ -550,6 +575,45 @@ func (p *Pipeline) Flush() {
 			p.pending[i] = nil
 		}
 	}
+}
+
+// Barrier quiesces every shard at the current stream position and runs fn on
+// each shard's goroutine against its private detector — after everything
+// produced so far, before anything produced later. It flushes pending partial
+// batches, broadcasts a control item, and blocks until all shards have
+// executed (or skipped) it; like the rest of the producer surface it must be
+// called from the producing goroutine. rd2d's durable checkpointing uses it
+// to export the sharded detectors at an exact event boundary, and to import
+// restored shard states before the first event. fn sees each detector
+// exclusively and must not retain it. A shard retired by a panic or stopped
+// by a processing error skips fn and Barrier reports it: state gathered from
+// the surviving shards would be incomplete, so the caller must abandon the
+// checkpoint (the session is degraded anyway).
+func (p *Pipeline) Barrier(fn func(i int, det *core.Detector)) error {
+	if p.closed {
+		return fmt.Errorf("pipeline: Barrier after Close")
+	}
+	p.Flush()
+	ctls := make([]*ctlItem, len(p.shards))
+	for i := range p.shards {
+		i := i
+		c := &ctlItem{
+			fn:   func(det *core.Detector) { fn(i, det) },
+			done: make(chan bool, 1),
+		}
+		ctls[i] = c
+		p.send(i, []item{{kind: itemCtl, ctl: c}})
+	}
+	var skipped []int
+	for i, c := range ctls {
+		if !<-c.done {
+			skipped = append(skipped, i)
+		}
+	}
+	if len(skipped) > 0 {
+		return fmt.Errorf("pipeline: barrier skipped on degraded shards %v", skipped)
+	}
+	return nil
 }
 
 // Close flushes pending batches, waits for every shard to drain, and merges

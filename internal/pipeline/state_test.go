@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// runMergedSplit drives tr through a pipeline whose merged state is handed
+// off at the split point via ExportState/ImportState — possibly into a
+// pipeline with a different shard count, as a durable restore under a
+// changed -shards does.
+func runMergedSplit(t *testing.T, tr *trace.Trace, objects, shards1, shards2, split int) (core.Stats, []string) {
+	t.Helper()
+	rc := &raceCollector{}
+	mk := func(shards int) *Pipeline {
+		p := New(Config{Shards: shards, BatchSize: 4,
+			Core: core.Config{MaxRaces: 1 << 20, OnRace: rc.onRace}})
+		for o := 0; o < objects; o++ {
+			p.Register(trace.ObjID(o), dictRep)
+		}
+		return p
+	}
+	repFor := func(trace.ObjID) (ap.Rep, error) { return dictRep, nil }
+	p := mk(shards1)
+	en := hb.New()
+	for i := range tr.Events {
+		if i == split {
+			st, err := p.ExportState()
+			if err != nil {
+				t.Fatalf("ExportState: %v", err)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatalf("Close after export: %v", err)
+			}
+			p = mk(shards2)
+			if err := p.ImportState(st, repFor); err != nil {
+				t.Fatalf("ImportState: %v", err)
+			}
+		}
+		e := &tr.Events[i]
+		if _, err := en.Process(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Stats(), rc.sorted()
+}
+
+// A pipeline rebuilt from a merged export must agree with the uninterrupted
+// run on race verdicts and counters, even when the restore uses a different
+// shard count. PeakActive is excluded: merged it is a sum of per-shard
+// peaks, which legitimately depends on sharding history.
+func TestMergedExportImportAcrossShardCounts(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.Threads, gcfg.Objects, gcfg.Keys = 4, 8, 3
+	gcfg.OpsMin, gcfg.OpsMax = 80, 160
+	mk := func(seed int64) *trace.Trace {
+		return trace.Generate(rand.New(rand.NewSource(seed)), gcfg)
+	}
+	for _, seed := range []int64{11, 12} {
+		tr := mk(seed)
+		wantStats, wantLog := runMergedSplit(t, mk(seed), gcfg.Objects, 3, 3, -1)
+		for _, shards2 := range []int{1, 3, 4} {
+			for split := 0; split <= tr.Len(); split += 1 + tr.Len()/3 {
+				gotStats, gotLog := runMergedSplit(t, mk(seed), gcfg.Objects, 3, shards2, split)
+				gotStats.PeakActive, wantStats.PeakActive = 0, 0
+				if gotStats != wantStats {
+					t.Fatalf("seed %d shards 3→%d split %d: stats diverge:\n  got  %+v\n  want %+v",
+						seed, shards2, split, gotStats, wantStats)
+				}
+				if strings.Join(gotLog, "\n") != strings.Join(wantLog, "\n") {
+					t.Fatalf("seed %d shards 3→%d split %d: race multiset diverges:\n  got  %v\n  want %v",
+						seed, shards2, split, gotLog, wantLog)
+				}
+			}
+		}
+	}
+}
+
+// ExportState on a degraded pipeline must fail rather than hand back
+// partial state.
+func TestMergedExportDegradedFails(t *testing.T) {
+	p := New(Config{Shards: 2, BatchSize: 1})
+	p.Register(0, boomRep{dictRep})
+	b := trace.NewBuilder()
+	b.Put(0, 0, trace.StrValue("k"), trace.IntValue(1), trace.NilValue)
+	tr := b.Trace()
+	en := hb.New()
+	e := &tr.Events[0]
+	if _, err := en.Process(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExportState(); err == nil {
+		t.Fatal("ExportState on degraded pipeline must fail")
+	}
+	p.Close()
+}

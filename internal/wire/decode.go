@@ -62,6 +62,16 @@ type Decoder struct {
 	// accepted or a duplicate is skipped — the daemon's ack hook. Called
 	// from within Next.
 	OnChunk func(acked uint64)
+
+	// OnFrameAccepted, when set, is invoked with each events frame's kind
+	// and payload after the frame passes its CRC and before it is
+	// dispatched — in particular before a seq'd chunk is deduplicated or
+	// acknowledged through OnChunk. A WAL hook that appends the frame here
+	// therefore makes every acknowledged chunk durable first; duplicates
+	// are logged too, and replay drops them exactly as the live stream
+	// did. The payload slice is only valid for the duration of the call.
+	// A non-nil error fails the decode (sticky, no resync).
+	OnFrameAccepted func(kind byte, payload []byte) error
 }
 
 // NewDecoder reads and verifies the stream header and returns a streaming
@@ -322,6 +332,11 @@ func (d *Decoder) readFrame() error {
 			return errAgain
 		}
 		return d.fail(err)
+	}
+	if (kind == frameEvents || kind == frameEventsSeq) && d.OnFrameAccepted != nil {
+		if err := d.OnFrameAccepted(kind, d.frame); err != nil {
+			return d.fail(err)
+		}
 	}
 	switch kind {
 	case frameEnd:

@@ -90,6 +90,12 @@ type ResumableClient struct {
 	// jitter) up to MaxBackoff.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// RetryWindow, when positive, keeps redialing past Retries until this
+	// much time has elapsed since the connection failure — covering a
+	// daemon restart (crash + rehydrate) whose outage outlasts a fixed
+	// attempt budget. Dial refusals during the window are absorbed by the
+	// backoff loop rather than surfaced.
+	RetryWindow time.Duration
 	// OnResume, when set, is called after each successful re-attach with
 	// the number of chunks replayed (a CLI progress hook).
 	OnResume func(replayed int)
@@ -244,7 +250,11 @@ func (c *ResumableClient) reconnect() error {
 	if maxBackoff <= 0 {
 		maxBackoff = DefaultMaxBackoff
 	}
-	for attempt := 0; attempt <= c.Retries; attempt++ {
+	var deadline time.Time
+	if c.RetryWindow > 0 {
+		deadline = time.Now().Add(c.RetryWindow)
+	}
+	for attempt := 0; attempt <= c.Retries || (!deadline.IsZero() && time.Now().Before(deadline)); attempt++ {
 		if c.busy.Load() {
 			// The daemon told us it will not take this session; surface the
 			// reject instead of replaying into more refusals.
@@ -272,6 +282,9 @@ func (c *ResumableClient) reconnect() error {
 		}
 		c.resumes++
 		return nil
+	}
+	if !deadline.IsZero() {
+		return fmt.Errorf("wire: resume session %q after %v retry window: %w", c.sid, c.RetryWindow, lastErr)
 	}
 	return fmt.Errorf("wire: resume session %q after %d attempts: %w", c.sid, c.Retries+1, lastErr)
 }

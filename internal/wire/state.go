@@ -1,0 +1,445 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the durable-session side of the wire format (DESIGN.md §15):
+//
+//   - AppendFrame / AppendStreamHeader / FrameWireSize let cmd/rd2d keep a
+//     per-session write-ahead log that *is* an RDB2 stream — accepted frames
+//     are re-serialized verbatim, so recovery replays the WAL through an
+//     ordinary Decoder and reproduces the exact event sequence (including
+//     duplicate-chunk drops) the live connection produced.
+//   - DecoderState / Decoder.State / ResumeDecoder checkpoint and restore
+//     the cross-frame decoder state (interning table, event/chunk cursors,
+//     degradation counters), so WAL replay can start mid-file at a
+//     snapshot's offset instead of from genesis.
+//   - StateWriter / StateReader are a CRC-framed section codec for snapshot
+//     files ("RDS1"): each section is framed exactly like an RDB2 frame
+//     (sync, kind, length, payload, CRC-32C) and the file ends with an
+//     explicit end marker, so truncation anywhere — even at a section
+//     boundary — is detected and the reader fails instead of returning a
+//     silently shortened snapshot.
+
+// StateMagic identifies a snapshot (checkpoint) file written by StateWriter.
+const StateMagic = "RDS1"
+
+// MaxStateSection bounds a single snapshot section payload. Snapshot
+// sections carry whole engine/detector exports, so the bound is far looser
+// than MaxFrame while still rejecting corrupt length fields before they
+// turn into huge allocations.
+const MaxStateSection = 1 << 30
+
+// stateEnd is the reserved section kind closing a snapshot file; callers
+// must use kinds >= 1.
+const stateEnd byte = 0x00
+
+// ErrStateTruncated reports a snapshot file that ends without its end
+// marker — a torn checkpoint write.
+var ErrStateTruncated = errors.New("wire: snapshot truncated")
+
+// AppendFrame appends one complete RDB2 frame (sync marker, kind, length,
+// payload, CRC-32C) to dst and returns the extended slice. It is the
+// allocation-controlled twin of the Encoder's internal frame serializer,
+// exported for WAL appends that must re-emit an accepted frame verbatim.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, sync0, sync1, kind)
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	return append(dst, crc[:]...)
+}
+
+// FrameWireSize returns the on-wire size of a frame with a payload of
+// payloadLen bytes: sync (2) + kind (1) + uvarint length + payload + CRC (4).
+// WAL replay uses it to advance its byte-offset accounting one accepted
+// frame at a time without re-reading the file.
+func FrameWireSize(payloadLen int) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return 3 + binary.PutUvarint(tmp[:], uint64(payloadLen)) + payloadLen + 4
+}
+
+// AppendStreamHeader appends an RDB2 stream header — magic, current
+// version, and (when sid or tenant is non-empty) the hello frame a client
+// with that identity would send — to dst and returns the extended slice.
+// Writing it at offset 0 of a fresh WAL makes the log a self-describing
+// RDB2 stream that NewDecoder accepts directly.
+func AppendStreamHeader(dst []byte, sid, tenant string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, Magic...)
+	dst = append(dst, Version)
+	if sid == "" && tenant == "" {
+		return dst
+	}
+	hello := make([]byte, 0, len(sid)+len(tenant)+2*binary.MaxVarintLen64)
+	n := binary.PutUvarint(tmp[:], uint64(len(sid)))
+	hello = append(hello, tmp[:n]...)
+	hello = append(hello, sid...)
+	if tenant != "" {
+		n = binary.PutUvarint(tmp[:], uint64(len(tenant)))
+		hello = append(hello, tmp[:n]...)
+		hello = append(hello, tenant...)
+	}
+	return AppendFrame(dst, frameHello, hello)
+}
+
+// DecoderState is the portable cross-frame state of a Decoder: everything a
+// later decoder needs to continue the same logical stream — after a
+// connection handoff persisted across a daemon restart — with interning
+// references resolving and duplicate chunks deduplicating exactly as they
+// would have on the uninterrupted stream.
+type DecoderState struct {
+	Version       byte
+	SID           string
+	Tenant        string
+	Intern        []string
+	Events        int
+	Frames        int
+	ExpectChunk   uint64
+	SeenChunk     bool
+	DupChunks     int
+	SkippedBytes  int64
+	SkippedFrames int
+	Resyncs       int
+}
+
+// State captures the decoder's cross-frame state. The interning slice is
+// shared, not copied: its populated prefix is immutable (the decoder only
+// appends), so a snapshot taken between frames stays valid while the live
+// decoder keeps interning.
+func (d *Decoder) State() DecoderState {
+	return DecoderState{
+		Version:       d.version,
+		SID:           d.sid,
+		Tenant:        d.tenant,
+		Intern:        d.intern[:len(d.intern):len(d.intern)],
+		Events:        d.seq,
+		Frames:        d.frames,
+		ExpectChunk:   d.expectChunk,
+		SeenChunk:     d.seenChunk,
+		DupChunks:     d.dups,
+		SkippedBytes:  d.skippedBytes,
+		SkippedFrames: d.skippedFrames,
+		Resyncs:       d.resyncs,
+	}
+}
+
+// ResumeDecoder returns a decoder that continues a stream from a captured
+// DecoderState: r must be positioned at a frame boundary of the same
+// logical stream (a WAL at a snapshot's frame offset). No header or hello
+// is expected — identity and version come from the state.
+func ResumeDecoder(r io.Reader, st DecoderState) *Decoder {
+	d := &Decoder{r: bufio.NewReaderSize(r, ResyncWindow), ob: defaultWireObs}
+	d.version = st.Version
+	d.sid = st.SID
+	d.tenant = st.Tenant
+	d.intern = st.Intern
+	d.seq = st.Events
+	d.frames = st.Frames
+	d.expectChunk = st.ExpectChunk
+	d.seenChunk = st.SeenChunk
+	d.dups = st.DupChunks
+	d.skippedBytes = st.SkippedBytes
+	d.skippedFrames = st.SkippedFrames
+	d.resyncs = st.Resyncs
+	return d
+}
+
+// StateWriter writes a CRC-framed snapshot file: the RDS1 magic, a sequence
+// of sections (Begin … primitives … End), and an end marker (Close). Errors
+// are sticky; the first failure is returned by the call that hit it and by
+// every later End/Close.
+type StateWriter struct {
+	w       io.Writer
+	buf     []byte
+	tmp     [binary.MaxVarintLen64]byte
+	started bool
+	open    bool
+	kind    byte
+	err     error
+}
+
+// NewStateWriter returns a snapshot writer over w. Nothing is written until
+// the first section begins.
+func NewStateWriter(w io.Writer) *StateWriter {
+	return &StateWriter{w: w}
+}
+
+// Begin opens a section of the given kind (>= 1). Any previously open
+// section must have been ended.
+func (sw *StateWriter) Begin(kind byte) {
+	if sw.err != nil {
+		return
+	}
+	if sw.open {
+		sw.err = errors.New("wire: StateWriter.Begin with open section")
+		return
+	}
+	if kind == stateEnd {
+		sw.err = errors.New("wire: StateWriter section kind 0 is reserved")
+		return
+	}
+	sw.open = true
+	sw.kind = kind
+	sw.buf = sw.buf[:0]
+}
+
+// Uvarint appends an unsigned varint to the open section.
+func (sw *StateWriter) Uvarint(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(sw.tmp[:], v)
+	sw.buf = append(sw.buf, sw.tmp[:n]...)
+}
+
+// Varint appends a zigzag varint to the open section.
+func (sw *StateWriter) Varint(v int64) {
+	if sw.err != nil {
+		return
+	}
+	n := binary.PutVarint(sw.tmp[:], v)
+	sw.buf = append(sw.buf, sw.tmp[:n]...)
+}
+
+// Bool appends a boolean byte to the open section.
+func (sw *StateWriter) Bool(b bool) {
+	var v uint64
+	if b {
+		v = 1
+	}
+	sw.Uvarint(v)
+}
+
+// String appends a length-prefixed string to the open section.
+func (sw *StateWriter) String(s string) {
+	sw.Uvarint(uint64(len(s)))
+	if sw.err != nil {
+		return
+	}
+	sw.buf = append(sw.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte string to the open section.
+func (sw *StateWriter) Bytes(b []byte) {
+	sw.Uvarint(uint64(len(b)))
+	if sw.err != nil {
+		return
+	}
+	sw.buf = append(sw.buf, b...)
+}
+
+// End frames and writes the open section.
+func (sw *StateWriter) End() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.open {
+		sw.err = errors.New("wire: StateWriter.End without open section")
+		return sw.err
+	}
+	sw.open = false
+	return sw.writeFrame(sw.kind, sw.buf)
+}
+
+// Close writes the end marker. The caller owns closing/syncing the
+// underlying file.
+func (sw *StateWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.open {
+		sw.err = errors.New("wire: StateWriter.Close with open section")
+		return sw.err
+	}
+	return sw.writeFrame(stateEnd, nil)
+}
+
+// Err returns the sticky error, if any.
+func (sw *StateWriter) Err() error { return sw.err }
+
+func (sw *StateWriter) writeFrame(kind byte, payload []byte) error {
+	if !sw.started {
+		sw.started = true
+		if _, err := io.WriteString(sw.w, StateMagic); err != nil {
+			sw.err = err
+			return err
+		}
+	}
+	frame := AppendFrame(nil, kind, payload)
+	if _, err := sw.w.Write(frame); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// StateReader reads a snapshot file written by StateWriter. Next loads one
+// section at a time; the field accessors consume the current section with a
+// sticky error (check Err, or rely on the zero values they return after a
+// failure). Any framing violation — bad magic, CRC mismatch, short read,
+// missing end marker — is an error: a torn snapshot never reads as a valid
+// shorter one.
+type StateReader struct {
+	r       *bufio.Reader
+	payload []byte
+	pos     int
+	tmp     [binary.MaxVarintLen64]byte
+	err     error
+}
+
+// NewStateReader verifies the RDS1 magic and returns a section reader.
+func NewStateReader(r io.Reader) (*StateReader, error) {
+	sr := &StateReader{r: bufio.NewReader(r)}
+	var magic [len(StateMagic)]byte
+	if _, err := io.ReadFull(sr.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrStateTruncated, err)
+	}
+	if string(magic[:]) != StateMagic {
+		return nil, fmt.Errorf("wire: bad snapshot magic %q", magic[:])
+	}
+	return sr, nil
+}
+
+// Next loads the next section and returns its kind. It returns io.EOF at
+// the end marker, ErrStateTruncated if the file ends early, and ErrCRC on
+// checksum mismatch. The previous section must be fully consumed or its
+// remainder is discarded.
+func (sr *StateReader) Next() (byte, error) {
+	if sr.err != nil {
+		return 0, sr.err
+	}
+	var hdr [3]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return 0, sr.fail(fmt.Errorf("%w: section header: %v", ErrStateTruncated, err))
+	}
+	if hdr[0] != sync0 || hdr[1] != sync1 {
+		return 0, sr.fail(fmt.Errorf("%w: got %02x %02x", ErrSync, hdr[0], hdr[1]))
+	}
+	kind := hdr[2]
+	size, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return 0, sr.fail(fmt.Errorf("%w: section length: %v", ErrStateTruncated, err))
+	}
+	if size > MaxStateSection {
+		return 0, sr.fail(fmt.Errorf("wire: snapshot section of %d bytes exceeds limit", size))
+	}
+	if cap(sr.payload) < int(size) {
+		sr.payload = make([]byte, size)
+	}
+	sr.payload = sr.payload[:size]
+	if _, err := io.ReadFull(sr.r, sr.payload); err != nil {
+		return 0, sr.fail(fmt.Errorf("%w: section payload: %v", ErrStateTruncated, err))
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(sr.r, crc[:]); err != nil {
+		return 0, sr.fail(fmt.Errorf("%w: section CRC: %v", ErrStateTruncated, err))
+	}
+	want := binary.LittleEndian.Uint32(crc[:])
+	if got := crc32.Checksum(sr.payload, castagnoli); got != want {
+		return 0, sr.fail(fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want))
+	}
+	sr.pos = 0
+	if kind == stateEnd {
+		sr.err = io.EOF
+		return 0, io.EOF
+	}
+	return kind, nil
+}
+
+// Err returns the sticky error, if any (io.EOF after a clean end marker).
+func (sr *StateReader) Err() error {
+	if sr.err == io.EOF {
+		return nil
+	}
+	return sr.err
+}
+
+// Remaining returns the unconsumed bytes of the current section.
+func (sr *StateReader) Remaining() int { return len(sr.payload) - sr.pos }
+
+func (sr *StateReader) fail(err error) error {
+	sr.err = err
+	return err
+}
+
+// Uvarint consumes an unsigned varint from the current section.
+func (sr *StateReader) Uvarint() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(sr.payload[sr.pos:])
+	if n <= 0 {
+		sr.fail(fmt.Errorf("%w: bad uvarint in section", ErrStateTruncated))
+		return 0
+	}
+	sr.pos += n
+	return v
+}
+
+// Varint consumes a zigzag varint from the current section.
+func (sr *StateReader) Varint() int64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(sr.payload[sr.pos:])
+	if n <= 0 {
+		sr.fail(fmt.Errorf("%w: bad varint in section", ErrStateTruncated))
+		return 0
+	}
+	sr.pos += n
+	return v
+}
+
+// Bool consumes a boolean.
+func (sr *StateReader) Bool() bool { return sr.Uvarint() != 0 }
+
+// Int consumes a varint bounded to the int range.
+func (sr *StateReader) Int() int {
+	v := sr.Varint()
+	if sr.err == nil && int64(int(v)) != v {
+		sr.fail(fmt.Errorf("wire: snapshot int %d overflows", v))
+		return 0
+	}
+	return int(v)
+}
+
+// String consumes a length-prefixed string.
+func (sr *StateReader) String() string {
+	n := sr.Uvarint()
+	if sr.err != nil {
+		return ""
+	}
+	if int(n) > sr.Remaining() {
+		sr.fail(fmt.Errorf("%w: string crosses section end", ErrStateTruncated))
+		return ""
+	}
+	s := string(sr.payload[sr.pos : sr.pos+int(n)])
+	sr.pos += int(n)
+	return s
+}
+
+// Bytes consumes a length-prefixed byte string into a fresh slice.
+func (sr *StateReader) Bytes() []byte {
+	n := sr.Uvarint()
+	if sr.err != nil {
+		return nil
+	}
+	if int(n) > sr.Remaining() {
+		sr.fail(fmt.Errorf("%w: bytes cross section end", ErrStateTruncated))
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, sr.payload[sr.pos:sr.pos+int(n)])
+	sr.pos += int(n)
+	return b
+}
